@@ -1,0 +1,146 @@
+// Micro-benchmarks of the geometry substrate: Boolean sweeps, polygon
+// decomposition and window bucketing at fill-flow-realistic sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "geometry/boolean.hpp"
+#include "geometry/contour.hpp"
+#include "geometry/decompose.hpp"
+#include "geometry/grid_index.hpp"
+#include "geometry/rtree.hpp"
+#include "layout/window_grid.hpp"
+
+using namespace ofl;
+using namespace ofl::geom;
+
+namespace {
+
+std::vector<Rect> randomRects(int n, Coord extent, Coord maxEdge,
+                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const Coord w = rng.uniformInt(4, maxEdge);
+    const Coord h = rng.uniformInt(4, maxEdge);
+    const Coord x = rng.uniformInt(0, extent - w);
+    const Coord y = rng.uniformInt(0, extent - h);
+    out.push_back({x, y, x + w, y + h});
+  }
+  return out;
+}
+
+void BM_UnionArea(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(unionArea(rects));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UnionArea)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IntersectionArea(benchmark::State& state) {
+  const auto a = randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
+  const auto b = randomRects(static_cast<int>(state.range(0)), 4000, 120, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(intersectionArea(a, b));
+  }
+}
+BENCHMARK(BM_IntersectionArea)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_BooleanSubtractRects(benchmark::State& state) {
+  const auto a = randomRects(static_cast<int>(state.range(0)), 4000, 200, 5);
+  const auto b = randomRects(static_cast<int>(state.range(0)), 4000, 60, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(booleanOp(a, b, BoolOp::kSubtract));
+  }
+}
+BENCHMARK(BM_BooleanSubtractRects)->Arg(100)->Arg(1000);
+
+void BM_DecomposeStaircase(benchmark::State& state) {
+  // x-monotone staircase with n steps.
+  const int steps = static_cast<int>(state.range(0));
+  Rng rng(9);
+  std::vector<Point> loop;
+  loop.push_back({0, 0});
+  loop.push_back({static_cast<Coord>(steps) * 10, 0});
+  Coord prev = -1;
+  for (int c = steps - 1; c >= 0; --c) {
+    Coord h = rng.uniformInt(5, 200);
+    if (h == prev) ++h;
+    prev = h;
+    loop.push_back({static_cast<Coord>(c + 1) * 10, h});
+    loop.push_back({static_cast<Coord>(c) * 10, h});
+  }
+  const Polygon poly(loop);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decompose(poly));
+  }
+}
+BENCHMARK(BM_DecomposeStaircase)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 19200, 120, 31);
+  GridIndex index({0, 0, 19200, 19200}, 600);
+  for (std::uint32_t id = 0; id < rects.size(); ++id) {
+    index.insert(id, rects[id]);
+  }
+  Rng rng(32);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const Rect q = randomRects(1, 19200, 400, rng.uniformInt(0, 1 << 30))[0];
+    index.visit(q, [&hits](std::uint32_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_GridIndexQuery)->Arg(1000)->Arg(20000);
+
+void BM_RTreeQuery(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 19200, 120, 31);
+  const RTree tree(rects);
+  Rng rng(32);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const Rect q = randomRects(1, 19200, 400, rng.uniformInt(0, 1 << 30))[0];
+    tree.visit(q, [&hits](std::uint32_t) { ++hits; });
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(20000);
+
+void BM_ContourExtraction(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 2000, 80, 21);
+  const Region region(rects);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(contours(region));
+  }
+}
+BENCHMARK(BM_ContourExtraction)->Arg(100)->Arg(1000);
+
+void BM_WindowBucketing(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 19200, 240, 12);
+  const layout::WindowGrid grid({0, 0, 19200, 19200}, 1200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.bucketClipped(rects));
+  }
+}
+BENCHMARK(BM_WindowBucketing)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_CoveredAreaPerWindow(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 19200, 240, 13);
+  const layout::WindowGrid grid({0, 0, 19200, 19200}, 1200);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grid.coveredAreaPerWindow(rects));
+  }
+}
+BENCHMARK(BM_CoveredAreaPerWindow)->Arg(1000)->Arg(10000)->Arg(50000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Micro-benchmarks of the min-cost flow substrate: NetworkSimplex vs
+// SuccessiveShortestPath on random transportation networks and on
+// fill-sizing-shaped differential LPs (chains of fills with spacing
+// constraints), across instance sizes.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "mcf/dual_lp.hpp"
+#include "mcf/network_simplex.hpp"
+#include "mcf/ssp.hpp"
+
+using namespace ofl;
+using namespace ofl::mcf;
+
+namespace {
+
+// Random balanced transportation instance: k sources, k sinks, dense-ish
+// arc set with random costs.
+Graph randomTransport(int k, std::uint64_t seed) {
+  Rng rng(seed);
+  Graph g;
+  for (int i = 0; i < k; ++i) g.addNode(rng.uniformInt(1, 20));
+  Value total = 0;
+  for (int i = 0; i < k; ++i) total += g.supply(i);
+  for (int i = 0; i < k; ++i) {
+    const Value take = (i == k - 1) ? total : std::min<Value>(total, rng.uniformInt(0, 2 * total / k + 1));
+    g.addNode(-take);
+    total -= take;
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if ((i + j) % 3 == 0 || i == j) {
+        g.addArc(i, k + j, 1000, rng.uniformInt(1, 50));
+      }
+    }
+  }
+  return g;
+}
+
+// Fill-sizing-shaped differential LP: n fills in a row, each with lo/hi
+// edge variables, min-width constraints and spacing constraints to the
+// next fill — the exact structure FillSizer emits.
+DifferentialLp sizingShapedLp(int fills, std::uint64_t seed) {
+  Rng rng(seed);
+  DifferentialLp lp;
+  Value cursor = 0;
+  for (int f = 0; f < fills; ++f) {
+    const Value width = rng.uniformInt(40, 120);
+    const Value height = rng.uniformInt(40, 120);
+    const Value shrink = 25;
+    const int lo = lp.addVariable(-height, cursor, cursor + shrink);
+    const int hi =
+        lp.addVariable(height, cursor + width - shrink, cursor + width);
+    lp.addConstraint(hi, lo, 10);
+    if (f > 0) lp.addConstraint(lo, hi - 3, 10);  // spacing to previous hi
+    cursor += width + rng.uniformInt(5, 30);
+  }
+  return lp;
+}
+
+void BM_TransportNetworkSimplex(benchmark::State& state) {
+  const Graph g = randomTransport(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NetworkSimplex().solve(g));
+  }
+}
+BENCHMARK(BM_TransportNetworkSimplex)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_TransportSsp(benchmark::State& state) {
+  const Graph g = randomTransport(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SuccessiveShortestPath().solve(g));
+  }
+}
+BENCHMARK(BM_TransportSsp)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_SizingLpNetworkSimplex(benchmark::State& state) {
+  const DifferentialLp lp =
+      sizingShapedLp(static_cast<int>(state.range(0)), 11);
+  const DifferentialLpSolver solver(McfBackend::kNetworkSimplex);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(lp));
+  }
+}
+BENCHMARK(BM_SizingLpNetworkSimplex)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SizingLpSsp(benchmark::State& state) {
+  const DifferentialLp lp =
+      sizingShapedLp(static_cast<int>(state.range(0)), 11);
+  const DifferentialLpSolver solver(McfBackend::kSuccessiveShortestPath);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(lp));
+  }
+}
+BENCHMARK(BM_SizingLpSsp)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

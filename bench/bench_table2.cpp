@@ -1,0 +1,35 @@
+// Reproduces paper Table 2: benchmark statistics (#polygons, #layers, file
+// size) and the alpha/beta scoring coefficients for each suite.
+//
+// The suites are the scaled synthetic analogues of the contest designs
+// (see DESIGN.md Section 2); the columns match Table 2's schema.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "contest/report.hpp"
+#include "gds/gds_writer.hpp"
+
+using namespace ofl;
+
+int main() {
+  setLogLevel(LogLevel::kWarn);
+  std::printf("== Table 2: benchmark statistics (scaled suites) ==\n");
+  std::vector<contest::SuiteStats> stats;
+  for (const std::string suite : {"s", "b", "m"}) {
+    const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+    const layout::Layout chip = contest::BenchmarkGenerator::generate(spec);
+    contest::SuiteStats row;
+    row.design = suite;
+    row.polygons = chip.wireCount();
+    row.layers = chip.numLayers();
+    row.wireFileMB =
+        static_cast<double>(gds::Writer::streamSize(chip.toGds())) / 1e6;
+    row.table = contest::scoreTableFor(suite);
+    stats.push_back(row);
+  }
+  contest::printTable2(stats);
+  return 0;
+}

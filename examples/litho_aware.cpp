@@ -1,0 +1,41 @@
+// Lithography-aware fill (the paper's future-work direction): when the
+// fill spacing rule lands inside a forbidden-pitch band, plain fill
+// insertion creates thousands of litho-hostile gaps; enabling
+// CandidateGenerator::Options::lithoAvoid removes them.
+//
+//   $ ./litho_aware [suite]
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "fill/fill_engine.hpp"
+#include "layout/litho.hpp"
+
+using namespace ofl;
+
+int main(int argc, char** argv) {
+  setLogLevel(LogLevel::kWarn);
+  const std::string suite = argc > 1 ? argv[1] : "tiny";
+  contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  // Put the spacing rule inside the forbidden band on purpose.
+  spec.rules.minSpacing = 14;
+  const layout::LithoRules band{12, 18};
+
+  for (const bool aware : {false, true}) {
+    layout::Layout chip = contest::BenchmarkGenerator::generate(spec);
+    fill::FillEngineOptions options;
+    options.windowSize = spec.windowSize;
+    options.rules = spec.rules;
+    if (aware) options.candidate.lithoAvoid = band;
+    const fill::FillReport report = fill::FillEngine(options).run(chip);
+    const std::size_t hotspots = layout::LithoChecker(band).count(chip);
+    std::printf("%-22s fills=%7zu  forbidden-pitch hotspots=%zu\n",
+                aware ? "litho-aware gutters:" : "plain gutters:",
+                report.fillCount, hotspots);
+  }
+  std::printf("forbidden band: gaps in [%lld, %lld) DBU\n",
+              static_cast<long long>(band.forbiddenLo),
+              static_cast<long long>(band.forbiddenHi));
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Common interface for the baseline fillers used as the Table 3
+// comparison points (stand-ins for the unavailable ICCAD 2014 contest team
+// binaries; see DESIGN.md Section 2 for the substitution rationale).
+#pragma once
+
+#include <string>
+
+#include "layout/layout.hpp"
+
+namespace ofl::baselines {
+
+class Filler {
+ public:
+  virtual ~Filler() = default;
+
+  /// Human-readable name used in the Table 3 report rows.
+  virtual std::string name() const = 0;
+
+  /// Inserts dummy fills into `layout` (replacing existing fills).
+  virtual void fill(layout::Layout& layout) = 0;
+};
+
+}  // namespace ofl::baselines

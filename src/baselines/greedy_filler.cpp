@@ -1,0 +1,56 @@
+#include "baselines/greedy_filler.hpp"
+
+#include <algorithm>
+
+#include "density/density_map.hpp"
+#include "fill/candidate_generator.hpp"
+#include "layout/fill_region.hpp"
+
+namespace ofl::baselines {
+
+void GreedyFiller::fill(layout::Layout& layout) {
+  layout.clearFills();
+  const layout::WindowGrid grid(layout.die(), options_.windowSize);
+  // Big fills: let candidates grow to half a window.
+  layout::DesignRules bigRules = options_.rules;
+  bigRules.maxFillSize =
+      std::max(options_.rules.maxFillSize, options_.windowSize / 2);
+  const fill::CandidateGenerator slicer(bigRules, {});
+
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    const auto regions =
+        layout::computeFillRegions(layout, l, grid, options_.rules);
+    const density::DensityMap wires =
+        density::DensityMap::computeFromShapes(layout.layer(l).wires, grid);
+
+    double td = 0.0;
+    for (double v : wires.values()) td = std::max(td, v);
+    td *= options_.headroom;
+
+    for (int j = 0; j < grid.rows(); ++j) {
+      for (int i = 0; i < grid.cols(); ++i) {
+        const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
+        const auto windowArea =
+            static_cast<double>(grid.windowRect(i, j).area());
+        double need = (td - wires.at(i, j)) * windowArea;
+        if (need <= 0) continue;
+        std::vector<geom::Rect> cells = slicer.sliceRegion(regions[w]);
+        std::sort(cells.begin(), cells.end(),
+                  [](const geom::Rect& a, const geom::Rect& b) {
+                    if (a.area() != b.area()) return a.area() > b.area();
+                    return geom::RectYXLess{}(a, b);
+                  });
+        for (const geom::Rect& c : cells) {
+          if (need <= 0) break;
+          // Taking a cell much larger than the remaining need would
+          // overshoot the target; skip to smaller cells instead.
+          if (static_cast<double>(c.area()) > 1.25 * need) continue;
+          layout.layer(l).fills.push_back(c);
+          need -= static_cast<double>(c.area());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ofl::baselines

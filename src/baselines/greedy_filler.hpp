@@ -1,0 +1,34 @@
+// Greedy max-fill baseline.
+//
+// Fills every window up to a global target with the largest available
+// rectangles, overlay-blind. Few large fills give an excellent file-size
+// score, but no overlay control and cruder density matching — the
+// "aggressive size score, weaker quality" profile of Table 3's 1st-team
+// row.
+#pragma once
+
+#include "baselines/filler.hpp"
+#include "layout/design_rules.hpp"
+
+namespace ofl::baselines {
+
+class GreedyFiller : public Filler {
+ public:
+  struct Options {
+    geom::Coord windowSize = 2000;
+    layout::DesignRules rules;
+    /// Target headroom: fill to headroom * max wire density (>= 1 fills
+    /// everything it can toward the global peak).
+    double headroom = 1.0;
+  };
+
+  explicit GreedyFiller(Options options) : options_(options) {}
+
+  std::string name() const override { return "greedy"; }
+  void fill(layout::Layout& layout) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ofl::baselines

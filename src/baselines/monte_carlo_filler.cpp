@@ -1,0 +1,76 @@
+#include "baselines/monte_carlo_filler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "density/density_map.hpp"
+#include "fill/candidate_generator.hpp"
+#include "layout/fill_region.hpp"
+
+namespace ofl::baselines {
+
+void MonteCarloFiller::fill(layout::Layout& layout) {
+  layout.clearFills();
+  Rng rng(options_.seed);
+  const layout::WindowGrid grid(layout.die(), options_.windowSize);
+
+  layout::DesignRules cellRules = options_.rules;
+  cellRules.maxFillSize =
+      options_.rules.minWidth * std::max(options_.cellWidthFactor, 1);
+  const fill::CandidateGenerator slicer(cellRules, {});
+
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    const auto regions =
+        layout::computeFillRegions(layout, l, grid, options_.rules);
+    const density::DensityMap wires =
+        density::DensityMap::computeFromShapes(layout.layer(l).wires, grid);
+
+    double td = 0.0;
+    for (double v : wires.values()) td = std::max(td, v);
+
+    // Per-window pool of insertable cells, shuffled once (drawing from the
+    // back is then a uniform random draw).
+    const auto numWindows = static_cast<std::size_t>(grid.windowCount());
+    std::vector<std::vector<geom::Rect>> pool(numWindows);
+    std::vector<double> density(numWindows);
+    std::vector<double> windowArea(numWindows);
+    for (int j = 0; j < grid.rows(); ++j) {
+      for (int i = 0; i < grid.cols(); ++i) {
+        const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
+        pool[w] = slicer.sliceRegion(regions[w]);
+        std::shuffle(pool[w].begin(), pool[w].end(), rng.engine());
+        density[w] = wires.at(i, j);
+        windowArea[w] = static_cast<double>(grid.windowRect(i, j).area());
+      }
+    }
+
+    // Max-heap on density deficit.
+    using Item = std::pair<double, std::size_t>;  // (gap, window)
+    std::priority_queue<Item> heap;
+    for (std::size_t w = 0; w < numWindows; ++w) {
+      if (td - density[w] > 0 && !pool[w].empty()) {
+        heap.push({td - density[w], w});
+      }
+    }
+    while (!heap.empty()) {
+      const auto [gap, w] = heap.top();
+      heap.pop();
+      // Stale entry guard: recompute the gap and skip outdated items.
+      const double current = td - density[w];
+      if (current <= 1e-9 || pool[w].empty()) continue;
+      if (current < gap - 1e-12) {
+        heap.push({current, w});
+        continue;
+      }
+      const geom::Rect cell = pool[w].back();
+      pool[w].pop_back();
+      layout.layer(l).fills.push_back(cell);
+      density[w] += static_cast<double>(cell.area()) / windowArea[w];
+      if (td - density[w] > 1e-9 && !pool[w].empty()) {
+        heap.push({td - density[w], w});
+      }
+    }
+  }
+}
+
+}  // namespace ofl::baselines

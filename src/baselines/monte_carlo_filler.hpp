@@ -1,0 +1,36 @@
+// Monte-Carlo filler — Chen et al. [8][9]-style randomized insertion.
+//
+// Repeatedly picks the currently emptiest window (largest gap to the
+// global target density) and inserts one randomly chosen DRC-clean cell
+// from that window's remaining free space, until every window reaches the
+// target or runs out of space. Fast and uniform-ish, but overlay-blind and
+// fill-count-heavy — the trade-off profile Table 3 shows for randomized
+// methods.
+#pragma once
+
+#include "baselines/filler.hpp"
+#include "common/rng.hpp"
+#include "layout/design_rules.hpp"
+
+namespace ofl::baselines {
+
+class MonteCarloFiller : public Filler {
+ public:
+  struct Options {
+    geom::Coord windowSize = 2000;
+    layout::DesignRules rules;
+    std::uint64_t seed = 1;
+    /// Cell edge used for insertion candidates, in multiples of minWidth.
+    int cellWidthFactor = 4;
+  };
+
+  explicit MonteCarloFiller(Options options) : options_(options) {}
+
+  std::string name() const override { return "monte-carlo"; }
+  void fill(layout::Layout& layout) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ofl::baselines

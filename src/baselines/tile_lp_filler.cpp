@@ -1,0 +1,124 @@
+#include "baselines/tile_lp_filler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "density/density_map.hpp"
+#include "fill/candidate_generator.hpp"
+#include "layout/fill_region.hpp"
+#include "lp/simplex.hpp"
+
+namespace ofl::baselines {
+void TileLpFiller::fill(layout::Layout& layout) {
+  layout.clearFills();
+  const layout::WindowGrid windows(layout.die(), options_.windowSize);
+  const geom::Coord tileSize =
+      std::max<geom::Coord>(options_.windowSize / options_.tilesPerWindow, 1);
+  const layout::WindowGrid tiles(layout.die(), tileSize);
+  const int r = options_.tilesPerWindow;
+
+  // Tile-realization rules: deliberately small fills, the classic tile
+  // method's signature (each tile is filled with its own little shapes).
+  layout::DesignRules tileRules = options_.rules;
+  tileRules.maxFillSize = std::max<geom::Coord>(
+      options_.rules.minWidth * 3, tileSize / 4);
+  const fill::CandidateGenerator slicer(tileRules, {});
+
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    const auto tileRegions =
+        layout::computeFillRegions(layout, l, tiles, options_.rules);
+    const density::DensityMap wireDensity =
+        density::DensityMap::computeFromShapes(layout.layer(l).wires, windows);
+
+    // Global target: the max wire density any window already has (the
+    // Case I planning target; windows that cannot reach it pay deviation).
+    double td = 0.0;
+    for (double v : wireDensity.values()) td = std::max(td, v);
+
+    // Solve one LP per block of windows (whole grid when blockEdge == 0:
+    // the classical global formulation).
+    const int blockEdge = options_.blockEdge > 0
+                              ? options_.blockEdge
+                              : std::max(windows.cols(), windows.rows());
+    for (int bj = 0; bj < windows.rows(); bj += blockEdge) {
+      for (int bi = 0; bi < windows.cols(); bi += blockEdge) {
+        const int iEnd = std::min(bi + blockEdge, windows.cols());
+        const int jEnd = std::min(bj + blockEdge, windows.rows());
+
+        lp::LpModel model;
+        // Tile fill variables (normalized to window-area units) plus one
+        // deviation variable per window.
+        struct TileVar {
+          int var;
+          int ti;
+          int tj;
+          double windowArea;
+        };
+        std::vector<TileVar> tileVars;
+        const double epsilon = 1e-3;  // prefer fewer fills at equal spread
+
+        for (int j = bj; j < jEnd; ++j) {
+          for (int i = bi; i < iEnd; ++i) {
+            const geom::Rect wrect = windows.windowRect(i, j);
+            const auto windowArea = static_cast<double>(wrect.area());
+            std::vector<std::pair<int, double>> sumTerms;
+            for (int tj = j * r; tj < (j + 1) * r && tj < tiles.rows(); ++tj) {
+              for (int ti = i * r; ti < (i + 1) * r && ti < tiles.cols();
+                   ++ti) {
+                const auto t =
+                    static_cast<std::size_t>(tiles.flatIndex(ti, tj));
+                const double slack =
+                    options_.slackUtilization *
+                    static_cast<double>(tileRegions[t].area()) / windowArea;
+                if (slack <= 0.0) continue;
+                const int var = model.addVariable(epsilon, 0.0, slack);
+                tileVars.push_back({var, ti, tj, windowArea});
+                sumTerms.push_back({var, 1.0});
+              }
+            }
+            const int dev = model.addVariable(1.0, 0.0, 1.0);
+            const double gap = td - wireDensity.at(i, j);
+            // sum f - dev <= gap  and  sum f + dev >= gap
+            auto le = sumTerms;
+            le.push_back({dev, -1.0});
+            model.addConstraint(std::move(le), lp::Sense::kLessEqual, gap);
+            auto ge = sumTerms;
+            ge.push_back({dev, 1.0});
+            model.addConstraint(std::move(ge), lp::Sense::kGreaterEqual, gap);
+          }
+        }
+
+        const lp::LpResult solution = lp::SimplexSolver().solve(model);
+        if (solution.status != lp::LpStatus::kOptimal) {
+          logWarn("TileLpFiller: block LP status %d, block (%d,%d) skipped",
+                  static_cast<int>(solution.status), bi, bj);
+          continue;
+        }
+
+        // Realize each tile's area as small fills sliced from its region.
+        for (const TileVar& tv : tileVars) {
+          const double targetArea =
+              solution.x[static_cast<std::size_t>(tv.var)] * tv.windowArea;
+          if (targetArea <= 0.0) continue;
+          const auto t =
+              static_cast<std::size_t>(tiles.flatIndex(tv.ti, tv.tj));
+          std::vector<geom::Rect> cells = slicer.sliceRegion(tileRegions[t]);
+          std::sort(cells.begin(), cells.end(),
+                    [](const geom::Rect& a, const geom::Rect& b) {
+                      if (a.area() != b.area()) return a.area() > b.area();
+                      return geom::RectYXLess{}(a, b);
+                    });
+          double got = 0.0;
+          for (const geom::Rect& c : cells) {
+            if (got >= targetArea) break;
+            layout.layer(l).fills.push_back(c);
+            got += static_cast<double>(c.area());
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ofl::baselines

@@ -1,0 +1,41 @@
+// Tile-based LP filler — the classical min-variation approach of Kahng et
+// al. [4] / Tian et al. [5] the paper argues against.
+//
+// Each window is split into r x r tiles; one LP per layer chooses a fill
+// area per tile to minimize (dmax - dmin) over windows subject to per-tile
+// slack, with a small fill-area penalty as tie-break. Chosen areas are
+// realized as many small tile-local fill rects, reproducing the
+// characteristic weakness Table 3 shows for tile methods: good uniformity,
+// very large fill count (poor file-size score), no overlay awareness.
+#pragma once
+
+#include "baselines/filler.hpp"
+#include "layout/design_rules.hpp"
+
+namespace ofl::baselines {
+
+class TileLpFiller : public Filler {
+ public:
+  struct Options {
+    geom::Coord windowSize = 2000;
+    int tilesPerWindow = 2;  // r: window is r x r tiles
+    layout::DesignRules rules;
+    double slackUtilization = 0.85;  // DRC losses when realizing area
+    /// Windows per LP block edge. 0 solves ONE global LP per layer — the
+    /// classical formulation whose superlinear runtime growth the paper
+    /// cites as the motivation for abandoning tile methods (Section 1);
+    /// see bench_scaling. The blocked default keeps the baseline usable
+    /// as a Table 3 comparison point.
+    int blockEdge = 8;
+  };
+
+  explicit TileLpFiller(Options options) : options_(options) {}
+
+  std::string name() const override { return "tile-lp"; }
+  void fill(layout::Layout& layout) override;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ofl::baselines

@@ -1,0 +1,92 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ofl::cli {
+
+Args Args::parse(int argc, const char* const* argv) {
+  std::vector<std::string> tokens;
+  for (int i = 1; i < argc; ++i) tokens.emplace_back(argv[i]);
+  return parse(tokens);
+}
+
+Args Args::parse(const std::vector<std::string>& tokens) {
+  Args args;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      args.positional_.push_back(tok);
+      continue;
+    }
+    const std::string body = tok.substr(2);
+    const std::size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      args.values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--key value" when the next token is not itself an option; else a
+    // bare flag.
+    if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      args.values_[body] = tokens[i + 1];
+      ++i;
+    } else {
+      args.values_[body] = "";
+    }
+  }
+  return args;
+}
+
+bool Args::hasFlag(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::optional<std::string> Args::get(const std::string& key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::getOr(const std::string& key,
+                        const std::string& fallback) const {
+  return get(key).value_or(fallback);
+}
+
+std::optional<long long> Args::getInt(const std::string& key) const {
+  const auto v = get(key);
+  if (!v.has_value() || v->empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+long long Args::getIntOr(const std::string& key, long long fallback) const {
+  return getInt(key).value_or(fallback);
+}
+
+std::optional<double> Args::getDouble(const std::string& key) const {
+  const auto v = get(key);
+  if (!v.has_value() || v->empty()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+double Args::getDoubleOr(const std::string& key, double fallback) const {
+  return getDouble(key).value_or(fallback);
+}
+
+std::vector<std::string> Args::unknownKeys(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back(key);
+    }
+  }
+  return unknown;
+}
+
+}  // namespace ofl::cli

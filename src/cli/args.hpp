@@ -1,0 +1,41 @@
+// Minimal command-line argument parser for the openfill CLI.
+//
+// Supports "--key value", "--key=value" and bare "--flag" forms, plus
+// positional arguments. Deliberately tiny: the CLI surface is a handful of
+// subcommands, each with a dozen options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ofl::cli {
+
+class Args {
+ public:
+  /// Parses argv[1..). Returns nullopt on malformed input ("--key" at the
+  /// end expecting a value is treated as a flag).
+  static Args parse(int argc, const char* const* argv);
+  static Args parse(const std::vector<std::string>& tokens);
+
+  bool hasFlag(const std::string& key) const;
+  std::optional<std::string> get(const std::string& key) const;
+  std::string getOr(const std::string& key, const std::string& fallback) const;
+  std::optional<long long> getInt(const std::string& key) const;
+  long long getIntOr(const std::string& key, long long fallback) const;
+  std::optional<double> getDouble(const std::string& key) const;
+  double getDoubleOr(const std::string& key, double fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Keys that were provided but never queried; used to reject typos.
+  std::vector<std::string> unknownKeys(
+      const std::vector<std::string>& known) const;
+
+ private:
+  std::map<std::string, std::string> values_;  // "" for bare flags
+  std::vector<std::string> positional_;
+};
+
+}  // namespace ofl::cli

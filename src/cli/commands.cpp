@@ -1,0 +1,373 @@
+#include "cli/commands.hpp"
+
+#include <cstdio>
+
+#include "common/memory_usage.hpp"
+#include "common/timer.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "contest/evaluator.hpp"
+#include "contest/json_report.hpp"
+#include "contest/report.hpp"
+#include "baselines/tile_lp_filler.hpp"
+#include "baselines/monte_carlo_filler.hpp"
+#include "baselines/greedy_filler.hpp"
+#include "density/heatmap.hpp"
+#include "density/metrics.hpp"
+#include "fill/fill_engine.hpp"
+#include "gds/gds_reader.hpp"
+#include "gds/gds_writer.hpp"
+#include "gds/oasis.hpp"
+#include "layout/drc_checker.hpp"
+#include "layout/gds_compact.hpp"
+
+namespace ofl::cli {
+namespace {
+
+layout::DesignRules rulesFrom(const Args& args) {
+  layout::DesignRules rules;
+  rules.minWidth = args.getIntOr("min-width", 10);
+  rules.minSpacing = args.getIntOr("min-spacing", 10);
+  rules.minArea = args.getIntOr("min-area", 200);
+  rules.maxFillSize = args.getIntOr("max-fill", 300);
+  return rules;
+}
+
+// Loads a layout from GDS or OFL-OASIS (auto-detected); die from
+// --die "xl,yl,xh,yh" or the shape bbox.
+bool loadLayout(const Args& args, layout::Layout& out, std::string* error) {
+  const auto path = args.get("in");
+  if (!path.has_value() || path->empty()) {
+    *error = "missing --in <file.gds>";
+    return false;
+  }
+  auto lib = gds::Reader::readFile(*path);
+  if (!lib.has_value()) lib = gds::OasisReader::readFile(*path);
+  if (!lib.has_value()) {
+    *error = "cannot read layout file: " + *path;
+    return false;
+  }
+  int maxLayer = 0;
+  geom::Rect bbox;
+  for (const auto& cell : lib->cells) {
+    for (const auto& b : cell.boundaries) {
+      maxLayer = std::max<int>(maxLayer, b.layer);
+      bbox = bbox.bboxUnion(geom::Polygon(b.vertices).bbox());
+    }
+  }
+  geom::Rect die = bbox;
+  if (const auto dieSpec = args.get("die"); dieSpec.has_value()) {
+    long long xl, yl, xh, yh;
+    if (std::sscanf(dieSpec->c_str(), "%lld,%lld,%lld,%lld", &xl, &yl, &xh,
+                    &yh) != 4) {
+      *error = "--die expects xl,yl,xh,yh";
+      return false;
+    }
+    die = {xl, yl, xh, yh};
+  }
+  if (die.empty()) {
+    *error = "layout is empty and no --die given";
+    return false;
+  }
+  out = layout::Layout::fromGds(*lib, die, std::max(maxLayer, 1));
+  return true;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "openfill <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate --suite s|b|m|tiny --out FILE.gds\n"
+      "      Generate a synthetic benchmark suite (wires only).\n"
+      "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
+      "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
+      "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
+      "      Insert dummy fills; --compact writes fill arrays as AREFs.\n"
+      "  evaluate --in FILE.gds --suite s|b|m [--window N] [--runtime S]\n"
+      "       [--memory MiB]\n"
+      "      Score a filled layout with the contest metric.\n"
+      "  drc --in FILE.gds [rule options]\n"
+      "      Check fills against the design rules.\n"
+      "  stats --in FILE.gds\n"
+      "      Print shape counts and file statistics.\n"
+      "  heatmap --in FILE.gds [--window N] [--layer N] [--csv FILE]\n"
+      "      Render a window-density heatmap (ASCII to stdout, or CSV).\n"
+      "  compare --in FILE.gds --suite s|b|m [--window N] [--json FILE]\n"
+      "      Run all fillers (3 baselines + engine) and print the score "
+      "grid.\n";
+}
+
+int run(const Args& args) {
+  if (args.positional().empty()) {
+    std::fputs(usage().c_str(), stderr);
+    return 2;
+  }
+  const std::string& command = args.positional().front();
+  if (command == "generate") return runGenerate(args);
+  if (command == "fill") return runFill(args);
+  if (command == "evaluate") return runEvaluate(args);
+  if (command == "drc") return runDrc(args);
+  if (command == "stats") return runStats(args);
+  if (command == "heatmap") return runHeatmap(args);
+  if (command == "compare") return runCompare(args);
+  std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
+               usage().c_str());
+  return 2;
+}
+
+int runGenerate(const Args& args) {
+  const std::string suite = args.getOr("suite", "s");
+  const std::string out = args.getOr("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "generate: missing --out\n");
+    return 2;
+  }
+  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  const layout::Layout chip = contest::BenchmarkGenerator::generate(spec);
+  const long long bytes = gds::Writer::writeFile(chip.toGds(), out);
+  if (bytes < 0) {
+    std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("generated suite %s: %zu wires, %d layers, die %s, %lld bytes "
+              "-> %s\n",
+              spec.name.c_str(), chip.wireCount(), chip.numLayers(),
+              chip.die().str().c_str(), bytes, out.c_str());
+  return 0;
+}
+
+int runFill(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "fill: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string out = args.getOr("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "fill: missing --out\n");
+    return 2;
+  }
+
+  fill::FillEngineOptions options;
+  options.rules = rulesFrom(args);
+  options.windowSize = args.getIntOr("window", 1200);
+  options.candidate.lambda = args.getDoubleOr("lambda", options.candidate.lambda);
+  options.candidate.gamma = args.getDoubleOr("gamma", options.candidate.gamma);
+  options.sizer.eta = args.getDoubleOr("eta", options.sizer.eta);
+  options.sizer.iterations =
+      static_cast<int>(args.getIntOr("iterations", options.sizer.iterations));
+  const std::string backend = args.getOr("backend", "ns");
+  if (backend == "ssp") {
+    options.sizer.backend = mcf::McfBackend::kSuccessiveShortestPath;
+  } else if (backend == "lp") {
+    options.sizer.useLpSolver = true;
+  } else if (backend != "ns") {
+    std::fprintf(stderr, "fill: unknown --backend %s\n", backend.c_str());
+    return 2;
+  }
+
+  Timer timer;
+  const fill::FillReport report = fill::FillEngine(options).run(chip);
+  const gds::Library outLib = args.hasFlag("compact")
+                                  ? layout::toCompactGds(chip)
+                                  : chip.toGds();
+  const std::string format = args.getOr("format", "gds");
+  long long bytes = -1;
+  if (format == "gds") {
+    bytes = gds::Writer::writeFile(outLib, out);
+  } else if (format == "oasis") {
+    bytes = gds::OasisWriter::writeFile(outLib, out);
+  } else {
+    std::fprintf(stderr, "fill: unknown --format %s (gds|oasis)\n",
+                 format.c_str());
+    return 2;
+  }
+  if (bytes < 0) {
+    std::fprintf(stderr, "fill: cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("filled: %zu fills (%zu candidates) in %.2fs "
+              "(plan %.2fs, candidates %.2fs, sizing %.2fs), %lld bytes -> %s\n",
+              report.fillCount, report.candidateCount, timer.elapsedSeconds(),
+              report.planningSeconds, report.candidateSeconds,
+              report.sizingSeconds, bytes, out.c_str());
+  return 0;
+}
+
+int runEvaluate(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "evaluate: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string suite = args.getOr("suite", "s");
+  const geom::Coord window = args.getIntOr("window", 1200);
+  const contest::Evaluator evaluator(window, contest::scoreTableFor(suite),
+                                     rulesFrom(args));
+  const contest::RawMetrics raw = evaluator.measure(chip);
+  const double runtime = args.getDoubleOr("runtime", 0.0);
+  const double memory = args.getDoubleOr("memory", peakMemoryMiB());
+  const contest::ScoreBreakdown s = evaluator.score(raw, runtime, memory);
+
+  std::printf("raw: overlay=%.0f variation=%.6f line=%.4f outlier=%.6f "
+              "size=%.2fMB fills=%zu drc=%zu\n",
+              raw.overlay, raw.variation, raw.line, raw.outlier,
+              raw.fileSizeMB, raw.fillCount, raw.drcViolations);
+  std::printf("scores: overlay=%.3f variation=%.3f line=%.3f outlier=%.3f "
+              "size=%.3f runtime=%.3f memory=%.3f\n",
+              s.overlay, s.variation, s.line, s.outlier, s.size, s.runtime,
+              s.memory);
+  std::printf("testcase quality=%.3f score=%.3f\n", s.quality, s.total);
+  return 0;
+}
+
+int runDrc(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "drc: %s\n", error.c_str());
+    return 2;
+  }
+  const auto limit =
+      static_cast<std::size_t>(args.getIntOr("max-violations", 100));
+  const auto violations =
+      layout::DrcChecker(rulesFrom(args)).check(chip, limit);
+  for (const auto& v : violations) {
+    std::printf("VIOLATION %s\n", v.str().c_str());
+  }
+  std::printf("%zu violation(s)%s\n", violations.size(),
+              violations.size() >= limit ? " (capped)" : "");
+  return violations.empty() ? 0 : 1;
+}
+
+int runStats(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "stats: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("die: %s  layers: %d\n", chip.die().str().c_str(),
+              chip.numLayers());
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    geom::Area wireArea = 0;
+    geom::Area fillArea = 0;
+    for (const auto& r : chip.layer(l).wires) wireArea += r.area();
+    for (const auto& r : chip.layer(l).fills) fillArea += r.area();
+    std::printf("layer %d: %zu wires (%lld DBU^2), %zu fills (%lld DBU^2)\n",
+                l + 1, chip.layer(l).wires.size(),
+                static_cast<long long>(wireArea), chip.layer(l).fills.size(),
+                static_cast<long long>(fillArea));
+  }
+  const gds::Library flat = chip.toGds();
+  std::printf("GDS stream size: %lld bytes; OFL-OASIS: %lld bytes; "
+              "compact GDS: %lld bytes\n",
+              gds::Writer::streamSize(flat),
+              gds::OasisWriter::streamSize(flat),
+              gds::Writer::streamSize(layout::toCompactGds(chip)));
+  return 0;
+}
+
+int runHeatmap(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "heatmap: %s\n", error.c_str());
+    return 2;
+  }
+  const geom::Coord window = args.getIntOr("window", 1200);
+  const auto layer = static_cast<int>(args.getIntOr("layer", 1)) - 1;
+  if (layer < 0 || layer >= chip.numLayers()) {
+    std::fprintf(stderr, "heatmap: layer out of range (1..%d)\n",
+                 chip.numLayers());
+    return 2;
+  }
+  const layout::WindowGrid grid(chip.die(), window);
+  const density::DensityMap map = density::DensityMap::compute(chip, layer, grid);
+  if (const auto csv = args.get("csv"); csv.has_value() && !csv->empty()) {
+    if (!density::writeCsv(map, *csv)) {
+      std::fprintf(stderr, "heatmap: cannot write %s\n", csv->c_str());
+      return 1;
+    }
+    std::printf("wrote %dx%d density CSV -> %s\n", map.cols(), map.rows(),
+                csv->c_str());
+    return 0;
+  }
+  density::HeatmapOptions options;
+  options.autoscale = args.hasFlag("autoscale");
+  std::fputs(density::renderAscii(map, options).c_str(), stdout);
+  const density::DensityMetrics m = density::computeMetrics(map);
+  std::printf("layer %d: mean=%.3f sigma=%.4f line=%.3f outlier=%.4f\n",
+              layer + 1, m.mean, m.sigma, m.lineHotspot, m.outlierHotspot);
+  return 0;
+}
+
+int runCompare(const Args& args) {
+  layout::Layout original({}, 0);
+  std::string error;
+  if (!loadLayout(args, original, &error)) {
+    std::fprintf(stderr, "compare: %s\n", error.c_str());
+    return 2;
+  }
+  original.clearFills();
+  const std::string suite = args.getOr("suite", "s");
+  const geom::Coord window = args.getIntOr("window", 1200);
+  const layout::DesignRules rules = rulesFrom(args);
+  const contest::Evaluator evaluator(window, contest::scoreTableFor(suite),
+                                     rules);
+
+  std::vector<contest::ResultRow> rows;
+  auto runOne = [&](const std::string& team, auto&& fillFn) {
+    layout::Layout chip = original;
+    Timer timer;
+    fillFn(chip);
+    contest::ResultRow row;
+    row.design = suite;
+    row.team = team;
+    row.runtimeSeconds = timer.elapsedSeconds();
+    row.memoryMiB = peakMemoryMiB();
+    row.raw = evaluator.measure(chip);
+    row.scores = evaluator.score(row.raw, row.runtimeSeconds, row.memoryMiB);
+    rows.push_back(row);
+  };
+
+  runOne("tile-lp", [&](layout::Layout& chip) {
+    baselines::TileLpFiller::Options o;
+    o.windowSize = window;
+    o.rules = rules;
+    baselines::TileLpFiller(o).fill(chip);
+  });
+  runOne("monte-carlo", [&](layout::Layout& chip) {
+    baselines::MonteCarloFiller::Options o;
+    o.windowSize = window;
+    o.rules = rules;
+    baselines::MonteCarloFiller(o).fill(chip);
+  });
+  runOne("greedy", [&](layout::Layout& chip) {
+    baselines::GreedyFiller::Options o;
+    o.windowSize = window;
+    o.rules = rules;
+    baselines::GreedyFiller(o).fill(chip);
+  });
+  runOne("ours", [&](layout::Layout& chip) {
+    fill::FillEngineOptions o;
+    o.windowSize = window;
+    o.rules = rules;
+    fill::FillEngine(o).run(chip);
+  });
+
+  contest::printTable3(rows);
+  if (const auto json = args.get("json"); json.has_value() && !json->empty()) {
+    if (!contest::writeJson(rows, *json)) {
+      std::fprintf(stderr, "compare: cannot write %s\n", json->c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace ofl::cli

@@ -1,0 +1,32 @@
+// openfill CLI subcommands, exposed as functions so tests can drive them
+// without spawning processes.
+//
+//   openfill generate --suite s --out wires.gds
+//   openfill fill     --in wires.gds --out filled.gds [engine options]
+//   openfill evaluate --in filled.gds --suite s [--runtime S] [--json]
+//   openfill drc      --in filled.gds [rule options]
+//   openfill stats    --in layout.gds
+#pragma once
+
+#include <string>
+
+#include "cli/args.hpp"
+
+namespace ofl::cli {
+
+/// Dispatches to the subcommand named by the first positional argument.
+/// Returns a process exit code; all output goes to stdout/stderr.
+int run(const Args& args);
+
+int runGenerate(const Args& args);
+int runFill(const Args& args);
+int runEvaluate(const Args& args);
+int runDrc(const Args& args);
+int runStats(const Args& args);
+int runHeatmap(const Args& args);
+int runCompare(const Args& args);
+
+/// Usage text.
+std::string usage();
+
+}  // namespace ofl::cli

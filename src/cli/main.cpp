@@ -1,0 +1,6 @@
+// openfill — command-line front end of the OpenFill library.
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return ofl::cli::run(ofl::cli::Args::parse(argc, argv));
+}

@@ -1,0 +1,37 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace ofl {
+namespace {
+
+LogLevel g_level = LogLevel::kInfo;
+
+void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[%s] ", tag);
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+
+#define OFL_DEFINE_LOG(fn, level, tag)      \
+  void fn(const char* fmt, ...) {           \
+    va_list args;                           \
+    va_start(args, fmt);                    \
+    vlog(level, tag, fmt, args);            \
+    va_end(args);                           \
+  }
+
+OFL_DEFINE_LOG(logDebug, LogLevel::kDebug, "debug")
+OFL_DEFINE_LOG(logInfo, LogLevel::kInfo, "info")
+OFL_DEFINE_LOG(logWarn, LogLevel::kWarn, "warn")
+OFL_DEFINE_LOG(logError, LogLevel::kError, "error")
+
+#undef OFL_DEFINE_LOG
+
+}  // namespace ofl

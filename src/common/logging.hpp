@@ -1,0 +1,46 @@
+// Lightweight leveled logger for the OpenFill library.
+//
+// All library components log through this interface so that applications can
+// raise/lower verbosity globally (e.g. benches run at Warn to keep output
+// clean while examples run at Info).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace ofl {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kSilent = 4,
+};
+
+/// Global log threshold; messages below it are dropped.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+/// printf-style logging. Thread-compatible (not thread-safe by design: the
+/// library itself is single-threaded, matching the paper's implementation).
+void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+void logError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// RAII guard that silences (or changes) the log level within a scope.
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : saved_(logLevel()) {
+    setLogLevel(level);
+  }
+  ~ScopedLogLevel() { setLogLevel(saved_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel saved_;
+};
+
+}  // namespace ofl

@@ -1,0 +1,34 @@
+#include "common/memory_usage.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ofl {
+namespace {
+
+// Reads a "Vm...: <n> kB" field from /proc/self/status.
+double readStatusFieldMiB(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0.0;
+  char line[256];
+  double result = 0.0;
+  const std::size_t keyLen = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, keyLen) == 0) {
+      long kb = 0;
+      if (std::sscanf(line + keyLen, ": %ld kB", &kb) == 1) {
+        result = static_cast<double>(kb) / 1024.0;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return result;
+}
+
+}  // namespace
+
+double peakMemoryMiB() { return readStatusFieldMiB("VmHWM"); }
+double currentMemoryMiB() { return readStatusFieldMiB("VmRSS"); }
+
+}  // namespace ofl

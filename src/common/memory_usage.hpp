@@ -1,0 +1,15 @@
+// Peak-RSS probing for the contest memory score (Table 2/3: Memory*).
+#pragma once
+
+#include <cstdint>
+
+namespace ofl {
+
+/// Peak resident set size of this process in MiB, read from
+/// /proc/self/status (VmHWM). Returns 0 if the probe fails.
+double peakMemoryMiB();
+
+/// Current resident set size in MiB (VmRSS). Returns 0 if the probe fails.
+double currentMemoryMiB();
+
+}  // namespace ofl

@@ -1,0 +1,33 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <vector>
+
+namespace ofl {
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniformReal(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+std::size_t Rng::weightedIndex(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  std::discrete_distribution<std::size_t> dist(weights.begin(), weights.end());
+  return dist(engine_);
+}
+
+}  // namespace ofl

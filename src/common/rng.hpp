@@ -1,0 +1,38 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (benchmark generator, Monte-Carlo baseline,
+// property tests) takes an explicit Rng so runs are reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace ofl {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniformReal(double lo, double hi);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Normal variate.
+  double normal(double mean, double stddev);
+
+  /// Pick an index in [0, weights.size()) proportional to weights.
+  std::size_t weightedIndex(const std::vector<double>& weights);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace ofl

@@ -1,0 +1,5 @@
+#include "common/timer.hpp"
+
+// Header-only in practice; this TU exists so the target has a stable archive
+// member and to host any future platform-specific timing code.
+namespace ofl {}

@@ -1,0 +1,170 @@
+#include "contest/benchmark_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ofl::contest {
+namespace {
+
+// Smooth utilization field: coarse random control grid, bilinear sampling.
+class UtilizationField {
+ public:
+  UtilizationField(const geom::Rect& die, double base, Rng& rng)
+      : die_(die) {
+    values_.resize(static_cast<std::size_t>(kGrid) * kGrid);
+    for (double& v : values_) {
+      // Log-normal-ish spread around the base keeps a few naturally hot
+      // and cold cells.
+      v = std::clamp(base * std::exp(rng.normal(0.0, 0.5)), 0.02, 0.9);
+    }
+  }
+
+  double at(geom::Coord x, geom::Coord y) const {
+    const double fx = std::clamp(
+        static_cast<double>(x - die_.xl) / die_.width() * (kGrid - 1), 0.0,
+        static_cast<double>(kGrid - 1));
+    const double fy = std::clamp(
+        static_cast<double>(y - die_.yl) / die_.height() * (kGrid - 1), 0.0,
+        static_cast<double>(kGrid - 1));
+    const int ix = std::min(static_cast<int>(fx), kGrid - 2);
+    const int iy = std::min(static_cast<int>(fy), kGrid - 2);
+    const double tx = fx - ix;
+    const double ty = fy - iy;
+    auto v = [this](int gx, int gy) {
+      return values_[static_cast<std::size_t>(gy) * kGrid + gx];
+    };
+    return (1 - tx) * (1 - ty) * v(ix, iy) + tx * (1 - ty) * v(ix + 1, iy) +
+           (1 - tx) * ty * v(ix, iy + 1) + tx * ty * v(ix + 1, iy + 1);
+  }
+
+ private:
+  static constexpr int kGrid = 9;
+  geom::Rect die_;
+  std::vector<double> values_;
+};
+
+}  // namespace
+
+BenchmarkSpec BenchmarkGenerator::spec(const std::string& suite) {
+  BenchmarkSpec s;
+  s.name = suite;
+  s.rules.minWidth = 10;
+  s.rules.minSpacing = 10;
+  s.rules.minArea = 200;
+  s.rules.maxFillSize = 300;
+  s.windowSize = 1200;
+  if (suite == "s") {
+    s.die = {0, 0, 16 * 1200, 16 * 1200};
+    s.seed = 1001;
+    s.macroCount = 4;
+    s.channelCount = 3;
+  } else if (suite == "b") {
+    s.die = {0, 0, 28 * 1200, 28 * 1200};
+    s.seed = 2002;
+    s.macroCount = 8;
+    s.channelCount = 5;
+    s.baseUtilization = 0.4;
+  } else if (suite == "m") {
+    s.die = {0, 0, 40 * 1200, 40 * 1200};
+    s.seed = 3003;
+    s.macroCount = 12;
+    s.channelCount = 7;
+    s.baseUtilization = 0.4;
+    s.segmentUnit = 200;
+  } else {
+    s.die = {0, 0, 8 * 1200, 8 * 1200};  // tiny default for tests
+    s.seed = 7;
+    s.macroCount = 2;
+    s.channelCount = 1;
+  }
+  return s;
+}
+
+layout::Layout BenchmarkGenerator::generate(const BenchmarkSpec& spec) {
+  layout::Layout layout(spec.die, spec.numLayers);
+  Rng rng(spec.seed);
+  const UtilizationField field(spec.die, spec.baseUtilization, rng);
+
+  // Macro blocks and channels are shared across layers, which is what
+  // couples inter-layer free space (the structure Alg. 1 exploits).
+  std::vector<geom::Rect> macros;
+  for (int k = 0; k < spec.macroCount; ++k) {
+    const geom::Coord w = rng.uniformInt(2, 4) * spec.windowSize;
+    const geom::Coord h = rng.uniformInt(2, 4) * spec.windowSize;
+    const geom::Coord x =
+        rng.uniformInt(spec.die.xl, std::max(spec.die.xl, spec.die.xh - w));
+    const geom::Coord y =
+        rng.uniformInt(spec.die.yl, std::max(spec.die.yl, spec.die.yh - h));
+    macros.push_back({x, y, std::min(x + w, spec.die.xh),
+                      std::min(y + h, spec.die.yh)});
+  }
+  std::vector<geom::Rect> channels;
+  for (int k = 0; k < spec.channelCount; ++k) {
+    // Alternate horizontal / vertical channels about one window wide.
+    const geom::Coord thickness = spec.windowSize;
+    if (k % 2 == 0) {
+      const geom::Coord y = rng.uniformInt(
+          spec.die.yl, std::max(spec.die.yl, spec.die.yh - thickness));
+      channels.push_back({spec.die.xl, y, spec.die.xh, y + thickness});
+    } else {
+      const geom::Coord x = rng.uniformInt(
+          spec.die.xl, std::max(spec.die.xl, spec.die.xh - thickness));
+      channels.push_back({x, spec.die.yl, x + thickness, spec.die.yh});
+    }
+  }
+
+  auto localUtilization = [&](geom::Coord x, geom::Coord y) {
+    double u = field.at(x, y);
+    const geom::Point p{x, y};
+    for (const geom::Rect& m : macros) {
+      if (m.contains(p)) u = std::max(u, 0.85);
+    }
+    for (const geom::Rect& c : channels) {
+      if (c.contains(p)) u = std::min(u, 0.04);
+    }
+    return u;
+  };
+
+  for (int l = 0; l < spec.numLayers; ++l) {
+    const bool horizontal = (l % 2 == 0);
+    auto& wires = layout.layer(l).wires;
+    const geom::Coord alongLo = horizontal ? spec.die.xl : spec.die.yl;
+    const geom::Coord alongHi = horizontal ? spec.die.xh : spec.die.yh;
+    const geom::Coord acrossLo = horizontal ? spec.die.yl : spec.die.xl;
+    const geom::Coord acrossHi = horizontal ? spec.die.yh : spec.die.xh;
+
+    for (geom::Coord track = acrossLo + spec.trackPitch / 2;
+         track + spec.wireWidth <= acrossHi; track += spec.trackPitch) {
+      geom::Coord cursor = alongLo;
+      while (cursor < alongHi) {
+        const geom::Coord len = std::max<geom::Coord>(
+            spec.segmentUnit / 4,
+            static_cast<geom::Coord>(rng.uniformInt(spec.segmentUnit / 2,
+                                                    spec.segmentUnit * 2)));
+        const geom::Coord end = std::min(cursor + len, alongHi);
+        const geom::Coord midAlong = (cursor + end) / 2;
+        const geom::Coord x = horizontal ? midAlong : track;
+        const geom::Coord y = horizontal ? track : midAlong;
+        // Segments clipped to a sliver at the die edge would violate the
+        // min width rule; drop them.
+        if (end - cursor >= spec.rules.minWidth &&
+            rng.bernoulli(localUtilization(x, y))) {
+          if (horizontal) {
+            wires.push_back({cursor, track, end, track + spec.wireWidth});
+          } else {
+            wires.push_back({track, cursor, track + spec.wireWidth, end});
+          }
+        }
+        // Gap before the next segment keeps wires DRC-clean.
+        cursor = end + spec.rules.minSpacing +
+                 rng.uniformInt(0, spec.segmentUnit / 2);
+      }
+    }
+  }
+  return layout;
+}
+
+}  // namespace ofl::contest

@@ -1,0 +1,45 @@
+// Synthetic ICCAD 2014-style benchmark suites (DESIGN.md Section 2
+// explains the substitution for the unavailable contest GDSII designs).
+//
+// Each suite is a 3-metal-layer layout whose wire texture is deliberately
+// non-uniform: a smooth random utilization field plus dense macro blocks
+// and near-empty channels. That spatial structure is what makes variation,
+// line-hotspot and outlier metrics non-trivial — exactly the regime the
+// contest benchmarks probe. Generation is deterministic per seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "layout/design_rules.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::contest {
+
+struct BenchmarkSpec {
+  std::string name = "s";
+  geom::Rect die;
+  int numLayers = 3;
+  geom::Coord windowSize = 1200;
+  layout::DesignRules rules;
+  std::uint64_t seed = 1;
+
+  // Wiring texture.
+  geom::Coord trackPitch = 60;
+  geom::Coord wireWidth = 24;
+  geom::Coord segmentUnit = 240;   // mean wire segment length
+  double baseUtilization = 0.35;   // average keep probability
+  int macroCount = 4;              // dense blocks
+  int channelCount = 3;            // near-empty routing channels
+};
+
+class BenchmarkGenerator {
+ public:
+  /// Published specs of the scaled suites "s", "b", "m" (Table 2 analog).
+  static BenchmarkSpec spec(const std::string& suite);
+
+  /// Generates the wire layout of `spec` (no fills).
+  static layout::Layout generate(const BenchmarkSpec& spec);
+};
+
+}  // namespace ofl::contest

@@ -1,0 +1,70 @@
+// Contest evaluator: raw metrics (Section 2) and scores (Eqns. 3-4,
+// Table 2/3 schema) of a filled layout.
+#pragma once
+
+#include <vector>
+
+#include "contest/score_table.hpp"
+#include "density/density_map.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::contest {
+
+struct RawMetrics {
+  double overlay = 0.0;     // sum over layer pairs of fill-induced overlap
+  double variation = 0.0;   // sum_l sigma(l)
+  double line = 0.0;        // sum_l lh(l)
+  double outlier = 0.0;     // (sum_l sigma(l)) * (sum_l oh(l)), per Eqn. 3
+  double fileSizeMB = 0.0;  // output GDSII stream size
+  std::size_t fillCount = 0;
+  std::size_t drcViolations = 0;
+
+  std::vector<double> layerSigma;
+  std::vector<double> layerLine;
+  std::vector<double> layerOutlier;
+  std::vector<double> pairOverlay;  // overlay per adjacent layer pair
+};
+
+struct ScoreBreakdown {
+  double overlay = 0.0;
+  double variation = 0.0;
+  double line = 0.0;
+  double outlier = 0.0;
+  double size = 0.0;
+  double runtime = 0.0;
+  double memory = 0.0;
+  double quality = 0.0;  // Testcase Quality (excludes runtime/memory)
+  double total = 0.0;    // Testcase Score
+};
+
+class Evaluator {
+ public:
+  Evaluator(geom::Coord windowSize, ScoreTable table,
+            layout::DesignRules rules)
+      : windowSize_(windowSize), table_(table), rules_(rules) {}
+
+  /// Measures the layout. Overlay counts the overlap area between each
+  /// layer's shapes and its upper neighbor's shapes minus the wire-wire
+  /// overlap that existed before filling (only fill-induced coupling is
+  /// charged, Section 2.1).
+  RawMetrics measure(const layout::Layout& layout) const;
+
+  ScoreBreakdown score(const RawMetrics& raw, double runtimeSeconds,
+                       double memoryMiB) const;
+
+  /// Per-window fill-induced overlay between `lowerLayer` and the layer
+  /// above, normalized by window area (an overlay "density" heatmap —
+  /// where the coupling cost concentrates).
+  density::DensityMap overlayMap(const layout::Layout& layout,
+                                 int lowerLayer) const;
+
+  const ScoreTable& table() const { return table_; }
+
+ private:
+  geom::Coord windowSize_;
+  ScoreTable table_;
+  layout::DesignRules rules_;
+};
+
+}  // namespace ofl::contest

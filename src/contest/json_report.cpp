@@ -1,0 +1,71 @@
+#include "contest/json_report.hpp"
+
+#include <cstdio>
+
+namespace ofl::contest {
+namespace {
+
+void appendKv(std::string& out, const char* key, double value, bool last = false) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.6g%s", key, value,
+                last ? "" : ", ");
+  out += buf;
+}
+
+void appendKv(std::string& out, const char* key, const std::string& value,
+              bool last = false) {
+  out += "\"";
+  out += key;
+  out += "\": \"";
+  // Team/design names are identifiers; escape quotes/backslashes anyway.
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += last ? "\"" : "\", ";
+}
+
+}  // namespace
+
+std::string toJson(const std::vector<ResultRow>& rows) {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ResultRow& r = rows[i];
+    out += "  {";
+    appendKv(out, "design", r.design);
+    appendKv(out, "team", r.team);
+    appendKv(out, "runtime_seconds", r.runtimeSeconds);
+    appendKv(out, "memory_mib", r.memoryMiB);
+    appendKv(out, "raw_overlay", r.raw.overlay);
+    appendKv(out, "raw_variation", r.raw.variation);
+    appendKv(out, "raw_line", r.raw.line);
+    appendKv(out, "raw_outlier", r.raw.outlier);
+    appendKv(out, "raw_file_mb", r.raw.fileSizeMB);
+    appendKv(out, "fill_count", static_cast<double>(r.raw.fillCount));
+    appendKv(out, "drc_violations",
+             static_cast<double>(r.raw.drcViolations));
+    appendKv(out, "score_overlay", r.scores.overlay);
+    appendKv(out, "score_variation", r.scores.variation);
+    appendKv(out, "score_line", r.scores.line);
+    appendKv(out, "score_outlier", r.scores.outlier);
+    appendKv(out, "score_size", r.scores.size);
+    appendKv(out, "score_runtime", r.scores.runtime);
+    appendKv(out, "score_memory", r.scores.memory);
+    appendKv(out, "quality", r.scores.quality);
+    appendKv(out, "score", r.scores.total, /*last=*/true);
+    out += i + 1 < rows.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+bool writeJson(const std::vector<ResultRow>& rows, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = toJson(rows);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return written == json.size();
+}
+
+}  // namespace ofl::contest

@@ -1,0 +1,20 @@
+// JSON serialization of contest results, for plotting/regression tooling
+// around the benches (bench_table3 --json, CI tracking).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contest/report.hpp"
+
+namespace ofl::contest {
+
+/// Serializes result rows as a JSON array of objects with design, team,
+/// raw metrics and scores. Output is deterministic (fixed key order,
+/// fixed float formatting).
+std::string toJson(const std::vector<ResultRow>& rows);
+
+/// Writes toJson() to a file; returns false on IO failure.
+bool writeJson(const std::vector<ResultRow>& rows, const std::string& path);
+
+}  // namespace ofl::contest

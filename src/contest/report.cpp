@@ -1,0 +1,43 @@
+#include "contest/report.hpp"
+
+#include <cstdio>
+
+namespace ofl::contest {
+
+void printTable3(const std::vector<ResultRow>& rows) {
+  std::printf(
+      "%-4s %-12s %8s %10s %7s %8s %6s %9s %8s %9s %7s\n", "Des", "Team",
+      "Overlay*", "Variation*", "Line*", "Outlier*", "Size*", "Run-time*",
+      "Memory*", "Quality", "Score");
+  std::string lastDesign;
+  for (const ResultRow& r : rows) {
+    if (r.design != lastDesign && !lastDesign.empty()) {
+      std::printf("%s\n", std::string(100, '-').c_str());
+    }
+    lastDesign = r.design;
+    std::printf(
+        "%-4s %-12s %8.3f %10.3f %7.3f %8.3f %6.3f %9.3f %8.3f %9.3f %7.3f\n",
+        r.design.c_str(), r.team.c_str(), r.scores.overlay,
+        r.scores.variation, r.scores.line, r.scores.outlier, r.scores.size,
+        r.scores.runtime, r.scores.memory, r.scores.quality, r.scores.total);
+  }
+}
+
+void printTable2(const std::vector<SuiteStats>& stats) {
+  std::printf("%-6s %9s %4s %10s | %-42s\n", "Design", "#P", "#L",
+              "File size", "alpha/beta per score");
+  for (const SuiteStats& s : stats) {
+    std::printf("%-6s %9zu %4d %9.2fM | ", s.design.c_str(), s.polygons,
+                s.layers, s.wireFileMB);
+    std::printf(
+        "ov %.2f/%.3g var %.2f/%.3g line %.2f/%.3g out %.2f/%.3g "
+        "size %.2f/%.3g rt %.2f/%.3g mem %.2f/%.3g\n",
+        s.table.overlay.alpha, s.table.overlay.beta, s.table.variation.alpha,
+        s.table.variation.beta, s.table.line.alpha, s.table.line.beta,
+        s.table.outlier.alpha, s.table.outlier.beta, s.table.size.alpha,
+        s.table.size.beta, s.table.runtime.alpha, s.table.runtime.beta,
+        s.table.memory.alpha, s.table.memory.beta);
+  }
+}
+
+}  // namespace ofl::contest

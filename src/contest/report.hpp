@@ -1,0 +1,34 @@
+// Table-style reporting helpers for the bench harnesses (Table 2 / Table 3
+// layouts of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contest/evaluator.hpp"
+
+namespace ofl::contest {
+
+struct ResultRow {
+  std::string design;
+  std::string team;   // filler name ("ours", "tile-lp", ...)
+  ScoreBreakdown scores;
+  RawMetrics raw;
+  double runtimeSeconds = 0.0;
+  double memoryMiB = 0.0;
+};
+
+/// Prints the Table 3 grid (one block per design, one row per team).
+void printTable3(const std::vector<ResultRow>& rows);
+
+/// Prints a Table 2-style statistics block for one generated suite.
+struct SuiteStats {
+  std::string design;
+  std::size_t polygons = 0;
+  int layers = 0;
+  double wireFileMB = 0.0;
+  ScoreTable table;
+};
+void printTable2(const std::vector<SuiteStats>& stats);
+
+}  // namespace ofl::contest

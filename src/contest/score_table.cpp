@@ -1,0 +1,51 @@
+#include "contest/score_table.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ofl::contest {
+
+double ScoreCoefficients::score(double raw) const {
+  if (beta <= 0.0) return 0.0;
+  return std::max(0.0, 1.0 - raw / beta);
+}
+
+ScoreTable scoreTableFor(const std::string& suite) {
+  // Beta calibration mirrors how the contest set its own (from reference
+  // solutions on each design): chosen so a competent filler scores in the
+  // 0.3..0.95 band per metric on our scaled suites. Alphas are Table 2's.
+  ScoreTable t;
+  if (suite == "s") {
+    t.overlay = {0.2, 95.0e6};    // DBU^2 of fill-induced overlay
+    t.variation = {0.2, 0.077};   // paper Table 2's beta for design s
+    t.line = {0.2, 11.758};       // paper Table 2's beta for design s
+    t.outlier = {0.15, 0.014};    // paper Table 2's beta for design s
+    t.size = {0.05, 8.0};         // MB of output GDS
+    t.runtime = {0.15, 5.0};      // seconds
+    t.memory = {0.05, 1024.0};    // MiB
+  } else if (suite == "b") {
+    // b's die is ~3x s's area and ~3x its window count: extensive metrics
+    // (overlay, line) scale accordingly, intensive ones loosen slightly.
+    t.overlay = {0.2, 290.0e6};
+    t.variation = {0.2, 0.09};
+    t.line = {0.2, 36.0};
+    t.outlier = {0.15, 0.03};
+    t.size = {0.05, 24.0};
+    t.runtime = {0.15, 30.0};
+    t.memory = {0.05, 2048.0};
+  } else if (suite == "m") {
+    // m is ~6.25x s's area / window count.
+    t.overlay = {0.2, 590.0e6};
+    t.variation = {0.2, 0.09};
+    t.line = {0.2, 73.0};
+    t.outlier = {0.15, 0.03};
+    t.size = {0.05, 48.0};
+    t.runtime = {0.15, 90.0};
+    t.memory = {0.05, 2048.0};
+  } else {
+    assert(false && "unknown suite");
+  }
+  return t;
+}
+
+}  // namespace ofl::contest

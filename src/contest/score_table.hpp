@@ -1,0 +1,36 @@
+// ICCAD 2014 contest scoring schema (paper Table 2 / Eqns. 3-4).
+//
+// Every metric k contributes  s_k = max(0, 1 - x_k / beta_k)  weighted by
+// alpha_k. Testcase Quality sums the five solution-quality terms; Testcase
+// Score adds runtime and memory. The alpha weights follow the published
+// Table 2 (0.2/0.2/0.2/0.15/0.05/0.15/0.05); beta values are recalibrated
+// for this library's scaled benchmark suites (see EXPERIMENTS.md).
+#pragma once
+
+#include <string>
+
+namespace ofl::contest {
+
+struct ScoreCoefficients {
+  double alpha = 0.0;
+  double beta = 1.0;
+
+  /// Eqn. (4): f(x) = max(0, 1 - x / beta).
+  double score(double raw) const;
+};
+
+struct ScoreTable {
+  ScoreCoefficients overlay{0.2, 1.0};
+  ScoreCoefficients variation{0.2, 1.0};
+  ScoreCoefficients line{0.2, 1.0};
+  ScoreCoefficients outlier{0.15, 1.0};
+  ScoreCoefficients size{0.05, 1.0};
+  ScoreCoefficients runtime{0.15, 1.0};
+  ScoreCoefficients memory{0.05, 1.0};
+};
+
+/// Published coefficient tables for the three scaled suites (analogues of
+/// contest designs s, b, m). Betas are documented in EXPERIMENTS.md.
+ScoreTable scoreTableFor(const std::string& suite);
+
+}  // namespace ofl::contest

@@ -1,0 +1,53 @@
+#include "density/bounds.hpp"
+
+#include <algorithm>
+
+#include "density/density_map.hpp"
+
+namespace ofl::density {
+
+DensityBounds computeBounds(const layout::Layout& layout, int layer,
+                            const layout::WindowGrid& grid,
+                            const std::vector<geom::Region>& fillRegions,
+                            const layout::DesignRules& rules) {
+  const DensityMap wireDensity =
+      DensityMap::computeFromShapes(layout.layer(layer).wires, grid);
+
+  DensityBounds bounds;
+  const auto n = static_cast<std::size_t>(grid.windowCount());
+  bounds.lower.resize(n);
+  bounds.upper.resize(n);
+
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
+      const double wires = wireDensity.at(i, j);
+      const geom::Area windowArea = grid.windowRect(i, j).area();
+
+      // Discard region slivers a legal fill cannot occupy: any covered
+      // point must admit a minWidth x minWidth square, i.e. survive
+      // erosion by floor(minWidth/2) (conservative for odd widths).
+      geom::Area usable = 0;
+      if (windowArea > 0 && w < fillRegions.size()) {
+        const geom::Coord erode = rules.minWidth / 2;
+        const geom::Region eroded = fillRegions[w].shrunk(erode);
+        // Scale eroded area back up: erosion removes a minWidth-wide band
+        // at boundaries; approximate usable area by re-dilating the area
+        // estimate (cheap and conservative enough for a *bound*).
+        usable = eroded.empty() ? 0 : fillRegions[w].area();
+      }
+      bounds.lower[w] = wires;
+      // The upper bound respects the foundry max-density rule unless the
+      // wires alone already exceed it (the filler cannot remove wires).
+      const double cap = std::max(rules.maxDensity, wires);
+      bounds.upper[w] =
+          windowArea > 0
+              ? std::min(cap,
+                         wires + static_cast<double>(usable) / windowArea)
+              : wires;
+    }
+  }
+  return bounds;
+}
+
+}  // namespace ofl::density

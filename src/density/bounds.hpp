@@ -1,0 +1,30 @@
+// Per-window density bounds l(i,j), u(i,j) (paper Section 3.1).
+//
+// Lower bound: existing wire density (fills only add area). Upper bound:
+// wire density plus the fraction of the window covered by usable fill
+// region. "Usable" discounts slivers narrower than the min fill width,
+// which no legal fill can occupy.
+#pragma once
+
+#include <vector>
+
+#include "geometry/region.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/layout.hpp"
+#include "layout/window_grid.hpp"
+
+namespace ofl::density {
+
+struct DensityBounds {
+  std::vector<double> lower;  // l(i,j), flat-indexed
+  std::vector<double> upper;  // u(i,j)
+};
+
+/// Bounds for one layer given its per-window fill regions (from
+/// layout::computeFillRegions).
+DensityBounds computeBounds(const layout::Layout& layout, int layer,
+                            const layout::WindowGrid& grid,
+                            const std::vector<geom::Region>& fillRegions,
+                            const layout::DesignRules& rules);
+
+}  // namespace ofl::density

@@ -1,0 +1,71 @@
+#include "density/cmp_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ofl::density {
+namespace {
+
+// Normalized 1-D Gaussian taps, truncated at 3 sigma.
+std::vector<double> gaussianKernel(double sigma) {
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> taps(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int k = -radius; k <= radius; ++k) {
+    const double v = std::exp(-0.5 * (k / sigma) * (k / sigma));
+    taps[static_cast<std::size_t>(k + radius)] = v;
+    sum += v;
+  }
+  for (double& v : taps) v /= sum;
+  return taps;
+}
+
+// 1-D convolution along one axis with border clamping (the die edge sees
+// its own density continued, the usual boundary treatment for CMP models).
+DensityMap convolveAxis(const DensityMap& map, const std::vector<double>& taps,
+                        bool alongX) {
+  const int radius = static_cast<int>(taps.size() / 2);
+  std::vector<double> out(map.values().size());
+  for (int j = 0; j < map.rows(); ++j) {
+    for (int i = 0; i < map.cols(); ++i) {
+      double acc = 0.0;
+      for (int k = -radius; k <= radius; ++k) {
+        const int ii = alongX ? std::clamp(i + k, 0, map.cols() - 1) : i;
+        const int jj = alongX ? j : std::clamp(j + k, 0, map.rows() - 1);
+        acc += taps[static_cast<std::size_t>(k + radius)] * map.at(ii, jj);
+      }
+      out[static_cast<std::size_t>(j * map.cols() + i)] = acc;
+    }
+  }
+  return DensityMap(map.cols(), map.rows(), std::move(out));
+}
+
+}  // namespace
+
+DensityMap effectiveDensity(const DensityMap& map,
+                            const CmpModelOptions& options) {
+  if (map.count() == 0) return map;
+  const double sigma = std::max(options.planarizationWindows, 1e-6);
+  const std::vector<double> taps = gaussianKernel(sigma);
+  // Separable 2-D Gaussian: X pass then Y pass.
+  return convolveAxis(convolveAxis(map, taps, /*alongX=*/true), taps,
+                      /*alongX=*/false);
+}
+
+CmpSummary summarizeCmp(const DensityMap& map, const CmpModelOptions& options) {
+  CmpSummary summary;
+  if (map.count() == 0) return summary;
+  const DensityMap eff = effectiveDensity(map, options);
+  summary.minEffective = eff.values()[0];
+  summary.maxEffective = eff.values()[0];
+  for (const double v : eff.values()) {
+    summary.minEffective = std::min(summary.minEffective, v);
+    summary.maxEffective = std::max(summary.maxEffective, v);
+  }
+  summary.thicknessRangeNm =
+      options.stepHeightNm * (summary.maxEffective - summary.minEffective);
+  return summary;
+}
+
+}  // namespace ofl::density

@@ -1,0 +1,36 @@
+#include "density/density_map.hpp"
+
+#include <cassert>
+
+namespace ofl::density {
+
+DensityMap::DensityMap(int cols, int rows, std::vector<double> values)
+    : cols_(cols), rows_(rows), values_(std::move(values)) {
+  assert(values_.size() == static_cast<std::size_t>(cols_) * rows_);
+}
+
+DensityMap DensityMap::compute(const layout::Layout& layout, int layer,
+                               const layout::WindowGrid& grid) {
+  std::vector<geom::Rect> shapes = layout.layer(layer).wires;
+  const auto& fills = layout.layer(layer).fills;
+  shapes.insert(shapes.end(), fills.begin(), fills.end());
+  return computeFromShapes(shapes, grid);
+}
+
+DensityMap DensityMap::computeFromShapes(const std::vector<geom::Rect>& shapes,
+                                         const layout::WindowGrid& grid) {
+  const std::vector<geom::Area> covered = grid.coveredAreaPerWindow(shapes);
+  std::vector<double> values(covered.size(), 0.0);
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
+      const geom::Area windowArea = grid.windowRect(i, j).area();
+      values[w] = windowArea > 0
+                      ? static_cast<double>(covered[w]) / windowArea
+                      : 0.0;
+    }
+  }
+  return DensityMap(grid.cols(), grid.rows(), std::move(values));
+}
+
+}  // namespace ofl::density

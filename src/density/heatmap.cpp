@@ -1,0 +1,58 @@
+#include "density/heatmap.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ofl::density {
+
+std::string renderAscii(const DensityMap& map, const HeatmapOptions& options) {
+  if (map.count() == 0 || options.ramp.empty()) return "";
+  double lo = options.lo;
+  double hi = options.hi;
+  if (options.autoscale) {
+    lo = map.values()[0];
+    hi = map.values()[0];
+    for (const double v : map.values()) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::string out;
+  out.reserve(static_cast<std::size_t>(map.count()) + map.rows());
+  for (int j = map.rows() - 1; j >= 0; --j) {
+    for (int i = 0; i < map.cols(); ++i) {
+      const double t = std::clamp((map.at(i, j) - lo) / span, 0.0, 1.0);
+      const auto idx = std::min(
+          options.ramp.size() - 1,
+          static_cast<std::size_t>(t * static_cast<double>(options.ramp.size())));
+      out += options.ramp[idx];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string renderCsv(const DensityMap& map) {
+  std::string out;
+  char buf[48];
+  for (int j = 0; j < map.rows(); ++j) {
+    for (int i = 0; i < map.cols(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.6f%s", map.at(i, j),
+                    i + 1 < map.cols() ? "," : "\n");
+      out += buf;
+    }
+  }
+  return out;
+}
+
+bool writeCsv(const DensityMap& map, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string csv = renderCsv(map);
+  const std::size_t written = std::fwrite(csv.data(), 1, csv.size(), f);
+  std::fclose(f);
+  return written == csv.size();
+}
+
+}  // namespace ofl::density

@@ -1,0 +1,30 @@
+// DensityMap rendering: ASCII heatmaps for terminals and CSV dumps for
+// external plotting. Row 0 of the map is printed at the bottom, matching
+// layout coordinates.
+#pragma once
+
+#include <string>
+
+#include "density/density_map.hpp"
+
+namespace ofl::density {
+
+struct HeatmapOptions {
+  /// Character ramp, dark to bright. Values are scaled into [lo, hi].
+  std::string ramp = " .:-=+*#%@";
+  double lo = 0.0;
+  double hi = 1.0;
+  /// When true, [lo, hi] autoscale to the map's min/max instead.
+  bool autoscale = false;
+};
+
+/// ASCII rendering, one character per window, rows separated by newlines.
+std::string renderAscii(const DensityMap& map, const HeatmapOptions& options = {});
+
+/// CSV dump (row-major, row 0 first), one map row per line.
+std::string renderCsv(const DensityMap& map);
+
+/// Writes renderCsv to a file; false on IO failure.
+bool writeCsv(const DensityMap& map, const std::string& path);
+
+}  // namespace ofl::density

@@ -1,0 +1,57 @@
+#include "density/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofl::density {
+
+double meanDensity(const DensityMap& map) {
+  if (map.count() == 0) return 0.0;
+  double sum = 0.0;
+  for (double v : map.values()) sum += v;
+  return sum / map.count();
+}
+
+double variation(const DensityMap& map) {
+  if (map.count() == 0) return 0.0;
+  const double mean = meanDensity(map);
+  double ss = 0.0;
+  for (double v : map.values()) ss += (v - mean) * (v - mean);
+  return std::sqrt(ss / map.count());
+}
+
+double lineHotspots(const DensityMap& map) {
+  // Eqn. 1: deviation of each window from its column's mean, summed.
+  double total = 0.0;
+  for (int i = 0; i < map.cols(); ++i) {
+    double columnSum = 0.0;
+    for (int j = 0; j < map.rows(); ++j) columnSum += map.at(i, j);
+    const double columnMean = map.rows() > 0 ? columnSum / map.rows() : 0.0;
+    for (int j = 0; j < map.rows(); ++j) {
+      total += std::abs(map.at(i, j) - columnMean);
+    }
+  }
+  return total;
+}
+
+double outlierHotspots(const DensityMap& map) {
+  // Eqn. 2: only deviation beyond the 3-sigma band counts.
+  const double mean = meanDensity(map);
+  const double sigma = variation(map);
+  double total = 0.0;
+  for (double v : map.values()) {
+    total += std::max(0.0, std::abs(v - mean) - 3.0 * sigma);
+  }
+  return total;
+}
+
+DensityMetrics computeMetrics(const DensityMap& map) {
+  DensityMetrics m;
+  m.mean = meanDensity(map);
+  m.sigma = variation(map);
+  m.lineHotspot = lineHotspots(map);
+  m.outlierHotspot = outlierHotspots(map);
+  return m;
+}
+
+}  // namespace ofl::density

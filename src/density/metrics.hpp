@@ -1,0 +1,26 @@
+// Density distribution metrics (paper Section 2.2, Eqns. 1-2):
+//   variation      sigma = population std-dev of window densities
+//   line hotspots  lh = sum_i sum_j |d(i,j) - columnMean_i|     (Eqn. 1)
+//   outlier hotspots oh = sum max(0, |d(i,j) - mean| - 3 sigma) (Eqn. 2)
+#pragma once
+
+#include "density/density_map.hpp"
+
+namespace ofl::density {
+
+struct DensityMetrics {
+  double mean = 0.0;
+  double sigma = 0.0;     // variation
+  double lineHotspot = 0.0;
+  double outlierHotspot = 0.0;
+};
+
+double meanDensity(const DensityMap& map);
+double variation(const DensityMap& map);
+double lineHotspots(const DensityMap& map);
+double outlierHotspots(const DensityMap& map);
+
+/// All four in one pass over the map.
+DensityMetrics computeMetrics(const DensityMap& map);
+
+}  // namespace ofl::density

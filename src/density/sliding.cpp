@@ -1,0 +1,78 @@
+#include "density/sliding.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ofl::density {
+
+DensityMap computeSlidingDensity(const std::vector<geom::Rect>& shapes,
+                                 const geom::Rect& die,
+                                 const SlidingDensityOptions& options) {
+  const int r = std::max(options.steps, 1);
+  const geom::Coord stride = std::max<geom::Coord>(options.windowSize / r, 1);
+
+  // Fine tiles at the stride pitch; prefix sums of their covered areas.
+  const layout::WindowGrid tiles(die, stride);
+  const std::vector<geom::Area> tileArea = tiles.coveredAreaPerWindow(shapes);
+  const int tc = tiles.cols();
+  const int tr = tiles.rows();
+  // prefix[(j)(tc+1) + i] = sum of tiles with col < i, row < j.
+  std::vector<geom::Area> prefix(
+      static_cast<std::size_t>(tc + 1) * (tr + 1), 0);
+  for (int j = 0; j < tr; ++j) {
+    for (int i = 0; i < tc; ++i) {
+      prefix[static_cast<std::size_t>(j + 1) * (tc + 1) + (i + 1)] =
+          tileArea[static_cast<std::size_t>(tiles.flatIndex(i, j))] +
+          prefix[static_cast<std::size_t>(j) * (tc + 1) + (i + 1)] +
+          prefix[static_cast<std::size_t>(j + 1) * (tc + 1) + i] -
+          prefix[static_cast<std::size_t>(j) * (tc + 1) + i];
+    }
+  }
+  auto blockArea = [&prefix, tc](int i0, int j0, int i1, int j1) {
+    // Sum of tiles [i0, i1) x [j0, j1).
+    return prefix[static_cast<std::size_t>(j1) * (tc + 1) + i1] -
+           prefix[static_cast<std::size_t>(j0) * (tc + 1) + i1] -
+           prefix[static_cast<std::size_t>(j1) * (tc + 1) + i0] +
+           prefix[static_cast<std::size_t>(j0) * (tc + 1) + i0];
+  };
+
+  // Window positions: anchored every stride, spanning r tiles (clipped at
+  // the die edge).
+  const int cols = std::max(tc - r + 1, 1);
+  const int rows = std::max(tr - r + 1, 1);
+  std::vector<double> values(static_cast<std::size_t>(cols) * rows);
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      const int i1 = std::min(i + r, tc);
+      const int j1 = std::min(j + r, tr);
+      const geom::Coord xl = die.xl + i * stride;
+      const geom::Coord yl = die.yl + j * stride;
+      const geom::Rect window{xl, yl,
+                              std::min(xl + options.windowSize, die.xh),
+                              std::min(yl + options.windowSize, die.yh)};
+      const geom::Area area = window.area();
+      values[static_cast<std::size_t>(j) * cols + i] =
+          area > 0 ? static_cast<double>(blockArea(i, j, i1, j1)) /
+                         static_cast<double>(area)
+                   : 0.0;
+    }
+  }
+  return DensityMap(cols, rows, std::move(values));
+}
+
+SlidingExtrema slidingExtrema(const std::vector<geom::Rect>& shapes,
+                              const geom::Rect& die,
+                              const SlidingDensityOptions& options) {
+  const DensityMap map = computeSlidingDensity(shapes, die, options);
+  SlidingExtrema extrema;
+  if (map.values().empty()) return extrema;
+  extrema.minDensity = map.values()[0];
+  extrema.maxDensity = map.values()[0];
+  for (double v : map.values()) {
+    extrema.minDensity = std::min(extrema.minDensity, v);
+    extrema.maxDensity = std::max(extrema.maxDensity, v);
+  }
+  return extrema;
+}
+
+}  // namespace ofl::density

@@ -1,0 +1,273 @@
+#include "fill/candidate_generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+
+#include "geometry/decompose.hpp"
+
+namespace ofl::fill {
+namespace {
+
+// Tiles [lo, hi) with cells of exactly `size` at pitch size+gap; the
+// remainder past the last full cell is dropped.
+std::vector<geom::Interval> splitSpanFixed(geom::Coord lo, geom::Coord hi,
+                                           geom::Coord size, geom::Coord gap) {
+  std::vector<geom::Interval> out;
+  for (geom::Coord cursor = lo; cursor + size <= hi; cursor += size + gap) {
+    out.push_back({cursor, cursor + size});
+  }
+  return out;
+}
+
+// Splits [lo, hi) into equal cells no wider than maxSize with `gap` between
+// them; returns cell intervals. Cells narrower than minSize are dropped.
+std::vector<geom::Interval> splitSpan(geom::Coord lo, geom::Coord hi,
+                                      geom::Coord maxSize, geom::Coord gap,
+                                      geom::Coord minSize) {
+  std::vector<geom::Interval> out;
+  const geom::Coord span = hi - lo;
+  if (span < minSize) return out;
+  const auto k = static_cast<geom::Coord>(
+      (span + gap + maxSize) / (maxSize + gap));  // ceil(span+gap / max+gap)
+  const geom::Coord cells = std::max<geom::Coord>(k, 1);
+  const geom::Coord cellSize = (span - (cells - 1) * gap) / cells;
+  if (cellSize < minSize) {
+    // Fall back to one cell covering what it can.
+    if (span >= minSize) out.push_back({lo, std::min(hi, lo + maxSize)});
+    return out;
+  }
+  geom::Coord cursor = lo;
+  for (geom::Coord c = 0; c < cells; ++c) {
+    out.push_back({cursor, cursor + cellSize});
+    cursor += cellSize + gap;
+  }
+  return out;
+}
+
+// Total overlap of `rect` with shapes, brute force with bbox reject; shape
+// lists here are window-local and small.
+geom::Area overlapWith(const geom::Rect& rect,
+                       const std::vector<geom::Rect>& shapes) {
+  geom::Area total = 0;
+  for (const geom::Rect& s : shapes) total += rect.overlapArea(s);
+  return total;
+}
+
+}  // namespace
+
+geom::Coord CandidateGenerator::gutter() const {
+  geom::Coord g = rules_.minSpacing;
+  if (options_.lithoAvoid.has_value() && g >= options_.lithoAvoid->forbiddenLo &&
+      g < options_.lithoAvoid->forbiddenHi) {
+    g = options_.lithoAvoid->forbiddenHi;
+  }
+  return g;
+}
+
+std::vector<geom::Rect> CandidateGenerator::sliceRegion(
+    const geom::Region& region) const {
+  return sliceRegion(region, rules_.maxFillSize);
+}
+
+std::vector<geom::Rect> CandidateGenerator::sliceRegion(
+    const geom::Region& region, geom::Coord maxSize) const {
+  std::vector<geom::Rect> candidates;
+  const geom::Coord gap = gutter();
+  const geom::Coord inset = (gap + 1) / 2;
+  // Merge decomposed slabs vertically first: taller source rects yield
+  // larger (fewer) candidates, which directly helps the file-size score.
+  std::vector<geom::Rect> sources = geom::mergeVertical(region.rects());
+  for (const geom::Rect& src : sources) {
+    const geom::Rect r = src.expanded(-inset);
+    if (r.empty() || r.width() < rules_.minWidth ||
+        r.height() < rules_.minWidth) {
+      continue;
+    }
+    const auto xs = options_.uniformCells
+                        ? splitSpanFixed(r.xl, r.xh, maxSize, gap)
+                        : splitSpan(r.xl, r.xh, maxSize, gap, rules_.minWidth);
+    const auto ys = options_.uniformCells
+                        ? splitSpanFixed(r.yl, r.yh, maxSize, gap)
+                        : splitSpan(r.yl, r.yh, maxSize, gap, rules_.minWidth);
+    for (const geom::Interval& ix : xs) {
+      for (const geom::Interval& iy : ys) {
+        const geom::Rect cell{ix.lo, iy.lo, ix.hi, iy.hi};
+        if (rules_.shapeOk(cell)) candidates.push_back(cell);
+      }
+    }
+  }
+  return candidates;
+}
+
+void CandidateGenerator::generate(WindowProblem& problem) const {
+  const int numLayers = static_cast<int>(problem.fillRegions.size());
+  const auto windowArea = static_cast<double>(problem.window.area());
+  problem.fills.assign(static_cast<std::size_t>(numLayers), {});
+  if (windowArea <= 0) return;
+
+  // Neighboring-layer shapes seen by the quality score: wires always,
+  // candidates once chosen.
+  auto neighborShapes = [&problem, numLayers](int layer) {
+    std::vector<geom::Rect> shapes;
+    for (int nb : {layer - 1, layer + 1}) {
+      if (nb < 0 || nb >= numLayers) continue;
+      const auto& w = problem.wires[static_cast<std::size_t>(nb)];
+      const auto& f = problem.fills[static_cast<std::size_t>(nb)];
+      shapes.insert(shapes.end(), w.begin(), w.end());
+      shapes.insert(shapes.end(), f.begin(), f.end());
+    }
+    return shapes;
+  };
+
+  // Selection for area-ranked (odd) layers walks the ranked list
+  // round-robin over a 3x3 spatial sub-grid of the window: best candidate
+  // of each sub-cell first. Pure rank order would cluster fills in the
+  // most open part of the window, which looks uniform at the fixed
+  // dissection but shows up as spread in the multi-window (sliding)
+  // analysis. Quality-ranked (even) layers take candidates in pure q
+  // order: their ranking already encodes the overlay cost, which
+  // dominates intra-window placement (Eqn. 8).
+  auto takeSpatial = [&](int layer, std::vector<geom::Rect> ranked) {
+    const double need =
+        (options_.lambda * problem.targetDensity[static_cast<std::size_t>(layer)] -
+         problem.wireDensity[static_cast<std::size_t>(layer)]) *
+        windowArea;
+    auto& out = problem.fills[static_cast<std::size_t>(layer)];
+    constexpr int kGrid = 3;
+    std::array<std::vector<std::size_t>, kGrid * kGrid> buckets;
+    for (std::size_t c = 0; c < ranked.size(); ++c) {
+      const geom::Coord cx = (ranked[c].xl + ranked[c].xh) / 2;
+      const geom::Coord cy = (ranked[c].yl + ranked[c].yh) / 2;
+      const auto bi = std::min<geom::Coord>(
+          kGrid - 1, (cx - problem.window.xl) * kGrid /
+                         std::max<geom::Coord>(problem.window.width(), 1));
+      const auto bj = std::min<geom::Coord>(
+          kGrid - 1, (cy - problem.window.yl) * kGrid /
+                         std::max<geom::Coord>(problem.window.height(), 1));
+      buckets[static_cast<std::size_t>(bj * kGrid + bi)].push_back(c);
+    }
+    std::array<std::size_t, kGrid * kGrid> cursor{};
+    double got = 0.0;
+    bool any = true;
+    while (got < need && any) {
+      any = false;
+      for (std::size_t b = 0; b < buckets.size() && got < need; ++b) {
+        if (cursor[b] >= buckets[b].size()) continue;
+        const geom::Rect& c = ranked[buckets[b][cursor[b]++]];
+        out.push_back(c);
+        got += static_cast<double>(c.area());
+        any = true;
+      }
+    }
+  };
+
+  auto takeRanked = [&](int layer, const std::vector<geom::Rect>& ranked) {
+    const double need =
+        (options_.lambda * problem.targetDensity[static_cast<std::size_t>(layer)] -
+         problem.wireDensity[static_cast<std::size_t>(layer)]) *
+        windowArea;
+    auto& out = problem.fills[static_cast<std::size_t>(layer)];
+    double got = 0.0;
+    for (const geom::Rect& c : ranked) {
+      if (got >= need) break;
+      out.push_back(c);
+      got += static_cast<double>(c.area());
+    }
+  };
+
+  // --- Odd layers first (Alg. 1 lines 9-19; paper's 1-indexed odd layers
+  // are our even indices 0, 2, ...). ---
+  for (int l = 0; l < numLayers; l += 2) {
+    const auto& fr = problem.fillRegions[static_cast<std::size_t>(l)];
+    std::vector<geom::Rect> ranked;
+    if (l + 1 < numLayers) {
+      const geom::Region shared =
+          fr.intersect(problem.fillRegions[static_cast<std::size_t>(l + 1)]);
+      const double dgSum =
+          std::max(0.0, problem.targetDensity[static_cast<std::size_t>(l)] -
+                            problem.wireDensity[static_cast<std::size_t>(l)]) +
+          std::max(0.0,
+                   problem.targetDensity[static_cast<std::size_t>(l + 1)] -
+                       problem.wireDensity[static_cast<std::size_t>(l + 1)]);
+      if (static_cast<double>(shared.area()) >= dgSum * windowArea) {
+        // Case I (Fig. 4): both layers fit inside the shared free space;
+        // restrict this layer's candidates to it so the even pass can
+        // dodge them for zero fill-to-fill overlay.
+        ranked = sliceRegion(shared);
+      }
+    }
+    if (ranked.empty()) {
+      // Case II (Fig. 5) or topmost layer: use the whole fill region,
+      // biggest candidates first (Alg. 1 line 16).
+      ranked = sliceRegion(fr);
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const geom::Rect& a, const geom::Rect& b) {
+                if (a.area() != b.area()) return a.area() > b.area();
+                return geom::RectYXLess{}(a, b);
+              });
+    takeSpatial(l, std::move(ranked));
+  }
+
+  // --- Even layers by quality score (Alg. 1 lines 20-24). ---
+  for (int l = 1; l < numLayers; l += 2) {
+    const auto& fr = problem.fillRegions[static_cast<std::size_t>(l)];
+    std::vector<geom::Rect> candidates = sliceRegion(fr);
+    const std::vector<geom::Rect> neighbors = neighborShapes(l);
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const auto area = static_cast<double>(candidates[c].area());
+      const auto overlay =
+          static_cast<double>(overlapWith(candidates[c], neighbors));
+      const double q =
+          -overlay / area + options_.gamma * area / windowArea;  // Eqn. (8)
+      scored.push_back({q, c});
+    }
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    std::vector<geom::Rect> ranked;
+    ranked.reserve(scored.size());
+    for (const auto& [q, c] : scored) ranked.push_back(candidates[c]);
+    takeRanked(l, std::move(ranked));
+  }
+
+  // Hierarchical refinement: a window whose big-cell candidates fall short
+  // of lambda * target gets a small-cell backfill in the remaining free
+  // space. Deficits here would otherwise cap the second planning round's
+  // upper bound and drag the whole layer's achievable uniformity down.
+  const geom::Coord smallSize =
+      std::max<geom::Coord>(3 * rules_.minWidth, rules_.maxFillSize / 8);
+  for (int l = 0; l < numLayers; ++l) {
+    auto& chosen = problem.fills[static_cast<std::size_t>(l)];
+    double got = 0.0;
+    for (const geom::Rect& f : chosen) got += static_cast<double>(f.area());
+    const double need =
+        (options_.lambda * problem.targetDensity[static_cast<std::size_t>(l)] -
+         problem.wireDensity[static_cast<std::size_t>(l)]) *
+        windowArea;
+    if (got >= need) continue;
+    std::vector<geom::Rect> blockers;
+    blockers.reserve(chosen.size());
+    for (const geom::Rect& f : chosen) {
+      blockers.push_back(f.expanded(rules_.minSpacing));
+    }
+    const geom::Region leftover =
+        problem.fillRegions[static_cast<std::size_t>(l)].subtract(
+            geom::Region(blockers));
+    std::vector<geom::Rect> cells = sliceRegion(leftover, smallSize);
+    std::sort(cells.begin(), cells.end(),
+              [](const geom::Rect& a, const geom::Rect& b) {
+                if (a.area() != b.area()) return a.area() > b.area();
+                return geom::RectYXLess{}(a, b);
+              });
+    for (const geom::Rect& c : cells) {
+      if (got >= need) break;
+      chosen.push_back(c);
+      got += static_cast<double>(c.area());
+    }
+  }
+}
+
+}  // namespace ofl::fill

@@ -1,0 +1,78 @@
+// Candidate fill generation (paper Section 3.2, Alg. 1).
+//
+// Works window-by-window. Odd layers are filled first: when the free-space
+// intersection with the layer above is large enough (Case I, Fig. 4), odd-
+// layer candidates come from that shared region so the subsequent even-
+// layer pass can avoid them entirely (zero fill-to-fill overlay);
+// otherwise (Case II, Fig. 5) candidates are ranked by area. Even layers
+// rank candidates by the quality score
+//     q = -overlay/area + gamma * area/windowArea          (Eqn. 8)
+// against wires and the already-chosen odd-layer candidates. Each layer
+// takes candidates until density reaches lambda * target (lambda >= 1).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "geometry/region.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/litho.hpp"
+
+namespace ofl::fill {
+
+/// All per-window state the fill stages operate on. Built by FillEngine,
+/// filled in by CandidateGenerator, resized in place by FillSizer.
+struct WindowProblem {
+  geom::Rect window;
+  // Indexed by layer:
+  std::vector<geom::Region> fillRegions;          // free space
+  std::vector<std::vector<geom::Rect>> wires;     // clipped to window
+  std::vector<double> wireDensity;                // dw(l)
+  std::vector<double> targetDensity;              // dt(l)
+  std::vector<std::vector<geom::Rect>> fills;     // candidates -> final
+};
+
+class CandidateGenerator {
+ public:
+  struct Options {
+    double lambda = 1.15;  // over-generation factor (Alg. 1, lambda >= 1)
+    double gamma = 1.0;    // area reward weight in Eqn. (8)
+    /// Lithography extension (paper future work): when set, slicing
+    /// gutters that would land in the forbidden-pitch band are widened
+    /// past it, so candidate fills never face each other at a
+    /// litho-hostile gap. Best-effort: gaps across distinct free-space
+    /// fragments follow the existing geometry.
+    std::optional<layout::LithoRules> lithoAvoid;
+    /// Industrial "fill cell" mode: slice free space into FIXED
+    /// maxFillSize x maxFillSize cells (dropping remainders) instead of
+    /// equal span divisions. Cells then repeat exactly, so hierarchical
+    /// output (layout::toCompactGds) collapses them into AREF arrays —
+    /// trading some achievable density for much smaller files.
+    bool uniformCells = false;
+  };
+
+  /// The slicing gutter after litho adjustment (minSpacing, widened out of
+  /// the forbidden band when lithoAvoid is set).
+  geom::Coord gutter() const;
+
+  CandidateGenerator(layout::DesignRules rules, Options options)
+      : rules_(rules), options_(options) {}
+
+  /// Populates problem.fills for every layer.
+  void generate(WindowProblem& problem) const;
+
+  /// Slices a free-space region into DRC-clean candidate rects: each
+  /// decomposed sub-rect is inset by minSpacing/2 (so candidates from
+  /// different sub-rects keep their distance) and gridded into cells of at
+  /// most maxFillSize (or `maxSize` when given) with minSpacing gutters.
+  /// Exposed for tests.
+  std::vector<geom::Rect> sliceRegion(const geom::Region& region) const;
+  std::vector<geom::Rect> sliceRegion(const geom::Region& region,
+                                      geom::Coord maxSize) const;
+
+ private:
+  layout::DesignRules rules_;
+  Options options_;
+};
+
+}  // namespace ofl::fill

@@ -1,0 +1,251 @@
+#include "fill/fill_engine.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "density/density_map.hpp"
+#include "layout/fill_region.hpp"
+
+namespace ofl::fill {
+
+FillReport FillEngine::run(layout::Layout& layout) const {
+  FillReport report;
+  Timer total;
+  layout.clearFills();
+
+  const int numLayers = layout.numLayers();
+  const layout::WindowGrid grid(layout.die(), options_.windowSize);
+  const auto numWindows = static_cast<std::size_t>(grid.windowCount());
+
+  // --- Stage 0: fill regions, wire buckets, wire densities ---
+  Timer stage;
+  std::vector<std::vector<geom::Region>> fillRegions;   // [layer][window]
+  std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets;
+  std::vector<density::DensityMap> wireDensity;
+  fillRegions.reserve(static_cast<std::size_t>(numLayers));
+  wireBuckets.reserve(static_cast<std::size_t>(numLayers));
+  wireDensity.reserve(static_cast<std::size_t>(numLayers));
+  for (int l = 0; l < numLayers; ++l) {
+    fillRegions.push_back(
+        layout::computeFillRegions(layout, l, grid, options_.rules));
+    wireBuckets.push_back(grid.bucketClipped(layout.layer(l).wires));
+    wireDensity.push_back(
+        density::DensityMap::computeFromShapes(layout.layer(l).wires, grid));
+  }
+
+  // --- Stage 1: density planning on the geometric bounds (Section 3.1) ---
+  std::vector<density::DensityBounds> bounds;
+  bounds.reserve(static_cast<std::size_t>(numLayers));
+  for (int l = 0; l < numLayers; ++l) {
+    bounds.push_back(density::computeBounds(
+        layout, l, grid, fillRegions[static_cast<std::size_t>(l)],
+        options_.rules));
+  }
+  const TargetDensityPlanner planner(options_.plannerWeights);
+  TargetPlan plan = planner.plan(bounds, grid.cols(), grid.rows());
+  report.planningSeconds += stage.elapsedSeconds();
+
+  // --- Stage 2: per-window candidate generation (Section 3.2) ---
+  stage.reset();
+  std::vector<WindowProblem> problems(numWindows);
+  const CandidateGenerator generator(options_.rules, options_.candidate);
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
+      WindowProblem& p = problems[w];
+      p.window = grid.windowRect(i, j);
+      p.fillRegions.reserve(static_cast<std::size_t>(numLayers));
+      p.wires.reserve(static_cast<std::size_t>(numLayers));
+      for (int l = 0; l < numLayers; ++l) {
+        p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
+        p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+        p.wireDensity.push_back(wireDensity[static_cast<std::size_t>(l)].at(i, j));
+        p.targetDensity.push_back(
+            plan.windowTarget[static_cast<std::size_t>(l)][w]);
+      }
+      generator.generate(p);
+      for (const auto& layerFills : p.fills) {
+        report.candidateCount += layerFills.size();
+      }
+    }
+  }
+  report.candidateSeconds += stage.elapsedSeconds();
+
+  // --- Stage 3: second density planning (Fig. 3) ---
+  // Candidates cap what each window can actually reach; tighten the upper
+  // bounds to the achieved candidate density and re-plan so the sizing
+  // targets are consistent.
+  stage.reset();
+  for (int l = 0; l < numLayers; ++l) {
+    auto& upper = bounds[static_cast<std::size_t>(l)].upper;
+    for (std::size_t w = 0; w < numWindows; ++w) {
+      const WindowProblem& p = problems[w];
+      geom::Area candidateArea = 0;
+      for (const geom::Rect& f : p.fills[static_cast<std::size_t>(l)]) {
+        candidateArea += f.area();
+      }
+      const auto windowArea = static_cast<double>(p.window.area());
+      const double reachable =
+          windowArea > 0
+              ? p.wireDensity[static_cast<std::size_t>(l)] +
+                    static_cast<double>(candidateArea) / windowArea
+              : 0.0;
+      upper[w] = std::min(upper[w], reachable);
+      upper[w] = std::max(upper[w], bounds[static_cast<std::size_t>(l)].lower[w]);
+    }
+  }
+  plan = planner.plan(bounds, grid.cols(), grid.rows());
+  for (std::size_t w = 0; w < numWindows; ++w) {
+    for (int l = 0; l < numLayers; ++l) {
+      problems[w].targetDensity[static_cast<std::size_t>(l)] =
+          plan.windowTarget[static_cast<std::size_t>(l)][w];
+    }
+  }
+  report.layerTargets = plan.layerTarget;
+  report.planningSeconds += stage.elapsedSeconds();
+
+  // --- Stage 4: fill sizing (Section 3.3) ---
+  stage.reset();
+  const FillSizer sizer(options_.rules, options_.sizer);
+  for (WindowProblem& p : problems) {
+    sizer.size(p, &report.sizerStats);
+  }
+  report.sizingSeconds += stage.elapsedSeconds();
+
+  // --- Output ---
+  for (const WindowProblem& p : problems) {
+    for (int l = 0; l < numLayers; ++l) {
+      auto& out = layout.layer(l).fills;
+      const auto& fs = p.fills[static_cast<std::size_t>(l)];
+      out.insert(out.end(), fs.begin(), fs.end());
+    }
+  }
+  report.fillCount = layout.fillCount();
+  report.totalSeconds = total.elapsedSeconds();
+  logInfo("FillEngine: %zu fills from %zu candidates in %.2fs "
+          "(plan %.2fs, cand %.2fs, size %.2fs)",
+          report.fillCount, report.candidateCount, report.totalSeconds,
+          report.planningSeconds, report.candidateSeconds,
+          report.sizingSeconds);
+  return report;
+}
+
+FillReport FillEngine::runIncremental(layout::Layout& layout,
+                                      const geom::Rect& changed) const {
+  FillReport report;
+  Timer total;
+  const int numLayers = layout.numLayers();
+  const layout::WindowGrid grid(layout.die(), options_.windowSize);
+  const auto numWindows = static_cast<std::size_t>(grid.windowCount());
+
+  // Affected windows: everything the changed area (inflated by the
+  // spacing rule, since a moved wire blocks space across a window border)
+  // touches.
+  std::vector<char> affected(numWindows, 0);
+  {
+    int i0, j0, i1, j1;
+    grid.windowRange(changed.expanded(options_.rules.minSpacing), i0, j0, i1,
+                     j1);
+    for (int j = j0; j <= j1; ++j) {
+      for (int i = i0; i <= i1; ++i) {
+        affected[static_cast<std::size_t>(grid.flatIndex(i, j))] = 1;
+      }
+    }
+  }
+
+  // Drop the old fills of affected windows (a fill belongs to exactly one
+  // window by construction).
+  for (int l = 0; l < numLayers; ++l) {
+    auto& fills = layout.layer(l).fills;
+    fills.erase(std::remove_if(fills.begin(), fills.end(),
+                               [&](const geom::Rect& f) {
+                                 int i0, j0, i1, j1;
+                                 grid.windowRange(f, i0, j0, i1, j1);
+                                 return affected[static_cast<std::size_t>(
+                                     grid.flatIndex(i0, j0))] != 0;
+                               }),
+                fills.end());
+  }
+
+  // Plan with unaffected windows frozen at their current density: their
+  // lower and upper bounds collapse to the as-filled value, so the target
+  // sweep can only adapt the affected windows.
+  Timer stage;
+  std::vector<std::vector<geom::Region>> fillRegions(
+      static_cast<std::size_t>(numLayers),
+      std::vector<geom::Region>(numWindows));
+  std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets;
+  std::vector<density::DensityMap> wireDensity;
+  std::vector<density::DensityBounds> bounds(
+      static_cast<std::size_t>(numLayers));
+  for (int l = 0; l < numLayers; ++l) {
+    wireBuckets.push_back(grid.bucketClipped(layout.layer(l).wires));
+    wireDensity.push_back(
+        density::DensityMap::computeFromShapes(layout.layer(l).wires, grid));
+    const density::DensityMap current =
+        density::DensityMap::compute(layout, l, grid);
+    const auto regions =
+        layout::computeFillRegions(layout, l, grid, options_.rules);
+    auto& b = bounds[static_cast<std::size_t>(l)];
+    b.lower.resize(numWindows);
+    b.upper.resize(numWindows);
+    const density::DensityBounds fresh = density::computeBounds(
+        layout, l, grid, regions, options_.rules);
+    for (std::size_t w = 0; w < numWindows; ++w) {
+      if (affected[w] != 0) {
+        fillRegions[static_cast<std::size_t>(l)][w] = regions[w];
+        b.lower[w] = fresh.lower[w];
+        b.upper[w] = fresh.upper[w];
+      } else {
+        const int i = static_cast<int>(w) % grid.cols();
+        const int j = static_cast<int>(w) / grid.cols();
+        b.lower[w] = current.at(i, j);
+        b.upper[w] = current.at(i, j);
+      }
+    }
+  }
+  const TargetDensityPlanner planner(options_.plannerWeights);
+  const TargetPlan plan = planner.plan(bounds, grid.cols(), grid.rows());
+  report.layerTargets = plan.layerTarget;
+  report.planningSeconds += stage.elapsedSeconds();
+
+  // Candidate generation + sizing for affected windows only.
+  stage.reset();
+  const CandidateGenerator generator(options_.rules, options_.candidate);
+  const FillSizer sizer(options_.rules, options_.sizer);
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
+      if (affected[w] == 0) continue;
+      WindowProblem p;
+      p.window = grid.windowRect(i, j);
+      for (int l = 0; l < numLayers; ++l) {
+        p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
+        p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+        p.wireDensity.push_back(
+            wireDensity[static_cast<std::size_t>(l)].at(i, j));
+        p.targetDensity.push_back(
+            plan.windowTarget[static_cast<std::size_t>(l)][w]);
+      }
+      generator.generate(p);
+      for (const auto& layerFills : p.fills) {
+        report.candidateCount += layerFills.size();
+      }
+      sizer.size(p, &report.sizerStats);
+      for (int l = 0; l < numLayers; ++l) {
+        auto& out = layout.layer(l).fills;
+        const auto& fs = p.fills[static_cast<std::size_t>(l)];
+        out.insert(out.end(), fs.begin(), fs.end());
+      }
+    }
+  }
+  report.sizingSeconds += stage.elapsedSeconds();
+  report.fillCount = layout.fillCount();
+  report.totalSeconds = total.elapsedSeconds();
+  logInfo("FillEngine ECO: refilled affected windows in %.3fs (%zu fills)",
+          report.totalSeconds, report.fillCount);
+  return report;
+}
+
+}  // namespace ofl::fill

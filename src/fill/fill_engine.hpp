@@ -1,0 +1,60 @@
+// FillEngine: the paper's end-to-end flow (Fig. 3).
+//
+//   initial fill regions -> density planning -> candidate generation
+//   -> second density planning -> fill sizing -> output fills
+//
+// The engine owns the window dissection and per-window problem assembly;
+// the three stages are the separately-testable TargetDensityPlanner,
+// CandidateGenerator and FillSizer.
+#pragma once
+
+#include "fill/candidate_generator.hpp"
+#include "fill/fill_sizer.hpp"
+#include "fill/target_planner.hpp"
+#include "layout/layout.hpp"
+#include "layout/window_grid.hpp"
+
+namespace ofl::fill {
+
+struct FillEngineOptions {
+  geom::Coord windowSize = 2000;
+  layout::DesignRules rules;
+  PlannerWeights plannerWeights;
+  CandidateGenerator::Options candidate;
+  FillSizer::Options sizer;
+};
+
+struct FillReport {
+  double planningSeconds = 0.0;
+  double candidateSeconds = 0.0;
+  double sizingSeconds = 0.0;
+  double totalSeconds = 0.0;
+  std::size_t candidateCount = 0;
+  std::size_t fillCount = 0;
+  FillSizer::Stats sizerStats;
+  std::vector<double> layerTargets;  // planned td per layer (final round)
+};
+
+class FillEngine {
+ public:
+  explicit FillEngine(FillEngineOptions options) : options_(options) {}
+
+  /// Inserts dummy fills into `layout` (replacing any existing fills).
+  FillReport run(layout::Layout& layout) const;
+
+  /// ECO (engineering change order) mode: `layout` already carries a fill
+  /// solution and its wires changed only inside `changed`. Re-fills just
+  /// the windows the change touches (inflated by the spacing rule);
+  /// every fill outside those windows is preserved bit-exactly, and the
+  /// unaffected windows' densities are treated as frozen targets so the
+  /// re-planned local targets stay consistent with the old solution.
+  FillReport runIncremental(layout::Layout& layout,
+                            const geom::Rect& changed) const;
+
+  const FillEngineOptions& options() const { return options_; }
+
+ private:
+  FillEngineOptions options_;
+};
+
+}  // namespace ofl::fill

@@ -1,0 +1,339 @@
+#include "fill/fill_sizer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace ofl::fill {
+namespace {
+
+using geom::Area;
+using geom::Coord;
+using geom::Rect;
+
+// Axis abstraction: `horizontal` passes size x-extents with y frozen;
+// vertical passes swap the roles.
+struct AxisView {
+  bool horizontal;
+  Coord lo(const Rect& r) const { return horizontal ? r.xl : r.yl; }
+  Coord hi(const Rect& r) const { return horizontal ? r.xh : r.yh; }
+  Coord frozenLen(const Rect& r) const {
+    return horizontal ? r.height() : r.width();
+  }
+  // Overlap extent in the frozen axis between two rects.
+  Coord frozenOverlap(const Rect& a, const Rect& b) const {
+    const Coord o = horizontal
+                        ? std::min(a.yh, b.yh) - std::max(a.yl, b.yl)
+                        : std::min(a.xh, b.xh) - std::max(a.xl, b.xl);
+    return std::max<Coord>(o, 0);
+  }
+  void apply(Rect& r, Coord newLo, Coord newHi) const {
+    if (horizontal) {
+      r.xl = newLo;
+      r.xh = newHi;
+    } else {
+      r.yl = newLo;
+      r.yh = newHi;
+    }
+  }
+};
+
+// Marginal overlay of moving an edge inward: total frozen-axis overlap of
+// opposing shapes that the edge currently cuts through. Raising the LOW
+// edge reduces overlap with shapes satisfying lo(s) <= edge < hi(s);
+// lowering the HIGH edge with lo(s) < edge <= hi(s).
+Coord overlayMarginal(const Rect& fill, Coord edge, bool isLowEdge,
+                      const std::vector<Rect>& opposing, const AxisView& ax) {
+  Coord total = 0;
+  for (const Rect& s : opposing) {
+    if (ax.frozenOverlap(fill, s) <= 0) continue;
+    const bool cuts = isLowEdge ? (ax.lo(s) <= edge && edge < ax.hi(s))
+                                : (ax.lo(s) < edge && edge <= ax.hi(s));
+    if (cuts) total += ax.frozenOverlap(fill, s);
+  }
+  return total;
+}
+
+}  // namespace
+
+void FillSizer::size(WindowProblem& problem, Stats* stats) const {
+  const int numLayers = static_cast<int>(problem.fills.size());
+  for (int round = 0; round < options_.iterations; ++round) {
+    for (const bool horizontal : {true, false}) {
+      for (int l = 0; l < numLayers; ++l) {
+        sizeLayerDirection(problem, l, horizontal, stats);
+      }
+    }
+  }
+  // Final exact trim: the LP iterations stop within one step-rounding of
+  // the target; a deterministic width trim removes the residual surplus so
+  // the window lands on its target density to DBU precision.
+  for (int l = 0; l < numLayers; ++l) {
+    trimToTarget(problem, l);
+  }
+}
+
+void FillSizer::trimToTarget(WindowProblem& problem, int layer) const {
+  auto& fills = problem.fills[static_cast<std::size_t>(layer)];
+  if (fills.empty()) return;
+  const auto windowArea = static_cast<double>(problem.window.area());
+  const double target =
+      (problem.targetDensity[static_cast<std::size_t>(layer)] -
+       problem.wireDensity[static_cast<std::size_t>(layer)]) *
+      windowArea;
+  Area fillArea = 0;
+  for (const Rect& f : fills) fillArea += f.area();
+  Area surplus = fillArea - static_cast<Area>(target);
+  if (surplus <= 0) return;
+
+  // Prefer trimming fills whose right edge currently cuts opposing shapes
+  // (free overlay win); opposing geometry is the neighboring layers'.
+  const int numLayers = static_cast<int>(problem.fills.size());
+  std::vector<Rect> opposing;
+  for (int nb : {layer - 1, layer + 1}) {
+    if (nb < 0 || nb >= numLayers) continue;
+    const auto& w = problem.wires[static_cast<std::size_t>(nb)];
+    const auto& f = problem.fills[static_cast<std::size_t>(nb)];
+    opposing.insert(opposing.end(), w.begin(), w.end());
+    opposing.insert(opposing.end(), f.begin(), f.end());
+  }
+  const AxisView ax{true};
+  std::vector<std::pair<Coord, std::size_t>> order;  // (-marginal, index)
+  order.reserve(fills.size());
+  for (std::size_t i = 0; i < fills.size(); ++i) {
+    order.push_back(
+        {-overlayMarginal(fills[i], fills[i].xh, false, opposing, ax), i});
+  }
+  std::sort(order.begin(), order.end());
+
+  for (const auto& [negMarginal, i] : order) {
+    if (surplus <= 0) break;
+    Rect& f = fills[i];
+    const Coord h = f.height();
+    const Coord minLen = std::max(
+        rules_.minWidth, static_cast<Coord>((rules_.minArea + h - 1) / h));
+    const Coord canShrink = f.width() - minLen;
+    const Coord want = static_cast<Coord>(surplus / h);
+    const Coord shrink = std::min(canShrink, want);
+    if (shrink <= 0) continue;
+    f.xh -= shrink;
+    surplus -= static_cast<Area>(shrink) * h;
+  }
+}
+
+void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
+                                   bool horizontal, Stats* stats) const {
+  auto& fills = problem.fills[static_cast<std::size_t>(layer)];
+  if (fills.empty()) return;
+  const AxisView ax{horizontal};
+  const int numLayers = static_cast<int>(problem.fills.size());
+
+  // Opposing geometry (frozen for this pass): wires and fills of l +- 1,
+  // kept separate so overlay with signal wires can be weighted harder.
+  std::vector<Rect> opposingWires;
+  std::vector<Rect> opposingFills;
+  for (int nb : {layer - 1, layer + 1}) {
+    if (nb < 0 || nb >= numLayers) continue;
+    const auto& w = problem.wires[static_cast<std::size_t>(nb)];
+    const auto& f = problem.fills[static_cast<std::size_t>(nb)];
+    opposingWires.insert(opposingWires.end(), w.begin(), w.end());
+    opposingFills.insert(opposingFills.end(), f.begin(), f.end());
+  }
+
+  // Density pressure: above target rewards shrinking, below target
+  // penalizes it (Eqn. 10's absolute value, linearized at the current
+  // point since fills only shrink).
+  Area fillArea = 0;
+  for (const Rect& f : fills) fillArea += f.area();
+  const auto windowArea = static_cast<double>(problem.window.area());
+  const double target =
+      problem.targetDensity[static_cast<std::size_t>(layer)] * windowArea -
+      problem.wireDensity[static_cast<std::size_t>(layer)] * windowArea;
+  const double surplus = static_cast<double>(fillArea) - target;
+  const int densitySign = surplus > 0 ? 1 : -1;
+
+  // Per-fill geometry and overlay marginals, computed up front so the
+  // step budget below can weight them.
+  const std::size_t n = fills.size();
+  std::vector<Coord> frozen(n);
+  std::vector<Coord> minLen(n);
+  std::vector<Coord> ovLo(n);
+  std::vector<Coord> ovHi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rect& f = fills[i];
+    frozen[i] = ax.frozenLen(f);
+    // Legal minimum extent in this axis: width rule and area rule with the
+    // other axis frozen (Eqn. 12).
+    minLen[i] = std::max(
+        rules_.minWidth,
+        static_cast<Coord>((rules_.minArea + frozen[i] - 1) / frozen[i]));
+    // Wire overlay weighted by etaWireFactor relative to fill overlay.
+    const double wf = options_.etaWireFactor;
+    ovLo[i] = static_cast<Coord>(std::llround(
+        wf * static_cast<double>(overlayMarginal(
+                 f, ax.lo(f), /*isLowEdge=*/true, opposingWires, ax)) +
+        static_cast<double>(overlayMarginal(f, ax.lo(f), /*isLowEdge=*/true,
+                                            opposingFills, ax))));
+    ovHi[i] = static_cast<Coord>(std::llround(
+        wf * static_cast<double>(overlayMarginal(
+                 f, ax.hi(f), /*isLowEdge=*/false, opposingWires, ax)) +
+        static_cast<double>(overlayMarginal(f, ax.hi(f), /*isLowEdge=*/false,
+                                            opposingFills, ax))));
+  }
+
+  // Per-iteration shrink steps (paper: "variables are bounded to a certain
+  // range ... updated according to the results of each iteration"). When
+  // above target, the total step budget removes roughly the surplus and no
+  // more (the |.| of Eqn. 10 is linearized at the current point, so
+  // overshooting past the target would invalidate the sign); the budget is
+  // weighted toward fills whose edges currently cut opposing shapes, which
+  // is what converts the shared shrink into overlay reduction. Below
+  // target, a small uniform step still lets overlay-dominated fills trade
+  // density away. Rounding down is deliberate — the residual surplus is
+  // removed exactly by trimToTarget afterwards.
+  std::vector<Coord> step(n, rules_.minSpacing);
+  if (surplus > 0) {
+    double weightedFrozen = 0.0;
+    std::vector<double> weight(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double ovFraction =
+          static_cast<double>(ovLo[i] + ovHi[i]) /
+          std::max(2.0 * static_cast<double>(frozen[i]), 1.0);
+      weight[i] = 1.0 + options_.eta * ovFraction;
+      weightedFrozen += weight[i] * static_cast<double>(frozen[i]);
+    }
+    const double base =
+        weightedFrozen > 0 ? surplus / (2.0 * weightedFrozen) : 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      step[i] = static_cast<Coord>(std::floor(base * weight[i]));
+    }
+  }
+
+  // Fills involved in spacing violations get extra shrink freedom, enough
+  // for one fill alone to clear the worst of its violations: repairing DRC
+  // outranks the step budget.
+  std::vector<Coord> repairNeed(fills.size(), 0);
+  for (std::size_t i = 0; i < fills.size(); ++i) {
+    for (std::size_t j = i + 1; j < fills.size(); ++j) {
+      if (ax.frozenOverlap(fills[i], fills[j]) <= 0) continue;
+      const Coord gap = std::max(ax.lo(fills[j]) - ax.hi(fills[i]),
+                                 ax.lo(fills[i]) - ax.hi(fills[j]));
+      if (gap < rules_.minSpacing) {
+        const Coord need = rules_.minSpacing - gap;
+        repairNeed[i] = std::max(repairNeed[i], need);
+        repairNeed[j] = std::max(repairNeed[j], need);
+      }
+    }
+  }
+
+  // Build the differential LP: variables 2k (lo edge), 2k+1 (hi edge).
+  mcf::DifferentialLp lp;
+  for (std::size_t fi = 0; fi < n; ++fi) {
+    const Rect& f = fills[fi];
+    const Coord lo = ax.lo(f);
+    const Coord hi = ax.hi(f);
+    const Coord fullFreedom = hi - lo - minLen[fi];
+    const Coord maxShrinkEach = std::max<Coord>(
+        0, std::min(std::max(step[fi], repairNeed[fi]), fullFreedom));
+
+    const auto etaScaled = [this](Coord v) {
+      return static_cast<mcf::Value>(
+          std::llround(options_.eta * static_cast<double>(v)));
+    };
+    // d(objective)/d(hiEdge) = densitySign * frozen + eta * ovHi;
+    // d(objective)/d(loEdge) is the mirror image.
+    const mcf::Value costHi = densitySign * frozen[fi] + etaScaled(ovHi[fi]);
+    const mcf::Value costLo = -densitySign * frozen[fi] - etaScaled(ovLo[fi]);
+    const int vLo = lp.addVariable(costLo, lo, lo + maxShrinkEach);
+    const int vHi = lp.addVariable(costHi, hi - maxShrinkEach, hi);
+    lp.addConstraint(vHi, vLo, minLen[fi]);  // hi - lo >= minLen
+  }
+
+  // Spacing repair constraints (Eqn. 13): pairs violating the spacing rule
+  // in this axis with frozen-axis overlap. Candidate generation normally
+  // leaves none; this path exists for DRC-dirty inputs.
+  std::vector<std::pair<std::size_t, std::size_t>> violating;
+  for (std::size_t i = 0; i < fills.size(); ++i) {
+    for (std::size_t j = i + 1; j < fills.size(); ++j) {
+      if (ax.frozenOverlap(fills[i], fills[j]) <= 0) continue;
+      const std::size_t left = ax.lo(fills[i]) <= ax.lo(fills[j]) ? i : j;
+      const std::size_t right = left == i ? j : i;
+      const Coord gap = ax.lo(fills[right]) - ax.hi(fills[left]);
+      if (gap >= rules_.minSpacing) continue;
+      // lo(right) - hi(left) >= minSpacing
+      lp.addConstraint(static_cast<int>(2 * right),
+                       static_cast<int>(2 * left + 1), rules_.minSpacing);
+      violating.push_back({left, right});
+      if (stats != nullptr) ++stats->spacingConstraints;
+    }
+  }
+
+  auto solveRelaxation = [this](const mcf::DifferentialLp& dlp) {
+    if (!options_.useLpSolver) {
+      return mcf::DifferentialLpSolver(options_.backend).solve(dlp);
+    }
+    // Ablation backend: identical model through the dense simplex.
+    lp::LpModel model;
+    for (int v = 0; v < dlp.numVariables(); ++v) {
+      model.addVariable(static_cast<double>(dlp.cost(v)),
+                        static_cast<double>(dlp.lower(v)),
+                        static_cast<double>(dlp.upper(v)));
+    }
+    for (const mcf::DiffConstraint& c : dlp.constraints()) {
+      model.addConstraint({{c.i, 1.0}, {c.j, -1.0}},
+                          lp::Sense::kGreaterEqual,
+                          static_cast<double>(c.bound));
+    }
+    mcf::DiffLpResult out;
+    const lp::LpResult r = lp::SimplexSolver().solve(model);
+    if (r.status == lp::LpStatus::kOptimal) {
+      out.feasible = true;
+      out.x.resize(r.x.size());
+      for (std::size_t v = 0; v < r.x.size(); ++v) {
+        // Differential systems are totally unimodular, so the LP optimum
+        // is integral up to floating-point noise.
+        out.x[v] = static_cast<mcf::Value>(std::llround(r.x[v]));
+      }
+      out.objective = dlp.objective(out.x);
+    }
+    return out;
+  };
+
+  mcf::DiffLpResult result = solveRelaxation(lp);
+  if (stats != nullptr) ++stats->solves;
+
+  if (!result.feasible && !violating.empty()) {
+    // Spacing cannot be repaired within the per-iteration step: drop the
+    // smaller fill of each violating pair and re-run.
+    if (stats != nullptr) ++stats->infeasibleFallbacks;
+    std::vector<char> dropped(fills.size(), 0);
+    for (const auto& [a, b] : violating) {
+      const std::size_t victim = fills[a].area() <= fills[b].area() ? a : b;
+      dropped[victim] = 1;
+    }
+    std::vector<Rect> kept;
+    for (std::size_t i = 0; i < fills.size(); ++i) {
+      if (dropped[i] == 0) {
+        kept.push_back(fills[i]);
+      } else if (stats != nullptr) {
+        ++stats->droppedFills;
+      }
+    }
+    fills = std::move(kept);
+    sizeLayerDirection(problem, layer, horizontal, stats);
+    return;
+  }
+  if (!result.feasible) return;  // keep current sizes
+
+  for (std::size_t i = 0; i < fills.size(); ++i) {
+    const Coord newLo = result.x[2 * i];
+    const Coord newHi = result.x[2 * i + 1];
+    assert(newHi > newLo);
+    ax.apply(fills[i], newLo, newHi);
+  }
+}
+
+}  // namespace ofl::fill

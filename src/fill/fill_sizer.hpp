@@ -1,0 +1,64 @@
+// Dummy fill sizing (paper Section 3.3).
+//
+// Starting from the candidate fills (an upper bound on fill area), each
+// window is refined by SHRINKING fills to jointly reduce the density gap
+// |fill area - target area| and the inter-layer overlay (Eqn. 9). The
+// non-convex problem is relaxed per direction (Eqns. 10-13): with the
+// vertical extents frozen, the horizontal edge coordinates form an integer
+// LP with only differential constraints and box bounds (Eqn. 14), which is
+// solved exactly as a dual min-cost flow (Eqns. 15-16). Directions
+// alternate for `iterations` rounds; layers are visited in sequence with
+// neighboring-layer geometry frozen (the linearization the paper uses for
+// the overlay term, Eqn. 11).
+#pragma once
+
+#include "fill/candidate_generator.hpp"
+#include "mcf/dual_lp.hpp"
+
+namespace ofl::fill {
+
+class FillSizer {
+ public:
+  struct Options {
+    double eta = 1.0;   // overlay weight in Eqn. (9); paper uses 1
+    /// Extra weight on overlay with signal WIRES relative to overlay with
+    /// other fills. The contest metric counts both equally (factor 1,
+    /// the default), but physically fill-to-wire coupling degrades signal
+    /// timing while fill-to-fill coupling is between dummies; raising the
+    /// factor biases shrinking toward wire-coupled fills.
+    double etaWireFactor = 1.0;
+    int iterations = 2; // H+V alternation rounds
+    mcf::McfBackend backend = mcf::McfBackend::kNetworkSimplex;
+    /// Ablation: solve each per-direction relaxation with the dense
+    /// simplex instead of dual min-cost flow (paper Section 3.3.2 vs
+    /// 3.3.3). Same optima, different runtime; see bench_ablation.
+    bool useLpSolver = false;
+  };
+
+  struct Stats {
+    long long solves = 0;
+    long long infeasibleFallbacks = 0;
+    long long droppedFills = 0;
+    long long spacingConstraints = 0;
+  };
+
+  FillSizer(layout::DesignRules rules, Options options)
+      : rules_(rules), options_(options) {}
+
+  /// Shrinks problem.fills in place. Fills stay DRC-legal: width/area
+  /// minima are hard LP bounds and spacing violations (if any survive
+  /// candidate generation) are repaired or the offending fill dropped.
+  void size(WindowProblem& problem, Stats* stats = nullptr) const;
+
+ private:
+  void sizeLayerDirection(WindowProblem& problem, int layer, bool horizontal,
+                          Stats* stats) const;
+  /// Removes the residual density surplus left by step rounding with an
+  /// exact width trim, preferring fills whose trim also reduces overlay.
+  void trimToTarget(WindowProblem& problem, int layer) const;
+
+  layout::DesignRules rules_;
+  Options options_;
+};
+
+}  // namespace ofl::fill

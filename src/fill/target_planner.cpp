@@ -1,0 +1,80 @@
+#include "fill/target_planner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "density/density_map.hpp"
+#include "density/metrics.hpp"
+
+#include "common/logging.hpp"
+
+namespace ofl::fill {
+namespace {
+
+std::vector<double> clampedDensities(const density::DensityBounds& bounds,
+                                     double td) {
+  std::vector<double> d(bounds.lower.size());
+  for (std::size_t w = 0; w < d.size(); ++w) {
+    d[w] = std::clamp(td, bounds.lower[w], bounds.upper[w]);
+  }
+  return d;
+}
+
+double scoreTerm(double weight, double value, double beta) {
+  return weight * std::max(0.0, 1.0 - value / beta);
+}
+
+}  // namespace
+
+double TargetDensityPlanner::scoreLayer(const density::DensityBounds& bounds,
+                                        int cols, int rows, double td) const {
+  density::DensityMap map(cols, rows, clampedDensities(bounds, td));
+  const density::DensityMetrics m = density::computeMetrics(map);
+  return scoreTerm(weights_.wSigma, m.sigma, weights_.betaSigma) +
+         scoreTerm(weights_.wLine, m.lineHotspot, weights_.betaLine) +
+         scoreTerm(weights_.wOutlier, m.sigma * m.outlierHotspot,
+                   weights_.betaOutlier);
+}
+
+TargetPlan TargetDensityPlanner::plan(
+    const std::vector<density::DensityBounds>& boundsPerLayer, int cols,
+    int rows) const {
+  TargetPlan plan;
+  for (const density::DensityBounds& bounds : boundsPerLayer) {
+    assert(bounds.lower.size() == static_cast<std::size_t>(cols) * rows);
+    double maxLower = 0.0;
+    double minLower = 1.0;
+    for (std::size_t w = 0; w < bounds.lower.size(); ++w) {
+      maxLower = std::max(maxLower, bounds.lower[w]);
+      minLower = std::min(minLower, bounds.lower[w]);
+    }
+    // Case I optimum is td = max lower bound (Eqn. 6); when some windows
+    // cannot reach it (Eqn. 7), a lower td can score better, so sweep the
+    // whole [minLower, maxLower] range and keep the best.
+    double bestTd = maxLower;
+    double bestScore = scoreLayer(bounds, cols, rows, maxLower);
+    for (int s = 0; s < sweepSteps_; ++s) {
+      const double td =
+          minLower + (maxLower - minLower) * s / std::max(1, sweepSteps_ - 1);
+      const double score = scoreLayer(bounds, cols, rows, td);
+      if (score > bestScore + 1e-12) {
+        bestScore = score;
+        bestTd = td;
+      }
+    }
+    plan.layerTarget.push_back(bestTd);
+    plan.windowTarget.push_back(clampedDensities(bounds, bestTd));
+    int capped = 0;
+    for (std::size_t w = 0; w < bounds.upper.size(); ++w) {
+      if (bounds.upper[w] < maxLower) ++capped;
+    }
+    logDebug("planner: layer %zu td=%.4f (maxLower %.4f scores %.6f, "
+             "chosen scores %.6f, %d/%zu windows capped below maxLower)",
+             plan.layerTarget.size() - 1, bestTd, maxLower,
+             scoreLayer(bounds, cols, rows, maxLower), bestScore, capped,
+             bounds.upper.size());
+  }
+  return plan;
+}
+
+}  // namespace ofl::fill

@@ -1,0 +1,56 @@
+// Target density planning (paper Section 3.1).
+//
+// Chooses one target layout density td per layer; each window's target is
+// td clamped into its feasible band [l(i,j), u(i,j)] (Definition 1 /
+// Eqn. 5). Case I (all windows reach max lower bound) falls out of the
+// sweep naturally; Case II searches candidate td values with small steps
+// between the extremes of the bounds, scoring each candidate with the
+// density portion of the contest objective.
+#pragma once
+
+#include <vector>
+
+#include "density/bounds.hpp"
+
+namespace ofl::fill {
+
+/// Density-score shape used during planning: each metric contributes
+/// weight * max(0, 1 - value / beta), mirroring contest Eqn. (4). The
+/// outlier term uses the paper's sigma*oh coupling per layer.
+struct PlannerWeights {
+  double wSigma = 0.2;
+  double wLine = 0.2;
+  double wOutlier = 0.15;
+  double betaSigma = 0.1;
+  double betaLine = 10.0;
+  double betaOutlier = 1.0;
+};
+
+struct TargetPlan {
+  /// Chosen td per layer.
+  std::vector<double> layerTarget;
+  /// Per-layer, per-window target density dt (flat window index).
+  std::vector<std::vector<double>> windowTarget;
+};
+
+class TargetDensityPlanner {
+ public:
+  explicit TargetDensityPlanner(PlannerWeights weights, int sweepSteps = 64)
+      : weights_(weights), sweepSteps_(sweepSteps) {}
+
+  /// Plans all layers; boundsPerLayer[l] are the window density bounds of
+  /// layer l on a cols x rows grid.
+  TargetPlan plan(const std::vector<density::DensityBounds>& boundsPerLayer,
+                  int cols, int rows) const;
+
+  /// Density score of a clamped target choice on one layer (exposed for
+  /// tests and the ablation bench).
+  double scoreLayer(const density::DensityBounds& bounds, int cols, int rows,
+                    double td) const;
+
+ private:
+  PlannerWeights weights_;
+  int sweepSteps_;
+};
+
+}  // namespace ofl::fill

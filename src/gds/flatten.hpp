@@ -1,0 +1,20 @@
+// Hierarchy flattening: resolves SREF/AREF instances into plain
+// boundaries. Used to read back hierarchical (compacted) fill output and
+// by tests to verify compaction is lossless.
+#pragma once
+
+#include "gds/gds_writer.hpp"
+
+namespace ofl::gds {
+
+/// Returns a library whose cells contain only boundaries; every reference
+/// is expanded recursively (translation only — the subset this library
+/// writes). Unresolvable cell names are skipped. `maxDepth` bounds
+/// recursion against reference cycles.
+Library flatten(const Library& lib, int maxDepth = 8);
+
+/// Flattens and returns only the cell named `top` (default: first cell).
+Cell flattenCell(const Library& lib, const std::string& top = "",
+                 int maxDepth = 8);
+
+}  // namespace ofl::gds

@@ -1,0 +1,24 @@
+// Minimal GDSII stream reader: parses the subset the Writer emits
+// (BOUNDARY elements in flat cells). Used for round-trip verification and
+// for loading externally generated benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "gds/gds_writer.hpp"
+
+namespace ofl::gds {
+
+class Reader {
+ public:
+  /// Parses stream bytes; returns nullopt on malformed input.
+  static std::optional<Library> parse(std::span<const std::uint8_t> bytes);
+
+  /// Reads and parses a file; nullopt on IO or parse failure.
+  static std::optional<Library> readFile(const std::string& path);
+};
+
+}  // namespace ofl::gds

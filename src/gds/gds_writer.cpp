@@ -1,0 +1,178 @@
+#include "gds/gds_writer.hpp"
+
+#include <cstdio>
+
+#include "gds/gds_records.hpp"
+
+namespace ofl::gds {
+namespace {
+
+void record(std::vector<std::uint8_t>& out, RecordTag tag,
+            const std::vector<std::uint8_t>& payload = {}) {
+  putU16(out, static_cast<std::uint16_t>(4 + payload.size()));
+  putU16(out, static_cast<std::uint16_t>(tag));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+std::vector<std::uint8_t> asciiPayload(const std::string& s) {
+  std::vector<std::uint8_t> p(s.begin(), s.end());
+  if (p.size() % 2 != 0) p.push_back(0);  // GDS pads strings to even length
+  return p;
+}
+
+std::vector<std::uint8_t> timestampPayload() {
+  // 12 int16 fields (modification + access time). Fixed epoch keeps output
+  // byte-identical across runs, which the tests rely on.
+  std::vector<std::uint8_t> p;
+  for (int i = 0; i < 12; ++i) putU16(p, 0);
+  return p;
+}
+
+void writeSref(std::vector<std::uint8_t>& out, const Sref& s) {
+  record(out, RecordTag::kSref);
+  record(out, RecordTag::kSname, asciiPayload(s.cellName));
+  std::vector<std::uint8_t> p;
+  putI32(p, static_cast<std::int32_t>(s.origin.x));
+  putI32(p, static_cast<std::int32_t>(s.origin.y));
+  record(out, RecordTag::kXy, p);
+  record(out, RecordTag::kEndEl);
+}
+
+void writeAref(std::vector<std::uint8_t>& out, const Aref& a) {
+  record(out, RecordTag::kAref);
+  record(out, RecordTag::kSname, asciiPayload(a.cellName));
+  {
+    std::vector<std::uint8_t> p;
+    putU16(p, static_cast<std::uint16_t>(a.cols));
+    putU16(p, static_cast<std::uint16_t>(a.rows));
+    record(out, RecordTag::kColRow, p);
+  }
+  // AREF XY: origin, origin displaced cols*pitchX in x, origin displaced
+  // rows*pitchY in y (GDSII stores the far lattice corners).
+  std::vector<std::uint8_t> p;
+  putI32(p, static_cast<std::int32_t>(a.origin.x));
+  putI32(p, static_cast<std::int32_t>(a.origin.y));
+  putI32(p, static_cast<std::int32_t>(a.origin.x + a.cols * a.pitchX));
+  putI32(p, static_cast<std::int32_t>(a.origin.y));
+  putI32(p, static_cast<std::int32_t>(a.origin.x));
+  putI32(p, static_cast<std::int32_t>(a.origin.y + a.rows * a.pitchY));
+  record(out, RecordTag::kXy, p);
+  record(out, RecordTag::kEndEl);
+}
+
+void writeBoundary(std::vector<std::uint8_t>& out, const Boundary& b) {
+  record(out, RecordTag::kBoundary);
+  {
+    std::vector<std::uint8_t> p;
+    putU16(p, static_cast<std::uint16_t>(b.layer));
+    record(out, RecordTag::kLayer, p);
+  }
+  {
+    std::vector<std::uint8_t> p;
+    putU16(p, static_cast<std::uint16_t>(b.datatype));
+    record(out, RecordTag::kDataType, p);
+  }
+  {
+    std::vector<std::uint8_t> p;
+    for (const geom::Point& pt : b.vertices) {
+      putI32(p, static_cast<std::int32_t>(pt.x));
+      putI32(p, static_cast<std::int32_t>(pt.y));
+    }
+    // GDS repeats the first vertex to close the loop.
+    if (!b.vertices.empty()) {
+      putI32(p, static_cast<std::int32_t>(b.vertices.front().x));
+      putI32(p, static_cast<std::int32_t>(b.vertices.front().y));
+    }
+    record(out, RecordTag::kXy, p);
+  }
+  record(out, RecordTag::kEndEl);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> Writer::serialize(const Library& lib) {
+  std::vector<std::uint8_t> out;
+  {
+    std::vector<std::uint8_t> p;
+    putU16(p, 600);  // stream version
+    record(out, RecordTag::kHeader, p);
+  }
+  record(out, RecordTag::kBgnLib, timestampPayload());
+  record(out, RecordTag::kLibName, asciiPayload(lib.name));
+  {
+    std::vector<std::uint8_t> p;
+    const std::uint64_t uu = encodeReal8(lib.userUnitsPerDbu);
+    const std::uint64_t mu = encodeReal8(lib.metersPerDbu);
+    for (int i = 7; i >= 0; --i)
+      p.push_back(static_cast<std::uint8_t>((uu >> (8 * i)) & 0xFF));
+    for (int i = 7; i >= 0; --i)
+      p.push_back(static_cast<std::uint8_t>((mu >> (8 * i)) & 0xFF));
+    record(out, RecordTag::kUnits, p);
+  }
+  for (const Cell& cell : lib.cells) {
+    record(out, RecordTag::kBgnStr, timestampPayload());
+    record(out, RecordTag::kStrName, asciiPayload(cell.name));
+    for (const Boundary& b : cell.boundaries) writeBoundary(out, b);
+    for (const Sref& s : cell.srefs) writeSref(out, s);
+    for (const Aref& a : cell.arefs) writeAref(out, a);
+    record(out, RecordTag::kEndStr);
+  }
+  record(out, RecordTag::kEndLib);
+  return out;
+}
+
+long long Writer::writeFile(const Library& lib, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = serialize(lib);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return -1;
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  return written == bytes.size() ? static_cast<long long>(bytes.size()) : -1;
+}
+
+long long Writer::streamSize(const Library& lib) {
+  // Closed-form accounting mirroring serialize(); kept in sync by the
+  // round-trip unit test.
+  long long size = 4 + 2;           // HEADER
+  size += 4 + 24;                   // BGNLIB
+  size += 4 + static_cast<long long>((lib.name.size() + 1) / 2 * 2);
+  size += 4 + 16;                   // UNITS
+  for (const Cell& cell : lib.cells) {
+    size += 4 + 24;                 // BGNSTR
+    size += 4 + static_cast<long long>((cell.name.size() + 1) / 2 * 2);
+    for (const Boundary& b : cell.boundaries) {
+      size += 4;                    // BOUNDARY
+      size += 4 + 2;                // LAYER
+      size += 4 + 2;                // DATATYPE
+      size += 4 + 8 * static_cast<long long>(b.vertices.size() + 1);  // XY
+      size += 4;                    // ENDEL
+    }
+    for (const Sref& s : cell.srefs) {
+      size += 4;                    // SREF
+      size += 4 + static_cast<long long>((s.cellName.size() + 1) / 2 * 2);
+      size += 4 + 8;                // XY
+      size += 4;                    // ENDEL
+    }
+    for (const Aref& a : cell.arefs) {
+      size += 4;                    // AREF
+      size += 4 + static_cast<long long>((a.cellName.size() + 1) / 2 * 2);
+      size += 4 + 4;                // COLROW
+      size += 4 + 24;               // XY (3 points)
+      size += 4;                    // ENDEL
+    }
+    size += 4;                      // ENDSTR
+  }
+  size += 4;                        // ENDLIB
+  return size;
+}
+
+void Writer::addRect(Cell& cell, std::int16_t layer, const geom::Rect& r,
+                     std::int16_t datatype) {
+  Boundary b;
+  b.layer = layer;
+  b.datatype = datatype;
+  b.vertices = {{r.xl, r.yl}, {r.xh, r.yl}, {r.xh, r.yh}, {r.xl, r.yh}};
+  cell.boundaries.push_back(std::move(b));
+}
+
+}  // namespace ofl::gds

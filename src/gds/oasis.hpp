@@ -1,0 +1,49 @@
+// OASIS-style compact layout serialization ("OFL-OASIS").
+//
+// The contest motivates the file-size score with layout-storage cost and
+// names OASIS as the compact alternative to GDSII (paper Section 1). This
+// module implements the OASIS *techniques* — LEB128 variable-length
+// integers, modal variables (layer/datatype/width/height persist across
+// records), signed coordinate deltas, and grid repetitions — on the same
+// Library model the GDS writer uses. The container framing is our own
+// (magic "OFLOASIS1"), i.e. this is an OASIS-flavored format, not a
+// bit-compatible SEMI OASIS stream; see DESIGN.md.
+//
+// Typical result: 3-6x smaller than the equivalent GDSII stream for flat
+// fill output, more when repetitions apply.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gds/gds_writer.hpp"
+
+namespace ofl::gds {
+
+class OasisWriter {
+ public:
+  static std::vector<std::uint8_t> serialize(const Library& lib);
+  static long long writeFile(const Library& lib, const std::string& path);
+  /// Size the serialized stream would have.
+  static long long streamSize(const Library& lib);
+};
+
+class OasisReader {
+ public:
+  static std::optional<Library> parse(std::span<const std::uint8_t> bytes);
+  static std::optional<Library> readFile(const std::string& path);
+};
+
+// Exposed for tests: LEB128 unsigned and zigzag-signed varints.
+void putVarUint(std::vector<std::uint8_t>& out, std::uint64_t v);
+void putVarInt(std::vector<std::uint8_t>& out, std::int64_t v);
+/// Reads a varint at `pos`, advancing it; nullopt on truncation/overflow.
+std::optional<std::uint64_t> getVarUint(std::span<const std::uint8_t> bytes,
+                                        std::size_t& pos);
+std::optional<std::int64_t> getVarInt(std::span<const std::uint8_t> bytes,
+                                      std::size_t& pos);
+
+}  // namespace ofl::gds

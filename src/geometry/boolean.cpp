@@ -1,0 +1,171 @@
+#include "geometry/boolean.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "geometry/decompose.hpp"
+
+namespace ofl::geom {
+namespace {
+
+struct Event {
+  Coord x;
+  Coord ylo;
+  Coord yhi;
+  int deltaA;
+  int deltaB;
+};
+
+bool predicate(BoolOp op, bool inA, bool inB) {
+  switch (op) {
+    case BoolOp::kUnion: return inA || inB;
+    case BoolOp::kIntersect: return inA && inB;
+    case BoolOp::kSubtract: return inA && !inB;
+    case BoolOp::kXor: return inA != inB;
+  }
+  return false;
+}
+
+std::vector<Event> buildEvents(std::span<const Rect> a,
+                               std::span<const Rect> b) {
+  std::vector<Event> events;
+  events.reserve(2 * (a.size() + b.size()));
+  for (const Rect& r : a) {
+    if (r.empty()) continue;
+    events.push_back({r.xl, r.yl, r.yh, +1, 0});
+    events.push_back({r.xh, r.yl, r.yh, -1, 0});
+  }
+  for (const Rect& r : b) {
+    if (r.empty()) continue;
+    events.push_back({r.xl, r.yl, r.yh, 0, +1});
+    events.push_back({r.xh, r.yl, r.yh, 0, -1});
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& l, const Event& r) { return l.x < r.x; });
+  return events;
+}
+
+// Vertical coverage state: y-boundary -> (deltaA, deltaB) count changes.
+using CoverMap = std::map<Coord, std::pair<int, int>>;
+
+void applyEvent(CoverMap& cover, const Event& e) {
+  auto bump = [&cover](Coord y, int da, int db) {
+    auto [it, inserted] = cover.try_emplace(y, 0, 0);
+    it->second.first += da;
+    it->second.second += db;
+    if (it->second.first == 0 && it->second.second == 0) cover.erase(it);
+  };
+  bump(e.ylo, e.deltaA, e.deltaB);
+  bump(e.yhi, -e.deltaA, -e.deltaB);
+}
+
+// Disjoint, sorted y-intervals where the predicate currently holds.
+void coveredIntervals(const CoverMap& cover, BoolOp op,
+                      std::vector<Interval>& out) {
+  out.clear();
+  int countA = 0;
+  int countB = 0;
+  bool active = false;
+  Coord start = 0;
+  for (const auto& [y, delta] : cover) {
+    countA += delta.first;
+    countB += delta.second;
+    const bool nowActive = predicate(op, countA > 0, countB > 0);
+    if (nowActive && !active) {
+      start = y;
+      active = true;
+    } else if (!nowActive && active) {
+      if (out.empty() || out.back().hi != start) {
+        out.push_back({start, y});
+      } else {
+        out.back().hi = y;  // merge abutting runs
+      }
+      active = false;
+    }
+  }
+  // Counts return to zero at the topmost boundary, so `active` is false here.
+}
+
+// Generic sweep. Emit(xl, xh, interval) is called once per maximal x-run of
+// each covered y-interval.
+template <typename EmitFn>
+void sweep(std::span<const Rect> a, std::span<const Rect> b, BoolOp op,
+           EmitFn&& emit) {
+  const std::vector<Event> events = buildEvents(a, b);
+  if (events.empty()) return;
+
+  CoverMap cover;
+  // Open runs: interval -> x where it started. Kept sorted by interval.
+  std::vector<std::pair<Interval, Coord>> open;
+  std::vector<Interval> covered;
+  std::vector<std::pair<Interval, Coord>> nextOpen;
+
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Coord x = events[i].x;
+    while (i < events.size() && events[i].x == x) {
+      applyEvent(cover, events[i]);
+      ++i;
+    }
+    coveredIntervals(cover, op, covered);
+
+    // Diff `open` against `covered`: an interval present in both continues
+    // (keeping its original start x); one only in `open` is emitted as a
+    // finished rect; one only in `covered` starts a new run at x. Both
+    // lists are sorted by (lo, hi) and internally disjoint, so a
+    // lexicographic two-pointer walk visits each exactly once. Any reshaped
+    // run (split/grow/shrink) simply closes and reopens, which keeps the
+    // output disjoint.
+    auto ivLess = [](const Interval& l, const Interval& r) {
+      return l.lo != r.lo ? l.lo < r.lo : l.hi < r.hi;
+    };
+    nextOpen.clear();
+    std::size_t oi = 0;
+    std::size_t ci = 0;
+    while (oi < open.size() && ci < covered.size()) {
+      if (open[oi].first == covered[ci]) {
+        nextOpen.push_back(open[oi]);
+        ++oi;
+        ++ci;
+      } else if (ivLess(open[oi].first, covered[ci])) {
+        emit(open[oi].second, x, open[oi].first);
+        ++oi;
+      } else {
+        nextOpen.push_back({covered[ci], x});
+        ++ci;
+      }
+    }
+    for (; oi < open.size(); ++oi) emit(open[oi].second, x, open[oi].first);
+    for (; ci < covered.size(); ++ci) nextOpen.push_back({covered[ci], x});
+    open.swap(nextOpen);
+  }
+  // All events processed; counts are zero, so `covered` ended empty and
+  // every run was closed above.
+}
+
+}  // namespace
+
+std::vector<Rect> booleanOp(std::span<const Rect> a, std::span<const Rect> b,
+                            BoolOp op) {
+  std::vector<Rect> out;
+  sweep(a, b, op, [&out](Coord xl, Coord xh, const Interval& iv) {
+    if (xl < xh && !iv.empty()) out.push_back({xl, iv.lo, xh, iv.hi});
+  });
+  std::sort(out.begin(), out.end(), RectYXLess{});
+  return out;
+}
+
+Area booleanArea(std::span<const Rect> a, std::span<const Rect> b,
+                 BoolOp op) {
+  Area total = 0;
+  sweep(a, b, op, [&total](Coord xl, Coord xh, const Interval& iv) {
+    total += static_cast<Area>(xh - xl) * iv.length();
+  });
+  return total;
+}
+
+Area unionArea(std::span<const Rect> rects) {
+  return booleanArea(rects, {}, BoolOp::kUnion);
+}
+
+}  // namespace ofl::geom

@@ -1,0 +1,41 @@
+// Scanline Boolean operations on rectilinear regions given as rectangle
+// sets (rects within one set may overlap arbitrarily).
+//
+// This is the library's substitute for Boost.Polygon: a plane sweep along x
+// with per-operand vertical coverage counts. Output rectangles are disjoint
+// and maximally merged along x, in canonical RectYXLess order.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace ofl::geom {
+
+enum class BoolOp {
+  kUnion,      // covered by A or B
+  kIntersect,  // covered by A and B
+  kSubtract,   // covered by A and not B
+  kXor,        // covered by exactly one of A, B
+};
+
+/// Full Boolean: returns the disjoint rectangle decomposition of op(A, B).
+std::vector<Rect> booleanOp(std::span<const Rect> a, std::span<const Rect> b,
+                            BoolOp op);
+
+/// Area-only variant; avoids materializing output rectangles.
+Area booleanArea(std::span<const Rect> a, std::span<const Rect> b, BoolOp op);
+
+/// Area of the union of one (possibly self-overlapping) rect set.
+Area unionArea(std::span<const Rect> rects);
+
+/// Area of intersection of two rect sets — the overlay primitive (paper
+/// Section 2.1 counts inter-layer overlap area once, however many shapes
+/// cover it).
+inline Area intersectionArea(std::span<const Rect> a,
+                             std::span<const Rect> b) {
+  return booleanArea(a, b, BoolOp::kIntersect);
+}
+
+}  // namespace ofl::geom

@@ -1,0 +1,150 @@
+#include "geometry/contour.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+namespace ofl::geom {
+namespace {
+
+// Directed vertical boundary edge: up (+1) when the region lies to its
+// right (a left boundary), down (-1) when to its left.
+struct VEdge {
+  Coord x;
+  Coord ylo;
+  Coord yhi;
+  int dir;  // +1 up, -1 down
+
+  Point start() const { return dir > 0 ? Point{x, ylo} : Point{x, yhi}; }
+  Point end() const { return dir > 0 ? Point{x, yhi} : Point{x, ylo}; }
+};
+
+struct PointLess {
+  bool operator()(const Point& a, const Point& b) const {
+    if (a.x != b.x) return a.x < b.x;
+    return a.y < b.y;
+  }
+};
+
+// Net vertical boundary segments of the union: +1 runs where coverage
+// starts (left boundaries), -1 where it ends. Abutting rect edges cancel.
+std::vector<VEdge> boundaryVerticals(const Region& region) {
+  std::map<Coord, std::map<Coord, int>> byX;  // x -> y -> delta of net sign
+  for (const Rect& r : region.rects()) {
+    auto& left = byX[r.xl];
+    left[r.yl] += 1;
+    left[r.yh] -= 1;
+    auto& right = byX[r.xh];
+    right[r.yl] -= 1;
+    right[r.yh] += 1;
+  }
+  std::vector<VEdge> edges;
+  for (const auto& [x, deltas] : byX) {
+    int net = 0;
+    Coord runStart = 0;
+    int runSign = 0;
+    for (const auto& [y, delta] : deltas) {
+      const int next = net + delta;
+      if (runSign == 0 && next != 0) {
+        runStart = y;
+        runSign = next;
+      } else if (runSign != 0 && next != runSign) {
+        edges.push_back({x, runStart, y, runSign});
+        if (next != 0) {
+          runStart = y;
+          runSign = next;
+        } else {
+          runSign = 0;
+        }
+      }
+      net = next;
+    }
+    assert(net == 0);
+  }
+  return edges;
+}
+
+}  // namespace
+
+std::vector<Polygon> contours(const Region& region) {
+  std::vector<Polygon> loops;
+  const std::vector<VEdge> verticals = boundaryVerticals(region);
+  if (verticals.empty()) return loops;
+
+  // Horizontal boundary segments: along each horizontal line, vertical-edge
+  // endpoints alternate between region entry and exit, so consecutive
+  // sorted pairs are exactly the boundary runs.
+  std::map<Coord, std::vector<Coord>> endpointsAtY;
+  for (const VEdge& e : verticals) {
+    endpointsAtY[e.ylo].push_back(e.x);
+    endpointsAtY[e.yhi].push_back(e.x);
+  }
+  struct HSeg {
+    Coord xl;
+    Coord xr;
+    Coord y;
+    bool used = false;
+  };
+  std::vector<HSeg> horizontals;
+  for (auto& [y, xs] : endpointsAtY) {
+    std::sort(xs.begin(), xs.end());
+    assert(xs.size() % 2 == 0);
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2) {
+      horizontals.push_back({xs[i], xs[i + 1], y});
+    }
+  }
+
+  // Lookup structures for the loop walk.
+  std::multimap<Point, std::size_t, PointLess> vertByStart;
+  for (std::size_t i = 0; i < verticals.size(); ++i) {
+    vertByStart.insert({verticals[i].start(), i});
+  }
+  std::multimap<Point, std::size_t, PointLess> horizByEndpoint;
+  for (std::size_t i = 0; i < horizontals.size(); ++i) {
+    horizByEndpoint.insert({{horizontals[i].xl, horizontals[i].y}, i});
+    horizByEndpoint.insert({{horizontals[i].xr, horizontals[i].y}, i});
+  }
+
+  std::vector<char> vertUsed(verticals.size(), 0);
+  for (std::size_t seed = 0; seed < verticals.size(); ++seed) {
+    if (vertUsed[seed]) continue;
+    std::vector<Point> vertices;
+    Point at = verticals[seed].start();
+    std::size_t currentVert = seed;
+    while (true) {
+      // Traverse the vertical edge in its intrinsic direction.
+      vertUsed[currentVert] = 1;
+      vertices.push_back(at);
+      at = verticals[currentVert].end();
+      // Then the unused horizontal segment at this vertex.
+      vertices.push_back(at);
+      std::size_t h = horizontals.size();
+      for (auto [it, last] = horizByEndpoint.equal_range(at); it != last;
+           ++it) {
+        if (!horizontals[it->second].used) {
+          h = it->second;
+          break;
+        }
+      }
+      assert(h < horizontals.size());
+      horizontals[h].used = true;
+      at = (at.x == horizontals[h].xl) ? Point{horizontals[h].xr, horizontals[h].y}
+                                       : Point{horizontals[h].xl, horizontals[h].y};
+      if (at == verticals[seed].start()) break;  // loop closed
+      // Next vertical edge starting here.
+      std::size_t v = verticals.size();
+      for (auto [it, last] = vertByStart.equal_range(at); it != last; ++it) {
+        if (!vertUsed[it->second]) {
+          v = it->second;
+          break;
+        }
+      }
+      assert(v < verticals.size());
+      currentVert = v;
+    }
+    loops.emplace_back(std::move(vertices));
+  }
+  return loops;
+}
+
+}  // namespace ofl::geom

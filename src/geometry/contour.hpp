@@ -1,0 +1,21 @@
+// Contour extraction: the inverse of decompose().
+//
+// Converts a region (disjoint rect set) into its boundary loops — outer
+// contours counter-clockwise, hole contours clockwise. Together with
+// decomposeEvenOdd() this closes the polygon<->rectangle round trip: GDS
+// polygons in, rect processing, compact polygons out.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.hpp"
+#include "geometry/region.hpp"
+
+namespace ofl::geom {
+
+/// Boundary loops of `region`. Loops are rectilinear and simple; a point
+/// is inside the region iff it is enclosed by an odd number of loops
+/// (even-odd rule), so decomposeEvenOdd(contours(r)) == r.
+std::vector<Polygon> contours(const Region& region);
+
+}  // namespace ofl::geom

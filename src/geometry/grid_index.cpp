@@ -1,0 +1,49 @@
+#include "geometry/grid_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ofl::geom {
+
+GridIndex::GridIndex(const Rect& extent, Coord cellSize)
+    : extent_(extent), cellSize_(std::max<Coord>(cellSize, 1)) {
+  nx_ = static_cast<int>((extent_.width() + cellSize_ - 1) / cellSize_);
+  ny_ = static_cast<int>((extent_.height() + cellSize_ - 1) / cellSize_);
+  nx_ = std::max(nx_, 1);
+  ny_ = std::max(ny_, 1);
+  cells_.resize(static_cast<std::size_t>(nx_) * ny_);
+}
+
+void GridIndex::cellRange(const Rect& r, int& cx0, int& cy0, int& cx1,
+                          int& cy1) const {
+  auto clampCell = [](Coord v, int n) {
+    return static_cast<int>(std::clamp<Coord>(v, 0, n - 1));
+  };
+  cx0 = clampCell((r.xl - extent_.xl) / cellSize_, nx_);
+  cy0 = clampCell((r.yl - extent_.yl) / cellSize_, ny_);
+  // Half-open rect: xh-1 is the last covered column.
+  cx1 = clampCell((r.xh - 1 - extent_.xl) / cellSize_, nx_);
+  cy1 = clampCell((r.yh - 1 - extent_.yl) / cellSize_, ny_);
+  if (cx1 < cx0) cx1 = cx0;
+  if (cy1 < cy0) cy1 = cy0;
+}
+
+void GridIndex::insert(std::uint32_t id, const Rect& rect) {
+  assert(!rect.empty());
+  int cx0, cy0, cx1, cy1;
+  cellRange(rect, cx0, cy0, cx1, cy1);
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      cells_[cellOf(cx, cy)].push_back(id);
+    }
+  }
+}
+
+std::vector<std::uint32_t> GridIndex::query(const Rect& query) const {
+  std::vector<std::uint32_t> out;
+  visit(query, [&out](std::uint32_t id) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ofl::geom

@@ -1,0 +1,66 @@
+// Uniform-grid spatial index over rectangles.
+//
+// Supports the two hot queries of the fill flow: bucketing shapes into
+// dissection windows and neighbor lookup for spacing constraints. A uniform
+// grid beats an R-tree here because fill shapes are small relative to the
+// die and near-uniformly distributed by construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace ofl::geom {
+
+class GridIndex {
+ public:
+  /// `extent` is the indexed area; `cellSize` the square grid pitch.
+  GridIndex(const Rect& extent, Coord cellSize);
+
+  /// Inserts a rect with a caller-chosen id; rects outside the extent are
+  /// clamped to the border cells so they are still discoverable.
+  void insert(std::uint32_t id, const Rect& rect);
+
+  /// Ids of all inserted rects whose cells intersect `query`. The result
+  /// is deduplicated but the caller must still verify actual overlap
+  /// against its own rect storage (the index stores ids only).
+  std::vector<std::uint32_t> query(const Rect& query) const;
+
+  /// Visits candidate ids without allocation; `fn(id)` may see duplicates
+  /// filtered by an internal stamp, i.e. each id is visited once.
+  template <typename Fn>
+  void visit(const Rect& query, Fn&& fn) const {
+    ++stamp_;
+    int cx0, cy0, cx1, cy1;
+    cellRange(query, cx0, cy0, cx1, cy1);
+    for (int cy = cy0; cy <= cy1; ++cy) {
+      for (int cx = cx0; cx <= cx1; ++cx) {
+        for (std::uint32_t id : cells_[cellOf(cx, cy)]) {
+          if (seen_.size() <= id) seen_.resize(id + 1, 0);
+          if (seen_[id] == stamp_) continue;
+          seen_[id] = stamp_;
+          fn(id);
+        }
+      }
+    }
+  }
+
+  std::size_t cellCount() const { return cells_.size(); }
+
+ private:
+  std::size_t cellOf(int cx, int cy) const {
+    return static_cast<std::size_t>(cy) * nx_ + cx;
+  }
+  void cellRange(const Rect& r, int& cx0, int& cy0, int& cx1, int& cy1) const;
+
+  Rect extent_;
+  Coord cellSize_;
+  int nx_ = 0;
+  int ny_ = 0;
+  std::vector<std::vector<std::uint32_t>> cells_;
+  mutable std::vector<std::uint64_t> seen_;
+  mutable std::uint64_t stamp_ = 0;
+};
+
+}  // namespace ofl::geom

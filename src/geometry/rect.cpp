@@ -1,0 +1,24 @@
+#include "geometry/rect.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ofl::geom {
+
+double Rect::distance(const Rect& o) const {
+  // Gap along each axis between the closed extents; negative gaps mean the
+  // projections overlap, contributing zero to the distance.
+  const double dx = std::max<Coord>({xl - o.xh, o.xl - xh, 0});
+  const double dy = std::max<Coord>({yl - o.yh, o.yl - yh, 0});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string Rect::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%lld,%lld)-(%lld,%lld)",
+                static_cast<long long>(xl), static_cast<long long>(yl),
+                static_cast<long long>(xh), static_cast<long long>(yh));
+  return buf;
+}
+
+}  // namespace ofl::geom

@@ -1,0 +1,120 @@
+// Integer geometry primitives.
+//
+// All coordinates are 64-bit integers in database units (DBU), matching
+// GDSII semantics. Rectangles use HALF-OPEN semantics: a Rect occupies
+// [xl, xh) x [yl, yh). Two rects that merely share an edge therefore do
+// not overlap, and areas of a disjoint decomposition add up exactly.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace ofl::geom {
+
+using Coord = std::int64_t;
+/// Area type: products of two Coords. Layout extents in this library are
+/// kept below 2^31 DBU so Coord*Coord never overflows Area.
+using Area = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Closed-open 1-D interval [lo, hi).
+struct Interval {
+  Coord lo = 0;
+  Coord hi = 0;
+
+  Coord length() const { return hi - lo; }
+  bool empty() const { return hi <= lo; }
+  bool contains(Coord v) const { return lo <= v && v < hi; }
+  bool overlaps(const Interval& o) const { return lo < o.hi && o.lo < hi; }
+
+  Interval intersection(const Interval& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+struct Rect {
+  Coord xl = 0;
+  Coord yl = 0;
+  Coord xh = 0;
+  Coord yh = 0;
+
+  Rect() = default;
+  Rect(Coord xl_, Coord yl_, Coord xh_, Coord yh_)
+      : xl(xl_), yl(yl_), xh(xh_), yh(yh_) {}
+
+  Coord width() const { return xh - xl; }
+  Coord height() const { return yh - yl; }
+  Area area() const { return static_cast<Area>(width()) * height(); }
+  bool empty() const { return xh <= xl || yh <= yl; }
+
+  Interval xInterval() const { return {xl, xh}; }
+  Interval yInterval() const { return {yl, yh}; }
+
+  bool contains(const Point& p) const {
+    return xl <= p.x && p.x < xh && yl <= p.y && p.y < yh;
+  }
+  /// True when `o` lies entirely inside this rect (half-open containment).
+  bool contains(const Rect& o) const {
+    return xl <= o.xl && o.xh <= xh && yl <= o.yl && o.yh <= yh;
+  }
+  bool overlaps(const Rect& o) const {
+    return xl < o.xh && o.xl < xh && yl < o.yh && o.yl < yh;
+  }
+  /// True when the rects overlap or share boundary (abutting counts).
+  bool touches(const Rect& o) const {
+    return xl <= o.xh && o.xl <= xh && yl <= o.yh && o.yl <= yh;
+  }
+
+  /// Intersection; may be empty() when the rects do not overlap.
+  Rect intersection(const Rect& o) const {
+    return {std::max(xl, o.xl), std::max(yl, o.yl), std::min(xh, o.xh),
+            std::min(yh, o.yh)};
+  }
+
+  /// Overlap area with another rect (0 when disjoint).
+  Area overlapArea(const Rect& o) const {
+    const Rect r = intersection(o);
+    return r.empty() ? 0 : r.area();
+  }
+
+  /// Rect grown by `d` on every side (shrunk when d < 0; may become empty).
+  Rect expanded(Coord d) const { return {xl - d, yl - d, xh + d, yh + d}; }
+
+  /// Smallest rect covering both (treats empty() operands as identity when
+  /// combined via bboxUnion below; raw union here assumes both non-empty).
+  Rect bboxUnion(const Rect& o) const {
+    if (empty()) return o;
+    if (o.empty()) return *this;
+    return {std::min(xl, o.xl), std::min(yl, o.yl), std::max(xh, o.xh),
+            std::max(yh, o.yh)};
+  }
+
+  /// Euclidean distance between closures of two rects; 0 when touching.
+  double distance(const Rect& o) const;
+
+  std::string str() const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Lexicographic order (yl, xl, yh, xh); canonical order for deterministic
+/// output of region operations.
+struct RectYXLess {
+  bool operator()(const Rect& a, const Rect& b) const {
+    if (a.yl != b.yl) return a.yl < b.yl;
+    if (a.xl != b.xl) return a.xl < b.xl;
+    if (a.yh != b.yh) return a.yh < b.yh;
+    return a.xh < b.xh;
+  }
+};
+
+}  // namespace ofl::geom

@@ -1,0 +1,60 @@
+// Region: a value-semantic rectilinear area stored as a canonical disjoint
+// rectangle set. Thin, convenient facade over the boolean engine for the
+// fill flow (free-space computation, overlay measurement, clipping).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/boolean.hpp"
+#include "geometry/rect.hpp"
+
+namespace ofl::geom {
+
+class Region {
+ public:
+  Region() = default;
+  /// From possibly-overlapping rects; normalizes to a disjoint set.
+  explicit Region(std::span<const Rect> rects);
+  explicit Region(const std::vector<Rect>& rects)
+      : Region(std::span<const Rect>(rects)) {}
+  explicit Region(const Rect& rect);
+
+  /// Adopts rects that the caller guarantees are already disjoint
+  /// (e.g. output of booleanOp); skips normalization.
+  static Region fromDisjoint(std::vector<Rect> rects);
+
+  const std::vector<Rect>& rects() const { return rects_; }
+  bool empty() const { return rects_.empty(); }
+  std::size_t count() const { return rects_.size(); }
+
+  Area area() const;
+  Rect bbox() const;
+
+  Region unite(const Region& other) const;
+  Region intersect(const Region& other) const;
+  Region subtract(const Region& other) const;
+
+  /// Region clipped to `window`.
+  Region clipped(const Rect& window) const;
+
+  /// Area of overlap with a raw rect set without materializing the result.
+  Area overlapArea(std::span<const Rect> other) const {
+    return intersectionArea(rects_, other);
+  }
+  Area overlapArea(const Region& other) const {
+    return overlapArea(other.rects_);
+  }
+
+  /// Region shrunk by `d` DBU on all four sides of every covered point
+  /// (morphological erosion). Used to keep fills `d` away from region
+  /// boundaries. d must be >= 0.
+  Region shrunk(Coord d) const;
+
+  friend bool operator==(const Region&, const Region&) = default;
+
+ private:
+  std::vector<Rect> rects_;  // disjoint, RectYXLess-sorted
+};
+
+}  // namespace ofl::geom

@@ -1,0 +1,93 @@
+#include "geometry/rtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofl::geom {
+
+RTree::RTree(const std::vector<Rect>& rects, int fanout)
+    : entryRects_(rects), leafCount_(rects.size()) {
+  if (rects.empty()) return;
+  fanout = std::max(fanout, 2);
+
+  // Level 0: STR-pack the entry ids into leaves.
+  // currentIds are the "items" of the level being packed (entry ids for
+  // leaves, node indices above); currentBounds their bounding rects.
+  std::vector<std::int32_t> currentIds(rects.size());
+  std::vector<Rect> currentBounds(rects.size());
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    currentIds[i] = static_cast<std::int32_t>(i);
+    currentBounds[i] = rects[i];
+  }
+  bool leafLevel = true;
+
+  while (true) {
+    const std::size_t n = currentIds.size();
+    const auto nodeCount =
+        static_cast<std::size_t>((n + fanout - 1) / fanout);
+    // STR: sort by center x, cut into vertical slices of ~sqrt(nodeCount)
+    // runs, sort each slice by center y, chop into nodes.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    auto centerX = [&currentBounds](std::size_t i) {
+      return currentBounds[i].xl + currentBounds[i].xh;
+    };
+    auto centerY = [&currentBounds](std::size_t i) {
+      return currentBounds[i].yl + currentBounds[i].yh;
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return centerX(a) != centerX(b) ? centerX(a) < centerX(b)
+                                                : centerY(a) < centerY(b);
+              });
+    const auto sliceCount = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(nodeCount))));
+    const std::size_t sliceSize =
+        (n + sliceCount - 1) / std::max<std::size_t>(sliceCount, 1);
+    for (std::size_t s = 0; s * sliceSize < n; ++s) {
+      const std::size_t lo = s * sliceSize;
+      const std::size_t hi = std::min(lo + sliceSize, n);
+      std::sort(order.begin() + static_cast<std::ptrdiff_t>(lo),
+                order.begin() + static_cast<std::ptrdiff_t>(hi),
+                [&](std::size_t a, std::size_t b) {
+                  return centerY(a) != centerY(b) ? centerY(a) < centerY(b)
+                                                  : centerX(a) < centerX(b);
+                });
+    }
+
+    // Emit nodes over the packed order.
+    std::vector<std::int32_t> nextIds;
+    std::vector<Rect> nextBounds;
+    for (std::size_t lo = 0; lo < n; lo += static_cast<std::size_t>(fanout)) {
+      const std::size_t hi =
+          std::min(lo + static_cast<std::size_t>(fanout), n);
+      Node node;
+      node.leaf = leafLevel;
+      node.firstChild = static_cast<std::int32_t>(children_.size());
+      node.childCount = static_cast<std::int32_t>(hi - lo);
+      Rect bounds;
+      for (std::size_t k = lo; k < hi; ++k) {
+        children_.push_back(currentIds[order[k]]);
+        bounds = bounds.bboxUnion(currentBounds[order[k]]);
+      }
+      node.bounds = bounds;
+      nextIds.push_back(static_cast<std::int32_t>(nodes_.size()));
+      nextBounds.push_back(bounds);
+      nodes_.push_back(node);
+    }
+    ++height_;
+    if (nextIds.size() == 1) break;  // the single node just emitted is root
+    currentIds = std::move(nextIds);
+    currentBounds = std::move(nextBounds);
+    leafLevel = false;
+  }
+}
+
+std::vector<std::uint32_t> RTree::query(const Rect& query) const {
+  std::vector<std::uint32_t> out;
+  visit(query, [&out](std::uint32_t id) { out.push_back(id); });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ofl::geom

@@ -1,0 +1,70 @@
+// Static R-tree over rectangles, bulk-loaded with Sort-Tile-Recursive
+// (STR) packing.
+//
+// Complements GridIndex: the grid wins on near-uniform fill shapes, the
+// R-tree wins when shape sizes vary wildly (whole-die wires next to tiny
+// fills) or when the die is mostly empty. Build once, query many — the
+// fill flow's access pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace ofl::geom {
+
+class RTree {
+ public:
+  /// Bulk-loads the tree; `rects[i]` keeps external id i.
+  explicit RTree(const std::vector<Rect>& rects, int fanout = 8);
+
+  /// Ids of all rects whose bounds overlap `query` (exact, not candidate:
+  /// entry rects are stored and tested).
+  std::vector<std::uint32_t> query(const Rect& query) const;
+
+  /// Visits matching ids without allocating.
+  template <typename Fn>
+  void visit(const Rect& query, Fn&& fn) const {
+    if (nodes_.empty()) return;
+    visitNode(static_cast<int>(nodes_.size()) - 1, query, fn);
+  }
+
+  std::size_t size() const { return leafCount_; }
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    Rect bounds;
+    // Leaf entries reference external ids; internal entries reference
+    // child node indices.
+    std::int32_t firstChild = -1;  // index into children_ slabs
+    std::int32_t childCount = 0;
+    bool leaf = false;
+  };
+
+  template <typename Fn>
+  void visitNode(int nodeIdx, const Rect& query, Fn&& fn) const {
+    const Node& node = nodes_[static_cast<std::size_t>(nodeIdx)];
+    if (!node.bounds.overlaps(query)) return;
+    for (std::int32_t k = 0; k < node.childCount; ++k) {
+      const std::int32_t child =
+          children_[static_cast<std::size_t>(node.firstChild + k)];
+      if (node.leaf) {
+        if (entryRects_[static_cast<std::size_t>(child)].overlaps(query)) {
+          fn(static_cast<std::uint32_t>(child));
+        }
+      } else {
+        visitNode(child, query, fn);
+      }
+    }
+  }
+
+  std::vector<Node> nodes_;        // root is the last node
+  std::vector<std::int32_t> children_;
+  std::vector<Rect> entryRects_;   // external rects by id
+  std::size_t leafCount_ = 0;
+  int height_ = 0;
+};
+
+}  // namespace ofl::geom

@@ -1,0 +1,4 @@
+#include "layout/design_rules.hpp"
+
+// DesignRules is a plain aggregate; TU anchors the target.
+namespace ofl::layout {}

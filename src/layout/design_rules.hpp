@@ -1,0 +1,27 @@
+// DRC rules relevant to fill insertion (paper Table 1: sm, wm, am) plus
+// the practical knobs a fill generator needs.
+#pragma once
+
+#include "geometry/rect.hpp"
+
+namespace ofl::layout {
+
+struct DesignRules {
+  geom::Coord minWidth = 10;     // wm: min fill width/height
+  geom::Coord minSpacing = 10;   // sm: min fill-fill and fill-wire spacing
+  geom::Area minArea = 100;      // am: min fill area
+  /// Maximum fill dimension; bounds metal pattern size for manufacturability
+  /// and caps the per-window problem size.
+  geom::Coord maxFillSize = 400;
+  /// Foundry maximum window density (dishing limit); 1.0 disables the cap.
+  /// Planning clamps every window target to this value.
+  double maxDensity = 1.0;
+
+  /// True when `r` alone satisfies the width/area rules.
+  bool shapeOk(const geom::Rect& r) const {
+    return r.width() >= minWidth && r.height() >= minWidth &&
+           r.area() >= minArea;
+  }
+};
+
+}  // namespace ofl::layout

@@ -1,0 +1,84 @@
+#include "layout/drc_checker.hpp"
+
+#include <cstdio>
+
+#include "geometry/grid_index.hpp"
+
+namespace ofl::layout {
+
+std::string DrcViolation::str() const {
+  const char* names[] = {"min-width",    "min-area",         "fill-fill-spacing",
+                         "fill-wire-spacing", "overlap-same-layer", "outside-die"};
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "%s layer=%d a=%s b=%s",
+                names[static_cast<int>(kind)], layer, a.str().c_str(),
+                b.str().c_str());
+  return buf;
+}
+
+std::vector<DrcViolation> DrcChecker::check(const Layout& layout,
+                                            std::size_t maxViolations) const {
+  std::vector<DrcViolation> out;
+  auto add = [&out, maxViolations](DrcViolation v) {
+    if (out.size() < maxViolations) out.push_back(std::move(v));
+  };
+
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    const Layer& layer = layout.layer(l);
+    const auto& fills = layer.fills;
+
+    // Shape-local rules and die containment.
+    for (const geom::Rect& f : fills) {
+      if (f.width() < rules_.minWidth || f.height() < rules_.minWidth) {
+        add({DrcViolationKind::kMinWidth, l, f, {}});
+      }
+      if (f.area() < rules_.minArea) {
+        add({DrcViolationKind::kMinArea, l, f, {}});
+      }
+      if (!layout.die().contains(f)) {
+        add({DrcViolationKind::kOutsideDie, l, f, {}});
+      }
+    }
+
+    // Pairwise rules via a spatial index over fills and wires. Cell size
+    // tracks the query radius so neighbor lists stay short.
+    if (fills.empty()) continue;
+    const geom::Coord cell =
+        std::max<geom::Coord>(4 * rules_.maxFillSize, 64);
+    geom::GridIndex fillIndex(layout.die(), cell);
+    for (std::size_t i = 0; i < fills.size(); ++i) {
+      fillIndex.insert(static_cast<std::uint32_t>(i), fills[i]);
+    }
+    geom::GridIndex wireIndex(layout.die(), cell);
+    for (std::size_t i = 0; i < layer.wires.size(); ++i) {
+      wireIndex.insert(static_cast<std::uint32_t>(i), layer.wires[i]);
+    }
+
+    for (std::size_t i = 0; i < fills.size(); ++i) {
+      const geom::Rect probe = fills[i].expanded(rules_.minSpacing);
+      fillIndex.visit(probe, [&](std::uint32_t id) {
+        if (id <= i) return;  // report each pair once
+        const geom::Rect& other = fills[id];
+        if (fills[i].overlaps(other)) {
+          add({DrcViolationKind::kOverlapSameLayer, l, fills[i], other});
+        } else if (fills[i].distance(other) <
+                   static_cast<double>(rules_.minSpacing)) {
+          add({DrcViolationKind::kSpacingFillFill, l, fills[i], other});
+        }
+      });
+      wireIndex.visit(probe, [&](std::uint32_t id) {
+        const geom::Rect& wire = layer.wires[id];
+        if (fills[i].overlaps(wire)) {
+          add({DrcViolationKind::kOverlapSameLayer, l, fills[i], wire});
+        } else if (fills[i].distance(wire) <
+                   static_cast<double>(rules_.minSpacing)) {
+          add({DrcViolationKind::kSpacingFillWire, l, fills[i], wire});
+        }
+      });
+      if (out.size() >= maxViolations) return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace ofl::layout

@@ -1,0 +1,49 @@
+// Post-fill DRC verification.
+//
+// Checks every fill shape against the rules the sizing stage must satisfy
+// (paper constraints 9e-9g): min width, min area, min spacing to other
+// fills and to wires on the same layer, die containment and no overlap
+// with same-layer shapes. Used by tests and by the Evaluator to reject
+// illegal solutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "layout/design_rules.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::layout {
+
+enum class DrcViolationKind {
+  kMinWidth,
+  kMinArea,
+  kSpacingFillFill,
+  kSpacingFillWire,
+  kOverlapSameLayer,
+  kOutsideDie,
+};
+
+struct DrcViolation {
+  DrcViolationKind kind;
+  int layer;
+  geom::Rect a;
+  geom::Rect b;  // second shape for pairwise violations; empty otherwise
+
+  std::string str() const;
+};
+
+class DrcChecker {
+ public:
+  explicit DrcChecker(DesignRules rules) : rules_(rules) {}
+
+  /// All violations among fills of `layout` (wires are assumed legal input).
+  /// Stops after `maxViolations` to bound runtime on broken solutions.
+  std::vector<DrcViolation> check(const Layout& layout,
+                                  std::size_t maxViolations = 1000) const;
+
+ private:
+  DesignRules rules_;
+};
+
+}  // namespace ofl::layout

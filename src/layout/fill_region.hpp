@@ -1,0 +1,29 @@
+// Feasible fill region extraction (paper Fig. 3, "Initial Fill Regions").
+//
+// The fill region of a layer is the die area minus wires inflated by the
+// min fill-to-wire spacing. Computed per window so each window carries its
+// own free space for planning and candidate generation.
+#pragma once
+
+#include <vector>
+
+#include "geometry/region.hpp"
+#include "layout/design_rules.hpp"
+#include "layout/layout.hpp"
+#include "layout/window_grid.hpp"
+
+namespace ofl::layout {
+
+/// Per-window fill regions for one layer, indexed by WindowGrid::flatIndex.
+/// The regions already honor fill-to-wire spacing and die clipping; they do
+/// NOT yet honor min width/area (candidate generation handles that).
+std::vector<geom::Region> computeFillRegions(const Layout& layout, int layer,
+                                             const WindowGrid& grid,
+                                             const DesignRules& rules);
+
+/// Whole-layer fill region (union over windows); used by baselines that do
+/// not operate window-by-window.
+geom::Region computeLayerFillRegion(const Layout& layout, int layer,
+                                    const DesignRules& rules);
+
+}  // namespace ofl::layout

@@ -1,0 +1,179 @@
+#include "layout/gds_compact.hpp"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ofl::layout {
+namespace {
+
+using geom::Coord;
+using geom::Rect;
+
+// A horizontal run of equal-size fills at one y with constant pitch.
+struct XRun {
+  Coord xl;
+  Coord yl;
+  int count;
+  Coord pitchX;  // 0 for single-element runs
+};
+
+// Splits the x-sorted positions of one row into maximal constant-pitch
+// runs.
+std::vector<XRun> findXRuns(Coord yl, std::vector<Coord> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<XRun> runs;
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    if (i + 1 >= xs.size()) {
+      runs.push_back({xs[i], yl, 1, 0});
+      break;
+    }
+    const Coord pitch = xs[i + 1] - xs[i];
+    std::size_t j = i + 1;
+    while (j + 1 < xs.size() && xs[j + 1] - xs[j] == pitch) ++j;
+    const int count = static_cast<int>(j - i + 1);
+    if (count >= 2) {
+      runs.push_back({xs[i], yl, count, pitch});
+      i = j + 1;
+    } else {
+      runs.push_back({xs[i], yl, 1, 0});
+      ++i;
+    }
+  }
+  return runs;
+}
+
+// Key identifying x-runs that can stack vertically into one 2-D array.
+struct StackKey {
+  Coord xl;
+  int count;
+  Coord pitchX;
+  bool operator<(const StackKey& o) const {
+    if (xl != o.xl) return xl < o.xl;
+    if (count != o.count) return count < o.count;
+    return pitchX < o.pitchX;
+  }
+};
+
+}  // namespace
+
+gds::Library toCompactGds(const Layout& layout, const CompactOptions& options,
+                          const std::string& topName) {
+  gds::Library lib;
+  lib.cells.emplace_back();
+  lib.cells[0].name = topName;
+
+  // Fill cells created on demand, keyed by (layer, w, h).
+  std::map<std::tuple<int, Coord, Coord>, std::string> fillCells;
+  auto fillCellName = [&](int layer, Coord w, Coord h) {
+    const auto key = std::make_tuple(layer, w, h);
+    auto it = fillCells.find(key);
+    if (it != fillCells.end()) return it->second;
+    const std::string name = "FILL_" + std::to_string(w) + "x" +
+                             std::to_string(h) + "_L" +
+                             std::to_string(layer + 1);
+    gds::Cell cell;
+    cell.name = name;
+    gds::Writer::addRect(cell, static_cast<std::int16_t>(layer + 1),
+                         {0, 0, w, h}, /*datatype=*/1);
+    lib.cells.push_back(std::move(cell));
+    fillCells.emplace(key, name);
+    return name;
+  };
+
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    gds::Cell& top = lib.cells[0];  // re-take: lib.cells may reallocate
+    const auto gdsLayer = static_cast<std::int16_t>(l + 1);
+    for (const Rect& r : layout.layer(l).wires) {
+      gds::Writer::addRect(top, gdsLayer, r, /*datatype=*/0);
+    }
+
+    // Group fills by exact size.
+    std::map<std::pair<Coord, Coord>, std::map<Coord, std::vector<Coord>>>
+        bySize;  // (w,h) -> yl -> xl list
+    for (const Rect& r : layout.layer(l).fills) {
+      bySize[{r.width(), r.height()}][r.yl].push_back(r.xl);
+    }
+
+    for (auto& [size, rows] : bySize) {
+      const auto [w, h] = size;
+      // Per row: constant-pitch x-runs.
+      std::map<StackKey, std::vector<XRun>> stacks;
+      std::vector<XRun> singles;
+      for (auto& [yl, xs] : rows) {
+        for (const XRun& run : findXRuns(yl, std::move(xs))) {
+          if (run.count == 1) {
+            singles.push_back(run);
+          } else {
+            stacks[{run.xl, run.count, run.pitchX}].push_back(run);
+          }
+        }
+      }
+
+      auto emitRun = [&](const XRun& run, int numRows, Coord pitchY) {
+        gds::Cell& topCell = lib.cells[0];
+        const int total = run.count * numRows;
+        if (total < options.minRunLength) {
+          // Too small to pay for a reference: flat boundaries.
+          for (int rr = 0; rr < numRows; ++rr) {
+            for (int cc = 0; cc < run.count; ++cc) {
+              const Coord x = run.xl + cc * run.pitchX;
+              const Coord y = run.yl + rr * pitchY;
+              gds::Writer::addRect(topCell, gdsLayer, {x, y, x + w, y + h},
+                                   /*datatype=*/1);
+            }
+          }
+          return;
+        }
+        const std::string cellName = fillCellName(l, w, h);
+        gds::Cell& topAfter = lib.cells[0];  // fillCellName may reallocate
+        if (total == 1) {
+          topAfter.srefs.push_back({cellName, {run.xl, run.yl}});
+        } else {
+          gds::Aref aref;
+          aref.cellName = cellName;
+          aref.origin = {run.xl, run.yl};
+          aref.cols = run.count;
+          aref.rows = numRows;
+          // GDS requires nonzero pitches even for 1-wide arrays.
+          aref.pitchX = run.count > 1 ? run.pitchX : w;
+          aref.pitchY = numRows > 1 ? pitchY : h;
+          topAfter.arefs.push_back(std::move(aref));
+        }
+      };
+
+      // Stack equal x-runs at constant y pitch into 2-D arrays.
+      for (auto& [key, runs] : stacks) {
+        std::sort(runs.begin(), runs.end(),
+                  [](const XRun& a, const XRun& b) { return a.yl < b.yl; });
+        std::size_t i = 0;
+        while (i < runs.size()) {
+          std::size_t j = i;
+          Coord pitchY = 0;
+          if (i + 1 < runs.size()) {
+            pitchY = runs[i + 1].yl - runs[i].yl;
+            j = i + 1;
+            while (j + 1 < runs.size() &&
+                   runs[j + 1].yl - runs[j].yl == pitchY) {
+              ++j;
+            }
+          }
+          const int numRows = static_cast<int>(j - i + 1);
+          if (numRows >= 2) {
+            emitRun(runs[i], numRows, pitchY);
+            i = j + 1;
+          } else {
+            emitRun(runs[i], 1, 0);
+            ++i;
+          }
+        }
+      }
+      for (const XRun& run : singles) emitRun(run, 1, 0);
+    }
+  }
+  return lib;
+}
+
+}  // namespace ofl::layout

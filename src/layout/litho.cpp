@@ -1,0 +1,68 @@
+#include "layout/litho.hpp"
+
+#include <algorithm>
+
+#include "geometry/grid_index.hpp"
+
+namespace ofl::layout {
+namespace {
+
+// Axis gap between two rects when their projections on the other axis
+// overlap; -1 when there is no facing relation (corner or overlap).
+geom::Coord facingGap(const geom::Rect& a, const geom::Rect& b) {
+  const bool xOverlap = a.xl < b.xh && b.xl < a.xh;
+  const bool yOverlap = a.yl < b.yh && b.yl < a.yh;
+  if (xOverlap == yOverlap) return -1;  // disjoint corners or overlapping
+  if (yOverlap) {
+    return std::max(b.xl - a.xh, a.xl - b.xh);
+  }
+  return std::max(b.yl - a.yh, a.yl - b.yh);
+}
+
+}  // namespace
+
+std::vector<LithoHotspot> LithoChecker::check(const Layout& layout,
+                                              std::size_t maxHotspots) const {
+  std::vector<LithoHotspot> out;
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    const Layer& layer = layout.layer(l);
+    if (layer.fills.empty()) continue;
+
+    // One index over fills and wires; ids >= fills.size() are wires.
+    const geom::Coord cell = std::max<geom::Coord>(8 * rules_.forbiddenHi, 64);
+    geom::GridIndex index(layout.die(), cell);
+    for (std::size_t i = 0; i < layer.fills.size(); ++i) {
+      index.insert(static_cast<std::uint32_t>(i), layer.fills[i]);
+    }
+    for (std::size_t i = 0; i < layer.wires.size(); ++i) {
+      index.insert(static_cast<std::uint32_t>(layer.fills.size() + i),
+                   layer.wires[i]);
+    }
+
+    for (std::size_t i = 0; i < layer.fills.size(); ++i) {
+      const geom::Rect probe = layer.fills[i].expanded(rules_.forbiddenHi);
+      index.visit(probe, [&](std::uint32_t id) {
+        const bool otherIsWire = id >= layer.fills.size();
+        // Count each fill-fill pair once; fill-wire pairs always from the
+        // fill's side.
+        if (!otherIsWire && id <= i) return;
+        const geom::Rect& other =
+            otherIsWire ? layer.wires[id - layer.fills.size()]
+                        : layer.fills[id];
+        const geom::Coord gap = facingGap(layer.fills[i], other);
+        if (gap >= rules_.forbiddenLo && gap < rules_.forbiddenHi &&
+            out.size() < maxHotspots) {
+          out.push_back({l, layer.fills[i], other, gap});
+        }
+      });
+      if (out.size() >= maxHotspots) return out;
+    }
+  }
+  return out;
+}
+
+std::size_t LithoChecker::count(const Layout& layout) const {
+  return check(layout).size();
+}
+
+}  // namespace ofl::layout

@@ -1,0 +1,47 @@
+// Lithography-friendliness analysis — the paper's stated future work
+// ("evaluation on lithography related impacts and methodologies
+// considering lithograph-friendliness during dummy fill insertion").
+//
+// Model: facing shape edges at a gap inside a forbidden-pitch band
+// [forbiddenLo, forbiddenHi) print poorly (classic forbidden-pitch rule).
+// The checker finds same-layer shape pairs whose axis-aligned gap falls in
+// the band while the shapes overlap in the other axis. The fill engine can
+// avoid creating such gaps by widening candidate gutters past the band
+// (CandidateGenerator::Options::lithoGutter).
+#pragma once
+
+#include <vector>
+
+#include "layout/layout.hpp"
+
+namespace ofl::layout {
+
+struct LithoRules {
+  geom::Coord forbiddenLo = 12;  // gaps in [lo, hi) are hotspots
+  geom::Coord forbiddenHi = 18;
+};
+
+struct LithoHotspot {
+  int layer;
+  geom::Rect a;
+  geom::Rect b;
+  geom::Coord gap;
+};
+
+class LithoChecker {
+ public:
+  explicit LithoChecker(LithoRules rules) : rules_(rules) {}
+
+  /// Fill-fill and fill-wire forbidden-gap pairs across all layers.
+  /// Wire-wire gaps are the routing tool's responsibility and not counted.
+  std::vector<LithoHotspot> check(const Layout& layout,
+                                  std::size_t maxHotspots = 10000) const;
+
+  /// Count only (no hotspot materialization).
+  std::size_t count(const Layout& layout) const;
+
+ private:
+  LithoRules rules_;
+};
+
+}  // namespace ofl::layout

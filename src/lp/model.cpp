@@ -1,0 +1,53 @@
+#include "lp/model.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ofl::lp {
+
+int LpModel::addVariable(double cost, double lower, double upper) {
+  assert(lower <= upper);
+  costs_.push_back(cost);
+  lowers_.push_back(lower);
+  uppers_.push_back(upper);
+  return numVariables() - 1;
+}
+
+void LpModel::addConstraint(std::vector<std::pair<int, double>> terms,
+                            Sense sense, double rhs) {
+  for ([[maybe_unused]] const auto& [v, coeff] : terms) {
+    assert(v >= 0 && v < numVariables());
+  }
+  constraints_.push_back({std::move(terms), sense, rhs});
+}
+
+double LpModel::objective(const std::vector<double>& x) const {
+  double obj = 0.0;
+  for (int v = 0; v < numVariables(); ++v) {
+    obj += cost(v) * x[static_cast<std::size_t>(v)];
+  }
+  return obj;
+}
+
+double LpModel::infeasibility(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (int v = 0; v < numVariables(); ++v) {
+    const double xv = x[static_cast<std::size_t>(v)];
+    worst = std::max(worst, lower(v) - xv);
+    if (upper(v) < kInfinity) worst = std::max(worst, xv - upper(v));
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [v, coeff] : c.terms) {
+      lhs += coeff * x[static_cast<std::size_t>(v)];
+    }
+    switch (c.sense) {
+      case Sense::kLessEqual: worst = std::max(worst, lhs - c.rhs); break;
+      case Sense::kGreaterEqual: worst = std::max(worst, c.rhs - lhs); break;
+      case Sense::kEqual: worst = std::max(worst, std::abs(lhs - c.rhs)); break;
+    }
+  }
+  return worst;
+}
+
+}  // namespace ofl::lp

@@ -1,0 +1,57 @@
+// Generic linear program container.
+//
+//   min  c' x
+//   s.t. sum_j a_ij x_j  {<=, =, >=}  b_i
+//        l <= x <= u  (u may be +infinity)
+//
+// Used by the tile-based LP baseline (Kahng et al. [4]-style min-variation
+// fill) and by the ILP-relaxation ablation of the sizing stage.
+#pragma once
+
+#include <limits>
+#include <utility>
+#include <vector>
+
+namespace ofl::lp {
+
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+enum class Sense { kLessEqual, kEqual, kGreaterEqual };
+
+struct Constraint {
+  std::vector<std::pair<int, double>> terms;  // (variable, coefficient)
+  Sense sense = Sense::kLessEqual;
+  double rhs = 0.0;
+};
+
+class LpModel {
+ public:
+  /// Adds a variable; returns its index.
+  int addVariable(double cost, double lower = 0.0, double upper = kInfinity);
+
+  void addConstraint(std::vector<std::pair<int, double>> terms, Sense sense,
+                     double rhs);
+
+  int numVariables() const { return static_cast<int>(costs_.size()); }
+  int numConstraints() const { return static_cast<int>(constraints_.size()); }
+
+  double cost(int v) const { return costs_[static_cast<std::size_t>(v)]; }
+  double lower(int v) const { return lowers_[static_cast<std::size_t>(v)]; }
+  double upper(int v) const { return uppers_[static_cast<std::size_t>(v)]; }
+  const Constraint& constraint(int c) const {
+    return constraints_[static_cast<std::size_t>(c)];
+  }
+
+  double objective(const std::vector<double>& x) const;
+
+  /// Max constraint violation plus max bound violation of `x` (0 = feasible).
+  double infeasibility(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> costs_;
+  std::vector<double> lowers_;
+  std::vector<double> uppers_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace ofl::lp

@@ -1,0 +1,282 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace ofl::lp {
+namespace {
+
+enum VarStatus : signed char { kBasic = 0, kAtLower = 1, kAtUpper = 2 };
+
+// Internal standard form after shifting x' = x - l:
+//   min c'x'  s.t.  T x' = b,  0 <= x' <= u-l,
+// where T includes slack, surplus and artificial columns.
+struct Tableau {
+  int rows = 0;
+  int cols = 0;  // structural + slack/surplus + artificial
+  std::vector<double> a;     // rows x cols, row-major (kept as B^-1 A)
+  std::vector<double> b;     // basic variable values
+  std::vector<double> cost;
+  std::vector<double> ub;    // shifted upper bounds
+  std::vector<int> basis;    // per row: basic column
+  std::vector<signed char> status;
+
+  double& at(int r, int c) { return a[static_cast<std::size_t>(r) * cols + c]; }
+  double at(int r, int c) const {
+    return a[static_cast<std::size_t>(r) * cols + c];
+  }
+};
+
+}  // namespace
+
+LpResult SimplexSolver::solve(const LpModel& model) const {
+  LpResult result;
+  const int n = model.numVariables();
+  const int m = model.numConstraints();
+  const double eps = options_.tolerance;
+
+  // --- Build the shifted standard form ---
+  // Row RHS after substituting the lower bounds, then normalized to >= 0.
+  std::vector<double> rhs(static_cast<std::size_t>(m));
+  std::vector<double> rowSign(static_cast<std::size_t>(m), 1.0);
+  for (int r = 0; r < m; ++r) {
+    const Constraint& c = model.constraint(r);
+    double shifted = c.rhs;
+    for (const auto& [v, coeff] : c.terms) shifted -= coeff * model.lower(v);
+    rhs[static_cast<std::size_t>(r)] = shifted;
+  }
+
+  // Column layout: [0, n) structural, then per-row slack/surplus, then
+  // per-row artificial where needed.
+  Tableau t;
+  t.rows = m;
+  int cols = n;
+  std::vector<int> slackCol(static_cast<std::size_t>(m), -1);
+  std::vector<int> artCol(static_cast<std::size_t>(m), -1);
+  for (int r = 0; r < m; ++r) {
+    Sense sense = model.constraint(r).sense;
+    if (rhs[static_cast<std::size_t>(r)] < 0) {
+      rowSign[static_cast<std::size_t>(r)] = -1.0;
+      rhs[static_cast<std::size_t>(r)] = -rhs[static_cast<std::size_t>(r)];
+      if (sense == Sense::kLessEqual) {
+        sense = Sense::kGreaterEqual;
+      } else if (sense == Sense::kGreaterEqual) {
+        sense = Sense::kLessEqual;
+      }
+    }
+    if (sense != Sense::kEqual) slackCol[static_cast<std::size_t>(r)] = cols++;
+    // >= rows need an artificial (their surplus column is -1); = rows too.
+    if (sense != Sense::kLessEqual) artCol[static_cast<std::size_t>(r)] = cols++;
+    // Stash the effective sense via the slack coefficient sign below.
+  }
+  t.cols = cols;
+  t.a.assign(static_cast<std::size_t>(m) * cols, 0.0);
+  t.b = rhs;
+  t.cost.assign(static_cast<std::size_t>(cols), 0.0);
+  t.ub.assign(static_cast<std::size_t>(cols), kInfinity);
+  t.status.assign(static_cast<std::size_t>(cols), kAtLower);
+  t.basis.assign(static_cast<std::size_t>(m), -1);
+
+  double costScale = 1.0;
+  for (int v = 0; v < n; ++v) {
+    costScale = std::max(costScale, std::abs(model.cost(v)));
+  }
+  const double bigM = 1e7 * costScale;
+
+  for (int v = 0; v < n; ++v) {
+    t.cost[static_cast<std::size_t>(v)] = model.cost(v);
+    t.ub[static_cast<std::size_t>(v)] =
+        model.upper(v) >= kInfinity ? kInfinity
+                                    : model.upper(v) - model.lower(v);
+  }
+  for (int r = 0; r < m; ++r) {
+    const Constraint& c = model.constraint(r);
+    for (const auto& [v, coeff] : c.terms) {
+      t.at(r, v) += rowSign[static_cast<std::size_t>(r)] * coeff;
+    }
+    Sense sense = c.sense;
+    if (rowSign[static_cast<std::size_t>(r)] < 0) {
+      if (sense == Sense::kLessEqual) sense = Sense::kGreaterEqual;
+      else if (sense == Sense::kGreaterEqual) sense = Sense::kLessEqual;
+    }
+    const int sc = slackCol[static_cast<std::size_t>(r)];
+    const int ac = artCol[static_cast<std::size_t>(r)];
+    if (sense == Sense::kLessEqual) {
+      t.at(r, sc) = 1.0;
+      t.basis[static_cast<std::size_t>(r)] = sc;
+      t.status[static_cast<std::size_t>(sc)] = kBasic;
+    } else if (sense == Sense::kGreaterEqual) {
+      t.at(r, sc) = -1.0;
+      t.at(r, ac) = 1.0;
+      t.cost[static_cast<std::size_t>(ac)] = bigM;
+      t.basis[static_cast<std::size_t>(r)] = ac;
+      t.status[static_cast<std::size_t>(ac)] = kBasic;
+    } else {  // equality
+      t.at(r, ac) = 1.0;
+      t.cost[static_cast<std::size_t>(ac)] = bigM;
+      t.basis[static_cast<std::size_t>(r)] = ac;
+      t.status[static_cast<std::size_t>(ac)] = kBasic;
+    }
+  }
+
+  // Dual values y' = c_B' B^-1, maintained implicitly through the reduced
+  // cost row, updated per pivot like the tableau body.
+  std::vector<double> reduced(t.cost);
+  // reduced_j = c_j - c_B' (B^-1 A)_j ; initially B = I on slack/artificial
+  // columns, so subtract basic costs times rows.
+  for (int r = 0; r < m; ++r) {
+    const int bc = t.basis[static_cast<std::size_t>(r)];
+    const double cb = t.cost[static_cast<std::size_t>(bc)];
+    if (cb == 0.0) continue;
+    for (int j = 0; j < t.cols; ++j) {
+      reduced[static_cast<std::size_t>(j)] -= cb * t.at(r, j);
+    }
+  }
+
+  int iterations = 0;
+  while (iterations < options_.maxIterations) {
+    // --- pricing (Dantzig with bound-direction awareness) ---
+    int entering = -1;
+    double bestScore = eps;
+    bool enteringIncreases = true;
+    for (int j = 0; j < t.cols; ++j) {
+      const signed char st = t.status[static_cast<std::size_t>(j)];
+      if (st == kBasic) continue;
+      const double d = reduced[static_cast<std::size_t>(j)];
+      if (st == kAtLower && -d > bestScore) {
+        bestScore = -d;
+        entering = j;
+        enteringIncreases = true;
+      } else if (st == kAtUpper && d > bestScore) {
+        bestScore = d;
+        entering = j;
+        enteringIncreases = false;
+      }
+    }
+    if (entering < 0) break;  // optimal
+    ++iterations;
+
+    // --- ratio test ---
+    // Entering moves by `delta` (increase from lower or decrease from
+    // upper). Basic variable x_B(r) changes by -dir * a_r,entering * delta.
+    const double dir = enteringIncreases ? 1.0 : -1.0;
+    double delta = t.ub[static_cast<std::size_t>(entering)];  // bound flip cap
+    int leavingRow = -1;
+    bool leavingToUpper = false;
+    for (int r = 0; r < m; ++r) {
+      const double coeff = dir * t.at(r, entering);
+      if (coeff > eps) {
+        // basic decreases toward 0
+        const double ratio = t.b[static_cast<std::size_t>(r)] / coeff;
+        if (ratio < delta - eps) {
+          delta = std::max(ratio, 0.0);
+          leavingRow = r;
+          leavingToUpper = false;
+        }
+      } else if (coeff < -eps) {
+        // basic increases toward its upper bound
+        const int bc = t.basis[static_cast<std::size_t>(r)];
+        const double bu = t.ub[static_cast<std::size_t>(bc)];
+        if (bu >= kInfinity) continue;
+        const double ratio =
+            (bu - t.b[static_cast<std::size_t>(r)]) / (-coeff);
+        if (ratio < delta - eps) {
+          delta = std::max(ratio, 0.0);
+          leavingRow = r;
+          leavingToUpper = true;
+        }
+      }
+    }
+    if (delta >= kInfinity) {
+      result.status = LpStatus::kUnbounded;
+      return result;
+    }
+
+    if (leavingRow < 0) {
+      // Pure bound flip of the entering variable.
+      for (int r = 0; r < m; ++r) {
+        t.b[static_cast<std::size_t>(r)] -= dir * t.at(r, entering) * delta;
+      }
+      t.status[static_cast<std::size_t>(entering)] =
+          enteringIncreases ? kAtUpper : kAtLower;
+      continue;
+    }
+
+    // --- pivot on (leavingRow, entering) ---
+    // First move the solution point.
+    for (int r = 0; r < m; ++r) {
+      t.b[static_cast<std::size_t>(r)] -= dir * t.at(r, entering) * delta;
+    }
+    const int leavingCol = t.basis[static_cast<std::size_t>(leavingRow)];
+    t.status[static_cast<std::size_t>(leavingCol)] =
+        leavingToUpper ? kAtUpper : kAtLower;
+    // Entering's basic value: distance moved from its active bound,
+    // expressed from the lower bound.
+    const double enteringValue =
+        enteringIncreases ? delta
+                          : t.ub[static_cast<std::size_t>(entering)] - delta;
+    t.status[static_cast<std::size_t>(entering)] = kBasic;
+    t.basis[static_cast<std::size_t>(leavingRow)] = entering;
+
+    const double pivot = t.at(leavingRow, entering);
+    assert(std::abs(pivot) > eps * 1e-3);
+    const double invPivot = 1.0 / pivot;
+    for (int j = 0; j < t.cols; ++j) t.at(leavingRow, j) *= invPivot;
+    // The leaving row's b currently holds the leaving variable's new basic
+    // value (0 or ub); replace with the entering variable's value.
+    t.b[static_cast<std::size_t>(leavingRow)] = enteringValue;
+    for (int r = 0; r < m; ++r) {
+      if (r == leavingRow) continue;
+      const double factor = t.at(r, entering);
+      if (factor == 0.0) continue;
+      for (int j = 0; j < t.cols; ++j) {
+        t.at(r, j) -= factor * t.at(leavingRow, j);
+      }
+    }
+    const double redFactor = reduced[static_cast<std::size_t>(entering)];
+    if (redFactor != 0.0) {
+      for (int j = 0; j < t.cols; ++j) {
+        reduced[static_cast<std::size_t>(j)] -=
+            redFactor * t.at(leavingRow, j);
+      }
+    }
+  }
+
+  result.iterations = iterations;
+  if (iterations >= options_.maxIterations) {
+    result.status = LpStatus::kIterationLimit;
+    return result;
+  }
+
+  // Recover x: basic values + nonbasic bounds, then unshift.
+  std::vector<double> shifted(static_cast<std::size_t>(t.cols), 0.0);
+  for (int j = 0; j < t.cols; ++j) {
+    if (t.status[static_cast<std::size_t>(j)] == kAtUpper) {
+      shifted[static_cast<std::size_t>(j)] = t.ub[static_cast<std::size_t>(j)];
+    }
+  }
+  for (int r = 0; r < m; ++r) {
+    shifted[static_cast<std::size_t>(t.basis[static_cast<std::size_t>(r)])] =
+        t.b[static_cast<std::size_t>(r)];
+  }
+  // Artificials must be zero for feasibility.
+  for (int r = 0; r < m; ++r) {
+    const int ac = artCol[static_cast<std::size_t>(r)];
+    if (ac >= 0 && shifted[static_cast<std::size_t>(ac)] > 1e-5) {
+      result.status = LpStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  result.x.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    result.x[static_cast<std::size_t>(v)] =
+        shifted[static_cast<std::size_t>(v)] + model.lower(v);
+  }
+  result.objective = model.objective(result.x);
+  result.status = LpStatus::kOptimal;
+  return result;
+}
+
+}  // namespace ofl::lp

@@ -1,0 +1,41 @@
+// Dense bounded-variable primal simplex with Big-M artificials.
+//
+// Deliberately simple: a full tableau updated per pivot. The fill problem
+// instances this library solves with it (tile-baseline LPs, per-window
+// sizing relaxations) have at most a few thousand variables and a few
+// hundred rows, where a dense tableau is both fast enough and far easier
+// to make robust than a revised implementation.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace ofl::lp {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+struct LpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  std::vector<double> x;
+  double objective = 0.0;
+  int iterations = 0;
+};
+
+class SimplexSolver {
+ public:
+  struct Options {
+    int maxIterations = 200000;
+    double tolerance = 1e-7;
+  };
+
+  SimplexSolver() = default;
+  explicit SimplexSolver(Options options) : options_(options) {}
+
+  LpResult solve(const LpModel& model) const;
+
+ private:
+  Options options_{};
+};
+
+}  // namespace ofl::lp

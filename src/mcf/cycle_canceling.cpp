@@ -1,0 +1,202 @@
+#include "mcf/cycle_canceling.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace ofl::mcf {
+namespace {
+
+constexpr Value kInf = std::numeric_limits<Value>::max() / 4;
+
+// Residual arc-pair representation shared by both phases. Residual id 2a
+// is original arc a forward; 2a+1 its reverse. Arcs appended later (super
+// source/sink) follow the same scheme.
+struct Residual {
+  std::vector<int> from;
+  std::vector<int> to;
+  std::vector<Value> cap;   // remaining residual capacity
+  std::vector<Value> cost;
+  std::vector<std::vector<int>> adjacency;
+
+  int addArcPair(int u, int v, Value capacity, Value arcCost) {
+    const int id = static_cast<int>(from.size());
+    from.push_back(u);
+    to.push_back(v);
+    cap.push_back(capacity);
+    cost.push_back(arcCost);
+    from.push_back(v);
+    to.push_back(u);
+    cap.push_back(0);
+    cost.push_back(-arcCost);
+    adjacency[static_cast<std::size_t>(u)].push_back(id);
+    adjacency[static_cast<std::size_t>(v)].push_back(id + 1);
+    return id;
+  }
+
+  void push(int id, Value amount) {
+    cap[static_cast<std::size_t>(id)] -= amount;
+    cap[static_cast<std::size_t>(id ^ 1)] += amount;
+  }
+};
+
+// Edmonds-Karp augmentation from s to t; returns total flow placed.
+Value maxFlow(Residual& g, int s, int t) {
+  Value total = 0;
+  const int n = static_cast<int>(g.adjacency.size());
+  std::vector<int> predArc(static_cast<std::size_t>(n));
+  while (true) {
+    std::fill(predArc.begin(), predArc.end(), -1);
+    std::queue<int> queue;
+    queue.push(s);
+    predArc[static_cast<std::size_t>(s)] = -2;
+    while (!queue.empty() && predArc[static_cast<std::size_t>(t)] == -1) {
+      const int u = queue.front();
+      queue.pop();
+      for (const int id : g.adjacency[static_cast<std::size_t>(u)]) {
+        const int v = g.to[static_cast<std::size_t>(id)];
+        if (g.cap[static_cast<std::size_t>(id)] > 0 &&
+            predArc[static_cast<std::size_t>(v)] == -1) {
+          predArc[static_cast<std::size_t>(v)] = id;
+          queue.push(v);
+        }
+      }
+    }
+    if (predArc[static_cast<std::size_t>(t)] == -1) break;
+    Value bottleneck = kInf;
+    for (int v = t; v != s;) {
+      const int id = predArc[static_cast<std::size_t>(v)];
+      bottleneck = std::min(bottleneck, g.cap[static_cast<std::size_t>(id)]);
+      v = g.from[static_cast<std::size_t>(id)];
+    }
+    for (int v = t; v != s;) {
+      const int id = predArc[static_cast<std::size_t>(v)];
+      g.push(id, bottleneck);
+      v = g.from[static_cast<std::size_t>(id)];
+    }
+    total += bottleneck;
+  }
+  return total;
+}
+
+}  // namespace
+
+FlowResult CycleCanceling::solve(const Graph& graph) {
+  FlowResult result;
+  if (graph.totalSupply() != 0) {
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+  const int n = graph.numNodes();
+  const int m = graph.numArcs();
+
+  Residual g;
+  g.adjacency.resize(static_cast<std::size_t>(n) + 2);
+  for (int a = 0; a < m; ++a) {
+    const Arc& arc = graph.arc(a);
+    g.addArcPair(arc.tail, arc.head, arc.capacity, arc.cost);
+  }
+
+  // Phase 1: feasibility via super source (n) / super sink (n+1).
+  const int superSource = n;
+  const int superSink = n + 1;
+  Value required = 0;
+  for (int i = 0; i < n; ++i) {
+    const Value b = graph.supply(i);
+    if (b > 0) {
+      g.addArcPair(superSource, i, b, 0);
+      required += b;
+    } else if (b < 0) {
+      g.addArcPair(i, superSink, -b, 0);
+    }
+  }
+  if (maxFlow(g, superSource, superSink) != required) {
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+
+  // Phase 2: cancel negative residual cycles (Bellman-Ford with parent
+  // walk-back; the standard "label correcting + cycle detection" loop).
+  const int total = n + 2;
+  std::vector<Value> dist(static_cast<std::size_t>(total));
+  std::vector<int> pred(static_cast<std::size_t>(total));
+  while (true) {
+    std::fill(dist.begin(), dist.end(), 0);  // virtual root to all nodes
+    std::fill(pred.begin(), pred.end(), -1);
+    int touched = -1;
+    for (int round = 0; round < total; ++round) {
+      touched = -1;
+      for (int id = 0; id < static_cast<int>(g.from.size()); ++id) {
+        if (g.cap[static_cast<std::size_t>(id)] <= 0) continue;
+        const int u = g.from[static_cast<std::size_t>(id)];
+        const int v = g.to[static_cast<std::size_t>(id)];
+        if (dist[static_cast<std::size_t>(u)] +
+                g.cost[static_cast<std::size_t>(id)] <
+            dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] =
+              dist[static_cast<std::size_t>(u)] +
+              g.cost[static_cast<std::size_t>(id)];
+          pred[static_cast<std::size_t>(v)] = id;
+          touched = v;
+        }
+      }
+      if (touched < 0) break;
+    }
+    if (touched < 0) break;  // no negative cycle left: optimal
+
+    // Walk back `total` steps to land inside the cycle, then collect it.
+    int inCycle = touched;
+    for (int k = 0; k < total; ++k) {
+      inCycle = g.from[static_cast<std::size_t>(
+          pred[static_cast<std::size_t>(inCycle)])];
+    }
+    std::vector<int> cycleArcs;
+    Value bottleneck = kInf;
+    for (int v = inCycle;;) {
+      const int id = pred[static_cast<std::size_t>(v)];
+      cycleArcs.push_back(id);
+      bottleneck = std::min(bottleneck, g.cap[static_cast<std::size_t>(id)]);
+      v = g.from[static_cast<std::size_t>(id)];
+      if (v == inCycle) break;
+    }
+    for (const int id : cycleArcs) g.push(id, bottleneck);
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.arcFlow.resize(static_cast<std::size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    const Value f = g.cap[static_cast<std::size_t>(2 * a + 1)];
+    result.arcFlow[static_cast<std::size_t>(a)] = f;
+    result.totalCost += f * graph.arc(a).cost;
+  }
+  // Potentials: shortest distances in the final residual graph satisfy
+  // dist[v] <= dist[u] + cost(u,v) on residual arcs, i.e. the FlowResult
+  // reduced-cost convention with pi = -dist.
+  std::fill(dist.begin(), dist.end(), 0);
+  for (int round = 0; round < total; ++round) {
+    bool changed = false;
+    for (int id = 0; id < static_cast<int>(g.from.size()); ++id) {
+      if (g.cap[static_cast<std::size_t>(id)] <= 0) continue;
+      const int u = g.from[static_cast<std::size_t>(id)];
+      const int v = g.to[static_cast<std::size_t>(id)];
+      if (dist[static_cast<std::size_t>(u)] +
+              g.cost[static_cast<std::size_t>(id)] <
+          dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] +
+            g.cost[static_cast<std::size_t>(id)];
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  result.nodePotential.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.nodePotential[static_cast<std::size_t>(i)] =
+        -dist[static_cast<std::size_t>(i)];
+  }
+  return result;
+}
+
+}  // namespace ofl::mcf

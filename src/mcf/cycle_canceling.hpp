@@ -1,0 +1,21 @@
+// Cycle-canceling min-cost flow (Ahuja/Magnanti/Orlin, the paper's
+// reference [17], Section 9.6): establish any feasible flow with
+// Edmonds-Karp max-flow from a super source, then cancel negative-cost
+// residual cycles found by Bellman-Ford until none remain.
+//
+// Asymptotically the weakest of the three backends, but structurally the
+// most independent — it shares no machinery with NetworkSimplex or
+// SuccessiveShortestPath, which is exactly what the three-way cross-check
+// tests want. Potentials are recovered from a final Bellman-Ford pass.
+#pragma once
+
+#include "mcf/graph.hpp"
+
+namespace ofl::mcf {
+
+class CycleCanceling {
+ public:
+  FlowResult solve(const Graph& graph);
+};
+
+}  // namespace ofl::mcf

@@ -1,0 +1,113 @@
+#include "mcf/dual_lp.hpp"
+
+#include <cassert>
+
+#include "mcf/cycle_canceling.hpp"
+#include "mcf/network_simplex.hpp"
+#include "mcf/ssp.hpp"
+
+namespace ofl::mcf {
+
+int DifferentialLp::addVariable(Value cost, Value lo, Value hi) {
+  assert(lo <= hi);
+  costs_.push_back(cost);
+  lowers_.push_back(lo);
+  uppers_.push_back(hi);
+  return numVariables() - 1;
+}
+
+void DifferentialLp::addConstraint(int i, int j, Value bound) {
+  assert(i != j && i >= 0 && j >= 0);
+  assert(i < numVariables() && j < numVariables());
+  constraints_.push_back({i, j, bound});
+}
+
+bool DifferentialLp::isFeasible(const std::vector<Value>& x) const {
+  if (x.size() != costs_.size()) return false;
+  for (int v = 0; v < numVariables(); ++v) {
+    const Value xv = x[static_cast<std::size_t>(v)];
+    if (xv < lower(v) || xv > upper(v)) return false;
+  }
+  for (const DiffConstraint& c : constraints_) {
+    if (x[static_cast<std::size_t>(c.i)] - x[static_cast<std::size_t>(c.j)] <
+        c.bound) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Value DifferentialLp::objective(const std::vector<Value>& x) const {
+  Value obj = 0;
+  for (int v = 0; v < numVariables(); ++v) {
+    obj += cost(v) * x[static_cast<std::size_t>(v)];
+  }
+  return obj;
+}
+
+DiffLpResult DifferentialLpSolver::solve(const DifferentialLp& lp) const {
+  DiffLpResult result;
+  const int n = lp.numVariables();
+  if (n == 0) {
+    result.feasible = true;
+    return result;
+  }
+
+  // Build the dual min-cost flow (Eqn. 16). Node 0 is y_0; node v+1 is
+  // variable v. Supplies are c'; each inequality y_i - y_j >= b' becomes an
+  // arc i -> j with cost -b'.
+  Graph graph;
+  Value sumCosts = 0;
+  Value positiveSupply = 0;
+  for (int v = 0; v < n; ++v) sumCosts += lp.cost(v);
+  graph.addNode(-sumCosts);  // c'_0
+  for (int v = 0; v < n; ++v) {
+    graph.addNode(lp.cost(v));
+    positiveSupply += std::max<Value>(lp.cost(v), 0);
+  }
+  positiveSupply += std::max<Value>(-sumCosts, 0);
+
+  // Any cycle-free optimal flow routes at most the total positive supply
+  // through an arc; the margin keeps every arc strictly below capacity in
+  // some optimum, which preserves dual feasibility of the potentials for
+  // the uncapacitated LP.
+  const Value cap = 4 * positiveSupply + 4;
+
+  for (const DiffConstraint& c : lp.constraints()) {
+    graph.addArc(c.i + 1, c.j + 1, cap, -c.bound);
+  }
+  for (int v = 0; v < n; ++v) {
+    graph.addArc(v + 1, 0, cap, -lp.lower(v));  // y_v - y_0 >= l_v
+    graph.addArc(0, v + 1, cap, lp.upper(v));   // y_0 - y_v >= -u_v
+  }
+
+  FlowResult flow;
+  switch (backend_) {
+    case McfBackend::kNetworkSimplex:
+      flow = NetworkSimplex().solve(graph);
+      break;
+    case McfBackend::kSuccessiveShortestPath:
+      flow = SuccessiveShortestPath().solve(graph);
+      break;
+    case McfBackend::kCycleCanceling:
+      flow = CycleCanceling().solve(graph);
+      break;
+  }
+  if (flow.status != SolveStatus::kOptimal) return result;
+
+  // y = -pi (see FlowResult's reduced-cost convention); x_v = y_{v+1} - y_0.
+  result.x.resize(static_cast<std::size_t>(n));
+  const Value y0 = -flow.nodePotential[0];
+  for (int v = 0; v < n; ++v) {
+    result.x[static_cast<std::size_t>(v)] =
+        -flow.nodePotential[static_cast<std::size_t>(v + 1)] - y0;
+  }
+  // An infeasible LP surfaces as capacity-saturated arcs whose potentials
+  // are not dual feasible; verifying the recovered x catches that case.
+  if (!lp.isFeasible(result.x)) return result;
+  result.feasible = true;
+  result.objective = lp.objective(result.x);
+  return result;
+}
+
+}  // namespace ofl::mcf

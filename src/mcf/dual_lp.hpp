@@ -1,0 +1,78 @@
+// Differential-constraint LP solved via dual min-cost flow
+// (paper Section 3.3.3, Eqns. 14-16).
+//
+//   min  sum_i c_i x_i
+//   s.t. x_i - x_j >= b_ij   for (i, j) in E
+//        l_i <= x_i <= u_i
+//        x integral
+//
+// Transform (Eqn. 16): add y_0 with c'_0 = -sum c_i; every constraint and
+// every bound becomes an arc of a min-cost flow whose node supplies are c'
+// and arc costs are -b'. Optimal node potentials give y, and
+// x_i = y_i - y_0 (Eqn. 16a). Integrality is free: all data are integers.
+#pragma once
+
+#include <vector>
+
+#include "mcf/graph.hpp"
+
+namespace ofl::mcf {
+
+struct DiffConstraint {
+  int i;    // x_i - x_j >= bound
+  int j;
+  Value bound;
+};
+
+class DifferentialLp {
+ public:
+  /// Adds variable with objective coefficient `cost` and box [lo, hi].
+  int addVariable(Value cost, Value lo, Value hi);
+
+  /// Adds x_i - x_j >= bound.
+  void addConstraint(int i, int j, Value bound);
+
+  int numVariables() const { return static_cast<int>(costs_.size()); }
+  const std::vector<DiffConstraint>& constraints() const {
+    return constraints_;
+  }
+  Value cost(int i) const { return costs_[static_cast<std::size_t>(i)]; }
+  Value lower(int i) const { return lowers_[static_cast<std::size_t>(i)]; }
+  Value upper(int i) const { return uppers_[static_cast<std::size_t>(i)]; }
+
+  /// True when `x` satisfies every constraint and bound.
+  bool isFeasible(const std::vector<Value>& x) const;
+
+  Value objective(const std::vector<Value>& x) const;
+
+ private:
+  std::vector<Value> costs_;
+  std::vector<Value> lowers_;
+  std::vector<Value> uppers_;
+  std::vector<DiffConstraint> constraints_;
+};
+
+struct DiffLpResult {
+  bool feasible = false;
+  std::vector<Value> x;
+  Value objective = 0;
+};
+
+enum class McfBackend {
+  kNetworkSimplex,
+  kSuccessiveShortestPath,
+  kCycleCanceling,
+};
+
+class DifferentialLpSolver {
+ public:
+  explicit DifferentialLpSolver(McfBackend backend = McfBackend::kNetworkSimplex)
+      : backend_(backend) {}
+
+  DiffLpResult solve(const DifferentialLp& lp) const;
+
+ private:
+  McfBackend backend_;
+};
+
+}  // namespace ofl::mcf

@@ -1,0 +1,11 @@
+#include "mcf/graph.hpp"
+
+namespace ofl::mcf {
+
+Value Graph::totalSupply() const {
+  Value total = 0;
+  for (Value s : supplies_) total += s;
+  return total;
+}
+
+}  // namespace ofl::mcf

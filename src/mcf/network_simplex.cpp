@@ -1,0 +1,294 @@
+#include "mcf/network_simplex.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace ofl::mcf {
+namespace {
+
+enum ArcState : signed char { kAtLower = -1, kInTree = 0, kAtUpper = 1 };
+
+struct Solver {
+  // Arc arrays (original arcs first, then one artificial arc per node).
+  std::vector<int> tail;
+  std::vector<int> head;
+  std::vector<Value> cap;
+  std::vector<Value> cost;
+  std::vector<Value> flow;
+  std::vector<signed char> state;
+
+  // Spanning-tree structure.
+  int numNodes = 0;   // including root
+  int root = 0;
+  std::vector<int> parent;
+  std::vector<int> predArc;
+  std::vector<int> depth;
+  std::vector<Value> pi;
+  std::vector<std::vector<int>> treeAdj;  // node -> incident tree arc ids
+
+  int firstArtificial = 0;
+
+  Value reducedCost(int a) const {
+    return cost[a] - pi[tail[a]] + pi[head[a]];
+  }
+
+  // Rebuilds parent/depth/potential from the root over current tree arcs.
+  void refreshTree() {
+    std::vector<int> stack{root};
+    std::vector<char> visited(static_cast<std::size_t>(numNodes), 0);
+    parent[root] = -1;
+    predArc[root] = -1;
+    depth[root] = 0;
+    visited[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      const int u = stack.back();
+      stack.pop_back();
+      for (int a : treeAdj[static_cast<std::size_t>(u)]) {
+        const int v = (tail[a] == u) ? head[a] : tail[a];
+        if (visited[static_cast<std::size_t>(v)]) continue;
+        visited[static_cast<std::size_t>(v)] = 1;
+        parent[v] = u;
+        predArc[v] = a;
+        depth[v] = depth[u] + 1;
+        // Tree arcs have zero reduced cost: cost - pi[tail] + pi[head] = 0,
+        // i.e. pi[head] = pi[tail] - cost.
+        if (tail[a] == u) {
+          pi[v] = pi[u] - cost[a];   // v == head
+        } else {
+          pi[v] = pi[u] + cost[a];   // v == tail
+        }
+        stack.push_back(v);
+      }
+    }
+  }
+
+  void removeTreeArc(int a) {
+    for (int endpoint : {tail[a], head[a]}) {
+      auto& adj = treeAdj[static_cast<std::size_t>(endpoint)];
+      adj.erase(std::find(adj.begin(), adj.end(), a));
+    }
+  }
+
+  void addTreeArc(int a) {
+    treeAdj[static_cast<std::size_t>(tail[a])].push_back(a);
+    treeAdj[static_cast<std::size_t>(head[a])].push_back(a);
+  }
+};
+
+}  // namespace
+
+FlowResult NetworkSimplex::solve(const Graph& graph) {
+  FlowResult result;
+  if (graph.totalSupply() != 0) {
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+
+  const int n = graph.numNodes();
+  const int m = graph.numArcs();
+
+  Solver s;
+  s.numNodes = n + 1;
+  s.root = n;
+  s.firstArtificial = m;
+
+  Value costSum = 1;
+  Value positiveSupply = 0;
+  for (const Arc& a : graph.arcs()) {
+    assert(a.capacity >= 0);
+    costSum += std::abs(a.cost);
+  }
+  for (int i = 0; i < n; ++i) {
+    positiveSupply += std::max<Value>(graph.supply(i), 0);
+  }
+  const Value big = costSum;  // dominates any simple-path cost
+  const Value artCap = positiveSupply + 1;
+
+  const int totalArcs = m + n;
+  s.tail.resize(static_cast<std::size_t>(totalArcs));
+  s.head.resize(static_cast<std::size_t>(totalArcs));
+  s.cap.resize(static_cast<std::size_t>(totalArcs));
+  s.cost.resize(static_cast<std::size_t>(totalArcs));
+  s.flow.assign(static_cast<std::size_t>(totalArcs), 0);
+  s.state.assign(static_cast<std::size_t>(totalArcs), kAtLower);
+
+  for (int a = 0; a < m; ++a) {
+    const Arc& arc = graph.arc(a);
+    s.tail[static_cast<std::size_t>(a)] = arc.tail;
+    s.head[static_cast<std::size_t>(a)] = arc.head;
+    s.cap[static_cast<std::size_t>(a)] = arc.capacity;
+    s.cost[static_cast<std::size_t>(a)] = arc.cost;
+  }
+  // Artificial arcs carry the initial supplies to/from the root.
+  for (int i = 0; i < n; ++i) {
+    const int a = m + i;
+    const Value b = graph.supply(i);
+    if (b >= 0) {
+      s.tail[static_cast<std::size_t>(a)] = i;
+      s.head[static_cast<std::size_t>(a)] = s.root;
+    } else {
+      s.tail[static_cast<std::size_t>(a)] = s.root;
+      s.head[static_cast<std::size_t>(a)] = i;
+    }
+    s.cap[static_cast<std::size_t>(a)] = artCap;
+    s.cost[static_cast<std::size_t>(a)] = big;
+    s.flow[static_cast<std::size_t>(a)] = std::abs(b);
+    s.state[static_cast<std::size_t>(a)] = kInTree;
+  }
+
+  s.parent.assign(static_cast<std::size_t>(s.numNodes), -1);
+  s.predArc.assign(static_cast<std::size_t>(s.numNodes), -1);
+  s.depth.assign(static_cast<std::size_t>(s.numNodes), 0);
+  s.pi.assign(static_cast<std::size_t>(s.numNodes), 0);
+  s.treeAdj.assign(static_cast<std::size_t>(s.numNodes), {});
+  for (int i = 0; i < n; ++i) s.addTreeArc(m + i);
+  s.refreshTree();
+
+  // Block pricing: scan a block of arcs, take the worst violator.
+  const int blockSize =
+      std::max(16, static_cast<int>(std::sqrt(static_cast<double>(totalArcs))));
+  int scanFrom = 0;
+
+  // Generous pivot cap as an anti-cycling safety net; network simplex on
+  // our instances terminates orders of magnitude earlier.
+  const long long maxPivots = 1000LL + 20LL * totalArcs * (n + 2);
+  long long pivots = 0;
+
+  while (true) {
+    // --- pricing ---
+    int entering = -1;
+    Value bestViolation = 0;
+    int scanned = 0;
+    int idx = scanFrom;
+    while (scanned < totalArcs) {
+      const int blockEnd = std::min(scanned + blockSize, totalArcs);
+      for (; scanned < blockEnd; ++scanned, idx = (idx + 1) % totalArcs) {
+        const signed char st = s.state[static_cast<std::size_t>(idx)];
+        if (st == kInTree) continue;
+        const Value rc = s.reducedCost(idx);
+        const Value violation = (st == kAtLower) ? -rc : rc;
+        if (violation > bestViolation) {
+          bestViolation = violation;
+          entering = idx;
+        }
+      }
+      if (entering >= 0) break;  // found in this block run
+    }
+    if (entering < 0) break;  // optimal
+    scanFrom = (entering + 1) % totalArcs;
+
+    if (++pivots > maxPivots) {
+      result.status = SolveStatus::kInfeasible;  // should never happen
+      return result;
+    }
+
+    // --- ratio test along the cycle closed by `entering` ---
+    // Walk both endpoints to their LCA. `forward` means flow increases on
+    // the entering arc's direction of traversal.
+    const bool increase = (s.state[static_cast<std::size_t>(entering)] == kAtLower);
+    int u = increase ? s.tail[static_cast<std::size_t>(entering)]
+                     : s.head[static_cast<std::size_t>(entering)];
+    int v = increase ? s.head[static_cast<std::size_t>(entering)]
+                     : s.tail[static_cast<std::size_t>(entering)];
+    // Cycle orientation: v -> ... -> lca -> ... -> u -> (entering) -> v.
+
+    Value delta = s.cap[static_cast<std::size_t>(entering)] -
+                  s.flow[static_cast<std::size_t>(entering)];
+    if (!increase) delta = s.flow[static_cast<std::size_t>(entering)];
+    int leaving = entering;
+    bool leavingOnUSide = false;   // which walk found the blocking arc
+    bool leavingDecreases = true;  // flow on leaving arc hits 0 vs capacity
+
+    int uu = u;
+    int vv = v;
+    // Record the path arcs to apply augmentation afterwards.
+    struct Step {
+      int arc;
+      bool flowIncreases;
+      bool onUSide;
+    };
+    std::vector<Step> steps;
+    while (uu != vv) {
+      if (s.depth[uu] >= s.depth[vv]) {
+        const int a = s.predArc[uu];
+        // The cycle pushes delta from v back to u through the tree, so on
+        // u's side the path runs downward parent(uu) -> uu: flow increases
+        // when the arc points down (head == uu).
+        const bool down = (s.head[static_cast<std::size_t>(a)] == uu);
+        steps.push_back({a, down, true});
+        uu = s.parent[uu];
+      } else {
+        const int a = s.predArc[vv];
+        // On v's side the path runs upward vv -> parent(vv): flow
+        // increases when the arc points up (tail == vv).
+        const bool up = (s.tail[static_cast<std::size_t>(a)] == vv);
+        steps.push_back({a, up, false});
+        vv = s.parent[vv];
+      }
+    }
+    for (const Step& st : steps) {
+      const auto ai = static_cast<std::size_t>(st.arc);
+      const Value room = st.flowIncreases ? s.cap[ai] - s.flow[ai] : s.flow[ai];
+      if (room < delta) {
+        delta = room;
+        leaving = st.arc;
+        leavingOnUSide = st.onUSide;
+        leavingDecreases = !st.flowIncreases;
+      }
+    }
+
+    // --- augment ---
+    {
+      const auto ei = static_cast<std::size_t>(entering);
+      s.flow[ei] += increase ? delta : -delta;
+    }
+    for (const Step& st : steps) {
+      const auto ai = static_cast<std::size_t>(st.arc);
+      s.flow[ai] += st.flowIncreases ? delta : -delta;
+    }
+
+    // --- basis update ---
+    if (leaving == entering) {
+      // Entering arc swung from one bound to the other; basis unchanged.
+      s.state[static_cast<std::size_t>(entering)] =
+          increase ? kAtUpper : kAtLower;
+      continue;
+    }
+    s.state[static_cast<std::size_t>(leaving)] =
+        leavingDecreases ? kAtLower : kAtUpper;
+    s.state[static_cast<std::size_t>(entering)] = kInTree;
+    s.removeTreeArc(leaving);
+    s.addTreeArc(entering);
+    s.refreshTree();
+    (void)leavingOnUSide;
+  }
+
+  // Any residual flow on artificial arcs means the supplies cannot be
+  // routed through the real network.
+  for (int i = 0; i < n; ++i) {
+    if (s.flow[static_cast<std::size_t>(m + i)] != 0) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.arcFlow.resize(static_cast<std::size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    result.arcFlow[static_cast<std::size_t>(a)] =
+        s.flow[static_cast<std::size_t>(a)];
+    result.totalCost += s.flow[static_cast<std::size_t>(a)] *
+                        graph.arc(a).cost;
+  }
+  // Normalize potentials so the root's real-network component is natural:
+  // report pi relative to node 0 when it exists.
+  result.nodePotential.assign(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    result.nodePotential[static_cast<std::size_t>(i)] = s.pi[i];
+  }
+  return result;
+}
+
+}  // namespace ofl::mcf

@@ -1,0 +1,22 @@
+// Primal network simplex for min-cost flow.
+//
+// This is the library's substitute for LEMON's NetworkSimplex (the solver
+// the paper uses). Standard textbook construction: artificial big-cost
+// root arcs form the initial spanning-tree basis; entering arcs are picked
+// by block pricing; potentials are refreshed by a root BFS after each
+// pivot. Problem instances in the fill flow are per-window and small
+// (hundreds of nodes), so the O(n) refresh is the simple *and* fast choice.
+#pragma once
+
+#include "mcf/graph.hpp"
+
+namespace ofl::mcf {
+
+class NetworkSimplex {
+ public:
+  /// Solves min-cost flow on `graph`. Supplies must sum to zero, all
+  /// capacities must be >= 0.
+  FlowResult solve(const Graph& graph);
+};
+
+}  // namespace ofl::mcf

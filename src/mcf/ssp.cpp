@@ -1,0 +1,169 @@
+#include "mcf/ssp.hpp"
+
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <vector>
+
+namespace ofl::mcf {
+namespace {
+
+constexpr Value kInf = std::numeric_limits<Value>::max() / 4;
+
+// Residual arc pair encoding: residual id 2a is arc a forward, 2a+1 is its
+// reverse.
+struct Residual {
+  std::vector<int> to;
+  std::vector<Value> residualCap;
+  std::vector<Value> cost;
+  std::vector<std::vector<int>> adjacency;  // node -> residual arc ids
+
+  void build(const Graph& g, const std::vector<Value>& flow) {
+    const int m = g.numArcs();
+    to.resize(static_cast<std::size_t>(2 * m));
+    residualCap.resize(static_cast<std::size_t>(2 * m));
+    cost.resize(static_cast<std::size_t>(2 * m));
+    adjacency.assign(static_cast<std::size_t>(g.numNodes()), {});
+    for (int a = 0; a < m; ++a) {
+      const Arc& arc = g.arc(a);
+      to[static_cast<std::size_t>(2 * a)] = arc.head;
+      to[static_cast<std::size_t>(2 * a + 1)] = arc.tail;
+      residualCap[static_cast<std::size_t>(2 * a)] =
+          arc.capacity - flow[static_cast<std::size_t>(a)];
+      residualCap[static_cast<std::size_t>(2 * a + 1)] =
+          flow[static_cast<std::size_t>(a)];
+      cost[static_cast<std::size_t>(2 * a)] = arc.cost;
+      cost[static_cast<std::size_t>(2 * a + 1)] = -arc.cost;
+      adjacency[static_cast<std::size_t>(arc.tail)].push_back(2 * a);
+      adjacency[static_cast<std::size_t>(arc.head)].push_back(2 * a + 1);
+    }
+  }
+};
+
+}  // namespace
+
+FlowResult SuccessiveShortestPath::solve(const Graph& graph) {
+  FlowResult result;
+  if (graph.totalSupply() != 0) {
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+
+  const int n = graph.numNodes();
+  const int m = graph.numArcs();
+  std::vector<Value> flow(static_cast<std::size_t>(m), 0);
+  std::vector<Value> excess(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i) {
+    excess[static_cast<std::size_t>(i)] = graph.supply(i);
+  }
+
+  // Pre-saturate negative arcs so all residual costs start non-negative
+  // under zero potentials.
+  for (int a = 0; a < m; ++a) {
+    const Arc& arc = graph.arc(a);
+    if (arc.cost < 0 && arc.capacity > 0) {
+      flow[static_cast<std::size_t>(a)] = arc.capacity;
+      excess[static_cast<std::size_t>(arc.tail)] -= arc.capacity;
+      excess[static_cast<std::size_t>(arc.head)] += arc.capacity;
+    }
+  }
+
+  Residual res;
+  res.build(graph, flow);
+
+  std::vector<Value> p(static_cast<std::size_t>(n), 0);  // Dijkstra potentials
+  std::vector<Value> dist(static_cast<std::size_t>(n));
+  std::vector<int> predResidual(static_cast<std::size_t>(n));
+  using HeapItem = std::pair<Value, int>;
+
+  auto findExcessNode = [&excess, n]() {
+    for (int i = 0; i < n; ++i) {
+      if (excess[static_cast<std::size_t>(i)] > 0) return i;
+    }
+    return -1;
+  };
+
+  int source;
+  while ((source = findExcessNode()) >= 0) {
+    // Dijkstra on reduced costs from `source` to the nearest deficit node.
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(predResidual.begin(), predResidual.end(), -1);
+    dist[static_cast<std::size_t>(source)] = 0;
+    std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+    heap.push({0, source});
+    int target = -1;
+    std::vector<char> settled(static_cast<std::size_t>(n), 0);
+    while (!heap.empty()) {
+      const auto [d, u] = heap.top();
+      heap.pop();
+      if (settled[static_cast<std::size_t>(u)]) continue;
+      settled[static_cast<std::size_t>(u)] = 1;
+      if (excess[static_cast<std::size_t>(u)] < 0 && target < 0) {
+        target = u;
+        break;  // nearest deficit reached; labels up to here suffice
+      }
+      for (int r : res.adjacency[static_cast<std::size_t>(u)]) {
+        if (res.residualCap[static_cast<std::size_t>(r)] <= 0) continue;
+        const int v = res.to[static_cast<std::size_t>(r)];
+        if (settled[static_cast<std::size_t>(v)]) continue;
+        const Value w = res.cost[static_cast<std::size_t>(r)] +
+                        p[static_cast<std::size_t>(u)] -
+                        p[static_cast<std::size_t>(v)];
+        assert(w >= 0);
+        if (d + w < dist[static_cast<std::size_t>(v)]) {
+          dist[static_cast<std::size_t>(v)] = d + w;
+          predResidual[static_cast<std::size_t>(v)] = r;
+          heap.push({d + w, v});
+        }
+      }
+    }
+    if (target < 0) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+
+    // Potential update: cap distances at dist[target] for unsettled nodes.
+    const Value dt = dist[static_cast<std::size_t>(target)];
+    for (int v = 0; v < n; ++v) {
+      p[static_cast<std::size_t>(v)] +=
+          std::min(dist[static_cast<std::size_t>(v)], dt);
+    }
+
+    // Bottleneck along the path.
+    Value push = std::min(excess[static_cast<std::size_t>(source)],
+                          -excess[static_cast<std::size_t>(target)]);
+    for (int v = target; v != source;) {
+      const int r = predResidual[static_cast<std::size_t>(v)];
+      push = std::min(push, res.residualCap[static_cast<std::size_t>(r)]);
+      v = res.to[static_cast<std::size_t>(r ^ 1)];
+    }
+    // Augment.
+    for (int v = target; v != source;) {
+      const int r = predResidual[static_cast<std::size_t>(v)];
+      res.residualCap[static_cast<std::size_t>(r)] -= push;
+      res.residualCap[static_cast<std::size_t>(r ^ 1)] += push;
+      v = res.to[static_cast<std::size_t>(r ^ 1)];
+    }
+    excess[static_cast<std::size_t>(source)] -= push;
+    excess[static_cast<std::size_t>(target)] += push;
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.arcFlow.resize(static_cast<std::size_t>(m));
+  for (int a = 0; a < m; ++a) {
+    const Value f = res.residualCap[static_cast<std::size_t>(2 * a + 1)];
+    result.arcFlow[static_cast<std::size_t>(a)] = f;
+    result.totalCost += f * graph.arc(a).cost;
+  }
+  // FlowResult convention: cost - pi[tail] + pi[head] >= 0 on residual
+  // arcs; the Dijkstra potential p satisfies cost + p[tail] - p[head] >= 0,
+  // so pi = -p.
+  result.nodePotential.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    result.nodePotential[static_cast<std::size_t>(i)] =
+        -p[static_cast<std::size_t>(i)];
+  }
+  return result;
+}
+
+}  // namespace ofl::mcf

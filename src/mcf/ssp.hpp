@@ -1,0 +1,18 @@
+// Successive shortest path min-cost flow with Dijkstra + node potentials.
+//
+// Second, independently-coded backend used to cross-check NetworkSimplex
+// (tests assert both produce identical optimal cost and dual-feasible
+// potentials). Negative-cost arcs are handled by pre-saturation, so no
+// Bellman-Ford phase is needed.
+#pragma once
+
+#include "mcf/graph.hpp"
+
+namespace ofl::mcf {
+
+class SuccessiveShortestPath {
+ public:
+  FlowResult solve(const Graph& graph);
+};
+
+}  // namespace ofl::mcf

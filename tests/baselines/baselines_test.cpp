@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/greedy_filler.hpp"
+#include "baselines/monte_carlo_filler.hpp"
+#include "baselines/tile_lp_filler.hpp"
+#include "density/density_map.hpp"
+#include "density/metrics.hpp"
+#include "layout/drc_checker.hpp"
+
+namespace ofl::baselines {
+namespace {
+
+layout::DesignRules rules() {
+  layout::DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 150;
+  return r;
+}
+
+// A 3x3-window layout: one dense window, the rest sparse.
+layout::Layout unevenChip() {
+  layout::Layout chip({0, 0, 1500, 1500}, 2);
+  for (geom::Coord y = 20; y < 480; y += 40) {
+    chip.layer(0).wires.push_back({20, y, 480, y + 20});
+  }
+  chip.layer(0).wires.push_back({700, 700, 900, 760});
+  chip.layer(1).wires.push_back({100, 100, 160, 900});
+  return chip;
+}
+
+std::unique_ptr<Filler> makeFiller(const std::string& which) {
+  if (which == "tile-lp") {
+    TileLpFiller::Options o;
+    o.windowSize = 500;
+    o.rules = rules();
+    return std::make_unique<TileLpFiller>(o);
+  }
+  if (which == "monte-carlo") {
+    MonteCarloFiller::Options o;
+    o.windowSize = 500;
+    o.rules = rules();
+    return std::make_unique<MonteCarloFiller>(o);
+  }
+  GreedyFiller::Options o;
+  o.windowSize = 500;
+  o.rules = rules();
+  return std::make_unique<GreedyFiller>(o);
+}
+
+class BaselineTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaselineTest, InsertsFills) {
+  layout::Layout chip = unevenChip();
+  auto filler = makeFiller(GetParam());
+  filler->fill(chip);
+  EXPECT_GT(chip.fillCount(), 0u);
+}
+
+TEST_P(BaselineTest, OutputIsDrcClean) {
+  layout::Layout chip = unevenChip();
+  makeFiller(GetParam())->fill(chip);
+  const auto violations = layout::DrcChecker(rules()).check(chip, 20);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << GetParam() << ": " << v.str();
+  }
+}
+
+TEST_P(BaselineTest, ReducesDensityVariation) {
+  layout::Layout chip = unevenChip();
+  const layout::WindowGrid grid(chip.die(), 500);
+  const double sigmaBefore =
+      density::variation(density::DensityMap::compute(chip, 0, grid));
+  makeFiller(GetParam())->fill(chip);
+  const double sigmaAfter =
+      density::variation(density::DensityMap::compute(chip, 0, grid));
+  EXPECT_LT(sigmaAfter, sigmaBefore) << GetParam();
+}
+
+TEST_P(BaselineTest, RefillingReplacesOldFills) {
+  layout::Layout chip = unevenChip();
+  auto filler = makeFiller(GetParam());
+  filler->fill(chip);
+  const std::size_t first = chip.fillCount();
+  filler->fill(chip);
+  EXPECT_EQ(chip.fillCount(), first);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BaselineTest,
+                         ::testing::Values("tile-lp", "monte-carlo",
+                                           "greedy"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(MonteCarloFillerTest, DeterministicPerSeed) {
+  MonteCarloFiller::Options o;
+  o.windowSize = 500;
+  o.rules = rules();
+  o.seed = 42;
+  layout::Layout a = unevenChip();
+  layout::Layout b = unevenChip();
+  MonteCarloFiller(o).fill(a);
+  MonteCarloFiller(o).fill(b);
+  ASSERT_EQ(a.fillCount(), b.fillCount());
+  for (int l = 0; l < a.numLayers(); ++l) {
+    EXPECT_EQ(a.layer(l).fills, b.layer(l).fills);
+  }
+}
+
+TEST(GreedyFillerTest, ProducesFewerFillsThanTileLp) {
+  // The characteristic Table 3 trade-off: greedy's big rects vs the tile
+  // method's many small ones.
+  layout::Layout greedyChip = unevenChip();
+  layout::Layout tileChip = unevenChip();
+  makeFiller("greedy")->fill(greedyChip);
+  makeFiller("tile-lp")->fill(tileChip);
+  ASSERT_GT(greedyChip.fillCount(), 0u);
+  ASSERT_GT(tileChip.fillCount(), 0u);
+  EXPECT_LT(greedyChip.fillCount(), tileChip.fillCount());
+}
+
+}  // namespace
+}  // namespace ofl::baselines

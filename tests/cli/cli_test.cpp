@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "gds/gds_writer.hpp"
+
+namespace ofl::cli {
+namespace {
+
+TEST(ArgsTest, KeyValueForms) {
+  const Args args = Args::parse({"fill", "--in", "a.gds", "--window=800",
+                                 "--verbose", "--eta", "2.5"});
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "fill");
+  EXPECT_EQ(args.getOr("in", ""), "a.gds");
+  EXPECT_EQ(args.getIntOr("window", 0), 800);
+  EXPECT_TRUE(args.hasFlag("verbose"));
+  EXPECT_DOUBLE_EQ(args.getDoubleOr("eta", 0.0), 2.5);
+}
+
+TEST(ArgsTest, MissingKeysUseFallbacks) {
+  const Args args = Args::parse({"stats"});
+  EXPECT_FALSE(args.get("in").has_value());
+  EXPECT_EQ(args.getOr("in", "x"), "x");
+  EXPECT_EQ(args.getIntOr("n", 7), 7);
+  EXPECT_FALSE(args.hasFlag("json"));
+}
+
+TEST(ArgsTest, MalformedNumbersRejected) {
+  const Args args = Args::parse({"--n", "12abc", "--d", "1.5x"});
+  EXPECT_FALSE(args.getInt("n").has_value());
+  EXPECT_FALSE(args.getDouble("d").has_value());
+}
+
+TEST(ArgsTest, FlagAtEndOfLine) {
+  const Args args = Args::parse({"--a", "--b"});
+  EXPECT_TRUE(args.hasFlag("a"));
+  EXPECT_TRUE(args.hasFlag("b"));
+}
+
+TEST(ArgsTest, UnknownKeysDetected) {
+  const Args args = Args::parse({"--in", "x", "--typo", "y"});
+  const auto unknown = args.unknownKeys({"in", "out"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(CommandsTest, NoCommandPrintsUsage) {
+  EXPECT_EQ(run(Args::parse(std::vector<std::string>{})), 2);
+  EXPECT_EQ(run(Args::parse({"bogus"})), 2);
+}
+
+TEST(CommandsTest, GenerateRequiresOut) {
+  EXPECT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny"})), 2);
+}
+
+TEST(CommandsTest, FillRequiresInput) {
+  EXPECT_EQ(runFill(Args::parse({"fill", "--out", "/tmp/x.gds"})), 2);
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", "/nonexistent.gds",
+                                 "--out", "/tmp/x.gds"})),
+            2);
+}
+
+TEST(CommandsTest, FullPipelineOnTinySuite) {
+  const std::string wires = "/tmp/ofl_cli_wires.gds";
+  const std::string filled = "/tmp/ofl_cli_filled.gds";
+  EXPECT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  EXPECT_EQ(runStats(Args::parse({"stats", "--in", wires})), 0);
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", filled,
+                                 "--window", "1200"})),
+            0);
+  EXPECT_EQ(runDrc(Args::parse({"drc", "--in", filled})), 0);
+  EXPECT_EQ(runEvaluate(Args::parse({"evaluate", "--in", filled, "--suite",
+                                     "s", "--runtime", "1.0"})),
+            0);
+  std::remove(wires.c_str());
+  std::remove(filled.c_str());
+}
+
+TEST(CommandsTest, FillBackendSelection) {
+  const std::string wires = "/tmp/ofl_cli_wires2.gds";
+  const std::string filled = "/tmp/ofl_cli_filled2.gds";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", filled,
+                                 "--backend", "ssp"})),
+            0);
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", filled,
+                                 "--backend", "nope"})),
+            2);
+  std::remove(wires.c_str());
+  std::remove(filled.c_str());
+}
+
+TEST(CommandsTest, CompareRunsAllFillers) {
+  const std::string wires = "/tmp/ofl_cli_wires3.gds";
+  const std::string json = "/tmp/ofl_cli_compare.json";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  EXPECT_EQ(runCompare(Args::parse({"compare", "--in", wires, "--suite", "s",
+                                    "--json", json})),
+            0);
+  std::FILE* f = std::fopen(json.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  std::remove(wires.c_str());
+  std::remove(json.c_str());
+}
+
+TEST(CommandsTest, HeatmapCsvExport) {
+  const std::string wires = "/tmp/ofl_cli_wires4.gds";
+  const std::string csv = "/tmp/ofl_cli_heat.csv";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  EXPECT_EQ(runHeatmap(Args::parse({"heatmap", "--in", wires, "--csv", csv})),
+            0);
+  EXPECT_EQ(runHeatmap(Args::parse({"heatmap", "--in", wires, "--layer",
+                                    "99"})),
+            2);
+  std::remove(wires.c_str());
+  std::remove(csv.c_str());
+}
+
+TEST(CommandsTest, OasisFormatRoundTrip) {
+  const std::string wires = "/tmp/ofl_cli_wires5.gds";
+  const std::string filled = "/tmp/ofl_cli_filled5.oas";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", filled,
+                                 "--format", "oasis"})),
+            0);
+  // The OASIS output must load back (auto-detected) for stats.
+  EXPECT_EQ(runStats(Args::parse({"stats", "--in", filled})), 0);
+  std::remove(wires.c_str());
+  std::remove(filled.c_str());
+}
+
+TEST(CommandsTest, DrcReportsViolationsWithExitCode) {
+  // Build a GDS with an illegally thin fill (datatype 1).
+  gds::Library lib;
+  lib.cells.emplace_back();
+  gds::Writer::addRect(lib.cells.back(), 1, {0, 0, 5, 100}, /*datatype=*/1);
+  const std::string path = "/tmp/ofl_cli_bad.gds";
+  ASSERT_GT(gds::Writer::writeFile(lib, path), 0);
+  EXPECT_EQ(runDrc(Args::parse({"drc", "--in", path})), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ofl::cli

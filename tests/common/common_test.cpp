@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/logging.hpp"
+#include "common/memory_usage.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace ofl {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1000000), b.uniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.uniformInt(0, 1 << 30) == b.uniformInt(0, 1 << 30)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformIntRespectsBoundsIncludingDegenerate) {
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.uniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+  EXPECT_EQ(rng.uniformInt(9, 9), 9);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, WeightedIndexRespectsZeroWeights) {
+  Rng rng(9);
+  const std::vector<double> weights{0.0, 1.0, 0.0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(rng.weightedIndex(weights), 1u);
+  }
+}
+
+TEST(TimerTest, ElapsedIsMonotone) {
+  Timer t;
+  const double a = t.elapsedSeconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  const double b = t.elapsedSeconds();
+  EXPECT_GE(b, a);
+  EXPECT_GE(b, 0.001);
+  t.reset();
+  EXPECT_LT(t.elapsedSeconds(), b);
+}
+
+TEST(StageTimerTest, AccumulatesAcrossStartStop) {
+  StageTimer t;
+  EXPECT_DOUBLE_EQ(t.totalSeconds(), 0.0);
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.stop();
+  const double first = t.totalSeconds();
+  EXPECT_GT(first, 0.0);
+  t.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.stop();
+  EXPECT_GT(t.totalSeconds(), first);
+  // stop without start is harmless
+  t.stop();
+}
+
+TEST(MemoryUsageTest, ProbesReturnPlausibleValues) {
+  const double peak = peakMemoryMiB();
+  const double current = currentMemoryMiB();
+  EXPECT_GT(peak, 1.0);      // a running gtest binary uses > 1 MiB
+  EXPECT_GT(current, 1.0);
+  EXPECT_GE(peak + 1.0, current);  // peak >= current (1 MiB slack)
+}
+
+TEST(LoggingTest, LevelGating) {
+  const LogLevel saved = logLevel();
+  setLogLevel(LogLevel::kError);
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  {
+    ScopedLogLevel scope(LogLevel::kSilent);
+    EXPECT_EQ(logLevel(), LogLevel::kSilent);
+    logError("suppressed at silent level");
+  }
+  EXPECT_EQ(logLevel(), LogLevel::kError);
+  setLogLevel(saved);
+}
+
+}  // namespace
+}  // namespace ofl

@@ -1,0 +1,56 @@
+#include "contest/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ofl::contest {
+namespace {
+
+ResultRow row(const std::string& design, const std::string& team,
+              double quality) {
+  ResultRow r;
+  r.design = design;
+  r.team = team;
+  r.scores.quality = quality;
+  r.scores.total = quality + 0.1;
+  r.scores.overlay = 0.5;
+  return r;
+}
+
+TEST(ReportTest, Table3ContainsAllRowsAndSeparators) {
+  ::testing::internal::CaptureStdout();
+  printTable3({row("s", "tile-lp", 0.3), row("s", "ours", 0.7),
+               row("b", "ours", 0.6)});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Overlay*"), std::string::npos);
+  EXPECT_NE(out.find("tile-lp"), std::string::npos);
+  EXPECT_NE(out.find("ours"), std::string::npos);
+  EXPECT_NE(out.find("0.700"), std::string::npos);
+  // Design change inserts a separator line.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, Table3EmptyIsJustHeader) {
+  ::testing::internal::CaptureStdout();
+  printTable3({});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("Quality"), std::string::npos);
+  EXPECT_EQ(out.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, Table2PrintsStatsAndCoefficients) {
+  SuiteStats stats;
+  stats.design = "s";
+  stats.polygons = 12345;
+  stats.layers = 3;
+  stats.wireFileMB = 1.25;
+  stats.table = scoreTableFor("s");
+  ::testing::internal::CaptureStdout();
+  printTable2({stats});
+  const std::string out = ::testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("12345"), std::string::npos);
+  EXPECT_NE(out.find("1.25M"), std::string::npos);
+  EXPECT_NE(out.find("ov 0.20"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ofl::contest

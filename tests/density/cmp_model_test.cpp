@@ -1,0 +1,75 @@
+#include "density/cmp_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ofl::density {
+namespace {
+
+TEST(CmpModelTest, UniformMapIsFixedPoint) {
+  const DensityMap map(6, 6, std::vector<double>(36, 0.37));
+  const DensityMap eff = effectiveDensity(map);
+  for (const double v : eff.values()) {
+    EXPECT_NEAR(v, 0.37, 1e-12);
+  }
+  const CmpSummary s = summarizeCmp(map);
+  EXPECT_NEAR(s.thicknessRangeNm, 0.0, 1e-9);
+}
+
+TEST(CmpModelTest, KernelPreservesMassOnInterior) {
+  // A centered impulse on a large map: the filtered values must sum back
+  // to the impulse mass (kernel is normalized; borders untouched).
+  std::vector<double> v(21 * 21, 0.0);
+  v[static_cast<std::size_t>(10 * 21 + 10)] = 1.0;
+  const DensityMap map(21, 21, v);
+  const DensityMap eff = effectiveDensity(map);
+  double sum = 0.0;
+  for (const double x : eff.values()) sum += x;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Peak moved down, stays at the center, symmetric.
+  EXPECT_GT(eff.at(10, 10), eff.at(9, 10));
+  EXPECT_NEAR(eff.at(9, 10), eff.at(11, 10), 1e-12);
+  EXPECT_NEAR(eff.at(10, 9), eff.at(10, 11), 1e-12);
+  EXPECT_LT(eff.at(10, 10), 1.0);
+}
+
+TEST(CmpModelTest, SmoothingReducesRange) {
+  Rng rng(12);
+  std::vector<double> v(16 * 16);
+  for (double& x : v) x = rng.uniformReal(0.0, 1.0);
+  const DensityMap map(16, 16, v);
+  const CmpSummary raw = summarizeCmp(map, {.planarizationWindows = 1e-6});
+  const CmpSummary smooth = summarizeCmp(map, {.planarizationWindows = 2.0});
+  EXPECT_LT(smooth.maxEffective - smooth.minEffective,
+            raw.maxEffective - raw.minEffective);
+}
+
+TEST(CmpModelTest, LargerPlanarizationLengthSmoothsMore) {
+  std::vector<double> v(16 * 16, 0.2);
+  for (int j = 0; j < 16; ++j) {
+    for (int i = 8; i < 16; ++i) v[static_cast<std::size_t>(j * 16 + i)] = 0.8;
+  }
+  const DensityMap map(16, 16, v);
+  const CmpSummary s1 = summarizeCmp(map, {.planarizationWindows = 1.0});
+  const CmpSummary s3 = summarizeCmp(map, {.planarizationWindows = 3.0});
+  EXPECT_LT(s3.thicknessRangeNm, s1.thicknessRangeNm);
+  EXPECT_GT(s1.thicknessRangeNm, 0.0);
+}
+
+TEST(CmpModelTest, ThicknessScalesWithStepHeight) {
+  std::vector<double> v(8 * 8, 0.1);
+  v[0] = 0.9;
+  const DensityMap map(8, 8, v);
+  const CmpSummary a = summarizeCmp(map, {.stepHeightNm = 50.0});
+  const CmpSummary b = summarizeCmp(map, {.stepHeightNm = 100.0});
+  EXPECT_NEAR(b.thicknessRangeNm, 2.0 * a.thicknessRangeNm, 1e-9);
+}
+
+TEST(CmpModelTest, EmptyMap) {
+  const CmpSummary s = summarizeCmp(DensityMap{});
+  EXPECT_DOUBLE_EQ(s.thicknessRangeNm, 0.0);
+}
+
+}  // namespace
+}  // namespace ofl::density

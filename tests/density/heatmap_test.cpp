@@ -1,0 +1,73 @@
+#include "density/heatmap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace ofl::density {
+namespace {
+
+TEST(HeatmapTest, AsciiDimensionsAndOrientation) {
+  // 2 cols x 3 rows; row 0 must print LAST (bottom).
+  const DensityMap map(2, 3, {0.0, 0.0,    // row 0
+                              0.5, 0.5,    // row 1
+                              0.99, 0.99}); // row 2
+  HeatmapOptions opt;
+  opt.ramp = "abc";
+  const std::string art = renderAscii(map, opt);
+  EXPECT_EQ(art, "cc\nbb\naa\n");
+}
+
+TEST(HeatmapTest, ValuesClampedToRange) {
+  const DensityMap map(2, 1, {-0.5, 2.0});
+  HeatmapOptions opt;
+  opt.ramp = "ab";
+  EXPECT_EQ(renderAscii(map, opt), "ab\n");
+}
+
+TEST(HeatmapTest, AutoscaleUsesMapExtrema) {
+  const DensityMap map(3, 1, {0.40, 0.45, 0.50});
+  HeatmapOptions opt;
+  opt.ramp = "ab";
+  opt.autoscale = true;
+  // Without autoscale all three values land on 'a'; with it the spread
+  // covers the ramp (t = 0, 0.5, 1.0 -> indices 0, 1, 1 on a 2-char ramp).
+  EXPECT_EQ(renderAscii(map, opt), "abb\n");
+  // Without autoscale the full [0,1] range maps 0.40/0.45 to 'a' and the
+  // 0.50 midpoint exactly to 'b'.
+  opt.autoscale = false;
+  EXPECT_EQ(renderAscii(map, opt), "aab\n");
+}
+
+TEST(HeatmapTest, EmptyMap) {
+  EXPECT_EQ(renderAscii(DensityMap{}), "");
+  EXPECT_EQ(renderCsv(DensityMap{}), "");
+}
+
+TEST(HeatmapTest, CsvRoundTripParsable) {
+  const DensityMap map(2, 2, {0.1, 0.2, 0.3, 0.4});
+  const std::string csv = renderCsv(map);
+  double a, b, c, d;
+  ASSERT_EQ(std::sscanf(csv.c_str(), "%lf,%lf\n%lf,%lf", &a, &b, &c, &d), 4);
+  EXPECT_DOUBLE_EQ(a, 0.1);
+  EXPECT_DOUBLE_EQ(b, 0.2);
+  EXPECT_DOUBLE_EQ(c, 0.3);
+  EXPECT_DOUBLE_EQ(d, 0.4);
+}
+
+TEST(HeatmapTest, WriteCsvFile) {
+  const DensityMap map(1, 1, {0.75});
+  const std::string path = "/tmp/ofl_heatmap_test.csv";
+  ASSERT_TRUE(writeCsv(map, path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  double v = 0;
+  EXPECT_EQ(std::fscanf(f, "%lf", &v), 1);
+  EXPECT_DOUBLE_EQ(v, 0.75);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_FALSE(writeCsv(map, "/nonexistent/dir/x.csv"));
+}
+
+}  // namespace
+}  // namespace ofl::density

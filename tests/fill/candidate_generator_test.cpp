@@ -1,0 +1,212 @@
+#include "fill/candidate_generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "geometry/boolean.hpp"
+
+namespace ofl::fill {
+namespace {
+
+layout::DesignRules rules() {
+  layout::DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 100;
+  return r;
+}
+
+// Builds a two-layer window problem over [0,400)^2 with given wires.
+WindowProblem makeProblem(std::vector<geom::Rect> wiresL0,
+                          std::vector<geom::Rect> wiresL1, double target0,
+                          double target1) {
+  WindowProblem p;
+  p.window = {0, 0, 400, 400};
+  const auto free = [&](const std::vector<geom::Rect>& wires) {
+    std::vector<geom::Rect> blocked;
+    for (const auto& w : wires) blocked.push_back(w.expanded(10));
+    const std::vector<geom::Rect> win{p.window};
+    return geom::Region::fromDisjoint(
+        geom::booleanOp(win, blocked, geom::BoolOp::kSubtract));
+  };
+  p.fillRegions = {free(wiresL0), free(wiresL1)};
+  const auto density = [&](const std::vector<geom::Rect>& wires) {
+    return static_cast<double>(geom::unionArea(wires)) /
+           static_cast<double>(p.window.area());
+  };
+  p.wireDensity = {density(wiresL0), density(wiresL1)};
+  p.targetDensity = {target0, target1};
+  p.wires = {std::move(wiresL0), std::move(wiresL1)};
+  return p;
+}
+
+TEST(SliceRegionTest, EmptyRegionYieldsNothing) {
+  const CandidateGenerator gen(rules(), {});
+  EXPECT_TRUE(gen.sliceRegion(geom::Region{}).empty());
+}
+
+TEST(SliceRegionTest, SliversBelowMinWidthDiscarded) {
+  const CandidateGenerator gen(rules(), {});
+  // 12 wide: after the 5-DBU inset on both sides only 2 remain < minWidth.
+  EXPECT_TRUE(gen.sliceRegion(geom::Region(geom::Rect{0, 0, 12, 400})).empty());
+}
+
+TEST(SliceRegionTest, CellsAreDrcCleanAndInsideRegion) {
+  const CandidateGenerator gen(rules(), {});
+  const geom::Region region(geom::Rect{0, 0, 350, 270});
+  const auto cells = gen.sliceRegion(region);
+  ASSERT_FALSE(cells.empty());
+  const layout::DesignRules r = rules();
+  for (const auto& c : cells) {
+    EXPECT_TRUE(r.shapeOk(c)) << c.str();
+    EXPECT_LE(c.width(), r.maxFillSize);
+    EXPECT_LE(c.height(), r.maxFillSize);
+    EXPECT_EQ(geom::Region(c).subtract(region).area(), 0) << c.str();
+  }
+  EXPECT_TRUE(testutil::pairwiseDisjoint(cells));
+}
+
+TEST(SliceRegionTest, CellsRespectMutualSpacing) {
+  const CandidateGenerator gen(rules(), {});
+  const geom::Region region(std::vector<geom::Rect>{
+      {0, 0, 400, 180}, {0, 180, 190, 400}});  // L-shape
+  const auto cells = gen.sliceRegion(region);
+  ASSERT_GE(cells.size(), 2u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    for (std::size_t j = i + 1; j < cells.size(); ++j) {
+      EXPECT_GE(cells[i].distance(cells[j]), 10.0)
+          << cells[i].str() << " vs " << cells[j].str();
+    }
+  }
+}
+
+TEST(CandidateGeneratorTest, ReachesLambdaTargetWhenSpaceAllows) {
+  // Empty window, target density 0.3 with lambda 1.15.
+  WindowProblem p = makeProblem({}, {}, 0.3, 0.3);
+  CandidateGenerator::Options opt;
+  opt.lambda = 1.15;
+  const CandidateGenerator gen(rules(), opt);
+  gen.generate(p);
+  for (int l = 0; l < 2; ++l) {
+    geom::Area area = 0;
+    for (const auto& f : p.fills[static_cast<std::size_t>(l)]) {
+      area += f.area();
+    }
+    const double density =
+        static_cast<double>(area) / static_cast<double>(p.window.area());
+    EXPECT_GE(density, 0.3) << "layer " << l;        // at least target
+    EXPECT_LE(density, 0.3 * 1.15 + 0.1) << "layer " << l;  // bounded overshoot
+  }
+}
+
+TEST(CandidateGeneratorTest, ZeroTargetGeneratesNothing) {
+  WindowProblem p = makeProblem({}, {}, 0.0, 0.0);
+  const CandidateGenerator gen(rules(), {});
+  gen.generate(p);
+  EXPECT_TRUE(p.fills[0].empty());
+  EXPECT_TRUE(p.fills[1].empty());
+}
+
+TEST(CandidateGeneratorTest, CandidatesAvoidWires) {
+  // Paper Fig. 4/5 setup: wires block part of each layer.
+  WindowProblem p = makeProblem({{0, 0, 400, 120}}, {{0, 280, 400, 400}},
+                                0.5, 0.5);
+  const CandidateGenerator gen(rules(), {});
+  gen.generate(p);
+  for (int l = 0; l < 2; ++l) {
+    for (const auto& f : p.fills[static_cast<std::size_t>(l)]) {
+      for (const auto& w : p.wires[static_cast<std::size_t>(l)]) {
+        EXPECT_EQ(f.overlapArea(w), 0);
+        EXPECT_GE(f.distance(w), 10.0);
+      }
+    }
+  }
+}
+
+TEST(CandidateGeneratorTest, CaseIZeroOverlayAchievable) {
+  // Fig. 4: wires only in disjoint halves; the shared free region (middle
+  // band) is big enough for both layers' small targets, so fill-to-fill
+  // overlay of the chosen candidates should be zero.
+  WindowProblem p = makeProblem({{0, 0, 400, 100}}, {{0, 300, 400, 400}},
+                                0.30, 0.30);
+  CandidateGenerator::Options opt;
+  opt.lambda = 1.0;
+  const CandidateGenerator gen(rules(), opt);
+  gen.generate(p);
+  ASSERT_FALSE(p.fills[0].empty());
+  ASSERT_FALSE(p.fills[1].empty());
+  const geom::Area fillFillOverlay =
+      geom::intersectionArea(p.fills[0], p.fills[1]);
+  EXPECT_EQ(fillFillOverlay, 0);
+}
+
+TEST(CandidateGeneratorTest, CaseIIAcceptsOverlayForDensity) {
+  // Fig. 5: targets too high for the shared region alone; candidates must
+  // spill into wire-adjacent space and some overlay becomes unavoidable,
+  // but density still reaches the target.
+  WindowProblem p = makeProblem({{0, 0, 400, 180}}, {{0, 220, 400, 400}},
+                                0.5, 0.5);
+  const CandidateGenerator gen(rules(), {});
+  gen.generate(p);
+  for (int l = 0; l < 2; ++l) {
+    geom::Area area = 0;
+    for (const auto& f : p.fills[static_cast<std::size_t>(l)]) {
+      area += f.area();
+    }
+    const double total = p.wireDensity[static_cast<std::size_t>(l)] +
+                         static_cast<double>(area) /
+                             static_cast<double>(p.window.area());
+    EXPECT_GE(total, 0.5) << "layer " << l;
+  }
+}
+
+TEST(SliceRegionTest, UniformCellsAreAllIdentical) {
+  CandidateGenerator::Options opt;
+  opt.uniformCells = true;
+  const CandidateGenerator gen(rules(), opt);
+  const geom::Region region(geom::Rect{0, 0, 800, 700});
+  const auto cells = gen.sliceRegion(region);
+  ASSERT_GE(cells.size(), 4u);
+  const layout::DesignRules r = rules();
+  for (const auto& c : cells) {
+    EXPECT_EQ(c.width(), r.maxFillSize);
+    EXPECT_EQ(c.height(), r.maxFillSize);
+  }
+  // Fixed pitch: x positions are congruent modulo (size + gutter).
+  const geom::Coord pitch = r.maxFillSize + r.minSpacing;
+  for (const auto& c : cells) {
+    EXPECT_EQ((c.xl - cells[0].xl) % pitch, 0);
+  }
+}
+
+TEST(SliceRegionTest, UniformCellsDropRemainders) {
+  CandidateGenerator::Options opt;
+  opt.uniformCells = true;
+  const CandidateGenerator gen(rules(), opt);
+  // Region smaller than one fixed cell after insets: nothing fits.
+  const auto cells =
+      gen.sliceRegion(geom::Region(geom::Rect{0, 0, 105, 400}));
+  EXPECT_TRUE(cells.empty());
+}
+
+TEST(CandidateGeneratorTest, QualityScorePrefersLowOverlayOnEvenLayers) {
+  // Layer 1 (even pass) has free space both above layer-0 fills and above
+  // empty area; with gamma small, low-overlay candidates must win.
+  WindowProblem p = makeProblem({{0, 0, 400, 190}}, {}, 0.0, 0.2);
+  CandidateGenerator::Options opt;
+  opt.gamma = 0.1;
+  opt.lambda = 1.0;
+  const CandidateGenerator gen(rules(), opt);
+  gen.generate(p);
+  ASSERT_FALSE(p.fills[1].empty());
+  // All chosen layer-1 candidates should avoid the wire block of layer 0.
+  geom::Area overlay = 0;
+  for (const auto& f : p.fills[1]) {
+    overlay += f.overlapArea({0, 0, 400, 190});
+  }
+  EXPECT_EQ(overlay, 0);
+}
+
+}  // namespace
+}  // namespace ofl::fill

@@ -1,0 +1,135 @@
+// Direct FillEngine option tests (integration tests cover the default
+// configuration; these pin the option plumbing).
+#include "fill/fill_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "density/density_map.hpp"
+#include "geometry/boolean.hpp"
+#include "layout/litho.hpp"
+
+namespace ofl::fill {
+namespace {
+
+class FillEngineOptionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setLogLevel(LogLevel::kWarn);
+    spec_ = contest::BenchmarkGenerator::spec("tiny");
+    options_.windowSize = spec_.windowSize;
+    options_.rules = spec_.rules;
+  }
+  contest::BenchmarkSpec spec_;
+  FillEngineOptions options_;
+};
+
+TEST_F(FillEngineOptionsTest, MaxDensityCapHonoredEndToEnd) {
+  options_.rules.maxDensity = 0.2;
+  layout::Layout chip = contest::BenchmarkGenerator::generate(spec_);
+  FillEngine(options_).run(chip);
+  const layout::WindowGrid grid(chip.die(), spec_.windowSize);
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    const auto map = density::DensityMap::compute(chip, l, grid);
+    const auto wires =
+        density::DensityMap::computeFromShapes(chip.layer(l).wires, grid);
+    for (int j = 0; j < grid.rows(); ++j) {
+      for (int i = 0; i < grid.cols(); ++i) {
+        // Windows whose wires already exceed the cap are exempt; all
+        // others must respect it (small epsilon for trim rounding).
+        if (wires.at(i, j) <= 0.2) {
+          EXPECT_LE(map.at(i, j), 0.2 + 0.01)
+              << "layer " << l << " window " << i << "," << j;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FillEngineOptionsTest, EtaWireFactorReducesWireOverlay) {
+  auto wireOverlay = [](const layout::Layout& chip) {
+    geom::Area total = 0;
+    for (int l = 0; l + 1 < chip.numLayers(); ++l) {
+      total += geom::intersectionArea(chip.layer(l).fills,
+                                      chip.layer(l + 1).wires);
+      total += geom::intersectionArea(chip.layer(l).wires,
+                                      chip.layer(l + 1).fills);
+    }
+    return total;
+  };
+  layout::Layout normal = contest::BenchmarkGenerator::generate(spec_);
+  FillEngine(options_).run(normal);
+  options_.sizer.etaWireFactor = 8.0;
+  layout::Layout biased = contest::BenchmarkGenerator::generate(spec_);
+  FillEngine(options_).run(biased);
+  EXPECT_LE(wireOverlay(biased), wireOverlay(normal));
+}
+
+TEST_F(FillEngineOptionsTest, UniformCellModeYieldsRepeatedSizes) {
+  options_.candidate.uniformCells = true;
+  options_.sizer.iterations = 0;
+  layout::Layout chip = contest::BenchmarkGenerator::generate(spec_);
+  FillEngine(options_).run(chip);
+  // Count distinct fill sizes; uniform mode must produce far fewer
+  // distinct sizes than fills.
+  std::vector<std::pair<geom::Coord, geom::Coord>> sizes;
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    for (const auto& f : chip.layer(l).fills) {
+      sizes.push_back({f.width(), f.height()});
+    }
+  }
+  const std::size_t fills = sizes.size();
+  ASSERT_GT(fills, 100u);
+  std::sort(sizes.begin(), sizes.end());
+  sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+  // Dozens of distinct sizes (trim + small-cell refinement) against
+  // thousands of fills — versus near-one-size-per-fill in default mode.
+  EXPECT_LT(sizes.size() * 20, fills);
+}
+
+TEST_F(FillEngineOptionsTest, LithoOptionPlumbsThrough) {
+  options_.rules.minSpacing = 14;
+  const layout::LithoRules band{12, 18};
+  options_.candidate.lithoAvoid = band;
+  layout::Layout chip = contest::BenchmarkGenerator::generate(spec_);
+  FillEngine(options_).run(chip);
+  EXPECT_EQ(layout::LithoChecker(band).count(chip), 0u);
+}
+
+TEST_F(FillEngineOptionsTest, ReportAccountsAllStages) {
+  layout::Layout chip = contest::BenchmarkGenerator::generate(spec_);
+  const FillReport report = FillEngine(options_).run(chip);
+  EXPECT_GT(report.fillCount, 0u);
+  EXPECT_GE(report.candidateCount, report.fillCount);
+  EXPECT_GT(report.totalSeconds, 0.0);
+  EXPECT_GE(report.totalSeconds + 1e-9, report.planningSeconds +
+                                            report.candidateSeconds +
+                                            report.sizingSeconds);
+  ASSERT_EQ(report.layerTargets.size(),
+            static_cast<std::size_t>(chip.numLayers()));
+  for (const double td : report.layerTargets) {
+    EXPECT_GT(td, 0.0);
+    EXPECT_LE(td, 1.0);
+  }
+  EXPECT_GT(report.sizerStats.solves, 0);
+}
+
+TEST_F(FillEngineOptionsTest, ZeroIterationsStillTrimsToTarget) {
+  options_.sizer.iterations = 0;
+  layout::Layout chip = contest::BenchmarkGenerator::generate(spec_);
+  const FillReport report = FillEngine(options_).run(chip);
+  const layout::WindowGrid grid(chip.die(), spec_.windowSize);
+  const auto map = density::DensityMap::compute(chip, 0, grid);
+  // Even without LP passes the exact trim keeps windows near target.
+  int off = 0;
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      if (map.at(i, j) > report.layerTargets[0] + 0.03) ++off;
+    }
+  }
+  EXPECT_EQ(off, 0);
+}
+
+}  // namespace
+}  // namespace ofl::fill

@@ -1,0 +1,109 @@
+// Property tests for FillSizer on randomized window problems: whatever
+// the candidate layout, sizing may only shrink, must respect DRC minima,
+// must land at or below target within trim precision, and must never
+// create spacing violations that were not already present.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "fill/fill_sizer.hpp"
+
+namespace ofl::fill {
+namespace {
+
+layout::DesignRules rules() {
+  layout::DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 120;
+  return r;
+}
+
+// Random spacing-clean candidate set over a 2-layer window.
+WindowProblem randomProblem(Rng& rng) {
+  WindowProblem p;
+  p.window = {0, 0, 1000, 1000};
+  p.fillRegions = {geom::Region(p.window), geom::Region(p.window)};
+  p.wires = {{}, {}};
+  p.wireDensity = {0.0, 0.0};
+  p.targetDensity = {rng.uniformReal(0.02, 0.3), rng.uniformReal(0.02, 0.3)};
+  p.fills = {{}, {}};
+  // Wires on layer 1 give layer 0 something to trade overlay against.
+  const int wireCount = static_cast<int>(rng.uniformInt(0, 4));
+  for (int k = 0; k < wireCount; ++k) {
+    const geom::Coord w = rng.uniformInt(60, 300);
+    const geom::Coord h = rng.uniformInt(60, 300);
+    const geom::Coord x = rng.uniformInt(0, 1000 - w);
+    const geom::Coord y = rng.uniformInt(0, 1000 - h);
+    p.wires[1].push_back({x, y, x + w, y + h});
+  }
+  // Candidates on a jittered grid, always >= minSpacing apart.
+  for (geom::Coord gy = 0; gy + 130 <= 1000; gy += 140) {
+    for (geom::Coord gx = 0; gx + 130 <= 1000; gx += 140) {
+      if (!rng.bernoulli(0.7)) continue;
+      const geom::Coord w = rng.uniformInt(40, 120);
+      const geom::Coord h = rng.uniformInt(40, 120);
+      p.fills[0].push_back({gx, gy, gx + w, gy + h});
+    }
+  }
+  return p;
+}
+
+class SizerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SizerPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    WindowProblem p = randomProblem(rng);
+    const std::vector<geom::Rect> before = p.fills[0];
+    const double targetArea =
+        p.targetDensity[0] * static_cast<double>(p.window.area());
+
+    FillSizer(rules(), {}).size(p);
+
+    // 1. Only shrink, never move outside the original box.
+    ASSERT_EQ(p.fills[0].size(), before.size()) << "seed " << GetParam();
+    geom::Area after = 0;
+    geom::Coord tallest = 0;
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_TRUE(before[i].contains(p.fills[0][i]))
+          << before[i].str() << " -> " << p.fills[0][i].str();
+      after += p.fills[0][i].area();
+      tallest = std::max(tallest, p.fills[0][i].height());
+      // 2. DRC minima.
+      EXPECT_TRUE(rules().shapeOk(p.fills[0][i])) << p.fills[0][i].str();
+    }
+
+    // 3. Density lands at/below target within one trim quantum (the trim
+    // shrinks in whole columns of the tallest fill), unless the floor of
+    // DRC-minimum shapes makes the target unreachable from above.
+    geom::Area floorArea = 0;
+    for (const auto& f : before) {
+      const geom::Coord minW = std::max<geom::Coord>(
+          rules().minWidth,
+          (rules().minArea + f.height() - 1) / f.height());
+      floorArea += minW * std::min<geom::Coord>(f.height(), f.height());
+    }
+    const double reachable =
+        std::max(targetArea, static_cast<double>(floorArea));
+    EXPECT_LE(static_cast<double>(after),
+              reachable + static_cast<double>(tallest) + 1.0)
+        << "seed " << GetParam() << " trial " << trial;
+
+    // 4. No spacing violations among sized fills.
+    for (std::size_t i = 0; i < p.fills[0].size(); ++i) {
+      for (std::size_t j = i + 1; j < p.fills[0].size(); ++j) {
+        EXPECT_GE(p.fills[0][i].distance(p.fills[0][j]),
+                  static_cast<double>(rules().minSpacing))
+            << p.fills[0][i].str() << " vs " << p.fills[0][j].str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SizerPropertyTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u,
+                                           606u, 707u, 808u));
+
+}  // namespace
+}  // namespace ofl::fill

@@ -1,0 +1,173 @@
+#include "fill/fill_sizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geometry/boolean.hpp"
+
+namespace ofl::fill {
+namespace {
+
+layout::DesignRules rules() {
+  layout::DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 100;
+  return r;
+}
+
+geom::Area fillArea(const WindowProblem& p, int layer) {
+  geom::Area a = 0;
+  for (const auto& f : p.fills[static_cast<std::size_t>(layer)]) a += f.area();
+  return a;
+}
+
+WindowProblem singleLayerProblem(std::vector<geom::Rect> fills,
+                                 double target) {
+  WindowProblem p;
+  p.window = {0, 0, 400, 400};
+  p.fillRegions = {geom::Region(p.window)};
+  p.wires = {{}};
+  p.wireDensity = {0.0};
+  p.targetDensity = {target};
+  p.fills = {std::move(fills)};
+  return p;
+}
+
+class FillSizerBackendTest : public ::testing::TestWithParam<bool> {
+ protected:
+  FillSizer::Options options() const {
+    FillSizer::Options o;
+    o.useLpSolver = GetParam();
+    o.iterations = 3;
+    return o;
+  }
+};
+
+TEST_P(FillSizerBackendTest, ShrinksTowardTargetDensity) {
+  // Candidates cover 4 x (100x100) = 40000 = 25% density; target is 15%.
+  WindowProblem p = singleLayerProblem(
+      {{0, 0, 100, 100}, {150, 0, 250, 100}, {0, 150, 100, 250},
+       {150, 150, 250, 250}},
+      0.15);
+  const geom::Area before = fillArea(p, 0);
+  FillSizer(rules(), options()).size(p);
+  const geom::Area after = fillArea(p, 0);
+  EXPECT_LT(after, before);
+  const double density =
+      static_cast<double>(after) / static_cast<double>(p.window.area());
+  EXPECT_NEAR(density, 0.15, 0.04);
+}
+
+TEST_P(FillSizerBackendTest, KeepsSizeWhenBelowTarget) {
+  WindowProblem p = singleLayerProblem({{0, 0, 100, 100}}, 0.5);
+  FillSizer(rules(), options()).size(p);
+  EXPECT_EQ(p.fills[0][0], geom::Rect(0, 0, 100, 100));
+}
+
+TEST_P(FillSizerBackendTest, RespectsDrcMinimaWhenShrinking) {
+  // Absurdly low target forces maximum shrinking; every fill must stay
+  // DRC-legal (Eqns. 9e/9f via Eqn. 12 bounds).
+  WindowProblem p = singleLayerProblem(
+      {{0, 0, 100, 100}, {150, 0, 250, 100}, {0, 150, 100, 250}}, 0.001);
+  FillSizer::Options o = options();
+  o.iterations = 6;
+  FillSizer(rules(), o).size(p);
+  const layout::DesignRules r = rules();
+  for (const auto& f : p.fills[0]) {
+    EXPECT_GE(f.width(), r.minWidth);
+    EXPECT_GE(f.height(), r.minWidth);
+    EXPECT_GE(f.area(), r.minArea);
+  }
+  EXPECT_LT(fillArea(p, 0), 30000);
+}
+
+TEST_P(FillSizerBackendTest, ShrinkingReducesOverlay) {
+  // One big fill on layer 0 overlapping a layer-1 wire half-way; density
+  // target is generous so overlay drives the shrink.
+  WindowProblem p;
+  p.window = {0, 0, 400, 400};
+  p.fillRegions = {geom::Region(p.window), geom::Region(p.window)};
+  p.wires = {{}, {{0, 0, 60, 100}}};  // wire on layer 1 under fill's left
+  p.wireDensity = {0.0, 60.0 * 100 / (400.0 * 400)};
+  p.targetDensity = {0.04, 0.04};  // fill is 100x100 = 0.0625 > target
+  p.fills = {{{0, 0, 100, 100}}, {}};
+
+  const geom::Area overlayBefore =
+      geom::intersectionArea(p.fills[0], p.wires[1]);
+  FillSizer(rules(), options()).size(p);
+  const geom::Area overlayAfter =
+      geom::intersectionArea(p.fills[0], p.wires[1]);
+  EXPECT_LT(overlayAfter, overlayBefore);
+}
+
+TEST_P(FillSizerBackendTest, RepairsSpacingViolation) {
+  // Two fills 4 apart (rule: 10). Sizing must separate them (Eqn. 13).
+  WindowProblem p = singleLayerProblem(
+      {{0, 0, 100, 100}, {104, 0, 204, 100}}, 0.12);
+  FillSizer(rules(), options()).size(p);
+  ASSERT_EQ(p.fills[0].size(), 2u);
+  EXPECT_GE(p.fills[0][1].xl - p.fills[0][0].xh, 10);
+}
+
+TEST_P(FillSizerBackendTest, DropsFillWhenSpacingUnrepairable) {
+  // Two overlapping fills that cannot both stay: even shrunk to the min
+  // width, [0,22) and [4,24) cannot clear a 10-DBU gap, so the smaller one
+  // must be dropped.
+  WindowProblem p = singleLayerProblem(
+      {{0, 0, 22, 100}, {4, 0, 24, 100}}, 0.12);
+  FillSizer::Stats stats;
+  FillSizer(rules(), options()).size(p, &stats);
+  EXPECT_EQ(p.fills[0].size(), 1u);
+  EXPECT_GE(stats.droppedFills, 1);
+}
+
+TEST_P(FillSizerBackendTest, EmptyLayerIsNoop) {
+  WindowProblem p = singleLayerProblem({}, 0.5);
+  FillSizer::Stats stats;
+  FillSizer(rules(), options()).size(p, &stats);
+  EXPECT_TRUE(p.fills[0].empty());
+  EXPECT_EQ(stats.droppedFills, 0);
+}
+
+TEST_P(FillSizerBackendTest, FillsOnlyShrinkNeverGrow) {
+  WindowProblem p = singleLayerProblem(
+      {{0, 0, 100, 100}, {150, 150, 230, 260}}, 0.02);
+  const auto before = p.fills[0];
+  FillSizer::Options o = options();
+  o.iterations = 4;
+  FillSizer(rules(), o).size(p);
+  ASSERT_EQ(p.fills[0].size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_TRUE(before[i].contains(p.fills[0][i]))
+        << before[i].str() << " -> " << p.fills[0][i].str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FillSizerBackendTest,
+                         ::testing::Values(false, true),
+                         [](const auto& info) {
+                           return info.param ? "DenseSimplex" : "DualMcf";
+                         });
+
+TEST(FillSizerTest, McfAndLpBackendsAgreeOnFinalArea) {
+  WindowProblem base = singleLayerProblem(
+      {{0, 0, 100, 100}, {150, 0, 250, 80}, {0, 150, 90, 250},
+       {200, 200, 300, 300}},
+      0.1);
+  WindowProblem viaMcf = base;
+  WindowProblem viaLp = base;
+  FillSizer::Options mcfOpt;
+  FillSizer::Options lpOpt;
+  lpOpt.useLpSolver = true;
+  FillSizer(rules(), mcfOpt).size(viaMcf);
+  FillSizer(rules(), lpOpt).size(viaLp);
+  // Same relaxation, exact solvers: identical objective-level outcome.
+  geom::Area a1 = 0, a2 = 0;
+  for (const auto& f : viaMcf.fills[0]) a1 += f.area();
+  for (const auto& f : viaLp.fills[0]) a2 += f.area();
+  EXPECT_EQ(a1, a2);
+}
+
+}  // namespace
+}  // namespace ofl::fill

@@ -1,0 +1,90 @@
+#include "fill/target_planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ofl::fill {
+namespace {
+
+density::DensityBounds makeBounds(std::vector<double> lower,
+                                  std::vector<double> upper) {
+  density::DensityBounds b;
+  b.lower = std::move(lower);
+  b.upper = std::move(upper);
+  return b;
+}
+
+TEST(TargetPlannerTest, CaseIAllWindowsReachMaxLower) {
+  // 2x2 grid; all windows can reach the max lower bound 0.5, so the plan
+  // is perfectly uniform with sigma = 0 (paper Eqn. 6).
+  const auto bounds =
+      makeBounds({0.2, 0.5, 0.3, 0.4}, {0.9, 0.9, 0.9, 0.9});
+  const TargetDensityPlanner planner(PlannerWeights{});
+  const TargetPlan plan = planner.plan({bounds}, 2, 2);
+  ASSERT_EQ(plan.layerTarget.size(), 1u);
+  EXPECT_NEAR(plan.layerTarget[0], 0.5, 1e-9);
+  for (const double d : plan.windowTarget[0]) {
+    EXPECT_NEAR(d, 0.5, 1e-9);
+  }
+}
+
+TEST(TargetPlannerTest, CaseIIConstrainedWindowClamps) {
+  // One window is capped at 0.7 while the max lower bound is 0.9
+  // (paper Eqn. 7): the target for that window must be its upper bound.
+  const auto bounds =
+      makeBounds({0.9, 0.2, 0.2, 0.2}, {1.0, 0.7, 1.0, 1.0});
+  const TargetDensityPlanner planner(PlannerWeights{});
+  const TargetPlan plan = planner.plan({bounds}, 2, 2);
+  const auto& t = plan.windowTarget[0];
+  EXPECT_NEAR(t[0], 0.9, 1e-9);         // lower bound binds
+  EXPECT_LE(t[1], 0.7 + 1e-9);          // clamped at its cap
+  // The planner may trade td below 0.9 to reduce overall spread, but every
+  // window target stays within its own bounds.
+  for (std::size_t w = 0; w < t.size(); ++w) {
+    EXPECT_GE(t[w] + 1e-9, bounds.lower[w]);
+    EXPECT_LE(t[w] - 1e-9, bounds.upper[w]);
+  }
+}
+
+TEST(TargetPlannerTest, SweepBeatsNaiveMaxLowerInCaseII) {
+  // Extreme Case II: one hot window at 0.95, everything else capped at
+  // 0.3. Naive td = 0.95 leaves a huge outlier; the planner should pick a
+  // td scoring at least as well as the naive choice.
+  std::vector<double> lower(16, 0.1);
+  std::vector<double> upper(16, 0.3);
+  lower[5] = 0.95;
+  upper[5] = 1.0;
+  const auto bounds = makeBounds(lower, upper);
+  const TargetDensityPlanner planner(PlannerWeights{});
+  const double naive = planner.scoreLayer(bounds, 4, 4, 0.95);
+  const TargetPlan plan = planner.plan({bounds}, 4, 4);
+  const double chosen = planner.scoreLayer(bounds, 4, 4, plan.layerTarget[0]);
+  EXPECT_GE(chosen + 1e-12, naive);
+}
+
+TEST(TargetPlannerTest, MultipleLayersPlannedIndependently) {
+  const auto dense = makeBounds({0.6, 0.6}, {0.9, 0.9});
+  const auto sparse = makeBounds({0.1, 0.2}, {0.8, 0.8});
+  const TargetDensityPlanner planner(PlannerWeights{});
+  const TargetPlan plan = planner.plan({dense, sparse}, 2, 1);
+  ASSERT_EQ(plan.layerTarget.size(), 2u);
+  EXPECT_NEAR(plan.layerTarget[0], 0.6, 1e-9);
+  EXPECT_NEAR(plan.layerTarget[1], 0.2, 1e-9);
+}
+
+TEST(TargetPlannerTest, UniformInputNeedsNoFill) {
+  const auto bounds = makeBounds({0.4, 0.4, 0.4, 0.4}, {0.8, 0.8, 0.8, 0.8});
+  const TargetDensityPlanner planner(PlannerWeights{});
+  const TargetPlan plan = planner.plan({bounds}, 2, 2);
+  EXPECT_NEAR(plan.layerTarget[0], 0.4, 1e-9);
+}
+
+TEST(TargetPlannerTest, ScoreLayerPerfectUniformityIsMax) {
+  const auto bounds = makeBounds({0.3, 0.3}, {0.9, 0.9});
+  const PlannerWeights w{};
+  const TargetDensityPlanner planner(w);
+  const double score = planner.scoreLayer(bounds, 2, 1, 0.5);
+  EXPECT_NEAR(score, w.wSigma + w.wLine + w.wOutlier, 1e-9);
+}
+
+}  // namespace
+}  // namespace ofl::fill

@@ -1,0 +1,102 @@
+// Fuzz-style robustness tests for the GDS reader and round-trip property
+// tests for random libraries. The reader must never crash or hang on
+// corrupted bytes — it may only return nullopt or a best-effort parse.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "gds/gds_reader.hpp"
+#include "gds/gds_writer.hpp"
+
+namespace ofl::gds {
+namespace {
+
+Library randomLibrary(Rng& rng) {
+  Library lib;
+  lib.name = "FUZZ";
+  const int cells = static_cast<int>(rng.uniformInt(1, 3));
+  for (int c = 0; c < cells; ++c) {
+    lib.cells.emplace_back();
+    Cell& cell = lib.cells.back();
+    cell.name = "C" + std::to_string(c);
+    const int shapes = static_cast<int>(rng.uniformInt(0, 40));
+    for (int s = 0; s < shapes; ++s) {
+      const geom::Coord x = rng.uniformInt(-100000, 100000);
+      const geom::Coord y = rng.uniformInt(-100000, 100000);
+      const geom::Coord w = rng.uniformInt(1, 5000);
+      const geom::Coord h = rng.uniformInt(1, 5000);
+      Writer::addRect(cell, static_cast<std::int16_t>(rng.uniformInt(1, 8)),
+                      {x, y, x + w, y + h},
+                      static_cast<std::int16_t>(rng.uniformInt(0, 1)));
+    }
+  }
+  return lib;
+}
+
+TEST(GdsFuzzTest, RandomLibrariesRoundTrip) {
+  Rng rng(0xF00D);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Library lib = randomLibrary(rng);
+    const auto bytes = Writer::serialize(lib);
+    ASSERT_EQ(static_cast<long long>(bytes.size()), Writer::streamSize(lib))
+        << "trial " << trial;
+    const auto parsed = Reader::parse(bytes);
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    ASSERT_EQ(parsed->cells.size(), lib.cells.size());
+    for (std::size_t c = 0; c < lib.cells.size(); ++c) {
+      ASSERT_EQ(parsed->cells[c].boundaries.size(),
+                lib.cells[c].boundaries.size());
+      for (std::size_t b = 0; b < lib.cells[c].boundaries.size(); ++b) {
+        EXPECT_EQ(parsed->cells[c].boundaries[b].layer,
+                  lib.cells[c].boundaries[b].layer);
+        EXPECT_EQ(parsed->cells[c].boundaries[b].vertices,
+                  lib.cells[c].boundaries[b].vertices);
+      }
+    }
+  }
+}
+
+TEST(GdsFuzzTest, RandomByteFlipsNeverCrash) {
+  Rng rng(0xBEEF);
+  const Library lib = randomLibrary(rng);
+  const auto original = Writer::serialize(lib);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto bytes = original;
+    const int flips = static_cast<int>(rng.uniformInt(1, 8));
+    for (int f = 0; f < flips; ++f) {
+      const auto pos =
+          static_cast<std::size_t>(rng.uniformInt(0, static_cast<long long>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<std::uint8_t>(rng.uniformInt(1, 255));
+    }
+    // Must terminate without crashing; result validity is optional.
+    (void)Reader::parse(bytes);
+  }
+}
+
+TEST(GdsFuzzTest, RandomTruncationsNeverCrash) {
+  Rng rng(0xCAFE);
+  const Library lib = randomLibrary(rng);
+  const auto original = Writer::serialize(lib);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto cut =
+        static_cast<std::size_t>(rng.uniformInt(0, static_cast<long long>(original.size())));
+    const std::span<const std::uint8_t> partial(original.data(), cut);
+    if (cut < original.size()) {
+      EXPECT_FALSE(Reader::parse(partial).has_value());
+    }
+  }
+}
+
+TEST(GdsFuzzTest, PureRandomBytesNeverCrash) {
+  Rng rng(0xD00F);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniformInt(0, 512)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    }
+    (void)Reader::parse(junk);
+  }
+}
+
+}  // namespace
+}  // namespace ofl::gds

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "gds/gds_reader.hpp"
+#include "gds/gds_records.hpp"
+#include "gds/gds_writer.hpp"
+
+namespace ofl::gds {
+namespace {
+
+Library sampleLibrary() {
+  Library lib;
+  lib.name = "TESTLIB";
+  lib.cells.emplace_back();
+  Cell& cell = lib.cells.back();
+  cell.name = "TOP";
+  Writer::addRect(cell, 1, {0, 0, 100, 50});
+  Writer::addRect(cell, 2, {-30, -40, 10, 20}, /*datatype=*/1);
+  Boundary poly;
+  poly.layer = 3;
+  poly.vertices = {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}};
+  cell.boundaries.push_back(poly);
+  return lib;
+}
+
+TEST(GdsRecordsTest, Real8RoundTrip) {
+  for (const double v : {0.0, 1.0, -1.0, 1e-3, 1e-9, 0.25, 1e6, -2.5e-7}) {
+    const double back = decodeReal8(encodeReal8(v));
+    EXPECT_NEAR(back, v, std::abs(v) * 1e-12 + 1e-300) << "value " << v;
+  }
+}
+
+TEST(GdsRecordsTest, BigEndianHelpers) {
+  std::vector<std::uint8_t> buf;
+  putU16(buf, 0x1234);
+  putI32(buf, -2);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(buf[1], 0x34);
+  EXPECT_EQ(getU16(buf.data()), 0x1234);
+  EXPECT_EQ(getI32(buf.data() + 2), -2);
+}
+
+TEST(GdsWriterTest, StreamSizeMatchesSerializedBytes) {
+  const Library lib = sampleLibrary();
+  const auto bytes = Writer::serialize(lib);
+  EXPECT_EQ(static_cast<long long>(bytes.size()), Writer::streamSize(lib));
+}
+
+TEST(GdsWriterTest, StreamSizeEmptyLibrary) {
+  Library lib;
+  lib.cells.clear();
+  const auto bytes = Writer::serialize(lib);
+  EXPECT_EQ(static_cast<long long>(bytes.size()), Writer::streamSize(lib));
+}
+
+TEST(GdsWriterTest, DeterministicOutput) {
+  const Library lib = sampleLibrary();
+  EXPECT_EQ(Writer::serialize(lib), Writer::serialize(lib));
+}
+
+TEST(GdsRoundTripTest, ParseRecoverStructure) {
+  const Library lib = sampleLibrary();
+  const auto bytes = Writer::serialize(lib);
+  const auto parsed = Reader::parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "TESTLIB");
+  ASSERT_EQ(parsed->cells.size(), 1u);
+  const Cell& cell = parsed->cells[0];
+  EXPECT_EQ(cell.name, "TOP");
+  ASSERT_EQ(cell.boundaries.size(), 3u);
+  EXPECT_EQ(cell.boundaries[0].layer, 1);
+  EXPECT_EQ(cell.boundaries[0].datatype, 0);
+  EXPECT_EQ(cell.boundaries[1].datatype, 1);
+  EXPECT_EQ(cell.boundaries[1].vertices[0], (geom::Point{-30, -40}));
+  EXPECT_EQ(cell.boundaries[2].vertices.size(), 6u);
+  EXPECT_NEAR(parsed->userUnitsPerDbu, lib.userUnitsPerDbu, 1e-12);
+  EXPECT_NEAR(parsed->metersPerDbu, lib.metersPerDbu, 1e-18);
+}
+
+TEST(GdsRoundTripTest, FileIo) {
+  const Library lib = sampleLibrary();
+  const std::string path = "/tmp/ofl_gds_test.gds";
+  const long long written = Writer::writeFile(lib, path);
+  EXPECT_GT(written, 0);
+  const auto parsed = Reader::readFile(path);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->cells[0].boundaries.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(GdsReaderTest, RejectsTruncatedStream) {
+  const auto bytes = Writer::serialize(sampleLibrary());
+  for (const std::size_t cut : {1ul, 10ul, bytes.size() / 2, bytes.size() - 2}) {
+    const std::span<const std::uint8_t> partial(bytes.data(), cut);
+    EXPECT_FALSE(Reader::parse(partial).has_value()) << "cut " << cut;
+  }
+}
+
+TEST(GdsReaderTest, RejectsGarbage) {
+  const std::vector<std::uint8_t> junk{0xDE, 0xAD, 0xBE, 0xEF, 0x00, 0x01};
+  EXPECT_FALSE(Reader::parse(junk).has_value());
+  EXPECT_FALSE(Reader::parse({}).has_value());
+}
+
+TEST(GdsReaderTest, MissingFileFails) {
+  EXPECT_FALSE(Reader::readFile("/nonexistent/path.gds").has_value());
+}
+
+}  // namespace
+}  // namespace ofl::gds

@@ -1,0 +1,127 @@
+#include "geometry/boolean.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ofl::geom {
+namespace {
+
+TEST(BooleanTest, UnionOfDisjoint) {
+  const std::vector<Rect> a{{0, 0, 5, 5}};
+  const std::vector<Rect> b{{10, 10, 15, 15}};
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kUnion), 50);
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kIntersect), 0);
+}
+
+TEST(BooleanTest, UnionMergesOverlap) {
+  const std::vector<Rect> a{{0, 0, 10, 10}};
+  const std::vector<Rect> b{{5, 5, 15, 15}};
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kUnion), 175);
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kIntersect), 25);
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kSubtract), 75);
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kXor), 150);
+}
+
+TEST(BooleanTest, SelfOverlappingInputNormalized) {
+  const std::vector<Rect> a{{0, 0, 10, 10}, {0, 0, 10, 10}, {5, 0, 15, 10}};
+  EXPECT_EQ(unionArea(a), 150);
+  const auto rects = booleanOp(a, {}, BoolOp::kUnion);
+  EXPECT_TRUE(testutil::pairwiseDisjoint(rects));
+  Area sum = 0;
+  for (const Rect& r : rects) sum += r.area();
+  EXPECT_EQ(sum, 150);
+}
+
+TEST(BooleanTest, SubtractPunchesHole) {
+  const std::vector<Rect> a{{0, 0, 10, 10}};
+  const std::vector<Rect> b{{3, 3, 7, 7}};
+  const auto rects = booleanOp(a, b, BoolOp::kSubtract);
+  Area sum = 0;
+  for (const Rect& r : rects) {
+    sum += r.area();
+    EXPECT_EQ(r.overlapArea({3, 3, 7, 7}), 0);
+  }
+  EXPECT_EQ(sum, 84);
+  EXPECT_TRUE(testutil::pairwiseDisjoint(rects));
+}
+
+TEST(BooleanTest, AbuttingRectsUnionWithoutDoubleCount) {
+  const std::vector<Rect> a{{0, 0, 5, 10}};
+  const std::vector<Rect> b{{5, 0, 10, 10}};
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kUnion), 100);
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kIntersect), 0);
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kXor), 100);
+}
+
+TEST(BooleanTest, EmptyOperands) {
+  const std::vector<Rect> a{{0, 0, 5, 5}};
+  EXPECT_EQ(booleanArea(a, {}, BoolOp::kUnion), 25);
+  EXPECT_EQ(booleanArea({}, a, BoolOp::kUnion), 25);
+  EXPECT_EQ(booleanArea({}, {}, BoolOp::kUnion), 0);
+  EXPECT_EQ(booleanArea(a, {}, BoolOp::kIntersect), 0);
+  EXPECT_EQ(booleanArea({}, a, BoolOp::kSubtract), 0);
+  EXPECT_TRUE(booleanOp({}, {}, BoolOp::kXor).empty());
+}
+
+TEST(BooleanTest, DegenerateInputRectsIgnored) {
+  const std::vector<Rect> a{{0, 0, 0, 10}, {3, 3, 3, 3}};
+  const std::vector<Rect> b{{0, 0, 4, 4}};
+  EXPECT_EQ(booleanArea(a, b, BoolOp::kUnion), 16);
+}
+
+// Property test: every op agrees with brute-force rasterization on random
+// inputs, and booleanOp output is always disjoint with area matching
+// booleanArea.
+struct BooleanCase {
+  char opChar;
+  BoolOp op;
+};
+
+class BooleanPropertyTest : public ::testing::TestWithParam<BooleanCase> {};
+
+TEST_P(BooleanPropertyTest, MatchesRasterOracle) {
+  const auto [opChar, op] = GetParam();
+  Rng rng(0xB001 + static_cast<unsigned>(opChar));
+  constexpr int kExtent = 48;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rect> a;
+    std::vector<Rect> b;
+    const int na = static_cast<int>(rng.uniformInt(0, 12));
+    const int nb = static_cast<int>(rng.uniformInt(0, 12));
+    for (int k = 0; k < na; ++k) a.push_back(testutil::randomRect(rng, kExtent, 20));
+    for (int k = 0; k < nb; ++k) b.push_back(testutil::randomRect(rng, kExtent, 20));
+
+    testutil::Raster ra(kExtent);
+    testutil::Raster rb(kExtent);
+    ra.paint(a);
+    rb.paint(b);
+    const long long expected = testutil::Raster::opArea(ra, rb, opChar);
+
+    EXPECT_EQ(booleanArea(a, b, op), expected) << "trial " << trial;
+
+    const auto rects = booleanOp(a, b, op);
+    Area sum = 0;
+    for (const Rect& r : rects) sum += r.area();
+    EXPECT_EQ(sum, expected) << "trial " << trial;
+    EXPECT_TRUE(testutil::pairwiseDisjoint(rects)) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, BooleanPropertyTest,
+                         ::testing::Values(BooleanCase{'|', BoolOp::kUnion},
+                                           BooleanCase{'&', BoolOp::kIntersect},
+                                           BooleanCase{'-', BoolOp::kSubtract},
+                                           BooleanCase{'^', BoolOp::kXor}),
+                         [](const auto& info) {
+                           switch (info.param.op) {
+                             case BoolOp::kUnion: return "Union";
+                             case BoolOp::kIntersect: return "Intersect";
+                             case BoolOp::kSubtract: return "Subtract";
+                             case BoolOp::kXor: return "Xor";
+                           }
+                           return "Unknown";
+                         });
+
+}  // namespace
+}  // namespace ofl::geom

@@ -1,0 +1,102 @@
+#include "geometry/contour.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "geometry/decompose.hpp"
+
+namespace ofl::geom {
+namespace {
+
+// Round-trip helper: contours -> even-odd decompose must reproduce the
+// region exactly.
+void expectRoundTrip(const Region& region) {
+  const std::vector<Polygon> loops = contours(region);
+  // decomposeEvenOdd produces a different (equally valid) disjoint cover;
+  // re-normalizing through the Region constructor makes both canonical.
+  const Region back(decomposeEvenOdd(loops));
+  EXPECT_EQ(back, region);
+}
+
+TEST(ContourTest, EmptyRegion) {
+  EXPECT_TRUE(contours(Region{}).empty());
+}
+
+TEST(ContourTest, SingleRect) {
+  const Region region(Rect{2, 3, 12, 9});
+  const auto loops = contours(region);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0].isValidRectilinear());
+  EXPECT_EQ(loops[0].size(), 4u);
+  EXPECT_EQ(loops[0].area(), 60);
+  expectRoundTrip(region);
+}
+
+TEST(ContourTest, LShapeSingleLoopSixVertices) {
+  const Region region(std::vector<Rect>{{0, 0, 10, 5}, {0, 5, 5, 10}});
+  const auto loops = contours(region);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0].isValidRectilinear());
+  EXPECT_EQ(loops[0].size(), 6u);
+  EXPECT_EQ(loops[0].area(), 75);
+  expectRoundTrip(region);
+}
+
+TEST(ContourTest, TwoIslandsTwoLoops) {
+  const Region region(std::vector<Rect>{{0, 0, 5, 5}, {10, 10, 15, 15}});
+  const auto loops = contours(region);
+  EXPECT_EQ(loops.size(), 2u);
+  expectRoundTrip(region);
+}
+
+TEST(ContourTest, DonutProducesHoleLoop) {
+  // 12x12 ring with a 4x4 hole.
+  const Region outer(Rect{0, 0, 12, 12});
+  const Region region = outer.subtract(Region(Rect{4, 4, 8, 8}));
+  const auto loops = contours(region);
+  ASSERT_EQ(loops.size(), 2u);
+  // One loop has area 144 (outer), the other 16 (hole).
+  Area a0 = loops[0].area();
+  Area a1 = loops[1].area();
+  if (a0 < a1) std::swap(a0, a1);
+  EXPECT_EQ(a0, 144);
+  EXPECT_EQ(a1, 16);
+  expectRoundTrip(region);
+}
+
+TEST(ContourTest, AbuttingRectsMergeIntoOneLoop) {
+  const Region region(std::vector<Rect>{{0, 0, 5, 10}, {5, 0, 10, 10}});
+  const auto loops = contours(region);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].size(), 4u);  // interior edge cancelled
+  expectRoundTrip(region);
+}
+
+TEST(ContourTest, CornerTouchingRectsRoundTrip) {
+  // Pinch point at (5,5): loops may be degenerate there but the even-odd
+  // round trip must still be exact.
+  const Region region(std::vector<Rect>{{0, 0, 5, 5}, {5, 5, 10, 10}});
+  expectRoundTrip(region);
+}
+
+TEST(ContourTest, RandomRegionsRoundTrip) {
+  Rng rng(314);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Rect> rects;
+    const int n = static_cast<int>(rng.uniformInt(1, 14));
+    for (int k = 0; k < n; ++k) {
+      rects.push_back(testutil::randomRect(rng, 64, 24));
+    }
+    const Region region(rects);
+    expectRoundTrip(region);
+  }
+}
+
+TEST(ContourTest, LoopCountMatchesComponentsPlusHoles) {
+  // A plus-shape (one component, no holes) -> one loop.
+  const Region plus(std::vector<Rect>{{4, 0, 8, 12}, {0, 4, 12, 8}});
+  EXPECT_EQ(contours(plus).size(), 1u);
+}
+
+}  // namespace
+}  // namespace ofl::geom

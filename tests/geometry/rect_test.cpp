@@ -1,0 +1,100 @@
+#include "geometry/rect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ofl::geom {
+namespace {
+
+TEST(RectTest, BasicDimensions) {
+  const Rect r{2, 3, 10, 7};
+  EXPECT_EQ(r.width(), 8);
+  EXPECT_EQ(r.height(), 4);
+  EXPECT_EQ(r.area(), 32);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(RectTest, EmptyWhenDegenerate) {
+  EXPECT_TRUE(Rect(5, 5, 5, 9).empty());
+  EXPECT_TRUE(Rect(5, 5, 9, 5).empty());
+  EXPECT_TRUE(Rect(9, 9, 5, 5).empty());
+  EXPECT_TRUE(Rect{}.empty());
+}
+
+TEST(RectTest, HalfOpenContainsPoint) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains(Point{0, 0}));
+  EXPECT_TRUE(r.contains(Point{9, 9}));
+  EXPECT_FALSE(r.contains(Point{10, 0}));
+  EXPECT_FALSE(r.contains(Point{0, 10}));
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect outer{0, 0, 10, 10};
+  EXPECT_TRUE(outer.contains(Rect{0, 0, 10, 10}));
+  EXPECT_TRUE(outer.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(outer.contains(Rect{2, 2, 11, 8}));
+}
+
+TEST(RectTest, AbuttingRectsDoNotOverlap) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{5, 0, 10, 5};
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_TRUE(a.touches(b));
+  EXPECT_EQ(a.overlapArea(b), 0);
+}
+
+TEST(RectTest, OverlapArea) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{5, 5, 15, 15};
+  EXPECT_EQ(a.overlapArea(b), 25);
+  EXPECT_EQ(b.overlapArea(a), 25);
+}
+
+TEST(RectTest, IntersectionOfDisjointIsEmpty) {
+  const Rect a{0, 0, 4, 4};
+  const Rect b{6, 6, 9, 9};
+  EXPECT_TRUE(a.intersection(b).empty());
+  EXPECT_EQ(a.overlapArea(b), 0);
+}
+
+TEST(RectTest, ExpandedGrowsAndShrinks) {
+  const Rect r{10, 10, 20, 20};
+  EXPECT_EQ(r.expanded(3), Rect(7, 7, 23, 23));
+  EXPECT_EQ(r.expanded(-3), Rect(13, 13, 17, 17));
+  EXPECT_TRUE(r.expanded(-6).empty());
+}
+
+TEST(RectTest, BboxUnionHandlesEmpty) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_EQ(Rect{}.bboxUnion(a), a);
+  EXPECT_EQ(a.bboxUnion(Rect{}), a);
+  EXPECT_EQ(a.bboxUnion(Rect{8, 8, 9, 9}), Rect(0, 0, 9, 9));
+}
+
+TEST(RectTest, DistanceAxisAligned) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_DOUBLE_EQ(a.distance(Rect{15, 0, 20, 10}), 5.0);
+  EXPECT_DOUBLE_EQ(a.distance(Rect{0, 13, 10, 20}), 3.0);
+  EXPECT_DOUBLE_EQ(a.distance(Rect{10, 0, 20, 10}), 0.0);  // abutting
+  EXPECT_DOUBLE_EQ(a.distance(Rect{2, 2, 5, 5}), 0.0);     // overlapping
+}
+
+TEST(RectTest, DistanceDiagonal) {
+  const Rect a{0, 0, 10, 10};
+  const Rect b{13, 14, 20, 20};
+  EXPECT_DOUBLE_EQ(a.distance(b), 5.0);  // 3-4-5 triangle
+}
+
+TEST(IntervalTest, Basics) {
+  const Interval iv{3, 9};
+  EXPECT_EQ(iv.length(), 6);
+  EXPECT_TRUE(iv.contains(3));
+  EXPECT_FALSE(iv.contains(9));
+  EXPECT_TRUE(iv.overlaps(Interval{8, 12}));
+  EXPECT_FALSE(iv.overlaps(Interval{9, 12}));
+  EXPECT_EQ(iv.intersection(Interval{5, 20}), (Interval{5, 9}));
+  EXPECT_TRUE(iv.intersection(Interval{10, 20}).empty());
+}
+
+}  // namespace
+}  // namespace ofl::geom

@@ -1,0 +1,88 @@
+#include "geometry/region.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ofl::geom {
+namespace {
+
+TEST(RegionTest, NormalizesOverlappingInput) {
+  const std::vector<Rect> rects{{0, 0, 10, 10}, {5, 0, 15, 10}};
+  const Region region(rects);
+  EXPECT_EQ(region.area(), 150);
+  EXPECT_TRUE(testutil::pairwiseDisjoint(region.rects()));
+}
+
+TEST(RegionTest, SetOperations) {
+  const Region a(Rect{0, 0, 10, 10});
+  const Region b(Rect{5, 5, 15, 15});
+  EXPECT_EQ(a.unite(b).area(), 175);
+  EXPECT_EQ(a.intersect(b).area(), 25);
+  EXPECT_EQ(a.subtract(b).area(), 75);
+  EXPECT_EQ(a.overlapArea(b), 25);
+}
+
+TEST(RegionTest, EmptyRegion) {
+  const Region empty;
+  const Region a(Rect{0, 0, 4, 4});
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.area(), 0);
+  EXPECT_EQ(a.intersect(empty).area(), 0);
+  EXPECT_EQ(a.unite(empty).area(), 16);
+  EXPECT_EQ(a.subtract(empty).area(), 16);
+  EXPECT_TRUE(Region(Rect{3, 3, 3, 9}).empty());  // degenerate rect
+}
+
+TEST(RegionTest, ClippedToWindow) {
+  const Region a(std::vector<Rect>{{0, 0, 10, 10}, {20, 20, 30, 30}});
+  const Region c = a.clipped({5, 5, 25, 25});
+  EXPECT_EQ(c.area(), 25 + 25);
+  for (const Rect& r : c.rects()) {
+    EXPECT_TRUE(Rect(5, 5, 25, 25).contains(r));
+  }
+}
+
+TEST(RegionTest, BboxCoversAll) {
+  const Region a(std::vector<Rect>{{2, 3, 4, 5}, {10, 1, 12, 9}});
+  EXPECT_EQ(a.bbox(), Rect(2, 1, 12, 9));
+}
+
+TEST(RegionTest, ShrunkOfRect) {
+  const Region a(Rect{0, 0, 20, 20});
+  const Region s = a.shrunk(3);
+  EXPECT_EQ(s.area(), 14 * 14);
+  EXPECT_EQ(s.bbox(), Rect(3, 3, 17, 17));
+}
+
+TEST(RegionTest, ShrunkEliminatesSlivers) {
+  // A 20x20 square with a 4-wide corridor attached: eroding by 3 must
+  // remove the corridor entirely (4 < 2*3 + 1).
+  const Region a(std::vector<Rect>{{0, 0, 20, 20}, {20, 8, 40, 12}});
+  const Region s = a.shrunk(3);
+  EXPECT_EQ(s.area(), 14 * 14);
+}
+
+TEST(RegionTest, ShrunkZeroIsIdentity) {
+  const Region a(std::vector<Rect>{{0, 0, 10, 10}, {20, 0, 25, 5}});
+  EXPECT_EQ(a.shrunk(0), a);
+}
+
+TEST(RegionTest, ShrunkPointStaysInsideOriginal) {
+  Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Rect> rects;
+    for (int k = 0; k < 8; ++k) rects.push_back(testutil::randomRect(rng, 60, 25));
+    const Region region(rects);
+    const Region eroded = region.shrunk(2);
+    // Erosion is anti-extensive and every eroded point keeps a 2-margin:
+    // growing the eroded rects back by 2 must stay inside the original.
+    for (Rect r : eroded.rects()) {
+      r = r.expanded(2);
+      EXPECT_EQ(Region(r).subtract(region).area(), 0) << "trial " << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofl::geom

@@ -1,0 +1,89 @@
+#include "geometry/rtree.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+
+namespace ofl::geom {
+namespace {
+
+TEST(RTreeTest, EmptyTree) {
+  const RTree tree({});
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.query({0, 0, 100, 100}).empty());
+}
+
+TEST(RTreeTest, SingleRect) {
+  const RTree tree({{10, 10, 20, 20}});
+  EXPECT_EQ(tree.query({0, 0, 15, 15}), std::vector<std::uint32_t>{0});
+  EXPECT_TRUE(tree.query({30, 30, 40, 40}).empty());
+  EXPECT_TRUE(tree.query({20, 10, 30, 20}).empty());  // half-open abutment
+}
+
+TEST(RTreeTest, ExactResultsNotJustCandidates) {
+  // Two far-apart rects whose bounding box covers the middle: a query in
+  // the middle must return nothing.
+  const RTree tree({{0, 0, 10, 10}, {90, 90, 100, 100}});
+  EXPECT_TRUE(tree.query({40, 40, 60, 60}).empty());
+}
+
+TEST(RTreeTest, MatchesBruteForceOnRandomSets) {
+  Rng rng(0x7EE);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Rect> rects;
+    const int n = static_cast<int>(rng.uniformInt(1, 400));
+    for (int k = 0; k < n; ++k) {
+      rects.push_back(testutil::randomRect(rng, 1000, 120));
+    }
+    const RTree tree(rects, static_cast<int>(rng.uniformInt(2, 16)));
+    EXPECT_EQ(tree.size(), rects.size());
+    for (int q = 0; q < 20; ++q) {
+      const Rect query = testutil::randomRect(rng, 1000, 300);
+      std::vector<std::uint32_t> expected;
+      for (std::uint32_t id = 0; id < rects.size(); ++id) {
+        if (rects[id].overlaps(query)) expected.push_back(id);
+      }
+      EXPECT_EQ(tree.query(query), expected)
+          << "trial " << trial << " query " << q;
+    }
+  }
+}
+
+TEST(RTreeTest, MixedScalesHandled) {
+  // One die-sized rect among thousands of tiny ones — the case that
+  // degrades a uniform grid.
+  Rng rng(5);
+  std::vector<Rect> rects;
+  rects.push_back({0, 0, 10000, 10000});
+  for (int k = 0; k < 2000; ++k) {
+    rects.push_back(testutil::randomRect(rng, 10000, 40));
+  }
+  const RTree tree(rects);
+  const auto hits = tree.query({5000, 5000, 5001, 5001});
+  EXPECT_FALSE(hits.empty());
+  EXPECT_TRUE(std::find(hits.begin(), hits.end(), 0u) != hits.end());
+}
+
+TEST(RTreeTest, HeightLogarithmic) {
+  std::vector<Rect> rects;
+  for (int k = 0; k < 4096; ++k) {
+    rects.push_back({k * 10, 0, k * 10 + 5, 5});
+  }
+  const RTree tree(rects, 8);
+  EXPECT_LE(tree.height(), 5);  // ceil(log8(4096)) = 4 (+1 slack)
+}
+
+TEST(RTreeTest, VisitSeesEveryMatchOnce) {
+  std::vector<Rect> rects;
+  for (int k = 0; k < 100; ++k) {
+    rects.push_back({k, 0, k + 1, 10});
+  }
+  const RTree tree(rects);
+  std::vector<int> seen(100, 0);
+  tree.visit({0, 0, 100, 10}, [&seen](std::uint32_t id) { ++seen[id]; });
+  for (int k = 0; k < 100; ++k) EXPECT_EQ(seen[static_cast<std::size_t>(k)], 1);
+}
+
+}  // namespace
+}  // namespace ofl::geom

@@ -1,0 +1,125 @@
+// ECO incremental fill tests: after a local wire change, runIncremental
+// must repair only the affected windows, preserve everything else
+// bit-exactly, and restore DRC cleanliness and density quality.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "density/density_map.hpp"
+#include "density/metrics.hpp"
+#include "fill/fill_engine.hpp"
+#include "layout/drc_checker.hpp"
+
+namespace ofl {
+namespace {
+
+class EcoFillTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setLogLevel(LogLevel::kWarn);
+    spec_ = contest::BenchmarkGenerator::spec("tiny");
+    chip_ = contest::BenchmarkGenerator::generate(spec_);
+    options_.windowSize = spec_.windowSize;
+    options_.rules = spec_.rules;
+    fill::FillEngine(options_).run(chip_);
+  }
+
+  // Adds a wire block inside window (2, 2) and returns the changed rect.
+  geom::Rect mutateWires() {
+    const geom::Rect block{2 * 1200 + 200, 2 * 1200 + 200, 2 * 1200 + 800,
+                           2 * 1200 + 800};
+    // Remove wires overlapping the block so the input stays DRC-clean,
+    // then place the block.
+    for (int l = 0; l < chip_.numLayers(); ++l) {
+      auto& wires = chip_.layer(l).wires;
+      wires.erase(
+          std::remove_if(wires.begin(), wires.end(),
+                         [&](const geom::Rect& w) {
+                           return w.expanded(spec_.rules.minSpacing)
+                               .overlaps(block);
+                         }),
+          wires.end());
+    }
+    chip_.layer(0).wires.push_back(block);
+    return block;
+  }
+
+  contest::BenchmarkSpec spec_;
+  layout::Layout chip_{{}, 0};
+  fill::FillEngineOptions options_;
+};
+
+TEST_F(EcoFillTest, PreservesFillsOutsideAffectedWindows) {
+  // Record fills far from the change.
+  std::vector<std::vector<geom::Rect>> farFills(
+      static_cast<std::size_t>(chip_.numLayers()));
+  const geom::Rect changed = mutateWires();
+  const geom::Rect affectedArea =
+      changed.expanded(spec_.rules.minSpacing + spec_.windowSize);
+  for (int l = 0; l < chip_.numLayers(); ++l) {
+    for (const auto& f : chip_.layer(l).fills) {
+      if (!f.overlaps(affectedArea)) {
+        farFills[static_cast<std::size_t>(l)].push_back(f);
+      }
+    }
+  }
+  fill::FillEngine(options_).runIncremental(chip_, changed);
+  for (int l = 0; l < chip_.numLayers(); ++l) {
+    for (const auto& f : farFills[static_cast<std::size_t>(l)]) {
+      const auto& fills = chip_.layer(l).fills;
+      EXPECT_TRUE(std::find(fills.begin(), fills.end(), f) != fills.end())
+          << "layer " << l << " lost " << f.str();
+    }
+  }
+}
+
+TEST_F(EcoFillTest, RepairsDrcAfterWireChange) {
+  const geom::Rect changed = mutateWires();
+  // The new wire overlaps old fills: DRC is broken before the ECO pass.
+  EXPECT_FALSE(layout::DrcChecker(spec_.rules).check(chip_, 5).empty());
+  fill::FillEngine(options_).runIncremental(chip_, changed);
+  const auto violations = layout::DrcChecker(spec_.rules).check(chip_, 10);
+  for (const auto& v : violations) {
+    ADD_FAILURE() << v.str();
+  }
+}
+
+TEST_F(EcoFillTest, DensityQualityStaysClose) {
+  const layout::WindowGrid grid(chip_.die(), spec_.windowSize);
+  const geom::Rect changed = mutateWires();
+  fill::FillEngine(options_).runIncremental(chip_, changed);
+  for (int l = 0; l < chip_.numLayers(); ++l) {
+    const auto after =
+        density::computeMetrics(density::DensityMap::compute(chip_, l, grid));
+    // The block raised one window's floor; sigma may grow but must stay
+    // far below the unfilled layout's (~0.06).
+    EXPECT_LT(after.sigma, 0.03) << "layer " << l;
+  }
+}
+
+TEST_F(EcoFillTest, MuchCheaperThanFullRerun) {
+  const geom::Rect changed = mutateWires();
+  const fill::FillReport eco =
+      fill::FillEngine(options_).runIncremental(chip_, changed);
+  // The tiny suite has 8x8 windows; the change touches ~1-4 of them, so
+  // the ECO candidate count must be a small fraction of a full run's.
+  layout::Layout fresh = contest::BenchmarkGenerator::generate(spec_);
+  const fill::FillReport full = fill::FillEngine(options_).run(fresh);
+  EXPECT_LT(eco.candidateCount * 4, full.candidateCount);
+}
+
+TEST_F(EcoFillTest, NoChangeIsNoOp) {
+  // An ECO over an empty region (no wire edits) must keep the solution
+  // essentially intact outside the designated windows and stay DRC-clean.
+  std::size_t before = chip_.fillCount();
+  fill::FillEngine(options_).runIncremental(chip_, {0, 0, 10, 10});
+  EXPECT_TRUE(layout::DrcChecker(spec_.rules).check(chip_, 5).empty());
+  // Fill count may differ slightly in the one re-filled corner window.
+  EXPECT_NEAR(static_cast<double>(chip_.fillCount()),
+              static_cast<double>(before), 60.0);
+}
+
+}  // namespace
+}  // namespace ofl

@@ -1,0 +1,111 @@
+#include "layout/drc_checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ofl::layout {
+namespace {
+
+DesignRules rules() {
+  DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 100;
+  return r;
+}
+
+Layout emptyChip() { return Layout({0, 0, 1000, 1000}, 2); }
+
+bool hasKind(const std::vector<DrcViolation>& vs, DrcViolationKind kind) {
+  for (const auto& v : vs) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(DrcCheckerTest, CleanLayoutPasses) {
+  Layout chip = emptyChip();
+  chip.layer(0).wires.push_back({0, 0, 100, 100});
+  chip.layer(0).fills.push_back({200, 200, 250, 250});
+  chip.layer(0).fills.push_back({270, 200, 320, 250});  // 20 apart
+  EXPECT_TRUE(DrcChecker(rules()).check(chip).empty());
+}
+
+TEST(DrcCheckerTest, DetectsMinWidth) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({0, 0, 5, 100});
+  const auto vs = DrcChecker(rules()).check(chip);
+  EXPECT_TRUE(hasKind(vs, DrcViolationKind::kMinWidth));
+}
+
+TEST(DrcCheckerTest, DetectsMinArea) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({0, 0, 12, 12});  // 144 < 150
+  const auto vs = DrcChecker(rules()).check(chip);
+  EXPECT_TRUE(hasKind(vs, DrcViolationKind::kMinArea));
+  EXPECT_FALSE(hasKind(vs, DrcViolationKind::kMinWidth));
+}
+
+TEST(DrcCheckerTest, DetectsFillFillSpacing) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({0, 0, 50, 50});
+  chip.layer(0).fills.push_back({55, 0, 105, 50});  // gap 5 < 10
+  const auto vs = DrcChecker(rules()).check(chip);
+  EXPECT_TRUE(hasKind(vs, DrcViolationKind::kSpacingFillFill));
+}
+
+TEST(DrcCheckerTest, DiagonalSpacingUsesEuclidean) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({0, 0, 50, 50});
+  // Corner-to-corner gap: dx=8, dy=8 -> 11.3 > 10, legal.
+  chip.layer(0).fills.push_back({58, 58, 110, 110});
+  EXPECT_TRUE(DrcChecker(rules()).check(chip).empty());
+  // dx=6, dy=6 -> 8.49 < 10, violation.
+  chip.layer(0).fills[1] = {56, 56, 110, 110};
+  EXPECT_TRUE(hasKind(DrcChecker(rules()).check(chip),
+                      DrcViolationKind::kSpacingFillFill));
+}
+
+TEST(DrcCheckerTest, DetectsFillWireSpacingAndOverlap) {
+  Layout chip = emptyChip();
+  chip.layer(0).wires.push_back({0, 0, 50, 50});
+  chip.layer(0).fills.push_back({55, 0, 110, 50});  // gap 5 to the wire
+  EXPECT_TRUE(hasKind(DrcChecker(rules()).check(chip),
+                      DrcViolationKind::kSpacingFillWire));
+  chip.layer(0).fills[0] = {40, 0, 100, 50};  // overlapping the wire
+  EXPECT_TRUE(hasKind(DrcChecker(rules()).check(chip),
+                      DrcViolationKind::kOverlapSameLayer));
+}
+
+TEST(DrcCheckerTest, DetectsFillOverlapSameLayer) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({0, 0, 50, 50});
+  chip.layer(0).fills.push_back({40, 40, 90, 90});
+  EXPECT_TRUE(hasKind(DrcChecker(rules()).check(chip),
+                      DrcViolationKind::kOverlapSameLayer));
+}
+
+TEST(DrcCheckerTest, CrossLayerOverlapIsLegal) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({0, 0, 50, 50});
+  chip.layer(1).fills.push_back({0, 0, 50, 50});  // different layer: fine
+  EXPECT_TRUE(DrcChecker(rules()).check(chip).empty());
+}
+
+TEST(DrcCheckerTest, DetectsOutsideDie) {
+  Layout chip = emptyChip();
+  chip.layer(0).fills.push_back({980, 980, 1030, 1030});
+  EXPECT_TRUE(hasKind(DrcChecker(rules()).check(chip),
+                      DrcViolationKind::kOutsideDie));
+}
+
+TEST(DrcCheckerTest, RespectsMaxViolationCap) {
+  Layout chip = emptyChip();
+  for (int k = 0; k < 30; ++k) {
+    chip.layer(0).fills.push_back({k * 30, 0, k * 30 + 5, 100});  // thin
+  }
+  EXPECT_EQ(DrcChecker(rules()).check(chip, 10).size(), 10u);
+}
+
+}  // namespace
+}  // namespace ofl::layout

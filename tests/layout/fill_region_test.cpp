@@ -1,0 +1,80 @@
+#include "layout/fill_region.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ofl::layout {
+namespace {
+
+DesignRules rules() {
+  DesignRules r;
+  r.minWidth = 4;
+  r.minSpacing = 6;
+  r.minArea = 16;
+  return r;
+}
+
+TEST(FillRegionTest, EmptyLayoutIsAllFree) {
+  Layout chip({0, 0, 100, 100}, 1);
+  const WindowGrid grid(chip.die(), 50);
+  const auto regions = computeFillRegions(chip, 0, grid, rules());
+  ASSERT_EQ(regions.size(), 4u);
+  for (const auto& region : regions) {
+    EXPECT_EQ(region.area(), 2500);
+  }
+}
+
+TEST(FillRegionTest, WireBlocksInflatedFootprint) {
+  Layout chip({0, 0, 100, 100}, 1);
+  chip.layer(0).wires.push_back({40, 40, 60, 60});
+  const WindowGrid grid(chip.die(), 100);
+  const auto regions = computeFillRegions(chip, 0, grid, rules());
+  // Blocked: wire expanded by spacing 6 -> 32x32.
+  EXPECT_EQ(regions[0].area(), 10000 - 32 * 32);
+  // Free space never overlaps the inflated wire.
+  for (const auto& r : regions[0].rects()) {
+    EXPECT_EQ(r.overlapArea({34, 34, 66, 66}), 0);
+  }
+}
+
+TEST(FillRegionTest, WireNearBorderBlocksNeighborWindow) {
+  Layout chip({0, 0, 100, 100}, 1);
+  chip.layer(0).wires.push_back({45, 10, 49, 20});  // 1 DBU from x=50 border
+  const WindowGrid grid(chip.die(), 50);
+  const auto regions = computeFillRegions(chip, 0, grid, rules());
+  // The right window (index 1) loses the strip [50,55)x[4,26).
+  const geom::Area lost = (55 - 50) * (26 - 4);
+  EXPECT_EQ(regions[1].area(), 2500 - lost);
+}
+
+TEST(FillRegionTest, LayerIndependence) {
+  Layout chip({0, 0, 100, 100}, 2);
+  chip.layer(0).wires.push_back({0, 0, 100, 50});
+  const WindowGrid grid(chip.die(), 100);
+  const auto l0 = computeFillRegions(chip, 0, grid, rules());
+  const auto l1 = computeFillRegions(chip, 1, grid, rules());
+  EXPECT_LT(l0[0].area(), l1[0].area());
+  EXPECT_EQ(l1[0].area(), 10000);
+}
+
+TEST(FillRegionTest, WholeLayerRegionMatchesWindowSum) {
+  Layout chip({0, 0, 120, 120}, 1);
+  chip.layer(0).wires.push_back({10, 10, 40, 30});
+  chip.layer(0).wires.push_back({70, 80, 110, 95});
+  const WindowGrid grid(chip.die(), 40);
+  const auto perWindow = computeFillRegions(chip, 0, grid, rules());
+  geom::Area sum = 0;
+  for (const auto& region : perWindow) sum += region.area();
+  const auto whole = computeLayerFillRegion(chip, 0, rules());
+  EXPECT_EQ(sum, whole.area());
+}
+
+TEST(FillRegionTest, FullyBlockedWindow) {
+  Layout chip({0, 0, 40, 40}, 1);
+  chip.layer(0).wires.push_back({0, 0, 40, 40});
+  const WindowGrid grid(chip.die(), 40);
+  const auto regions = computeFillRegions(chip, 0, grid, rules());
+  EXPECT_TRUE(regions[0].empty());
+}
+
+}  // namespace
+}  // namespace ofl::layout

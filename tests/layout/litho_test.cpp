@@ -1,0 +1,98 @@
+#include "layout/litho.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fill/candidate_generator.hpp"
+
+namespace ofl::layout {
+namespace {
+
+LithoRules band() { return {12, 18}; }
+
+Layout chipWith(std::vector<geom::Rect> fills,
+                std::vector<geom::Rect> wires = {}) {
+  Layout chip({0, 0, 1000, 1000}, 1);
+  chip.layer(0).fills = std::move(fills);
+  chip.layer(0).wires = std::move(wires);
+  return chip;
+}
+
+TEST(LithoCheckerTest, GapInsideBandFlagged) {
+  const Layout chip = chipWith({{0, 0, 100, 100}, {114, 0, 200, 100}});
+  const auto hotspots = LithoChecker(band()).check(chip);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_EQ(hotspots[0].gap, 14);
+  EXPECT_EQ(hotspots[0].layer, 0);
+}
+
+TEST(LithoCheckerTest, GapBelowAndAboveBandClean) {
+  EXPECT_EQ(LithoChecker(band()).count(
+                chipWith({{0, 0, 100, 100}, {110, 0, 200, 100}})),
+            0u);  // gap 10 < 12
+  EXPECT_EQ(LithoChecker(band()).count(
+                chipWith({{0, 0, 100, 100}, {118, 0, 200, 100}})),
+            0u);  // gap 18 >= hi
+}
+
+TEST(LithoCheckerTest, VerticalGapsCounted) {
+  const Layout chip = chipWith({{0, 0, 100, 100}, {0, 115, 100, 200}});
+  const auto hotspots = LithoChecker(band()).check(chip);
+  ASSERT_EQ(hotspots.size(), 1u);
+  EXPECT_EQ(hotspots[0].gap, 15);
+}
+
+TEST(LithoCheckerTest, CornerAdjacencyIgnored) {
+  // Diagonal neighbors have no facing edges: not a forbidden-pitch issue.
+  const Layout chip = chipWith({{0, 0, 100, 100}, {114, 114, 200, 200}});
+  EXPECT_EQ(LithoChecker(band()).count(chip), 0u);
+}
+
+TEST(LithoCheckerTest, FillWireGapCountedOnce) {
+  const Layout chip =
+      chipWith({{0, 0, 100, 100}}, {{113, 0, 200, 100}});
+  EXPECT_EQ(LithoChecker(band()).count(chip), 1u);
+}
+
+TEST(LithoCheckerTest, WireWireGapNotCounted) {
+  const Layout chip = chipWith({}, {{0, 0, 100, 100}, {114, 0, 200, 100}});
+  EXPECT_EQ(LithoChecker(band()).count(chip), 0u);
+}
+
+TEST(LithoCheckerTest, PairCountedOncePerPair) {
+  const Layout chip = chipWith(
+      {{0, 0, 100, 100}, {114, 0, 200, 100}, {0, 115, 100, 200}});
+  EXPECT_EQ(LithoChecker(band()).count(chip), 2u);
+}
+
+TEST(LithoAwareGenerationTest, GutterWidensOutOfBand) {
+  // minSpacing 14 lies inside [12, 18): litho-aware slicing must use 18.
+  DesignRules rules;
+  rules.minWidth = 10;
+  rules.minSpacing = 14;
+  rules.minArea = 150;
+  rules.maxFillSize = 100;
+  fill::CandidateGenerator::Options plain;
+  fill::CandidateGenerator::Options aware;
+  aware.lithoAvoid = band();
+  EXPECT_EQ(fill::CandidateGenerator(rules, plain).gutter(), 14);
+  EXPECT_EQ(fill::CandidateGenerator(rules, aware).gutter(), 18);
+
+  const geom::Region region(geom::Rect{0, 0, 500, 500});
+  const auto cells =
+      fill::CandidateGenerator(rules, aware).sliceRegion(region);
+  ASSERT_GE(cells.size(), 4u);
+  Layout chip({0, 0, 500, 500}, 1);
+  chip.layer(0).fills = cells;
+  EXPECT_EQ(LithoChecker(band()).count(chip), 0u);
+}
+
+TEST(LithoAwareGenerationTest, SpacingOutsideBandUnchanged) {
+  DesignRules rules;
+  rules.minSpacing = 20;  // already past the band
+  fill::CandidateGenerator::Options aware;
+  aware.lithoAvoid = band();
+  EXPECT_EQ(fill::CandidateGenerator(rules, aware).gutter(), 20);
+}
+
+}  // namespace
+}  // namespace ofl::layout

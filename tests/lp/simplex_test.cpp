@@ -1,0 +1,135 @@
+#include "lp/simplex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ofl::lp {
+namespace {
+
+TEST(SimplexTest, TwoVariableMaximization) {
+  // max x + 2y == min -x - 2y s.t. x+y <= 4, x <= 3, y <= 2.
+  LpModel m;
+  const int x = m.addVariable(-1, 0, 3);
+  const int y = m.addVariable(-2, 0, 2);
+  m.addConstraint({{x, 1}, {y, 1}}, Sense::kLessEqual, 4);
+  const LpResult r = SimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -6.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 2.0, 1e-9);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  LpModel m;
+  const int x = m.addVariable(1, 1, 5);
+  const int y = m.addVariable(1, 2, 6);
+  m.addConstraint({{x, 1}, {y, 1}}, Sense::kEqual, 7);
+  const LpResult r = SimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-9);
+  EXPECT_NEAR(r.x[0] + r.x[1], 7.0, 1e-9);
+}
+
+TEST(SimplexTest, GreaterEqualWithShiftedBounds) {
+  // min 2x + y s.t. x + y >= 10, x in [3, 20], y in [1, 4].
+  LpModel m;
+  const int x = m.addVariable(2, 3, 20);
+  const int y = m.addVariable(1, 1, 4);
+  m.addConstraint({{x, 1}, {y, 1}}, Sense::kGreaterEqual, 10);
+  const LpResult r = SimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[1], 4.0, 1e-9);
+  EXPECT_NEAR(r.x[0], 6.0, 1e-9);
+  EXPECT_NEAR(r.objective, 16.0, 1e-9);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  LpModel m;
+  const int x = m.addVariable(1, 0, 2);
+  m.addConstraint({{x, 1}}, Sense::kGreaterEqual, 5);
+  EXPECT_EQ(SimplexSolver().solve(m).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, ContradictoryRowsInfeasible) {
+  LpModel m;
+  const int x = m.addVariable(0.0, 0.0, kInfinity);
+  const int y = m.addVariable(0.0, 0.0, kInfinity);
+  m.addConstraint({{x, 1}, {y, 1}}, Sense::kEqual, 4);
+  m.addConstraint({{x, 1}, {y, 1}}, Sense::kEqual, 6);
+  EXPECT_EQ(SimplexSolver().solve(m).status, LpStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  LpModel m;
+  const int x = m.addVariable(-1, 0, kInfinity);
+  m.addConstraint({{x, -1}}, Sense::kLessEqual, 0);  // x >= 0, no upper
+  EXPECT_EQ(SimplexSolver().solve(m).status, LpStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // min x s.t. -x <= -3 (i.e. x >= 3).
+  LpModel m;
+  const int x = m.addVariable(1, 0, 10);
+  m.addConstraint({{x, -1}}, Sense::kLessEqual, -3);
+  const LpResult r = SimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+}
+
+TEST(SimplexTest, NoConstraintsBoundsOnly) {
+  LpModel m;
+  m.addVariable(5, -2, 7);
+  m.addVariable(-5, -2, 7);
+  const LpResult r = SimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], -2.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 7.0, 1e-9);
+}
+
+TEST(SimplexTest, DegenerateRhsZero) {
+  LpModel m;
+  const int x = m.addVariable(-1, 0, 5);
+  const int y = m.addVariable(-1, 0, 5);
+  m.addConstraint({{x, 1}, {y, -1}}, Sense::kLessEqual, 0);
+  m.addConstraint({{x, 1}}, Sense::kLessEqual, 3);
+  const LpResult r = SimplexSolver().solve(m);
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(r.x[1], 5.0, 1e-9);
+}
+
+TEST(SimplexTest, SolutionAlwaysFeasibleOnRandomLps) {
+  Rng rng(777);
+  int optimalCount = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    LpModel m;
+    const int n = static_cast<int>(rng.uniformInt(1, 6));
+    for (int v = 0; v < n; ++v) {
+      const double lo = rng.uniformReal(-5, 5);
+      m.addVariable(rng.uniformReal(-3, 3), lo, lo + rng.uniformReal(0, 10));
+    }
+    const int rows = static_cast<int>(rng.uniformInt(0, 5));
+    for (int c = 0; c < rows; ++c) {
+      std::vector<std::pair<int, double>> terms;
+      for (int v = 0; v < n; ++v) {
+        if (rng.bernoulli(0.6)) {
+          terms.push_back({v, rng.uniformReal(-2, 2)});
+        }
+      }
+      if (terms.empty()) continue;
+      const Sense sense = rng.bernoulli(0.5) ? Sense::kLessEqual
+                                             : Sense::kGreaterEqual;
+      m.addConstraint(std::move(terms), sense, rng.uniformReal(-6, 6));
+    }
+    const LpResult r = SimplexSolver().solve(m);
+    if (r.status == LpStatus::kOptimal) {
+      ++optimalCount;
+      EXPECT_LT(m.infeasibility(r.x), 1e-6) << "trial " << trial;
+    }
+  }
+  EXPECT_GT(optimalCount, 30);
+}
+
+}  // namespace
+}  // namespace ofl::lp

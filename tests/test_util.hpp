@@ -1,0 +1,80 @@
+// Shared helpers for the OpenFill test suite.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/rect.hpp"
+
+namespace ofl::testutil {
+
+/// Brute-force reference for Boolean ops: rasterize rect sets onto a unit
+/// grid over [0, extent)^2. Only usable for small extents; that is the
+/// point — an independently-trivial oracle.
+class Raster {
+ public:
+  explicit Raster(int extent) : extent_(extent),
+      cells_(static_cast<std::size_t>(extent) * extent, 0) {}
+
+  void paint(const std::vector<geom::Rect>& rects) {
+    for (const geom::Rect& r : rects) {
+      for (geom::Coord y = std::max<geom::Coord>(r.yl, 0);
+           y < std::min<geom::Coord>(r.yh, extent_); ++y) {
+        for (geom::Coord x = std::max<geom::Coord>(r.xl, 0);
+             x < std::min<geom::Coord>(r.xh, extent_); ++x) {
+          cells_[static_cast<std::size_t>(y) * extent_ + x] = 1;
+        }
+      }
+    }
+  }
+
+  long long area() const {
+    long long a = 0;
+    for (char c : cells_) a += c;
+    return a;
+  }
+
+  /// Cell-wise combination of two rasters.
+  static long long opArea(const Raster& a, const Raster& b, char op) {
+    long long total = 0;
+    for (std::size_t i = 0; i < a.cells_.size(); ++i) {
+      const bool inA = a.cells_[i] != 0;
+      const bool inB = b.cells_[i] != 0;
+      bool keep = false;
+      switch (op) {
+        case '|': keep = inA || inB; break;
+        case '&': keep = inA && inB; break;
+        case '-': keep = inA && !inB; break;
+        case '^': keep = inA != inB; break;
+      }
+      total += keep ? 1 : 0;
+    }
+    return total;
+  }
+
+ private:
+  int extent_;
+  std::vector<char> cells_;
+};
+
+/// Random rect fully inside [0, extent)^2 with edges in [1, maxEdge].
+inline geom::Rect randomRect(Rng& rng, geom::Coord extent,
+                             geom::Coord maxEdge) {
+  const geom::Coord w = rng.uniformInt(1, maxEdge);
+  const geom::Coord h = rng.uniformInt(1, maxEdge);
+  const geom::Coord x = rng.uniformInt(0, extent - w);
+  const geom::Coord y = rng.uniformInt(0, extent - h);
+  return {x, y, x + w, y + h};
+}
+
+/// True when no two rects in the set overlap (O(n^2), test-sized inputs).
+inline bool pairwiseDisjoint(const std::vector<geom::Rect>& rects) {
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < rects.size(); ++j) {
+      if (rects[i].overlaps(rects[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ofl::testutil
