@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_geometry.cpp" "bench/CMakeFiles/bench_geometry.dir/bench_geometry.cpp.o" "gcc" "bench/CMakeFiles/bench_geometry.dir/bench_geometry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_contest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_fill.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_geometry.dir/bench_geometry.cpp.o"
+  "CMakeFiles/bench_geometry.dir/bench_geometry.cpp.o.d"
+  "bench_geometry"
+  "bench_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mcf.dir/bench_mcf.cpp.o"
+  "CMakeFiles/bench_mcf.dir/bench_mcf.cpp.o.d"
+  "bench_mcf"
+  "bench_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

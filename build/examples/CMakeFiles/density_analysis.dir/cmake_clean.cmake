@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_analysis.dir/density_analysis.cpp.o"
+  "CMakeFiles/density_analysis.dir/density_analysis.cpp.o.d"
+  "density_analysis"
+  "density_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

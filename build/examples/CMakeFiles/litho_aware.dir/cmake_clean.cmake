@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litho_aware.dir/litho_aware.cpp.o"
+  "CMakeFiles/litho_aware.dir/litho_aware.cpp.o.d"
+  "litho_aware"
+  "litho_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litho_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

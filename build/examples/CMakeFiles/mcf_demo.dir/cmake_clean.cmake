@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcf_demo.dir/mcf_demo.cpp.o"
+  "CMakeFiles/mcf_demo.dir/mcf_demo.cpp.o.d"
+  "mcf_demo"
+  "mcf_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcf_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/greedy_filler.cpp" "src/CMakeFiles/ofl_baselines.dir/baselines/greedy_filler.cpp.o" "gcc" "src/CMakeFiles/ofl_baselines.dir/baselines/greedy_filler.cpp.o.d"
+  "/root/repo/src/baselines/monte_carlo_filler.cpp" "src/CMakeFiles/ofl_baselines.dir/baselines/monte_carlo_filler.cpp.o" "gcc" "src/CMakeFiles/ofl_baselines.dir/baselines/monte_carlo_filler.cpp.o.d"
+  "/root/repo/src/baselines/tile_lp_filler.cpp" "src/CMakeFiles/ofl_baselines.dir/baselines/tile_lp_filler.cpp.o" "gcc" "src/CMakeFiles/ofl_baselines.dir/baselines/tile_lp_filler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_density.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_fill.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_mcf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_baselines.dir/baselines/greedy_filler.cpp.o"
+  "CMakeFiles/ofl_baselines.dir/baselines/greedy_filler.cpp.o.d"
+  "CMakeFiles/ofl_baselines.dir/baselines/monte_carlo_filler.cpp.o"
+  "CMakeFiles/ofl_baselines.dir/baselines/monte_carlo_filler.cpp.o.d"
+  "CMakeFiles/ofl_baselines.dir/baselines/tile_lp_filler.cpp.o"
+  "CMakeFiles/ofl_baselines.dir/baselines/tile_lp_filler.cpp.o.d"
+  "libofl_baselines.a"
+  "libofl_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

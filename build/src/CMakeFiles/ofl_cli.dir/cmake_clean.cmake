@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_cli.dir/cli/args.cpp.o"
+  "CMakeFiles/ofl_cli.dir/cli/args.cpp.o.d"
+  "CMakeFiles/ofl_cli.dir/cli/commands.cpp.o"
+  "CMakeFiles/ofl_cli.dir/cli/commands.cpp.o.d"
+  "libofl_cli.a"
+  "libofl_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

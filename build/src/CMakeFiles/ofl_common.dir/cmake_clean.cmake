@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_common.dir/common/logging.cpp.o"
+  "CMakeFiles/ofl_common.dir/common/logging.cpp.o.d"
+  "CMakeFiles/ofl_common.dir/common/memory_usage.cpp.o"
+  "CMakeFiles/ofl_common.dir/common/memory_usage.cpp.o.d"
+  "CMakeFiles/ofl_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ofl_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/ofl_common.dir/common/timer.cpp.o"
+  "CMakeFiles/ofl_common.dir/common/timer.cpp.o.d"
+  "libofl_common.a"
+  "libofl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_contest.dir/contest/benchmark_generator.cpp.o"
+  "CMakeFiles/ofl_contest.dir/contest/benchmark_generator.cpp.o.d"
+  "CMakeFiles/ofl_contest.dir/contest/evaluator.cpp.o"
+  "CMakeFiles/ofl_contest.dir/contest/evaluator.cpp.o.d"
+  "CMakeFiles/ofl_contest.dir/contest/json_report.cpp.o"
+  "CMakeFiles/ofl_contest.dir/contest/json_report.cpp.o.d"
+  "CMakeFiles/ofl_contest.dir/contest/report.cpp.o"
+  "CMakeFiles/ofl_contest.dir/contest/report.cpp.o.d"
+  "CMakeFiles/ofl_contest.dir/contest/score_table.cpp.o"
+  "CMakeFiles/ofl_contest.dir/contest/score_table.cpp.o.d"
+  "libofl_contest.a"
+  "libofl_contest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_contest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

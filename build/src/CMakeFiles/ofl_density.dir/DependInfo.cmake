@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/density/bounds.cpp" "src/CMakeFiles/ofl_density.dir/density/bounds.cpp.o" "gcc" "src/CMakeFiles/ofl_density.dir/density/bounds.cpp.o.d"
+  "/root/repo/src/density/cmp_model.cpp" "src/CMakeFiles/ofl_density.dir/density/cmp_model.cpp.o" "gcc" "src/CMakeFiles/ofl_density.dir/density/cmp_model.cpp.o.d"
+  "/root/repo/src/density/density_map.cpp" "src/CMakeFiles/ofl_density.dir/density/density_map.cpp.o" "gcc" "src/CMakeFiles/ofl_density.dir/density/density_map.cpp.o.d"
+  "/root/repo/src/density/heatmap.cpp" "src/CMakeFiles/ofl_density.dir/density/heatmap.cpp.o" "gcc" "src/CMakeFiles/ofl_density.dir/density/heatmap.cpp.o.d"
+  "/root/repo/src/density/metrics.cpp" "src/CMakeFiles/ofl_density.dir/density/metrics.cpp.o" "gcc" "src/CMakeFiles/ofl_density.dir/density/metrics.cpp.o.d"
+  "/root/repo/src/density/sliding.cpp" "src/CMakeFiles/ofl_density.dir/density/sliding.cpp.o" "gcc" "src/CMakeFiles/ofl_density.dir/density/sliding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

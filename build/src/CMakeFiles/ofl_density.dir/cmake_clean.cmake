@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_density.dir/density/bounds.cpp.o"
+  "CMakeFiles/ofl_density.dir/density/bounds.cpp.o.d"
+  "CMakeFiles/ofl_density.dir/density/cmp_model.cpp.o"
+  "CMakeFiles/ofl_density.dir/density/cmp_model.cpp.o.d"
+  "CMakeFiles/ofl_density.dir/density/density_map.cpp.o"
+  "CMakeFiles/ofl_density.dir/density/density_map.cpp.o.d"
+  "CMakeFiles/ofl_density.dir/density/heatmap.cpp.o"
+  "CMakeFiles/ofl_density.dir/density/heatmap.cpp.o.d"
+  "CMakeFiles/ofl_density.dir/density/metrics.cpp.o"
+  "CMakeFiles/ofl_density.dir/density/metrics.cpp.o.d"
+  "CMakeFiles/ofl_density.dir/density/sliding.cpp.o"
+  "CMakeFiles/ofl_density.dir/density/sliding.cpp.o.d"
+  "libofl_density.a"
+  "libofl_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

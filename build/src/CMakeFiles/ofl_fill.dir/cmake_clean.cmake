@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_fill.dir/fill/candidate_generator.cpp.o"
+  "CMakeFiles/ofl_fill.dir/fill/candidate_generator.cpp.o.d"
+  "CMakeFiles/ofl_fill.dir/fill/fill_engine.cpp.o"
+  "CMakeFiles/ofl_fill.dir/fill/fill_engine.cpp.o.d"
+  "CMakeFiles/ofl_fill.dir/fill/fill_sizer.cpp.o"
+  "CMakeFiles/ofl_fill.dir/fill/fill_sizer.cpp.o.d"
+  "CMakeFiles/ofl_fill.dir/fill/target_planner.cpp.o"
+  "CMakeFiles/ofl_fill.dir/fill/target_planner.cpp.o.d"
+  "libofl_fill.a"
+  "libofl_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gds/flatten.cpp" "src/CMakeFiles/ofl_gds.dir/gds/flatten.cpp.o" "gcc" "src/CMakeFiles/ofl_gds.dir/gds/flatten.cpp.o.d"
+  "/root/repo/src/gds/gds_reader.cpp" "src/CMakeFiles/ofl_gds.dir/gds/gds_reader.cpp.o" "gcc" "src/CMakeFiles/ofl_gds.dir/gds/gds_reader.cpp.o.d"
+  "/root/repo/src/gds/gds_records.cpp" "src/CMakeFiles/ofl_gds.dir/gds/gds_records.cpp.o" "gcc" "src/CMakeFiles/ofl_gds.dir/gds/gds_records.cpp.o.d"
+  "/root/repo/src/gds/gds_writer.cpp" "src/CMakeFiles/ofl_gds.dir/gds/gds_writer.cpp.o" "gcc" "src/CMakeFiles/ofl_gds.dir/gds/gds_writer.cpp.o.d"
+  "/root/repo/src/gds/oasis.cpp" "src/CMakeFiles/ofl_gds.dir/gds/oasis.cpp.o" "gcc" "src/CMakeFiles/ofl_gds.dir/gds/oasis.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_gds.dir/gds/flatten.cpp.o"
+  "CMakeFiles/ofl_gds.dir/gds/flatten.cpp.o.d"
+  "CMakeFiles/ofl_gds.dir/gds/gds_reader.cpp.o"
+  "CMakeFiles/ofl_gds.dir/gds/gds_reader.cpp.o.d"
+  "CMakeFiles/ofl_gds.dir/gds/gds_records.cpp.o"
+  "CMakeFiles/ofl_gds.dir/gds/gds_records.cpp.o.d"
+  "CMakeFiles/ofl_gds.dir/gds/gds_writer.cpp.o"
+  "CMakeFiles/ofl_gds.dir/gds/gds_writer.cpp.o.d"
+  "CMakeFiles/ofl_gds.dir/gds/oasis.cpp.o"
+  "CMakeFiles/ofl_gds.dir/gds/oasis.cpp.o.d"
+  "libofl_gds.a"
+  "libofl_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/boolean.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/boolean.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/boolean.cpp.o.d"
+  "/root/repo/src/geometry/contour.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/contour.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/contour.cpp.o.d"
+  "/root/repo/src/geometry/decompose.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/decompose.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/decompose.cpp.o.d"
+  "/root/repo/src/geometry/grid_index.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/grid_index.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/grid_index.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/polygon.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/polygon.cpp.o.d"
+  "/root/repo/src/geometry/rect.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/rect.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/rect.cpp.o.d"
+  "/root/repo/src/geometry/region.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/region.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/region.cpp.o.d"
+  "/root/repo/src/geometry/rtree.cpp" "src/CMakeFiles/ofl_geometry.dir/geometry/rtree.cpp.o" "gcc" "src/CMakeFiles/ofl_geometry.dir/geometry/rtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

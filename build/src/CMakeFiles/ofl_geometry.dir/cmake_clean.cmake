@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_geometry.dir/geometry/boolean.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/boolean.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/contour.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/contour.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/decompose.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/decompose.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/grid_index.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/grid_index.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/polygon.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/polygon.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/rect.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/rect.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/region.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/region.cpp.o.d"
+  "CMakeFiles/ofl_geometry.dir/geometry/rtree.cpp.o"
+  "CMakeFiles/ofl_geometry.dir/geometry/rtree.cpp.o.d"
+  "libofl_geometry.a"
+  "libofl_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

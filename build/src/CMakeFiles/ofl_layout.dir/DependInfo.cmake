@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/layout/design_rules.cpp" "src/CMakeFiles/ofl_layout.dir/layout/design_rules.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/design_rules.cpp.o.d"
+  "/root/repo/src/layout/drc_checker.cpp" "src/CMakeFiles/ofl_layout.dir/layout/drc_checker.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/drc_checker.cpp.o.d"
+  "/root/repo/src/layout/fill_region.cpp" "src/CMakeFiles/ofl_layout.dir/layout/fill_region.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/fill_region.cpp.o.d"
+  "/root/repo/src/layout/gds_compact.cpp" "src/CMakeFiles/ofl_layout.dir/layout/gds_compact.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/gds_compact.cpp.o.d"
+  "/root/repo/src/layout/layout.cpp" "src/CMakeFiles/ofl_layout.dir/layout/layout.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/layout.cpp.o.d"
+  "/root/repo/src/layout/litho.cpp" "src/CMakeFiles/ofl_layout.dir/layout/litho.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/litho.cpp.o.d"
+  "/root/repo/src/layout/window_grid.cpp" "src/CMakeFiles/ofl_layout.dir/layout/window_grid.cpp.o" "gcc" "src/CMakeFiles/ofl_layout.dir/layout/window_grid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_gds.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_layout.dir/layout/design_rules.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/design_rules.cpp.o.d"
+  "CMakeFiles/ofl_layout.dir/layout/drc_checker.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/drc_checker.cpp.o.d"
+  "CMakeFiles/ofl_layout.dir/layout/fill_region.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/fill_region.cpp.o.d"
+  "CMakeFiles/ofl_layout.dir/layout/gds_compact.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/gds_compact.cpp.o.d"
+  "CMakeFiles/ofl_layout.dir/layout/layout.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/layout.cpp.o.d"
+  "CMakeFiles/ofl_layout.dir/layout/litho.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/litho.cpp.o.d"
+  "CMakeFiles/ofl_layout.dir/layout/window_grid.cpp.o"
+  "CMakeFiles/ofl_layout.dir/layout/window_grid.cpp.o.d"
+  "libofl_layout.a"
+  "libofl_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

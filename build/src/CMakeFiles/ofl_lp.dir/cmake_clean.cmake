@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_lp.dir/lp/model.cpp.o"
+  "CMakeFiles/ofl_lp.dir/lp/model.cpp.o.d"
+  "CMakeFiles/ofl_lp.dir/lp/simplex.cpp.o"
+  "CMakeFiles/ofl_lp.dir/lp/simplex.cpp.o.d"
+  "libofl_lp.a"
+  "libofl_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcf/cycle_canceling.cpp" "src/CMakeFiles/ofl_mcf.dir/mcf/cycle_canceling.cpp.o" "gcc" "src/CMakeFiles/ofl_mcf.dir/mcf/cycle_canceling.cpp.o.d"
+  "/root/repo/src/mcf/dual_lp.cpp" "src/CMakeFiles/ofl_mcf.dir/mcf/dual_lp.cpp.o" "gcc" "src/CMakeFiles/ofl_mcf.dir/mcf/dual_lp.cpp.o.d"
+  "/root/repo/src/mcf/graph.cpp" "src/CMakeFiles/ofl_mcf.dir/mcf/graph.cpp.o" "gcc" "src/CMakeFiles/ofl_mcf.dir/mcf/graph.cpp.o.d"
+  "/root/repo/src/mcf/network_simplex.cpp" "src/CMakeFiles/ofl_mcf.dir/mcf/network_simplex.cpp.o" "gcc" "src/CMakeFiles/ofl_mcf.dir/mcf/network_simplex.cpp.o.d"
+  "/root/repo/src/mcf/ssp.cpp" "src/CMakeFiles/ofl_mcf.dir/mcf/ssp.cpp.o" "gcc" "src/CMakeFiles/ofl_mcf.dir/mcf/ssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ofl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

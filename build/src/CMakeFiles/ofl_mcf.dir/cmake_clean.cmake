@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ofl_mcf.dir/mcf/cycle_canceling.cpp.o"
+  "CMakeFiles/ofl_mcf.dir/mcf/cycle_canceling.cpp.o.d"
+  "CMakeFiles/ofl_mcf.dir/mcf/dual_lp.cpp.o"
+  "CMakeFiles/ofl_mcf.dir/mcf/dual_lp.cpp.o.d"
+  "CMakeFiles/ofl_mcf.dir/mcf/graph.cpp.o"
+  "CMakeFiles/ofl_mcf.dir/mcf/graph.cpp.o.d"
+  "CMakeFiles/ofl_mcf.dir/mcf/network_simplex.cpp.o"
+  "CMakeFiles/ofl_mcf.dir/mcf/network_simplex.cpp.o.d"
+  "CMakeFiles/ofl_mcf.dir/mcf/ssp.cpp.o"
+  "CMakeFiles/ofl_mcf.dir/mcf/ssp.cpp.o.d"
+  "libofl_mcf.a"
+  "libofl_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ofl_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/openfill.dir/cli/main.cpp.o"
+  "CMakeFiles/openfill.dir/cli/main.cpp.o.d"
+  "openfill"
+  "openfill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/openfill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

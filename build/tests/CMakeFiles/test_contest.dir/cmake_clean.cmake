@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contest.dir/contest/contest_test.cpp.o"
+  "CMakeFiles/test_contest.dir/contest/contest_test.cpp.o.d"
+  "CMakeFiles/test_contest.dir/contest/json_report_test.cpp.o"
+  "CMakeFiles/test_contest.dir/contest/json_report_test.cpp.o.d"
+  "CMakeFiles/test_contest.dir/contest/report_test.cpp.o"
+  "CMakeFiles/test_contest.dir/contest/report_test.cpp.o.d"
+  "test_contest"
+  "test_contest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

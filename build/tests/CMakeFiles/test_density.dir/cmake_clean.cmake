@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_density.dir/density/cmp_model_test.cpp.o"
+  "CMakeFiles/test_density.dir/density/cmp_model_test.cpp.o.d"
+  "CMakeFiles/test_density.dir/density/density_test.cpp.o"
+  "CMakeFiles/test_density.dir/density/density_test.cpp.o.d"
+  "CMakeFiles/test_density.dir/density/heatmap_test.cpp.o"
+  "CMakeFiles/test_density.dir/density/heatmap_test.cpp.o.d"
+  "CMakeFiles/test_density.dir/density/sliding_test.cpp.o"
+  "CMakeFiles/test_density.dir/density/sliding_test.cpp.o.d"
+  "test_density"
+  "test_density.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fill.dir/fill/candidate_generator_test.cpp.o"
+  "CMakeFiles/test_fill.dir/fill/candidate_generator_test.cpp.o.d"
+  "CMakeFiles/test_fill.dir/fill/fill_engine_test.cpp.o"
+  "CMakeFiles/test_fill.dir/fill/fill_engine_test.cpp.o.d"
+  "CMakeFiles/test_fill.dir/fill/fill_sizer_property_test.cpp.o"
+  "CMakeFiles/test_fill.dir/fill/fill_sizer_property_test.cpp.o.d"
+  "CMakeFiles/test_fill.dir/fill/fill_sizer_test.cpp.o"
+  "CMakeFiles/test_fill.dir/fill/fill_sizer_test.cpp.o.d"
+  "CMakeFiles/test_fill.dir/fill/target_planner_test.cpp.o"
+  "CMakeFiles/test_fill.dir/fill/target_planner_test.cpp.o.d"
+  "test_fill"
+  "test_fill.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gds.dir/gds/compact_test.cpp.o"
+  "CMakeFiles/test_gds.dir/gds/compact_test.cpp.o.d"
+  "CMakeFiles/test_gds.dir/gds/gds_fuzz_test.cpp.o"
+  "CMakeFiles/test_gds.dir/gds/gds_fuzz_test.cpp.o.d"
+  "CMakeFiles/test_gds.dir/gds/gds_test.cpp.o"
+  "CMakeFiles/test_gds.dir/gds/gds_test.cpp.o.d"
+  "CMakeFiles/test_gds.dir/gds/oasis_test.cpp.o"
+  "CMakeFiles/test_gds.dir/gds/oasis_test.cpp.o.d"
+  "test_gds"
+  "test_gds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/geometry/boolean_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/boolean_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/contour_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/contour_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/decompose_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/decompose_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/grid_index_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/grid_index_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/polygon_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/polygon_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/rect_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/rect_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/region_algebra_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/region_algebra_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/region_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/region_test.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/rtree_test.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/rtree_test.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

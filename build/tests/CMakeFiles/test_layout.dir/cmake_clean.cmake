@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout.dir/layout/drc_checker_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/drc_checker_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/drc_injection_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/drc_injection_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/fill_region_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/fill_region_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/layout_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/layout_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/litho_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/litho_test.cpp.o.d"
+  "CMakeFiles/test_layout.dir/layout/window_grid_test.cpp.o"
+  "CMakeFiles/test_layout.dir/layout/window_grid_test.cpp.o.d"
+  "test_layout"
+  "test_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcf.dir/mcf/dual_lp_test.cpp.o"
+  "CMakeFiles/test_mcf.dir/mcf/dual_lp_test.cpp.o.d"
+  "CMakeFiles/test_mcf.dir/mcf/mcf_solver_test.cpp.o"
+  "CMakeFiles/test_mcf.dir/mcf/mcf_solver_test.cpp.o.d"
+  "test_mcf"
+  "test_mcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

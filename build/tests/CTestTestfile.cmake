@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_geometry "/root/repo/build/tests/test_geometry")
+set_tests_properties(test_geometry PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_gds "/root/repo/build/tests/test_gds")
+set_tests_properties(test_gds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;21;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_layout "/root/repo/build/tests/test_layout")
+set_tests_properties(test_layout PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;27;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_common "/root/repo/build/tests/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;35;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_density "/root/repo/build/tests/test_density")
+set_tests_properties(test_density PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;36;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_mcf "/root/repo/build/tests/test_mcf")
+set_tests_properties(test_mcf PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;42;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_lp "/root/repo/build/tests/test_lp")
+set_tests_properties(test_lp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;46;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_fill "/root/repo/build/tests/test_fill")
+set_tests_properties(test_fill PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;47;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_baselines "/root/repo/build/tests/test_baselines")
+set_tests_properties(test_baselines PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;54;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_contest "/root/repo/build/tests/test_contest")
+set_tests_properties(test_contest PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;55;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;60;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_cli "/root/repo/build/tests/test_cli")
+set_tests_properties(test_cli PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;65;ofl_add_test;/root/repo/tests/CMakeLists.txt;0;")
