@@ -3,21 +3,55 @@
 // limitation due to problem sizes", citing 160K-variable LPs as the
 // runtime bottleneck, while the geometric dual-MCF flow stays fast.
 //
-// This bench grows the die and prints, per size: engine runtime and its
+// Part 1 grows the die and prints, per size: engine runtime and its
 // sizing share, GLOBAL tile-LP runtime (one LP per layer over every tile —
 // the classical formulation), and the speedup. The expected shape:
 // the global LP's runtime grows superlinearly with the tile count while
 // the engine grows ~linearly with the window count, so the speedup widens
 // with design size — the paper's Section 1 argument.
+//
+// Part 2 sweeps the engine's thread count (1/2/4/8) on a fixed contest
+// benchmark: per-window independence makes the hot stages embarrassingly
+// parallel, and the deterministic merge keeps the fill output bit-identical
+// across thread counts (asserted here and in the integration suite).
+// Results go to BENCH_parallel.json so later PRs can track the perf
+// trajectory machine-readably.
+#include <cstdint>
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "baselines/tile_lp_filler.hpp"
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "contest/benchmark_generator.hpp"
 #include "fill/fill_engine.hpp"
 
 using namespace ofl;
+
+namespace {
+
+// Order-sensitive fingerprint of the fill solution; bit-identical output
+// across thread counts means identical hashes.
+std::uint64_t fillHash(const layout::Layout& chip) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over fill coords
+  auto mix = [&h](geom::Coord v) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    for (const geom::Rect& f : chip.layer(l).fills) {
+      mix(f.xl);
+      mix(f.yl);
+      mix(f.xh);
+      mix(f.yh);
+    }
+  }
+  return h;
+}
+
+}  // namespace
 
 int main() {
   setLogLevel(LogLevel::kWarn);
@@ -43,6 +77,7 @@ int main() {
       fill::FillEngineOptions o;
       o.windowSize = spec.windowSize;
       o.rules = spec.rules;
+      o.numThreads = 1;  // part 1 compares single-threaded algorithms
       Timer t;
       const fill::FillReport report = fill::FillEngine(o).run(chip);
       engineSeconds = t.elapsedSeconds();
@@ -71,5 +106,75 @@ int main() {
               " the gap keeps widening with design size (the paper's 160K-"
               "variable instances are far past the crossover).\n",
               prevLp / std::max(prevEngine, 1e-9));
-  return 0;
+
+  // == Part 2: thread scaling of the parallel per-window pipeline ==
+  std::printf("\n== Thread scaling (%d hardware cores) ==\n",
+              ThreadPool::hardwareThreads());
+  std::printf("%8s | %10s %10s %10s | %12s %18s\n", "threads", "wall[s]",
+              "cand[s]", "size[s]", "fills", "hash");
+
+  contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec("s");
+  spec.die = {0, 0, 32 * spec.windowSize, 32 * spec.windowSize};
+  spec.seed = 4032;
+  spec.macroCount = 8;
+  spec.channelCount = 5;
+  const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
+
+  struct Row {
+    int threads;
+    double wall, cand, size;
+    std::size_t fills;
+    std::uint64_t hash;
+  };
+  std::vector<Row> rows;
+  for (const int threads : {1, 2, 4, 8}) {
+    layout::Layout chip = original;
+    fill::FillEngineOptions o;
+    o.windowSize = spec.windowSize;
+    o.rules = spec.rules;
+    o.numThreads = threads;
+    Timer t;
+    const fill::FillReport report = fill::FillEngine(o).run(chip);
+    rows.push_back({threads, t.elapsedSeconds(), report.candidateSeconds,
+                    report.sizingSeconds, report.fillCount, fillHash(chip)});
+    std::printf("%8d | %10.2f %10.2f %10.2f | %12zu %18llx\n", threads,
+                rows.back().wall, rows.back().cand, rows.back().size,
+                rows.back().fills,
+                static_cast<unsigned long long>(rows.back().hash));
+  }
+  bool identical = true;
+  for (const Row& r : rows) {
+    identical = identical && r.hash == rows.front().hash &&
+                r.fills == rows.front().fills;
+  }
+  const double base = rows.front().wall;
+  std::printf("\nSpeedup at 8 threads: %.2fx; output %s across thread "
+              "counts.\n",
+              base / std::max(rows.back().wall, 1e-9),
+              identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
+
+  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"parallel_fill_pipeline\",\n"
+                 "  \"die_windows\": \"32x32\",\n  \"hardware_threads\": %d,\n"
+                 "  \"deterministic\": %s,\n  \"runs\": [\n",
+                 ThreadPool::hardwareThreads(), identical ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "    {\"threads\": %d, \"wall_seconds\": %.4f, "
+                   "\"candidate_seconds\": %.4f, \"sizing_seconds\": %.4f, "
+                   "\"fill_count\": %zu, \"speedup\": %.3f, "
+                   "\"fill_hash\": \"%llx\"}%s\n",
+                   r.threads, r.wall, r.cand, r.size, r.fills,
+                   base / std::max(r.wall, 1e-9),
+                   static_cast<unsigned long long>(r.hash),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_parallel.json\n");
+  }
+  return identical ? 0 : 1;
 }

@@ -83,8 +83,11 @@ std::string usage() {
       "      Generate a synthetic benchmark suite (wires only).\n"
       "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
       "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
+      "       [--threads N]\n"
       "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
-      "      Insert dummy fills; --compact writes fill arrays as AREFs.\n"
+      "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
+      "      --threads 0 (default) uses every hardware core, results are\n"
+      "      identical for any thread count.\n"
       "  evaluate --in FILE.gds --suite s|b|m [--window N] [--runtime S]\n"
       "       [--memory MiB]\n"
       "      Score a filled layout with the contest metric.\n"
@@ -94,7 +97,8 @@ std::string usage() {
       "      Print shape counts and file statistics.\n"
       "  heatmap --in FILE.gds [--window N] [--layer N] [--csv FILE]\n"
       "      Render a window-density heatmap (ASCII to stdout, or CSV).\n"
-      "  compare --in FILE.gds --suite s|b|m [--window N] [--json FILE]\n"
+      "  compare --in FILE.gds --suite s|b|m [--window N] [--threads N]\n"
+      "       [--json FILE]\n"
       "      Run all fillers (3 baselines + engine) and print the score "
       "grid.\n";
 }
@@ -159,6 +163,8 @@ int runFill(const Args& args) {
   options.sizer.eta = args.getDoubleOr("eta", options.sizer.eta);
   options.sizer.iterations =
       static_cast<int>(args.getIntOr("iterations", options.sizer.iterations));
+  options.numThreads =
+      static_cast<int>(args.getIntOr("threads", options.numThreads));
   const std::string backend = args.getOr("backend", "ns");
   if (backend == "ssp") {
     options.sizer.backend = mcf::McfBackend::kSuccessiveShortestPath;
@@ -357,6 +363,7 @@ int runCompare(const Args& args) {
     fill::FillEngineOptions o;
     o.windowSize = window;
     o.rules = rules;
+    o.numThreads = static_cast<int>(args.getIntOr("threads", o.numThreads));
     fill::FillEngine(o).run(chip);
   });
 

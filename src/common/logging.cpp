@@ -1,14 +1,27 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace ofl {
 namespace {
 
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+// Serializes whole messages: fill-stage workers log concurrently, and
+// without this the tag/body/newline triplets interleave.
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
 
 void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sinkMutex());
   std::fprintf(stderr, "[%s] ", tag);
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
@@ -16,8 +29,10 @@ void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
 
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level = level; }
-LogLevel logLevel() { return g_level; }
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 #define OFL_DEFINE_LOG(fn, level, tag)      \
   void fn(const char* fmt, ...) {           \

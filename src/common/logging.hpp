@@ -22,8 +22,10 @@ enum class LogLevel : int {
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
-/// printf-style logging. Thread-compatible (not thread-safe by design: the
-/// library itself is single-threaded, matching the paper's implementation).
+/// printf-style logging. Thread-safe: fill-stage workers may log
+/// concurrently (see common/thread_pool.hpp), so the sink serializes whole
+/// messages and the level is atomic. ScopedLogLevel still assumes the
+/// level is changed from one thread at a time (tests and CLI do).
 void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void logInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void logWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));

@@ -1,0 +1,106 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace ofl {
+
+int ThreadPool::hardwareThreads() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+ThreadPool::ThreadPool(int numThreads) {
+  const int resolved = numThreads <= 0 ? hardwareThreads() : numThreads;
+  workers_.reserve(static_cast<std::size_t>(resolved - 1));
+  for (int t = 1; t < resolved; ++t) {
+    workers_.emplace_back([this] { workerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::parallelFor(std::size_t numItems,
+                             const std::function<void(std::size_t)>& fn) {
+  if (numItems == 0) return;
+  if (workers_.empty() || numItems == 1) {
+    for (std::size_t i = 0; i < numItems; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    jobSize_ = numItems;
+    nextIndex_.store(0, std::memory_order_relaxed);
+    firstError_ = nullptr;
+    ++generation_;
+  }
+  wake_.notify_all();
+  drain();  // the caller claims indices alongside the workers
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    // The caller's drain() only returns once every index is claimed; a
+    // worker still executing its last claimed item is counted active, so
+    // activeWorkers_ == 0 means every claimed item has finished.
+    done_.wait(lock, [this] { return activeWorkers_ == 0; });
+    job_ = nullptr;
+    error = firstError_;
+    firstError_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::drain() {
+  // job_/jobSize_ were written under mutex_ before this thread entered
+  // drain() (workers pass through workerMain's lock; the caller wrote
+  // them itself), so the plain reads here are synchronized.
+  const std::function<void(std::size_t)>* job = job_;
+  const std::size_t size = jobSize_;
+  for (;;) {
+    const std::size_t i = nextIndex_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= size) return;
+    try {
+      (*job)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!firstError_) firstError_ = std::current_exception();
+      // Abandon the unclaimed tail: everyone's next claim fails.
+      nextIndex_.store(size, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::workerMain() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    ++activeWorkers_;
+    lock.unlock();
+    drain();
+    lock.lock();
+    if (--activeWorkers_ == 0) done_.notify_all();
+  }
+}
+
+void parallelFor(int numThreads, std::size_t numItems,
+                 const std::function<void(std::size_t)>& fn) {
+  const int resolved =
+      numThreads <= 0 ? ThreadPool::hardwareThreads() : numThreads;
+  if (resolved <= 1 || numItems <= 1) {
+    for (std::size_t i = 0; i < numItems; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(resolved);
+  pool.parallelFor(numItems, fn);
+}
+
+}  // namespace ofl

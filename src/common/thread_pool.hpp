@@ -1,0 +1,83 @@
+// Reusable worker-thread pool with a parallel-for primitive.
+//
+// The fill flow decomposes into independent per-(layer,window) subproblems
+// (see docs/architecture.md, "Parallel execution"), so the only parallel
+// construct the library needs is an index-space parallelFor. Determinism is
+// the callers' contract: workers may claim indices in any order, but every
+// call site writes item i's result into a pre-sized slot i and merges the
+// slots sequentially afterwards, so results are bit-identical for any
+// thread count (including 1, which runs inline on the caller).
+//
+// The pool is reusable: construct once, issue many parallelFor calls (the
+// FillEngine keeps one pool per run and drives every stage through it).
+// parallelFor calls must not be nested or issued concurrently from several
+// threads; the pool is a fork-join helper, not a task scheduler.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ofl {
+
+class ThreadPool {
+ public:
+  /// `numThreads` <= 0 requests one thread per hardware core
+  /// (hardwareThreads()). A pool of size 1 spawns no workers at all:
+  /// parallelFor then runs inline on the caller, byte-for-byte the serial
+  /// code path.
+  explicit ThreadPool(int numThreads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads that execute work: workers plus the calling thread.
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(0..numItems-1), each index exactly once, and blocks until all
+  /// are done. The caller participates in the work. If any invocation
+  /// throws, the remaining unclaimed indices are abandoned and the first
+  /// captured exception is rethrown here.
+  void parallelFor(std::size_t numItems,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 on exotic platforms).
+  static int hardwareThreads();
+
+ private:
+  void workerMain();
+  void drain();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;   // workers wait here between jobs
+  std::condition_variable done_;   // parallelFor waits here for completion
+  std::uint64_t generation_ = 0;   // bumped per parallelFor; wakes workers
+  bool stopping_ = false;
+
+  // Job state, written under mutex_ before workers are woken; workers
+  // synchronize with those writes through the mutex in workerMain, so the
+  // lock-free reads inside drain() are race-free.
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobSize_ = 0;
+  std::atomic<std::size_t> nextIndex_{0};
+  std::atomic<std::size_t> itemsLeft_{0};
+  int activeWorkers_ = 0;  // workers inside drain(); guarded by mutex_
+  std::exception_ptr firstError_;
+};
+
+/// One-shot helper for call sites without a long-lived pool: runs fn over
+/// [0, numItems) on `numThreads` threads (<= 1 or 0 items runs inline
+/// without touching a pool).
+void parallelFor(int numThreads, std::size_t numItems,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace ofl

@@ -22,6 +22,10 @@ std::vector<geom::Interval> splitSpanFixed(geom::Coord lo, geom::Coord hi,
 
 // Splits [lo, hi) into equal cells no wider than maxSize with `gap` between
 // them; returns cell intervals. Cells narrower than minSize are dropped.
+// When the equal division lands below minSize (minSize close to maxSize),
+// fall back to fixed maxSize-pitch tiling: that keeps every emitted cell
+// within [minSize, maxSize] and keeps the gap between consecutive cells,
+// instead of the single gap-ignoring cell the fallback used to emit.
 std::vector<geom::Interval> splitSpan(geom::Coord lo, geom::Coord hi,
                                       geom::Coord maxSize, geom::Coord gap,
                                       geom::Coord minSize) {
@@ -33,9 +37,7 @@ std::vector<geom::Interval> splitSpan(geom::Coord lo, geom::Coord hi,
   const geom::Coord cells = std::max<geom::Coord>(k, 1);
   const geom::Coord cellSize = (span - (cells - 1) * gap) / cells;
   if (cellSize < minSize) {
-    // Fall back to one cell covering what it can.
-    if (span >= minSize) out.push_back({lo, std::min(hi, lo + maxSize)});
-    return out;
+    return splitSpanFixed(lo, hi, std::min(span, maxSize), gap);
   }
   geom::Coord cursor = lo;
   for (geom::Coord c = 0; c < cells; ++c) {

@@ -3,11 +3,20 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "density/density_map.hpp"
 #include "layout/fill_region.hpp"
 
 namespace ofl::fill {
+
+// Parallelization contract (docs/architecture.md, "Parallel execution"):
+// every parallelFor below iterates an index space whose items are
+// independent — layers in the region/density/bounds stages, windows in
+// candidate generation and sizing. Workers only write to slot [index] of
+// pre-sized vectors; all cross-item reductions (candidate counts, sizer
+// stats, fill output) happen sequentially in index order afterwards, so
+// the result is bit-identical for any thread count.
 
 FillReport FillEngine::run(layout::Layout& layout) const {
   FillReport report;
@@ -17,31 +26,33 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   const int numLayers = layout.numLayers();
   const layout::WindowGrid grid(layout.die(), options_.windowSize);
   const auto numWindows = static_cast<std::size_t>(grid.windowCount());
+  ThreadPool pool(options_.numThreads);
+  report.threadsUsed = pool.size();
 
   // --- Stage 0: fill regions, wire buckets, wire densities ---
   Timer stage;
-  std::vector<std::vector<geom::Region>> fillRegions;   // [layer][window]
-  std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets;
-  std::vector<density::DensityMap> wireDensity;
-  fillRegions.reserve(static_cast<std::size_t>(numLayers));
-  wireBuckets.reserve(static_cast<std::size_t>(numLayers));
-  wireDensity.reserve(static_cast<std::size_t>(numLayers));
-  for (int l = 0; l < numLayers; ++l) {
-    fillRegions.push_back(
-        layout::computeFillRegions(layout, l, grid, options_.rules));
-    wireBuckets.push_back(grid.bucketClipped(layout.layer(l).wires));
-    wireDensity.push_back(
-        density::DensityMap::computeFromShapes(layout.layer(l).wires, grid));
-  }
+  std::vector<std::vector<geom::Region>> fillRegions(
+      static_cast<std::size_t>(numLayers));  // [layer][window]
+  std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets(
+      static_cast<std::size_t>(numLayers));
+  std::vector<density::DensityMap> wireDensity(
+      static_cast<std::size_t>(numLayers));
+  pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
+    const int layer = static_cast<int>(l);
+    fillRegions[l] =
+        layout::computeFillRegions(layout, layer, grid, options_.rules);
+    wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
+    wireDensity[l] =
+        density::DensityMap::computeFromShapes(layout.layer(layer).wires, grid);
+  });
 
   // --- Stage 1: density planning on the geometric bounds (Section 3.1) ---
-  std::vector<density::DensityBounds> bounds;
-  bounds.reserve(static_cast<std::size_t>(numLayers));
-  for (int l = 0; l < numLayers; ++l) {
-    bounds.push_back(density::computeBounds(
-        layout, l, grid, fillRegions[static_cast<std::size_t>(l)],
-        options_.rules));
-  }
+  std::vector<density::DensityBounds> bounds(
+      static_cast<std::size_t>(numLayers));
+  pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
+    bounds[l] = density::computeBounds(layout, static_cast<int>(l), grid,
+                                       fillRegions[l], options_.rules);
+  });
   const TargetDensityPlanner planner(options_.plannerWeights);
   TargetPlan plan = planner.plan(bounds, grid.cols(), grid.rows());
   report.planningSeconds += stage.elapsedSeconds();
@@ -50,24 +61,25 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   stage.reset();
   std::vector<WindowProblem> problems(numWindows);
   const CandidateGenerator generator(options_.rules, options_.candidate);
-  for (int j = 0; j < grid.rows(); ++j) {
-    for (int i = 0; i < grid.cols(); ++i) {
-      const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
-      WindowProblem& p = problems[w];
-      p.window = grid.windowRect(i, j);
-      p.fillRegions.reserve(static_cast<std::size_t>(numLayers));
-      p.wires.reserve(static_cast<std::size_t>(numLayers));
-      for (int l = 0; l < numLayers; ++l) {
-        p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
-        p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
-        p.wireDensity.push_back(wireDensity[static_cast<std::size_t>(l)].at(i, j));
-        p.targetDensity.push_back(
-            plan.windowTarget[static_cast<std::size_t>(l)][w]);
-      }
-      generator.generate(p);
-      for (const auto& layerFills : p.fills) {
-        report.candidateCount += layerFills.size();
-      }
+  pool.parallelFor(numWindows, [&](std::size_t w) {
+    const int i = static_cast<int>(w) % grid.cols();
+    const int j = static_cast<int>(w) / grid.cols();
+    WindowProblem& p = problems[w];
+    p.window = grid.windowRect(i, j);
+    p.fillRegions.reserve(static_cast<std::size_t>(numLayers));
+    p.wires.reserve(static_cast<std::size_t>(numLayers));
+    for (int l = 0; l < numLayers; ++l) {
+      p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
+      p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+      p.wireDensity.push_back(wireDensity[static_cast<std::size_t>(l)].at(i, j));
+      p.targetDensity.push_back(
+          plan.windowTarget[static_cast<std::size_t>(l)][w]);
+    }
+    generator.generate(p);
+  });
+  for (const WindowProblem& p : problems) {
+    for (const auto& layerFills : p.fills) {
+      report.candidateCount += layerFills.size();
     }
   }
   report.candidateSeconds += stage.elapsedSeconds();
@@ -108,9 +120,11 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   // --- Stage 4: fill sizing (Section 3.3) ---
   stage.reset();
   const FillSizer sizer(options_.rules, options_.sizer);
-  for (WindowProblem& p : problems) {
-    sizer.size(p, &report.sizerStats);
-  }
+  std::vector<FillSizer::Stats> windowStats(numWindows);
+  pool.parallelFor(numWindows, [&](std::size_t w) {
+    sizer.size(problems[w], &windowStats[w]);
+  });
+  for (const FillSizer::Stats& s : windowStats) report.sizerStats.add(s);
   report.sizingSeconds += stage.elapsedSeconds();
 
   // --- Output ---
@@ -124,10 +138,10 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   report.fillCount = layout.fillCount();
   report.totalSeconds = total.elapsedSeconds();
   logInfo("FillEngine: %zu fills from %zu candidates in %.2fs "
-          "(plan %.2fs, cand %.2fs, size %.2fs)",
+          "(plan %.2fs, cand %.2fs, size %.2fs, %d threads)",
           report.fillCount, report.candidateCount, report.totalSeconds,
           report.planningSeconds, report.candidateSeconds,
-          report.sizingSeconds);
+          report.sizingSeconds, report.threadsUsed);
   return report;
 }
 
@@ -138,6 +152,8 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   const int numLayers = layout.numLayers();
   const layout::WindowGrid grid(layout.die(), options_.windowSize);
   const auto numWindows = static_cast<std::size_t>(grid.windowCount());
+  ThreadPool pool(options_.numThreads);
+  report.threadsUsed = pool.size();
 
   // Affected windows: everything the changed area (inflated by the
   // spacing rule, since a moved wire blocks space across a window border)
@@ -175,26 +191,29 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   std::vector<std::vector<geom::Region>> fillRegions(
       static_cast<std::size_t>(numLayers),
       std::vector<geom::Region>(numWindows));
-  std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets;
-  std::vector<density::DensityMap> wireDensity;
+  std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets(
+      static_cast<std::size_t>(numLayers));
+  std::vector<density::DensityMap> wireDensity(
+      static_cast<std::size_t>(numLayers));
   std::vector<density::DensityBounds> bounds(
       static_cast<std::size_t>(numLayers));
-  for (int l = 0; l < numLayers; ++l) {
-    wireBuckets.push_back(grid.bucketClipped(layout.layer(l).wires));
-    wireDensity.push_back(
-        density::DensityMap::computeFromShapes(layout.layer(l).wires, grid));
+  pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
+    const int layer = static_cast<int>(l);
+    wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
+    wireDensity[l] =
+        density::DensityMap::computeFromShapes(layout.layer(layer).wires, grid);
     const density::DensityMap current =
-        density::DensityMap::compute(layout, l, grid);
+        density::DensityMap::compute(layout, layer, grid);
     const auto regions =
-        layout::computeFillRegions(layout, l, grid, options_.rules);
-    auto& b = bounds[static_cast<std::size_t>(l)];
+        layout::computeFillRegions(layout, layer, grid, options_.rules);
+    auto& b = bounds[l];
     b.lower.resize(numWindows);
     b.upper.resize(numWindows);
     const density::DensityBounds fresh = density::computeBounds(
-        layout, l, grid, regions, options_.rules);
+        layout, layer, grid, regions, options_.rules);
     for (std::size_t w = 0; w < numWindows; ++w) {
       if (affected[w] != 0) {
-        fillRegions[static_cast<std::size_t>(l)][w] = regions[w];
+        fillRegions[l][w] = regions[w];
         b.lower[w] = fresh.lower[w];
         b.upper[w] = fresh.upper[w];
       } else {
@@ -204,40 +223,50 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
         b.upper[w] = current.at(i, j);
       }
     }
-  }
+  });
   const TargetDensityPlanner planner(options_.plannerWeights);
   const TargetPlan plan = planner.plan(bounds, grid.cols(), grid.rows());
   report.layerTargets = plan.layerTarget;
   report.planningSeconds += stage.elapsedSeconds();
 
-  // Candidate generation + sizing for affected windows only.
+  // Candidate generation + sizing for affected windows only: solve each
+  // affected window into its own slot, then merge in window order.
   stage.reset();
+  std::vector<std::size_t> affectedIndices;
+  for (std::size_t w = 0; w < numWindows; ++w) {
+    if (affected[w] != 0) affectedIndices.push_back(w);
+  }
   const CandidateGenerator generator(options_.rules, options_.candidate);
   const FillSizer sizer(options_.rules, options_.sizer);
-  for (int j = 0; j < grid.rows(); ++j) {
-    for (int i = 0; i < grid.cols(); ++i) {
-      const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
-      if (affected[w] == 0) continue;
-      WindowProblem p;
-      p.window = grid.windowRect(i, j);
-      for (int l = 0; l < numLayers; ++l) {
-        p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
-        p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
-        p.wireDensity.push_back(
-            wireDensity[static_cast<std::size_t>(l)].at(i, j));
-        p.targetDensity.push_back(
-            plan.windowTarget[static_cast<std::size_t>(l)][w]);
-      }
-      generator.generate(p);
-      for (const auto& layerFills : p.fills) {
-        report.candidateCount += layerFills.size();
-      }
-      sizer.size(p, &report.sizerStats);
-      for (int l = 0; l < numLayers; ++l) {
-        auto& out = layout.layer(l).fills;
-        const auto& fs = p.fills[static_cast<std::size_t>(l)];
-        out.insert(out.end(), fs.begin(), fs.end());
-      }
+  std::vector<WindowProblem> problems(affectedIndices.size());
+  std::vector<FillSizer::Stats> windowStats(affectedIndices.size());
+  pool.parallelFor(affectedIndices.size(), [&](std::size_t a) {
+    const std::size_t w = affectedIndices[a];
+    const int i = static_cast<int>(w) % grid.cols();
+    const int j = static_cast<int>(w) / grid.cols();
+    WindowProblem& p = problems[a];
+    p.window = grid.windowRect(i, j);
+    for (int l = 0; l < numLayers; ++l) {
+      p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
+      p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+      p.wireDensity.push_back(
+          wireDensity[static_cast<std::size_t>(l)].at(i, j));
+      p.targetDensity.push_back(
+          plan.windowTarget[static_cast<std::size_t>(l)][w]);
+    }
+    generator.generate(p);
+    sizer.size(p, &windowStats[a]);
+  });
+  for (std::size_t a = 0; a < problems.size(); ++a) {
+    const WindowProblem& p = problems[a];
+    for (const auto& layerFills : p.fills) {
+      report.candidateCount += layerFills.size();
+    }
+    report.sizerStats.add(windowStats[a]);
+    for (int l = 0; l < numLayers; ++l) {
+      auto& out = layout.layer(l).fills;
+      const auto& fs = p.fills[static_cast<std::size_t>(l)];
+      out.insert(out.end(), fs.begin(), fs.end());
     }
   }
   report.sizingSeconds += stage.elapsedSeconds();

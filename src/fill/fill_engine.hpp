@@ -22,6 +22,11 @@ struct FillEngineOptions {
   PlannerWeights plannerWeights;
   CandidateGenerator::Options candidate;
   FillSizer::Options sizer;
+  /// Worker threads for the per-(layer,window) stages; 0 = one per
+  /// hardware core, 1 = serial. Results are bit-identical for any value:
+  /// workers fill pre-sized per-window slots and the engine merges them
+  /// in window order (see docs/architecture.md, "Parallel execution").
+  int numThreads = 0;
 };
 
 struct FillReport {
@@ -31,6 +36,7 @@ struct FillReport {
   double totalSeconds = 0.0;
   std::size_t candidateCount = 0;
   std::size_t fillCount = 0;
+  int threadsUsed = 1;  // resolved thread count the run executed with
   FillSizer::Stats sizerStats;
   std::vector<double> layerTargets;  // planned td per layer (final round)
 };

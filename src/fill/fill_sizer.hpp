@@ -40,6 +40,15 @@ class FillSizer {
     long long infeasibleFallbacks = 0;
     long long droppedFills = 0;
     long long spacingConstraints = 0;
+
+    /// Merges another window's counters; the engine sizes windows in
+    /// parallel into per-window Stats and reduces them in window order.
+    void add(const Stats& other) {
+      solves += other.solves;
+      infeasibleFallbacks += other.infeasibleFallbacks;
+      droppedFills += other.droppedFills;
+      spacingConstraints += other.spacingConstraints;
+    }
   };
 
   FillSizer(layout::DesignRules rules, Options options)

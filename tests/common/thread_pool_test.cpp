@@ -1,0 +1,101 @@
+// ThreadPool unit tests: every index runs exactly once, exceptions
+// propagate to the caller, the pool is reusable across many parallelFor
+// calls, and the serial (1-thread) configuration runs inline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace ofl {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  constexpr std::size_t kItems = 1000;
+  std::vector<std::atomic<int>> hits(kItems);
+  pool.parallelFor(kItems, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SlotWritesNeedNoSynchronization) {
+  // The engine's usage pattern: item i writes only slot i, the caller
+  // reduces afterwards. The reduction must see all writes.
+  ThreadPool pool(4);
+  constexpr std::size_t kItems = 512;
+  std::vector<std::size_t> out(kItems, 0);
+  pool.parallelFor(kItems, [&](std::size_t i) { out[i] = i * i; });
+  for (std::size_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossRuns) {
+  ThreadPool pool(3);
+  std::atomic<long long> total{0};
+  for (int run = 0; run < 50; ++run) {
+    pool.parallelFor(100, [&](std::size_t i) {
+      total.fetch_add(static_cast<long long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 50LL * (99 * 100 / 2));
+}
+
+TEST(ThreadPoolTest, PropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(100,
+                       [](std::size_t i) {
+                         if (i == 37) throw std::runtime_error("item 37");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing job and keeps working.
+  std::atomic<int> count{0};
+  pool.parallelFor(10, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(8);
+  pool.parallelFor(8, [&](std::size_t i) {
+    ids[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolTest, ZeroItemsIsNoOp) {
+  ThreadPool pool(4);
+  bool ran = false;
+  pool.parallelFor(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+  EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ParallelForHelperTest, RunsAllItemsWithAndWithoutThreads) {
+  for (const int threads : {1, 2, 4}) {
+    std::vector<int> out(64, 0);
+    parallelFor(threads, out.size(), [&](std::size_t i) {
+      out[i] = static_cast<int>(i) + 1;
+    });
+    long long sum = std::accumulate(out.begin(), out.end(), 0LL);
+    EXPECT_EQ(sum, 64LL * 65 / 2) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ofl

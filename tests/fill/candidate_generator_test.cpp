@@ -81,6 +81,48 @@ TEST(SliceRegionTest, CellsRespectMutualSpacing) {
   }
 }
 
+TEST(SliceRegionTest, NarrowEqualSplitFallsBackToFixedPitchTiling) {
+  // minWidth close to maxFillSize: the equal division of the 1000-wide
+  // span wants 4 cells of 242 < minWidth. The old fallback emitted one
+  // lone maxFillSize cell (ignoring the pitch bookkeeping of the normal
+  // path); the unified fallback tiles at maxFillSize pitch, keeping every
+  // cell within [minWidth, maxFillSize] and the gutter between cells.
+  layout::DesignRules r;
+  r.minWidth = 250;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 300;
+  const CandidateGenerator gen(r, {});
+  const auto cells =
+      gen.sliceRegion(geom::Region(geom::Rect{0, 0, 1010, 310}));
+  ASSERT_EQ(cells.size(), 3u);
+  for (const auto& c : cells) {
+    EXPECT_TRUE(r.shapeOk(c)) << c.str();
+    EXPECT_GE(c.width(), r.minWidth);
+    EXPECT_LE(c.width(), r.maxFillSize);
+  }
+  for (std::size_t i = 0; i + 1 < cells.size(); ++i) {
+    EXPECT_GE(cells[i + 1].xl - cells[i].xh, r.minSpacing)
+        << cells[i].str() << " vs " << cells[i + 1].str();
+  }
+}
+
+TEST(SliceRegionTest, SpanBetweenMinWidthAndMaxSizeYieldsFullCell) {
+  // Same near-degenerate rules, span between minWidth and maxFillSize:
+  // the single-cell (k = 1) division stays exact — the fixed-pitch
+  // fallback must not kick in below the maxFillSize + gutter threshold.
+  layout::DesignRules r;
+  r.minWidth = 250;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 300;
+  const CandidateGenerator gen(r, {});
+  const auto cells =
+      gen.sliceRegion(geom::Region(geom::Rect{0, 0, 270, 270}));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], (geom::Rect{5, 5, 265, 265}));
+}
+
 TEST(CandidateGeneratorTest, ReachesLambdaTargetWhenSpaceAllows) {
   // Empty window, target density 0.3 with lambda 1.15.
   WindowProblem p = makeProblem({}, {}, 0.3, 0.3);

@@ -1,0 +1,122 @@
+// Parallel determinism: the engine's contract is that the thread count is
+// invisible in the result — workers write into pre-sized per-window slots
+// and the engine merges them in window order, so the fill lists (order
+// included) and every derived metric are bit-identical for any thread
+// count. This test is also the TSan smoke workload (tsan_smoke_parallel_fill
+// in tests/CMakeLists.txt): it drives candidate generation, sizing and the
+// ECO path with 4 worker threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "contest/evaluator.hpp"
+#include "contest/score_table.hpp"
+#include "fill/fill_engine.hpp"
+
+namespace ofl {
+namespace {
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setLogLevel(LogLevel::kWarn);
+    spec_ = contest::BenchmarkGenerator::spec("tiny");
+    original_ = contest::BenchmarkGenerator::generate(spec_);
+    options_.windowSize = spec_.windowSize;
+    options_.rules = spec_.rules;
+  }
+
+  layout::Layout runWithThreads(int threads) {
+    layout::Layout chip = original_;
+    fill::FillEngineOptions o = options_;
+    o.numThreads = threads;
+    const fill::FillReport report = fill::FillEngine(o).run(chip);
+    EXPECT_EQ(report.threadsUsed, threads);
+    return chip;
+  }
+
+  static void expectIdenticalFills(const layout::Layout& a,
+                                   const layout::Layout& b, int threads) {
+    ASSERT_EQ(a.numLayers(), b.numLayers());
+    for (int l = 0; l < a.numLayers(); ++l) {
+      const auto& fa = a.layer(l).fills;
+      const auto& fb = b.layer(l).fills;
+      ASSERT_EQ(fa.size(), fb.size())
+          << "layer " << l << ", " << threads << " threads";
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        ASSERT_EQ(fa[i], fb[i]) << "layer " << l << " fill " << i << ", "
+                                << threads << " threads: " << fa[i].str()
+                                << " vs " << fb[i].str();
+      }
+    }
+  }
+
+  contest::BenchmarkSpec spec_;
+  layout::Layout original_{{}, 0};
+  fill::FillEngineOptions options_;
+};
+
+TEST_F(ParallelDeterminismTest, FillListsIdenticalAcrossThreadCounts) {
+  const layout::Layout serial = runWithThreads(1);
+  EXPECT_GT(serial.fillCount(), 0u);
+  for (const int threads : {2, 4}) {
+    const layout::Layout parallel = runWithThreads(threads);
+    expectIdenticalFills(serial, parallel, threads);
+  }
+}
+
+TEST_F(ParallelDeterminismTest, ContestScoresIdenticalAcrossThreadCounts) {
+  const contest::Evaluator evaluator(spec_.windowSize,
+                                     contest::scoreTableFor("tiny"),
+                                     spec_.rules);
+  const layout::Layout serial = runWithThreads(1);
+  // Fixed runtime/memory inputs so the score depends on geometry only.
+  const contest::ScoreBreakdown ref =
+      evaluator.score(evaluator.measure(serial), 1.0, 100.0);
+  const layout::Layout parallel = runWithThreads(4);
+  const contest::ScoreBreakdown got =
+      evaluator.score(evaluator.measure(parallel), 1.0, 100.0);
+  EXPECT_EQ(ref.total, got.total);
+  EXPECT_EQ(ref.quality, got.quality);
+  EXPECT_EQ(ref.overlay, got.overlay);
+  EXPECT_EQ(ref.variation, got.variation);
+  EXPECT_EQ(ref.line, got.line);
+  EXPECT_EQ(ref.outlier, got.outlier);
+}
+
+TEST_F(ParallelDeterminismTest, EcoRefillIdenticalAcrossThreadCounts) {
+  // Mutate a window's wires, then ECO-refill serially and with 4 threads:
+  // the repaired layouts must match fill-for-fill.
+  auto mutate = [&](layout::Layout& chip) {
+    const geom::Rect block{2 * 1200 + 200, 2 * 1200 + 200, 2 * 1200 + 700,
+                           2 * 1200 + 700};
+    for (int l = 0; l < chip.numLayers(); ++l) {
+      auto& wires = chip.layer(l).wires;
+      wires.erase(std::remove_if(wires.begin(), wires.end(),
+                                 [&](const geom::Rect& w) {
+                                   return w.expanded(spec_.rules.minSpacing)
+                                       .overlaps(block);
+                                 }),
+                  wires.end());
+    }
+    chip.layer(0).wires.push_back(block);
+    return block;
+  };
+  layout::Layout serial = runWithThreads(1);
+  layout::Layout parallel = serial;
+  const geom::Rect changed = mutate(serial);
+  mutate(parallel);
+
+  fill::FillEngineOptions serialOpts = options_;
+  serialOpts.numThreads = 1;
+  fill::FillEngine(serialOpts).runIncremental(serial, changed);
+  fill::FillEngineOptions parallelOpts = options_;
+  parallelOpts.numThreads = 4;
+  fill::FillEngine(parallelOpts).runIncremental(parallel, changed);
+  expectIdenticalFills(serial, parallel, 4);
+}
+
+}  // namespace
+}  // namespace ofl
