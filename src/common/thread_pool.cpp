@@ -38,6 +38,7 @@ void ThreadPool::parallelFor(std::size_t numItems,
     jobSize_ = numItems;
     nextIndex_.store(0, std::memory_order_relaxed);
     firstError_ = nullptr;
+    arrivedWorkers_ = 0;
     ++generation_;
   }
   wake_.notify_all();
@@ -45,10 +46,16 @@ void ThreadPool::parallelFor(std::size_t numItems,
   std::exception_ptr error;
   {
     std::unique_lock<std::mutex> lock(mutex_);
-    // The caller's drain() only returns once every index is claimed; a
-    // worker still executing its last claimed item is counted active, so
-    // activeWorkers_ == 0 means every claimed item has finished.
-    done_.wait(lock, [this] { return activeWorkers_ == 0; });
+    // Wait for every worker to have (a) woken for THIS generation and
+    // (b) finished draining it. Waiting on activeWorkers_ alone is not
+    // enough: a worker that has not yet woken was never counted active,
+    // and resetting job_/jobSize_/nextIndex_ for the next job while it is
+    // still headed into drain() for this one would race. Requiring all
+    // arrivals first means every worker's drain() reads are bracketed by
+    // mutex passages on both sides of this job's state writes.
+    done_.wait(lock, [this] {
+      return arrivedWorkers_ == workers_.size() && activeWorkers_ == 0;
+    });
     job_ = nullptr;
     error = firstError_;
     firstError_ = nullptr;
@@ -59,7 +66,9 @@ void ThreadPool::parallelFor(std::size_t numItems,
 void ThreadPool::drain() {
   // job_/jobSize_ were written under mutex_ before this thread entered
   // drain() (workers pass through workerMain's lock; the caller wrote
-  // them itself), so the plain reads here are synchronized.
+  // them itself), and parallelFor keeps them unchanged until every worker
+  // has arrived for this generation and drained, so the plain reads here
+  // are synchronized.
   const std::function<void(std::size_t)>* job = job_;
   const std::size_t size = jobSize_;
   for (;;) {
@@ -83,6 +92,10 @@ void ThreadPool::workerMain() {
     wake_.wait(lock, [&] { return stopping_ || generation_ != seen; });
     if (stopping_) return;
     seen = generation_;
+    // Arrival is recorded under the mutex: parallelFor will not tear down
+    // or replace the job until all workers have arrived, so the unlocked
+    // reads in drain() below cannot see a later job's state.
+    ++arrivedWorkers_;
     ++activeWorkers_;
     lock.unlock();
     drain();

@@ -63,14 +63,18 @@ class ThreadPool {
   std::uint64_t generation_ = 0;   // bumped per parallelFor; wakes workers
   bool stopping_ = false;
 
-  // Job state, written under mutex_ before workers are woken; workers
-  // synchronize with those writes through the mutex in workerMain, so the
-  // lock-free reads inside drain() are race-free.
+  // Job state, written under mutex_ before workers are woken. parallelFor
+  // does not return until every worker has arrived at the current
+  // generation (arrivedWorkers_ == workers_.size()) and finished draining
+  // (activeWorkers_ == 0), so each worker passes through the mutex between
+  // the job-state writes and its lock-free reads inside drain(), and no
+  // worker can still be headed for a stale generation when the next job
+  // overwrites this state.
   const std::function<void(std::size_t)>* job_ = nullptr;
   std::size_t jobSize_ = 0;
   std::atomic<std::size_t> nextIndex_{0};
-  std::atomic<std::size_t> itemsLeft_{0};
-  int activeWorkers_ = 0;  // workers inside drain(); guarded by mutex_
+  std::size_t arrivedWorkers_ = 0;  // workers that woke for generation_
+  int activeWorkers_ = 0;           // workers inside drain()
   std::exception_ptr firstError_;
 };
 

@@ -86,6 +86,56 @@ TEST(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
   EXPECT_GE(ThreadPool::hardwareThreads(), 1);
 }
 
+// Stress tests targeting the late-worker window: with far more threads
+// than items, the caller routinely claims every index and reaches the
+// completion wait before some workers have even woken for the job, and
+// the very next iteration reposts job state. Run under TSan
+// (tsan_smoke_thread_pool in tests/CMakeLists.txt) this gives a reuse
+// race a realistic chance to be detected.
+TEST(ThreadPoolStressTest, TinyJobsOnManyThreads) {
+  ThreadPool pool(8);
+  std::atomic<long long> total{0};
+  constexpr int kRounds = 2000;
+  for (int round = 0; round < kRounds; ++round) {
+    pool.parallelFor(2, [&](std::size_t i) {
+      total.fetch_add(static_cast<long long>(i) + 1);
+    });
+  }
+  EXPECT_EQ(total.load(), kRounds * 3LL);
+}
+
+TEST(ThreadPoolStressTest, BackToBackJobsOfVaryingSize) {
+  // Alternate sizes so stale-jobSize_ bugs (a late worker using a larger
+  // previous size against a freshly reset nextIndex_) would claim
+  // out-of-range indices and corrupt the slot vector.
+  ThreadPool pool(8);
+  constexpr int kRounds = 500;
+  for (int round = 0; round < kRounds; ++round) {
+    const std::size_t size = (round % 2 == 0) ? 64 : 2;
+    std::vector<int> slots(size, 0);
+    pool.parallelFor(size, [&](std::size_t i) { slots[i] = 1; });
+    for (std::size_t i = 0; i < size; ++i) {
+      ASSERT_EQ(slots[i], 1) << "round " << round << " index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolStressTest, RepostImmediatelyAfterThrow) {
+  // A throwing job abandons its tail; the repost that follows must not
+  // hand stale indices to workers that woke late for the aborted job.
+  ThreadPool pool(8);
+  for (int round = 0; round < 200; ++round) {
+    EXPECT_THROW(pool.parallelFor(2,
+                                  [](std::size_t) {
+                                    throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.parallelFor(3, [&](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 3) << "round " << round;
+  }
+}
+
 TEST(ParallelForHelperTest, RunsAllItemsWithAndWithoutThreads) {
   for (const int threads : {1, 2, 4}) {
     std::vector<int> out(64, 0);

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/thread_pool.hpp"
 #include "contest/benchmark_generator.hpp"
 #include "contest/evaluator.hpp"
 #include "contest/score_table.hpp"
@@ -84,6 +85,21 @@ TEST_F(ParallelDeterminismTest, ContestScoresIdenticalAcrossThreadCounts) {
   EXPECT_EQ(ref.variation, got.variation);
   EXPECT_EQ(ref.line, got.line);
   EXPECT_EQ(ref.outlier, got.outlier);
+}
+
+TEST_F(ParallelDeterminismTest, RepeatedRunsWithManyThreadsStayIdentical) {
+  // Regression stress for the pool-reuse race: with more threads than the
+  // benchmark has layers, the per-layer stages finish before some workers
+  // wake, and FillEngine::run immediately reposts the next stage on the
+  // same pool. Repeat whole runs back-to-back so the TSan smoke
+  // (gtest_filter=ParallelDeterminism*) exercises that repost window many
+  // times; every run must still match the serial result bit-for-bit.
+  const int threads = std::max(8, ThreadPool::hardwareThreads());
+  const layout::Layout serial = runWithThreads(1);
+  for (int round = 0; round < 8; ++round) {
+    const layout::Layout parallel = runWithThreads(threads);
+    expectIdenticalFills(serial, parallel, threads);
+  }
 }
 
 TEST_F(ParallelDeterminismTest, EcoRefillIdenticalAcrossThreadCounts) {
