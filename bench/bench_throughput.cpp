@@ -1,0 +1,152 @@
+// Batch service throughput — replays one workload (16 jobs over 4 distinct
+// layouts, so each unique solution is requested 4 times) through the
+// FillService at several --jobs / cache settings:
+//
+//   * cache off vs on at one worker isolates the result-cache win
+//     (repeated inputs replay captured fills instead of re-running the
+//     engine);
+//   * 1 -> 2 -> 4 workers shows scheduler scaling (bounded by hardware
+//     cores — on a 1-core container the jobs/s stays flat and that is the
+//     expected reading, not a regression);
+//   * a submission-order fill hash is asserted identical across every
+//     configuration: concurrency and caching must never change the bytes.
+//
+// Results go to BENCH_service.json so later PRs can track the batch
+// throughput trajectory machine-readably.
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "service/fill_service.hpp"
+#include "service/manifest.hpp"
+
+using namespace ofl;
+
+namespace {
+
+constexpr int kUniqueLayouts = 4;
+constexpr int kJobs = 16;
+
+// Order-sensitive fingerprint over every job's fills, in submission order.
+std::uint64_t workloadHash(const std::vector<service::JobResult>& results) {
+  Fnv1a64 h;
+  for (const service::JobResult& r : results) {
+    if (r.layout == nullptr) continue;
+    for (int l = 0; l < r.layout->numLayers(); ++l) {
+      for (const geom::Rect& f : r.layout->layer(l).fills) {
+        h.i64(f.xl);
+        h.i64(f.yl);
+        h.i64(f.xh);
+        h.i64(f.yh);
+      }
+    }
+  }
+  return h.digest();
+}
+
+}  // namespace
+
+int main() {
+  setLogLevel(LogLevel::kWarn);
+
+  std::vector<std::shared_ptr<const layout::Layout>> inputs;
+  for (int i = 0; i < kUniqueLayouts; ++i) {
+    contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec("s");
+    spec.seed = 9000 + static_cast<std::uint64_t>(i);
+    inputs.push_back(std::make_shared<layout::Layout>(
+        contest::BenchmarkGenerator::generate(spec)));
+  }
+  const fill::FillEngineOptions engine = service::defaultEngineOptions();
+
+  std::printf("== Batch service throughput (%d jobs, %d unique layouts, "
+              "%d hardware cores) ==\n",
+              kJobs, kUniqueLayouts, ThreadPool::hardwareThreads());
+  std::printf("%6s %8s %9s | %8s %8s %9s | %18s\n", "jobs", "thr/job",
+              "cache", "wall[s]", "jobs/s", "hit-rate", "hash");
+
+  struct Config {
+    int jobs;
+    int threadsPerJob;
+    std::size_t cacheMb;
+  };
+  const std::vector<Config> configs = {
+      {1, 1, 0}, {1, 1, 64}, {2, 1, 64}, {4, 1, 64}, {2, 2, 64}};
+
+  struct Row {
+    Config config;
+    service::ServiceStats stats;
+    std::uint64_t hash;
+  };
+  std::vector<Row> rows;
+  for (const Config& config : configs) {
+    service::ServiceOptions so;
+    so.maxConcurrentJobs = config.jobs;
+    so.threadsPerJob = config.threadsPerJob;
+    so.cacheBytes = config.cacheMb << 20;
+    service::FillService svc(so);
+    for (int i = 0; i < kJobs; ++i) {
+      service::JobSpec spec;
+      spec.layout = inputs[static_cast<std::size_t>(i % kUniqueLayouts)];
+      spec.engine = engine;
+      spec.keepLayout = true;
+      svc.submit(spec);
+    }
+    const std::vector<service::JobResult> results = svc.waitAll();
+    bool allOk = results.size() == kJobs;
+    for (const service::JobResult& r : results) {
+      allOk = allOk && r.status == service::JobStatus::kSucceeded;
+    }
+    if (!allOk) {
+      std::fprintf(stderr, "FAILED: not every job succeeded\n");
+      return 1;
+    }
+    rows.push_back({config, svc.stats(), workloadHash(results)});
+    const Row& r = rows.back();
+    std::printf("%6d %8d %8zuM | %8.2f %8.2f %8.0f%% | %18llx\n", config.jobs,
+                svc.threadsPerJob(), config.cacheMb, r.stats.wallSeconds,
+                r.stats.jobsPerSecond, r.stats.cacheHitRate * 100.0,
+                static_cast<unsigned long long>(r.hash));
+  }
+
+  bool identical = true;
+  for (const Row& r : rows) identical = identical && r.hash == rows.front().hash;
+  const Row* cold = &rows[0];   // one worker, cache off
+  const Row* warm = &rows[1];   // one worker, cache on
+  std::printf("\nCache win at one worker: %.2fx; output %s across every "
+              "jobs/threads/cache configuration.\n",
+              cold->stats.wallSeconds /
+                  std::max(warm->stats.wallSeconds, 1e-9),
+              identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
+
+  std::FILE* json = std::fopen("BENCH_service.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"batch_fill_service\",\n"
+                 "  \"jobs_submitted\": %d,\n  \"unique_layouts\": %d,\n"
+                 "  \"hardware_threads\": %d,\n  \"deterministic\": %s,\n"
+                 "  \"runs\": [\n",
+                 kJobs, kUniqueLayouts, ThreadPool::hardwareThreads(),
+                 identical ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(json,
+                   "    {\"jobs\": %d, \"threads_per_job\": %d, "
+                   "\"cache_mb\": %zu, \"fill_hash\": \"%llx\",\n"
+                   "     \"stats\": %s}%s\n",
+                   r.config.jobs, r.config.threadsPerJob, r.config.cacheMb,
+                   static_cast<unsigned long long>(r.hash),
+                   service::toJson(r.stats).c_str(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_service.json\n");
+  }
+  return identical ? 0 : 1;
+}

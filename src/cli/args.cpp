@@ -78,6 +78,40 @@ double Args::getDoubleOr(const std::string& key, double fallback) const {
   return getDouble(key).value_or(fallback);
 }
 
+long long Args::getIntChecked(const std::string& key,
+                              long long fallback) const {
+  const auto v = get(key);
+  if (!v.has_value()) return fallback;
+  const auto parsed = getInt(key);
+  if (!parsed.has_value()) {
+    throw ArgError(v->empty()
+                       ? "--" + key + " expects an integer value"
+                       : "--" + key + " expects an integer, got \"" + *v +
+                             "\"");
+  }
+  return *parsed;
+}
+
+double Args::getDoubleChecked(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v.has_value()) return fallback;
+  const auto parsed = getDouble(key);
+  if (!parsed.has_value()) {
+    throw ArgError(v->empty()
+                       ? "--" + key + " expects a numeric value"
+                       : "--" + key + " expects a number, got \"" + *v + "\"");
+  }
+  return *parsed;
+}
+
+std::string Args::getChecked(const std::string& key,
+                             const std::string& fallback) const {
+  const auto v = get(key);
+  if (!v.has_value()) return fallback;
+  if (v->empty()) throw ArgError("--" + key + " expects a value");
+  return *v;
+}
+
 std::vector<std::string> Args::unknownKeys(
     const std::vector<std::string>& known) const {
   std::vector<std::string> unknown;

@@ -7,10 +7,17 @@
 
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace ofl::cli {
+
+/// Thrown by the *Checked getters on malformed option values; the command
+/// dispatcher catches it, prints the message and exits with status 2.
+struct ArgError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 class Args {
  public:
@@ -26,6 +33,15 @@ class Args {
   long long getIntOr(const std::string& key, long long fallback) const;
   std::optional<double> getDouble(const std::string& key) const;
   double getDoubleOr(const std::string& key, double fallback) const;
+
+  /// Like getIntOr/getDoubleOr, but a PRESENT-yet-malformed value throws
+  /// ArgError naming the option instead of silently using the fallback
+  /// ("--window 2k" must be an error, not windowSize=2000... or 2).
+  long long getIntChecked(const std::string& key, long long fallback) const;
+  double getDoubleChecked(const std::string& key, double fallback) const;
+  /// Present-with-a-value or fallback; a bare "--key" (no value) throws.
+  std::string getChecked(const std::string& key,
+                         const std::string& fallback) const;
 
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -1,6 +1,9 @@
 #include "cli/commands.hpp"
 
+#include <algorithm>
 #include <cstdio>
+#include <filesystem>
+#include <system_error>
 
 #include "common/memory_usage.hpp"
 #include "common/timer.hpp"
@@ -14,21 +17,39 @@
 #include "density/heatmap.hpp"
 #include "density/metrics.hpp"
 #include "fill/fill_engine.hpp"
-#include "gds/gds_reader.hpp"
 #include "gds/gds_writer.hpp"
 #include "gds/oasis.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/gds_compact.hpp"
+#include "service/fill_service.hpp"
+#include "service/layout_io.hpp"
+#include "service/manifest.hpp"
 
 namespace ofl::cli {
 namespace {
 
+// Every command body runs under this guard: a malformed option value
+// (Args::getIntChecked and friends) surfaces as a one-line error naming
+// the option and exit status 2, instead of silently running with a
+// half-parsed number.
+template <typename Fn>
+int guarded(const char* command, Fn&& body) {
+  try {
+    return body();
+  } catch (const ArgError& e) {
+    std::fprintf(stderr, "%s: %s\n", command, e.what());
+    return 2;
+  }
+}
+
 layout::DesignRules rulesFrom(const Args& args) {
-  layout::DesignRules rules;
-  rules.minWidth = args.getIntOr("min-width", 10);
-  rules.minSpacing = args.getIntOr("min-spacing", 10);
-  rules.minArea = args.getIntOr("min-area", 200);
-  rules.maxFillSize = args.getIntOr("max-fill", 300);
+  // Fallbacks shared with the batch manifest parser, so `openfill fill`
+  // and a manifest line agree byte for byte.
+  layout::DesignRules rules = service::defaultEngineOptions().rules;
+  rules.minWidth = args.getIntChecked("min-width", rules.minWidth);
+  rules.minSpacing = args.getIntChecked("min-spacing", rules.minSpacing);
+  rules.minArea = args.getIntChecked("min-area", rules.minArea);
+  rules.maxFillSize = args.getIntChecked("max-fill", rules.maxFillSize);
   return rules;
 }
 
@@ -40,21 +61,7 @@ bool loadLayout(const Args& args, layout::Layout& out, std::string* error) {
     *error = "missing --in <file.gds>";
     return false;
   }
-  auto lib = gds::Reader::readFile(*path);
-  if (!lib.has_value()) lib = gds::OasisReader::readFile(*path);
-  if (!lib.has_value()) {
-    *error = "cannot read layout file: " + *path;
-    return false;
-  }
-  int maxLayer = 0;
-  geom::Rect bbox;
-  for (const auto& cell : lib->cells) {
-    for (const auto& b : cell.boundaries) {
-      maxLayer = std::max<int>(maxLayer, b.layer);
-      bbox = bbox.bboxUnion(geom::Polygon(b.vertices).bbox());
-    }
-  }
-  geom::Rect die = bbox;
+  std::optional<geom::Rect> die;
   if (const auto dieSpec = args.get("die"); dieSpec.has_value()) {
     long long xl, yl, xh, yh;
     if (std::sscanf(dieSpec->c_str(), "%lld,%lld,%lld,%lld", &xl, &yl, &xh,
@@ -62,66 +69,12 @@ bool loadLayout(const Args& args, layout::Layout& out, std::string* error) {
       *error = "--die expects xl,yl,xh,yh";
       return false;
     }
-    die = {xl, yl, xh, yh};
+    die = geom::Rect{xl, yl, xh, yh};
   }
-  if (die.empty()) {
-    *error = "layout is empty and no --die given";
-    return false;
-  }
-  out = layout::Layout::fromGds(*lib, die, std::max(maxLayer, 1));
-  return true;
+  return service::loadFlatLayout(*path, die, &out, error);
 }
 
-}  // namespace
-
-std::string usage() {
-  return
-      "openfill <command> [options]\n"
-      "\n"
-      "commands:\n"
-      "  generate --suite s|b|m|tiny --out FILE.gds\n"
-      "      Generate a synthetic benchmark suite (wires only).\n"
-      "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
-      "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
-      "       [--threads N]\n"
-      "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
-      "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
-      "      --threads 0 (default) uses every hardware core, results are\n"
-      "      identical for any thread count.\n"
-      "  evaluate --in FILE.gds --suite s|b|m [--window N] [--runtime S]\n"
-      "       [--memory MiB]\n"
-      "      Score a filled layout with the contest metric.\n"
-      "  drc --in FILE.gds [rule options]\n"
-      "      Check fills against the design rules.\n"
-      "  stats --in FILE.gds\n"
-      "      Print shape counts and file statistics.\n"
-      "  heatmap --in FILE.gds [--window N] [--layer N] [--csv FILE]\n"
-      "      Render a window-density heatmap (ASCII to stdout, or CSV).\n"
-      "  compare --in FILE.gds --suite s|b|m [--window N] [--threads N]\n"
-      "       [--json FILE]\n"
-      "      Run all fillers (3 baselines + engine) and print the score "
-      "grid.\n";
-}
-
-int run(const Args& args) {
-  if (args.positional().empty()) {
-    std::fputs(usage().c_str(), stderr);
-    return 2;
-  }
-  const std::string& command = args.positional().front();
-  if (command == "generate") return runGenerate(args);
-  if (command == "fill") return runFill(args);
-  if (command == "evaluate") return runEvaluate(args);
-  if (command == "drc") return runDrc(args);
-  if (command == "stats") return runStats(args);
-  if (command == "heatmap") return runHeatmap(args);
-  if (command == "compare") return runCompare(args);
-  std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
-               usage().c_str());
-  return 2;
-}
-
-int runGenerate(const Args& args) {
+int generateImpl(const Args& args) {
   const std::string suite = args.getOr("suite", "s");
   const std::string out = args.getOr("out", "");
   if (out.empty()) {
@@ -142,7 +95,7 @@ int runGenerate(const Args& args) {
   return 0;
 }
 
-int runFill(const Args& args) {
+int fillImpl(const Args& args) {
   layout::Layout chip({}, 0);
   std::string error;
   if (!loadLayout(args, chip, &error)) {
@@ -155,16 +108,18 @@ int runFill(const Args& args) {
     return 2;
   }
 
-  fill::FillEngineOptions options;
+  fill::FillEngineOptions options = service::defaultEngineOptions();
   options.rules = rulesFrom(args);
-  options.windowSize = args.getIntOr("window", 1200);
-  options.candidate.lambda = args.getDoubleOr("lambda", options.candidate.lambda);
-  options.candidate.gamma = args.getDoubleOr("gamma", options.candidate.gamma);
-  options.sizer.eta = args.getDoubleOr("eta", options.sizer.eta);
-  options.sizer.iterations =
-      static_cast<int>(args.getIntOr("iterations", options.sizer.iterations));
+  options.windowSize = args.getIntChecked("window", options.windowSize);
+  options.candidate.lambda =
+      args.getDoubleChecked("lambda", options.candidate.lambda);
+  options.candidate.gamma =
+      args.getDoubleChecked("gamma", options.candidate.gamma);
+  options.sizer.eta = args.getDoubleChecked("eta", options.sizer.eta);
+  options.sizer.iterations = static_cast<int>(
+      args.getIntChecked("iterations", options.sizer.iterations));
   options.numThreads =
-      static_cast<int>(args.getIntOr("threads", options.numThreads));
+      static_cast<int>(args.getIntChecked("threads", options.numThreads));
   const std::string backend = args.getOr("backend", "ns");
   if (backend == "ssp") {
     options.sizer.backend = mcf::McfBackend::kSuccessiveShortestPath;
@@ -203,7 +158,7 @@ int runFill(const Args& args) {
   return 0;
 }
 
-int runEvaluate(const Args& args) {
+int evaluateImpl(const Args& args) {
   layout::Layout chip({}, 0);
   std::string error;
   if (!loadLayout(args, chip, &error)) {
@@ -211,12 +166,12 @@ int runEvaluate(const Args& args) {
     return 2;
   }
   const std::string suite = args.getOr("suite", "s");
-  const geom::Coord window = args.getIntOr("window", 1200);
+  const geom::Coord window = args.getIntChecked("window", 1200);
   const contest::Evaluator evaluator(window, contest::scoreTableFor(suite),
                                      rulesFrom(args));
   const contest::RawMetrics raw = evaluator.measure(chip);
-  const double runtime = args.getDoubleOr("runtime", 0.0);
-  const double memory = args.getDoubleOr("memory", peakMemoryMiB());
+  const double runtime = args.getDoubleChecked("runtime", 0.0);
+  const double memory = args.getDoubleChecked("memory", peakMemoryMiB());
   const contest::ScoreBreakdown s = evaluator.score(raw, runtime, memory);
 
   std::printf("raw: overlay=%.0f variation=%.6f line=%.4f outlier=%.6f "
@@ -231,7 +186,7 @@ int runEvaluate(const Args& args) {
   return 0;
 }
 
-int runDrc(const Args& args) {
+int drcImpl(const Args& args) {
   layout::Layout chip({}, 0);
   std::string error;
   if (!loadLayout(args, chip, &error)) {
@@ -239,7 +194,7 @@ int runDrc(const Args& args) {
     return 2;
   }
   const auto limit =
-      static_cast<std::size_t>(args.getIntOr("max-violations", 100));
+      static_cast<std::size_t>(args.getIntChecked("max-violations", 100));
   const auto violations =
       layout::DrcChecker(rulesFrom(args)).check(chip, limit);
   for (const auto& v : violations) {
@@ -250,7 +205,7 @@ int runDrc(const Args& args) {
   return violations.empty() ? 0 : 1;
 }
 
-int runStats(const Args& args) {
+int statsImpl(const Args& args) {
   layout::Layout chip({}, 0);
   std::string error;
   if (!loadLayout(args, chip, &error)) {
@@ -278,15 +233,15 @@ int runStats(const Args& args) {
   return 0;
 }
 
-int runHeatmap(const Args& args) {
+int heatmapImpl(const Args& args) {
   layout::Layout chip({}, 0);
   std::string error;
   if (!loadLayout(args, chip, &error)) {
     std::fprintf(stderr, "heatmap: %s\n", error.c_str());
     return 2;
   }
-  const geom::Coord window = args.getIntOr("window", 1200);
-  const auto layer = static_cast<int>(args.getIntOr("layer", 1)) - 1;
+  const geom::Coord window = args.getIntChecked("window", 1200);
+  const auto layer = static_cast<int>(args.getIntChecked("layer", 1)) - 1;
   if (layer < 0 || layer >= chip.numLayers()) {
     std::fprintf(stderr, "heatmap: layer out of range (1..%d)\n",
                  chip.numLayers());
@@ -312,7 +267,7 @@ int runHeatmap(const Args& args) {
   return 0;
 }
 
-int runCompare(const Args& args) {
+int compareImpl(const Args& args) {
   layout::Layout original({}, 0);
   std::string error;
   if (!loadLayout(args, original, &error)) {
@@ -321,7 +276,7 @@ int runCompare(const Args& args) {
   }
   original.clearFills();
   const std::string suite = args.getOr("suite", "s");
-  const geom::Coord window = args.getIntOr("window", 1200);
+  const geom::Coord window = args.getIntChecked("window", 1200);
   const layout::DesignRules rules = rulesFrom(args);
   const contest::Evaluator evaluator(window, contest::scoreTableFor(suite),
                                      rules);
@@ -363,7 +318,7 @@ int runCompare(const Args& args) {
     fill::FillEngineOptions o;
     o.windowSize = window;
     o.rules = rules;
-    o.numThreads = static_cast<int>(args.getIntOr("threads", o.numThreads));
+    o.numThreads = static_cast<int>(args.getIntChecked("threads", o.numThreads));
     fill::FillEngine(o).run(chip);
   });
 
@@ -375,6 +330,181 @@ int runCompare(const Args& args) {
     }
   }
   return 0;
+}
+
+int batchImpl(const Args& args) {
+  const std::string manifestPath = args.getOr("manifest", "");
+  if (manifestPath.empty()) {
+    std::fprintf(stderr, "batch: missing --manifest <file>\n");
+    return 2;
+  }
+  const std::string outDir = args.getOr("out-dir", "");
+  if (outDir.empty()) {
+    std::fprintf(stderr, "batch: missing --out-dir <dir>\n");
+    return 2;
+  }
+
+  service::ManifestParse manifest;
+  std::string ioError;
+  if (!service::parseManifestFile(manifestPath, &manifest, &ioError)) {
+    std::fprintf(stderr, "batch: %s\n", ioError.c_str());
+    return 2;
+  }
+  if (!manifest.ok()) {
+    for (const auto& e : manifest.errors) {
+      std::fprintf(stderr, "batch: %s:%d: %s\n", manifestPath.c_str(), e.line,
+                   e.message.c_str());
+    }
+    return 2;
+  }
+  if (manifest.jobs.empty()) {
+    std::fprintf(stderr, "batch: manifest %s lists no jobs\n",
+                 manifestPath.c_str());
+    return 2;
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(outDir, ec);
+  if (ec) {
+    std::fprintf(stderr, "batch: cannot create --out-dir %s: %s\n",
+                 outDir.c_str(), ec.message().c_str());
+    return 2;
+  }
+
+  service::ServiceOptions so;
+  so.maxConcurrentJobs =
+      static_cast<int>(args.getIntChecked("jobs", so.maxConcurrentJobs));
+  so.threadsPerJob =
+      static_cast<int>(args.getIntChecked("threads-per-job", so.threadsPerJob));
+  so.cacheBytes = static_cast<std::size_t>(
+                      std::max(0ll, args.getIntChecked("cache-mb", 64)))
+                  << 20;
+  so.defaultTimeoutSeconds = args.getDoubleChecked("timeout-s", 0.0);
+
+  // Resolve output paths: manifest --out names are relative to --out-dir,
+  // unnamed jobs get a deterministic "job<i>_<stem>" name so repeated
+  // inputs in one manifest never collide.
+  for (std::size_t i = 0; i < manifest.jobs.size(); ++i) {
+    service::JobSpec& job = manifest.jobs[i];
+    std::string name = job.outputPath;
+    if (name.empty()) {
+      const std::string stem =
+          std::filesystem::path(job.inputPath).stem().string();
+      name = "job" + std::to_string(i) + "_" + stem +
+             (job.format == service::OutputFormat::kOasis ? ".oas" : ".gds");
+    }
+    job.outputPath = (std::filesystem::path(outDir) / name).string();
+  }
+
+  service::FillService svc(so);
+  for (service::JobSpec& job : manifest.jobs) svc.submit(std::move(job));
+  const std::vector<service::JobResult> results = svc.waitAll();
+
+  bool allOk = true;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const service::JobResult& r = results[i];
+    if (r.status == service::JobStatus::kSucceeded) {
+      std::printf("job %zu: ok  %zu fills%s  %.2fs  %lld bytes\n", i,
+                  r.fillCount, r.cacheHit ? "  (cache hit)" : "",
+                  r.runSeconds, r.outputBytes);
+    } else {
+      allOk = false;
+      std::printf("job %zu: %s  %s\n", i, service::toString(r.status),
+                  r.error.c_str());
+    }
+  }
+  const service::ServiceStats stats = svc.stats();
+  std::printf("batch: %llu/%llu jobs ok in %.2fs (%.2f jobs/s, %d workers x "
+              "%d threads, cache hit rate %.0f%%)\n",
+              static_cast<unsigned long long>(stats.succeeded),
+              static_cast<unsigned long long>(stats.submitted),
+              stats.wallSeconds, stats.jobsPerSecond, so.maxConcurrentJobs,
+              svc.threadsPerJob(), 100.0 * stats.cacheHitRate);
+  if (args.hasFlag("json")) {
+    std::printf("%s\n", service::toJson(stats).c_str());
+  }
+  return allOk ? 0 : 1;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "openfill <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  generate --suite s|b|m|tiny --out FILE.gds\n"
+      "      Generate a synthetic benchmark suite (wires only).\n"
+      "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
+      "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
+      "       [--threads N]\n"
+      "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
+      "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
+      "      --threads 0 (default) uses every hardware core, results are\n"
+      "      identical for any thread count.\n"
+      "  evaluate --in FILE.gds --suite s|b|m [--window N] [--runtime S]\n"
+      "       [--memory MiB]\n"
+      "      Score a filled layout with the contest metric.\n"
+      "  drc --in FILE.gds [rule options]\n"
+      "      Check fills against the design rules.\n"
+      "  stats --in FILE.gds\n"
+      "      Print shape counts and file statistics.\n"
+      "  heatmap --in FILE.gds [--window N] [--layer N] [--csv FILE]\n"
+      "      Render a window-density heatmap (ASCII to stdout, or CSV).\n"
+      "  compare --in FILE.gds --suite s|b|m [--window N] [--threads N]\n"
+      "       [--json FILE]\n"
+      "      Run all fillers (3 baselines + engine) and print the score "
+      "grid.\n"
+      "  batch --manifest FILE --out-dir DIR [--jobs N] [--threads-per-job M]\n"
+      "       [--cache-mb K] [--timeout-s S] [--json]\n"
+      "      Run a manifest of fill jobs (one per line: input path + fill\n"
+      "      options) with N concurrent jobs over a shared result cache;\n"
+      "      outputs are byte-identical to sequential `openfill fill` runs\n"
+      "      for any --jobs/--threads-per-job setting.\n";
+}
+
+int run(const Args& args) {
+  if (args.positional().empty()) {
+    std::fputs(usage().c_str(), stderr);
+    return 2;
+  }
+  const std::string& command = args.positional().front();
+  if (command == "generate") return runGenerate(args);
+  if (command == "fill") return runFill(args);
+  if (command == "evaluate") return runEvaluate(args);
+  if (command == "drc") return runDrc(args);
+  if (command == "stats") return runStats(args);
+  if (command == "heatmap") return runHeatmap(args);
+  if (command == "compare") return runCompare(args);
+  if (command == "batch") return runBatch(args);
+  std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
+               usage().c_str());
+  return 2;
+}
+
+int runGenerate(const Args& args) {
+  return guarded("generate", [&] { return generateImpl(args); });
+}
+int runFill(const Args& args) {
+  return guarded("fill", [&] { return fillImpl(args); });
+}
+int runEvaluate(const Args& args) {
+  return guarded("evaluate", [&] { return evaluateImpl(args); });
+}
+int runDrc(const Args& args) {
+  return guarded("drc", [&] { return drcImpl(args); });
+}
+int runStats(const Args& args) {
+  return guarded("stats", [&] { return statsImpl(args); });
+}
+int runHeatmap(const Args& args) {
+  return guarded("heatmap", [&] { return heatmapImpl(args); });
+}
+int runCompare(const Args& args) {
+  return guarded("compare", [&] { return compareImpl(args); });
+}
+int runBatch(const Args& args) {
+  return guarded("batch", [&] { return batchImpl(args); });
 }
 
 }  // namespace ofl::cli

@@ -6,6 +6,12 @@
 //   openfill evaluate --in filled.gds --suite s [--runtime S] [--json]
 //   openfill drc      --in filled.gds [rule options]
 //   openfill stats    --in layout.gds
+//   openfill heatmap  --in layout.gds [--layer N] [--csv FILE]
+//   openfill compare  --in wires.gds --suite s [--json FILE]
+//   openfill batch    --manifest jobs.txt --out-dir DIR [--jobs N]
+//
+// Malformed numeric option values are hard errors: the command prints a
+// message naming the option and exits with status 2 (Args::getIntChecked).
 #pragma once
 
 #include <string>
@@ -25,6 +31,7 @@ int runDrc(const Args& args);
 int runStats(const Args& args);
 int runHeatmap(const Args& args);
 int runCompare(const Args& args);
+int runBatch(const Args& args);
 
 /// Usage text.
 std::string usage();

@@ -1,0 +1,51 @@
+#include "common/hash.hpp"
+
+#include <cstring>
+
+namespace ofl {
+namespace {
+constexpr std::uint64_t kPrime = 1099511628211ull;
+}
+
+void Fnv1a64::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h_ ^= p[i];
+    h_ *= kPrime;
+  }
+}
+
+void Fnv1a64::u64(std::uint64_t v) {
+  // Byte-order-independent: feed the value little-endian byte by byte.
+  for (int i = 0; i < 8; ++i) {
+    h_ ^= (v >> (8 * i)) & 0xffu;
+    h_ *= kPrime;
+  }
+}
+
+void Fnv1a64::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void Fnv1a64::str(const std::string& s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t n) {
+  Fnv1a64 h;
+  h.bytes(data, n);
+  return h.digest();
+}
+
+std::uint64_t hashCombine(std::uint64_t a, std::uint64_t b) {
+  Fnv1a64 h;
+  h.u64(a);
+  h.u64(b);
+  return h.digest();
+}
+
+}  // namespace ofl

@@ -8,6 +8,12 @@ int ThreadPool::hardwareThreads() {
   return std::max(1u, std::thread::hardware_concurrency());
 }
 
+int ThreadPool::cappedThreads(int requested, int cap) {
+  int n = requested <= 0 ? hardwareThreads() : requested;
+  if (cap > 0) n = std::min(n, cap);
+  return std::max(1, n);
+}
+
 ThreadPool::ThreadPool(int numThreads) {
   const int resolved = numThreads <= 0 ? hardwareThreads() : numThreads;
   workers_.reserve(static_cast<std::size_t>(resolved - 1));

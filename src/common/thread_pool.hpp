@@ -51,6 +51,13 @@ class ThreadPool {
   /// allows it to report 0 on exotic platforms).
   static int hardwareThreads();
 
+  /// Resolves a requested thread count (<= 0 = one per hardware core) and
+  /// clamps it to `cap` when cap > 0, with a floor of 1. The batch service
+  /// uses this to split the machine between concurrent jobs: each job's
+  /// engine pool is sized cappedThreads(0, hardware / jobs) so N jobs
+  /// running at once do not oversubscribe the cores.
+  static int cappedThreads(int requested, int cap);
+
  private:
   void workerMain();
   void drain();

@@ -10,6 +10,18 @@
 
 namespace ofl::fill {
 
+namespace {
+
+// Cancellation checkpoint: no-op without a token. Called at stage
+// boundaries and at the top of each per-window work item; a worker that
+// throws CancelledError aborts the parallelFor (remaining indices are
+// abandoned) and the pool rethrows it on the caller.
+inline void checkCancel(const CancelToken* token) {
+  if (token != nullptr) token->throwIfExpired();
+}
+
+}  // namespace
+
 // Parallelization contract (docs/architecture.md, "Parallel execution"):
 // every parallelFor below iterates an index space whose items are
 // independent — layers in the region/density/bounds stages, windows in
@@ -21,6 +33,7 @@ namespace ofl::fill {
 FillReport FillEngine::run(layout::Layout& layout) const {
   FillReport report;
   Timer total;
+  checkCancel(options_.cancel);
   layout.clearFills();
 
   const int numLayers = layout.numLayers();
@@ -62,6 +75,7 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   std::vector<WindowProblem> problems(numWindows);
   const CandidateGenerator generator(options_.rules, options_.candidate);
   pool.parallelFor(numWindows, [&](std::size_t w) {
+    checkCancel(options_.cancel);
     const int i = static_cast<int>(w) % grid.cols();
     const int j = static_cast<int>(w) / grid.cols();
     WindowProblem& p = problems[w];
@@ -83,6 +97,8 @@ FillReport FillEngine::run(layout::Layout& layout) const {
     }
   }
   report.candidateSeconds += stage.elapsedSeconds();
+
+  checkCancel(options_.cancel);
 
   // --- Stage 3: second density planning (Fig. 3) ---
   // Candidates cap what each window can actually reach; tighten the upper
@@ -122,6 +138,7 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   const FillSizer sizer(options_.rules, options_.sizer);
   std::vector<FillSizer::Stats> windowStats(numWindows);
   pool.parallelFor(numWindows, [&](std::size_t w) {
+    checkCancel(options_.cancel);
     sizer.size(problems[w], &windowStats[w]);
   });
   for (const FillSizer::Stats& s : windowStats) report.sizerStats.add(s);
@@ -149,6 +166,7 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
                                       const geom::Rect& changed) const {
   FillReport report;
   Timer total;
+  checkCancel(options_.cancel);
   const int numLayers = layout.numLayers();
   const layout::WindowGrid grid(layout.die(), options_.windowSize);
   const auto numWindows = static_cast<std::size_t>(grid.windowCount());
@@ -241,6 +259,7 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   std::vector<WindowProblem> problems(affectedIndices.size());
   std::vector<FillSizer::Stats> windowStats(affectedIndices.size());
   pool.parallelFor(affectedIndices.size(), [&](std::size_t a) {
+    checkCancel(options_.cancel);
     const std::size_t w = affectedIndices[a];
     const int i = static_cast<int>(w) % grid.cols();
     const int j = static_cast<int>(w) / grid.cols();

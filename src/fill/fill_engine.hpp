@@ -8,6 +8,7 @@
 // CandidateGenerator and FillSizer.
 #pragma once
 
+#include "common/cancel.hpp"
 #include "fill/candidate_generator.hpp"
 #include "fill/fill_sizer.hpp"
 #include "fill/target_planner.hpp"
@@ -27,6 +28,12 @@ struct FillEngineOptions {
   /// workers fill pre-sized per-window slots and the engine merges them
   /// in window order (see docs/architecture.md, "Parallel execution").
   int numThreads = 0;
+  /// Optional cooperative cancellation (batch-service timeouts). The
+  /// engine polls at stage boundaries and once per window, and unwinds by
+  /// throwing CancelledError, leaving `layout` in an unspecified
+  /// partially-filled state. Never read unless set; a run that is not
+  /// cancelled is byte-identical to one without a token.
+  const CancelToken* cancel = nullptr;
 };
 
 struct FillReport {

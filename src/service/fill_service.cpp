@@ -1,0 +1,262 @@
+#include "service/fill_service.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "gds/gds_writer.hpp"
+#include "gds/oasis.hpp"
+#include "layout/gds_compact.hpp"
+#include "service/fingerprint.hpp"
+#include "service/layout_io.hpp"
+
+namespace ofl::service {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double secondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+}  // namespace
+
+FillService::FillService(ServiceOptions options)
+    : options_(options), cache_(options.cacheBytes) {
+  const int jobs = std::max(1, options_.maxConcurrentJobs);
+  threadsPerJob_ =
+      options_.threadsPerJob > 0
+          ? ThreadPool::cappedThreads(options_.threadsPerJob, 0)
+          : ThreadPool::cappedThreads(
+                0, std::max(1, ThreadPool::hardwareThreads() / jobs));
+  scheduler_ = std::make_unique<Scheduler>(jobs, options_.queueCapacity);
+}
+
+FillService::~FillService() {
+  // Members are destroyed in reverse declaration order: the scheduler goes
+  // first and drains every admitted job while jobs_ and cache_ are alive.
+}
+
+std::uint64_t FillService::submit(JobSpec spec) {
+  auto job = std::make_unique<Job>();
+  job->spec = std::move(spec);
+  if (job->spec.name.empty()) job->spec.name = job->spec.inputPath;
+  const double timeout = job->spec.timeoutSeconds > 0
+                             ? job->spec.timeoutSeconds
+                             : options_.defaultTimeoutSeconds;
+  job->submitTime = Clock::now();
+  job->token.armDeadline(timeout);
+
+  Job* raw = nullptr;
+  std::uint64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!anySubmitted_) {
+      anySubmitted_ = true;
+      firstSubmit_ = job->submitTime;
+    }
+    id = jobs_.size();
+    jobs_.push_back(std::move(job));
+    raw = jobs_.back().get();
+  }
+  // May block on admission; outside the service mutex so running jobs can
+  // publish results meanwhile.
+  scheduler_->submit([this, raw] { execute(*raw); });
+  return id;
+}
+
+JobResult FillService::wait(std::uint64_t id) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [&] { return id < jobs_.size() && jobs_[id]->done; });
+  return jobs_[id]->result;
+}
+
+bool FillService::cancel(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= jobs_.size() || jobs_[id]->done) return false;
+  jobs_[id]->token.cancel();
+  return true;
+}
+
+std::vector<JobResult> FillService::waitAll() {
+  std::size_t count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    count = jobs_.size();
+  }
+  std::vector<JobResult> results;
+  results.reserve(count);
+  for (std::size_t id = 0; id < count; ++id) {
+    results.push_back(wait(id));
+  }
+  return results;
+}
+
+void FillService::execute(Job& job) {
+  const Clock::time_point picked = Clock::now();
+  Timer runTimer;
+  JobResult r;
+  try {
+    job.token.throwIfExpired();  // queued past the deadline / pre-cancelled
+    r = runJob(job);
+  } catch (const CancelledError&) {
+    r = JobResult{};
+    if (job.token.cancelled.load(std::memory_order_relaxed)) {
+      r.status = JobStatus::kCancelled;
+      r.error = "cancelled";
+    } else {
+      r.status = JobStatus::kTimedOut;
+      r.error = "deadline exceeded";
+    }
+  } catch (const std::exception& e) {
+    r = JobResult{};
+    r.status = JobStatus::kFailed;
+    r.error = e.what();
+  }
+  r.queueSeconds = secondsBetween(job.submitTime, picked);
+  r.runSeconds = runTimer.elapsedSeconds();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job.result = std::move(r);
+    job.done = true;
+    lastFinish_ = Clock::now();
+  }
+  done_.notify_all();
+}
+
+JobResult FillService::runJob(Job& job) const {
+  const JobSpec& spec = job.spec;
+  JobResult r;
+
+  layout::Layout chip({}, 0);
+  if (spec.layout != nullptr) {
+    chip = *spec.layout;
+  } else {
+    std::string error;
+    if (!loadFlatLayout(spec.inputPath, spec.die, &chip, &error)) {
+      r.status = JobStatus::kFailed;
+      r.error = error;
+      return r;
+    }
+  }
+
+  fill::FillEngineOptions engine = spec.engine;
+  engine.numThreads = threadsPerJob_;
+  engine.cancel = &job.token;
+  r.cacheKey = cacheKey(chip, engine);  // key ignores numThreads/cancel
+  job.token.throwIfExpired();
+
+  const auto entry = cache_.find(r.cacheKey);
+  if (entry != nullptr && entry->fillsPerLayer.size() ==
+                              static_cast<std::size_t>(chip.numLayers())) {
+    entry->applyTo(chip);
+    r.report = entry->report;
+    r.cacheHit = true;
+  } else {
+    r.report = fill::FillEngine(engine).run(chip);  // may throw CancelledError
+    cache_.insert(r.cacheKey, CachedFill::capture(chip, r.report));
+  }
+  r.fillCount = chip.fillCount();
+
+  if (!spec.outputPath.empty()) {
+    const gds::Library lib =
+        spec.compact ? layout::toCompactGds(chip) : chip.toGds();
+    r.outputBytes = spec.format == OutputFormat::kOasis
+                        ? gds::OasisWriter::writeFile(lib, spec.outputPath)
+                        : gds::Writer::writeFile(lib, spec.outputPath);
+    if (r.outputBytes < 0) {
+      r.status = JobStatus::kFailed;
+      r.error = "cannot write " + spec.outputPath;
+      return r;
+    }
+  }
+  if (spec.keepLayout) {
+    r.layout = std::make_shared<layout::Layout>(std::move(chip));
+  }
+  r.status = JobStatus::kSucceeded;
+  return r;
+}
+
+ServiceStats FillService::stats() const {
+  ServiceStats s;
+  s.cache = cache_.counters();
+  const std::uint64_t probes = s.cache.hits + s.cache.misses;
+  s.cacheHitRate =
+      probes > 0 ? static_cast<double>(s.cache.hits) / static_cast<double>(probes)
+                 : 0.0;
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.submitted = jobs_.size();
+  for (const auto& job : jobs_) {
+    if (!job->done) continue;
+    const JobResult& r = job->result;
+    ++s.completed;
+    switch (r.status) {
+      case JobStatus::kSucceeded: ++s.succeeded; break;
+      case JobStatus::kFailed: ++s.failed; break;
+      case JobStatus::kTimedOut: ++s.timedOut; break;
+      case JobStatus::kCancelled: ++s.cancelled; break;
+    }
+    s.queueSecondsTotal += r.queueSeconds;
+    s.queueSecondsMax = std::max(s.queueSecondsMax, r.queueSeconds);
+    if (r.status == JobStatus::kSucceeded) {
+      if (r.cacheHit) {
+        ++s.jobCacheHits;
+      } else {
+        s.planningSeconds += r.report.planningSeconds;
+        s.candidateSeconds += r.report.candidateSeconds;
+        s.sizingSeconds += r.report.sizingSeconds;
+        s.engineSeconds += r.report.totalSeconds;
+      }
+    }
+  }
+  if (s.completed > 0) {
+    s.queueSecondsMean =
+        s.queueSecondsTotal / static_cast<double>(s.completed);
+    if (anySubmitted_) {
+      s.wallSeconds = secondsBetween(firstSubmit_, lastFinish_);
+      if (s.wallSeconds > 0) {
+        s.jobsPerSecond = static_cast<double>(s.completed) / s.wallSeconds;
+      }
+    }
+  }
+  return s;
+}
+
+std::string toJson(const ServiceStats& s) {
+  char buf[1536];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"jobs\": {\"submitted\": %llu, \"completed\": %llu, "
+      "\"succeeded\": %llu, \"failed\": %llu, \"timed_out\": %llu, "
+      "\"cancelled\": %llu},\n"
+      "  \"throughput\": {\"wall_seconds\": %.4f, \"jobs_per_second\": %.3f},\n"
+      "  \"queue_seconds\": {\"total\": %.4f, \"mean\": %.4f, \"max\": %.4f},\n"
+      "  \"engine_seconds\": {\"planning\": %.4f, \"candidates\": %.4f, "
+      "\"sizing\": %.4f, \"total\": %.4f},\n"
+      "  \"cache\": {\"job_hits\": %llu, \"hits\": %llu, \"misses\": %llu, "
+      "\"hit_rate\": %.4f, \"insertions\": %llu, \"evictions\": %llu, "
+      "\"oversized\": %llu, \"entries\": %zu, \"bytes_used\": %zu, "
+      "\"byte_budget\": %zu}\n"
+      "}",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.succeeded),
+      static_cast<unsigned long long>(s.failed),
+      static_cast<unsigned long long>(s.timedOut),
+      static_cast<unsigned long long>(s.cancelled), s.wallSeconds,
+      s.jobsPerSecond, s.queueSecondsTotal, s.queueSecondsMean,
+      s.queueSecondsMax, s.planningSeconds, s.candidateSeconds,
+      s.sizingSeconds, s.engineSeconds,
+      static_cast<unsigned long long>(s.jobCacheHits),
+      static_cast<unsigned long long>(s.cache.hits),
+      static_cast<unsigned long long>(s.cache.misses), s.cacheHitRate,
+      static_cast<unsigned long long>(s.cache.insertions),
+      static_cast<unsigned long long>(s.cache.evictions),
+      static_cast<unsigned long long>(s.cache.oversized), s.cache.entries,
+      s.cache.bytesUsed, s.cache.byteBudget);
+  return buf;
+}
+
+}  // namespace ofl::service

@@ -1,0 +1,135 @@
+// FillService: the batch fill facade.
+//
+// submit() admits jobs through the bounded scheduler queue; each job loads
+// its layout, probes the result cache by content hash, runs the FillEngine
+// on a miss (capped at threads-per-job workers, cancellable on deadline),
+// writes its output file, and publishes a JobResult. wait()/waitAll()
+// surface results in deterministic submission order regardless of
+// completion order; stats() aggregates throughput, queue latency,
+// per-stage engine seconds and cache behavior.
+//
+// Output determinism: a job's bytes depend only on its own spec — never on
+// the concurrency settings. Engine runs are thread-count-invariant (PR-1
+// contract) and a cache hit replays fills captured from an identical-key
+// run, so `batch --jobs N --threads-per-job M` equals N sequential
+// `openfill fill` runs byte for byte.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/cancel.hpp"
+#include "service/job.hpp"
+#include "service/result_cache.hpp"
+#include "service/scheduler.hpp"
+
+namespace ofl::service {
+
+struct ServiceOptions {
+  /// Concurrent jobs (`openfill batch --jobs`).
+  int maxConcurrentJobs = 1;
+  /// Engine threads per job (`--threads-per-job`); 0 splits the hardware
+  /// cores evenly across concurrent jobs (floor 1).
+  int threadsPerJob = 0;
+  /// Result-cache byte budget (`--cache-mb`, here in bytes); 0 disables.
+  std::size_t cacheBytes = 64ull << 20;
+  /// Default per-job deadline in seconds; 0 = none.
+  double defaultTimeoutSeconds = 0.0;
+  /// Admitted-but-not-started jobs before submit() blocks.
+  std::size_t queueCapacity = 64;
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t timedOut = 0;
+  std::uint64_t cancelled = 0;
+
+  double wallSeconds = 0.0;     // first submit -> last completion
+  double jobsPerSecond = 0.0;   // completed / wallSeconds
+  double queueSecondsTotal = 0.0;
+  double queueSecondsMax = 0.0;
+  double queueSecondsMean = 0.0;
+
+  // Per-stage engine seconds summed over non-cached successful runs.
+  double planningSeconds = 0.0;
+  double candidateSeconds = 0.0;
+  double sizingSeconds = 0.0;
+  double engineSeconds = 0.0;  // sum of FillReport::totalSeconds
+
+  std::uint64_t jobCacheHits = 0;  // successful jobs served from cache
+  ResultCache::Counters cache;
+  double cacheHitRate = 0.0;  // cache.hits / (hits + misses)
+};
+
+/// Renders stats as a JSON object (used by `openfill batch --json` and
+/// bench_throughput).
+std::string toJson(const ServiceStats& stats);
+
+class FillService {
+ public:
+  explicit FillService(ServiceOptions options);
+  /// Drains: outstanding jobs finish before destruction returns.
+  ~FillService();
+
+  FillService(const FillService&) = delete;
+  FillService& operator=(const FillService&) = delete;
+
+  /// Admits a job; blocks while the admission queue is full. Returns the
+  /// job id (dense, counting from 0 in submission order).
+  std::uint64_t submit(JobSpec spec);
+
+  /// Blocks until job `id` finishes and returns its result.
+  JobResult wait(std::uint64_t id);
+
+  /// Requests cooperative cancellation. Returns true if the job had not
+  /// finished (it will surface as kCancelled once a checkpoint notices);
+  /// false when already done.
+  bool cancel(std::uint64_t id);
+
+  /// Waits for every submitted job; results indexed by job id, i.e. in
+  /// submission order.
+  std::vector<JobResult> waitAll();
+
+  ServiceStats stats() const;
+
+  const ServiceOptions& options() const { return options_; }
+  /// Resolved engine threads each job runs with.
+  int threadsPerJob() const { return threadsPerJob_; }
+
+ private:
+  struct Job {
+    JobSpec spec;
+    CancelToken token;
+    std::chrono::steady_clock::time_point submitTime;
+    JobResult result;
+    bool done = false;
+  };
+
+  void execute(Job& job);
+  JobResult runJob(Job& job) const;
+
+  ServiceOptions options_;
+  int threadsPerJob_ = 1;
+  mutable ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable done_;
+  std::deque<std::unique_ptr<Job>> jobs_;  // index = job id
+  bool anySubmitted_ = false;
+  std::chrono::steady_clock::time_point firstSubmit_;
+  std::chrono::steady_clock::time_point lastFinish_;
+
+  // Last member: its destructor drains workers while the rest of the
+  // service (jobs_, cache_) is still alive for them to write into.
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace ofl::service

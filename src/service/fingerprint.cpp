@@ -1,0 +1,70 @@
+#include "service/fingerprint.hpp"
+
+#include "common/hash.hpp"
+
+namespace ofl::service {
+
+std::uint64_t layoutContentHash(const layout::Layout& chip) {
+  Fnv1a64 h;
+  const geom::Rect& die = chip.die();
+  h.i64(die.xl);
+  h.i64(die.yl);
+  h.i64(die.xh);
+  h.i64(die.yh);
+  h.i32(chip.numLayers());
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    const auto& wires = chip.layer(l).wires;
+    h.u64(wires.size());
+    for (const geom::Rect& w : wires) {
+      h.i64(w.xl);
+      h.i64(w.yl);
+      h.i64(w.xh);
+      h.i64(w.yh);
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t optionsFingerprint(const fill::FillEngineOptions& o) {
+  Fnv1a64 h;
+  h.i64(o.windowSize);
+  // Design rules.
+  h.i64(o.rules.minWidth);
+  h.i64(o.rules.minSpacing);
+  h.i64(o.rules.minArea);
+  h.i64(o.rules.maxFillSize);
+  h.f64(o.rules.maxDensity);
+  // Planner weights.
+  h.f64(o.plannerWeights.wSigma);
+  h.f64(o.plannerWeights.wLine);
+  h.f64(o.plannerWeights.wOutlier);
+  h.f64(o.plannerWeights.betaSigma);
+  h.f64(o.plannerWeights.betaLine);
+  h.f64(o.plannerWeights.betaOutlier);
+  // Candidate generation.
+  h.f64(o.candidate.lambda);
+  h.f64(o.candidate.gamma);
+  h.boolean(o.candidate.lithoAvoid.has_value());
+  if (o.candidate.lithoAvoid.has_value()) {
+    h.i64(o.candidate.lithoAvoid->forbiddenLo);
+    h.i64(o.candidate.lithoAvoid->forbiddenHi);
+  }
+  h.boolean(o.candidate.uniformCells);
+  // Sizer. The backend is included even though every backend reaches the
+  // same optimum: per-window step budgets can tie-break differently, and
+  // byte-identity of cached replays must hold exactly.
+  h.f64(o.sizer.eta);
+  h.f64(o.sizer.etaWireFactor);
+  h.i32(o.sizer.iterations);
+  h.i32(static_cast<int>(o.sizer.backend));
+  h.boolean(o.sizer.useLpSolver);
+  // numThreads and cancel deliberately excluded (see header).
+  return h.digest();
+}
+
+std::uint64_t cacheKey(const layout::Layout& chip,
+                       const fill::FillEngineOptions& options) {
+  return hashCombine(layoutContentHash(chip), optionsFingerprint(options));
+}
+
+}  // namespace ofl::service

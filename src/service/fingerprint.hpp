@@ -1,0 +1,27 @@
+// Content-addressed cache keys for fill results.
+//
+// A cache key is the combination of (a) a stable 64-bit hash of the
+// flattened input layout — die, layer count and every wire rectangle — and
+// (b) a fingerprint of every FillEngineOptions field that can change the
+// fill solution. Existing fills are excluded from (a) because the engine
+// replaces them (FillEngine::run starts with clearFills), and numThreads
+// is excluded from (b) because output is bit-identical for any thread
+// count (PR-1 determinism contract) — so a cached result is valid for any
+// batch --threads-per-job setting.
+#pragma once
+
+#include <cstdint>
+
+#include "fill/fill_engine.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::service {
+
+std::uint64_t layoutContentHash(const layout::Layout& chip);
+std::uint64_t optionsFingerprint(const fill::FillEngineOptions& options);
+
+/// hashCombine(layoutContentHash, optionsFingerprint).
+std::uint64_t cacheKey(const layout::Layout& chip,
+                       const fill::FillEngineOptions& options);
+
+}  // namespace ofl::service

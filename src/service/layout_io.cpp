@@ -1,0 +1,41 @@
+#include "service/layout_io.hpp"
+
+#include <algorithm>
+
+#include "gds/gds_reader.hpp"
+#include "gds/oasis.hpp"
+#include "geometry/polygon.hpp"
+
+namespace ofl::service {
+
+bool loadFlatLayout(const std::string& path,
+                    const std::optional<geom::Rect>& die, layout::Layout* out,
+                    std::string* error) {
+  if (path.empty()) {
+    *error = "missing input file path";
+    return false;
+  }
+  auto lib = gds::Reader::readFile(path);
+  if (!lib.has_value()) lib = gds::OasisReader::readFile(path);
+  if (!lib.has_value()) {
+    *error = "cannot read layout file: " + path;
+    return false;
+  }
+  int maxLayer = 0;
+  geom::Rect bbox;
+  for (const auto& cell : lib->cells) {
+    for (const auto& b : cell.boundaries) {
+      maxLayer = std::max<int>(maxLayer, b.layer);
+      bbox = bbox.bboxUnion(geom::Polygon(b.vertices).bbox());
+    }
+  }
+  const geom::Rect effectiveDie = die.value_or(bbox);
+  if (effectiveDie.empty()) {
+    *error = "layout is empty and no die given";
+    return false;
+  }
+  *out = layout::Layout::fromGds(*lib, effectiveDie, std::max(maxLayer, 1));
+  return true;
+}
+
+}  // namespace ofl::service

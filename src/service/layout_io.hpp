@@ -1,0 +1,20 @@
+// Loading flattened layouts from disk for the batch service and the CLI.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "layout/layout.hpp"
+
+namespace ofl::service {
+
+/// Loads a layout from a GDS or OFL-OASIS file (auto-detected by trying
+/// both readers). The die is `die` when given, else the bounding box of
+/// every shape; the layer count is the highest GDS layer seen (floor 1).
+/// Returns false and sets `*error` (never null) on unreadable files or an
+/// empty layout with no die.
+bool loadFlatLayout(const std::string& path,
+                    const std::optional<geom::Rect>& die, layout::Layout* out,
+                    std::string* error);
+
+}  // namespace ofl::service

@@ -1,0 +1,215 @@
+#include "service/manifest.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ofl::service {
+namespace {
+
+std::vector<std::string> splitTokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;  // comment to end of line
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+bool parseInt(const std::string& v, long long* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(v.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+bool parseReal(const std::string& v, double* out) {
+  if (v.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(v.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+bool parseLine(const std::vector<std::string>& tokens, JobSpec* spec,
+               std::string* err) {
+  if (tokens.front().rfind("--", 0) == 0) {
+    *err = "expected an input path before options, got " + tokens.front();
+    return false;
+  }
+  spec->engine = defaultEngineOptions();
+  spec->inputPath = tokens.front();
+  spec->name = tokens.front();
+
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (tok.rfind("--", 0) != 0) {
+      *err = "expected an option, got " + tok;
+      return false;
+    }
+    std::string key = tok.substr(2);
+    std::string value;
+    bool hasValue = false;
+    if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+      value = key.substr(eq + 1);
+      key = key.substr(0, eq);
+      hasValue = true;
+    } else if (i + 1 < tokens.size() && tokens[i + 1].rfind("--", 0) != 0) {
+      value = tokens[i + 1];
+      hasValue = true;
+      ++i;
+    }
+
+    const auto needValue = [&]() -> bool {
+      if (!hasValue) *err = "--" + key + " expects a value";
+      return hasValue;
+    };
+    const auto intValue = [&](long long* out) -> bool {
+      if (!needValue()) return false;
+      if (!parseInt(value, out)) {
+        *err = "--" + key + " expects an integer, got \"" + value + "\"";
+        return false;
+      }
+      return true;
+    };
+    const auto realValue = [&](double* out) -> bool {
+      if (!needValue()) return false;
+      if (!parseReal(value, out)) {
+        *err = "--" + key + " expects a number, got \"" + value + "\"";
+        return false;
+      }
+      return true;
+    };
+
+    long long n = 0;
+    double x = 0.0;
+    if (key == "out") {
+      if (!needValue()) return false;
+      spec->outputPath = value;
+    } else if (key == "window") {
+      if (!intValue(&n)) return false;
+      spec->engine.windowSize = n;
+    } else if (key == "iterations") {
+      if (!intValue(&n)) return false;
+      spec->engine.sizer.iterations = static_cast<int>(n);
+    } else if (key == "min-width") {
+      if (!intValue(&n)) return false;
+      spec->engine.rules.minWidth = n;
+    } else if (key == "min-spacing") {
+      if (!intValue(&n)) return false;
+      spec->engine.rules.minSpacing = n;
+    } else if (key == "min-area") {
+      if (!intValue(&n)) return false;
+      spec->engine.rules.minArea = n;
+    } else if (key == "max-fill") {
+      if (!intValue(&n)) return false;
+      spec->engine.rules.maxFillSize = n;
+    } else if (key == "lambda") {
+      if (!realValue(&x)) return false;
+      spec->engine.candidate.lambda = x;
+    } else if (key == "gamma") {
+      if (!realValue(&x)) return false;
+      spec->engine.candidate.gamma = x;
+    } else if (key == "eta") {
+      if (!realValue(&x)) return false;
+      spec->engine.sizer.eta = x;
+    } else if (key == "timeout-s") {
+      if (!realValue(&x)) return false;
+      spec->timeoutSeconds = x;
+    } else if (key == "backend") {
+      if (!needValue()) return false;
+      if (value == "ns") {
+        spec->engine.sizer.backend = mcf::McfBackend::kNetworkSimplex;
+        spec->engine.sizer.useLpSolver = false;
+      } else if (value == "ssp") {
+        spec->engine.sizer.backend = mcf::McfBackend::kSuccessiveShortestPath;
+        spec->engine.sizer.useLpSolver = false;
+      } else if (value == "lp") {
+        spec->engine.sizer.useLpSolver = true;
+      } else {
+        *err = "--backend expects ns|ssp|lp, got \"" + value + "\"";
+        return false;
+      }
+    } else if (key == "format") {
+      if (!needValue()) return false;
+      if (value == "gds") {
+        spec->format = OutputFormat::kGds;
+      } else if (value == "oasis") {
+        spec->format = OutputFormat::kOasis;
+      } else {
+        *err = "--format expects gds|oasis, got \"" + value + "\"";
+        return false;
+      }
+    } else if (key == "die") {
+      if (!needValue()) return false;
+      long long xl, yl, xh, yh;
+      if (std::sscanf(value.c_str(), "%lld,%lld,%lld,%lld", &xl, &yl, &xh,
+                      &yh) != 4) {
+        *err = "--die expects xl,yl,xh,yh, got \"" + value + "\"";
+        return false;
+      }
+      spec->die = geom::Rect{xl, yl, xh, yh};
+    } else if (key == "compact") {
+      if (hasValue) {
+        *err = "--compact is a flag and takes no value";
+        return false;
+      }
+      spec->compact = true;
+    } else {
+      *err = "unknown option --" + key;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+fill::FillEngineOptions defaultEngineOptions() {
+  fill::FillEngineOptions o;
+  o.windowSize = 1200;
+  o.rules.minWidth = 10;
+  o.rules.minSpacing = 10;
+  o.rules.minArea = 200;
+  o.rules.maxFillSize = 300;
+  return o;
+}
+
+ManifestParse parseManifest(std::istream& in) {
+  ManifestParse result;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::vector<std::string> tokens = splitTokens(line);
+    if (tokens.empty()) continue;  // blank or comment-only line
+    JobSpec spec;
+    std::string err;
+    if (parseLine(tokens, &spec, &err)) {
+      result.jobs.push_back(std::move(spec));
+    } else {
+      result.errors.push_back({lineNo, err});
+    }
+  }
+  return result;
+}
+
+ManifestParse parseManifestText(const std::string& text) {
+  std::istringstream in(text);
+  return parseManifest(in);
+}
+
+bool parseManifestFile(const std::string& path, ManifestParse* out,
+                       std::string* ioError) {
+  std::ifstream in(path);
+  if (!in) {
+    *ioError = "cannot open manifest: " + path;
+    return false;
+  }
+  *out = parseManifest(in);
+  return true;
+}
+
+}  // namespace ofl::service

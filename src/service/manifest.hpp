@@ -1,0 +1,56 @@
+// Batch manifest parsing: one fill job per line.
+//
+//   # comment
+//   wires_a.gds --out a_filled.gds --window 1200 --lambda 1.2
+//   wires_b.gds --backend ssp --compact
+//   wires_a.gds                       # repeated inputs hit the result cache
+//
+// The first whitespace-separated token is the input layout path; the rest
+// are per-job option overrides with the same names and defaults as
+// `openfill fill` (so a manifest line and a fill invocation with the same
+// options produce byte-identical output). Values may be given as
+// "--key value" or "--key=value"; paths with spaces are not supported.
+//
+// Recognized options: --out NAME (output file name, resolved against the
+// batch --out-dir), --window --iterations --min-width --min-spacing
+// --min-area --max-fill (integers), --lambda --gamma --eta --timeout-s
+// (reals), --backend ns|ssp|lp, --format gds|oasis, --die xl,yl,xh,yh,
+// --compact (flag).
+//
+// Parsing is strict: malformed values, unknown options and missing inputs
+// are reported per line with line numbers, and nothing runs unless the
+// whole manifest parses.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace ofl::service {
+
+/// The engine options a manifest line starts from — identical to the
+/// fallbacks of `openfill fill` (cli/commands.cpp builds its defaults from
+/// this too), so a line with no overrides matches a bare fill invocation
+/// byte for byte.
+fill::FillEngineOptions defaultEngineOptions();
+
+struct ManifestError {
+  int line = 0;  // 1-based
+  std::string message;
+};
+
+struct ManifestParse {
+  std::vector<JobSpec> jobs;
+  std::vector<ManifestError> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+ManifestParse parseManifest(std::istream& in);
+ManifestParse parseManifestText(const std::string& text);
+/// Returns false and sets `*ioError` when the file cannot be opened.
+bool parseManifestFile(const std::string& path, ManifestParse* out,
+                       std::string* ioError);
+
+}  // namespace ofl::service

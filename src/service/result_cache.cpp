@@ -1,0 +1,78 @@
+#include "service/result_cache.hpp"
+
+namespace ofl::service {
+
+std::shared_ptr<const CachedFill> CachedFill::capture(
+    const layout::Layout& chip, const fill::FillReport& report) {
+  auto entry = std::make_shared<CachedFill>();
+  entry->report = report;
+  entry->fillsPerLayer.reserve(static_cast<std::size_t>(chip.numLayers()));
+  std::size_t bytes = 256;  // fixed bookkeeping overhead per entry
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    entry->fillsPerLayer.push_back(chip.layer(l).fills);
+    bytes += 64 + entry->fillsPerLayer.back().size() * sizeof(geom::Rect);
+  }
+  entry->bytes = bytes;
+  return entry;
+}
+
+void CachedFill::applyTo(layout::Layout& chip) const {
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    chip.layer(l).fills = fillsPerLayer[static_cast<std::size_t>(l)];
+  }
+}
+
+ResultCache::ResultCache(std::size_t byteBudget) : budget_(byteBudget) {
+  counters_.byteBudget = byteBudget;
+}
+
+std::shared_ptr<const CachedFill> ResultCache::find(std::uint64_t key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++counters_.misses;
+    return nullptr;
+  }
+  ++counters_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  return it->second->second;
+}
+
+void ResultCache::insert(std::uint64_t key,
+                         std::shared_ptr<const CachedFill> entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (entry->bytes > budget_) {  // also covers budget_ == 0 (disabled)
+    ++counters_.oversized;
+    return;
+  }
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    counters_.bytesUsed -= it->second->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.emplace_front(key, std::move(entry));
+  index_[key] = lru_.begin();
+  counters_.bytesUsed += lru_.front().second->bytes;
+  ++counters_.insertions;
+  counters_.entries = lru_.size();
+  evictOverBudgetLocked();
+}
+
+void ResultCache::evictOverBudgetLocked() {
+  while (counters_.bytesUsed > budget_ && lru_.size() > 1) {
+    const LruEntry& victim = lru_.back();
+    counters_.bytesUsed -= victim.second->bytes;
+    index_.erase(victim.first);
+    lru_.pop_back();
+    ++counters_.evictions;
+  }
+  counters_.entries = lru_.size();
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace ofl::service

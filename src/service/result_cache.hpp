@@ -1,0 +1,77 @@
+// LRU result cache for fill solutions, keyed by content hash.
+//
+// Entries hold the per-layer fill rectangles a run produced (plus its
+// FillReport) and are charged an approximate byte cost; the cache evicts
+// least-recently-used entries whenever the total exceeds the byte budget.
+// Thread-safe: concurrent jobs probe and insert under one mutex (the
+// critical sections are pointer moves, never geometry copies). Two
+// concurrent misses on the same key may both compute; the second insert
+// replaces the first — wasted work, never wrong results.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fill/fill_engine.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::service {
+
+/// A cached fill solution. Immutable once inserted (shared_ptr<const>), so
+/// readers replay it without holding the cache lock.
+struct CachedFill {
+  std::vector<std::vector<geom::Rect>> fillsPerLayer;
+  fill::FillReport report;
+  std::size_t bytes = 0;  // approximate footprint, computed by capture()
+
+  /// Snapshots `chip`'s fills (after an engine run).
+  static std::shared_ptr<const CachedFill> capture(
+      const layout::Layout& chip, const fill::FillReport& report);
+
+  /// Replays the cached solution into `chip` (which must have the same
+  /// layer count — guaranteed by key equality). Replaces existing fills.
+  void applyTo(layout::Layout& chip) const;
+};
+
+class ResultCache {
+ public:
+  /// `byteBudget` 0 disables the cache: every probe misses, inserts are
+  /// dropped. (That is `openfill batch --cache-mb 0`.)
+  explicit ResultCache(std::size_t byteBudget);
+
+  /// Probe; counts a hit (and refreshes LRU position) or a miss.
+  std::shared_ptr<const CachedFill> find(std::uint64_t key);
+
+  /// Inserts or replaces. Entries larger than the whole budget are
+  /// dropped (counted in `oversized`), never inserted-then-evicted.
+  void insert(std::uint64_t key, std::shared_ptr<const CachedFill> entry);
+
+  struct Counters {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t oversized = 0;
+    std::size_t entries = 0;
+    std::size_t bytesUsed = 0;
+    std::size_t byteBudget = 0;
+  };
+  Counters counters() const;
+
+ private:
+  void evictOverBudgetLocked();
+
+  const std::size_t budget_;
+  mutable std::mutex mutex_;
+  // Front = most recently used. The map indexes into the list.
+  using LruEntry = std::pair<std::uint64_t, std::shared_ptr<const CachedFill>>;
+  std::list<LruEntry> lru_;
+  std::unordered_map<std::uint64_t, std::list<LruEntry>::iterator> index_;
+  Counters counters_;
+};
+
+}  // namespace ofl::service

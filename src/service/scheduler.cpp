@@ -1,0 +1,60 @@
+#include "service/scheduler.hpp"
+
+#include <algorithm>
+
+namespace ofl::service {
+
+Scheduler::Scheduler(int maxConcurrent, std::size_t queueCapacity)
+    : capacity_(std::max<std::size_t>(1, queueCapacity)) {
+  const int workers = std::max(1, maxConcurrent);
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { workerMain(); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void Scheduler::submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    notFull_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void Scheduler::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void Scheduler::workerMain() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    notFull_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace ofl::service

@@ -1,0 +1,62 @@
+// Bounded-concurrency job executor for the batch fill service.
+//
+// A fixed crew of worker threads drains a FIFO task queue with a bounded
+// admission capacity: submit() blocks the producer while the queue is full
+// (back-pressure, so a million-line manifest never materializes a
+// million queued jobs). Tasks START in submission order; completion order
+// is up to the tasks, and the FillService surfaces results in submission
+// order regardless.
+//
+// This is deliberately not the fork-join ThreadPool (common/thread_pool):
+// that pool is a barrier primitive driven by one caller at a time, while
+// the scheduler runs long, independent, possibly-blocking jobs — each of
+// which drives its own capped fork-join pool inside FillEngine::run.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ofl::service {
+
+class Scheduler {
+ public:
+  /// `maxConcurrent` worker threads (floor 1); `queueCapacity` bounds the
+  /// number of admitted-but-not-started tasks (floor 1).
+  Scheduler(int maxConcurrent, std::size_t queueCapacity);
+
+  /// Drains: every admitted task still runs before destruction returns.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a task, blocking while the admission queue is full. Tasks
+  /// must not throw (the service wraps all job work in its own catch).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void waitIdle();
+
+  int workerCount() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void workerMain();
+
+  const std::size_t capacity_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;     // workers: queue non-empty or stopping
+  std::condition_variable notFull_;  // producers: admission slot free
+  std::condition_variable idle_;     // waitIdle / drain
+  std::deque<std::function<void()>> queue_;
+  int running_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace ofl::service

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
 
 #include "cli/args.hpp"
@@ -46,6 +47,27 @@ TEST(ArgsTest, UnknownKeysDetected) {
   const auto unknown = args.unknownKeys({"in", "out"});
   ASSERT_EQ(unknown.size(), 1u);
   EXPECT_EQ(unknown[0], "typo");
+}
+
+TEST(ArgsTest, CheckedGettersThrowOnMalformedValues) {
+  const Args args =
+      Args::parse({"--window", "2k", "--eta", "fast", "--name", "ok",
+                   "--empty="});
+  EXPECT_THROW(args.getIntChecked("window", 0), ArgError);
+  EXPECT_THROW(args.getDoubleChecked("eta", 0.0), ArgError);
+  EXPECT_THROW(args.getChecked("empty", "x"), ArgError);
+  EXPECT_EQ(args.getChecked("name", ""), "ok");
+  // Absent keys still fall back instead of throwing.
+  EXPECT_EQ(args.getIntChecked("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.getDoubleChecked("missing", 2.5), 2.5);
+  try {
+    args.getIntChecked("window", 0);
+    FAIL() << "expected ArgError";
+  } catch (const ArgError& e) {
+    // The message names the option and echoes the bad value.
+    EXPECT_NE(std::string(e.what()).find("--window"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("2k"), std::string::npos);
+  }
 }
 
 TEST(CommandsTest, NoCommandPrintsUsage) {
@@ -142,6 +164,130 @@ TEST(CommandsTest, OasisFormatRoundTrip) {
   EXPECT_EQ(runStats(Args::parse({"stats", "--in", filled})), 0);
   std::remove(wires.c_str());
   std::remove(filled.c_str());
+}
+
+TEST(CommandsTest, MalformedOptionValuesExitWithStatus2) {
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", "x.gds", "--out", "y.gds",
+                                 "--window", "2k"})),
+            2);
+  EXPECT_EQ(runFill(Args::parse({"fill", "--in", "x.gds", "--out", "y.gds",
+                                 "--lambda", "big"})),
+            2);
+  EXPECT_EQ(runEvaluate(Args::parse({"evaluate", "--in", "x.gds", "--runtime",
+                                     "soon"})),
+            2);
+  EXPECT_EQ(runHeatmap(Args::parse({"heatmap", "--in", "x.gds", "--layer",
+                                    "one"})),
+            2);
+  EXPECT_EQ(runBatch(Args::parse({"batch", "--manifest", "m.txt", "--out-dir",
+                                  "/tmp", "--jobs", "many"})),
+            2);
+}
+
+TEST(CommandsTest, BatchRequiresManifestAndOutDir) {
+  EXPECT_EQ(runBatch(Args::parse({"batch", "--out-dir", "/tmp"})), 2);
+  EXPECT_EQ(runBatch(Args::parse({"batch", "--manifest", "m.txt"})), 2);
+  EXPECT_EQ(runBatch(Args::parse({"batch", "--manifest",
+                                  "/nonexistent/m.txt", "--out-dir",
+                                  "/tmp"})),
+            2);
+}
+
+TEST(CommandsTest, BatchRejectsBadManifestLines) {
+  const std::string manifest = "/tmp/ofl_cli_bad_manifest.txt";
+  {
+    std::FILE* f = std::fopen(manifest.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("a.gds --window 2k\n", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(runBatch(Args::parse({"batch", "--manifest", manifest,
+                                  "--out-dir", "/tmp"})),
+            2);
+  std::remove(manifest.c_str());
+}
+
+namespace {
+std::string readFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return {};
+  std::string bytes;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+}  // namespace
+
+// The acceptance test from the batch-service issue: an 8-job manifest run
+// with --jobs 4 must be byte-identical to sequential `openfill fill` runs,
+// including the repeated lines that the result cache serves.
+TEST(CommandsTest, BatchMatchesSequentialFillByteForByte) {
+  const std::string dir = "/tmp/ofl_cli_batch";
+  const std::string wires = dir + "/a_wires.gds";
+  std::filesystem::create_directories(dir);
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+
+  // 8 jobs over 4 distinct specs (full die / cropped die x option sets),
+  // with repeats so the result cache gets exercised.
+  const std::string crop = "0,0,4800,4800";
+  const std::string manifest = dir + "/jobs.txt";
+  {
+    std::FILE* f = std::fopen(manifest.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f,
+                 "%s --out j0.gds\n"
+                 "%s --out j1.gds --window 800\n"
+                 "%s --out j2.gds --die %s\n"
+                 "%s --out j3.gds --die %s --lambda 1.5\n"
+                 "%s --out j4.gds\n"                     // repeat of j0
+                 "%s --out j5.gds --window 800\n"        // repeat of j1
+                 "%s --out j6.gds --die %s --lambda 1.5\n"  // repeat of j3
+                 "%s --out j7.gds --die %s\n",              // repeat of j2
+                 wires.c_str(), wires.c_str(), wires.c_str(), crop.c_str(),
+                 wires.c_str(), crop.c_str(), wires.c_str(), wires.c_str(),
+                 wires.c_str(), crop.c_str(), wires.c_str(), crop.c_str());
+    std::fclose(f);
+  }
+  ASSERT_EQ(runBatch(Args::parse({"batch", "--manifest", manifest,
+                                  "--out-dir", dir, "--jobs", "4",
+                                  "--threads-per-job", "2"})),
+            0);
+
+  // Sequential reference runs (the unique specs).
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out",
+                                 dir + "/seq_a.gds"})),
+            0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out",
+                                 dir + "/seq_a800.gds", "--window", "800"})),
+            0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out",
+                                 dir + "/seq_b.gds", "--die", crop})),
+            0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out",
+                                 dir + "/seq_b15.gds", "--die", crop,
+                                 "--lambda", "1.5"})),
+            0);
+
+  const std::string seqA = readFileBytes(dir + "/seq_a.gds");
+  const std::string seqA800 = readFileBytes(dir + "/seq_a800.gds");
+  const std::string seqB = readFileBytes(dir + "/seq_b.gds");
+  const std::string seqB15 = readFileBytes(dir + "/seq_b15.gds");
+  ASSERT_FALSE(seqA.empty());
+  EXPECT_EQ(readFileBytes(dir + "/j0.gds"), seqA);
+  EXPECT_EQ(readFileBytes(dir + "/j1.gds"), seqA800);
+  EXPECT_EQ(readFileBytes(dir + "/j2.gds"), seqB);
+  EXPECT_EQ(readFileBytes(dir + "/j3.gds"), seqB15);
+  EXPECT_EQ(readFileBytes(dir + "/j4.gds"), seqA);
+  EXPECT_EQ(readFileBytes(dir + "/j5.gds"), seqA800);
+  EXPECT_EQ(readFileBytes(dir + "/j6.gds"), seqB15);
+  EXPECT_EQ(readFileBytes(dir + "/j7.gds"), seqB);
+
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CommandsTest, DrcReportsViolationsWithExitCode) {

@@ -3,6 +3,7 @@
 // calls, and the serial (1-thread) configuration runs inline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -84,6 +85,16 @@ TEST(ThreadPoolTest, ZeroThreadsResolvesToHardware) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
   EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+TEST(ThreadPoolTest, CappedThreadsClampsRequestAndAuto) {
+  EXPECT_EQ(ThreadPool::cappedThreads(4, 2), 2);
+  EXPECT_EQ(ThreadPool::cappedThreads(2, 4), 2);
+  EXPECT_EQ(ThreadPool::cappedThreads(3, 0), 3);   // cap 0 = uncapped
+  EXPECT_EQ(ThreadPool::cappedThreads(-5, 2), std::min(
+      ThreadPool::hardwareThreads(), 2));          // auto, then capped
+  EXPECT_EQ(ThreadPool::cappedThreads(0, 0), ThreadPool::hardwareThreads());
+  EXPECT_GE(ThreadPool::cappedThreads(0, 1), 1);   // floor 1 always
 }
 
 // Stress tests targeting the late-worker window: with far more threads

@@ -1,0 +1,189 @@
+#include "service/fill_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "fill/fill_engine.hpp"
+#include "service/fingerprint.hpp"
+#include "service/manifest.hpp"
+
+namespace ofl::service {
+namespace {
+
+std::shared_ptr<const layout::Layout> makeInput(geom::Coord shift = 0) {
+  auto chip = std::make_shared<layout::Layout>(geom::Rect{0, 0, 4000, 4000}, 2);
+  chip->layer(0).wires.push_back({200 + shift, 200, 1800 + shift, 500});
+  chip->layer(0).wires.push_back({2200, 2600, 3800, 2900});
+  chip->layer(0).wires.push_back({600, 1400, 900, 3400});
+  chip->layer(1).wires.push_back({1000, 1000, 1400, 3000});
+  chip->layer(1).wires.push_back({2000, 400, 2300, 3600});
+  return chip;
+}
+
+fill::FillEngineOptions fastOptions() {
+  fill::FillEngineOptions opt = defaultEngineOptions();
+  opt.windowSize = 1000;
+  return opt;
+}
+
+JobSpec makeSpec(std::shared_ptr<const layout::Layout> chip,
+                 fill::FillEngineOptions opt) {
+  JobSpec spec;
+  spec.layout = std::move(chip);
+  spec.engine = opt;
+  spec.keepLayout = true;
+  return spec;
+}
+
+TEST(FillServiceTest, ResultsInSubmissionOrder) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 2;
+  so.threadsPerJob = 1;
+  FillService service(so);
+
+  // Four distinct specs whose cache keys we can predict independently.
+  std::vector<std::uint64_t> expectedKeys;
+  for (int i = 0; i < 4; ++i) {
+    auto chip = makeInput(/*shift=*/i * 40);
+    fill::FillEngineOptions opt = fastOptions();
+    expectedKeys.push_back(cacheKey(*chip, opt));
+    const std::uint64_t id = service.submit(makeSpec(std::move(chip), opt));
+    EXPECT_EQ(id, static_cast<std::uint64_t>(i));
+  }
+
+  const std::vector<JobResult> results = service.waitAll();
+  ASSERT_EQ(results.size(), 4u);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].status, JobStatus::kSucceeded) << results[i].error;
+    EXPECT_EQ(results[i].cacheKey, expectedKeys[i]);
+    EXPECT_GT(results[i].fillCount, 0u);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.succeeded, 4u);
+  EXPECT_GT(stats.jobsPerSecond, 0.0);
+}
+
+TEST(FillServiceTest, RepeatedJobHitsCache) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;  // serialize so the second probe sees the insert
+  so.threadsPerJob = 1;
+  FillService service(so);
+
+  const auto chip = makeInput();
+  service.submit(makeSpec(chip, fastOptions()));
+  service.submit(makeSpec(chip, fastOptions()));
+  const std::vector<JobResult> results = service.waitAll();
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_EQ(results[0].status, JobStatus::kSucceeded) << results[0].error;
+  ASSERT_EQ(results[1].status, JobStatus::kSucceeded) << results[1].error;
+  EXPECT_FALSE(results[0].cacheHit);
+  EXPECT_TRUE(results[1].cacheHit);
+  EXPECT_EQ(results[0].cacheKey, results[1].cacheKey);
+  EXPECT_EQ(results[0].fillCount, results[1].fillCount);
+
+  // The replayed geometry is identical to the computed one.
+  ASSERT_NE(results[0].layout, nullptr);
+  ASSERT_NE(results[1].layout, nullptr);
+  for (int l = 0; l < results[0].layout->numLayers(); ++l) {
+    EXPECT_EQ(results[0].layout->layer(l).fills,
+              results[1].layout->layer(l).fills);
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.jobCacheHits, 1u);
+  EXPECT_GE(stats.cache.hits, 1u);
+  EXPECT_GT(stats.cacheHitRate, 0.0);
+}
+
+TEST(FillServiceTest, MatchesDirectEngineRun) {
+  const auto input = makeInput();
+  const fill::FillEngineOptions opt = fastOptions();
+
+  layout::Layout direct = *input;
+  fill::FillEngineOptions directOpt = opt;
+  directOpt.numThreads = 1;
+  fill::FillEngine(directOpt).run(direct);
+
+  ServiceOptions so;
+  so.maxConcurrentJobs = 2;
+  so.threadsPerJob = 2;  // thread count must not change the bytes
+  FillService service(so);
+  service.submit(makeSpec(input, opt));
+  const JobResult result = service.wait(0);
+  ASSERT_EQ(result.status, JobStatus::kSucceeded) << result.error;
+  ASSERT_NE(result.layout, nullptr);
+  ASSERT_EQ(result.layout->numLayers(), direct.numLayers());
+  for (int l = 0; l < direct.numLayers(); ++l) {
+    EXPECT_EQ(result.layout->layer(l).fills, direct.layer(l).fills)
+        << "layer " << l;
+  }
+}
+
+TEST(FillServiceTest, ExpiredDeadlineSurfacesAsTimeout) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  so.threadsPerJob = 1;
+  FillService service(so);
+
+  JobSpec spec = makeSpec(makeInput(), fastOptions());
+  spec.timeoutSeconds = 1e-6;  // expires long before a worker picks it up
+  service.submit(spec);
+  const JobResult result = service.wait(0);
+  EXPECT_EQ(result.status, JobStatus::kTimedOut);
+  EXPECT_NE(result.error.find("deadline"), std::string::npos);
+}
+
+TEST(FillServiceTest, CancelQueuedJob) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;  // one worker keeps later jobs queued
+  so.threadsPerJob = 1;
+  FillService service(so);
+
+  service.submit(makeSpec(makeInput(), fastOptions()));
+  service.submit(makeSpec(makeInput(10), fastOptions()));
+  const std::uint64_t victim = service.submit(makeSpec(makeInput(20),
+                                                       fastOptions()));
+  EXPECT_TRUE(service.cancel(victim));
+  const JobResult result = service.wait(victim);
+  EXPECT_EQ(result.status, JobStatus::kCancelled);
+
+  // Earlier jobs are unaffected.
+  EXPECT_EQ(service.wait(0).status, JobStatus::kSucceeded);
+  EXPECT_EQ(service.wait(1).status, JobStatus::kSucceeded);
+  EXPECT_FALSE(service.cancel(victim));  // already finished
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.succeeded, 2u);
+}
+
+TEST(FillServiceTest, MissingInputFileFailsCleanly) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  FillService service(so);
+
+  JobSpec spec;
+  spec.inputPath = "/nonexistent/input.gds";
+  spec.engine = fastOptions();
+  service.submit(spec);
+  const JobResult result = service.wait(0);
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_FALSE(result.error.empty());
+}
+
+TEST(FillServiceTest, EngineThrowsOnPreExpiredToken) {
+  // The engine-level cancellation contract the service relies on.
+  CancelToken token;
+  token.cancel();
+  fill::FillEngineOptions opt = fastOptions();
+  opt.numThreads = 1;
+  opt.cancel = &token;
+  layout::Layout chip = *makeInput();
+  EXPECT_THROW(fill::FillEngine(opt).run(chip), CancelledError);
+}
+
+}  // namespace
+}  // namespace ofl::service

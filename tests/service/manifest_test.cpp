@@ -1,0 +1,83 @@
+#include "service/manifest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ofl::service {
+namespace {
+
+TEST(ManifestTest, ParsesOptionsAndDefaults) {
+  const ManifestParse p = parseManifestText(
+      "a.gds --out a_filled.gds --window 800 --lambda 1.3 --backend ssp\n"
+      "\n"
+      "# full-line comment\n"
+      "b.gds --compact --format oasis --timeout-s 2.5  # trailing comment\n"
+      "c.gds\n");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.jobs.size(), 3u);
+
+  const JobSpec& a = p.jobs[0];
+  EXPECT_EQ(a.inputPath, "a.gds");
+  EXPECT_EQ(a.outputPath, "a_filled.gds");
+  EXPECT_EQ(a.engine.windowSize, 800);
+  EXPECT_DOUBLE_EQ(a.engine.candidate.lambda, 1.3);
+  EXPECT_EQ(a.engine.sizer.backend, mcf::McfBackend::kSuccessiveShortestPath);
+
+  const JobSpec& b = p.jobs[1];
+  EXPECT_TRUE(b.compact);
+  EXPECT_EQ(b.format, OutputFormat::kOasis);
+  EXPECT_DOUBLE_EQ(b.timeoutSeconds, 2.5);
+
+  // A bare line gets exactly the `openfill fill` defaults.
+  const JobSpec& c = p.jobs[2];
+  const fill::FillEngineOptions d = defaultEngineOptions();
+  EXPECT_EQ(c.engine.windowSize, d.windowSize);
+  EXPECT_EQ(c.engine.rules.minWidth, d.rules.minWidth);
+  EXPECT_EQ(c.engine.rules.minSpacing, d.rules.minSpacing);
+  EXPECT_EQ(c.engine.rules.minArea, d.rules.minArea);
+  EXPECT_EQ(c.engine.rules.maxFillSize, d.rules.maxFillSize);
+  EXPECT_EQ(c.outputPath, "");
+  EXPECT_FALSE(c.compact);
+}
+
+TEST(ManifestTest, KeyEqualsValueForm) {
+  const ManifestParse p =
+      parseManifestText("a.gds --window=900 --die=0,0,100,200\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.jobs[0].engine.windowSize, 900);
+  ASSERT_TRUE(p.jobs[0].die.has_value());
+  EXPECT_EQ(p.jobs[0].die->xh, 100);
+  EXPECT_EQ(p.jobs[0].die->yh, 200);
+}
+
+TEST(ManifestTest, BadLinesReportedWithLineNumbers) {
+  const ManifestParse p = parseManifestText(
+      "a.gds --window 2k\n"          // malformed int
+      "b.gds --frobnicate 3\n"       // unknown option
+      "--window 800\n"               // option before input path
+      "c.gds --backend quantum\n"    // bad enum
+      "d.gds --lambda\n"             // missing value
+      "e.gds --window 700\n");       // fine
+  EXPECT_FALSE(p.ok());
+  ASSERT_EQ(p.errors.size(), 5u);
+  EXPECT_EQ(p.errors[0].line, 1);
+  EXPECT_NE(p.errors[0].message.find("--window"), std::string::npos);
+  EXPECT_NE(p.errors[0].message.find("2k"), std::string::npos);
+  EXPECT_EQ(p.errors[1].line, 2);
+  EXPECT_NE(p.errors[1].message.find("frobnicate"), std::string::npos);
+  EXPECT_EQ(p.errors[2].line, 3);
+  EXPECT_EQ(p.errors[3].line, 4);
+  EXPECT_EQ(p.errors[4].line, 5);
+  // The good line still parses: all-or-nothing is the caller's policy.
+  ASSERT_EQ(p.jobs.size(), 1u);
+  EXPECT_EQ(p.jobs[0].inputPath, "e.gds");
+}
+
+TEST(ManifestTest, MissingFileReportsIoError) {
+  ManifestParse p;
+  std::string err;
+  EXPECT_FALSE(parseManifestFile("/nonexistent/manifest.txt", &p, &err));
+  EXPECT_NE(err.find("/nonexistent/manifest.txt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ofl::service

@@ -1,0 +1,170 @@
+#include "service/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "service/fingerprint.hpp"
+
+namespace ofl::service {
+namespace {
+
+layout::Layout makeLayout(geom::Coord shift = 0) {
+  layout::Layout chip({0, 0, 4000, 4000}, 2);
+  chip.layer(0).wires.push_back({100 + shift, 100, 900 + shift, 300});
+  chip.layer(0).wires.push_back({1500, 2000, 3200, 2300});
+  chip.layer(1).wires.push_back({400, 400, 600, 3600});
+  return chip;
+}
+
+TEST(FingerprintTest, StableAcrossCalls) {
+  const layout::Layout a = makeLayout();
+  const layout::Layout b = makeLayout();
+  fill::FillEngineOptions opt;
+  EXPECT_EQ(layoutContentHash(a), layoutContentHash(b));
+  EXPECT_EQ(cacheKey(a, opt), cacheKey(b, opt));
+}
+
+TEST(FingerprintTest, LayoutChangesChangeKey) {
+  const layout::Layout a = makeLayout();
+  const layout::Layout moved = makeLayout(/*shift=*/10);
+  EXPECT_NE(layoutContentHash(a), layoutContentHash(moved));
+
+  layout::Layout extraLayer({0, 0, 4000, 4000}, 3);
+  extraLayer.layer(0).wires = a.layer(0).wires;
+  extraLayer.layer(1).wires = a.layer(1).wires;
+  EXPECT_NE(layoutContentHash(a), layoutContentHash(extraLayer));
+
+  layout::Layout otherDie({0, 0, 4001, 4000}, 2);
+  otherDie.layer(0).wires = a.layer(0).wires;
+  otherDie.layer(1).wires = a.layer(1).wires;
+  EXPECT_NE(layoutContentHash(a), layoutContentHash(otherDie));
+}
+
+TEST(FingerprintTest, FillsDoNotAffectLayoutHash) {
+  // The engine clears existing fills before running, so they must not
+  // perturb the key.
+  layout::Layout a = makeLayout();
+  const std::uint64_t before = layoutContentHash(a);
+  a.layer(0).fills.push_back({10, 10, 50, 50});
+  EXPECT_EQ(before, layoutContentHash(a));
+}
+
+TEST(FingerprintTest, SolutionAffectingOptionsChangeFingerprint) {
+  const fill::FillEngineOptions base;
+  const std::uint64_t h = optionsFingerprint(base);
+
+  fill::FillEngineOptions o = base;
+  o.windowSize = 1234;
+  EXPECT_NE(optionsFingerprint(o), h);
+
+  o = base;
+  o.rules.minSpacing += 5;
+  EXPECT_NE(optionsFingerprint(o), h);
+
+  o = base;
+  o.candidate.lambda += 0.25;
+  EXPECT_NE(optionsFingerprint(o), h);
+
+  o = base;
+  o.sizer.iterations += 1;
+  EXPECT_NE(optionsFingerprint(o), h);
+}
+
+TEST(FingerprintTest, ThreadCountDoesNotChangeFingerprint) {
+  // PR-1 determinism contract: output is bit-identical for any thread
+  // count, so a cached result is valid across --threads-per-job settings.
+  fill::FillEngineOptions a;
+  fill::FillEngineOptions b;
+  a.numThreads = 1;
+  b.numThreads = 8;
+  EXPECT_EQ(optionsFingerprint(a), optionsFingerprint(b));
+
+  CancelToken token;
+  b.cancel = &token;
+  EXPECT_EQ(optionsFingerprint(a), optionsFingerprint(b));
+}
+
+std::shared_ptr<const CachedFill> makeEntry(int fills) {
+  layout::Layout chip({0, 0, 1000, 1000}, 1);
+  for (int i = 0; i < fills; ++i) {
+    chip.layer(0).fills.push_back({i * 10, 0, i * 10 + 5, 5});
+  }
+  fill::FillReport report;
+  report.fillCount = static_cast<std::size_t>(fills);
+  return CachedFill::capture(chip, report);
+}
+
+TEST(ResultCacheTest, HitRefreshesAndReplays) {
+  ResultCache cache(1 << 20);
+  EXPECT_EQ(cache.find(1), nullptr);
+  cache.insert(1, makeEntry(3));
+
+  const auto hit = cache.find(1);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->report.fillCount, 3u);
+
+  layout::Layout chip({0, 0, 1000, 1000}, 1);
+  chip.layer(0).fills.push_back({900, 900, 950, 950});  // stale; replaced
+  hit->applyTo(chip);
+  EXPECT_EQ(chip.fillCount(), 3u);
+
+  const auto c = cache.counters();
+  EXPECT_EQ(c.hits, 1u);
+  EXPECT_EQ(c.misses, 1u);
+  EXPECT_EQ(c.entries, 1u);
+}
+
+TEST(ResultCacheTest, EvictsLeastRecentlyUsedUnderTightBudget) {
+  const auto entry = makeEntry(2);
+  // Budget fits exactly two entries of this size.
+  ResultCache cache(2 * entry->bytes);
+  cache.insert(1, makeEntry(2));
+  cache.insert(2, makeEntry(2));
+  EXPECT_EQ(cache.counters().entries, 2u);
+
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(cache.find(1), nullptr);
+  cache.insert(3, makeEntry(2));
+
+  auto c = cache.counters();
+  EXPECT_EQ(c.entries, 2u);
+  EXPECT_EQ(c.evictions, 1u);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);  // evicted
+  EXPECT_NE(cache.find(3), nullptr);
+
+  c = cache.counters();
+  EXPECT_LE(c.bytesUsed, c.byteBudget);
+}
+
+TEST(ResultCacheTest, OversizedEntryDroppedNotInserted) {
+  ResultCache cache(64);  // smaller than any real entry
+  cache.insert(7, makeEntry(100));
+  const auto c = cache.counters();
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_EQ(c.oversized, 1u);
+  EXPECT_EQ(c.evictions, 0u);
+  EXPECT_EQ(cache.find(7), nullptr);
+}
+
+TEST(ResultCacheTest, ZeroBudgetDisablesCache) {
+  ResultCache cache(0);
+  cache.insert(1, makeEntry(1));
+  EXPECT_EQ(cache.find(1), nullptr);
+  const auto c = cache.counters();
+  EXPECT_EQ(c.entries, 0u);
+  EXPECT_EQ(c.insertions, 0u);
+}
+
+TEST(ResultCacheTest, ReplacingSameKeyKeepsOneEntry) {
+  ResultCache cache(1 << 20);
+  cache.insert(5, makeEntry(1));
+  cache.insert(5, makeEntry(4));
+  const auto c = cache.counters();
+  EXPECT_EQ(c.entries, 1u);
+  const auto hit = cache.find(5);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->report.fillCount, 4u);  // second insert wins
+}
+
+}  // namespace
+}  // namespace ofl::service

@@ -1,0 +1,97 @@
+#include "service/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ofl::service {
+namespace {
+
+TEST(SchedulerTest, RunsEverySubmittedTask) {
+  std::atomic<int> ran{0};
+  {
+    Scheduler sched(3, 4);
+    for (int i = 0; i < 50; ++i) {
+      sched.submit([&ran] { ran.fetch_add(1); });
+    }
+    sched.waitIdle();
+    EXPECT_EQ(ran.load(), 50);
+  }
+}
+
+TEST(SchedulerTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    Scheduler sched(1, 16);
+    for (int i = 0; i < 10; ++i) {
+      sched.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ran.fetch_add(1);
+      });
+    }
+    // No waitIdle: destruction itself must run everything admitted.
+  }
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(SchedulerTest, SingleWorkerStartsTasksInSubmissionOrder) {
+  std::vector<int> order;
+  std::mutex m;
+  {
+    Scheduler sched(1, 8);
+    for (int i = 0; i < 8; ++i) {
+      sched.submit([&order, &m, i] {
+        std::lock_guard<std::mutex> lock(m);
+        order.push_back(i);
+      });
+    }
+    sched.waitIdle();
+  }
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SchedulerTest, BoundedQueueBlocksProducerWithoutDeadlock) {
+  // Capacity 1 with a slow worker: submit() must block and then make
+  // progress — this deadlocks (and times out) if back-pressure is broken.
+  std::atomic<int> ran{0};
+  {
+    Scheduler sched(1, 1);
+    for (int i = 0; i < 12; ++i) {
+      sched.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1);
+      });
+    }
+    sched.waitIdle();
+  }
+  EXPECT_EQ(ran.load(), 12);
+}
+
+TEST(SchedulerTest, ConcurrencyNeverExceedsWorkerCount) {
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  {
+    Scheduler sched(2, 32);
+    for (int i = 0; i < 24; ++i) {
+      sched.submit([&active, &peak] {
+        const int now = active.fetch_add(1) + 1;
+        int seen = peak.load();
+        while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        active.fetch_sub(1);
+      });
+    }
+    sched.waitIdle();
+  }
+  EXPECT_LE(peak.load(), 2);
+  EXPECT_GE(peak.load(), 1);
+}
+
+}  // namespace
+}  // namespace ofl::service
