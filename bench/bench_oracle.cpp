@@ -1,0 +1,127 @@
+// Oracle-vs-production micro-benchmarks: how much slower are the
+// reference implementations in src/verify/ than the optimized paths they
+// cross-check? Keeps `openfill check` latency honest — the oracles must
+// stay usable on full contest suites (seconds, not minutes).
+#include <benchmark/benchmark.h>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "contest/evaluator.hpp"
+#include "contest/score_table.hpp"
+#include "density/density_map.hpp"
+#include "density/metrics.hpp"
+#include "fill/fill_engine.hpp"
+#include "geometry/boolean.hpp"
+#include "verify/invariants.hpp"
+#include "verify/oracle.hpp"
+
+using namespace ofl;
+
+namespace {
+
+std::vector<geom::Rect> randomRects(int n, geom::Coord extent,
+                                    geom::Coord maxEdge, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<geom::Rect> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    const geom::Coord w = rng.uniformInt(4, maxEdge);
+    const geom::Coord h = rng.uniformInt(4, maxEdge);
+    const geom::Coord x = rng.uniformInt(0, extent - w);
+    const geom::Coord y = rng.uniformInt(0, extent - h);
+    out.push_back({x, y, x + w, y + h});
+  }
+  return out;
+}
+
+void BM_OracleUnionArea(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::oracleUnionArea(rects));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OracleUnionArea)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ProductionUnionArea(benchmark::State& state) {
+  const auto rects =
+      randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geom::unionArea(rects));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ProductionUnionArea)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_OracleIntersectionArea(benchmark::State& state) {
+  const auto a = randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
+  const auto b = randomRects(static_cast<int>(state.range(0)), 4000, 120, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::oracleIntersectionArea(a, b));
+  }
+}
+BENCHMARK(BM_OracleIntersectionArea)->Arg(100)->Arg(1000)->Arg(10000);
+
+const layout::Layout& filledTiny() {
+  static const layout::Layout chip = [] {
+    ScopedLogLevel quiet(LogLevel::kWarn);
+    layout::Layout c = contest::BenchmarkGenerator::generate(
+        contest::BenchmarkGenerator::spec("tiny"));
+    fill::FillEngineOptions options;
+    options.windowSize = 800;
+    fill::FillEngine(options).run(c);
+    return c;
+  }();
+  return chip;
+}
+
+void BM_OracleMeasure(benchmark::State& state) {
+  const layout::Layout& chip = filledTiny();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::oracleMeasure(chip, 800));
+  }
+}
+BENCHMARK(BM_OracleMeasure)->Unit(benchmark::kMillisecond);
+
+void BM_ProductionMeasure(benchmark::State& state) {
+  const layout::Layout& chip = filledTiny();
+  const contest::Evaluator evaluator(800, contest::scoreTableFor("tiny"),
+                                     layout::DesignRules{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.measure(chip));
+  }
+}
+BENCHMARK(BM_ProductionMeasure)->Unit(benchmark::kMillisecond);
+
+void BM_OracleWindowDensity(benchmark::State& state) {
+  const layout::Layout& chip = filledTiny();
+  const layout::WindowGrid grid(chip.die(), 800);
+  std::vector<geom::Rect> shapes = chip.layer(0).wires;
+  shapes.insert(shapes.end(), chip.layer(0).fills.begin(),
+                chip.layer(0).fills.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(verify::oracleWindowDensity(shapes, grid));
+  }
+}
+BENCHMARK(BM_OracleWindowDensity)->Unit(benchmark::kMillisecond);
+
+void BM_FullInvariantCheck(benchmark::State& state) {
+  // The complete `openfill check` pass (determinism included: three full
+  // engine runs) on the tiny suite.
+  const layout::Layout& chip = filledTiny();
+  ScopedLogLevel quiet(LogLevel::kWarn);
+  verify::InvariantChecker::Options options;
+  options.engine.windowSize = 800;
+  options.determinismThreads = 2;
+  const verify::InvariantChecker checker(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(checker.check(chip));
+  }
+}
+BENCHMARK(BM_FullInvariantCheck)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -24,6 +24,9 @@
 #include "service/fill_service.hpp"
 #include "service/layout_io.hpp"
 #include "service/manifest.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/invariants.hpp"
+#include "verify/repro.hpp"
 
 namespace ofl::cli {
 namespace {
@@ -95,20 +98,11 @@ int generateImpl(const Args& args) {
   return 0;
 }
 
-int fillImpl(const Args& args) {
-  layout::Layout chip({}, 0);
-  std::string error;
-  if (!loadLayout(args, chip, &error)) {
-    std::fprintf(stderr, "fill: %s\n", error.c_str());
-    return 2;
-  }
-  const std::string out = args.getOr("out", "");
-  if (out.empty()) {
-    std::fprintf(stderr, "fill: missing --out\n");
-    return 2;
-  }
-
-  fill::FillEngineOptions options = service::defaultEngineOptions();
+// Engine options from CLI flags, shared by `fill` and `check` so a
+// solution verifies under exactly the options that produced it.
+bool engineOptionsFrom(const Args& args, fill::FillEngineOptions& options,
+                       std::string* error) {
+  options = service::defaultEngineOptions();
   options.rules = rulesFrom(args);
   options.windowSize = args.getIntChecked("window", options.windowSize);
   options.candidate.lambda =
@@ -126,7 +120,28 @@ int fillImpl(const Args& args) {
   } else if (backend == "lp") {
     options.sizer.useLpSolver = true;
   } else if (backend != "ns") {
-    std::fprintf(stderr, "fill: unknown --backend %s\n", backend.c_str());
+    *error = "unknown --backend " + backend;
+    return false;
+  }
+  return true;
+}
+
+int fillImpl(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "fill: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string out = args.getOr("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "fill: missing --out\n");
+    return 2;
+  }
+
+  fill::FillEngineOptions options;
+  if (!engineOptionsFrom(args, options, &error)) {
+    std::fprintf(stderr, "fill: %s\n", error.c_str());
     return 2;
   }
 
@@ -426,6 +441,100 @@ int batchImpl(const Args& args) {
   return allOk ? 0 : 1;
 }
 
+int checkImpl(const Args& args) {
+  layout::Layout chip({}, 0);
+  std::string error;
+  if (!loadLayout(args, chip, &error)) {
+    std::fprintf(stderr, "check: %s\n", error.c_str());
+    return 2;
+  }
+
+  verify::InvariantChecker::Options vopts;
+  if (!engineOptionsFrom(args, vopts.engine, &error)) {
+    std::fprintf(stderr, "check: %s\n", error.c_str());
+    return 2;
+  }
+  vopts.suite = args.getOr("suite", "s");
+  vopts.checkDeterminism = !args.hasFlag("skip-determinism");
+  vopts.determinismThreads = static_cast<int>(
+      args.getIntChecked("determinism-threads", vopts.determinismThreads));
+  if (const auto inject = args.get("inject"); inject.has_value()) {
+    const auto fault = verify::faultClassFromString(*inject);
+    if (!fault.has_value()) {
+      std::fprintf(stderr,
+                   "check: unknown --inject %s "
+                   "(spacing|density|overlay|determinism)\n",
+                   inject->c_str());
+      return 2;
+    }
+    vopts.inject = *fault;
+  }
+
+  const verify::VerifyReport report =
+      verify::InvariantChecker(vopts).check(chip);
+  if (args.hasFlag("json")) {
+    std::fputs(verify::toJson(report).c_str(), stdout);
+  } else {
+    for (const verify::CheckResult& c : report.checks) {
+      std::printf("  [%s] %-20s %s\n", c.passed ? "PASS" : "FAIL",
+                  c.name.c_str(), c.detail.c_str());
+    }
+    if (report.injected != verify::FaultClass::kNone) {
+      std::printf("injected %s fault: %s\n",
+                  verify::toString(report.injected).c_str(),
+                  report.injectionDetected ? "DETECTED" : "MISSED");
+    }
+    std::printf("check: %s\n", report.ok() ? "OK" : "FAILED");
+  }
+  return report.ok() ? 0 : 1;
+}
+
+int fuzzImpl(const Args& args) {
+  // Replay mode: re-run one minimized repro (e.g. a CI artifact).
+  if (const auto replay = args.get("replay"); replay.has_value()) {
+    const auto fuzzCase = verify::readReproFile(*replay);
+    if (!fuzzCase.has_value()) {
+      std::fprintf(stderr, "fuzz: cannot read repro %s\n", replay->c_str());
+      return 2;
+    }
+    const verify::FuzzOutcome outcome = verify::LayoutFuzzer::check(
+        *fuzzCase, !args.hasFlag("skip-determinism"));
+    if (outcome.passed) {
+      std::printf("fuzz: repro %s passes (seed %llu)\n", replay->c_str(),
+                  static_cast<unsigned long long>(fuzzCase->seed));
+      return 0;
+    }
+    std::printf("fuzz: repro %s FAILS check %s: %s\n", replay->c_str(),
+                outcome.check.c_str(), outcome.detail.c_str());
+    return 1;
+  }
+
+  verify::FuzzOptions fopts;
+  fopts.seeds = static_cast<int>(args.getIntChecked("seeds", 100));
+  fopts.firstSeed =
+      static_cast<std::uint64_t>(args.getIntChecked("seed-start", 1));
+  fopts.maxSeconds = args.getDoubleChecked("minutes", 0.0) * 60.0;
+  fopts.corpusDir = args.getOr("corpus", "fuzz-repros");
+  fopts.checkDeterminism = !args.hasFlag("skip-determinism");
+  fopts.minimize = !args.hasFlag("no-minimize");
+
+  const verify::FuzzStats stats = verify::LayoutFuzzer(fopts).run();
+  for (const verify::FuzzFailure& f : stats.failures) {
+    std::printf("fuzz: seed %llu FAILS check %s: %s\n",
+                static_cast<unsigned long long>(f.seed), f.check.c_str(),
+                f.detail.c_str());
+    if (!f.reproPath.empty()) {
+      std::printf("      minimized %zu -> %zu wires, repro: %s\n",
+                  f.originalWireCount, f.minimizedWireCount,
+                  f.reproPath.c_str());
+    }
+  }
+  std::printf("fuzz: %d seeds in %.1fs, %zu failure%s\n", stats.executed,
+              stats.seconds, stats.failures.size(),
+              stats.failures.size() == 1 ? "" : "s");
+  return stats.failures.empty() ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -460,7 +569,21 @@ std::string usage() {
       "      Run a manifest of fill jobs (one per line: input path + fill\n"
       "      options) with N concurrent jobs over a shared result cache;\n"
       "      outputs are byte-identical to sequential `openfill fill` runs\n"
-      "      for any --jobs/--threads-per-job setting.\n";
+      "      for any --jobs/--threads-per-job setting.\n"
+      "  check --in FILE.gds --suite s|b|m [--json] [--skip-determinism]\n"
+      "       [--inject spacing|density|overlay|determinism]\n"
+      "       [engine options as for fill]\n"
+      "      Verify a fill solution against every invariant: fill-region\n"
+      "      containment, DRC, planned density bounds, GDS/OASIS round-trip\n"
+      "      stability, independent metric/score oracles, and thread/cache\n"
+      "      determinism. --inject corrupts the solution (or comparison)\n"
+      "      and exits 0 only if the targeted violation class is caught.\n"
+      "  fuzz [--seeds N] [--seed-start S] [--minutes M] [--corpus DIR]\n"
+      "       [--skip-determinism] [--no-minimize] [--replay FILE.repro]\n"
+      "      Run the seeded random-layout fuzzer over the full\n"
+      "      fill->evaluate pipeline; failures are shrunk to minimal\n"
+      "      repros in DIR (default fuzz-repros). --replay re-runs one\n"
+      "      repro file and reports its verdict.\n";
 }
 
 int run(const Args& args) {
@@ -477,6 +600,8 @@ int run(const Args& args) {
   if (command == "heatmap") return runHeatmap(args);
   if (command == "compare") return runCompare(args);
   if (command == "batch") return runBatch(args);
+  if (command == "check") return runCheck(args);
+  if (command == "fuzz") return runFuzz(args);
   std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
                usage().c_str());
   return 2;
@@ -505,6 +630,12 @@ int runCompare(const Args& args) {
 }
 int runBatch(const Args& args) {
   return guarded("batch", [&] { return batchImpl(args); });
+}
+int runCheck(const Args& args) {
+  return guarded("check", [&] { return checkImpl(args); });
+}
+int runFuzz(const Args& args) {
+  return guarded("fuzz", [&] { return fuzzImpl(args); });
 }
 
 }  // namespace ofl::cli

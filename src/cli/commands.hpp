@@ -9,6 +9,8 @@
 //   openfill heatmap  --in layout.gds [--layer N] [--csv FILE]
 //   openfill compare  --in wires.gds --suite s [--json FILE]
 //   openfill batch    --manifest jobs.txt --out-dir DIR [--jobs N]
+//   openfill check    --in filled.gds --suite s [--json] [--inject CLASS]
+//   openfill fuzz     [--seeds N] [--minutes M] [--corpus DIR]
 //
 // Malformed numeric option values are hard errors: the command prints a
 // message naming the option and exits with status 2 (Args::getIntChecked).
@@ -32,6 +34,8 @@ int runStats(const Args& args);
 int runHeatmap(const Args& args);
 int runCompare(const Args& args);
 int runBatch(const Args& args);
+int runCheck(const Args& args);
+int runFuzz(const Args& args);
 
 /// Usage text.
 std::string usage();

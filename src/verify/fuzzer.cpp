@@ -1,0 +1,225 @@
+#include "verify/fuzzer.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "fill/fill_engine.hpp"
+#include "verify/layout_gen.hpp"
+
+namespace ofl::verify {
+namespace {
+
+/// Shrink-phase helper: rebuilds the case with a different wire set.
+FuzzCase withWires(const FuzzCase& base, const geom::Rect& die,
+                   const std::vector<std::vector<geom::Rect>>& wiresPerLayer) {
+  FuzzCase out = base;
+  out.layout = layout::Layout(die, static_cast<int>(wiresPerLayer.size()));
+  for (std::size_t l = 0; l < wiresPerLayer.size(); ++l) {
+    for (const geom::Rect& w : wiresPerLayer[l]) {
+      const geom::Rect clipped = w.intersection(die);
+      if (!clipped.empty())
+        out.layout.layer(static_cast<int>(l)).wires.push_back(clipped);
+    }
+  }
+  return out;
+}
+
+std::vector<std::vector<geom::Rect>> wiresOf(const layout::Layout& chip) {
+  std::vector<std::vector<geom::Rect>> wires;
+  wires.reserve(static_cast<std::size_t>(chip.numLayers()));
+  for (int l = 0; l < chip.numLayers(); ++l)
+    wires.push_back(chip.layer(l).wires);
+  return wires;
+}
+
+}  // namespace
+
+FuzzCase LayoutFuzzer::generate(std::uint64_t seed) {
+  Rng rng(seed);
+  FuzzCase fuzzCase;
+  fuzzCase.seed = seed;
+
+  testing::LayoutGen::LayoutParams layoutParams;
+  fuzzCase.layout = testing::LayoutGen::randomLayout(rng, layoutParams);
+
+  fill::FillEngineOptions& e = fuzzCase.engine;
+  e.windowSize = rng.uniformInt(500, 1500);
+  e.rules.minWidth = rng.uniformInt(6, 16);
+  e.rules.minSpacing = rng.uniformInt(6, 16);
+  e.rules.minArea = e.rules.minWidth * e.rules.minWidth;
+  e.rules.maxFillSize = rng.uniformInt(80, 300);
+  // maxDensity stays 1.0: the planner's upper bound is then structural
+  // (fills can never exceed it), so density-bounds is a true invariant.
+  e.rules.maxDensity = 1.0;
+  e.candidate.lambda = rng.uniformReal(1.0, 1.3);
+  e.candidate.gamma = rng.uniformReal(0.5, 1.5);
+  e.candidate.uniformCells = rng.bernoulli(0.15);
+  e.sizer.etaWireFactor = rng.uniformReal(1.0, 2.0);
+  e.sizer.iterations = static_cast<int>(rng.uniformInt(1, 2));
+  if (rng.bernoulli(0.2))
+    e.sizer.backend = mcf::McfBackend::kSuccessiveShortestPath;
+  // The invariant checker's determinism pass does its own thread sweep.
+  e.numThreads = 1;
+  return fuzzCase;
+}
+
+FuzzOutcome LayoutFuzzer::check(const FuzzCase& fuzzCase,
+                                bool checkDeterminism) {
+  // Hundreds of tiny engine runs: per-run info logging is pure noise.
+  const ScopedLogLevel quiet(LogLevel::kWarn);
+  layout::Layout chip = fuzzCase.layout;
+  try {
+    fill::FillEngine(fuzzCase.engine).run(chip);
+  } catch (const std::exception& e) {
+    return {false, "engine-run", e.what()};
+  }
+
+  InvariantChecker::Options opts;
+  opts.engine = fuzzCase.engine;
+  opts.checkDeterminism = checkDeterminism;
+  VerifyReport report;
+  try {
+    report = InvariantChecker(opts).check(chip);
+  } catch (const std::exception& e) {
+    return {false, "invariant-check", e.what()};
+  }
+  for (const CheckResult& c : report.checks) {
+    if (!c.passed) return {false, c.name, c.detail};
+  }
+  return {true, "", ""};
+}
+
+FuzzCase LayoutFuzzer::minimize(
+    const FuzzCase& fuzzCase,
+    const std::function<bool(const FuzzCase&)>& failing, int maxEvaluations) {
+  int evaluations = 0;
+  const auto tryCase = [&](const FuzzCase& candidate) {
+    if (evaluations >= maxEvaluations) return false;
+    ++evaluations;
+    return failing(candidate);
+  };
+
+  FuzzCase current = fuzzCase;
+  geom::Rect die = current.layout.die();
+  std::vector<std::vector<geom::Rect>> wires = wiresOf(current.layout);
+
+  // Phase 1: drop trailing layers.
+  while (wires.size() > 1) {
+    auto fewer = wires;
+    fewer.pop_back();
+    const FuzzCase candidate = withWires(current, die, fewer);
+    if (!tryCase(candidate)) break;
+    wires = std::move(fewer);
+    current = candidate;
+  }
+
+  // Phase 2: ddmin over each layer's wire list — remove chunks of
+  // geometrically shrinking size while the failure persists.
+  for (std::size_t l = 0; l < wires.size(); ++l) {
+    std::size_t chunk = std::max<std::size_t>(wires[l].size() / 2, 1);
+    while (chunk >= 1 && !wires[l].empty() && evaluations < maxEvaluations) {
+      bool removedAny = false;
+      for (std::size_t start = 0; start < wires[l].size();) {
+        auto reduced = wires;
+        const std::size_t end = std::min(start + chunk, reduced[l].size());
+        reduced[l].erase(reduced[l].begin() + static_cast<std::ptrdiff_t>(start),
+                         reduced[l].begin() + static_cast<std::ptrdiff_t>(end));
+        const FuzzCase candidate = withWires(current, die, reduced);
+        if (tryCase(candidate)) {
+          wires = std::move(reduced);
+          current = candidate;
+          removedAny = true;
+          // Do not advance: the next chunk shifted into `start`.
+        } else {
+          start += chunk;
+        }
+      }
+      if (chunk == 1 && !removedAny) break;
+      if (!removedAny) chunk /= 2;
+    }
+  }
+
+  // Phase 3: crop the die toward the wires' bounding box (keeping a margin
+  // so fill regions around the wires survive).
+  geom::Rect bbox;
+  bool haveBbox = false;
+  for (const auto& layer : wires) {
+    for (const geom::Rect& w : layer) {
+      bbox = haveBbox ? bbox.bboxUnion(w) : w;
+      haveBbox = true;
+    }
+  }
+  if (haveBbox) {
+    const geom::Coord margins[] = {
+        current.engine.windowSize,
+        current.engine.rules.maxFillSize + 2 * current.engine.rules.minSpacing};
+    for (const geom::Coord margin : margins) {
+      const geom::Rect cropped = bbox.expanded(margin).intersection(die);
+      if (cropped.empty() || cropped == die) continue;
+      const FuzzCase candidate = withWires(current, cropped, wires);
+      if (tryCase(candidate)) {
+        die = cropped;
+        current = candidate;
+      }
+    }
+  }
+  return current;
+}
+
+FuzzStats LayoutFuzzer::run() const {
+  FuzzStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  const auto elapsed = [&start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+
+  if (!options_.corpusDir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.corpusDir, ec);
+  }
+
+  for (int i = 0; i < options_.seeds; ++i) {
+    if (options_.maxSeconds > 0.0 && elapsed() >= options_.maxSeconds) break;
+    const std::uint64_t seed = options_.firstSeed + static_cast<std::uint64_t>(i);
+    const FuzzCase fuzzCase = generate(seed);
+    ++stats.executed;
+    const FuzzOutcome outcome = check(fuzzCase, options_.checkDeterminism);
+    if (outcome.passed) continue;
+
+    FuzzFailure failure;
+    failure.seed = seed;
+    failure.check = outcome.check;
+    failure.detail = outcome.detail;
+    failure.originalWireCount = fuzzCase.layout.wireCount();
+
+    FuzzCase minimal = fuzzCase;
+    if (options_.minimize) {
+      const std::string targetCheck = outcome.check;
+      minimal = minimize(
+          fuzzCase,
+          [this, &targetCheck](const FuzzCase& candidate) {
+            const FuzzOutcome o = check(candidate, options_.checkDeterminism);
+            return !o.passed && o.check == targetCheck;
+          },
+          options_.maxShrinkEvaluations);
+    }
+    failure.minimizedWireCount = minimal.layout.wireCount();
+
+    if (!options_.corpusDir.empty()) {
+      const std::string path = options_.corpusDir + "/seed-" +
+                               std::to_string(seed) + ".repro";
+      if (writeReproFile(path, minimal)) failure.reproPath = path;
+    }
+    stats.failures.push_back(std::move(failure));
+  }
+  stats.seconds = elapsed();
+  return stats;
+}
+
+}  // namespace ofl::verify

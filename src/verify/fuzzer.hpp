@@ -1,0 +1,84 @@
+// Seeded random-layout fuzzer with a shrinking minimizer.
+//
+// Each seed deterministically generates a wire layout plus randomized
+// engine options (window size, DRC rules, candidate/sizer knobs), runs the
+// full fill -> evaluate pipeline, and checks every invariant from
+// invariants.hpp. On failure the case is shrunk with delta debugging —
+// drop layers, halve wire chunks (ddmin), crop the die — while the failure
+// reproduces, and the minimal case is written as a .repro file (repro.hpp)
+// for tests/corpus/.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "verify/invariants.hpp"
+#include "verify/repro.hpp"
+
+namespace ofl::verify {
+
+struct FuzzFailure {
+  std::uint64_t seed = 0;
+  std::string check;   // first failing check name ("engine-run" on a throw)
+  std::string detail;
+  std::string reproPath;  // empty when writing the repro failed
+  std::size_t originalWireCount = 0;
+  std::size_t minimizedWireCount = 0;
+};
+
+struct FuzzOptions {
+  std::uint64_t firstSeed = 1;
+  int seeds = 100;
+  /// Wall-clock budget; 0 = unlimited. Checked between seeds, so one case
+  /// can overshoot slightly.
+  double maxSeconds = 0.0;
+  /// Directory minimized repros are written into (created if missing);
+  /// empty = don't write repros.
+  std::string corpusDir;
+  bool minimize = true;
+  /// Skip the 3-run determinism invariant for faster sweeps.
+  bool checkDeterminism = true;
+  /// Shrink budget: max predicate evaluations per failure.
+  int maxShrinkEvaluations = 160;
+};
+
+struct FuzzStats {
+  int executed = 0;
+  std::vector<FuzzFailure> failures;
+  double seconds = 0.0;
+};
+
+struct FuzzOutcome {
+  bool passed = true;
+  std::string check;
+  std::string detail;
+};
+
+class LayoutFuzzer {
+ public:
+  explicit LayoutFuzzer(FuzzOptions options) : options_(std::move(options)) {}
+
+  FuzzStats run() const;
+
+  /// Deterministic case generation: layout + engine options from one seed.
+  static FuzzCase generate(std::uint64_t seed);
+
+  /// Runs fill + all invariants on a copy of `fuzzCase`; engine exceptions
+  /// surface as a failed "engine-run" outcome instead of propagating.
+  static FuzzOutcome check(const FuzzCase& fuzzCase, bool checkDeterminism);
+
+  /// Delta-debugging shrink: returns the smallest found case for which
+  /// `failing` stays true (it must hold for `fuzzCase` itself). Exposed
+  /// with an arbitrary predicate so tests can shrink against synthetic
+  /// conditions rather than real engine bugs.
+  static FuzzCase minimize(const FuzzCase& fuzzCase,
+                           const std::function<bool(const FuzzCase&)>& failing,
+                           int maxEvaluations);
+
+ private:
+  FuzzOptions options_;
+};
+
+}  // namespace ofl::verify

@@ -1,0 +1,100 @@
+// Invariant checker over a fill solution (`openfill check`).
+//
+// Runs every verifiable contract this library promises about a filled
+// layout, each as a named pass/fail check:
+//
+//   fills-inside-region  every fill inside its layer's legal fill region
+//                        (die minus wires inflated by min spacing)
+//   drc-clean            DrcChecker finds no violation among the fills
+//   density-bounds       achieved window density within the planned
+//                        [l(i,j), u(i,j)] band of density/bounds
+//   gds-roundtrip        GDS serialize -> parse -> rebuild reproduces the
+//                        exact shape sets; serialization is byte-stable
+//   oasis-roundtrip      same through the OASIS writer/reader
+//   oracle-density       DensityMap::compute vs the slab-decomposition
+//                        oracle, per window
+//   oracle-sliding       computeSlidingDensity vs the naive oracle (window
+//                        snapped to the steps lattice, see oracle.hpp)
+//   oracle-metrics       computeMetrics vs long-double transliteration
+//   oracle-evaluator     Evaluator::measure raw metrics (overlay pairs,
+//                        variation, line, outlier) vs oracleMeasure
+//   oracle-score         Evaluator::score vs direct Eqn. 3-4 arithmetic
+//   determinism          re-fill from the wires at 1 thread vs N threads
+//                        vs a ResultCache capture/apply replay — all three
+//                        GDS byte-identical (PR-1/PR-2 contract)
+//
+// Fault injection (--inject) corrupts the solution (or the comparison) in
+// one of four class-specific ways and then requires that the targeted
+// check FAILS — proving the net can actually catch that violation class.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fill/fill_engine.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::verify {
+
+enum class FaultClass { kNone, kSpacing, kDensity, kOverlay, kDeterminism };
+
+std::string toString(FaultClass fault);
+/// Parses "spacing" | "density" | "overlay" | "determinism".
+std::optional<FaultClass> faultClassFromString(const std::string& name);
+
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;  // first failure site, or a one-line summary
+};
+
+struct VerifyReport {
+  std::vector<CheckResult> checks;
+  FaultClass injected = FaultClass::kNone;
+  /// True when the check(s) mapped to the injected class failed.
+  bool injectionDetected = false;
+
+  bool allPassed() const;
+  /// Overall verdict: with no injection, all checks pass; with injection,
+  /// the targeted violation was detected (other checks may also fail —
+  /// the corruption is real).
+  bool ok() const;
+
+  const CheckResult* find(const std::string& name) const;
+};
+
+std::string toJson(const VerifyReport& report);
+
+class InvariantChecker {
+ public:
+  struct Options {
+    /// Engine options the solution claims to satisfy (rules, window size)
+    /// and that the determinism check re-runs with.
+    fill::FillEngineOptions engine;
+    /// Score table suite for the oracle-score check.
+    std::string suite = "s";
+    /// Absolute tolerance on per-window density comparisons (integer area
+    /// ratios; production and oracle agree to rounding).
+    double densityTolerance = 1e-9;
+    /// Relative tolerance on accumulated metric sums (different
+    /// summation orders).
+    double metricTolerance = 1e-9;
+    FaultClass inject = FaultClass::kNone;
+    /// The determinism check runs the engine three times; allow skipping
+    /// it on large inputs (`openfill check --skip-determinism`).
+    bool checkDeterminism = true;
+    int determinismThreads = 4;
+  };
+
+  explicit InvariantChecker(Options options) : options_(std::move(options)) {}
+
+  /// Verifies `filled` (wires + fills). The layout is copied; injection
+  /// mutations never touch the caller's data.
+  VerifyReport check(const layout::Layout& filled) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace ofl::verify

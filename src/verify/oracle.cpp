@@ -1,0 +1,333 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ofl::verify {
+namespace {
+
+using geom::Area;
+using geom::Coord;
+using geom::Rect;
+
+/// 1-D closed-open interval; slabs reduce 2-D area to lists of these.
+struct Span1d {
+  Coord lo = 0;
+  Coord hi = 0;
+};
+
+/// Total length covered by a set of (possibly overlapping) intervals.
+/// Sorts by lo and merges; the classic textbook sweep.
+Coord mergedLength(std::vector<Span1d>& spans) {
+  if (spans.empty()) return 0;
+  std::sort(spans.begin(), spans.end(),
+            [](const Span1d& a, const Span1d& b) { return a.lo < b.lo; });
+  Coord total = 0;
+  Coord curLo = spans.front().lo;
+  Coord curHi = spans.front().hi;
+  for (std::size_t k = 1; k < spans.size(); ++k) {
+    if (spans[k].lo > curHi) {
+      total += curHi - curLo;
+      curLo = spans[k].lo;
+      curHi = spans[k].hi;
+    } else {
+      curHi = std::max(curHi, spans[k].hi);
+    }
+  }
+  total += curHi - curLo;
+  return total;
+}
+
+/// Merges into a sorted disjoint interval list (for set intersection).
+std::vector<Span1d> mergedSpans(std::vector<Span1d>& spans) {
+  std::vector<Span1d> out;
+  if (spans.empty()) return out;
+  std::sort(spans.begin(), spans.end(),
+            [](const Span1d& a, const Span1d& b) { return a.lo < b.lo; });
+  out.push_back(spans.front());
+  for (std::size_t k = 1; k < spans.size(); ++k) {
+    if (spans[k].lo > out.back().hi) {
+      out.push_back(spans[k]);
+    } else {
+      out.back().hi = std::max(out.back().hi, spans[k].hi);
+    }
+  }
+  return out;
+}
+
+/// Overlap length of two sorted disjoint interval lists (two pointers).
+Coord intersectLength(const std::vector<Span1d>& a,
+                      const std::vector<Span1d>& b) {
+  Coord total = 0;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Coord lo = std::max(a[i].lo, b[j].lo);
+    const Coord hi = std::min(a[i].hi, b[j].hi);
+    if (hi > lo) total += hi - lo;
+    if (a[i].hi < b[j].hi) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
+/// Sorted unique y-coordinates (slab boundaries) of non-empty rects.
+std::vector<Coord> slabBoundaries(std::span<const Rect> rects,
+                                  std::span<const Rect> more = {}) {
+  std::vector<Coord> ys;
+  ys.reserve(2 * (rects.size() + more.size()));
+  for (const Rect& r : rects) {
+    if (r.empty()) continue;
+    ys.push_back(r.yl);
+    ys.push_back(r.yh);
+  }
+  for (const Rect& r : more) {
+    if (r.empty()) continue;
+    ys.push_back(r.yl);
+    ys.push_back(r.yh);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  return ys;
+}
+
+/// Active-list slab sweep: rects enter when the sweep reaches their yl and
+/// expire at their yh, so each slab only pays for the rects that cross it
+/// (instead of rescanning the whole input per slab).
+class SlabSweep {
+ public:
+  explicit SlabSweep(std::span<const Rect> rects) {
+    rects_.reserve(rects.size());
+    for (const Rect& r : rects) {
+      if (!r.empty()) rects_.push_back(r);
+    }
+    std::sort(rects_.begin(), rects_.end(),
+              [](const Rect& a, const Rect& b) { return a.yl < b.yl; });
+  }
+
+  /// X-intervals of rects crossing slab [y0, y1). Slab boundaries come
+  /// from slabBoundaries(), so every active rect fully spans the slab.
+  /// Must be called with non-decreasing y0.
+  const std::vector<Span1d>& advanceTo(Coord y0) {
+    std::erase_if(active_, [y0](const Rect& r) { return r.yh <= y0; });
+    while (next_ < rects_.size() && rects_[next_].yl <= y0) {
+      if (rects_[next_].yh > y0) active_.push_back(rects_[next_]);
+      ++next_;
+    }
+    spans_.clear();
+    for (const Rect& r : active_) spans_.push_back({r.xl, r.xh});
+    return spans_;
+  }
+
+ private:
+  std::vector<Rect> rects_;
+  std::vector<Rect> active_;
+  std::vector<Span1d> spans_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace
+
+Area oracleUnionArea(std::span<const Rect> rects) {
+  const std::vector<Coord> ys = slabBoundaries(rects);
+  SlabSweep sweep(rects);
+  Area total = 0;
+  for (std::size_t k = 0; k + 1 < ys.size(); ++k) {
+    const Coord y0 = ys[k];
+    const Coord y1 = ys[k + 1];
+    std::vector<Span1d> spans = sweep.advanceTo(y0);
+    total += static_cast<Area>(mergedLength(spans)) * (y1 - y0);
+  }
+  return total;
+}
+
+Area oracleIntersectionArea(std::span<const Rect> a, std::span<const Rect> b) {
+  const std::vector<Coord> ys = slabBoundaries(a, b);
+  SlabSweep sweepA(a);
+  SlabSweep sweepB(b);
+  Area total = 0;
+  for (std::size_t k = 0; k + 1 < ys.size(); ++k) {
+    const Coord y0 = ys[k];
+    const Coord y1 = ys[k + 1];
+    std::vector<Span1d> rawA = sweepA.advanceTo(y0);
+    std::vector<Span1d> rawB = sweepB.advanceTo(y0);
+    if (rawA.empty() || rawB.empty()) continue;
+    const std::vector<Span1d> mergedA = mergedSpans(rawA);
+    const std::vector<Span1d> mergedB = mergedSpans(rawB);
+    total += static_cast<Area>(intersectLength(mergedA, mergedB)) * (y1 - y0);
+  }
+  return total;
+}
+
+std::vector<double> oracleOverlay(const layout::Layout& layout) {
+  std::vector<double> pairs;
+  for (int l = 0; l + 1 < layout.numLayers(); ++l) {
+    std::vector<Rect> lower = layout.layer(l).wires;
+    lower.insert(lower.end(), layout.layer(l).fills.begin(),
+                 layout.layer(l).fills.end());
+    std::vector<Rect> upper = layout.layer(l + 1).wires;
+    upper.insert(upper.end(), layout.layer(l + 1).fills.begin(),
+                 layout.layer(l + 1).fills.end());
+    const Area all = oracleIntersectionArea(lower, upper);
+    const Area wiresOnly = oracleIntersectionArea(layout.layer(l).wires,
+                                                  layout.layer(l + 1).wires);
+    pairs.push_back(static_cast<double>(all - wiresOnly));
+  }
+  return pairs;
+}
+
+density::DensityMap oracleWindowDensity(const std::vector<Rect>& shapes,
+                                        const layout::WindowGrid& grid) {
+  std::vector<double> values(static_cast<std::size_t>(grid.windowCount()),
+                             0.0);
+  for (int j = 0; j < grid.rows(); ++j) {
+    for (int i = 0; i < grid.cols(); ++i) {
+      const Rect window = grid.windowRect(i, j);
+      const Area windowArea = window.area();
+      if (windowArea <= 0) continue;
+      std::vector<Rect> clipped;
+      for (const Rect& s : shapes) {
+        const Rect c = s.intersection(window);
+        if (!c.empty()) clipped.push_back(c);
+      }
+      values[static_cast<std::size_t>(grid.flatIndex(i, j))] =
+          static_cast<double>(oracleUnionArea(clipped)) /
+          static_cast<double>(windowArea);
+    }
+  }
+  return density::DensityMap(grid.cols(), grid.rows(), std::move(values));
+}
+
+density::DensityMap oracleSlidingDensity(
+    const std::vector<Rect>& shapes, const Rect& die,
+    const density::SlidingDensityOptions& options) {
+  const int r = std::max(options.steps, 1);
+  const Coord stride = std::max<Coord>(options.windowSize / r, 1);
+  // Same position lattice as the production code: one anchor per stride,
+  // tc/tr tile counts from the fine grid, window count max(tc - r + 1, 1).
+  const layout::WindowGrid tiles(die, stride);
+  const int cols = std::max(tiles.cols() - r + 1, 1);
+  const int rows = std::max(tiles.rows() - r + 1, 1);
+  std::vector<double> values(static_cast<std::size_t>(cols) * rows, 0.0);
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      const Coord xl = die.xl + i * stride;
+      const Coord yl = die.yl + j * stride;
+      const Rect window{xl, yl, std::min(xl + options.windowSize, die.xh),
+                        std::min(yl + options.windowSize, die.yh)};
+      const Area area = window.area();
+      if (area <= 0) continue;
+      std::vector<Rect> clipped;
+      for (const Rect& s : shapes) {
+        const Rect c = s.intersection(window);
+        if (!c.empty()) clipped.push_back(c);
+      }
+      values[static_cast<std::size_t>(j) * cols + i] =
+          static_cast<double>(oracleUnionArea(clipped)) /
+          static_cast<double>(area);
+    }
+  }
+  return density::DensityMap(cols, rows, std::move(values));
+}
+
+density::DensityMetrics oracleMetrics(const density::DensityMap& map) {
+  density::DensityMetrics m;
+  const std::vector<double>& v = map.values();
+  if (v.empty()) return m;
+  const auto n = static_cast<long double>(v.size());
+
+  long double sum = 0.0L;
+  for (double d : v) sum += d;
+  const long double mean = sum / n;
+
+  long double varSum = 0.0L;
+  for (double d : v) {
+    const long double dev = static_cast<long double>(d) - mean;
+    varSum += dev * dev;
+  }
+  const long double sigma = std::sqrt(varSum / n);
+
+  // Eqn. 1: per-column mean, then sum of |d(i,j) - columnMean_i|.
+  long double lh = 0.0L;
+  for (int i = 0; i < map.cols(); ++i) {
+    long double colSum = 0.0L;
+    for (int j = 0; j < map.rows(); ++j) colSum += map.at(i, j);
+    const long double colMean = colSum / static_cast<long double>(map.rows());
+    for (int j = 0; j < map.rows(); ++j) {
+      lh += std::abs(static_cast<long double>(map.at(i, j)) - colMean);
+    }
+  }
+
+  // Eqn. 2: mass beyond the 3-sigma band around the mean.
+  long double oh = 0.0L;
+  for (double d : v) {
+    const long double excess =
+        std::abs(static_cast<long double>(d) - mean) - 3.0L * sigma;
+    if (excess > 0.0L) oh += excess;
+  }
+
+  m.mean = static_cast<double>(mean);
+  m.sigma = static_cast<double>(sigma);
+  m.lineHotspot = static_cast<double>(lh);
+  m.outlierHotspot = static_cast<double>(oh);
+  return m;
+}
+
+contest::RawMetrics oracleMeasure(const layout::Layout& layout,
+                                  Coord windowSize) {
+  contest::RawMetrics raw;
+  const layout::WindowGrid grid(layout.die(), windowSize);
+
+  double sigmaSum = 0.0;
+  double ohSum = 0.0;
+  for (int l = 0; l < layout.numLayers(); ++l) {
+    std::vector<Rect> shapes = layout.layer(l).wires;
+    shapes.insert(shapes.end(), layout.layer(l).fills.begin(),
+                  layout.layer(l).fills.end());
+    const density::DensityMap map = oracleWindowDensity(shapes, grid);
+    const density::DensityMetrics m = oracleMetrics(map);
+    raw.layerSigma.push_back(m.sigma);
+    raw.layerLine.push_back(m.lineHotspot);
+    raw.layerOutlier.push_back(m.outlierHotspot);
+    raw.variation += m.sigma;
+    raw.line += m.lineHotspot;
+    sigmaSum += m.sigma;
+    ohSum += m.outlierHotspot;
+  }
+  raw.outlier = sigmaSum * ohSum;
+
+  raw.pairOverlay = oracleOverlay(layout);
+  for (double p : raw.pairOverlay) raw.overlay += p;
+
+  raw.fillCount = layout.fillCount();
+  return raw;
+}
+
+contest::ScoreBreakdown oracleScore(const contest::ScoreTable& table,
+                                    const contest::RawMetrics& raw,
+                                    double runtimeSeconds, double memoryMiB) {
+  // Eqn. 4 written out longhand rather than via ScoreCoefficients::score.
+  const auto f = [](double x, double beta) {
+    return std::max(0.0, 1.0 - x / beta);
+  };
+  contest::ScoreBreakdown s;
+  s.overlay = f(raw.overlay, table.overlay.beta);
+  s.variation = f(raw.variation, table.variation.beta);
+  s.line = f(raw.line, table.line.beta);
+  s.outlier = f(raw.outlier, table.outlier.beta);
+  s.size = f(raw.fileSizeMB, table.size.beta);
+  s.runtime = f(runtimeSeconds, table.runtime.beta);
+  s.memory = f(memoryMiB, table.memory.beta);
+  s.quality = table.overlay.alpha * s.overlay +
+              table.variation.alpha * s.variation + table.line.alpha * s.line +
+              table.outlier.alpha * s.outlier + table.size.alpha * s.size;
+  s.total = s.quality + table.runtime.alpha * s.runtime +
+            table.memory.alpha * s.memory;
+  return s;
+}
+
+}  // namespace ofl::verify

@@ -1,0 +1,85 @@
+// Reference oracles for differential verification.
+//
+// PRs 1-2 made the evaluator's inputs flow through parallel, cached and
+// batched paths; the production `contest::Evaluator` therefore must not be
+// its own judge. Everything here is re-derived from the paper's definitions
+// with deliberately different algorithms than the production code:
+//
+//   * areas use slab decomposition (sort y-coordinates, merge 1-D interval
+//     lists per slab) instead of the scanline Boolean engine;
+//   * per-window and sliding densities recompute every window from scratch
+//     instead of bucketing or prefix sums;
+//   * metrics and scores are straight transliterations of Eqns. 1-4 with
+//     long-double accumulation.
+//
+// Tolerances (asserted by tests/verify/oracle_test.cpp and used by the
+// invariant checker):
+//   * raw areas and densities are exact integer ratios — production and
+//     oracle must agree to 1e-12 absolute per window;
+//   * metric sums (sigma, lh, oh) accumulate in different orders — 1e-9
+//     relative tolerance;
+//   * scores are a fixed arithmetic combination — 1e-12 absolute.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "contest/evaluator.hpp"
+#include "density/density_map.hpp"
+#include "density/metrics.hpp"
+#include "density/sliding.hpp"
+#include "layout/layout.hpp"
+#include "layout/window_grid.hpp"
+
+namespace ofl::verify {
+
+/// Union area of one (possibly overlapping) rect set, by slab decomposition.
+geom::Area oracleUnionArea(std::span<const geom::Rect> rects);
+
+/// Intersection area of two rect sets (each point counted once), by slab
+/// decomposition — the reference for geom::intersectionArea.
+geom::Area oracleIntersectionArea(std::span<const geom::Rect> a,
+                                  std::span<const geom::Rect> b);
+
+/// Fill-induced overlay per adjacent layer pair (paper Section 2.1):
+/// inter-layer overlap of wires+fills minus the wire-wire overlap that
+/// existed before filling. Computed globally — no window bucketing — so it
+/// cross-checks the evaluator's window-partitioned sum.
+std::vector<double> oracleOverlay(const layout::Layout& layout);
+
+/// Per-window density of a shape set: each window recomputed from scratch
+/// (clip, slab union area, divide). Reference for DensityMap::compute /
+/// computeFromShapes.
+density::DensityMap oracleWindowDensity(const std::vector<geom::Rect>& shapes,
+                                        const layout::WindowGrid& grid);
+
+/// Sliding-window density, every position evaluated independently (no
+/// shared prefix sums). Reference for density::computeSlidingDensity.
+///
+/// Precondition for exact agreement: windowSize must be a multiple of
+/// steps. The production prefix-sum implementation quantizes each window's
+/// covered block to steps tiles of floor(windowSize/steps) DBU, so for
+/// non-divisible sizes it under-covers the stated w x w window — a known
+/// limitation this oracle documents; callers (the invariant checker, the
+/// fuzzer) snap window sizes to the divisible lattice.
+density::DensityMap oracleSlidingDensity(
+    const std::vector<geom::Rect>& shapes, const geom::Rect& die,
+    const density::SlidingDensityOptions& options);
+
+/// Eqns. 1-2 metrics straight from the definitions, long-double sums.
+density::DensityMetrics oracleMetrics(const density::DensityMap& map);
+
+/// Raw contest metrics (overlay, variation, line, outlier and their
+/// per-layer vectors) recomputed entirely through the oracles above.
+/// fileSizeMB and drcViolations are NOT populated — they have dedicated
+/// checks (round-trip stability, DrcChecker) rather than a numeric oracle.
+contest::RawMetrics oracleMeasure(const layout::Layout& layout,
+                                  geom::Coord windowSize);
+
+/// Eqns. 3-4 scoring straight from the definition. Reference for
+/// Evaluator::score.
+contest::ScoreBreakdown oracleScore(const contest::ScoreTable& table,
+                                    const contest::RawMetrics& raw,
+                                    double runtimeSeconds, double memoryMiB);
+
+}  // namespace ofl::verify

@@ -1,0 +1,164 @@
+#include "verify/repro.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace ofl::verify {
+namespace {
+
+constexpr const char* kHeader = "openfill-repro v1";
+
+std::string backendName(mcf::McfBackend backend) {
+  switch (backend) {
+    case mcf::McfBackend::kNetworkSimplex:
+      return "network-simplex";
+    case mcf::McfBackend::kSuccessiveShortestPath:
+      return "ssp";
+    case mcf::McfBackend::kCycleCanceling:
+      return "cycle-canceling";
+  }
+  return "network-simplex";
+}
+
+std::optional<mcf::McfBackend> backendFromName(const std::string& name) {
+  if (name == "network-simplex") return mcf::McfBackend::kNetworkSimplex;
+  if (name == "ssp") return mcf::McfBackend::kSuccessiveShortestPath;
+  if (name == "cycle-canceling") return mcf::McfBackend::kCycleCanceling;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string writeRepro(const FuzzCase& fuzzCase) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  const geom::Rect& die = fuzzCase.layout.die();
+  const fill::FillEngineOptions& e = fuzzCase.engine;
+  out << kHeader << "\n";
+  out << "seed " << fuzzCase.seed << "\n";
+  out << "die " << die.xl << " " << die.yl << " " << die.xh << " " << die.yh
+      << "\n";
+  out << "layers " << fuzzCase.layout.numLayers() << "\n";
+  out << "window " << e.windowSize << "\n";
+  out << "rules " << e.rules.minWidth << " " << e.rules.minSpacing << " "
+      << e.rules.minArea << " " << e.rules.maxFillSize << " "
+      << e.rules.maxDensity << "\n";
+  out << "planner " << e.plannerWeights.wSigma << " " << e.plannerWeights.wLine
+      << " " << e.plannerWeights.wOutlier << " " << e.plannerWeights.betaSigma
+      << " " << e.plannerWeights.betaLine << " "
+      << e.plannerWeights.betaOutlier << "\n";
+  out << "candidate " << e.candidate.lambda << " " << e.candidate.gamma << " "
+      << (e.candidate.uniformCells ? 1 : 0) << "\n";
+  out << "sizer " << e.sizer.eta << " " << e.sizer.etaWireFactor << " "
+      << e.sizer.iterations << " " << backendName(e.sizer.backend) << " "
+      << (e.sizer.useLpSolver ? 1 : 0) << "\n";
+  for (int l = 0; l < fuzzCase.layout.numLayers(); ++l) {
+    for (const geom::Rect& w : fuzzCase.layout.layer(l).wires) {
+      out << "wire " << l << " " << w.xl << " " << w.yl << " " << w.xh << " "
+          << w.yh << "\n";
+    }
+  }
+  return out.str();
+}
+
+bool writeReproFile(const std::string& path, const FuzzCase& fuzzCase) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << writeRepro(fuzzCase);
+  return static_cast<bool>(out);
+}
+
+std::optional<FuzzCase> readRepro(const std::string& text) {
+  std::istringstream in(text);
+  // The header must be the first non-comment, non-blank line; corpus files
+  // conventionally start with a `#` block describing the bug.
+  std::string firstLine;
+  bool sawHeader = false;
+  while (std::getline(in, firstLine)) {
+    if (!firstLine.empty() && firstLine.back() == '\r') firstLine.pop_back();
+    const auto start = firstLine.find_first_not_of(" \t");
+    if (start == std::string::npos || firstLine[start] == '#') continue;
+    sawHeader = firstLine == kHeader;
+    break;
+  }
+  if (!sawHeader) return std::nullopt;
+
+  FuzzCase fuzzCase;
+  geom::Rect die{0, 0, 0, 0};
+  int layers = 0;
+  struct Wire {
+    int layer;
+    geom::Rect rect;
+  };
+  std::vector<Wire> wires;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key) || key.empty() || key[0] == '#') continue;
+    fill::FillEngineOptions& e = fuzzCase.engine;
+    if (key == "seed") {
+      if (!(ls >> fuzzCase.seed)) return std::nullopt;
+    } else if (key == "die") {
+      if (!(ls >> die.xl >> die.yl >> die.xh >> die.yh)) return std::nullopt;
+    } else if (key == "layers") {
+      if (!(ls >> layers)) return std::nullopt;
+    } else if (key == "window") {
+      if (!(ls >> e.windowSize)) return std::nullopt;
+    } else if (key == "rules") {
+      if (!(ls >> e.rules.minWidth >> e.rules.minSpacing >> e.rules.minArea >>
+            e.rules.maxFillSize >> e.rules.maxDensity))
+        return std::nullopt;
+    } else if (key == "planner") {
+      if (!(ls >> e.plannerWeights.wSigma >> e.plannerWeights.wLine >>
+            e.plannerWeights.wOutlier >> e.plannerWeights.betaSigma >>
+            e.plannerWeights.betaLine >> e.plannerWeights.betaOutlier))
+        return std::nullopt;
+    } else if (key == "candidate") {
+      int uniform = 0;
+      if (!(ls >> e.candidate.lambda >> e.candidate.gamma >> uniform))
+        return std::nullopt;
+      e.candidate.uniformCells = uniform != 0;
+    } else if (key == "sizer") {
+      std::string backend;
+      int useLp = 0;
+      if (!(ls >> e.sizer.eta >> e.sizer.etaWireFactor >> e.sizer.iterations >>
+            backend >> useLp))
+        return std::nullopt;
+      const auto b = backendFromName(backend);
+      if (!b) return std::nullopt;
+      e.sizer.backend = *b;
+      e.sizer.useLpSolver = useLp != 0;
+    } else if (key == "wire") {
+      Wire w;
+      if (!(ls >> w.layer >> w.rect.xl >> w.rect.yl >> w.rect.xh >> w.rect.yh))
+        return std::nullopt;
+      wires.push_back(w);
+    }
+    // Unknown keys are skipped for forward compatibility.
+  }
+
+  if (die.empty() || layers <= 0 || fuzzCase.engine.windowSize <= 0)
+    return std::nullopt;
+  fuzzCase.layout = layout::Layout(die, layers);
+  for (const Wire& w : wires) {
+    if (w.layer < 0 || w.layer >= layers) return std::nullopt;
+    const geom::Rect clipped = w.rect.intersection(die);
+    if (!clipped.empty()) fuzzCase.layout.layer(w.layer).wires.push_back(clipped);
+  }
+  return fuzzCase;
+}
+
+std::optional<FuzzCase> readReproFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return readRepro(buf.str());
+}
+
+}  // namespace ofl::verify

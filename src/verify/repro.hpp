@@ -1,0 +1,51 @@
+// Fuzz case = seed + wire layout + the solution-affecting engine options,
+// serialized as a line-oriented text format so minimized repros in
+// tests/corpus/ are reviewable in a diff and stable across platforms.
+//
+//   openfill-repro v1
+//   seed 42
+//   die 0 0 2400 2400
+//   layers 2
+//   window 800
+//   rules <minWidth> <minSpacing> <minArea> <maxFillSize> <maxDensity>
+//   planner <wSigma> <wLine> <wOutlier> <betaSigma> <betaLine> <betaOutlier>
+//   candidate <lambda> <gamma> <uniformCells>
+//   sizer <eta> <etaWireFactor> <iterations> <backend> <useLpSolver>
+//   wire <layer> <xl> <yl> <xh> <yh>
+//   ...
+//
+// `#` starts a comment (a leading comment block before the header is
+// allowed); unknown keys are ignored (forward compatibility).
+// The minimizer rewrites only `die`, `layers` and the `wire` lines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fill/fill_engine.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl::verify {
+
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  /// Wires only; fills are produced by running the engine on a copy.
+  layout::Layout layout{{0, 0, 1, 1}, 1};
+  fill::FillEngineOptions engine;
+};
+
+/// Serializes `fuzzCase` to the text format above.
+std::string writeRepro(const FuzzCase& fuzzCase);
+
+/// Writes the repro file; returns false on I/O failure.
+bool writeReproFile(const std::string& path, const FuzzCase& fuzzCase);
+
+/// Parses a repro; nullopt on malformed input (bad header, bad numbers,
+/// empty die, wires outside the die are clipped rather than rejected).
+std::optional<FuzzCase> readRepro(const std::string& text);
+
+/// Reads and parses a repro file; nullopt when unreadable or malformed.
+std::optional<FuzzCase> readReproFile(const std::string& path);
+
+}  // namespace ofl::verify

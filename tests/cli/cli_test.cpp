@@ -7,6 +7,8 @@
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 #include "gds/gds_writer.hpp"
+#include "verify/fuzzer.hpp"
+#include "verify/repro.hpp"
 
 namespace ofl::cli {
 namespace {
@@ -299,6 +301,65 @@ TEST(CommandsTest, DrcReportsViolationsWithExitCode) {
   ASSERT_GT(gds::Writer::writeFile(lib, path), 0);
   EXPECT_EQ(runDrc(Args::parse({"drc", "--in", path})), 1);
   std::remove(path.c_str());
+}
+
+TEST(CommandsTest, CheckVerifiesFilledLayout) {
+  const std::string wires = "/tmp/ofl_cli_check_wires.gds";
+  const std::string filled = "/tmp/ofl_cli_check_filled.gds";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", filled,
+                                 "--window", "1200"})),
+            0);
+  // All invariants hold on a real fill; --json takes the same path.
+  EXPECT_EQ(runCheck(Args::parse({"check", "--in", filled, "--window", "1200",
+                                  "--determinism-threads", "2"})),
+            0);
+  EXPECT_EQ(runCheck(Args::parse({"check", "--in", filled, "--window", "1200",
+                                  "--skip-determinism", "--json"})),
+            0);
+  // Every injected fault class must be detected (exit 0 = net caught it).
+  for (const char* fault : {"spacing", "density", "overlay", "determinism"}) {
+    EXPECT_EQ(runCheck(Args::parse({"check", "--in", filled, "--window",
+                                    "1200", "--determinism-threads", "2",
+                                    "--inject", fault})),
+              0)
+        << fault;
+  }
+  std::remove(wires.c_str());
+  std::remove(filled.c_str());
+}
+
+TEST(CommandsTest, CheckRejectsBadUsage) {
+  EXPECT_EQ(runCheck(Args::parse({"check"})), 2);  // missing --in
+  EXPECT_EQ(runCheck(Args::parse({"check", "--in", "/nonexistent.gds"})), 2);
+  const std::string wires = "/tmp/ofl_cli_check_bad.gds";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  EXPECT_EQ(runCheck(Args::parse({"check", "--in", wires, "--inject",
+                                  "bogus"})),
+            2);
+  std::remove(wires.c_str());
+}
+
+TEST(CommandsTest, FuzzSweepAndReplay) {
+  const std::string corpus = "/tmp/ofl_cli_fuzz_corpus";
+  EXPECT_EQ(runFuzz(Args::parse({"fuzz", "--seeds", "4", "--skip-determinism",
+                                 "--corpus", corpus})),
+            0);
+
+  const std::string repro = "/tmp/ofl_cli_fuzz_case.repro";
+  ASSERT_TRUE(
+      verify::writeReproFile(repro, verify::LayoutFuzzer::generate(2)));
+  EXPECT_EQ(runFuzz(Args::parse({"fuzz", "--replay", repro,
+                                 "--skip-determinism"})),
+            0);
+  EXPECT_EQ(runFuzz(Args::parse({"fuzz", "--replay", "/nonexistent.repro"})),
+            2);
+  std::remove(repro.c_str());
+  std::filesystem::remove_all(corpus);
 }
 
 }  // namespace

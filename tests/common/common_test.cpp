@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "common/cancel.hpp"
 #include "common/logging.hpp"
 #include "common/memory_usage.hpp"
 #include "common/rng.hpp"
@@ -100,6 +101,48 @@ TEST(LoggingTest, LevelGating) {
   }
   EXPECT_EQ(logLevel(), LogLevel::kError);
   setLogLevel(saved);
+}
+
+TEST(CancelTokenTest, ZeroAndNegativeDeadlinesNeverArm) {
+  // armDeadline documents <= 0 as "no deadline": the token must not
+  // expire, now or later — a zero --timeout-s means unlimited, not
+  // instant timeout.
+  CancelToken zero;
+  zero.armDeadline(0.0);
+  EXPECT_FALSE(zero.hasDeadline);
+  EXPECT_FALSE(zero.expired());
+  EXPECT_NO_THROW(zero.throwIfExpired());
+
+  CancelToken negative;
+  negative.armDeadline(-3.0);
+  EXPECT_FALSE(negative.hasDeadline);
+  EXPECT_FALSE(negative.expired());
+
+  // Repeated non-positive arms on an already-armed token do not disturb
+  // the existing deadline either.
+  CancelToken armed;
+  armed.armDeadline(3600.0);
+  EXPECT_TRUE(armed.hasDeadline);
+  armed.armDeadline(0.0);
+  armed.armDeadline(-1.0);
+  EXPECT_TRUE(armed.hasDeadline);
+  EXPECT_FALSE(armed.expired());
+}
+
+TEST(CancelTokenTest, ExplicitCancelBeatsMissingDeadline) {
+  CancelToken token;
+  token.armDeadline(-1.0);
+  EXPECT_FALSE(token.expired());
+  token.cancel();
+  EXPECT_TRUE(token.expired());
+  EXPECT_THROW(token.throwIfExpired(), CancelledError);
+}
+
+TEST(CancelTokenTest, PastDeadlineExpires) {
+  CancelToken token;
+  token.armDeadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(token.expired());
 }
 
 }  // namespace

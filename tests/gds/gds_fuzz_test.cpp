@@ -6,30 +6,13 @@
 #include "common/rng.hpp"
 #include "gds/gds_reader.hpp"
 #include "gds/gds_writer.hpp"
+#include "verify/layout_gen.hpp"
 
 namespace ofl::gds {
 namespace {
 
 Library randomLibrary(Rng& rng) {
-  Library lib;
-  lib.name = "FUZZ";
-  const int cells = static_cast<int>(rng.uniformInt(1, 3));
-  for (int c = 0; c < cells; ++c) {
-    lib.cells.emplace_back();
-    Cell& cell = lib.cells.back();
-    cell.name = "C" + std::to_string(c);
-    const int shapes = static_cast<int>(rng.uniformInt(0, 40));
-    for (int s = 0; s < shapes; ++s) {
-      const geom::Coord x = rng.uniformInt(-100000, 100000);
-      const geom::Coord y = rng.uniformInt(-100000, 100000);
-      const geom::Coord w = rng.uniformInt(1, 5000);
-      const geom::Coord h = rng.uniformInt(1, 5000);
-      Writer::addRect(cell, static_cast<std::int16_t>(rng.uniformInt(1, 8)),
-                      {x, y, x + w, y + h},
-                      static_cast<std::int16_t>(rng.uniformInt(0, 1)));
-    }
-  }
-  return lib;
+  return testing::LayoutGen::randomLibrary(rng);
 }
 
 TEST(GdsFuzzTest, RandomLibrariesRoundTrip) {

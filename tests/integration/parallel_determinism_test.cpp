@@ -15,6 +15,9 @@
 #include "contest/evaluator.hpp"
 #include "contest/score_table.hpp"
 #include "fill/fill_engine.hpp"
+#include "gds/gds_writer.hpp"
+#include "service/fill_service.hpp"
+#include "service/result_cache.hpp"
 
 namespace ofl {
 namespace {
@@ -132,6 +135,93 @@ TEST_F(ParallelDeterminismTest, EcoRefillIdenticalAcrossThreadCounts) {
   parallelOpts.numThreads = 4;
   fill::FillEngine(parallelOpts).runIncremental(parallel, changed);
   expectIdenticalFills(serial, parallel, 4);
+}
+
+TEST_F(ParallelDeterminismTest, EcoRefillByteIdenticalMatrix) {
+  // Full matrix on the ECO path: fill + incremental refill at 1, 2 and 4
+  // threads must produce byte-identical GDS streams, not merely equal fill
+  // lists — byte identity is what the batch service caches and what
+  // `openfill check` verifies.
+  const geom::Rect block{2 * 1200 + 200, 2 * 1200 + 200, 2 * 1200 + 700,
+                         2 * 1200 + 700};
+  auto runMatrixCell = [&](int threads) {
+    layout::Layout chip = runWithThreads(threads);
+    for (int l = 0; l < chip.numLayers(); ++l) {
+      auto& wires = chip.layer(l).wires;
+      wires.erase(std::remove_if(wires.begin(), wires.end(),
+                                 [&](const geom::Rect& w) {
+                                   return w.expanded(spec_.rules.minSpacing)
+                                       .overlaps(block);
+                                 }),
+                  wires.end());
+    }
+    chip.layer(0).wires.push_back(block);
+    fill::FillEngineOptions o = options_;
+    o.numThreads = threads;
+    fill::FillEngine(o).runIncremental(chip, block);
+    return gds::Writer::serialize(chip.toGds());
+  };
+  const auto serial = runMatrixCell(1);
+  for (const int threads : {2, 4}) {
+    EXPECT_EQ(runMatrixCell(threads), serial) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelDeterminismTest, CachedFillReplaysEcoResultExactly) {
+  // capture/applyTo must reproduce an ECO-repaired solution byte for byte:
+  // the result cache stores post-ECO states too.
+  layout::Layout repaired = runWithThreads(1);
+  const geom::Rect block{200, 200, 700, 700};
+  repaired.layer(0).wires.push_back(block);
+  fill::FillEngineOptions o = options_;
+  o.numThreads = 1;
+  const fill::FillReport report =
+      fill::FillEngine(o).runIncremental(repaired, block);
+
+  const auto cached = service::CachedFill::capture(repaired, report);
+  layout::Layout replayed = original_;
+  replayed.layer(0).wires.push_back(block);
+  cached->applyTo(replayed);
+  EXPECT_EQ(gds::Writer::serialize(replayed.toGds()),
+            gds::Writer::serialize(repaired.toGds()));
+}
+
+TEST_F(ParallelDeterminismTest, ServiceJobsAndCacheHitsByteIdentical) {
+  // Batch-service corner of the matrix: the same spec run at --jobs 1 and
+  // --jobs 3, as a cache miss and as a cache hit, must all serialize to
+  // the same bytes as a direct serial engine run.
+  const auto direct = gds::Writer::serialize(runWithThreads(1).toGds());
+  const auto shared = std::make_shared<const layout::Layout>(original_);
+
+  for (const int jobs : {1, 3}) {
+    service::ServiceOptions serviceOptions;
+    serviceOptions.maxConcurrentJobs = jobs;
+    serviceOptions.threadsPerJob = 2;
+    service::FillService fillService(serviceOptions);
+
+    service::JobSpec spec;
+    spec.name = "determinism";
+    spec.layout = shared;
+    spec.engine = options_;
+    spec.keepLayout = true;
+    // First wave populates the cache (concurrent submissions may all miss);
+    // the second wave, submitted after the first drains, must hit.
+    for (int i = 0; i < jobs; ++i) fillService.submit(spec);
+    for (const service::JobResult& result : fillService.waitAll()) {
+      ASSERT_EQ(result.status, service::JobStatus::kSucceeded)
+          << result.error;
+      ASSERT_NE(result.layout, nullptr);
+      EXPECT_EQ(gds::Writer::serialize(result.layout->toGds()), direct)
+          << jobs << " jobs, cacheHit=" << result.cacheHit;
+    }
+    const std::uint64_t hitJob = fillService.submit(spec);
+    const service::JobResult hit = fillService.wait(hitJob);
+    ASSERT_EQ(hit.status, service::JobStatus::kSucceeded) << hit.error;
+    EXPECT_TRUE(hit.cacheHit) << jobs << " jobs";
+    ASSERT_NE(hit.layout, nullptr);
+    EXPECT_EQ(gds::Writer::serialize(hit.layout->toGds()), direct)
+        << jobs << " jobs, cache-hit replay";
+  }
 }
 
 }  // namespace

@@ -136,6 +136,64 @@ TEST(FillServiceTest, ExpiredDeadlineSurfacesAsTimeout) {
   EXPECT_NE(result.error.find("deadline"), std::string::npos);
 }
 
+TEST(FillServiceTest, ZeroTimeoutMeansNoDeadline) {
+  // spec.timeoutSeconds = 0 with the default service timeout of 0 must
+  // mean "no deadline" — the job runs to completion, never kTimedOut.
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  so.threadsPerJob = 1;
+  FillService service(so);
+
+  JobSpec spec = makeSpec(makeInput(), fastOptions());
+  spec.timeoutSeconds = 0.0;
+  service.submit(spec);
+  const JobResult result = service.wait(0);
+  EXPECT_EQ(result.status, JobStatus::kSucceeded) << result.error;
+  EXPECT_GT(result.fillCount, 0u);
+}
+
+TEST(FillServiceTest, NegativeTimeoutFallsBackToServiceDefault) {
+  // A negative per-job timeout is "unset": the service default applies.
+  // With a microscopic default the job must time out; with no default it
+  // must run unlimited.
+  ServiceOptions tight;
+  tight.maxConcurrentJobs = 1;
+  tight.threadsPerJob = 1;
+  tight.defaultTimeoutSeconds = 1e-6;
+  {
+    FillService service(tight);
+    JobSpec spec = makeSpec(makeInput(), fastOptions());
+    spec.timeoutSeconds = -5.0;
+    service.submit(spec);
+    EXPECT_EQ(service.wait(0).status, JobStatus::kTimedOut);
+  }
+
+  ServiceOptions unlimited;
+  unlimited.maxConcurrentJobs = 1;
+  unlimited.threadsPerJob = 1;
+  {
+    FillService service(unlimited);
+    JobSpec spec = makeSpec(makeInput(), fastOptions());
+    spec.timeoutSeconds = -5.0;
+    service.submit(spec);
+    EXPECT_EQ(service.wait(0).status, JobStatus::kSucceeded);
+  }
+}
+
+TEST(FillServiceTest, PositiveSpecTimeoutOverridesDefault) {
+  // A generous per-job timeout must beat a microscopic service default.
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  so.threadsPerJob = 1;
+  so.defaultTimeoutSeconds = 1e-6;
+  FillService service(so);
+
+  JobSpec spec = makeSpec(makeInput(), fastOptions());
+  spec.timeoutSeconds = 3600.0;
+  service.submit(spec);
+  EXPECT_EQ(service.wait(0).status, JobStatus::kSucceeded);
+}
+
 TEST(FillServiceTest, CancelQueuedJob) {
   ServiceOptions so;
   so.maxConcurrentJobs = 1;  // one worker keeps later jobs queued

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <map>
+#include <vector>
+
 #include "service/fingerprint.hpp"
 
 namespace ofl::service {
@@ -67,6 +71,71 @@ TEST(FingerprintTest, SolutionAffectingOptionsChangeFingerprint) {
   o = base;
   o.sizer.iterations += 1;
   EXPECT_NE(optionsFingerprint(o), h);
+}
+
+TEST(FingerprintTest, EverySolutionAffectingFieldChangesFingerprint) {
+  // Property test over the full hashed field list of optionsFingerprint
+  // (src/service/fingerprint.cpp): flipping any single solution-affecting
+  // field must change the key, and every single-field mutation must yield
+  // a distinct key (no two fields may alias in the hash).
+  struct Mutator {
+    const char* name;
+    std::function<void(fill::FillEngineOptions&)> apply;
+  };
+  const std::vector<Mutator> mutators = {
+      {"windowSize", [](auto& o) { o.windowSize += 100; }},
+      {"rules.minWidth", [](auto& o) { o.rules.minWidth += 1; }},
+      {"rules.minSpacing", [](auto& o) { o.rules.minSpacing += 1; }},
+      {"rules.minArea", [](auto& o) { o.rules.minArea += 1; }},
+      {"rules.maxFillSize", [](auto& o) { o.rules.maxFillSize += 1; }},
+      {"rules.maxDensity", [](auto& o) { o.rules.maxDensity -= 0.05; }},
+      {"planner.wSigma", [](auto& o) { o.plannerWeights.wSigma += 0.01; }},
+      {"planner.wLine", [](auto& o) { o.plannerWeights.wLine += 0.01; }},
+      {"planner.wOutlier", [](auto& o) { o.plannerWeights.wOutlier += 0.01; }},
+      {"planner.betaSigma",
+       [](auto& o) { o.plannerWeights.betaSigma += 0.01; }},
+      {"planner.betaLine", [](auto& o) { o.plannerWeights.betaLine += 0.01; }},
+      {"planner.betaOutlier",
+       [](auto& o) { o.plannerWeights.betaOutlier += 0.01; }},
+      {"candidate.lambda", [](auto& o) { o.candidate.lambda += 0.01; }},
+      {"candidate.gamma", [](auto& o) { o.candidate.gamma += 0.01; }},
+      {"candidate.lithoAvoid",
+       [](auto& o) { o.candidate.lithoAvoid = layout::LithoRules{}; }},
+      {"candidate.uniformCells",
+       [](auto& o) { o.candidate.uniformCells = !o.candidate.uniformCells; }},
+      {"sizer.eta", [](auto& o) { o.sizer.eta += 0.01; }},
+      {"sizer.etaWireFactor", [](auto& o) { o.sizer.etaWireFactor += 0.01; }},
+      {"sizer.iterations", [](auto& o) { o.sizer.iterations += 1; }},
+      {"sizer.backend",
+       [](auto& o) { o.sizer.backend = mcf::McfBackend::kSuccessiveShortestPath; }},
+      {"sizer.useLpSolver",
+       [](auto& o) { o.sizer.useLpSolver = !o.sizer.useLpSolver; }},
+  };
+
+  const fill::FillEngineOptions base;
+  const std::uint64_t baseKey = optionsFingerprint(base);
+  std::map<std::uint64_t, const char*> seen;
+  for (const Mutator& m : mutators) {
+    fill::FillEngineOptions mutated = base;
+    m.apply(mutated);
+    const std::uint64_t key = optionsFingerprint(mutated);
+    EXPECT_NE(key, baseKey) << m.name << " must affect the fingerprint";
+    const auto [it, inserted] = seen.emplace(key, m.name);
+    EXPECT_TRUE(inserted) << m.name << " collides with " << it->second;
+  }
+}
+
+TEST(FingerprintTest, LithoRuleValuesAreHashed) {
+  // The optional litho band is hashed by value, not just by presence.
+  fill::FillEngineOptions a;
+  a.candidate.lithoAvoid = layout::LithoRules{};
+  fill::FillEngineOptions b = a;
+  b.candidate.lithoAvoid->forbiddenLo += 1;
+  fill::FillEngineOptions c = a;
+  c.candidate.lithoAvoid->forbiddenHi += 1;
+  EXPECT_NE(optionsFingerprint(a), optionsFingerprint(b));
+  EXPECT_NE(optionsFingerprint(a), optionsFingerprint(c));
+  EXPECT_NE(optionsFingerprint(b), optionsFingerprint(c));
 }
 
 TEST(FingerprintTest, ThreadCountDoesNotChangeFingerprint) {

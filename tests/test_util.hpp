@@ -5,6 +5,7 @@
 
 #include "common/rng.hpp"
 #include "geometry/rect.hpp"
+#include "verify/layout_gen.hpp"
 
 namespace ofl::testutil {
 
@@ -58,13 +59,11 @@ class Raster {
 };
 
 /// Random rect fully inside [0, extent)^2 with edges in [1, maxEdge].
+/// Forwards to the shared seeded generator in src/verify/layout_gen.hpp so
+/// tests and the fuzzer draw from the same distribution.
 inline geom::Rect randomRect(Rng& rng, geom::Coord extent,
                              geom::Coord maxEdge) {
-  const geom::Coord w = rng.uniformInt(1, maxEdge);
-  const geom::Coord h = rng.uniformInt(1, maxEdge);
-  const geom::Coord x = rng.uniformInt(0, extent - w);
-  const geom::Coord y = rng.uniformInt(0, extent - h);
-  return {x, y, x + w, y + h};
+  return testing::LayoutGen::randomRect(rng, extent, maxEdge);
 }
 
 /// True when no two rects in the set overlap (O(n^2), test-sized inputs).

@@ -1,0 +1,124 @@
+// InvariantChecker: a clean fill passes every check; each fault-injection
+// class is detected by its targeted check; report plumbing (find, toJson).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "fill/fill_engine.hpp"
+#include "verify/invariants.hpp"
+
+namespace ofl::verify {
+namespace {
+
+class InvariantsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    filled_ = new layout::Layout(contest::BenchmarkGenerator::generate(
+        contest::BenchmarkGenerator::spec("tiny")));
+    ScopedLogLevel quiet(LogLevel::kWarn);
+    fill::FillEngine(engineOptions()).run(*filled_);
+  }
+
+  static void TearDownTestSuite() {
+    delete filled_;
+    filled_ = nullptr;
+  }
+
+  static fill::FillEngineOptions engineOptions() {
+    fill::FillEngineOptions options;
+    options.windowSize = 800;
+    options.numThreads = 1;
+    return options;
+  }
+
+  static VerifyReport runCheck(FaultClass inject) {
+    ScopedLogLevel quiet(LogLevel::kWarn);
+    InvariantChecker::Options options;
+    options.engine = engineOptions();
+    options.inject = inject;
+    options.determinismThreads = 2;
+    return InvariantChecker(options).check(*filled_);
+  }
+
+  static layout::Layout* filled_;
+};
+
+layout::Layout* InvariantsTest::filled_ = nullptr;
+
+TEST_F(InvariantsTest, CleanFillPassesAllChecks) {
+  const VerifyReport report = runCheck(FaultClass::kNone);
+  for (const CheckResult& check : report.checks) {
+    EXPECT_TRUE(check.passed) << check.name << ": " << check.detail;
+  }
+  EXPECT_TRUE(report.allPassed());
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.injectionDetected);
+
+  // The full check list must be present.
+  for (const char* name :
+       {"fills-inside-region", "drc-clean", "density-bounds", "gds-roundtrip",
+        "oasis-roundtrip", "oracle-density", "oracle-sliding",
+        "oracle-metrics", "oracle-evaluator", "oracle-score", "determinism"}) {
+    EXPECT_NE(report.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(report.find("no-such-check"), nullptr);
+}
+
+TEST_F(InvariantsTest, SpacingInjectionDetected) {
+  const VerifyReport report = runCheck(FaultClass::kSpacing);
+  EXPECT_TRUE(report.injectionDetected);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.allPassed());
+}
+
+TEST_F(InvariantsTest, DensityInjectionDetected) {
+  const VerifyReport report = runCheck(FaultClass::kDensity);
+  EXPECT_TRUE(report.injectionDetected);
+  EXPECT_TRUE(report.ok());
+  const CheckResult* density = report.find("density-bounds");
+  ASSERT_NE(density, nullptr);
+  EXPECT_FALSE(density->passed);
+}
+
+TEST_F(InvariantsTest, OverlayInjectionDetected) {
+  const VerifyReport report = runCheck(FaultClass::kOverlay);
+  EXPECT_TRUE(report.injectionDetected);
+  EXPECT_TRUE(report.ok());
+  const CheckResult* evaluator = report.find("oracle-evaluator");
+  ASSERT_NE(evaluator, nullptr);
+  EXPECT_FALSE(evaluator->passed);
+}
+
+TEST_F(InvariantsTest, DeterminismInjectionDetected) {
+  const VerifyReport report = runCheck(FaultClass::kDeterminism);
+  EXPECT_TRUE(report.injectionDetected);
+  EXPECT_TRUE(report.ok());
+  const CheckResult* determinism = report.find("determinism");
+  ASSERT_NE(determinism, nullptr);
+  EXPECT_FALSE(determinism->passed);
+}
+
+TEST_F(InvariantsTest, JsonContainsEveryCheck) {
+  const VerifyReport report = runCheck(FaultClass::kNone);
+  const std::string json = toJson(report);
+  for (const CheckResult& check : report.checks) {
+    EXPECT_NE(json.find('"' + check.name + '"'), std::string::npos)
+        << check.name;
+  }
+  EXPECT_NE(json.find("\"ok\""), std::string::npos);
+}
+
+TEST(FaultClassTest, StringRoundTrip) {
+  for (FaultClass fault : {FaultClass::kSpacing, FaultClass::kDensity,
+                           FaultClass::kOverlay, FaultClass::kDeterminism}) {
+    const auto parsed = faultClassFromString(toString(fault));
+    ASSERT_TRUE(parsed.has_value()) << toString(fault);
+    EXPECT_EQ(*parsed, fault);
+  }
+  EXPECT_FALSE(faultClassFromString("bogus").has_value());
+}
+
+}  // namespace
+}  // namespace ofl::verify

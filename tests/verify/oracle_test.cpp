@@ -1,0 +1,239 @@
+// Differential tests of the reference oracles: hand-computable cases, the
+// brute-force raster oracle from test_util.hpp, and randomized agreement
+// with the optimized production implementations at the documented
+// tolerances (oracle.hpp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "contest/benchmark_generator.hpp"
+#include "contest/evaluator.hpp"
+#include "contest/score_table.hpp"
+#include "density/density_map.hpp"
+#include "density/metrics.hpp"
+#include "density/sliding.hpp"
+#include "fill/fill_engine.hpp"
+#include "geometry/boolean.hpp"
+#include "../test_util.hpp"
+#include "verify/layout_gen.hpp"
+#include "verify/oracle.hpp"
+
+namespace ofl::verify {
+namespace {
+
+TEST(OracleAreaTest, HandCases) {
+  const std::vector<geom::Rect> none;
+  EXPECT_EQ(oracleUnionArea(none), 0);
+
+  const std::vector<geom::Rect> one = {{0, 0, 10, 10}};
+  EXPECT_EQ(oracleUnionArea(one), 100);
+
+  // Overlapping pair: 100 + 100 - 25.
+  const std::vector<geom::Rect> pair = {{0, 0, 10, 10}, {5, 5, 15, 15}};
+  EXPECT_EQ(oracleUnionArea(pair), 175);
+
+  // Duplicate rects count once.
+  const std::vector<geom::Rect> dup = {{0, 0, 10, 10}, {0, 0, 10, 10}};
+  EXPECT_EQ(oracleUnionArea(dup), 100);
+
+  // Abutting rects (half-open) add exactly.
+  const std::vector<geom::Rect> abut = {{0, 0, 10, 10}, {10, 0, 20, 10}};
+  EXPECT_EQ(oracleUnionArea(abut), 200);
+
+  const std::vector<geom::Rect> a = {{0, 0, 10, 10}};
+  const std::vector<geom::Rect> b = {{5, 5, 15, 15}};
+  EXPECT_EQ(oracleIntersectionArea(a, b), 25);
+  EXPECT_EQ(oracleIntersectionArea(a, a), 100);
+  const std::vector<geom::Rect> far = {{50, 50, 60, 60}};
+  EXPECT_EQ(oracleIntersectionArea(a, far), 0);
+}
+
+TEST(OracleAreaTest, MatchesRasterOracleOnRandomSets) {
+  Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<geom::Rect> a;
+    std::vector<geom::Rect> b;
+    const int n = static_cast<int>(rng.uniformInt(0, 25));
+    for (int i = 0; i < n; ++i)
+      a.push_back(testutil::randomRect(rng, 64, 20));
+    const int m = static_cast<int>(rng.uniformInt(0, 25));
+    for (int i = 0; i < m; ++i)
+      b.push_back(testutil::randomRect(rng, 64, 20));
+
+    testutil::Raster ra(64);
+    ra.paint(a);
+    testutil::Raster rb(64);
+    rb.paint(b);
+    EXPECT_EQ(oracleUnionArea(a), ra.area()) << "trial " << trial;
+    EXPECT_EQ(oracleIntersectionArea(a, b),
+              testutil::Raster::opArea(ra, rb, '&'))
+        << "trial " << trial;
+  }
+}
+
+TEST(OracleAreaTest, MatchesBooleanEngineOnRandomSets) {
+  Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<geom::Rect> a;
+    std::vector<geom::Rect> b;
+    const int n = static_cast<int>(rng.uniformInt(1, 60));
+    for (int i = 0; i < n; ++i)
+      a.push_back(testutil::randomRect(rng, 5000, 800));
+    const int m = static_cast<int>(rng.uniformInt(1, 60));
+    for (int i = 0; i < m; ++i)
+      b.push_back(testutil::randomRect(rng, 5000, 800));
+    EXPECT_EQ(oracleUnionArea(a), geom::unionArea(a)) << "trial " << trial;
+    EXPECT_EQ(oracleIntersectionArea(a, b), geom::intersectionArea(a, b))
+        << "trial " << trial;
+  }
+}
+
+TEST(OracleDensityTest, MatchesProductionOnRandomLayouts) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const layout::Layout chip = testing::LayoutGen::randomLayout(rng);
+    const layout::WindowGrid grid(chip.die(), 700);
+    for (int l = 0; l < chip.numLayers(); ++l) {
+      const density::DensityMap prod =
+          density::DensityMap::computeFromShapes(chip.layer(l).wires, grid);
+      const density::DensityMap ref =
+          oracleWindowDensity(chip.layer(l).wires, grid);
+      ASSERT_EQ(prod.count(), ref.count());
+      for (int w = 0; w < prod.count(); ++w) {
+        EXPECT_NEAR(prod.values()[static_cast<std::size_t>(w)],
+                    ref.values()[static_cast<std::size_t>(w)], 1e-12)
+            << "trial " << trial << " layer " << l << " window " << w;
+      }
+    }
+  }
+}
+
+TEST(OracleDensityTest, SlidingMatchesProductionOnDivisibleWindows) {
+  Rng rng(12);
+  density::SlidingDensityOptions opt;
+  opt.windowSize = 800;  // divisible by steps = 4 (see oracle.hpp)
+  opt.steps = 4;
+  for (int trial = 0; trial < 10; ++trial) {
+    const layout::Layout chip = testing::LayoutGen::randomLayout(rng);
+    for (int l = 0; l < chip.numLayers(); ++l) {
+      const density::DensityMap prod = density::computeSlidingDensity(
+          chip.layer(l).wires, chip.die(), opt);
+      const density::DensityMap ref =
+          oracleSlidingDensity(chip.layer(l).wires, chip.die(), opt);
+      ASSERT_EQ(prod.cols(), ref.cols());
+      ASSERT_EQ(prod.rows(), ref.rows());
+      for (int w = 0; w < prod.count(); ++w) {
+        EXPECT_NEAR(prod.values()[static_cast<std::size_t>(w)],
+                    ref.values()[static_cast<std::size_t>(w)], 1e-12)
+            << "trial " << trial << " layer " << l << " position " << w;
+      }
+    }
+  }
+}
+
+TEST(OracleMetricsTest, HandComputedMap) {
+  // 2 x 2 map: densities 0.1, 0.3 / 0.1, 0.3 (columns constant).
+  const density::DensityMap map(2, 2, {0.1, 0.3, 0.1, 0.3});
+  const density::DensityMetrics m = oracleMetrics(map);
+  EXPECT_NEAR(m.mean, 0.2, 1e-15);
+  EXPECT_NEAR(m.sigma, 0.1, 1e-15);
+  // Column means equal the column values -> zero line hotspots.
+  EXPECT_NEAR(m.lineHotspot, 0.0, 1e-15);
+  // |d - mean| = 0.1 < 3 sigma = 0.3 everywhere -> zero outliers.
+  EXPECT_NEAR(m.outlierHotspot, 0.0, 1e-15);
+}
+
+TEST(OracleMetricsTest, MatchesProductionOnRandomMaps) {
+  Rng rng(13);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int cols = static_cast<int>(rng.uniformInt(1, 12));
+    const int rows = static_cast<int>(rng.uniformInt(1, 12));
+    std::vector<double> values(static_cast<std::size_t>(cols) * rows);
+    for (double& v : values) v = rng.uniformReal(0.0, 1.0);
+    const density::DensityMap map(cols, rows, values);
+    const density::DensityMetrics prod = density::computeMetrics(map);
+    const density::DensityMetrics ref = oracleMetrics(map);
+    EXPECT_NEAR(prod.mean, ref.mean, 1e-12) << "trial " << trial;
+    EXPECT_NEAR(prod.sigma, ref.sigma, 1e-12) << "trial " << trial;
+    EXPECT_NEAR(prod.lineHotspot, ref.lineHotspot,
+                1e-9 * std::max(1.0, ref.lineHotspot))
+        << "trial " << trial;
+    EXPECT_NEAR(prod.outlierHotspot, ref.outlierHotspot,
+                1e-9 * std::max(1.0, ref.outlierHotspot))
+        << "trial " << trial;
+  }
+}
+
+TEST(OracleEvaluatorTest, OverlayHandCase) {
+  // Two layers; lower wire 0..100 x 0..10, upper wire 50..150 x 0..10
+  // overlap 50*10 = 500. A lower fill overlapping the upper wire by
+  // 20 x 10 = 200 is fill-induced.
+  layout::Layout chip({0, 0, 200, 20}, 2);
+  chip.layer(0).wires.push_back({0, 0, 100, 10});
+  chip.layer(1).wires.push_back({50, 0, 150, 10});
+  chip.layer(0).fills.push_back({110, 0, 130, 10});
+  const std::vector<double> overlay = oracleOverlay(chip);
+  ASSERT_EQ(overlay.size(), 1u);
+  EXPECT_DOUBLE_EQ(overlay[0], 200.0);
+}
+
+TEST(OracleEvaluatorTest, MeasureMatchesEvaluatorOnFilledSuite) {
+  const layout::Layout wires = contest::BenchmarkGenerator::generate(
+      contest::BenchmarkGenerator::spec("tiny"));
+  layout::Layout chip = wires;
+  fill::FillEngineOptions options;
+  options.windowSize = 800;
+  options.numThreads = 1;
+  fill::FillEngine(options).run(chip);
+
+  const contest::ScoreTable table = contest::scoreTableFor("s");
+  const contest::Evaluator evaluator(options.windowSize, table, options.rules);
+  const contest::RawMetrics prod = evaluator.measure(chip);
+  const contest::RawMetrics ref = oracleMeasure(chip, options.windowSize);
+
+  const auto near = [](double a, double b) {
+    return std::abs(a - b) <= 1e-9 * std::max({std::abs(a), std::abs(b), 1.0});
+  };
+  EXPECT_TRUE(near(prod.overlay, ref.overlay))
+      << prod.overlay << " vs " << ref.overlay;
+  EXPECT_TRUE(near(prod.variation, ref.variation))
+      << prod.variation << " vs " << ref.variation;
+  EXPECT_TRUE(near(prod.line, ref.line)) << prod.line << " vs " << ref.line;
+  EXPECT_TRUE(near(prod.outlier, ref.outlier))
+      << prod.outlier << " vs " << ref.outlier;
+  ASSERT_EQ(prod.pairOverlay.size(), ref.pairOverlay.size());
+  for (std::size_t p = 0; p < prod.pairOverlay.size(); ++p) {
+    EXPECT_TRUE(near(prod.pairOverlay[p], ref.pairOverlay[p])) << "pair " << p;
+  }
+
+  const contest::ScoreBreakdown prodScore = evaluator.score(prod, 2.0, 128.0);
+  const contest::ScoreBreakdown refScore = oracleScore(table, prod, 2.0, 128.0);
+  EXPECT_NEAR(prodScore.quality, refScore.quality, 1e-12);
+  EXPECT_NEAR(prodScore.total, refScore.total, 1e-12);
+}
+
+TEST(OracleScoreTest, DirectFromDefinition) {
+  contest::ScoreTable table;
+  table.overlay = {0.2, 100.0};
+  table.variation = {0.2, 1.0};
+  table.line = {0.2, 10.0};
+  table.outlier = {0.15, 1.0};
+  table.size = {0.05, 10.0};
+  table.runtime = {0.15, 100.0};
+  table.memory = {0.05, 1000.0};
+  contest::RawMetrics raw;
+  raw.overlay = 50.0;    // f = 0.5
+  raw.variation = 2.0;   // f = 0 (clamped)
+  raw.line = 5.0;        // f = 0.5
+  raw.outlier = 0.5;     // f = 0.5
+  raw.fileSizeMB = 5.0;  // f = 0.5
+  const contest::ScoreBreakdown s = oracleScore(table, raw, 50.0, 500.0);
+  EXPECT_DOUBLE_EQ(s.overlay, 0.5);
+  EXPECT_DOUBLE_EQ(s.variation, 0.0);
+  EXPECT_DOUBLE_EQ(s.quality,
+                   0.2 * 0.5 + 0.2 * 0.0 + 0.2 * 0.5 + 0.15 * 0.5 + 0.05 * 0.5);
+  EXPECT_DOUBLE_EQ(s.total, s.quality + 0.15 * 0.5 + 0.05 * 0.5);
+}
+
+}  // namespace
+}  // namespace ofl::verify
