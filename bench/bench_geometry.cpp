@@ -111,6 +111,83 @@ void BM_RTreeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_RTreeQuery)->Arg(1000)->Arg(20000);
 
+// Eqn. 8 overlap-sum kernel, brute vs indexed. The fill pipeline's
+// byte-identity contract rests on the indexed accumulations returning
+// EXACTLY the brute-force sums, so each indexed benchmark first verifies
+// equality on every probe query and aborts the benchmark on divergence;
+// the reported time is then ns/query.
+Area bruteOverlapSum(const Rect& query, const std::vector<Rect>& shapes) {
+  return overlapAreaSum(query, shapes);
+}
+
+std::vector<Rect> probeQueries(int count, std::uint64_t seed) {
+  return randomRects(count, 19200, 400, seed);
+}
+
+void BM_OverlapSumBrute(benchmark::State& state) {
+  const auto shapes =
+      randomRects(static_cast<int>(state.range(0)), 19200, 120, 77);
+  const auto queries = probeQueries(256, 78);
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bruteOverlapSum(queries[qi++ & 255], shapes));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlapSumBrute)->Arg(100)->Arg(1000)->Arg(20000);
+
+void BM_OverlapSumGridIndex(benchmark::State& state) {
+  const auto shapes =
+      randomRects(static_cast<int>(state.range(0)), 19200, 120, 77);
+  GridIndex index({0, 0, 19200, 19200}, windowCellSize({0, 0, 19200, 19200},
+                                                       400));
+  for (std::uint32_t id = 0; id < shapes.size(); ++id) {
+    index.insert(id, shapes[id]);
+  }
+  const auto queries = probeQueries(256, 78);
+  auto indexedSum = [&](const Rect& q) {
+    Area total = 0;
+    index.visit(q, [&](std::uint32_t id) { total += q.overlapArea(shapes[id]); });
+    return total;
+  };
+  for (const Rect& q : queries) {
+    if (indexedSum(q) != bruteOverlapSum(q, shapes)) {
+      state.SkipWithError("GridIndex overlap sum diverges from brute force");
+      return;
+    }
+  }
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indexedSum(queries[qi++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlapSumGridIndex)->Arg(100)->Arg(1000)->Arg(20000);
+
+void BM_OverlapSumRTree(benchmark::State& state) {
+  const auto shapes =
+      randomRects(static_cast<int>(state.range(0)), 19200, 120, 77);
+  const RTree tree(shapes);
+  const auto queries = probeQueries(256, 78);
+  auto indexedSum = [&](const Rect& q) {
+    Area total = 0;
+    tree.visit(q, [&](std::uint32_t id) { total += q.overlapArea(shapes[id]); });
+    return total;
+  };
+  for (const Rect& q : queries) {
+    if (indexedSum(q) != bruteOverlapSum(q, shapes)) {
+      state.SkipWithError("RTree overlap sum diverges from brute force");
+      return;
+    }
+  }
+  std::size_t qi = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(indexedSum(queries[qi++ & 255]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OverlapSumRTree)->Arg(100)->Arg(1000)->Arg(20000);
+
 void BM_ContourExtraction(benchmark::State& state) {
   const auto rects =
       randomRects(static_cast<int>(state.range(0)), 2000, 80, 21);

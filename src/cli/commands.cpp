@@ -6,6 +6,7 @@
 #include <system_error>
 
 #include "common/memory_usage.hpp"
+#include "common/prof.hpp"
 #include "common/timer.hpp"
 #include "contest/benchmark_generator.hpp"
 #include "contest/evaluator.hpp"
@@ -43,6 +44,38 @@ int guarded(const char* command, Fn&& body) {
     std::fprintf(stderr, "%s: %s\n", command, e.what());
     return 2;
   }
+}
+
+// --profile / --profile-json FILE (fill and batch): turn on the hot-path
+// registry for this invocation. The registry is process-global, so the CLI
+// resets it here and the run's snapshot covers exactly this command.
+bool profilingRequested(const Args& args) {
+  return args.hasFlag("profile") || args.get("profile-json").has_value();
+}
+
+void enableProfiling() {
+  prof::Registry::instance().setEnabled(true);
+  prof::Registry::instance().reset();
+}
+
+// Human table to stderr (keeps stdout parseable), JSON to --profile-json.
+int emitProfile(const char* command, const Args& args,
+                const prof::Snapshot& snapshot) {
+  if (args.hasFlag("profile")) {
+    std::fputs(snapshot.human().c_str(), stderr);
+  }
+  if (const auto path = args.get("profile-json");
+      path.has_value() && !path->empty()) {
+    FILE* f = std::fopen(path->c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "%s: cannot write %s\n", command, path->c_str());
+      return 1;
+    }
+    std::fputs(snapshot.json().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  return 0;
 }
 
 layout::DesignRules rulesFrom(const Args& args) {
@@ -144,6 +177,8 @@ int fillImpl(const Args& args) {
     std::fprintf(stderr, "fill: %s\n", error.c_str());
     return 2;
   }
+  const bool profiling = profilingRequested(args);
+  if (profiling) enableProfiling();
 
   Timer timer;
   const fill::FillReport report = fill::FillEngine(options).run(chip);
@@ -170,6 +205,7 @@ int fillImpl(const Args& args) {
               report.fillCount, report.candidateCount, timer.elapsedSeconds(),
               report.planningSeconds, report.candidateSeconds,
               report.sizingSeconds, bytes, out.c_str());
+  if (profiling) return emitProfile("fill", args, report.profile);
   return 0;
 }
 
@@ -386,6 +422,9 @@ int batchImpl(const Args& args) {
     return 2;
   }
 
+  const bool profiling = profilingRequested(args);
+  if (profiling) enableProfiling();
+
   service::ServiceOptions so;
   so.maxConcurrentJobs =
       static_cast<int>(args.getIntChecked("jobs", so.maxConcurrentJobs));
@@ -437,6 +476,10 @@ int batchImpl(const Args& args) {
               svc.threadsPerJob(), 100.0 * stats.cacheHitRate);
   if (args.hasFlag("json")) {
     std::printf("%s\n", service::toJson(stats).c_str());
+  }
+  if (profiling) {
+    const int rc = emitProfile("batch", args, stats.profile);
+    if (rc != 0) return rc;
   }
   return allOk ? 0 : 1;
 }
@@ -546,11 +589,13 @@ std::string usage() {
       "      Generate a synthetic benchmark suite (wires only).\n"
       "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
       "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
-      "       [--threads N]\n"
+      "       [--threads N] [--profile] [--profile-json FILE]\n"
       "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
       "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
       "      --threads 0 (default) uses every hardware core, results are\n"
-      "      identical for any thread count.\n"
+      "      identical for any thread count. --profile prints the hot-path\n"
+      "      stage table (thread-seconds) to stderr; --profile-json writes\n"
+      "      the same snapshot as JSON (schema: docs/architecture.md).\n"
       "  evaluate --in FILE.gds --suite s|b|m [--window N] [--runtime S]\n"
       "       [--memory MiB]\n"
       "      Score a filled layout with the contest metric.\n"
@@ -565,11 +610,14 @@ std::string usage() {
       "      Run all fillers (3 baselines + engine) and print the score "
       "grid.\n"
       "  batch --manifest FILE --out-dir DIR [--jobs N] [--threads-per-job M]\n"
-      "       [--cache-mb K] [--timeout-s S] [--json]\n"
+      "       [--cache-mb K] [--timeout-s S] [--json] [--profile]\n"
+      "       [--profile-json FILE]\n"
       "      Run a manifest of fill jobs (one per line: input path + fill\n"
       "      options) with N concurrent jobs over a shared result cache;\n"
       "      outputs are byte-identical to sequential `openfill fill` runs\n"
-      "      for any --jobs/--threads-per-job setting.\n"
+      "      for any --jobs/--threads-per-job setting. --profile/-json\n"
+      "      report hot-path stages aggregated over every job (and appear\n"
+      "      under \"profile\" in --json output).\n"
       "  check --in FILE.gds --suite s|b|m [--json] [--skip-determinism]\n"
       "       [--inject spacing|density|overlay|determinism]\n"
       "       [engine options as for fill]\n"

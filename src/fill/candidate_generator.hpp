@@ -11,9 +11,13 @@
 // takes candidates until density reaches lambda * target (lambda >= 1).
 #pragma once
 
+#include <array>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
+#include "geometry/grid_index.hpp"
 #include "geometry/region.hpp"
 #include "layout/design_rules.hpp"
 #include "layout/litho.hpp"
@@ -30,6 +34,12 @@ struct WindowProblem {
   std::vector<double> wireDensity;                // dw(l)
   std::vector<double> targetDensity;              // dt(l)
   std::vector<std::vector<geom::Rect>> fills;     // candidates -> final
+  /// Inflated-wire clips the fill regions were derived from (see
+  /// layout::computeFillRegions): fillRegions[l] covers exactly `window`
+  /// minus the union of blocked[l]. Optional — the generator's
+  /// shared-region kernel uses it when present (engine-built problems)
+  /// and falls back to region intersection when empty (hand-built ones).
+  std::vector<std::vector<geom::Rect>> blocked;
 };
 
 class CandidateGenerator {
@@ -49,6 +59,31 @@ class CandidateGenerator {
     /// output (layout::toCompactGds) collapses them into AREF arrays —
     /// trading some achievable density for much smaller files.
     bool uniformCells = false;
+    /// Score Eqn. 8 overlays through a per-window GridIndex instead of
+    /// scanning every neighbor shape per candidate. Byte-identical output
+    /// (integer overlap sums commute; shapes the index skips contribute
+    /// zero); kept toggleable for the equivalence tests and benchmarks.
+    bool spatialIndex = true;
+  };
+
+  /// Reusable buffers for generate(). One Scratch per worker thread;
+  /// every field is overwritten window by window, so across a layer sweep
+  /// the allocations amortize to (roughly) the largest window's needs.
+  struct Scratch {
+    geom::GridIndex neighborIndex;
+    std::vector<geom::Rect> neighbors;
+    std::vector<geom::Rect> candidates;
+    std::vector<geom::Rect> blockers;
+    std::vector<std::pair<double, std::size_t>> scored;
+    std::vector<geom::Rect> ranked;
+    // sliceRegionInto work buffers (merged sources, per-axis cell spans).
+    std::vector<geom::Rect> sliceSources;
+    std::vector<geom::Interval> sliceXs;
+    std::vector<geom::Interval> sliceYs;
+    // Case-I shared-region sweep output (unsorted; slicing sorts its own
+    // merged copy) and the 3x3 spatial-selection buckets.
+    std::vector<geom::Rect> sharedRects;
+    std::array<std::vector<std::size_t>, 9> takeBuckets;
   };
 
   /// The slicing gutter after litho adjustment (minSpacing, widened out of
@@ -61,6 +96,10 @@ class CandidateGenerator {
   /// Populates problem.fills for every layer.
   void generate(WindowProblem& problem) const;
 
+  /// Same, reusing caller-owned scratch buffers across calls (the engine
+  /// keeps one Scratch per worker thread).
+  void generate(WindowProblem& problem, Scratch& scratch) const;
+
   /// Slices a free-space region into DRC-clean candidate rects: each
   /// decomposed sub-rect is inset by minSpacing/2 (so candidates from
   /// different sub-rects keep their distance) and gridded into cells of at
@@ -71,6 +110,15 @@ class CandidateGenerator {
                                       geom::Coord maxSize) const;
 
  private:
+  /// Slices a disjoint rect set (a Region's rects, or a raw sweep output —
+  /// slicing sorts its own merged copy, so input order does not matter)
+  /// into `out`. With `scratch`, the merge/split work buffers are reused
+  /// across calls (the optimized per-window path); without, each call
+  /// allocates them afresh like the pre-optimization pipeline.
+  void sliceRegionInto(std::span<const geom::Rect> rects, geom::Coord maxSize,
+                       std::vector<geom::Rect>& out,
+                       Scratch* scratch = nullptr) const;
+
   layout::DesignRules rules_;
   Options options_;
 };

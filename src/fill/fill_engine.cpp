@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hpp"
+#include "common/prof.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "density/density_map.hpp"
@@ -46,15 +47,21 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   Timer stage;
   std::vector<std::vector<geom::Region>> fillRegions(
       static_cast<std::size_t>(numLayers));  // [layer][window]
+  std::vector<std::vector<std::vector<geom::Rect>>> blockedBuckets(
+      static_cast<std::size_t>(numLayers));
   std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets(
       static_cast<std::size_t>(numLayers));
   std::vector<density::DensityMap> wireDensity(
       static_cast<std::size_t>(numLayers));
   pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
     const int layer = static_cast<int>(l);
-    fillRegions[l] =
-        layout::computeFillRegions(layout, layer, grid, options_.rules);
-    wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
+    {
+      prof::ScopedTimer timer(prof::Stage::kRegionPrep);
+      fillRegions[l] = layout::computeFillRegions(
+          layout, layer, grid, options_.rules, &blockedBuckets[l]);
+      wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
+    }
+    prof::ScopedTimer timer(prof::Stage::kDensityCompute);
     wireDensity[l] =
         density::DensityMap::computeFromShapes(layout.layer(layer).wires, grid);
   });
@@ -63,17 +70,23 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   std::vector<density::DensityBounds> bounds(
       static_cast<std::size_t>(numLayers));
   pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
+    prof::ScopedTimer timer(prof::Stage::kPlanning);
     bounds[l] = density::computeBounds(layout, static_cast<int>(l), grid,
                                        fillRegions[l], options_.rules);
   });
   const TargetDensityPlanner planner(options_.plannerWeights);
-  TargetPlan plan = planner.plan(bounds, grid.cols(), grid.rows());
+  TargetPlan plan;
+  {
+    prof::ScopedTimer timer(prof::Stage::kPlanning);
+    plan = planner.plan(bounds, grid.cols(), grid.rows());
+  }
   report.planningSeconds += stage.elapsedSeconds();
 
   // --- Stage 2: per-window candidate generation (Section 3.2) ---
   stage.reset();
   std::vector<WindowProblem> problems(numWindows);
   const CandidateGenerator generator(options_.rules, options_.candidate);
+  prof::count(prof::Counter::kWindows, numWindows);
   pool.parallelFor(numWindows, [&](std::size_t w) {
     checkCancel(options_.cancel);
     const int i = static_cast<int>(w) % grid.cols();
@@ -82,14 +95,20 @@ FillReport FillEngine::run(layout::Layout& layout) const {
     p.window = grid.windowRect(i, j);
     p.fillRegions.reserve(static_cast<std::size_t>(numLayers));
     p.wires.reserve(static_cast<std::size_t>(numLayers));
+    p.blocked.reserve(static_cast<std::size_t>(numLayers));
     for (int l = 0; l < numLayers; ++l) {
       p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
       p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+      p.blocked.push_back(blockedBuckets[static_cast<std::size_t>(l)][w]);
       p.wireDensity.push_back(wireDensity[static_cast<std::size_t>(l)].at(i, j));
       p.targetDensity.push_back(
           plan.windowTarget[static_cast<std::size_t>(l)][w]);
     }
-    generator.generate(p);
+    // Worker-local scratch: buffers survive across the windows this
+    // thread processes, then across runs in the same process.
+    static thread_local CandidateGenerator::Scratch scratch;
+    prof::ScopedTimer timer(prof::Stage::kCandidates);
+    generator.generate(p, scratch);
   });
   for (const WindowProblem& p : problems) {
     for (const auto& layerFills : p.fills) {
@@ -123,7 +142,10 @@ FillReport FillEngine::run(layout::Layout& layout) const {
       upper[w] = std::max(upper[w], bounds[static_cast<std::size_t>(l)].lower[w]);
     }
   }
-  plan = planner.plan(bounds, grid.cols(), grid.rows());
+  {
+    prof::ScopedTimer timer(prof::Stage::kPlanning);
+    plan = planner.plan(bounds, grid.cols(), grid.rows());
+  }
   for (std::size_t w = 0; w < numWindows; ++w) {
     for (int l = 0; l < numLayers; ++l) {
       problems[w].targetDensity[static_cast<std::size_t>(l)] =
@@ -139,21 +161,27 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   std::vector<FillSizer::Stats> windowStats(numWindows);
   pool.parallelFor(numWindows, [&](std::size_t w) {
     checkCancel(options_.cancel);
-    sizer.size(problems[w], &windowStats[w]);
+    static thread_local FillSizer::Scratch scratch;
+    prof::ScopedTimer timer(prof::Stage::kSizing);
+    sizer.size(problems[w], scratch, &windowStats[w]);
   });
   for (const FillSizer::Stats& s : windowStats) report.sizerStats.add(s);
   report.sizingSeconds += stage.elapsedSeconds();
 
   // --- Output ---
-  for (const WindowProblem& p : problems) {
-    for (int l = 0; l < numLayers; ++l) {
-      auto& out = layout.layer(l).fills;
-      const auto& fs = p.fills[static_cast<std::size_t>(l)];
-      out.insert(out.end(), fs.begin(), fs.end());
+  {
+    prof::ScopedTimer timer(prof::Stage::kOutput);
+    for (const WindowProblem& p : problems) {
+      for (int l = 0; l < numLayers; ++l) {
+        auto& out = layout.layer(l).fills;
+        const auto& fs = p.fills[static_cast<std::size_t>(l)];
+        out.insert(out.end(), fs.begin(), fs.end());
+      }
     }
   }
   report.fillCount = layout.fillCount();
   report.totalSeconds = total.elapsedSeconds();
+  report.profile = prof::Registry::instance().snapshot();
   logInfo("FillEngine: %zu fills from %zu candidates in %.2fs "
           "(plan %.2fs, cand %.2fs, size %.2fs, %d threads)",
           report.fillCount, report.candidateCount, report.totalSeconds,
@@ -209,6 +237,8 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   std::vector<std::vector<geom::Region>> fillRegions(
       static_cast<std::size_t>(numLayers),
       std::vector<geom::Region>(numWindows));
+  std::vector<std::vector<std::vector<geom::Rect>>> blockedBuckets(
+      static_cast<std::size_t>(numLayers));
   std::vector<std::vector<std::vector<geom::Rect>>> wireBuckets(
       static_cast<std::size_t>(numLayers));
   std::vector<density::DensityMap> wireDensity(
@@ -218,12 +248,20 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
     const int layer = static_cast<int>(l);
     wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
-    wireDensity[l] =
-        density::DensityMap::computeFromShapes(layout.layer(layer).wires, grid);
-    const density::DensityMap current =
-        density::DensityMap::compute(layout, layer, grid);
-    const auto regions =
-        layout::computeFillRegions(layout, layer, grid, options_.rules);
+    {
+      prof::ScopedTimer timer(prof::Stage::kDensityCompute);
+      wireDensity[l] = density::DensityMap::computeFromShapes(
+          layout.layer(layer).wires, grid);
+    }
+    const density::DensityMap current = [&] {
+      prof::ScopedTimer timer(prof::Stage::kDensityCompute);
+      return density::DensityMap::compute(layout, layer, grid);
+    }();
+    const auto regions = [&] {
+      prof::ScopedTimer timer(prof::Stage::kRegionPrep);
+      return layout::computeFillRegions(layout, layer, grid, options_.rules,
+                                        &blockedBuckets[l]);
+    }();
     auto& b = bounds[l];
     b.lower.resize(numWindows);
     b.upper.resize(numWindows);
@@ -243,7 +281,10 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
     }
   });
   const TargetDensityPlanner planner(options_.plannerWeights);
-  const TargetPlan plan = planner.plan(bounds, grid.cols(), grid.rows());
+  const TargetPlan plan = [&] {
+    prof::ScopedTimer timer(prof::Stage::kPlanning);
+    return planner.plan(bounds, grid.cols(), grid.rows());
+  }();
   report.layerTargets = plan.layerTarget;
   report.planningSeconds += stage.elapsedSeconds();
 
@@ -268,13 +309,20 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
     for (int l = 0; l < numLayers; ++l) {
       p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
       p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+      p.blocked.push_back(blockedBuckets[static_cast<std::size_t>(l)][w]);
       p.wireDensity.push_back(
           wireDensity[static_cast<std::size_t>(l)].at(i, j));
       p.targetDensity.push_back(
           plan.windowTarget[static_cast<std::size_t>(l)][w]);
     }
-    generator.generate(p);
-    sizer.size(p, &windowStats[a]);
+    static thread_local CandidateGenerator::Scratch generatorScratch;
+    static thread_local FillSizer::Scratch sizerScratch;
+    {
+      prof::ScopedTimer timer(prof::Stage::kCandidates);
+      generator.generate(p, generatorScratch);
+    }
+    prof::ScopedTimer timer(prof::Stage::kSizing);
+    sizer.size(p, sizerScratch, &windowStats[a]);
   });
   for (std::size_t a = 0; a < problems.size(); ++a) {
     const WindowProblem& p = problems[a];
@@ -291,6 +339,7 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   report.sizingSeconds += stage.elapsedSeconds();
   report.fillCount = layout.fillCount();
   report.totalSeconds = total.elapsedSeconds();
+  report.profile = prof::Registry::instance().snapshot();
   logInfo("FillEngine ECO: refilled affected windows in %.3fs (%zu fills)",
           report.totalSeconds, report.fillCount);
   return report;

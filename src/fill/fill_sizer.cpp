@@ -5,6 +5,7 @@
 #include <cmath>
 #include <vector>
 
+#include "common/prof.hpp"
 #include "lp/simplex.hpp"
 
 namespace ofl::fill {
@@ -13,6 +14,11 @@ namespace {
 using geom::Area;
 using geom::Coord;
 using geom::Rect;
+
+// Below this many shapes in play, brute-force scans beat index builds;
+// both paths compute identical integers, so this is a performance
+// threshold only, never a results switch.
+constexpr std::size_t kIndexMinShapes = 16;
 
 // Axis abstraction: `horizontal` passes size x-extents with y frozen;
 // vertical passes swap the roles.
@@ -45,26 +51,111 @@ struct AxisView {
 // opposing shapes that the edge currently cuts through. Raising the LOW
 // edge reduces overlap with shapes satisfying lo(s) <= edge < hi(s);
 // lowering the HIGH edge with lo(s) < edge <= hi(s).
+//
+// With `index` non-null the candidate set comes from a GridIndex query for
+// the one-DBU strip the edge sweeps; the exact cut test still runs per
+// candidate, so the total is the same integer sum in a different order.
 Coord overlayMarginal(const Rect& fill, Coord edge, bool isLowEdge,
-                      const std::vector<Rect>& opposing, const AxisView& ax) {
+                      const std::vector<Rect>& opposing,
+                      const geom::GridIndex* index, const AxisView& ax) {
   Coord total = 0;
-  for (const Rect& s : opposing) {
-    if (ax.frozenOverlap(fill, s) <= 0) continue;
+  const auto accumulate = [&](const Rect& s) {
+    if (ax.frozenOverlap(fill, s) <= 0) return;
     const bool cuts = isLowEdge ? (ax.lo(s) <= edge && edge < ax.hi(s))
                                 : (ax.lo(s) < edge && edge <= ax.hi(s));
     if (cuts) total += ax.frozenOverlap(fill, s);
+  };
+  if (index == nullptr) {
+    for (const Rect& s : opposing) accumulate(s);
+    return total;
   }
+  // Shapes cutting the edge are exactly those intersecting the one-DBU
+  // strip at the edge (low: [edge, edge+1); high: [edge-1, edge)) with the
+  // fill's frozen extent; anything else contributes zero.
+  Rect query = fill;
+  if (ax.horizontal) {
+    query.xl = isLowEdge ? edge : edge - 1;
+    query.xh = query.xl + 1;
+  } else {
+    query.yl = isLowEdge ? edge : edge - 1;
+    query.yh = query.yl + 1;
+  }
+  index->visit(query, [&](std::uint32_t id) {
+    accumulate(opposing[static_cast<std::size_t>(id)]);
+  });
   return total;
+}
+
+void buildIndex(geom::GridIndex& index, const Rect& window, Coord cellSize,
+                const std::vector<Rect>& shapes) {
+  index.reset(window, cellSize);
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    if (shapes[i].empty()) continue;  // contributes zero either way
+    index.insert(static_cast<std::uint32_t>(i), shapes[i]);
+  }
+  prof::count(prof::Counter::kIndexBuilds);
+}
+
+// All unordered fill pairs (i < j) with frozen-axis overlap whose gap in
+// the variable axis is below minSpacing. Membership is evaluated with the
+// symmetric max-gap form max(lo_j - hi_i, lo_i - hi_j): for non-empty
+// intervals it admits a pair iff the lo-ordered oriented gap does (when
+// the oriented gap is not the max, the other gap is negative, hence below
+// any minSpacing >= 0), so the repair-need pass and the constraint pass
+// can share one list. The indexed path queries each fill's variable-axis
+// expansion by minSpacing — intersection with the expansion is exactly
+// "both oriented gaps < minSpacing" — then sorts, matching the brute
+// (i, j)-ascending order.
+void collectClosePairs(const std::vector<Rect>& fills, const AxisView& ax,
+                       Coord minSpacing, const geom::GridIndex* index,
+                       std::vector<std::pair<std::size_t, std::size_t>>& out) {
+  out.clear();
+  const auto maxGap = [&](std::size_t i, std::size_t j) {
+    return std::max(ax.lo(fills[j]) - ax.hi(fills[i]),
+                    ax.lo(fills[i]) - ax.hi(fills[j]));
+  };
+  if (index == nullptr) {
+    for (std::size_t i = 0; i < fills.size(); ++i) {
+      for (std::size_t j = i + 1; j < fills.size(); ++j) {
+        if (ax.frozenOverlap(fills[i], fills[j]) <= 0) continue;
+        if (maxGap(i, j) < minSpacing) out.push_back({i, j});
+      }
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < fills.size(); ++i) {
+    Rect query = fills[i];
+    if (ax.horizontal) {
+      query.xl -= minSpacing;
+      query.xh += minSpacing;
+    } else {
+      query.yl -= minSpacing;
+      query.yh += minSpacing;
+    }
+    index->visit(query, [&](std::uint32_t id) {
+      const auto j = static_cast<std::size_t>(id);
+      if (j <= i) return;  // each pair once, from its smaller index
+      if (ax.frozenOverlap(fills[i], fills[j]) <= 0) return;
+      if (maxGap(i, j) < minSpacing) out.push_back({i, j});
+    });
+  }
+  std::sort(out.begin(), out.end());
 }
 
 }  // namespace
 
 void FillSizer::size(WindowProblem& problem, Stats* stats) const {
+  Scratch scratch;
+  size(problem, scratch, stats);
+}
+
+void FillSizer::size(WindowProblem& problem, Scratch& scratch,
+                     Stats* stats) const {
   const int numLayers = static_cast<int>(problem.fills.size());
   for (int round = 0; round < options_.iterations; ++round) {
     for (const bool horizontal : {true, false}) {
       for (int l = 0; l < numLayers; ++l) {
-        sizeLayerDirection(problem, l, horizontal, stats);
+        sizeLayerDirection(problem, l, horizontal, scratch, stats);
       }
     }
   }
@@ -72,11 +163,12 @@ void FillSizer::size(WindowProblem& problem, Stats* stats) const {
   // the target; a deterministic width trim removes the residual surplus so
   // the window lands on its target density to DBU precision.
   for (int l = 0; l < numLayers; ++l) {
-    trimToTarget(problem, l);
+    trimToTarget(problem, l, scratch);
   }
 }
 
-void FillSizer::trimToTarget(WindowProblem& problem, int layer) const {
+void FillSizer::trimToTarget(WindowProblem& problem, int layer,
+                             Scratch& scratch) const {
   auto& fills = problem.fills[static_cast<std::size_t>(layer)];
   if (fills.empty()) return;
   const auto windowArea = static_cast<double>(problem.window.area());
@@ -92,7 +184,8 @@ void FillSizer::trimToTarget(WindowProblem& problem, int layer) const {
   // Prefer trimming fills whose right edge currently cuts opposing shapes
   // (free overlay win); opposing geometry is the neighboring layers'.
   const int numLayers = static_cast<int>(problem.fills.size());
-  std::vector<Rect> opposing;
+  auto& opposing = scratch.opposingWires;  // combined wires + fills here
+  opposing.clear();
   for (int nb : {layer - 1, layer + 1}) {
     if (nb < 0 || nb >= numLayers) continue;
     const auto& w = problem.wires[static_cast<std::size_t>(nb)];
@@ -100,12 +193,24 @@ void FillSizer::trimToTarget(WindowProblem& problem, int layer) const {
     opposing.insert(opposing.end(), w.begin(), w.end());
     opposing.insert(opposing.end(), f.begin(), f.end());
   }
+  const geom::GridIndex* index = nullptr;
+  if (options_.spatialIndex && opposing.size() >= kIndexMinShapes) {
+    buildIndex(scratch.wireIndex, problem.window,
+               geom::windowCellSize(problem.window, rules_.maxFillSize),
+               opposing);
+    index = &scratch.wireIndex;
+    prof::count(prof::Counter::kIndexQueries, fills.size());
+  }
   const AxisView ax{true};
   std::vector<std::pair<Coord, std::size_t>> order;  // (-marginal, index)
   order.reserve(fills.size());
-  for (std::size_t i = 0; i < fills.size(); ++i) {
-    order.push_back(
-        {-overlayMarginal(fills[i], fills[i].xh, false, opposing, ax), i});
+  {
+    prof::ScopedTimer overlayTimer(prof::Stage::kSizerOverlay);
+    for (std::size_t i = 0; i < fills.size(); ++i) {
+      order.push_back(
+          {-overlayMarginal(fills[i], fills[i].xh, false, opposing, index, ax),
+           i});
+    }
   }
   std::sort(order.begin(), order.end());
 
@@ -125,7 +230,8 @@ void FillSizer::trimToTarget(WindowProblem& problem, int layer) const {
 }
 
 void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
-                                   bool horizontal, Stats* stats) const {
+                                   bool horizontal, Scratch& scratch,
+                                   Stats* stats) const {
   auto& fills = problem.fills[static_cast<std::size_t>(layer)];
   if (fills.empty()) return;
   const AxisView ax{horizontal};
@@ -133,14 +239,37 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
 
   // Opposing geometry (frozen for this pass): wires and fills of l +- 1,
   // kept separate so overlay with signal wires can be weighted harder.
-  std::vector<Rect> opposingWires;
-  std::vector<Rect> opposingFills;
+  auto& opposingWires = scratch.opposingWires;
+  auto& opposingFills = scratch.opposingFills;
+  opposingWires.clear();
+  opposingFills.clear();
   for (int nb : {layer - 1, layer + 1}) {
     if (nb < 0 || nb >= numLayers) continue;
     const auto& w = problem.wires[static_cast<std::size_t>(nb)];
     const auto& f = problem.fills[static_cast<std::size_t>(nb)];
     opposingWires.insert(opposingWires.end(), w.begin(), w.end());
     opposingFills.insert(opposingFills.end(), f.begin(), f.end());
+  }
+
+  // Per-pass spatial indexes over the (frozen) opposing sets and this
+  // layer's own fills. Every indexed total re-checks the exact predicate
+  // per candidate shape, so results match the brute scans bit for bit.
+  const geom::GridIndex* wireIndex = nullptr;
+  const geom::GridIndex* fillIndex = nullptr;
+  const geom::GridIndex* selfIndex = nullptr;
+  if (options_.spatialIndex &&
+      opposingWires.size() + opposingFills.size() + fills.size() >=
+          kIndexMinShapes) {
+    const Coord cell =
+        geom::windowCellSize(problem.window, rules_.maxFillSize);
+    buildIndex(scratch.wireIndex, problem.window, cell, opposingWires);
+    buildIndex(scratch.fillIndex, problem.window, cell, opposingFills);
+    buildIndex(scratch.selfIndex, problem.window, cell, fills);
+    wireIndex = &scratch.wireIndex;
+    fillIndex = &scratch.fillIndex;
+    selfIndex = &scratch.selfIndex;
+    // 4 marginal queries per fill (2 edges x wires/fills) + 1 pair query.
+    prof::count(prof::Counter::kIndexQueries, 5 * fills.size());
   }
 
   // Density pressure: above target rewards shrinking, below target
@@ -158,30 +287,39 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
   // Per-fill geometry and overlay marginals, computed up front so the
   // step budget below can weight them.
   const std::size_t n = fills.size();
-  std::vector<Coord> frozen(n);
-  std::vector<Coord> minLen(n);
-  std::vector<Coord> ovLo(n);
-  std::vector<Coord> ovHi(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const Rect& f = fills[i];
-    frozen[i] = ax.frozenLen(f);
-    // Legal minimum extent in this axis: width rule and area rule with the
-    // other axis frozen (Eqn. 12).
-    minLen[i] = std::max(
-        rules_.minWidth,
-        static_cast<Coord>((rules_.minArea + frozen[i] - 1) / frozen[i]));
-    // Wire overlay weighted by etaWireFactor relative to fill overlay.
-    const double wf = options_.etaWireFactor;
-    ovLo[i] = static_cast<Coord>(std::llround(
-        wf * static_cast<double>(overlayMarginal(
-                 f, ax.lo(f), /*isLowEdge=*/true, opposingWires, ax)) +
-        static_cast<double>(overlayMarginal(f, ax.lo(f), /*isLowEdge=*/true,
-                                            opposingFills, ax))));
-    ovHi[i] = static_cast<Coord>(std::llround(
-        wf * static_cast<double>(overlayMarginal(
-                 f, ax.hi(f), /*isLowEdge=*/false, opposingWires, ax)) +
-        static_cast<double>(overlayMarginal(f, ax.hi(f), /*isLowEdge=*/false,
-                                            opposingFills, ax))));
+  auto& frozen = scratch.frozen;
+  auto& minLen = scratch.minLen;
+  auto& ovLo = scratch.ovLo;
+  auto& ovHi = scratch.ovHi;
+  frozen.resize(n);
+  minLen.resize(n);
+  ovLo.resize(n);
+  ovHi.resize(n);
+  {
+    prof::ScopedTimer overlayTimer(prof::Stage::kSizerOverlay);
+    for (std::size_t i = 0; i < n; ++i) {
+      const Rect& f = fills[i];
+      frozen[i] = ax.frozenLen(f);
+      // Legal minimum extent in this axis: width rule and area rule with
+      // the other axis frozen (Eqn. 12).
+      minLen[i] = std::max(
+          rules_.minWidth,
+          static_cast<Coord>((rules_.minArea + frozen[i] - 1) / frozen[i]));
+      // Wire overlay weighted by etaWireFactor relative to fill overlay.
+      const double wf = options_.etaWireFactor;
+      ovLo[i] = static_cast<Coord>(std::llround(
+          wf * static_cast<double>(
+                   overlayMarginal(f, ax.lo(f), /*isLowEdge=*/true,
+                                   opposingWires, wireIndex, ax)) +
+          static_cast<double>(overlayMarginal(f, ax.lo(f), /*isLowEdge=*/true,
+                                              opposingFills, fillIndex, ax))));
+      ovHi[i] = static_cast<Coord>(std::llround(
+          wf * static_cast<double>(
+                   overlayMarginal(f, ax.hi(f), /*isLowEdge=*/false,
+                                   opposingWires, wireIndex, ax)) +
+          static_cast<double>(overlayMarginal(f, ax.hi(f), /*isLowEdge=*/false,
+                                              opposingFills, fillIndex, ax))));
+    }
   }
 
   // Per-iteration shrink steps (paper: "variables are bounded to a certain
@@ -194,10 +332,12 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
   // target, a small uniform step still lets overlay-dominated fills trade
   // density away. Rounding down is deliberate — the residual surplus is
   // removed exactly by trimToTarget afterwards.
-  std::vector<Coord> step(n, rules_.minSpacing);
+  auto& step = scratch.step;
+  step.assign(n, rules_.minSpacing);
   if (surplus > 0) {
     double weightedFrozen = 0.0;
-    std::vector<double> weight(n);
+    auto& weight = scratch.weight;
+    weight.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
       const double ovFraction =
           static_cast<double>(ovLo[i] + ovHi[i]) /
@@ -212,21 +352,23 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
     }
   }
 
+  // One shared close-pair list drives both the repair budget and the
+  // spacing constraints (their membership conditions are equivalent; see
+  // collectClosePairs).
+  auto& closePairs = scratch.closePairs;
+  collectClosePairs(fills, ax, rules_.minSpacing, selfIndex, closePairs);
+
   // Fills involved in spacing violations get extra shrink freedom, enough
   // for one fill alone to clear the worst of its violations: repairing DRC
   // outranks the step budget.
-  std::vector<Coord> repairNeed(fills.size(), 0);
-  for (std::size_t i = 0; i < fills.size(); ++i) {
-    for (std::size_t j = i + 1; j < fills.size(); ++j) {
-      if (ax.frozenOverlap(fills[i], fills[j]) <= 0) continue;
-      const Coord gap = std::max(ax.lo(fills[j]) - ax.hi(fills[i]),
-                                 ax.lo(fills[i]) - ax.hi(fills[j]));
-      if (gap < rules_.minSpacing) {
-        const Coord need = rules_.minSpacing - gap;
-        repairNeed[i] = std::max(repairNeed[i], need);
-        repairNeed[j] = std::max(repairNeed[j], need);
-      }
-    }
+  auto& repairNeed = scratch.repairNeed;
+  repairNeed.assign(n, 0);
+  for (const auto& [i, j] : closePairs) {
+    const Coord gap = std::max(ax.lo(fills[j]) - ax.hi(fills[i]),
+                               ax.lo(fills[i]) - ax.hi(fills[j]));
+    const Coord need = rules_.minSpacing - gap;
+    repairNeed[i] = std::max(repairNeed[i], need);
+    repairNeed[j] = std::max(repairNeed[j], need);
   }
 
   // Build the differential LP: variables 2k (lo edge), 2k+1 (hi edge).
@@ -256,24 +398,29 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
   // in this axis with frozen-axis overlap. Candidate generation normally
   // leaves none; this path exists for DRC-dirty inputs.
   std::vector<std::pair<std::size_t, std::size_t>> violating;
-  for (std::size_t i = 0; i < fills.size(); ++i) {
-    for (std::size_t j = i + 1; j < fills.size(); ++j) {
-      if (ax.frozenOverlap(fills[i], fills[j]) <= 0) continue;
-      const std::size_t left = ax.lo(fills[i]) <= ax.lo(fills[j]) ? i : j;
-      const std::size_t right = left == i ? j : i;
-      const Coord gap = ax.lo(fills[right]) - ax.hi(fills[left]);
-      if (gap >= rules_.minSpacing) continue;
-      // lo(right) - hi(left) >= minSpacing
-      lp.addConstraint(static_cast<int>(2 * right),
-                       static_cast<int>(2 * left + 1), rules_.minSpacing);
-      violating.push_back({left, right});
-      if (stats != nullptr) ++stats->spacingConstraints;
-    }
+  for (const auto& [i, j] : closePairs) {
+    const std::size_t left = ax.lo(fills[i]) <= ax.lo(fills[j]) ? i : j;
+    const std::size_t right = left == i ? j : i;
+    // lo(right) - hi(left) >= minSpacing
+    lp.addConstraint(static_cast<int>(2 * right),
+                     static_cast<int>(2 * left + 1), rules_.minSpacing);
+    violating.push_back({left, right});
+    if (stats != nullptr) ++stats->spacingConstraints;
   }
 
-  auto solveRelaxation = [this](const mcf::DifferentialLp& dlp) {
+  auto solveRelaxation = [this, &scratch, layer,
+                          horizontal](const mcf::DifferentialLp& dlp) {
     if (!options_.useLpSolver) {
-      return mcf::DifferentialLpSolver(options_.backend).solve(dlp);
+      // Per-(layer, direction) context: within a window, round r >= 2
+      // revisits the same topology and reuses the round r-1 network.
+      const std::size_t key =
+          static_cast<std::size_t>(layer) * 2 + (horizontal ? 1 : 0);
+      if (scratch.mcfContexts.size() <= key) {
+        scratch.mcfContexts.resize(
+            key + 1, mcf::DualMcfContext(mcf::DualMcfContext::Options{
+                         options_.backend, options_.mcfWarmStart}));
+      }
+      return scratch.mcfContexts[key].solve(dlp);
     }
     // Ablation backend: identical model through the dense simplex.
     lp::LpModel model;
@@ -323,7 +470,7 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
       }
     }
     fills = std::move(kept);
-    sizeLayerDirection(problem, layer, horizontal, stats);
+    sizeLayerDirection(problem, layer, horizontal, scratch, stats);
     return;
   }
   if (!result.feasible) return;  // keep current sizes

@@ -12,7 +12,11 @@
 // the overlay term, Eqn. 11).
 #pragma once
 
+#include <utility>
+#include <vector>
+
 #include "fill/candidate_generator.hpp"
+#include "geometry/grid_index.hpp"
 #include "mcf/dual_lp.hpp"
 
 namespace ofl::fill {
@@ -33,6 +37,20 @@ class FillSizer {
     /// simplex instead of dual min-cost flow (paper Section 3.3.2 vs
     /// 3.3.3). Same optima, different runtime; see bench_ablation.
     bool useLpSolver = false;
+    /// Compute overlay marginals and spacing pairs through per-pass
+    /// GridIndexes instead of scanning every opposing shape per edge.
+    /// Byte-identical output (the index only skips zero terms of integer
+    /// sums, and the pair set is provably the same); toggleable for the
+    /// equivalence tests and benchmarks.
+    bool spatialIndex = true;
+    /// Restart each window's min-cost-flow solves from the previous
+    /// round's optimal basis when the constraint topology repeats
+    /// (NetworkSimplex::resolve). DEFAULT OFF: differential LPs here can
+    /// have alternate optima, so a warm start may return a different
+    /// optimal vertex and break the pipeline's byte-identity contract.
+    /// The always-on network/workspace reuse (DualMcfContext) is the safe
+    /// part and does not depend on this flag.
+    bool mcfWarmStart = false;
   };
 
   struct Stats {
@@ -51,6 +69,27 @@ class FillSizer {
     }
   };
 
+  /// Reusable buffers and min-cost-flow contexts for size(). One Scratch
+  /// per worker thread; contents are overwritten pass by pass, and the MCF
+  /// contexts (keyed by layer*2 + horizontal) let round >= 2 of a window
+  /// reuse the round-1 network when the constraint topology repeats.
+  struct Scratch {
+    std::vector<geom::Rect> opposingWires;
+    std::vector<geom::Rect> opposingFills;
+    geom::GridIndex wireIndex;
+    geom::GridIndex fillIndex;
+    geom::GridIndex selfIndex;
+    std::vector<std::pair<std::size_t, std::size_t>> closePairs;
+    std::vector<geom::Coord> frozen;
+    std::vector<geom::Coord> minLen;
+    std::vector<geom::Coord> ovLo;
+    std::vector<geom::Coord> ovHi;
+    std::vector<geom::Coord> step;
+    std::vector<geom::Coord> repairNeed;
+    std::vector<double> weight;
+    std::vector<mcf::DualMcfContext> mcfContexts;
+  };
+
   FillSizer(layout::DesignRules rules, Options options)
       : rules_(rules), options_(options) {}
 
@@ -59,12 +98,18 @@ class FillSizer {
   /// candidate generation) are repaired or the offending fill dropped.
   void size(WindowProblem& problem, Stats* stats = nullptr) const;
 
+  /// Same, reusing caller-owned scratch buffers across windows (the
+  /// engine keeps one Scratch per worker thread).
+  void size(WindowProblem& problem, Scratch& scratch,
+            Stats* stats = nullptr) const;
+
  private:
   void sizeLayerDirection(WindowProblem& problem, int layer, bool horizontal,
-                          Stats* stats) const;
+                          Scratch& scratch, Stats* stats) const;
   /// Removes the residual density surplus left by step rounding with an
   /// exact width trim, preferring fills whose trim also reduces overlay.
-  void trimToTarget(WindowProblem& problem, int layer) const;
+  void trimToTarget(WindowProblem& problem, int layer,
+                    Scratch& scratch) const;
 
   layout::DesignRules rules_;
   Options options_;

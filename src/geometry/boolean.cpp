@@ -1,6 +1,7 @@
 #include "geometry/boolean.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 
 #include "geometry/decompose.hpp"
@@ -26,9 +27,9 @@ bool predicate(BoolOp op, bool inA, bool inB) {
   return false;
 }
 
-std::vector<Event> buildEvents(std::span<const Rect> a,
-                               std::span<const Rect> b) {
-  std::vector<Event> events;
+void buildEventsInto(std::span<const Rect> a, std::span<const Rect> b,
+                     std::vector<Event>& events) {
+  events.clear();
   events.reserve(2 * (a.size() + b.size()));
   for (const Rect& r : a) {
     if (r.empty()) continue;
@@ -42,35 +43,80 @@ std::vector<Event> buildEvents(std::span<const Rect> a,
   }
   std::sort(events.begin(), events.end(),
             [](const Event& l, const Event& r) { return l.x < r.x; });
-  return events;
 }
 
 // Vertical coverage state: y-boundary -> (deltaA, deltaB) count changes.
-using CoverMap = std::map<Coord, std::pair<int, int>>;
+// Two interchangeable structures hold it (see SweepKernel in the header);
+// both expose bump() and an ascending-y each() and therefore drive the
+// shared sweep to bit-identical output.
 
-void applyEvent(CoverMap& cover, const Event& e) {
-  auto bump = [&cover](Coord y, int da, int db) {
-    auto [it, inserted] = cover.try_emplace(y, 0, 0);
+// SweepKernel::kTree: the original std::map table.
+class CoverTree {
+ public:
+  void bump(Coord y, int da, int db) {
+    auto [it, inserted] = map_.try_emplace(y, 0, 0);
     it->second.first += da;
     it->second.second += db;
-    if (it->second.first == 0 && it->second.second == 0) cover.erase(it);
-  };
-  bump(e.ylo, e.deltaA, e.deltaB);
-  bump(e.yhi, -e.deltaA, -e.deltaB);
-}
+    if (it->second.first == 0 && it->second.second == 0) map_.erase(it);
+  }
+  template <typename Fn>
+  void each(Fn&& fn) const {
+    for (const auto& [y, delta] : map_) fn(y, delta.first, delta.second);
+  }
 
-// Disjoint, sorted y-intervals where the predicate currently holds.
-void coveredIntervals(const CoverMap& cover, BoolOp op,
+ private:
+  std::map<Coord, std::pair<int, int>> map_;
+};
+
+// SweepKernel::kFlat: the same table in a sorted flat vector. Live
+// boundaries at a sweep stop are only the shapes crossing the scanline,
+// so the memmove behind insert()/erase() stays small and each() is a
+// contiguous walk.
+class CoverFlat {
+ public:
+  void bump(Coord y, int da, int db) {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), y,
+        [](const Entry& e, Coord key) { return e.y < key; });
+    if (it != entries_.end() && it->y == y) {
+      it->da += da;
+      it->db += db;
+      if (it->da == 0 && it->db == 0) entries_.erase(it);
+    } else {
+      entries_.insert(it, {y, da, db});
+    }
+  }
+  template <typename Fn>
+  void each(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.y, e.da, e.db);
+  }
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    Coord y;
+    int da;
+    int db;
+  };
+  std::vector<Entry> entries_;
+};
+
+// Disjoint, sorted y-intervals where the predicate currently holds. Pred
+// is a callable (inA, inB) -> bool: the tree kernel passes the runtime
+// predicate() switch, the flat kernel an op-specific lambda the compiler
+// inlines into the per-boundary walk.
+template <typename Cover, typename Pred>
+void coveredIntervals(const Cover& cover, Pred&& pred,
                       std::vector<Interval>& out) {
   out.clear();
   int countA = 0;
   int countB = 0;
   bool active = false;
   Coord start = 0;
-  for (const auto& [y, delta] : cover) {
-    countA += delta.first;
-    countB += delta.second;
-    const bool nowActive = predicate(op, countA > 0, countB > 0);
+  cover.each([&](Coord y, int da, int db) {
+    countA += da;
+    countB += db;
+    const bool nowActive = pred(countA > 0, countB > 0);
     if (nowActive && !active) {
       start = y;
       active = true;
@@ -82,32 +128,44 @@ void coveredIntervals(const CoverMap& cover, BoolOp op,
       }
       active = false;
     }
-  }
+  });
   // Counts return to zero at the topmost boundary, so `active` is false here.
 }
 
-// Generic sweep. Emit(xl, xh, interval) is called once per maximal x-run of
-// each covered y-interval.
-template <typename EmitFn>
-void sweep(std::span<const Rect> a, std::span<const Rect> b, BoolOp op,
-           EmitFn&& emit) {
-  const std::vector<Event> events = buildEvents(a, b);
-  if (events.empty()) return;
+// Open runs: interval -> x where it started. Kept sorted by interval.
+using OpenRuns = std::vector<std::pair<Interval, Coord>>;
 
-  CoverMap cover;
-  // Open runs: interval -> x where it started. Kept sorted by interval.
-  std::vector<std::pair<Interval, Coord>> open;
-  std::vector<Interval> covered;
-  std::vector<std::pair<Interval, Coord>> nextOpen;
+// Reused buffers for the kFlat kernel; one set per thread. The kTree
+// kernel keeps its original per-call locals so the baseline's performance
+// profile stays untouched.
+struct FlatScratch {
+  std::vector<Event> events;
+  CoverFlat cover;
+  OpenRuns open;
+  OpenRuns nextOpen;
+};
 
+FlatScratch& flatScratch() {
+  static thread_local FlatScratch scratch;
+  return scratch;
+}
+
+// Sweep body shared by both kernels. Emit(xl, xh, interval) is called once
+// per maximal x-run of each covered y-interval.
+template <typename Cover, typename Pred, typename EmitFn>
+void sweepLoop(const std::vector<Event>& events, Pred&& pred, Cover& cover,
+               OpenRuns& open, std::vector<Interval>& covered,
+               OpenRuns& nextOpen, EmitFn&& emit) {
   std::size_t i = 0;
   while (i < events.size()) {
     const Coord x = events[i].x;
     while (i < events.size() && events[i].x == x) {
-      applyEvent(cover, events[i]);
+      const Event& e = events[i];
+      cover.bump(e.ylo, e.deltaA, e.deltaB);
+      cover.bump(e.yhi, -e.deltaA, -e.deltaB);
       ++i;
     }
-    coveredIntervals(cover, op, covered);
+    coveredIntervals(cover, pred, covered);
 
     // Diff `open` against `covered`: an interval present in both continues
     // (keeping its original start x); one only in `open` is emitted as a
@@ -143,22 +201,124 @@ void sweep(std::span<const Rect> a, std::span<const Rect> b, BoolOp op,
   // every run was closed above.
 }
 
+// kFlat-only sweep body: same algorithm as sweepLoop, but the covered
+// intervals stream straight into the open-run diff instead of being
+// materialized first. Each finished covered interval is handled in
+// ascending order, which is exactly the order the two-pointer diff in
+// sweepLoop consumes them, so emits and run starts happen in the same
+// sequence and the output is bit-identical.
+template <typename Pred, typename EmitFn>
+void sweepLoopFused(const std::vector<Event>& events, Pred&& pred,
+                    CoverFlat& cover, OpenRuns& open, OpenRuns& nextOpen,
+                    EmitFn&& emit) {
+  auto ivLess = [](const Interval& l, const Interval& r) {
+    return l.lo != r.lo ? l.lo < r.lo : l.hi < r.hi;
+  };
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const Coord x = events[i].x;
+    while (i < events.size() && events[i].x == x) {
+      const Event& e = events[i];
+      cover.bump(e.ylo, e.deltaA, e.deltaB);
+      cover.bump(e.yhi, -e.deltaA, -e.deltaB);
+      ++i;
+    }
+    nextOpen.clear();
+    std::size_t oi = 0;
+    int countA = 0;
+    int countB = 0;
+    bool active = false;
+    Coord start = 0;
+    cover.each([&](Coord y, int da, int db) {
+      countA += da;
+      countB += db;
+      const bool nowActive = pred(countA > 0, countB > 0);
+      if (nowActive && !active) {
+        start = y;
+        active = true;
+      } else if (!nowActive && active) {
+        const Interval cv{start, y};
+        while (oi < open.size() && ivLess(open[oi].first, cv)) {
+          emit(open[oi].second, x, open[oi].first);
+          ++oi;
+        }
+        if (oi < open.size() && open[oi].first == cv) {
+          nextOpen.push_back(open[oi]);
+          ++oi;
+        } else {
+          nextOpen.push_back({cv, x});
+        }
+        active = false;
+      }
+    });
+    for (; oi < open.size(); ++oi) emit(open[oi].second, x, open[oi].first);
+    open.swap(nextOpen);
+  }
+}
+
+template <typename EmitFn>
+void sweep(std::span<const Rect> a, std::span<const Rect> b, BoolOp op,
+           SweepKernel kernel, EmitFn&& emit) {
+  if (kernel == SweepKernel::kTree) {
+    std::vector<Event> events;
+    buildEventsInto(a, b, events);
+    if (events.empty()) return;
+    CoverTree cover;
+    OpenRuns open;
+    std::vector<Interval> covered;
+    OpenRuns nextOpen;
+    sweepLoop(events,
+              [op](bool inA, bool inB) { return predicate(op, inA, inB); },
+              cover, open, covered, nextOpen, emit);
+    return;
+  }
+  FlatScratch& s = flatScratch();
+  buildEventsInto(a, b, s.events);
+  if (s.events.empty()) return;
+  s.cover.clear();
+  s.open.clear();
+  auto run = [&](auto pred) {
+    sweepLoopFused(s.events, pred, s.cover, s.open, s.nextOpen, emit);
+  };
+  switch (op) {
+    case BoolOp::kUnion: run([](bool inA, bool inB) { return inA || inB; });
+      break;
+    case BoolOp::kIntersect:
+      run([](bool inA, bool inB) { return inA && inB; });
+      break;
+    case BoolOp::kSubtract:
+      run([](bool inA, bool inB) { return inA && !inB; });
+      break;
+    case BoolOp::kXor: run([](bool inA, bool inB) { return inA != inB; });
+      break;
+  }
+}
+
 }  // namespace
 
 std::vector<Rect> booleanOp(std::span<const Rect> a, std::span<const Rect> b,
-                            BoolOp op) {
+                            BoolOp op, SweepKernel kernel) {
   std::vector<Rect> out;
-  sweep(a, b, op, [&out](Coord xl, Coord xh, const Interval& iv) {
+  sweep(a, b, op, kernel, [&out](Coord xl, Coord xh, const Interval& iv) {
     if (xl < xh && !iv.empty()) out.push_back({xl, iv.lo, xh, iv.hi});
   });
   std::sort(out.begin(), out.end(), RectYXLess{});
   return out;
 }
 
+void booleanOpInto(std::span<const Rect> a, std::span<const Rect> b, BoolOp op,
+                   std::vector<Rect>& out) {
+  out.clear();
+  sweep(a, b, op, SweepKernel::kFlat,
+        [&out](Coord xl, Coord xh, const Interval& iv) {
+          if (xl < xh && !iv.empty()) out.push_back({xl, iv.lo, xh, iv.hi});
+        });
+}
+
 Area booleanArea(std::span<const Rect> a, std::span<const Rect> b,
-                 BoolOp op) {
+                 BoolOp op, SweepKernel kernel) {
   Area total = 0;
-  sweep(a, b, op, [&total](Coord xl, Coord xh, const Interval& iv) {
+  sweep(a, b, op, kernel, [&total](Coord xl, Coord xh, const Interval& iv) {
     total += static_cast<Area>(xh - xl) * iv.length();
   });
   return total;
@@ -166,6 +326,23 @@ Area booleanArea(std::span<const Rect> a, std::span<const Rect> b,
 
 Area unionArea(std::span<const Rect> rects) {
   return booleanArea(rects, {}, BoolOp::kUnion);
+}
+
+Area overlapAreaSum(const Rect& rect, std::span<const Rect> shapes) {
+  Area total = 0;
+  for (const Rect& s : shapes) total += rect.overlapArea(s);
+  return total;
+}
+
+Area overlapAreaDisjoint(const Rect& rect, std::span<const Rect> shapes) {
+  const Area total = overlapAreaSum(rect, shapes);
+#ifndef NDEBUG
+  // Disjointness precondition: the pairwise sum must equal the exact
+  // covered overlap (coverage-counted once). O(n log n) sweep, debug only.
+  assert(total == intersectionArea({&rect, 1}, shapes) &&
+         "overlapAreaDisjoint requires pairwise-disjoint shapes");
+#endif
+  return total;
 }
 
 }  // namespace ofl::geom

@@ -20,12 +20,38 @@ enum class BoolOp {
   kXor,        // covered by exactly one of A, B
 };
 
+/// Coverage-table implementation behind the sweep. Both kernels run the
+/// SAME algorithm over the same y-boundary -> (deltaA, deltaB) table and
+/// produce bit-identical output; they differ only in the data structure
+/// holding that table:
+///  - kFlat: sorted flat vector with per-thread buffer reuse. Boundary
+///    counts at any sweep stop are few (shapes crossing the scanline), so
+///    binary search + memmove beats tree rebalancing and the linear walk
+///    per stop is cache-friendly. Default everywhere.
+///  - kTree: the original std::map table, one node allocation per live
+///    boundary. Kept as the A/B baseline (bench_hotpath's brute config
+///    reproduces the pre-optimization pipeline with it).
+enum class SweepKernel {
+  kFlat,
+  kTree,
+};
+
 /// Full Boolean: returns the disjoint rectangle decomposition of op(A, B).
 std::vector<Rect> booleanOp(std::span<const Rect> a, std::span<const Rect> b,
-                            BoolOp op);
+                            BoolOp op,
+                            SweepKernel kernel = SweepKernel::kFlat);
+
+/// booleanOp into a caller-owned buffer (cleared first), flat kernel only.
+/// Emits the SAME disjoint decomposition as booleanOp but in sweep emission
+/// order, skipping the canonical RectYXLess sort — for hot paths whose next
+/// step imposes its own order anyway (e.g. candidate slicing re-sorts its
+/// merged sources). Callers that need canonical order use booleanOp.
+void booleanOpInto(std::span<const Rect> a, std::span<const Rect> b,
+                   BoolOp op, std::vector<Rect>& out);
 
 /// Area-only variant; avoids materializing output rectangles.
-Area booleanArea(std::span<const Rect> a, std::span<const Rect> b, BoolOp op);
+Area booleanArea(std::span<const Rect> a, std::span<const Rect> b, BoolOp op,
+                 SweepKernel kernel = SweepKernel::kFlat);
 
 /// Area of the union of one (possibly self-overlapping) rect set.
 Area unionArea(std::span<const Rect> rects);
@@ -37,5 +63,22 @@ inline Area intersectionArea(std::span<const Rect> a,
                              std::span<const Rect> b) {
   return booleanArea(a, b, BoolOp::kIntersect);
 }
+
+/// Total overlap of `rect` with a shape set, summed PAIRWISE — the Eqn. 8
+/// overlay kernel shared by candidate scoring and its spatial-index
+/// variant. Shapes that overlap each other contribute once EACH (the
+/// coupling model: a fill facing two stacked neighbor shapes couples to
+/// both), so on self-overlapping sets the sum exceeds the covered area.
+Area overlapAreaSum(const Rect& rect, std::span<const Rect> shapes);
+
+/// overlapAreaSum restricted to pairwise-DISJOINT shape sets, where the
+/// pairwise sum equals the covered overlap area exactly.
+///
+/// PRECONDITION (debug-asserted): `shapes` must be pairwise disjoint,
+/// e.g. a Region's rects or one layer's sliced candidates. A caller that
+/// swaps Region::overlapArea for this kernel but passes self-overlapping
+/// rects would silently double-count — that is the bug class the assert
+/// exists to catch; release builds do not check.
+Area overlapAreaDisjoint(const Rect& rect, std::span<const Rect> shapes);
 
 }  // namespace ofl::geom

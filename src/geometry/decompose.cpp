@@ -95,24 +95,29 @@ std::vector<Rect> mergeHorizontal(std::vector<Rect> rects) {
 }
 
 std::vector<Rect> mergeVertical(std::vector<Rect> rects) {
-  if (rects.size() < 2) return rects;
+  mergeVerticalInPlace(rects);
+  return rects;
+}
+
+void mergeVerticalInPlace(std::vector<Rect>& rects) {
+  if (rects.size() < 2) return;
   std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
     if (a.xl != b.xl) return a.xl < b.xl;
     if (a.xh != b.xh) return a.xh < b.xh;
     return a.yl < b.yl;
   });
-  std::vector<Rect> out;
-  out.push_back(rects[0]);
+  // Compact in place: the write cursor never passes the read cursor.
+  std::size_t w = 0;
   for (std::size_t i = 1; i < rects.size(); ++i) {
-    Rect& last = out.back();
+    Rect& last = rects[w];
     const Rect& r = rects[i];
     if (r.xl == last.xl && r.xh == last.xh && r.yl == last.yh) {
       last.yh = r.yh;
     } else {
-      out.push_back(r);
+      rects[++w] = r;
     }
   }
-  return out;
+  rects.resize(w + 1);
 }
 
 }  // namespace ofl::geom

@@ -27,4 +27,8 @@ std::vector<Rect> mergeHorizontal(std::vector<Rect> rects);
 /// Merges rects that share a full horizontal edge and identical x-span.
 std::vector<Rect> mergeVertical(std::vector<Rect> rects);
 
+/// In-place variant of mergeVertical for reused scratch buffers: same
+/// sort + merge, compacting into the input vector instead of allocating.
+void mergeVerticalInPlace(std::vector<Rect>& rects);
+
 }  // namespace ofl::geom

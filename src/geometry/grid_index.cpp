@@ -5,13 +5,23 @@
 
 namespace ofl::geom {
 
-GridIndex::GridIndex(const Rect& extent, Coord cellSize)
-    : extent_(extent), cellSize_(std::max<Coord>(cellSize, 1)) {
+GridIndex::GridIndex(const Rect& extent, Coord cellSize) {
+  reset(extent, cellSize);
+}
+
+void GridIndex::reset(const Rect& extent, Coord cellSize) {
+  extent_ = extent;
+  cellSize_ = std::max<Coord>(cellSize, 1);
   nx_ = static_cast<int>((extent_.width() + cellSize_ - 1) / cellSize_);
   ny_ = static_cast<int>((extent_.height() + cellSize_ - 1) / cellSize_);
   nx_ = std::max(nx_, 1);
   ny_ = std::max(ny_, 1);
-  cells_.resize(static_cast<std::size_t>(nx_) * ny_);
+  const auto needed = static_cast<std::size_t>(nx_) * ny_;
+  // clear() keeps each bucket's capacity; only grow the bucket table.
+  for (std::size_t c = 0; c < std::min(needed, cells_.size()); ++c) {
+    cells_[c].clear();
+  }
+  cells_.resize(needed);
 }
 
 void GridIndex::cellRange(const Rect& r, int& cx0, int& cy0, int& cx1,

@@ -6,6 +6,7 @@
 // die and near-uniformly distributed by construction.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -13,10 +14,31 @@
 
 namespace ofl::geom {
 
+/// Cell-pitch heuristic for window-local indexes: pitch near `targetSize`
+/// (the typical query extent, e.g. the max fill size) but no finer than
+/// 1/64 of the window's short side, so the cell table stays small for
+/// windows much larger than the queries. Shared by the candidate
+/// generator's overlay index and the sizer's marginal/spacing indexes.
+inline Coord windowCellSize(const Rect& window, Coord targetSize) {
+  const Coord minDim =
+      std::max<Coord>(std::min(window.width(), window.height()), 1);
+  return std::max<Coord>(std::max(targetSize, minDim / 64), 1);
+}
+
 class GridIndex {
  public:
+  /// Empty index; unusable until reset(). For scratch slots that are
+  /// re-targeted window by window without reallocation.
+  GridIndex() = default;
+
   /// `extent` is the indexed area; `cellSize` the square grid pitch.
   GridIndex(const Rect& extent, Coord cellSize);
+
+  /// Re-targets the index to a new extent/pitch and drops all entries,
+  /// reusing the cell-bucket allocations of earlier geometries. The
+  /// fill pipeline calls this once per window on a per-thread scratch
+  /// index instead of constructing a fresh one.
+  void reset(const Rect& extent, Coord cellSize);
 
   /// Inserts a rect with a caller-chosen id; rects outside the extent are
   /// clamped to the border cells so they are still discoverable.
@@ -55,7 +77,7 @@ class GridIndex {
   void cellRange(const Rect& r, int& cx0, int& cy0, int& cx1, int& cy1) const;
 
   Rect extent_;
-  Coord cellSize_;
+  Coord cellSize_ = 1;
   int nx_ = 0;
   int ny_ = 0;
   std::vector<std::vector<std::uint32_t>> cells_;

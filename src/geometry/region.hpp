@@ -15,9 +15,11 @@ class Region {
  public:
   Region() = default;
   /// From possibly-overlapping rects; normalizes to a disjoint set.
-  explicit Region(std::span<const Rect> rects);
-  explicit Region(const std::vector<Rect>& rects)
-      : Region(std::span<const Rect>(rects)) {}
+  explicit Region(std::span<const Rect> rects,
+                  SweepKernel kernel = SweepKernel::kFlat);
+  explicit Region(const std::vector<Rect>& rects,
+                  SweepKernel kernel = SweepKernel::kFlat)
+      : Region(std::span<const Rect>(rects), kernel) {}
   explicit Region(const Rect& rect);
 
   /// Adopts rects that the caller guarantees are already disjoint
@@ -31,19 +33,39 @@ class Region {
   Area area() const;
   Rect bbox() const;
 
-  Region unite(const Region& other) const;
-  Region intersect(const Region& other) const;
-  Region subtract(const Region& other) const;
+  /// Boolean combinations. The kernel selects the sweep's coverage
+  /// structure only (see SweepKernel); results are bit-identical across
+  /// kernels.
+  Region unite(const Region& other,
+               SweepKernel kernel = SweepKernel::kFlat) const;
+  Region intersect(const Region& other,
+                   SweepKernel kernel = SweepKernel::kFlat) const;
+  Region subtract(const Region& other,
+                  SweepKernel kernel = SweepKernel::kFlat) const;
 
   /// Region clipped to `window`.
   Region clipped(const Rect& window) const;
 
   /// Area of overlap with a raw rect set without materializing the result.
+  /// Counts every covered point ONCE even when `other` self-overlaps (the
+  /// boolean engine tracks coverage counts, not pairwise products) — unlike
+  /// the pairwise-sum kernel overlapAreaSum(), which counts a point once
+  /// per covering shape. The two agree only on pairwise-disjoint input;
+  /// overlapAreaDisjoint() asserts exactly that.
   Area overlapArea(std::span<const Rect> other) const {
     return intersectionArea(rects_, other);
   }
   Area overlapArea(const Region& other) const {
     return overlapArea(other.rects_);
+  }
+
+  /// Region minus a raw (possibly self-overlapping) rect set, in one
+  /// boolean sweep. Byte-identical to subtract(Region(other)) — the sweep
+  /// output is a pure function of the covered point set — but skips the
+  /// normalization pass over `other`.
+  Region subtract(std::span<const Rect> other,
+                  SweepKernel kernel = SweepKernel::kFlat) const {
+    return fromDisjoint(booleanOp(rects_, other, BoolOp::kSubtract, kernel));
   }
 
   /// Region shrunk by `d` DBU on all four sides of every covered point

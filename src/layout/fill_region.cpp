@@ -21,10 +21,11 @@ std::vector<std::vector<geom::Rect>> inflatedWiresPerWindow(
 
 }  // namespace
 
-std::vector<geom::Region> computeFillRegions(const Layout& layout, int layer,
-                                             const WindowGrid& grid,
-                                             const DesignRules& rules) {
-  const auto blocked = inflatedWiresPerWindow(layout, layer, grid, rules);
+std::vector<geom::Region> computeFillRegions(
+    const Layout& layout, int layer, const WindowGrid& grid,
+    const DesignRules& rules,
+    std::vector<std::vector<geom::Rect>>* blockedOut) {
+  auto blocked = inflatedWiresPerWindow(layout, layer, grid, rules);
   std::vector<geom::Region> regions(static_cast<std::size_t>(grid.windowCount()));
   for (int j = 0; j < grid.rows(); ++j) {
     for (int i = 0; i < grid.cols(); ++i) {
@@ -34,6 +35,7 @@ std::vector<geom::Region> computeFillRegions(const Layout& layout, int layer,
           geom::booleanOp(windowRects, blocked[w], geom::BoolOp::kSubtract));
     }
   }
+  if (blockedOut != nullptr) *blockedOut = std::move(blocked);
   return regions;
 }
 

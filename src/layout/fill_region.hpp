@@ -17,9 +17,17 @@ namespace ofl::layout {
 /// Per-window fill regions for one layer, indexed by WindowGrid::flatIndex.
 /// The regions already honor fill-to-wire spacing and die clipping; they do
 /// NOT yet honor min width/area (candidate generation handles that).
-std::vector<geom::Region> computeFillRegions(const Layout& layout, int layer,
-                                             const WindowGrid& grid,
-                                             const DesignRules& rules);
+///
+/// When `blockedOut` is given it receives the per-window inflated-wire
+/// clips the regions were derived from, i.e. the exact rect sets with
+/// region[w] == windowRect(w) minus the union of blockedOut[w]. Downstream
+/// kernels use that identity to recompute region combinations from the few
+/// source shapes instead of the many decomposed slabs (candidate
+/// generation's shared-region kernel).
+std::vector<geom::Region> computeFillRegions(
+    const Layout& layout, int layer, const WindowGrid& grid,
+    const DesignRules& rules,
+    std::vector<std::vector<geom::Rect>>* blockedOut = nullptr);
 
 /// Whole-layer fill region (union over windows); used by baselines that do
 /// not operate window-by-window.

@@ -1,7 +1,9 @@
 #include "mcf/dual_lp.hpp"
 
+#include <algorithm>
 #include <cassert>
 
+#include "common/prof.hpp"
 #include "mcf/cycle_canceling.hpp"
 #include "mcf/network_simplex.hpp"
 #include "mcf/ssp.hpp"
@@ -46,6 +48,28 @@ Value DifferentialLp::objective(const std::vector<Value>& x) const {
 }
 
 DiffLpResult DifferentialLpSolver::solve(const DifferentialLp& lp) const {
+  // One-shot path: a fresh context cold-starts, which is exactly the
+  // historical behavior (and its byte-for-byte results).
+  DualMcfContext context(DualMcfContext::Options{backend_, false});
+  return context.solve(lp);
+}
+
+bool DualMcfContext::topologyMatches(const DifferentialLp& lp) const {
+  if (numVars_ != lp.numVariables()) return false;
+  const auto& constraints = lp.constraints();
+  if (arcPairs_.size() != constraints.size()) return false;
+  for (std::size_t c = 0; c < constraints.size(); ++c) {
+    if (arcPairs_[c].first != constraints[c].i ||
+        arcPairs_[c].second != constraints[c].j) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DiffLpResult DualMcfContext::solve(const DifferentialLp& lp) {
+  prof::ScopedTimer timer(prof::Stage::kMcfSolve);
+  prof::count(prof::Counter::kMcfSolves);
   DiffLpResult result;
   const int n = lp.numVariables();
   if (n == 0) {
@@ -53,16 +77,13 @@ DiffLpResult DifferentialLpSolver::solve(const DifferentialLp& lp) const {
     return result;
   }
 
-  // Build the dual min-cost flow (Eqn. 16). Node 0 is y_0; node v+1 is
-  // variable v. Supplies are c'; each inequality y_i - y_j >= b' becomes an
-  // arc i -> j with cost -b'.
-  Graph graph;
+  // Dual min-cost flow data (Eqn. 16). Node 0 is y_0; node v+1 is
+  // variable v. Supplies are c'; each inequality y_i - y_j >= b' becomes
+  // an arc i -> j with cost -b'.
   Value sumCosts = 0;
   Value positiveSupply = 0;
-  for (int v = 0; v < n; ++v) sumCosts += lp.cost(v);
-  graph.addNode(-sumCosts);  // c'_0
   for (int v = 0; v < n; ++v) {
-    graph.addNode(lp.cost(v));
+    sumCosts += lp.cost(v);
     positiveSupply += std::max<Value>(lp.cost(v), 0);
   }
   positiveSupply += std::max<Value>(-sumCosts, 0);
@@ -70,27 +91,61 @@ DiffLpResult DifferentialLpSolver::solve(const DifferentialLp& lp) const {
   // Any cycle-free optimal flow routes at most the total positive supply
   // through an arc; the margin keeps every arc strictly below capacity in
   // some optimum, which preserves dual feasibility of the potentials for
-  // the uncapacitated LP.
+  // the uncapacitated LP. Supplies are per-solve data, so capacities are
+  // rewritten even when the network is reused.
   const Value cap = 4 * positiveSupply + 4;
 
-  for (const DiffConstraint& c : lp.constraints()) {
-    graph.addArc(c.i + 1, c.j + 1, cap, -c.bound);
-  }
-  for (int v = 0; v < n; ++v) {
-    graph.addArc(v + 1, 0, cap, -lp.lower(v));  // y_v - y_0 >= l_v
-    graph.addArc(0, v + 1, cap, lp.upper(v));   // y_0 - y_v >= -u_v
+  if (topologyMatches(lp)) {
+    prof::count(prof::Counter::kMcfNetworkReuses);
+    graph_.setSupply(0, -sumCosts);
+    for (int v = 0; v < n; ++v) graph_.setSupply(v + 1, lp.cost(v));
+    int a = 0;
+    for (const DiffConstraint& c : lp.constraints()) {
+      Arc& arc = graph_.arc(a++);
+      arc.capacity = cap;
+      arc.cost = -c.bound;
+    }
+    for (int v = 0; v < n; ++v) {
+      Arc& lowerArc = graph_.arc(a++);
+      lowerArc.capacity = cap;
+      lowerArc.cost = -lp.lower(v);
+      Arc& upperArc = graph_.arc(a++);
+      upperArc.capacity = cap;
+      upperArc.cost = lp.upper(v);
+    }
+  } else {
+    graph_ = Graph();
+    graph_.addNode(-sumCosts);  // c'_0
+    for (int v = 0; v < n; ++v) graph_.addNode(lp.cost(v));
+    for (const DiffConstraint& c : lp.constraints()) {
+      graph_.addArc(c.i + 1, c.j + 1, cap, -c.bound);
+    }
+    for (int v = 0; v < n; ++v) {
+      graph_.addArc(v + 1, 0, cap, -lp.lower(v));  // y_v - y_0 >= l_v
+      graph_.addArc(0, v + 1, cap, lp.upper(v));   // y_0 - y_v >= -u_v
+    }
+    arcPairs_.clear();
+    arcPairs_.reserve(lp.constraints().size());
+    for (const DiffConstraint& c : lp.constraints()) {
+      arcPairs_.push_back({c.i, c.j});
+    }
+    numVars_ = n;
   }
 
   FlowResult flow;
-  switch (backend_) {
+  switch (options_.backend) {
     case McfBackend::kNetworkSimplex:
-      flow = NetworkSimplex().solve(graph);
+      flow = options_.warmStart ? simplex_.resolve(graph_)
+                                : simplex_.solve(graph_);
+      if (simplex_.lastSolveWarm()) {
+        prof::count(prof::Counter::kMcfWarmStarts);
+      }
       break;
     case McfBackend::kSuccessiveShortestPath:
-      flow = SuccessiveShortestPath().solve(graph);
+      flow = SuccessiveShortestPath().solve(graph_);
       break;
     case McfBackend::kCycleCanceling:
-      flow = CycleCanceling().solve(graph);
+      flow = CycleCanceling().solve(graph_);
       break;
   }
   if (flow.status != SolveStatus::kOptimal) return result;

@@ -12,9 +12,11 @@
 // x_i = y_i - y_0 (Eqn. 16a). Integrality is free: all data are integers.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "mcf/graph.hpp"
+#include "mcf/network_simplex.hpp"
 
 namespace ofl::mcf {
 
@@ -73,6 +75,43 @@ class DifferentialLpSolver {
 
  private:
   McfBackend backend_;
+};
+
+/// Reusable solve context for sequences of differential LPs.
+///
+/// The sizer solves thousands of per-window LPs whose topology (variable
+/// count + constraint (i,j) list) repeats across H/V rounds; this context
+/// caches the dual-flow Graph and the simplex workspace so a repeat
+/// topology only rewrites supplies, costs, and capacities in place instead
+/// of rebuilding the network. The in-place update feeds the solver exactly
+/// the graph a fresh build would, so results stay byte-identical to
+/// DifferentialLpSolver — reuse changes allocation, never arithmetic.
+///
+/// `warmStart` additionally restarts the network simplex from the previous
+/// optimal basis (NetworkSimplex::resolve). OFF by default: on LPs with
+/// alternate optima a warm start can return a different optimal vertex,
+/// which would break the pipeline's byte-identity contract. Opt in only
+/// where any optimum is acceptable.
+class DualMcfContext {
+ public:
+  struct Options {
+    McfBackend backend = McfBackend::kNetworkSimplex;
+    bool warmStart = false;
+  };
+
+  DualMcfContext() = default;
+  explicit DualMcfContext(Options options) : options_(options) {}
+
+  DiffLpResult solve(const DifferentialLp& lp);
+
+ private:
+  bool topologyMatches(const DifferentialLp& lp) const;
+
+  Options options_;
+  Graph graph_;
+  NetworkSimplex simplex_;
+  std::vector<std::pair<int, int>> arcPairs_;  // cached constraint (i, j)
+  int numVars_ = -1;
 };
 
 }  // namespace ofl::mcf

@@ -42,6 +42,9 @@ class Graph {
     supplies_[static_cast<std::size_t>(node)] = s;
   }
   const Arc& arc(int a) const { return arcs_[static_cast<std::size_t>(a)]; }
+  /// Mutable access for callers that update costs/capacities in place
+  /// while keeping the arc topology (DualMcfContext network reuse).
+  Arc& arc(int a) { return arcs_[static_cast<std::size_t>(a)]; }
   const std::vector<Arc>& arcs() const { return arcs_; }
 
   /// Sum of all supplies; a balanced network has zero.

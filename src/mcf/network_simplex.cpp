@@ -10,89 +10,63 @@ namespace {
 
 enum ArcState : signed char { kAtLower = -1, kInTree = 0, kAtUpper = 1 };
 
-struct Solver {
-  // Arc arrays (original arcs first, then one artificial arc per node).
-  std::vector<int> tail;
-  std::vector<int> head;
-  std::vector<Value> cap;
-  std::vector<Value> cost;
-  std::vector<Value> flow;
-  std::vector<signed char> state;
-
-  // Spanning-tree structure.
-  int numNodes = 0;   // including root
-  int root = 0;
-  std::vector<int> parent;
-  std::vector<int> predArc;
-  std::vector<int> depth;
-  std::vector<Value> pi;
-  std::vector<std::vector<int>> treeAdj;  // node -> incident tree arc ids
-
-  int firstArtificial = 0;
-
-  Value reducedCost(int a) const {
-    return cost[a] - pi[tail[a]] + pi[head[a]];
-  }
-
-  // Rebuilds parent/depth/potential from the root over current tree arcs.
-  void refreshTree() {
-    std::vector<int> stack{root};
-    std::vector<char> visited(static_cast<std::size_t>(numNodes), 0);
-    parent[root] = -1;
-    predArc[root] = -1;
-    depth[root] = 0;
-    visited[static_cast<std::size_t>(root)] = 1;
-    while (!stack.empty()) {
-      const int u = stack.back();
-      stack.pop_back();
-      for (int a : treeAdj[static_cast<std::size_t>(u)]) {
-        const int v = (tail[a] == u) ? head[a] : tail[a];
-        if (visited[static_cast<std::size_t>(v)]) continue;
-        visited[static_cast<std::size_t>(v)] = 1;
-        parent[v] = u;
-        predArc[v] = a;
-        depth[v] = depth[u] + 1;
-        // Tree arcs have zero reduced cost: cost - pi[tail] + pi[head] = 0,
-        // i.e. pi[head] = pi[tail] - cost.
-        if (tail[a] == u) {
-          pi[v] = pi[u] - cost[a];   // v == head
-        } else {
-          pi[v] = pi[u] + cost[a];   // v == tail
-        }
-        stack.push_back(v);
-      }
-    }
-  }
-
-  void removeTreeArc(int a) {
-    for (int endpoint : {tail[a], head[a]}) {
-      auto& adj = treeAdj[static_cast<std::size_t>(endpoint)];
-      adj.erase(std::find(adj.begin(), adj.end(), a));
-    }
-  }
-
-  void addTreeArc(int a) {
-    treeAdj[static_cast<std::size_t>(tail[a])].push_back(a);
-    treeAdj[static_cast<std::size_t>(head[a])].push_back(a);
-  }
-};
-
 }  // namespace
 
-FlowResult NetworkSimplex::solve(const Graph& graph) {
-  FlowResult result;
-  if (graph.totalSupply() != 0) {
-    result.status = SolveStatus::kInfeasible;
-    return result;
+void NetworkSimplex::refreshTree() {
+  visited_.assign(static_cast<std::size_t>(numNodes_), 0);
+  stack_.clear();
+  stack_.push_back(root_);
+  bfsOrder_.clear();
+  parent_[static_cast<std::size_t>(root_)] = -1;
+  predArc_[static_cast<std::size_t>(root_)] = -1;
+  depth_[static_cast<std::size_t>(root_)] = 0;
+  visited_[static_cast<std::size_t>(root_)] = 1;
+  while (!stack_.empty()) {
+    const int u = stack_.back();
+    stack_.pop_back();
+    bfsOrder_.push_back(u);
+    for (int a : treeAdj_[static_cast<std::size_t>(u)]) {
+      const auto ai = static_cast<std::size_t>(a);
+      const int v = (tail_[ai] == u) ? head_[ai] : tail_[ai];
+      const auto vi = static_cast<std::size_t>(v);
+      if (visited_[vi]) continue;
+      visited_[vi] = 1;
+      parent_[vi] = u;
+      predArc_[vi] = a;
+      depth_[vi] = depth_[static_cast<std::size_t>(u)] + 1;
+      // Tree arcs have zero reduced cost: cost - pi[tail] + pi[head] = 0,
+      // i.e. pi[head] = pi[tail] - cost.
+      if (tail_[ai] == u) {
+        pi_[vi] = pi_[static_cast<std::size_t>(u)] - cost_[ai];  // v == head
+      } else {
+        pi_[vi] = pi_[static_cast<std::size_t>(u)] + cost_[ai];  // v == tail
+      }
+      stack_.push_back(v);
+    }
   }
+}
 
+void NetworkSimplex::removeTreeArc(int a) {
+  const auto ai = static_cast<std::size_t>(a);
+  for (int endpoint : {tail_[ai], head_[ai]}) {
+    auto& adj = treeAdj_[static_cast<std::size_t>(endpoint)];
+    adj.erase(std::find(adj.begin(), adj.end(), a));
+  }
+}
+
+void NetworkSimplex::addTreeArc(int a) {
+  const auto ai = static_cast<std::size_t>(a);
+  treeAdj_[static_cast<std::size_t>(tail_[ai])].push_back(a);
+  treeAdj_[static_cast<std::size_t>(head_[ai])].push_back(a);
+}
+
+void NetworkSimplex::initCold(const Graph& graph) {
   const int n = graph.numNodes();
   const int m = graph.numArcs();
 
-  Solver s;
-  s.numNodes = n + 1;
-  s.root = n;
-  s.firstArtificial = m;
+  numNodes_ = n + 1;
+  root_ = n;
+  firstArtificial_ = m;
 
   Value costSum = 1;
   Value positiveSupply = 0;
@@ -107,44 +81,123 @@ FlowResult NetworkSimplex::solve(const Graph& graph) {
   const Value artCap = positiveSupply + 1;
 
   const int totalArcs = m + n;
-  s.tail.resize(static_cast<std::size_t>(totalArcs));
-  s.head.resize(static_cast<std::size_t>(totalArcs));
-  s.cap.resize(static_cast<std::size_t>(totalArcs));
-  s.cost.resize(static_cast<std::size_t>(totalArcs));
-  s.flow.assign(static_cast<std::size_t>(totalArcs), 0);
-  s.state.assign(static_cast<std::size_t>(totalArcs), kAtLower);
+  tail_.resize(static_cast<std::size_t>(totalArcs));
+  head_.resize(static_cast<std::size_t>(totalArcs));
+  cap_.resize(static_cast<std::size_t>(totalArcs));
+  cost_.resize(static_cast<std::size_t>(totalArcs));
+  flow_.assign(static_cast<std::size_t>(totalArcs), 0);
+  state_.assign(static_cast<std::size_t>(totalArcs), kAtLower);
 
   for (int a = 0; a < m; ++a) {
     const Arc& arc = graph.arc(a);
-    s.tail[static_cast<std::size_t>(a)] = arc.tail;
-    s.head[static_cast<std::size_t>(a)] = arc.head;
-    s.cap[static_cast<std::size_t>(a)] = arc.capacity;
-    s.cost[static_cast<std::size_t>(a)] = arc.cost;
+    tail_[static_cast<std::size_t>(a)] = arc.tail;
+    head_[static_cast<std::size_t>(a)] = arc.head;
+    cap_[static_cast<std::size_t>(a)] = arc.capacity;
+    cost_[static_cast<std::size_t>(a)] = arc.cost;
   }
   // Artificial arcs carry the initial supplies to/from the root.
   for (int i = 0; i < n; ++i) {
     const int a = m + i;
     const Value b = graph.supply(i);
     if (b >= 0) {
-      s.tail[static_cast<std::size_t>(a)] = i;
-      s.head[static_cast<std::size_t>(a)] = s.root;
+      tail_[static_cast<std::size_t>(a)] = i;
+      head_[static_cast<std::size_t>(a)] = root_;
     } else {
-      s.tail[static_cast<std::size_t>(a)] = s.root;
-      s.head[static_cast<std::size_t>(a)] = i;
+      tail_[static_cast<std::size_t>(a)] = root_;
+      head_[static_cast<std::size_t>(a)] = i;
     }
-    s.cap[static_cast<std::size_t>(a)] = artCap;
-    s.cost[static_cast<std::size_t>(a)] = big;
-    s.flow[static_cast<std::size_t>(a)] = std::abs(b);
-    s.state[static_cast<std::size_t>(a)] = kInTree;
+    cap_[static_cast<std::size_t>(a)] = artCap;
+    cost_[static_cast<std::size_t>(a)] = big;
+    flow_[static_cast<std::size_t>(a)] = std::abs(b);
+    state_[static_cast<std::size_t>(a)] = kInTree;
   }
 
-  s.parent.assign(static_cast<std::size_t>(s.numNodes), -1);
-  s.predArc.assign(static_cast<std::size_t>(s.numNodes), -1);
-  s.depth.assign(static_cast<std::size_t>(s.numNodes), 0);
-  s.pi.assign(static_cast<std::size_t>(s.numNodes), 0);
-  s.treeAdj.assign(static_cast<std::size_t>(s.numNodes), {});
-  for (int i = 0; i < n; ++i) s.addTreeArc(m + i);
-  s.refreshTree();
+  parent_.assign(static_cast<std::size_t>(numNodes_), -1);
+  predArc_.assign(static_cast<std::size_t>(numNodes_), -1);
+  depth_.assign(static_cast<std::size_t>(numNodes_), 0);
+  pi_.assign(static_cast<std::size_t>(numNodes_), 0);
+  treeAdj_.assign(static_cast<std::size_t>(numNodes_), {});
+  for (int i = 0; i < n; ++i) addTreeArc(m + i);
+  refreshTree();
+
+  basisNodes_ = n;
+  basisArcs_ = m;
+}
+
+bool NetworkSimplex::initWarm(const Graph& graph) {
+  const int n = graph.numNodes();
+  const int m = graph.numArcs();
+  if (!hasBasis_ || basisNodes_ != n || basisArcs_ != m) return false;
+  for (int a = 0; a < m; ++a) {
+    const Arc& arc = graph.arc(a);
+    if (tail_[static_cast<std::size_t>(a)] != arc.tail ||
+        head_[static_cast<std::size_t>(a)] != arc.head) {
+      return false;
+    }
+  }
+
+  // Refresh arc data. Artificial arcs keep the orientation chosen by the
+  // cold start that created this basis; their flow recomputes below and is
+  // zero in any basis that was optimal for a feasible instance.
+  Value costSum = 1;
+  Value positiveSupply = 0;
+  for (const Arc& a : graph.arcs()) {
+    assert(a.capacity >= 0);
+    costSum += std::abs(a.cost);
+  }
+  for (int i = 0; i < n; ++i) {
+    positiveSupply += std::max<Value>(graph.supply(i), 0);
+  }
+  const Value artCap = positiveSupply + 1;
+  for (int a = 0; a < m; ++a) {
+    cap_[static_cast<std::size_t>(a)] = graph.arc(a).capacity;
+    cost_[static_cast<std::size_t>(a)] = graph.arc(a).cost;
+  }
+  for (int i = 0; i < n; ++i) {
+    cap_[static_cast<std::size_t>(m + i)] = artCap;
+    cost_[static_cast<std::size_t>(m + i)] = costSum;
+  }
+
+  // Non-tree arcs sit at their bound (re-evaluated for the new
+  // capacities); whatever imbalance that leaves at each node must drain
+  // through the old tree.
+  excess_.assign(static_cast<std::size_t>(numNodes_), 0);
+  for (int i = 0; i < n; ++i) {
+    excess_[static_cast<std::size_t>(i)] += graph.supply(i);
+  }
+  for (int a = 0; a < m + n; ++a) {
+    const auto ai = static_cast<std::size_t>(a);
+    if (state_[ai] == kInTree) continue;
+    const Value f = (state_[ai] == kAtUpper) ? cap_[ai] : 0;
+    flow_[ai] = f;
+    excess_[static_cast<std::size_t>(tail_[ai])] -= f;
+    excess_[static_cast<std::size_t>(head_[ai])] += f;
+  }
+
+  // Rebuild parent/depth/pi for the new costs; bfsOrder_ lists parents
+  // before children, so the reverse walk pushes each node's excess up its
+  // unique tree arc exactly once.
+  refreshTree();
+  for (auto it = bfsOrder_.rbegin(); it != bfsOrder_.rend(); ++it) {
+    const int u = *it;
+    if (u == root_) continue;
+    const auto ui = static_cast<std::size_t>(u);
+    const int a = predArc_[ui];
+    const auto ai = static_cast<std::size_t>(a);
+    const Value f = (tail_[ai] == u) ? excess_[ui] : -excess_[ui];
+    if (f < 0 || f > cap_[ai]) return false;  // old tree not primal feasible
+    flow_[ai] = f;
+    excess_[static_cast<std::size_t>(parent_[ui])] += excess_[ui];
+    excess_[ui] = 0;
+  }
+  return excess_[static_cast<std::size_t>(root_)] == 0;
+}
+
+FlowResult NetworkSimplex::run(const Graph& graph) {
+  FlowResult result;
+  const int n = graph.numNodes();
+  const int m = graph.numArcs();
+  const int totalArcs = m + n;
 
   // Block pricing: scan a block of arcs, take the worst violator.
   const int blockSize =
@@ -165,9 +218,9 @@ FlowResult NetworkSimplex::solve(const Graph& graph) {
     while (scanned < totalArcs) {
       const int blockEnd = std::min(scanned + blockSize, totalArcs);
       for (; scanned < blockEnd; ++scanned, idx = (idx + 1) % totalArcs) {
-        const signed char st = s.state[static_cast<std::size_t>(idx)];
+        const signed char st = state_[static_cast<std::size_t>(idx)];
         if (st == kInTree) continue;
-        const Value rc = s.reducedCost(idx);
+        const Value rc = reducedCost(idx);
         const Value violation = (st == kAtLower) ? -rc : rc;
         if (violation > bestViolation) {
           bestViolation = violation;
@@ -181,24 +234,25 @@ FlowResult NetworkSimplex::solve(const Graph& graph) {
 
     if (++pivots > maxPivots) {
       result.status = SolveStatus::kInfeasible;  // should never happen
+      hasBasis_ = false;
       return result;
     }
 
     // --- ratio test along the cycle closed by `entering` ---
     // Walk both endpoints to their LCA. `forward` means flow increases on
     // the entering arc's direction of traversal.
-    const bool increase = (s.state[static_cast<std::size_t>(entering)] == kAtLower);
-    int u = increase ? s.tail[static_cast<std::size_t>(entering)]
-                     : s.head[static_cast<std::size_t>(entering)];
-    int v = increase ? s.head[static_cast<std::size_t>(entering)]
-                     : s.tail[static_cast<std::size_t>(entering)];
+    const bool increase =
+        (state_[static_cast<std::size_t>(entering)] == kAtLower);
+    int u = increase ? tail_[static_cast<std::size_t>(entering)]
+                     : head_[static_cast<std::size_t>(entering)];
+    int v = increase ? head_[static_cast<std::size_t>(entering)]
+                     : tail_[static_cast<std::size_t>(entering)];
     // Cycle orientation: v -> ... -> lca -> ... -> u -> (entering) -> v.
 
-    Value delta = s.cap[static_cast<std::size_t>(entering)] -
-                  s.flow[static_cast<std::size_t>(entering)];
-    if (!increase) delta = s.flow[static_cast<std::size_t>(entering)];
+    Value delta = cap_[static_cast<std::size_t>(entering)] -
+                  flow_[static_cast<std::size_t>(entering)];
+    if (!increase) delta = flow_[static_cast<std::size_t>(entering)];
     int leaving = entering;
-    bool leavingOnUSide = false;   // which walk found the blocking arc
     bool leavingDecreases = true;  // flow on leaving arc hits 0 vs capacity
 
     int uu = u;
@@ -207,34 +261,33 @@ FlowResult NetworkSimplex::solve(const Graph& graph) {
     struct Step {
       int arc;
       bool flowIncreases;
-      bool onUSide;
     };
     std::vector<Step> steps;
     while (uu != vv) {
-      if (s.depth[uu] >= s.depth[vv]) {
-        const int a = s.predArc[uu];
+      if (depth_[static_cast<std::size_t>(uu)] >=
+          depth_[static_cast<std::size_t>(vv)]) {
+        const int a = predArc_[static_cast<std::size_t>(uu)];
         // The cycle pushes delta from v back to u through the tree, so on
         // u's side the path runs downward parent(uu) -> uu: flow increases
         // when the arc points down (head == uu).
-        const bool down = (s.head[static_cast<std::size_t>(a)] == uu);
-        steps.push_back({a, down, true});
-        uu = s.parent[uu];
+        const bool down = (head_[static_cast<std::size_t>(a)] == uu);
+        steps.push_back({a, down});
+        uu = parent_[static_cast<std::size_t>(uu)];
       } else {
-        const int a = s.predArc[vv];
+        const int a = predArc_[static_cast<std::size_t>(vv)];
         // On v's side the path runs upward vv -> parent(vv): flow
         // increases when the arc points up (tail == vv).
-        const bool up = (s.tail[static_cast<std::size_t>(a)] == vv);
-        steps.push_back({a, up, false});
-        vv = s.parent[vv];
+        const bool up = (tail_[static_cast<std::size_t>(a)] == vv);
+        steps.push_back({a, up});
+        vv = parent_[static_cast<std::size_t>(vv)];
       }
     }
     for (const Step& st : steps) {
       const auto ai = static_cast<std::size_t>(st.arc);
-      const Value room = st.flowIncreases ? s.cap[ai] - s.flow[ai] : s.flow[ai];
+      const Value room = st.flowIncreases ? cap_[ai] - flow_[ai] : flow_[ai];
       if (room < delta) {
         delta = room;
         leaving = st.arc;
-        leavingOnUSide = st.onUSide;
         leavingDecreases = !st.flowIncreases;
       }
     }
@@ -242,53 +295,78 @@ FlowResult NetworkSimplex::solve(const Graph& graph) {
     // --- augment ---
     {
       const auto ei = static_cast<std::size_t>(entering);
-      s.flow[ei] += increase ? delta : -delta;
+      flow_[ei] += increase ? delta : -delta;
     }
     for (const Step& st : steps) {
       const auto ai = static_cast<std::size_t>(st.arc);
-      s.flow[ai] += st.flowIncreases ? delta : -delta;
+      flow_[ai] += st.flowIncreases ? delta : -delta;
     }
 
     // --- basis update ---
     if (leaving == entering) {
       // Entering arc swung from one bound to the other; basis unchanged.
-      s.state[static_cast<std::size_t>(entering)] =
+      state_[static_cast<std::size_t>(entering)] =
           increase ? kAtUpper : kAtLower;
       continue;
     }
-    s.state[static_cast<std::size_t>(leaving)] =
+    state_[static_cast<std::size_t>(leaving)] =
         leavingDecreases ? kAtLower : kAtUpper;
-    s.state[static_cast<std::size_t>(entering)] = kInTree;
-    s.removeTreeArc(leaving);
-    s.addTreeArc(entering);
-    s.refreshTree();
-    (void)leavingOnUSide;
+    state_[static_cast<std::size_t>(entering)] = kInTree;
+    removeTreeArc(leaving);
+    addTreeArc(entering);
+    refreshTree();
   }
 
   // Any residual flow on artificial arcs means the supplies cannot be
   // routed through the real network.
   for (int i = 0; i < n; ++i) {
-    if (s.flow[static_cast<std::size_t>(m + i)] != 0) {
+    if (flow_[static_cast<std::size_t>(m + i)] != 0) {
       result.status = SolveStatus::kInfeasible;
+      hasBasis_ = false;
       return result;
     }
   }
 
   result.status = SolveStatus::kOptimal;
+  hasBasis_ = true;
   result.arcFlow.resize(static_cast<std::size_t>(m));
   for (int a = 0; a < m; ++a) {
     result.arcFlow[static_cast<std::size_t>(a)] =
-        s.flow[static_cast<std::size_t>(a)];
-    result.totalCost += s.flow[static_cast<std::size_t>(a)] *
+        flow_[static_cast<std::size_t>(a)];
+    result.totalCost += flow_[static_cast<std::size_t>(a)] *
                         graph.arc(a).cost;
   }
-  // Normalize potentials so the root's real-network component is natural:
-  // report pi relative to node 0 when it exists.
   result.nodePotential.assign(static_cast<std::size_t>(n), 0);
   for (int i = 0; i < n; ++i) {
-    result.nodePotential[static_cast<std::size_t>(i)] = s.pi[i];
+    result.nodePotential[static_cast<std::size_t>(i)] =
+        pi_[static_cast<std::size_t>(i)];
   }
   return result;
+}
+
+FlowResult NetworkSimplex::solve(const Graph& graph) {
+  lastWarm_ = false;
+  if (graph.totalSupply() != 0) {
+    hasBasis_ = false;
+    FlowResult result;
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+  initCold(graph);
+  return run(graph);
+}
+
+FlowResult NetworkSimplex::resolve(const Graph& graph) {
+  if (graph.totalSupply() != 0) {
+    hasBasis_ = false;
+    lastWarm_ = false;
+    FlowResult result;
+    result.status = SolveStatus::kInfeasible;
+    return result;
+  }
+  lastWarm_ = initWarm(graph);
+  if (!lastWarm_) initCold(graph);
+  return run(graph);
 }
 
 }  // namespace ofl::mcf

@@ -6,7 +6,14 @@
 // by block pricing; potentials are refreshed by a root BFS after each
 // pivot. Problem instances in the fill flow are per-window and small
 // (hundreds of nodes), so the O(n) refresh is the simple *and* fast choice.
+//
+// The solver object is reusable: all working arrays persist across solve()
+// calls, so a caller solving many same-shaped instances (the sizer's
+// alternating H/V passes) pays for allocation once. resolve() additionally
+// tries to keep the previous optimal basis as the starting tree.
 #pragma once
+
+#include <vector>
 
 #include "mcf/graph.hpp"
 
@@ -14,9 +21,71 @@ namespace ofl::mcf {
 
 class NetworkSimplex {
  public:
-  /// Solves min-cost flow on `graph`. Supplies must sum to zero, all
-  /// capacities must be >= 0.
+  /// Solves min-cost flow on `graph` from the standard all-artificial
+  /// starting basis. Supplies must sum to zero, all capacities >= 0.
+  /// Deterministic: a given graph always produces the same pivot sequence
+  /// and therefore the same optimal flow and potentials.
   FlowResult solve(const Graph& graph);
+
+  /// Like solve(), but when the previous call left an optimal basis for a
+  /// graph with the same node/arc counts and arc endpoints, restarts from
+  /// that tree: non-tree arcs keep their bound, tree flows are recomputed
+  /// for the new supplies/capacities, and the pivot loop continues from
+  /// there. Falls back to the cold start when no basis fits or the old
+  /// tree is not primal feasible for the new data.
+  ///
+  /// CAUTION: on LPs with alternate optima a warm start may return a
+  /// DIFFERENT optimal vertex than solve() — equal objective, different
+  /// flows/potentials. Callers needing run-to-run byte-identical output
+  /// must stick to solve().
+  FlowResult resolve(const Graph& graph);
+
+  /// True when the last solve()/resolve() used the retained basis.
+  bool lastSolveWarm() const { return lastWarm_; }
+
+ private:
+  void initCold(const Graph& graph);
+  bool initWarm(const Graph& graph);
+  FlowResult run(const Graph& graph);
+
+  Value reducedCost(int a) const {
+    return cost_[static_cast<std::size_t>(a)] -
+           pi_[static_cast<std::size_t>(tail_[static_cast<std::size_t>(a)])] +
+           pi_[static_cast<std::size_t>(head_[static_cast<std::size_t>(a)])];
+  }
+  void refreshTree();
+  void removeTreeArc(int a);
+  void addTreeArc(int a);
+
+  // Arc arrays (original arcs first, then one artificial arc per node).
+  std::vector<int> tail_;
+  std::vector<int> head_;
+  std::vector<Value> cap_;
+  std::vector<Value> cost_;
+  std::vector<Value> flow_;
+  std::vector<signed char> state_;
+
+  // Spanning-tree structure over numNodes_ nodes (root last).
+  int numNodes_ = 0;
+  int root_ = 0;
+  int firstArtificial_ = 0;
+  std::vector<int> parent_;
+  std::vector<int> predArc_;
+  std::vector<int> depth_;
+  std::vector<Value> pi_;
+  std::vector<std::vector<int>> treeAdj_;  // node -> incident tree arc ids
+
+  // Per-call scratch, kept for its capacity.
+  std::vector<int> stack_;
+  std::vector<char> visited_;
+  std::vector<int> bfsOrder_;  // refreshTree visit order, root first
+  std::vector<Value> excess_;
+
+  // Basis bookkeeping for resolve().
+  bool hasBasis_ = false;
+  bool lastWarm_ = false;
+  int basisNodes_ = 0;  // graph nodes (excluding root) of the stored basis
+  int basisArcs_ = 0;   // original graph arcs of the stored basis
 };
 
 }  // namespace ofl::mcf

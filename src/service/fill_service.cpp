@@ -179,6 +179,7 @@ JobResult FillService::runJob(Job& job) const {
 
 ServiceStats FillService::stats() const {
   ServiceStats s;
+  s.profile = prof::Registry::instance().snapshot();
   s.cache = cache_.counters();
   const std::uint64_t probes = s.cache.hits + s.cache.misses;
   s.cacheHitRate =
@@ -256,7 +257,12 @@ std::string toJson(const ServiceStats& s) {
       static_cast<unsigned long long>(s.cache.evictions),
       static_cast<unsigned long long>(s.cache.oversized), s.cache.entries,
       s.cache.bytesUsed, s.cache.byteBudget);
-  return buf;
+  std::string out(buf);
+  if (!s.profile.empty()) {
+    // Splice before the closing brace: ...\n} -> ...,\n  "profile": {...}\n}
+    out.insert(out.size() - 2, ",\n  \"profile\": " + s.profile.json());
+  }
+  return out;
 }
 
 }  // namespace ofl::service

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/cancel.hpp"
+#include "common/prof.hpp"
 #include "service/job.hpp"
 #include "service/result_cache.hpp"
 #include "service/scheduler.hpp"
@@ -67,6 +68,12 @@ struct ServiceStats {
   std::uint64_t jobCacheHits = 0;  // successful jobs served from cache
   ResultCache::Counters cache;
   double cacheHitRate = 0.0;  // cache.hits / (hits + misses)
+
+  /// Hot-path profile over every engine run the process executed since the
+  /// caller's last prof::Registry::reset() (the registry is global, so
+  /// concurrent jobs aggregate into one table). Empty unless collection
+  /// was enabled (`openfill batch --profile`).
+  prof::Snapshot profile;
 };
 
 /// Renders stats as a JSON object (used by `openfill batch --json` and

@@ -1,0 +1,106 @@
+// Property test for the spatial-index fast paths: on random layouts the
+// indexed candidate scorer and sizer kernels must reproduce the brute
+// scans BIT-identically -- same fill rects, same contest metrics, same
+// serialized GDS bytes -- at 1 and 4 threads. This is the determinism
+// contract that lets Options::spatialIndex default to true.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "contest/evaluator.hpp"
+#include "fill/fill_engine.hpp"
+#include "gds/gds_writer.hpp"
+#include "verify/layout_gen.hpp"
+
+namespace ofl {
+namespace {
+
+layout::DesignRules rules() {
+  layout::DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 200;
+  return r;
+}
+
+fill::FillEngineOptions engineOptions(bool spatialIndex, int threads) {
+  fill::FillEngineOptions o;
+  o.windowSize = 600;
+  o.rules = rules();
+  o.candidate.spatialIndex = spatialIndex;
+  o.sizer.spatialIndex = spatialIndex;
+  o.numThreads = threads;
+  return o;
+}
+
+// Dense enough that per-window neighbor sets regularly cross the
+// kIndexMinShapes threshold, so the indexed paths actually execute.
+layout::Layout randomLayout(std::uint64_t seed) {
+  Rng rng(seed);
+  testing::LayoutGen::LayoutParams params;
+  params.minDieExtent = 1200;
+  params.maxDieExtent = 2400;
+  params.minLayers = 2;
+  params.maxLayers = 3;
+  params.minWiresPerLayer = 20;
+  params.maxWiresPerLayer = 90;
+  return testing::LayoutGen::randomLayout(rng, params);
+}
+
+struct RunResult {
+  std::vector<std::vector<geom::Rect>> fills;
+  std::vector<std::uint8_t> gds;
+  contest::RawMetrics raw;
+};
+
+RunResult runEngine(const layout::Layout& original, bool spatialIndex,
+                    int threads) {
+  layout::Layout chip = original;
+  fill::FillEngine(engineOptions(spatialIndex, threads)).run(chip);
+  RunResult out;
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    out.fills.push_back(chip.layer(l).fills);
+  }
+  out.gds = gds::Writer::serialize(chip.toGds());
+  const contest::Evaluator evaluator(600, contest::scoreTableFor("s"),
+                                     rules());
+  out.raw = evaluator.measure(chip);
+  return out;
+}
+
+void expectIdentical(const RunResult& a, const RunResult& b,
+                     std::uint64_t seed, const char* what) {
+  ASSERT_EQ(a.fills.size(), b.fills.size()) << what << " seed " << seed;
+  for (std::size_t l = 0; l < a.fills.size(); ++l) {
+    ASSERT_EQ(a.fills[l], b.fills[l])
+        << what << " seed " << seed << " layer " << l;
+  }
+  EXPECT_EQ(a.gds, b.gds) << what << " seed " << seed;
+  EXPECT_EQ(a.raw.overlay, b.raw.overlay) << what << " seed " << seed;
+  EXPECT_EQ(a.raw.variation, b.raw.variation) << what << " seed " << seed;
+  EXPECT_EQ(a.raw.line, b.raw.line) << what << " seed " << seed;
+  EXPECT_EQ(a.raw.outlier, b.raw.outlier) << what << " seed " << seed;
+  EXPECT_EQ(a.raw.fillCount, b.raw.fillCount) << what << " seed " << seed;
+}
+
+TEST(SpatialIndexPropertyTest, IndexedMatchesBruteOnRandomLayouts) {
+  setLogLevel(LogLevel::kWarn);
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    const layout::Layout original = randomLayout(seed);
+    const RunResult reference = runEngine(original, /*spatialIndex=*/true,
+                                          /*threads=*/1);
+    expectIdentical(runEngine(original, false, 1), reference, seed,
+                    "brute@1");
+    expectIdentical(runEngine(original, true, 4), reference, seed,
+                    "indexed@4");
+    expectIdentical(runEngine(original, false, 4), reference, seed,
+                    "brute@4");
+  }
+}
+
+}  // namespace
+}  // namespace ofl

@@ -1,5 +1,7 @@
 #include "geometry/boolean.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "../test_util.hpp"
@@ -106,6 +108,84 @@ TEST_P(BooleanPropertyTest, MatchesRasterOracle) {
     EXPECT_EQ(sum, expected) << "trial " << trial;
     EXPECT_TRUE(testutil::pairwiseDisjoint(rects)) << "trial " << trial;
   }
+}
+
+TEST(OverlapSumTest, MatchesPerShapeAccumulation) {
+  Rng rng(911);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Rect query = testutil::randomRect(rng, 200, 60);
+    std::vector<Rect> shapes;
+    const int n = static_cast<int>(rng.uniformInt(0, 15));
+    for (int k = 0; k < n; ++k) {
+      shapes.push_back(testutil::randomRect(rng, 200, 40));
+    }
+    Area expected = 0;
+    for (const Rect& s : shapes) expected += query.overlapArea(s);
+    EXPECT_EQ(overlapAreaSum(query, shapes), expected) << "trial " << trial;
+  }
+}
+
+TEST(OverlapSumTest, CountsSelfOverlappingShapesPairwise) {
+  // The Eqn. 8 neighbor set legitimately self-overlaps (layers l-1 and
+  // l+1 both project onto the plane): the pairwise sum counts every
+  // covering shape once, unlike coverage-based intersectionArea.
+  const Rect query{0, 0, 10, 10};
+  const std::vector<Rect> shapes{{2, 2, 8, 8}, {2, 2, 8, 8}};
+  EXPECT_EQ(overlapAreaSum(query, shapes), 72);
+  const std::vector<Rect> q{query};
+  EXPECT_EQ(intersectionArea(q, shapes), 36);
+}
+
+TEST(OverlapSumTest, DisjointVariantAgreesOnDisjointInput) {
+  // A disjoint grid of shapes: both kernels and the coverage-based sweep
+  // agree exactly.
+  const Rect query{3, 3, 47, 47};
+  std::vector<Rect> shapes;
+  for (Coord y = 0; y < 50; y += 10) {
+    for (Coord x = 0; x < 50; x += 10) {
+      shapes.push_back({x, y, x + 8, y + 8});
+    }
+  }
+  ASSERT_TRUE(testutil::pairwiseDisjoint(shapes));
+  const Area sum = overlapAreaSum(query, shapes);
+  EXPECT_EQ(overlapAreaDisjoint(query, shapes), sum);
+  const std::vector<Rect> q{query};
+  EXPECT_EQ(intersectionArea(q, shapes), sum);
+}
+
+// The two coverage-table kernels must be interchangeable: same canonical
+// decomposition, rect for rect. booleanOpInto emits that decomposition in
+// sweep order, so it must match after a canonical sort.
+TEST_P(BooleanPropertyTest, KernelsBitIdenticalAndIntoMatches) {
+  const auto [opChar, op] = GetParam();
+  Rng rng(0x5EEB + static_cast<unsigned>(opChar));
+  constexpr int kExtent = 48;
+  std::vector<Rect> into;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Rect> a;
+    std::vector<Rect> b;
+    const int na = static_cast<int>(rng.uniformInt(0, 12));
+    const int nb = static_cast<int>(rng.uniformInt(0, 12));
+    for (int k = 0; k < na; ++k) a.push_back(testutil::randomRect(rng, kExtent, 20));
+    for (int k = 0; k < nb; ++k) b.push_back(testutil::randomRect(rng, kExtent, 20));
+
+    const auto flat = booleanOp(a, b, op, SweepKernel::kFlat);
+    const auto tree = booleanOp(a, b, op, SweepKernel::kTree);
+    EXPECT_EQ(flat, tree) << "trial " << trial;
+
+    booleanOpInto(a, b, op, into);  // reused across trials on purpose
+    std::sort(into.begin(), into.end(), RectYXLess{});
+    EXPECT_EQ(into, flat) << "trial " << trial;
+  }
+}
+
+TEST(OverlapSumTest, DisjointVariantAssertsOnOverlappingInput) {
+  // The documented precondition is debug-asserted: feeding a
+  // self-overlapping set to the disjoint kernel is the bug class the
+  // assert exists to catch.
+  const Rect query{0, 0, 10, 10};
+  const std::vector<Rect> shapes{{1, 1, 6, 6}, {4, 4, 9, 9}};
+  EXPECT_DEBUG_DEATH(overlapAreaDisjoint(query, shapes), "disjoint");
 }
 
 INSTANTIATE_TEST_SUITE_P(AllOps, BooleanPropertyTest,

@@ -105,6 +105,20 @@ TEST(MergeTest, VerticalMergeJoinsAbuttingSameColumn) {
   EXPECT_EQ(merged[0], Rect(0, 0, 10, 9));
 }
 
+TEST(MergeTest, InPlaceVariantMatchesAllocating) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Rect> input;
+    for (int k = 0; k < 12; ++k) {
+      input.push_back(testutil::randomRect(rng, 40, 15));
+    }
+    const auto disjoint = booleanOp(input, {}, BoolOp::kUnion);
+    std::vector<Rect> inPlace = disjoint;
+    mergeVerticalInPlace(inPlace);
+    EXPECT_EQ(inPlace, mergeVertical(disjoint)) << "trial " << trial;
+  }
+}
+
 TEST(MergeTest, MergePreservesArea) {
   Rng rng(5);
   for (int trial = 0; trial < 20; ++trial) {

@@ -59,6 +59,62 @@ TEST(GridIndexTest, QueryIsSupersetOfTrueOverlaps) {
   }
 }
 
+TEST(GridIndexTest, ResetDropsStaleEntriesAndRetargets) {
+  GridIndex index({0, 0, 100, 100}, 10);
+  index.insert(1, {5, 5, 15, 15});
+  index.reset({0, 0, 50, 50}, 5);
+  EXPECT_TRUE(index.query({0, 0, 50, 50}).empty());
+  index.insert(2, {10, 10, 20, 20});
+  const auto hits = index.query({12, 12, 14, 14});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 2u);
+}
+
+TEST(GridIndexTest, DefaultConstructedUsableAfterReset) {
+  GridIndex index;
+  index.reset({0, 0, 80, 80}, 8);
+  index.insert(5, {40, 40, 48, 48});
+  const auto hits = index.query({42, 42, 44, 44});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 5u);
+}
+
+TEST(GridIndexTest, RepeatedResetMatchesFreshIndex) {
+  // The per-window scratch pattern: one index reset across many windows
+  // must answer exactly like a freshly built one every time.
+  Rng rng(77);
+  GridIndex reused;
+  for (int window = 0; window < 10; ++window) {
+    const Coord extent = rng.uniformInt(60, 300);
+    const Coord pitch = rng.uniformInt(4, 40);
+    reused.reset({0, 0, extent, extent}, pitch);
+    GridIndex fresh({0, 0, extent, extent}, pitch);
+    std::vector<Rect> rects;
+    for (std::uint32_t id = 0; id < 25; ++id) {
+      rects.push_back(testutil::randomRect(rng, extent, 50));
+      reused.insert(id, rects.back());
+      fresh.insert(id, rects.back());
+    }
+    for (int trial = 0; trial < 10; ++trial) {
+      const Rect q = testutil::randomRect(rng, extent, 80);
+      auto a = reused.query(q);
+      auto b = fresh.query(q);
+      std::sort(a.begin(), a.end());
+      std::sort(b.begin(), b.end());
+      EXPECT_EQ(a, b) << "window " << window << " trial " << trial;
+    }
+  }
+}
+
+TEST(GridIndexTest, WindowCellSizeClampsToTargetAndWindow) {
+  // Target pitch dominates when it is coarser than 1/64 of the window.
+  EXPECT_EQ(windowCellSize({0, 0, 2000, 2000}, 200), 200);
+  // Large windows floor the pitch at minDim/64 to bound the cell table.
+  EXPECT_EQ(windowCellSize({0, 0, 6400, 6400}, 10), 100);
+  // Degenerate windows and zero targets still yield a positive pitch.
+  EXPECT_EQ(windowCellSize({0, 0, 1, 1}, 0), 1);
+}
+
 TEST(GridIndexTest, OutOfExtentRectClampedButDiscoverable) {
   GridIndex index({0, 0, 100, 100}, 10);
   index.insert(9, {-20, -20, -5, -5});  // fully outside; clamps to border

@@ -150,5 +150,101 @@ TEST(DualLpCrossCheckTest, AgreesWithDenseSimplexOnRandomSystems) {
   EXPECT_GT(feasibleCount, 50);  // the generator must exercise both outcomes
 }
 
+// Random differential LP on a FIXED constraint topology; only costs,
+// bounds and constraint offsets vary with the seed. This is the shape the
+// sizer produces round after round, which DualMcfContext's network reuse
+// keys on.
+DifferentialLp randomLpFixedTopology(Rng& rng) {
+  DifferentialLp lp;
+  const int n = 6;
+  for (int v = 0; v < n; ++v) {
+    const Value lo = rng.uniformInt(0, 4);
+    lp.addVariable(rng.uniformInt(-5, 9), lo, lo + rng.uniformInt(4, 20));
+  }
+  lp.addConstraint(0, 1, rng.uniformInt(0, 3));
+  lp.addConstraint(1, 2, rng.uniformInt(0, 3));
+  lp.addConstraint(3, 4, rng.uniformInt(0, 3));
+  lp.addConstraint(4, 5, rng.uniformInt(0, 3));
+  lp.addConstraint(0, 5, rng.uniformInt(-2, 2));
+  return lp;
+}
+
+TEST(DualMcfContextTest, ReuseMatchesFreshSolverRunAfterRun) {
+  // The context's in-place network rewrite must be invisible: every solve
+  // returns exactly what a from-scratch DifferentialLpSolver returns
+  // (same x vector, not just the same objective -- the pipeline's
+  // byte-identity contract).
+  Rng rng(71);
+  DualMcfContext context;
+  for (int round = 0; round < 40; ++round) {
+    const DifferentialLp lp = randomLpFixedTopology(rng);
+    const DiffLpResult fresh =
+        DifferentialLpSolver(McfBackend::kNetworkSimplex).solve(lp);
+    const DiffLpResult reused = context.solve(lp);
+    ASSERT_EQ(reused.feasible, fresh.feasible) << "round " << round;
+    if (fresh.feasible) {
+      EXPECT_EQ(reused.x, fresh.x) << "round " << round;
+      EXPECT_EQ(reused.objective, fresh.objective) << "round " << round;
+    }
+  }
+}
+
+TEST(DualMcfContextTest, TopologyChangeRebuildsCorrectly) {
+  // Interleave two different topologies through one context: each solve
+  // must still match a fresh solver even though the cached network is
+  // invalidated every time.
+  Rng rng(72);
+  DualMcfContext context;
+  for (int round = 0; round < 20; ++round) {
+    DifferentialLp lp;
+    if (round % 2 == 0) {
+      lp = randomLpFixedTopology(rng);
+    } else {
+      for (int v = 0; v < 3; ++v) {
+        lp.addVariable(rng.uniformInt(-4, 6), 0, rng.uniformInt(5, 15));
+      }
+      lp.addConstraint(2, 0, rng.uniformInt(0, 4));
+    }
+    const DiffLpResult fresh =
+        DifferentialLpSolver(McfBackend::kNetworkSimplex).solve(lp);
+    const DiffLpResult reused = context.solve(lp);
+    ASSERT_EQ(reused.feasible, fresh.feasible) << "round " << round;
+    if (fresh.feasible) {
+      EXPECT_EQ(reused.x, fresh.x) << "round " << round;
+    }
+  }
+}
+
+TEST(DualMcfContextTest, WarmStartStaysOptimalAndFeasible) {
+  // With warm starts on, the returned vertex may differ from the cold one
+  // (alternate optima -- the reason mcfWarmStart defaults off), but it
+  // must be a feasible point with the same optimal objective.
+  Rng rng(73);
+  DualMcfContext warm(DualMcfContext::Options{
+      McfBackend::kNetworkSimplex, /*warmStart=*/true});
+  int feasibleCount = 0;
+  for (int round = 0; round < 40; ++round) {
+    const DifferentialLp lp = randomLpFixedTopology(rng);
+    const DiffLpResult cold =
+        DifferentialLpSolver(McfBackend::kNetworkSimplex).solve(lp);
+    const DiffLpResult hot = warm.solve(lp);
+    ASSERT_EQ(hot.feasible, cold.feasible) << "round " << round;
+    if (cold.feasible) {
+      ++feasibleCount;
+      EXPECT_EQ(hot.objective, cold.objective) << "round " << round;
+      EXPECT_TRUE(lp.isFeasible(hot.x)) << "round " << round;
+    }
+  }
+  EXPECT_GT(feasibleCount, 20);
+}
+
+TEST(DualMcfContextTest, EmptyLpIsFeasible) {
+  DualMcfContext context;
+  const DiffLpResult r = context.solve(DifferentialLp{});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_TRUE(r.x.empty());
+  EXPECT_EQ(r.objective, 0);
+}
+
 }  // namespace
 }  // namespace ofl::mcf

@@ -171,5 +171,53 @@ TEST(McfCrossCheckTest, RandomGraphsAgree) {
   }
 }
 
+TEST(NetworkSimplexResolveTest, WarmResolveMatchesColdObjective) {
+  // Re-solve one topology with shifted costs/capacities round after
+  // round: resolve() may restart from the retained basis
+  // (lastSolveWarm), and whenever it does it must still land on the
+  // cold solve's optimal cost.
+  Rng rng(5151);
+  NetworkSimplex warm;
+  int warmCount = 0;
+  for (int round = 0; round < 25; ++round) {
+    Graph g;
+    const int a = g.addNode(4);
+    const int b = g.addNode(0);
+    const int c = g.addNode(-4);
+    g.addArc(a, b, rng.uniformInt(2, 8), rng.uniformInt(-3, 6));
+    g.addArc(b, c, rng.uniformInt(2, 8), rng.uniformInt(-3, 6));
+    g.addArc(a, c, rng.uniformInt(1, 6), rng.uniformInt(-3, 6));
+    const FlowResult cold = NetworkSimplex().solve(g);
+    const FlowResult hot = warm.resolve(g);
+    if (warm.lastSolveWarm()) ++warmCount;
+    ASSERT_EQ(hot.status, cold.status) << "round " << round;
+    if (cold.status == SolveStatus::kOptimal) {
+      EXPECT_EQ(hot.totalCost, cold.totalCost) << "round " << round;
+    }
+  }
+  EXPECT_GT(warmCount, 0);  // the retained basis must actually engage
+}
+
+TEST(NetworkSimplexResolveTest, TopologyChangeFallsBackToCold) {
+  NetworkSimplex solver;
+  Graph g1;
+  const int s1 = g1.addNode(3);
+  const int t1 = g1.addNode(-3);
+  g1.addArc(s1, t1, 5, 2);
+  ASSERT_EQ(solver.resolve(g1).status, SolveStatus::kOptimal);
+  EXPECT_FALSE(solver.lastSolveWarm());  // nothing retained yet
+
+  Graph g2;  // different node/arc structure
+  const int s2 = g2.addNode(2);
+  const int m2 = g2.addNode(0);
+  const int t2 = g2.addNode(-2);
+  g2.addArc(s2, m2, 4, 1);
+  g2.addArc(m2, t2, 4, 1);
+  const FlowResult r = solver.resolve(g2);
+  EXPECT_FALSE(solver.lastSolveWarm());
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_EQ(r.totalCost, 4);
+}
+
 }  // namespace
 }  // namespace ofl::mcf
