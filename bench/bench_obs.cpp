@@ -1,0 +1,185 @@
+// Observability overhead study: one contest benchmark, single-threaded,
+// run with collection off and on (interleaved over `reps` repetitions).
+// The contract under test:
+//
+//   1. Fills are BIT-IDENTICAL in every configuration (observability can
+//      never perturb the product), and
+//   2. disabled probes cost <= 2% of engine wall time.
+//
+// Wall-clock deltas between two runs of the *same* disabled binary are
+// dominated by machine noise (several percent on shared CI runners), so
+// the disabled-probe budget is checked directly instead: a microbenchmark
+// times the disabled ScopedSpan/metricsEnabled probe (one relaxed atomic
+// load each), and the per-run cost is bounded as
+//   probes-per-run (counted from the enabled run's trace) x ns-per-probe
+// against the disabled engine wall time. The enabled-vs-disabled wall
+// ratio is reported as well (informational -- tracing pays for real
+// buffer appends).
+//
+// Results go to BENCH_obs.json; exits nonzero on fill divergence or a
+// busted probe budget.
+//
+// Usage: bench_obs [suite] [reps]   (s|b|m|tiny, default s; reps default 3)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/timer.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "fill/fill_engine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+using namespace ofl;
+
+namespace {
+
+// Order-sensitive fingerprint of the fill solution (same scheme as
+// bench_hotpath): identical hashes mean bit-identical fill lists.
+std::uint64_t fillHash(const layout::Layout& chip) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over fill coords
+  auto mix = [&h](geom::Coord v) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    for (const geom::Rect& f : chip.layer(l).fills) {
+      mix(f.xl);
+      mix(f.yl);
+      mix(f.xh);
+      mix(f.yh);
+    }
+  }
+  return h;
+}
+
+struct Sample {
+  double wall = 0.0;
+  std::size_t fills = 0;
+  std::uint64_t hash = 0;
+};
+
+Sample runOnce(const layout::Layout& original,
+               const contest::BenchmarkSpec& spec, bool collect) {
+  obs::Tracer::instance().clear();
+  obs::Tracer::instance().setEnabled(collect);
+  obs::MetricsRegistry::instance().reset();
+  obs::MetricsRegistry::instance().setEnabled(collect);
+
+  layout::Layout chip = original;
+  fill::FillEngineOptions o;
+  o.windowSize = spec.windowSize;
+  o.rules = spec.rules;
+  o.numThreads = 1;
+
+  Sample s;
+  Timer t;
+  const fill::FillReport report = fill::FillEngine(o).run(chip);
+  s.wall = t.elapsedSeconds();
+  s.fills = report.fillCount;
+  s.hash = fillHash(chip);
+
+  obs::Tracer::instance().setEnabled(false);
+  obs::MetricsRegistry::instance().setEnabled(false);
+  return s;
+}
+
+// Nanoseconds per disabled probe pair (one ScopedSpan + one
+// metricsEnabled() check -- the shape of every gated site). The volatile
+// sink stops the optimizer from hoisting the enabled_ load out of the
+// loop entirely.
+double disabledProbeNanos() {
+  obs::Tracer::instance().setEnabled(false);
+  obs::MetricsRegistry::instance().setEnabled(false);
+  constexpr int kIters = 5'000'000;
+  volatile bool sink = false;
+  Timer t;
+  for (int i = 0; i < kIters; ++i) {
+    obs::ScopedSpan span("bench.noop", "bench");
+    sink = sink || obs::metricsEnabled();
+  }
+  return t.elapsedSeconds() * 1e9 / kIters;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  setLogLevel(LogLevel::kWarn);
+  const std::string suite = argc > 1 ? argv[1] : "s";
+  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
+  std::printf("== Observability overhead: suite %s, %zu wires, 1 thread, "
+              "best of %d ==\n",
+              spec.name.c_str(), original.wireCount(), reps);
+
+  std::vector<double> off, on;
+  std::uint64_t hash = 0;
+  std::size_t fills = 0;
+  std::size_t tracedEvents = 0;
+  bool identical = true;
+  for (int r = 0; r < reps; ++r) {  // interleaved: noise lands on both
+    const Sample a = runOnce(original, spec, /*collect=*/false);
+    const Sample b = runOnce(original, spec, /*collect=*/true);
+    tracedEvents = obs::Tracer::instance().eventCount();
+    if (r == 0) {
+      hash = a.hash;
+      fills = a.fills;
+    }
+    identical = identical && a.hash == hash && b.hash == hash &&
+                a.fills == fills && b.fills == fills;
+    off.push_back(a.wall);
+    on.push_back(b.wall);
+  }
+
+  const double offBest = *std::min_element(off.begin(), off.end());
+  const double onBest = *std::min_element(on.begin(), on.end());
+  const double enabledOverhead = onBest / std::max(offBest, 1e-9) - 1.0;
+
+  // Disabled-probe budget: every span recorded by the enabled run is one
+  // probe site the disabled run also crossed (x2 for the metrics gates
+  // that accompany most spans, conservatively).
+  const double nsPerProbe = disabledProbeNanos();
+  const double probeSeconds =
+      static_cast<double>(tracedEvents) * 2.0 * nsPerProbe * 1e-9;
+  const double disabledOverhead = probeSeconds / std::max(offBest, 1e-9);
+
+  std::printf("disabled: %.4fs, enabled: %.4fs (%zu trace events), "
+              "enabled overhead %.2f%% (informational)\n",
+              offBest, onBest, tracedEvents, 100.0 * enabledOverhead);
+  std::printf("disabled probe: %.2f ns x %zu sites x2 = %.2f us/run = "
+              "%.5f%% of wall (budget 2%%); output %s\n",
+              nsPerProbe, tracedEvents, probeSeconds * 1e6,
+              100.0 * disabledOverhead,
+              identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
+
+  std::FILE* json = std::fopen("BENCH_obs.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"observability_overhead\",\n"
+                 "  \"suite\": \"%s\",\n  \"threads\": 1,\n  \"reps\": %d,\n"
+                 "  \"identical\": %s,\n"
+                 "  \"disabled_best_seconds\": %.4f,\n"
+                 "  \"enabled_best_seconds\": %.4f,\n"
+                 "  \"trace_events\": %zu,\n"
+                 "  \"disabled_probe_ns\": %.3f,\n"
+                 "  \"disabled_overhead_pct\": %.5f,\n"
+                 "  \"enabled_overhead_pct\": %.3f\n}\n",
+                 spec.name.c_str(), reps, identical ? "true" : "false",
+                 offBest, onBest, tracedEvents, nsPerProbe,
+                 100.0 * disabledOverhead, 100.0 * enabledOverhead);
+    std::fclose(json);
+    std::printf("wrote BENCH_obs.json\n");
+  }
+
+  if (!identical) return 1;
+  if (disabledOverhead > 0.02) {
+    std::printf("FAIL: disabled probes exceed the 2%% wall-time budget\n");
+    return 1;
+  }
+  return 0;
+}

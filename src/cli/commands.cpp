@@ -1,10 +1,18 @@
 #include "cli/commands.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <system_error>
+#include <thread>
 
+#include "common/json_util.hpp"
 #include "common/memory_usage.hpp"
 #include "common/prof.hpp"
 #include "common/timer.hpp"
@@ -22,6 +30,9 @@
 #include "gds/oasis.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/gds_compact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/quality.hpp"
+#include "obs/trace.hpp"
 #include "service/fill_service.hpp"
 #include "service/layout_io.hpp"
 #include "service/manifest.hpp"
@@ -76,6 +87,95 @@ int emitProfile(const char* command, const Args& args,
     std::fclose(f);
   }
   return 0;
+}
+
+// --trace FILE / --metrics-out FILE / --metrics-prom FILE (fill and
+// batch): observability collection for this invocation. Like --profile,
+// the tracer and metrics registry are process-global, so the CLI clears
+// them here and the artifacts cover exactly this command. Enabling
+// metrics also enables the prof registry: the snapshot absorbs the stage
+// timers as prof.* gauges.
+struct ObsRequest {
+  std::string tracePath;
+  std::string metricsJsonPath;
+  std::string metricsPromPath;
+  bool tracing() const { return !tracePath.empty(); }
+  bool metrics() const {
+    return !metricsJsonPath.empty() || !metricsPromPath.empty();
+  }
+  bool any() const { return tracing() || metrics(); }
+};
+
+ObsRequest obsRequestFrom(const Args& args) {
+  ObsRequest req;
+  req.tracePath = args.getOr("trace", "");
+  req.metricsJsonPath = args.getOr("metrics-out", "");
+  req.metricsPromPath = args.getOr("metrics-prom", "");
+  return req;
+}
+
+void enableObservability(const ObsRequest& req) {
+  if (req.tracing()) {
+    obs::Tracer::instance().clear();
+    obs::Tracer::instance().setEnabled(true);
+  }
+  if (req.metrics()) {
+    obs::MetricsRegistry::instance().reset();
+    obs::MetricsRegistry::instance().setEnabled(true);
+    obs::registerCoreSeries();  // stable snapshot schema: zero > absent
+    enableProfiling();
+  }
+}
+
+bool writeTextFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), f) == content.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// Snapshot the metrics registry (prof + process gauges refreshed first)
+// into the requested JSON/Prometheus files. Safe to call repeatedly (the
+// batch periodic dump overwrites in place).
+int writeMetricsSnapshot(const char* command, const ObsRequest& req) {
+  obs::absorbProf(prof::Registry::instance().snapshot());
+  obs::updateProcessGauges();
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::instance().snapshot();
+  int rc = 0;
+  if (!req.metricsJsonPath.empty() &&
+      !writeTextFile(req.metricsJsonPath, snap.json())) {
+    std::fprintf(stderr, "%s: cannot write %s\n", command,
+                 req.metricsJsonPath.c_str());
+    rc = 1;
+  }
+  if (!req.metricsPromPath.empty() &&
+      !writeTextFile(req.metricsPromPath, snap.prometheus())) {
+    std::fprintf(stderr, "%s: cannot write %s\n", command,
+                 req.metricsPromPath.c_str());
+    rc = 1;
+  }
+  return rc;
+}
+
+// Final artifact emission: metrics snapshot, then the trace (collection
+// stopped first so the write itself is not traced).
+int emitObservability(const char* command, const ObsRequest& req) {
+  int rc = 0;
+  if (req.metrics()) {
+    rc = writeMetricsSnapshot(command, req);
+    obs::MetricsRegistry::instance().setEnabled(false);
+  }
+  if (req.tracing()) {
+    obs::Tracer::instance().setEnabled(false);
+    if (!obs::Tracer::instance().writeChromeJson(req.tracePath)) {
+      std::fprintf(stderr, "%s: cannot write %s\n", command,
+                   req.tracePath.c_str());
+      rc = 1;
+    }
+  }
+  return rc;
 }
 
 layout::DesignRules rulesFrom(const Args& args) {
@@ -179,6 +279,8 @@ int fillImpl(const Args& args) {
   }
   const bool profiling = profilingRequested(args);
   if (profiling) enableProfiling();
+  const ObsRequest obsReq = obsRequestFrom(args);
+  enableObservability(obsReq);
 
   Timer timer;
   const fill::FillReport report = fill::FillEngine(options).run(chip);
@@ -205,8 +307,25 @@ int fillImpl(const Args& args) {
               report.fillCount, report.candidateCount, timer.elapsedSeconds(),
               report.planningSeconds, report.candidateSeconds,
               report.sizingSeconds, bytes, out.c_str());
-  if (profiling) return emitProfile("fill", args, report.profile);
-  return 0;
+  int rc = 0;
+  if (obsReq.metrics()) {
+    // Per-term score decomposition (Eqns. 3-4) into the quality channel,
+    // so the metrics artifact explains the score, not just the runtime.
+    const std::string suite = args.getOr("suite", "s");
+    const contest::Evaluator evaluator(
+        options.windowSize, contest::scoreTableFor(suite), options.rules);
+    const contest::RawMetrics raw = evaluator.measure(chip);
+    const contest::ScoreBreakdown sb =
+        evaluator.score(raw, timer.elapsedSeconds(), peakMemoryMiB());
+    obs::recordScoreTerms(sb.overlay, sb.variation, sb.line, sb.outlier,
+                          sb.size, sb.quality, sb.total);
+  }
+  if (obsReq.any()) rc = emitObservability("fill", obsReq);
+  if (profiling) {
+    const int prc = emitProfile("fill", args, report.profile);
+    if (prc != 0) return prc;
+  }
+  return rc;
 }
 
 int evaluateImpl(const Args& args) {
@@ -256,7 +375,83 @@ int drcImpl(const Args& args) {
   return violations.empty() ? 0 : 1;
 }
 
+// `openfill stats --metrics FILE`: pretty-print a --metrics-out snapshot
+// and optionally (--require a,b,c) fail when named series are absent —
+// CI uses this to assert an observability artifact is complete.
+int metricsStatsImpl(const Args& args, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "stats: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto doc = json::Value::parse(buffer.str());
+  if (!doc.has_value() || !doc->isObject()) {
+    std::fprintf(stderr, "stats: %s is not a JSON metrics snapshot\n",
+                 path.c_str());
+    return 2;
+  }
+
+  const json::Value* counters = doc->find("counters");
+  const json::Value* gauges = doc->find("gauges");
+  const json::Value* histograms = doc->find("histograms");
+  const auto sectionHas = [](const json::Value* section,
+                             const std::string& name) {
+    return section != nullptr && section->isObject() &&
+           section->find(name) != nullptr;
+  };
+
+  if (counters != nullptr && counters->isObject() &&
+      !counters->object.empty()) {
+    std::printf("counters:\n");
+    for (const auto& [name, v] : counters->object) {
+      std::printf("  %-36s %14.0f\n", name.c_str(), v.number);
+    }
+  }
+  if (gauges != nullptr && gauges->isObject() && !gauges->object.empty()) {
+    std::printf("gauges:\n");
+    for (const auto& [name, v] : gauges->object) {
+      std::printf("  %-36s %14.6g\n", name.c_str(), v.number);
+    }
+  }
+  if (histograms != nullptr && histograms->isObject() &&
+      !histograms->object.empty()) {
+    std::printf("%-38s %10s %12s %12s %12s\n", "histogram", "count", "p50",
+                "p95", "p99");
+    for (const auto& [name, h] : histograms->object) {
+      const auto field = [&h](const char* key) {
+        const json::Value* v = h.find(key);
+        return v != nullptr ? v->number : 0.0;
+      };
+      std::printf("  %-36s %10.0f %12.6g %12.6g %12.6g\n", name.c_str(),
+                  field("count"), field("p50"), field("p95"), field("p99"));
+    }
+  }
+
+  if (const auto require = args.get("require"); require.has_value()) {
+    int missing = 0;
+    std::stringstream list(*require);
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (name.empty()) continue;
+      if (!sectionHas(counters, name) && !sectionHas(gauges, name) &&
+          !sectionHas(histograms, name)) {
+        std::fprintf(stderr, "stats: missing metric series: %s\n",
+                     name.c_str());
+        ++missing;
+      }
+    }
+    if (missing > 0) return 1;
+  }
+  return 0;
+}
+
 int statsImpl(const Args& args) {
+  if (const auto metricsPath = args.get("metrics");
+      metricsPath.has_value() && !metricsPath->empty()) {
+    return metricsStatsImpl(args, *metricsPath);
+  }
   layout::Layout chip({}, 0);
   std::string error;
   if (!loadLayout(args, chip, &error)) {
@@ -424,6 +619,9 @@ int batchImpl(const Args& args) {
 
   const bool profiling = profilingRequested(args);
   if (profiling) enableProfiling();
+  const ObsRequest obsReq = obsRequestFrom(args);
+  enableObservability(obsReq);
+  const double metricsInterval = args.getDoubleChecked("metrics-interval-s", 0.0);
 
   service::ServiceOptions so;
   so.maxConcurrentJobs =
@@ -450,9 +648,47 @@ int batchImpl(const Args& args) {
     job.outputPath = (std::filesystem::path(outDir) / name).string();
   }
 
-  service::FillService svc(so);
-  for (service::JobSpec& job : manifest.jobs) svc.submit(std::move(job));
-  const std::vector<service::JobResult> results = svc.waitAll();
+  // Periodic metrics dump (long batches): rewrite the --metrics-out /
+  // --metrics-prom files every --metrics-interval-s seconds so an operator
+  // (or a Prometheus file-based scrape) can watch a run in flight.
+  std::mutex dumpMutex;
+  std::condition_variable dumpCv;
+  bool dumpStop = false;
+  std::thread dumpThread;
+  if (obsReq.metrics() && metricsInterval > 0) {
+    dumpThread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dumpMutex);
+      while (!dumpCv.wait_for(
+          lock, std::chrono::duration<double>(metricsInterval),
+          [&] { return dumpStop; })) {
+        writeMetricsSnapshot("batch", obsReq);
+      }
+    });
+  }
+
+  // The service lives in a scope so its destructor joins every worker
+  // before the final metrics/trace artifacts are written — otherwise a
+  // worker could still be between publishing its last result and bumping
+  // its completion counters when the snapshot is taken.
+  std::vector<service::JobResult> results;
+  service::ServiceStats stats;
+  int resolvedThreadsPerJob = 0;
+  {
+    service::FillService svc(so);
+    resolvedThreadsPerJob = svc.threadsPerJob();
+    for (service::JobSpec& job : manifest.jobs) svc.submit(std::move(job));
+    results = svc.waitAll();
+    stats = svc.stats();
+  }
+
+  if (dumpThread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dumpMutex);
+      dumpStop = true;
+    }
+    dumpCv.notify_all();
+    dumpThread.join();
+  }
 
   bool allOk = true;
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -467,15 +703,18 @@ int batchImpl(const Args& args) {
                   r.error.c_str());
     }
   }
-  const service::ServiceStats stats = svc.stats();
   std::printf("batch: %llu/%llu jobs ok in %.2fs (%.2f jobs/s, %d workers x "
               "%d threads, cache hit rate %.0f%%)\n",
               static_cast<unsigned long long>(stats.succeeded),
               static_cast<unsigned long long>(stats.submitted),
               stats.wallSeconds, stats.jobsPerSecond, so.maxConcurrentJobs,
-              svc.threadsPerJob(), 100.0 * stats.cacheHitRate);
+              resolvedThreadsPerJob, 100.0 * stats.cacheHitRate);
   if (args.hasFlag("json")) {
     std::printf("%s\n", service::toJson(stats).c_str());
+  }
+  if (obsReq.any()) {
+    service::exportToMetrics(stats);  // batch summary as service.* gauges
+    if (emitObservability("batch", obsReq) != 0) return 1;
   }
   if (profiling) {
     const int rc = emitProfile("batch", args, stats.profile);
@@ -590,12 +829,17 @@ std::string usage() {
       "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
       "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
       "       [--threads N] [--profile] [--profile-json FILE]\n"
+      "       [--trace FILE] [--metrics-out FILE] [--metrics-prom FILE]\n"
       "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
       "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
       "      --threads 0 (default) uses every hardware core, results are\n"
       "      identical for any thread count. --profile prints the hot-path\n"
       "      stage table (thread-seconds) to stderr; --profile-json writes\n"
       "      the same snapshot as JSON (schema: docs/architecture.md).\n"
+      "      --trace writes a Chrome trace-event JSON (open in Perfetto);\n"
+      "      --metrics-out / --metrics-prom write the unified metrics\n"
+      "      snapshot (stage timers, per-window quality telemetry, score\n"
+      "      decomposition, peak RSS) as JSON / Prometheus text.\n"
       "  evaluate --in FILE.gds --suite s|b|m [--window N] [--runtime S]\n"
       "       [--memory MiB]\n"
       "      Score a filled layout with the contest metric.\n"
@@ -603,6 +847,9 @@ std::string usage() {
       "      Check fills against the design rules.\n"
       "  stats --in FILE.gds\n"
       "      Print shape counts and file statistics.\n"
+      "  stats --metrics FILE [--require name,name,...]\n"
+      "      Pretty-print a --metrics-out snapshot; --require exits 1 if\n"
+      "      any named series is missing (CI artifact check).\n"
       "  heatmap --in FILE.gds [--window N] [--layer N] [--csv FILE]\n"
       "      Render a window-density heatmap (ASCII to stdout, or CSV).\n"
       "  compare --in FILE.gds --suite s|b|m [--window N] [--threads N]\n"
@@ -611,13 +858,17 @@ std::string usage() {
       "grid.\n"
       "  batch --manifest FILE --out-dir DIR [--jobs N] [--threads-per-job M]\n"
       "       [--cache-mb K] [--timeout-s S] [--json] [--profile]\n"
-      "       [--profile-json FILE]\n"
+      "       [--profile-json FILE] [--trace FILE] [--metrics-out FILE]\n"
+      "       [--metrics-prom FILE] [--metrics-interval-s S]\n"
       "      Run a manifest of fill jobs (one per line: input path + fill\n"
       "      options) with N concurrent jobs over a shared result cache;\n"
       "      outputs are byte-identical to sequential `openfill fill` runs\n"
       "      for any --jobs/--threads-per-job setting. --profile/-json\n"
       "      report hot-path stages aggregated over every job (and appear\n"
-      "      under \"profile\" in --json output).\n"
+      "      under \"profile\" in --json output). --trace/--metrics-out\n"
+      "      work as for fill, with spans tagged by job id;\n"
+      "      --metrics-interval-s rewrites the metrics files periodically\n"
+      "      while the batch runs.\n"
       "  check --in FILE.gds --suite s|b|m [--json] [--skip-determinism]\n"
       "       [--inject spacing|density|overlay|determinism]\n"
       "       [engine options as for fill]\n"

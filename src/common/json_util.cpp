@@ -1,0 +1,258 @@
+#include "common/json_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace ofl::json {
+
+void appendEscaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+std::string escaped(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  appendEscaped(out, s);
+  return out;
+}
+
+void appendNumber(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    out += "0";
+    return;
+  }
+  char buf[32];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+void appendNumber(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+void appendNumber(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto r = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, r.ptr);
+}
+
+namespace {
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skipWs() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool consume(char c) {
+    skipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  Value parseValue() {
+    skipWs();
+    if (pos >= text.size()) {
+      ok = false;
+      return {};
+    }
+    const char c = text[pos];
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return parseString();
+    if (c == 't') {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      v.boolean = true;
+      literal("true");
+      return v;
+    }
+    if (c == 'f') {
+      Value v;
+      v.kind = Value::Kind::kBool;
+      literal("false");
+      return v;
+    }
+    if (c == 'n') {
+      literal("null");
+      return {};
+    }
+    return parseNumber();
+  }
+
+  Value parseString() {
+    Value v;
+    v.kind = Value::Kind::kString;
+    if (!consume('"')) {
+      ok = false;
+      return v;
+    }
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char esc = text[pos++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            // \uXXXX — decode the low byte only (our emitters only escape
+            // control characters, which fit in one byte).
+            unsigned code = 0;
+            if (pos + 4 <= text.size() &&
+                std::from_chars(text.data() + pos, text.data() + pos + 4, code,
+                                16)
+                        .ec == std::errc()) {
+              pos += 4;
+              c = static_cast<char>(code & 0xff);
+            } else {
+              ok = false;
+              return v;
+            }
+            break;
+          }
+          default: c = esc;
+        }
+      }
+      v.str.push_back(c);
+    }
+    if (!consume('"')) ok = false;
+    return v;
+  }
+
+  Value parseNumber() {
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) != 0 ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    const auto r = std::from_chars(text.data() + start, text.data() + pos,
+                                   v.number);
+    if (r.ec != std::errc() || r.ptr != text.data() + pos || pos == start) {
+      ok = false;
+    }
+    return v;
+  }
+
+  Value parseArray() {
+    Value v;
+    v.kind = Value::Kind::kArray;
+    consume('[');
+    skipWs();
+    if (consume(']')) return v;
+    for (;;) {
+      v.array.push_back(parseValue());
+      if (!ok) return v;
+      if (consume(']')) return v;
+      if (!consume(',')) {
+        ok = false;
+        return v;
+      }
+    }
+  }
+
+  Value parseObject() {
+    Value v;
+    v.kind = Value::Kind::kObject;
+    consume('{');
+    skipWs();
+    if (consume('}')) return v;
+    for (;;) {
+      skipWs();
+      const Value key = parseString();
+      if (!ok || !consume(':')) {
+        ok = false;
+        return v;
+      }
+      v.object[key.str] = parseValue();
+      if (!ok) return v;
+      if (consume('}')) return v;
+      if (!consume(',')) {
+        ok = false;
+        return v;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<Value> Value::parse(std::string_view text) {
+  Parser p{text};
+  Value v = p.parseValue();
+  p.skipWs();
+  if (!p.ok || p.pos != p.text.size()) return std::nullopt;
+  return v;
+}
+
+const Value* Value::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+const Value* Value::findPath(const std::string& dottedPath) const {
+  const Value* cur = this;
+  std::size_t start = 0;
+  while (cur != nullptr && start <= dottedPath.size()) {
+    const std::size_t dot = dottedPath.find('.', start);
+    const std::string key = dottedPath.substr(
+        start, dot == std::string::npos ? std::string::npos : dot - start);
+    // Full remaining suffix first: metric names themselves contain dots
+    // ("cache.hits" is one key in the metrics snapshot), so prefer the
+    // literal member over recursing through nested objects.
+    if (const Value* direct = cur->find(dottedPath.substr(start));
+        direct != nullptr) {
+      return direct;
+    }
+    if (dot == std::string::npos) return cur->find(key);
+    cur = cur->find(key);
+    start = dot + 1;
+  }
+  return nullptr;
+}
+
+}  // namespace ofl::json

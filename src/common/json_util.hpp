@@ -1,0 +1,62 @@
+// Locale-independent JSON building blocks plus a minimal parser.
+//
+// Every JSON artifact this project emits (prof snapshots, metrics
+// snapshots, Chrome traces, service stats) must be byte-stable across
+// machines and locales: number formatting goes through std::to_chars
+// (never printf "%f", whose decimal point follows the C locale), and all
+// string payloads are escaped here. The parser is a small recursive-
+// descent reader sufficient for the formats we write ourselves — used by
+// `openfill stats --metrics`, the prof round-trip tests and the trace
+// validators, not meant as a general-purpose JSON library.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofl::json {
+
+/// Appends `s` escaped for inclusion inside a JSON string literal
+/// (quotes, backslash, control characters; no surrounding quotes).
+void appendEscaped(std::string& out, std::string_view s);
+std::string escaped(std::string_view s);
+
+/// Appends a double via std::to_chars (shortest round-trip form, always
+/// '.' as the decimal separator). Non-finite values render as 0 — JSON
+/// has no NaN/Inf and our series never legitimately produce them.
+void appendNumber(std::string& out, double v);
+void appendNumber(std::string& out, std::uint64_t v);
+void appendNumber(std::string& out, std::int64_t v);
+
+/// Parsed JSON value. Numbers are stored as double (adequate for every
+/// artifact we emit; counters stay exact up to 2^53).
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document (trailing whitespace allowed).
+  /// Returns nullopt on any syntax error.
+  static std::optional<Value> parse(std::string_view text);
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool isObject() const { return kind == Kind::kObject; }
+  bool isArray() const { return kind == Kind::kArray; }
+  bool isNumber() const { return kind == Kind::kNumber; }
+  bool isString() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+  /// Dotted-path lookup through nested objects ("cache.hits").
+  const Value* findPath(const std::string& dottedPath) const;
+};
+
+}  // namespace ofl::json

@@ -9,6 +9,12 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
 
+// Thread-local log context ("job=3 name=x"); guards append and truncate.
+std::string& contextSlot() {
+  thread_local std::string context;
+  return context;
+}
+
 // Serializes whole messages: fill-stage workers log concurrently, and
 // without this the tag/body/newline triplets interleave.
 std::mutex& sinkMutex() {
@@ -21,8 +27,13 @@ void vlog(LogLevel level, const char* tag, const char* fmt, va_list args) {
       static_cast<int>(g_level.load(std::memory_order_relaxed))) {
     return;
   }
+  const std::string& context = contextSlot();
   std::lock_guard<std::mutex> lock(sinkMutex());
-  std::fprintf(stderr, "[%s] ", tag);
+  if (context.empty()) {
+    std::fprintf(stderr, "[%s] ", tag);
+  } else {
+    std::fprintf(stderr, "[%s] %s ", tag, context.c_str());
+  }
   std::vfprintf(stderr, fmt, args);
   std::fputc('\n', stderr);
 }
@@ -48,5 +59,45 @@ OFL_DEFINE_LOG(logWarn, LogLevel::kWarn, "warn")
 OFL_DEFINE_LOG(logError, LogLevel::kError, "error")
 
 #undef OFL_DEFINE_LOG
+
+ScopedLogContext::ScopedLogContext(const char* key, long long value)
+    : ScopedLogContext(key, std::to_string(value)) {}
+
+ScopedLogContext::ScopedLogContext(const char* key, const std::string& value) {
+  std::string& context = contextSlot();
+  savedSize_ = context.size();
+  if (!context.empty()) context += ' ';
+  context += key;
+  context += '=';
+  context += value;
+}
+
+ScopedLogContext::~ScopedLogContext() { contextSlot().resize(savedSize_); }
+
+const std::string& logContext() { return contextSlot(); }
+
+std::string formatFields(const char* event,
+                         std::initializer_list<LogField> fields) {
+  std::string out = event;
+  for (const LogField& f : fields) {
+    out += ' ';
+    out += f.first;
+    out += '=';
+    out += f.second;
+  }
+  return out;
+}
+
+void logFields(LogLevel level, const char* event,
+               std::initializer_list<LogField> fields) {
+  const std::string line = formatFields(event, fields);
+  switch (level) {
+    case LogLevel::kDebug: logDebug("%s", line.c_str()); break;
+    case LogLevel::kInfo: logInfo("%s", line.c_str()); break;
+    case LogLevel::kWarn: logWarn("%s", line.c_str()); break;
+    case LogLevel::kError: logError("%s", line.c_str()); break;
+    case LogLevel::kSilent: break;
+  }
+}
 
 }  // namespace ofl

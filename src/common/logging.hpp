@@ -6,7 +6,10 @@
 #pragma once
 
 #include <cstdarg>
+#include <cstddef>
+#include <initializer_list>
 #include <string>
+#include <utility>
 
 namespace ofl {
 
@@ -30,6 +33,41 @@ void logDebug(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void logInfo(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void logWarn(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 void logError(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Thread-local key=value context prepended to every log line the thread
+/// emits while the guard lives, e.g. "[info] job=3 loaded 4 layers".
+/// Batch-service workers interleave on stderr; the job-id context makes
+/// each line attributable. Nestable (inner guards append further pairs);
+/// the context does NOT propagate into pool worker threads — the engine
+/// instead tags its telemetry with FillEngineOptions::jobId.
+class ScopedLogContext {
+ public:
+  ScopedLogContext(const char* key, long long value);
+  ScopedLogContext(const char* key, const std::string& value);
+  ~ScopedLogContext();
+  ScopedLogContext(const ScopedLogContext&) = delete;
+  ScopedLogContext& operator=(const ScopedLogContext&) = delete;
+
+ private:
+  std::size_t savedSize_;
+};
+
+/// The calling thread's current context ("" when none, otherwise
+/// "key=value key2=value2").
+const std::string& logContext();
+
+/// A structured field; values are logged verbatim (no quoting), so keep
+/// them free of spaces where grep-ability matters.
+using LogField = std::pair<const char*, std::string>;
+
+/// Renders "event key=value key2=value2" — the canonical structured form.
+std::string formatFields(const char* event,
+                         std::initializer_list<LogField> fields);
+
+/// Structured logging: emits formatFields(event, fields) at `level`
+/// (plus the thread's ScopedLogContext like every other log call).
+void logFields(LogLevel level, const char* event,
+               std::initializer_list<LogField> fields);
 
 /// RAII guard that silences (or changes) the log level within a scope.
 class ScopedLogLevel {

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/json_util.hpp"
+
 namespace ofl::prof {
 namespace {
 
@@ -116,26 +118,31 @@ std::string Snapshot::human() const {
 }
 
 std::string Snapshot::json() const {
+  // Emitted via common/json_util: stage names are escaped (future stages
+  // may carry arbitrary labels) and numbers are formatted with
+  // std::to_chars, so the output is byte-stable under any C locale.
+  // Round-trip coverage: ProfTest.JsonRoundTripsThroughParser.
   std::string out = "{\"stages\": {";
-  char buf[160];
   bool first = true;
   for (std::size_t i = 0; i < stages.size(); ++i) {
     const StageStats& s = stages[i];
-    std::snprintf(buf, sizeof(buf),
-                  "%s\"%s\": {\"seconds\": %.6f, \"calls\": %llu}",
-                  first ? "" : ", ", jsonKey(kStageNames[i]).c_str(),
-                  s.seconds(), static_cast<unsigned long long>(s.calls));
-    out += buf;
+    out += first ? "\"" : ", \"";
     first = false;
+    json::appendEscaped(out, jsonKey(kStageNames[i]));
+    out += "\": {\"seconds\": ";
+    json::appendNumber(out, s.seconds());
+    out += ", \"calls\": ";
+    json::appendNumber(out, s.calls);
+    out += "}";
   }
   out += "}, \"counters\": {";
   first = true;
   for (std::size_t i = 0; i < counters.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "%s\"%s\": %llu", first ? "" : ", ",
-                  kCounterNames[i],
-                  static_cast<unsigned long long>(counters[i]));
-    out += buf;
+    out += first ? "\"" : ", \"";
     first = false;
+    json::appendEscaped(out, kCounterNames[i]);
+    out += "\": ";
+    json::appendNumber(out, counters[i]);
   }
   out += "}}";
   return out;

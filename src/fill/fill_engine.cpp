@@ -1,13 +1,18 @@
 #include "fill/fill_engine.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hpp"
 #include "common/prof.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "density/density_map.hpp"
+#include "density/metrics.hpp"
 #include "layout/fill_region.hpp"
+#include "obs/metrics.hpp"
+#include "obs/quality.hpp"
+#include "obs/trace.hpp"
 
 namespace ofl::fill {
 
@@ -19,6 +24,48 @@ namespace {
 // abandoned) and the pool rethrows it on the caller.
 inline void checkCancel(const CancelToken* token) {
   if (token != nullptr) token->throwIfExpired();
+}
+
+// Quality-telemetry channel: final per-window density and planned-target
+// gap per layer, computed from the solved window problems (wire density +
+// fill area / window area — the same arithmetic the second planning round
+// uses, so no extra geometry passes). Gated: runs only when metrics or
+// tracing collection is on; pure observation, never part of the result.
+void recordQualityTelemetry(const layout::WindowGrid& grid,
+                            const std::vector<WindowProblem>& problems,
+                            int numLayers, std::int64_t jobId) {
+  if (!obs::metricsEnabled() && !obs::Tracer::enabled()) return;
+  const auto numWindows = problems.size();
+  std::vector<double> values(numWindows);
+  for (int l = 0; l < numLayers; ++l) {
+    const auto li = static_cast<std::size_t>(l);
+    for (std::size_t w = 0; w < numWindows; ++w) {
+      const WindowProblem& p = problems[w];
+      geom::Area fillArea = 0;
+      for (const geom::Rect& f : p.fills[li]) fillArea += f.area();
+      const auto windowArea = static_cast<double>(p.window.area());
+      const double d =
+          windowArea > 0
+              ? p.wireDensity[li] + static_cast<double>(fillArea) / windowArea
+              : 0.0;
+      values[w] = d;
+      obs::recordWindowQuality(l + 1, d, std::abs(d - p.targetDensity[li]));
+    }
+    const density::DensityMap map(grid.cols(), grid.rows(), values);
+    const density::DensityMetrics m = density::computeMetrics(map);
+    obs::recordLayerQuality(l + 1, m.mean, m.sigma, m.lineHotspot,
+                            m.outlierHotspot, jobId);
+  }
+}
+
+// Engine-level throughput metrics shared by run() and runIncremental().
+void recordRunMetrics(const FillReport& report) {
+  if (!obs::metricsEnabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.counter("engine.runs").add();
+  reg.counter("engine.candidates").add(report.candidateCount);
+  reg.counter("engine.fills").add(report.fillCount);
+  reg.histogram("engine.run_seconds").observe(report.totalSeconds);
 }
 
 }  // namespace
@@ -34,6 +81,8 @@ inline void checkCancel(const CancelToken* token) {
 FillReport FillEngine::run(layout::Layout& layout) const {
   FillReport report;
   Timer total;
+  const double jid = static_cast<double>(options_.jobId);
+  obs::ScopedSpan runSpan("engine.run", "engine", {{"job", jid}});
   checkCancel(options_.cancel);
   layout.clearFills();
 
@@ -53,30 +102,37 @@ FillReport FillEngine::run(layout::Layout& layout) const {
       static_cast<std::size_t>(numLayers));
   std::vector<density::DensityMap> wireDensity(
       static_cast<std::size_t>(numLayers));
-  pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
-    const int layer = static_cast<int>(l);
-    {
-      prof::ScopedTimer timer(prof::Stage::kRegionPrep);
-      fillRegions[l] = layout::computeFillRegions(
-          layout, layer, grid, options_.rules, &blockedBuckets[l]);
-      wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
-    }
-    prof::ScopedTimer timer(prof::Stage::kDensityCompute);
-    wireDensity[l] =
-        density::DensityMap::computeFromShapes(layout.layer(layer).wires, grid);
-  });
+  {
+    obs::ScopedSpan span("engine.region_prep", "engine", {{"job", jid}});
+    pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
+      const int layer = static_cast<int>(l);
+      {
+        prof::ScopedTimer timer(prof::Stage::kRegionPrep);
+        obs::ScopedSpan layerSpan(
+            "layer.region_prep", "window",
+            {{"job", jid}, {"layer", static_cast<double>(layer + 1)}});
+        fillRegions[l] = layout::computeFillRegions(
+            layout, layer, grid, options_.rules, &blockedBuckets[l]);
+        wireBuckets[l] = grid.bucketClipped(layout.layer(layer).wires);
+      }
+      prof::ScopedTimer timer(prof::Stage::kDensityCompute);
+      wireDensity[l] = density::DensityMap::computeFromShapes(
+          layout.layer(layer).wires, grid);
+    });
+  }
 
   // --- Stage 1: density planning on the geometric bounds (Section 3.1) ---
   std::vector<density::DensityBounds> bounds(
       static_cast<std::size_t>(numLayers));
-  pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
-    prof::ScopedTimer timer(prof::Stage::kPlanning);
-    bounds[l] = density::computeBounds(layout, static_cast<int>(l), grid,
-                                       fillRegions[l], options_.rules);
-  });
   const TargetDensityPlanner planner(options_.plannerWeights);
   TargetPlan plan;
   {
+    obs::ScopedSpan span("engine.planning", "engine", {{"job", jid}});
+    pool.parallelFor(static_cast<std::size_t>(numLayers), [&](std::size_t l) {
+      prof::ScopedTimer timer(prof::Stage::kPlanning);
+      bounds[l] = density::computeBounds(layout, static_cast<int>(l), grid,
+                                         fillRegions[l], options_.rules);
+    });
     prof::ScopedTimer timer(prof::Stage::kPlanning);
     plan = planner.plan(bounds, grid.cols(), grid.rows());
   }
@@ -87,29 +143,39 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   std::vector<WindowProblem> problems(numWindows);
   const CandidateGenerator generator(options_.rules, options_.candidate);
   prof::count(prof::Counter::kWindows, numWindows);
-  pool.parallelFor(numWindows, [&](std::size_t w) {
-    checkCancel(options_.cancel);
-    const int i = static_cast<int>(w) % grid.cols();
-    const int j = static_cast<int>(w) / grid.cols();
-    WindowProblem& p = problems[w];
-    p.window = grid.windowRect(i, j);
-    p.fillRegions.reserve(static_cast<std::size_t>(numLayers));
-    p.wires.reserve(static_cast<std::size_t>(numLayers));
-    p.blocked.reserve(static_cast<std::size_t>(numLayers));
-    for (int l = 0; l < numLayers; ++l) {
-      p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
-      p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
-      p.blocked.push_back(blockedBuckets[static_cast<std::size_t>(l)][w]);
-      p.wireDensity.push_back(wireDensity[static_cast<std::size_t>(l)].at(i, j));
-      p.targetDensity.push_back(
-          plan.windowTarget[static_cast<std::size_t>(l)][w]);
-    }
-    // Worker-local scratch: buffers survive across the windows this
-    // thread processes, then across runs in the same process.
-    static thread_local CandidateGenerator::Scratch scratch;
-    prof::ScopedTimer timer(prof::Stage::kCandidates);
-    generator.generate(p, scratch);
-  });
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry::instance().counter("engine.windows").add(numWindows);
+  }
+  {
+    obs::ScopedSpan span("engine.candidates", "engine", {{"job", jid}});
+    pool.parallelFor(numWindows, [&](std::size_t w) {
+      checkCancel(options_.cancel);
+      const int i = static_cast<int>(w) % grid.cols();
+      const int j = static_cast<int>(w) / grid.cols();
+      WindowProblem& p = problems[w];
+      p.window = grid.windowRect(i, j);
+      p.fillRegions.reserve(static_cast<std::size_t>(numLayers));
+      p.wires.reserve(static_cast<std::size_t>(numLayers));
+      p.blocked.reserve(static_cast<std::size_t>(numLayers));
+      for (int l = 0; l < numLayers; ++l) {
+        p.fillRegions.push_back(fillRegions[static_cast<std::size_t>(l)][w]);
+        p.wires.push_back(wireBuckets[static_cast<std::size_t>(l)][w]);
+        p.blocked.push_back(blockedBuckets[static_cast<std::size_t>(l)][w]);
+        p.wireDensity.push_back(
+            wireDensity[static_cast<std::size_t>(l)].at(i, j));
+        p.targetDensity.push_back(
+            plan.windowTarget[static_cast<std::size_t>(l)][w]);
+      }
+      // Worker-local scratch: buffers survive across the windows this
+      // thread processes, then across runs in the same process.
+      static thread_local CandidateGenerator::Scratch scratch;
+      prof::ScopedTimer timer(prof::Stage::kCandidates);
+      obs::ScopedSpan windowSpan(
+          "window.candidates", "window",
+          {{"job", jid}, {"w", static_cast<double>(w)}});
+      generator.generate(p, scratch);
+    });
+  }
   for (const WindowProblem& p : problems) {
     for (const auto& layerFills : p.fills) {
       report.candidateCount += layerFills.size();
@@ -144,6 +210,7 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   }
   {
     prof::ScopedTimer timer(prof::Stage::kPlanning);
+    obs::ScopedSpan span("engine.replanning", "engine", {{"job", jid}});
     plan = planner.plan(bounds, grid.cols(), grid.rows());
   }
   for (std::size_t w = 0; w < numWindows; ++w) {
@@ -159,18 +226,25 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   stage.reset();
   const FillSizer sizer(options_.rules, options_.sizer);
   std::vector<FillSizer::Stats> windowStats(numWindows);
-  pool.parallelFor(numWindows, [&](std::size_t w) {
-    checkCancel(options_.cancel);
-    static thread_local FillSizer::Scratch scratch;
-    prof::ScopedTimer timer(prof::Stage::kSizing);
-    sizer.size(problems[w], scratch, &windowStats[w]);
-  });
+  {
+    obs::ScopedSpan span("engine.sizing", "engine", {{"job", jid}});
+    pool.parallelFor(numWindows, [&](std::size_t w) {
+      checkCancel(options_.cancel);
+      static thread_local FillSizer::Scratch scratch;
+      prof::ScopedTimer timer(prof::Stage::kSizing);
+      obs::ScopedSpan windowSpan(
+          "window.sizing", "window",
+          {{"job", jid}, {"w", static_cast<double>(w)}});
+      sizer.size(problems[w], scratch, &windowStats[w]);
+    });
+  }
   for (const FillSizer::Stats& s : windowStats) report.sizerStats.add(s);
   report.sizingSeconds += stage.elapsedSeconds();
 
   // --- Output ---
   {
     prof::ScopedTimer timer(prof::Stage::kOutput);
+    obs::ScopedSpan span("engine.output", "engine", {{"job", jid}});
     for (const WindowProblem& p : problems) {
       for (int l = 0; l < numLayers; ++l) {
         auto& out = layout.layer(l).fills;
@@ -179,9 +253,11 @@ FillReport FillEngine::run(layout::Layout& layout) const {
       }
     }
   }
+  recordQualityTelemetry(grid, problems, numLayers, options_.jobId);
   report.fillCount = layout.fillCount();
   report.totalSeconds = total.elapsedSeconds();
   report.profile = prof::Registry::instance().snapshot();
+  recordRunMetrics(report);
   logInfo("FillEngine: %zu fills from %zu candidates in %.2fs "
           "(plan %.2fs, cand %.2fs, size %.2fs, %d threads)",
           report.fillCount, report.candidateCount, report.totalSeconds,
@@ -194,6 +270,8 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
                                       const geom::Rect& changed) const {
   FillReport report;
   Timer total;
+  const double jid = static_cast<double>(options_.jobId);
+  obs::ScopedSpan runSpan("engine.eco", "engine", {{"job", jid}});
   checkCancel(options_.cancel);
   const int numLayers = layout.numLayers();
   const layout::WindowGrid grid(layout.die(), options_.windowSize);
@@ -317,6 +395,8 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
     }
     static thread_local CandidateGenerator::Scratch generatorScratch;
     static thread_local FillSizer::Scratch sizerScratch;
+    obs::ScopedSpan windowSpan("window.refill", "window",
+                               {{"job", jid}, {"w", static_cast<double>(w)}});
     {
       prof::ScopedTimer timer(prof::Stage::kCandidates);
       generator.generate(p, generatorScratch);
@@ -340,6 +420,7 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   report.fillCount = layout.fillCount();
   report.totalSeconds = total.elapsedSeconds();
   report.profile = prof::Registry::instance().snapshot();
+  recordRunMetrics(report);
   logInfo("FillEngine ECO: refilled affected windows in %.3fs (%zu fills)",
           report.totalSeconds, report.fillCount);
   return report;

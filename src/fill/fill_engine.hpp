@@ -35,6 +35,11 @@ struct FillEngineOptions {
   /// partially-filled state. Never read unless set; a run that is not
   /// cancelled is byte-identical to one without a token.
   const CancelToken* cancel = nullptr;
+  /// Telemetry-only job correlation id stamped onto every span and
+  /// quality record this run emits (obs tracer, `--trace`); -1 = none.
+  /// Never affects results and is excluded from the cache fingerprint,
+  /// like numThreads and cancel.
+  std::int64_t jobId = -1;
 };
 
 struct FillReport {

@@ -1,0 +1,60 @@
+#include "obs/quality.hpp"
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ofl::obs {
+
+namespace {
+
+std::string layerPrefix(int layer) {
+  return "quality.layer" + std::to_string(layer) + ".";
+}
+
+}  // namespace
+
+void recordLayerQuality(int layer, double mean, double sigma, double line,
+                        double outlier, std::int64_t jobId) {
+  if (metricsEnabled()) {
+    MetricsRegistry& reg = MetricsRegistry::instance();
+    const std::string prefix = layerPrefix(layer);
+    reg.gauge(prefix + "mean").set(mean);
+    reg.gauge(prefix + "sigma").set(sigma);
+    reg.gauge(prefix + "line").set(line);
+    reg.gauge(prefix + "outlier").set(outlier);
+  }
+  instant("quality.layer", "quality",
+          {{"layer", static_cast<double>(layer)},
+           {"sigma", sigma},
+           {"job", static_cast<double>(jobId)}});
+}
+
+void recordWindowQuality(int layer, double density, double targetGap) {
+  if (!metricsEnabled()) return;
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.histogram(layerPrefix(layer) + "window_density",
+                Histogram::unitBounds())
+      .observe(density);
+  reg.histogram("quality.density_gap", Histogram::unitBounds())
+      .observe(targetGap);
+  reg.counter("quality.windows").add();
+  if (targetGap > 0.01) reg.counter("quality.gap_windows").add();
+}
+
+void recordScoreTerms(double overlay, double variation, double line,
+                      double outlier, double size, double quality,
+                      double total) {
+  if (!metricsEnabled()) return;
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  reg.gauge("score.overlay").set(overlay);
+  reg.gauge("score.variation").set(variation);
+  reg.gauge("score.line").set(line);
+  reg.gauge("score.outlier").set(outlier);
+  reg.gauge("score.size").set(size);
+  reg.gauge("score.quality").set(quality);
+  reg.gauge("score.total").set(total);
+}
+
+}  // namespace ofl::obs

@@ -1,0 +1,38 @@
+// Quality-telemetry channel (docs/architecture.md, "Observability").
+//
+// The score of a run is decided by a handful of per-window distribution
+// statistics (paper Eqns. 1-4): density variation sigma, line/outlier
+// hotspots, fill-induced overlay and the per-term contest score. This
+// channel records those into the SAME metrics registry and trace stream
+// as the latency data, so "which window/layer hurt the score" is
+// answerable from one run artifact without re-running the verify oracles.
+//
+// All entry points take plain doubles: the callers (FillEngine, the CLI
+// evaluator path) own the density/score types, keeping obs at the bottom
+// of the dependency graph. Every function is a no-op unless metrics
+// collection is enabled; layer indices are 1-based to match report and
+// GDS conventions.
+#pragma once
+
+#include <cstdint>
+
+namespace ofl::obs {
+
+/// Per-layer post-fill density distribution: gauges
+/// quality.layer<L>.{mean,sigma,line,outlier} plus a "quality" instant
+/// trace event carrying the same values for the timeline view.
+void recordLayerQuality(int layer, double mean, double sigma, double line,
+                        double outlier, std::int64_t jobId = -1);
+
+/// Per-window final density and |density - planned target| gap:
+/// histograms quality.layer<L>.window_density and quality.density_gap,
+/// plus counters quality.windows and quality.gap_windows (gap > 0.01).
+void recordWindowQuality(int layer, double density, double targetGap);
+
+/// Per-term contest score decomposition (Eqns. 3-4): gauges
+/// score.{overlay,variation,line,outlier,size,quality,total}.
+void recordScoreTerms(double overlay, double variation, double line,
+                      double outlier, double size, double quality,
+                      double total);
+
+}  // namespace ofl::obs

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/logging.hpp"
+#include "common/memory_usage.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "gds/gds_writer.hpp"
 #include "gds/oasis.hpp"
 #include "layout/gds_compact.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/fingerprint.hpp"
 #include "service/layout_io.hpp"
 
@@ -56,8 +60,12 @@ std::uint64_t FillService::submit(JobSpec spec) {
       firstSubmit_ = job->submitTime;
     }
     id = jobs_.size();
+    job->id = id;
     jobs_.push_back(std::move(job));
     raw = jobs_.back().get();
+  }
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry::instance().counter("service.jobs_submitted").add();
   }
   // May block on admission; outside the service mutex so running jobs can
   // publish results meanwhile.
@@ -94,27 +102,57 @@ std::vector<JobResult> FillService::waitAll() {
 
 void FillService::execute(Job& job) {
   const Clock::time_point picked = Clock::now();
+  const double jid = static_cast<double>(job.id);
+  // Queue wait measured service-side (submission -> worker pickup); the
+  // scheduler's sched.queue_wait covers admission -> pickup only.
+  if (obs::Tracer::enabled()) {
+    obs::Tracer& tracer = obs::Tracer::instance();
+    const std::uint64_t submitNs = tracer.toEpochNs(job.submitTime);
+    const std::uint64_t pickedNs = tracer.toEpochNs(picked);
+    obs::completeSpan("job.queue_wait", "job", submitNs,
+                      pickedNs > submitNs ? pickedNs - submitNs : 0,
+                      {{"job", jid}});
+  }
+  ScopedLogContext logCtx("job", static_cast<long long>(job.id));
   Timer runTimer;
   JobResult r;
-  try {
-    job.token.throwIfExpired();  // queued past the deadline / pre-cancelled
-    r = runJob(job);
-  } catch (const CancelledError&) {
-    r = JobResult{};
-    if (job.token.cancelled.load(std::memory_order_relaxed)) {
-      r.status = JobStatus::kCancelled;
-      r.error = "cancelled";
-    } else {
-      r.status = JobStatus::kTimedOut;
-      r.error = "deadline exceeded";
+  {
+    obs::ScopedSpan span("job.run", "job", {{"job", jid}});
+    try {
+      job.token.throwIfExpired();  // queued past the deadline / pre-cancelled
+      r = runJob(job);
+    } catch (const CancelledError&) {
+      r = JobResult{};
+      if (job.token.cancelled.load(std::memory_order_relaxed)) {
+        r.status = JobStatus::kCancelled;
+        r.error = "cancelled";
+      } else {
+        r.status = JobStatus::kTimedOut;
+        r.error = "deadline exceeded";
+      }
+    } catch (const std::exception& e) {
+      r = JobResult{};
+      r.status = JobStatus::kFailed;
+      r.error = e.what();
     }
-  } catch (const std::exception& e) {
-    r = JobResult{};
-    r.status = JobStatus::kFailed;
-    r.error = e.what();
   }
   r.queueSeconds = secondsBetween(job.submitTime, picked);
   r.runSeconds = runTimer.elapsedSeconds();
+  r.peakRssMiB = peakMemoryMiB();
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    reg.counter("service.jobs_completed").add();
+    if (r.status != JobStatus::kSucceeded) {
+      reg.counter("service.jobs_failed").add();
+    }
+    reg.histogram("job.queue_seconds").observe(r.queueSeconds);
+    reg.histogram("job.run_seconds").observe(r.runSeconds);
+    reg.gauge("process.peak_rss_mib").set(r.peakRssMiB);
+  }
+  logFields(LogLevel::kDebug, "job.done",
+            {{"status", toString(r.status)},
+             {"fills", std::to_string(r.fillCount)},
+             {"cache_hit", r.cacheHit ? "1" : "0"}});
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job.result = std::move(r);
@@ -143,6 +181,7 @@ JobResult FillService::runJob(Job& job) const {
   fill::FillEngineOptions engine = spec.engine;
   engine.numThreads = threadsPerJob_;
   engine.cancel = &job.token;
+  engine.jobId = static_cast<std::int64_t>(job.id);  // telemetry only
   r.cacheKey = cacheKey(chip, engine);  // key ignores numThreads/cancel
   job.token.throwIfExpired();
 
@@ -200,6 +239,7 @@ ServiceStats FillService::stats() const {
     }
     s.queueSecondsTotal += r.queueSeconds;
     s.queueSecondsMax = std::max(s.queueSecondsMax, r.queueSeconds);
+    s.peakRssMiB = std::max(s.peakRssMiB, r.peakRssMiB);
     if (r.status == JobStatus::kSucceeded) {
       if (r.cacheHit) {
         ++s.jobCacheHits;
@@ -233,6 +273,7 @@ std::string toJson(const ServiceStats& s) {
       "\"succeeded\": %llu, \"failed\": %llu, \"timed_out\": %llu, "
       "\"cancelled\": %llu},\n"
       "  \"throughput\": {\"wall_seconds\": %.4f, \"jobs_per_second\": %.3f},\n"
+      "  \"peak_rss_mib\": %.1f,\n"
       "  \"queue_seconds\": {\"total\": %.4f, \"mean\": %.4f, \"max\": %.4f},\n"
       "  \"engine_seconds\": {\"planning\": %.4f, \"candidates\": %.4f, "
       "\"sizing\": %.4f, \"total\": %.4f},\n"
@@ -247,7 +288,7 @@ std::string toJson(const ServiceStats& s) {
       static_cast<unsigned long long>(s.failed),
       static_cast<unsigned long long>(s.timedOut),
       static_cast<unsigned long long>(s.cancelled), s.wallSeconds,
-      s.jobsPerSecond, s.queueSecondsTotal, s.queueSecondsMean,
+      s.jobsPerSecond, s.peakRssMiB, s.queueSecondsTotal, s.queueSecondsMean,
       s.queueSecondsMax, s.planningSeconds, s.candidateSeconds,
       s.sizingSeconds, s.engineSeconds,
       static_cast<unsigned long long>(s.jobCacheHits),
@@ -263,6 +304,31 @@ std::string toJson(const ServiceStats& s) {
     out.insert(out.size() - 2, ",\n  \"profile\": " + s.profile.json());
   }
   return out;
+}
+
+void exportToMetrics(const ServiceStats& s) {
+  if (!obs::metricsEnabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.gauge("service.submitted").set(static_cast<double>(s.submitted));
+  reg.gauge("service.completed").set(static_cast<double>(s.completed));
+  reg.gauge("service.succeeded").set(static_cast<double>(s.succeeded));
+  reg.gauge("service.failed").set(static_cast<double>(s.failed));
+  reg.gauge("service.timed_out").set(static_cast<double>(s.timedOut));
+  reg.gauge("service.cancelled").set(static_cast<double>(s.cancelled));
+  reg.gauge("service.wall_seconds").set(s.wallSeconds);
+  reg.gauge("service.jobs_per_second").set(s.jobsPerSecond);
+  reg.gauge("service.queue_seconds_mean").set(s.queueSecondsMean);
+  reg.gauge("service.queue_seconds_max").set(s.queueSecondsMax);
+  reg.gauge("service.engine_seconds").set(s.engineSeconds);
+  reg.gauge("service.peak_rss_mib").set(s.peakRssMiB);
+  reg.gauge("service.job_cache_hits")
+      .set(static_cast<double>(s.jobCacheHits));
+  reg.gauge("service.cache_hit_rate").set(s.cacheHitRate);
+  // The cache counters below also accumulate live (service/result_cache);
+  // the gauges give the authoritative end-of-batch view even when metrics
+  // were toggled mid-run.
+  reg.gauge("cache.bytes_used").set(static_cast<double>(s.cache.bytesUsed));
+  reg.gauge("cache.entries").set(static_cast<double>(s.cache.entries));
 }
 
 }  // namespace ofl::service

@@ -69,6 +69,10 @@ struct ServiceStats {
   ResultCache::Counters cache;
   double cacheHitRate = 0.0;  // cache.hits / (hits + misses)
 
+  /// Highest process peak RSS (MiB) observed at any job completion; covers
+  /// the whole batch since jobs share one address space.
+  double peakRssMiB = 0.0;
+
   /// Hot-path profile over every engine run the process executed since the
   /// caller's last prof::Registry::reset() (the registry is global, so
   /// concurrent jobs aggregate into one table). Empty unless collection
@@ -79,6 +83,11 @@ struct ServiceStats {
 /// Renders stats as a JSON object (used by `openfill batch --json` and
 /// bench_throughput).
 std::string toJson(const ServiceStats& stats);
+
+/// Mirrors the stats into the unified metrics registry as service.* gauges
+/// (no-op when collection is off). Called by the CLI before a metrics
+/// snapshot is written so `--metrics-out` carries the batch summary.
+void exportToMetrics(const ServiceStats& stats);
 
 class FillService {
  public:
@@ -113,6 +122,7 @@ class FillService {
 
  private:
   struct Job {
+    std::uint64_t id = 0;
     JobSpec spec;
     CancelToken token;
     std::chrono::steady_clock::time_point submitTime;

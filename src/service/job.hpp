@@ -69,6 +69,10 @@ struct JobResult {
   long long outputBytes = -1;  // bytes written, -1 when no output requested
   double queueSeconds = 0.0;   // submission -> job picked by a worker
   double runSeconds = 0.0;     // load + cache lookup + engine + write
+  /// Process peak RSS (MiB) sampled when the job finished. Jobs share one
+  /// address space, so this is a high-water mark "as of job completion",
+  /// not a per-job allocation figure.
+  double peakRssMiB = 0.0;
 
   /// Filled layout when JobSpec::keepLayout was set and the job succeeded.
   std::shared_ptr<const layout::Layout> layout;

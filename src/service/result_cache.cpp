@@ -1,6 +1,26 @@
 #include "service/result_cache.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ofl::service {
+
+namespace {
+
+// Live cache counters in the metrics registry (references are stable for
+// the process lifetime) — the same numbers ServiceStats reports, but
+// usable mid-run by the periodic batch metrics dump and Prometheus
+// scrapes.
+void recordProbe(bool hit) {
+  if (!obs::metricsEnabled()) return;
+  static obs::Counter& hits =
+      obs::MetricsRegistry::instance().counter("cache.hits");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::instance().counter("cache.misses");
+  (hit ? hits : misses).add();
+}
+
+}  // namespace
 
 std::shared_ptr<const CachedFill> CachedFill::capture(
     const layout::Layout& chip, const fill::FillReport& report) {
@@ -27,19 +47,29 @@ ResultCache::ResultCache(std::size_t byteBudget) : budget_(byteBudget) {
 }
 
 std::shared_ptr<const CachedFill> ResultCache::find(std::uint64_t key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++counters_.misses;
-    return nullptr;
+  obs::ScopedSpan span("cache.find", "cache");
+  bool hit = false;
+  std::shared_ptr<const CachedFill> result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      hit = true;
+      ++counters_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      result = it->second->second;
+    } else {
+      ++counters_.misses;
+    }
   }
-  ++counters_.hits;
-  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  return it->second->second;
+  recordProbe(hit);
+  obs::instant(hit ? "cache.hit" : "cache.miss", "cache", {});
+  return result;
 }
 
 void ResultCache::insert(std::uint64_t key,
                          std::shared_ptr<const CachedFill> entry) {
+  obs::ScopedSpan span("cache.insert", "cache");
   std::lock_guard<std::mutex> lock(mutex_);
   if (entry->bytes > budget_) {  // also covers budget_ == 0 (disabled)
     ++counters_.oversized;
@@ -66,8 +96,16 @@ void ResultCache::evictOverBudgetLocked() {
     index_.erase(victim.first);
     lru_.pop_back();
     ++counters_.evictions;
+    if (obs::metricsEnabled()) {
+      obs::MetricsRegistry::instance().counter("cache.evictions").add();
+    }
   }
   counters_.entries = lru_.size();
+  if (obs::metricsEnabled()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+    reg.gauge("cache.bytes_used").set(static_cast<double>(counters_.bytesUsed));
+    reg.gauge("cache.entries").set(static_cast<double>(counters_.entries));
+  }
 }
 
 ResultCache::Counters ResultCache::counters() const {

@@ -2,7 +2,22 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ofl::service {
+
+namespace {
+
+// Registry lookups cached once; addresses are stable for the process
+// lifetime (obs/metrics.hpp contract), so this is race-free and cheap.
+void recordQueueDepth(std::size_t depth) {
+  static obs::Gauge& gauge =
+      obs::MetricsRegistry::instance().gauge("sched.queue_depth");
+  gauge.set(static_cast<double>(depth));
+}
+
+}  // namespace
 
 Scheduler::Scheduler(int maxConcurrent, std::size_t queueCapacity)
     : capacity_(std::max<std::size_t>(1, queueCapacity)) {
@@ -23,10 +38,21 @@ Scheduler::~Scheduler() {
 }
 
 void Scheduler::submit(std::function<void()> task) {
+  QueuedTask item;
+  item.run = std::move(task);
+  // Unconditional: one clock read per job admission, and the queue-wait
+  // probes stay correct however collection toggles between admission and
+  // pickup.
+  item.enqueueNs = obs::Tracer::instance().nowNs();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     notFull_.wait(lock, [this] { return queue_.size() < capacity_; });
-    queue_.push_back(std::move(task));
+    item.seq = nextSeq_++;
+    queue_.push_back(std::move(item));
+    if (obs::metricsEnabled()) {
+      obs::MetricsRegistry::instance().counter("sched.tasks_submitted").add();
+      recordQueueDepth(queue_.size());
+    }
   }
   wake_.notify_one();
 }
@@ -38,7 +64,7 @@ void Scheduler::waitIdle() {
 
 void Scheduler::workerMain() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -46,9 +72,30 @@ void Scheduler::workerMain() {
       task = std::move(queue_.front());
       queue_.pop_front();
       ++running_;
+      if (obs::metricsEnabled()) recordQueueDepth(queue_.size());
     }
     notFull_.notify_one();
-    task();
+    if (obs::Tracer::enabled()) {
+      const std::uint64_t now = obs::Tracer::instance().nowNs();
+      obs::completeSpan("sched.queue_wait", "sched", task.enqueueNs,
+                        now > task.enqueueNs ? now - task.enqueueNs : 0,
+                        {{"seq", static_cast<double>(task.seq)}});
+    }
+    if (obs::metricsEnabled()) {
+      obs::MetricsRegistry::instance()
+          .histogram("sched.queue_wait_seconds")
+          .observe(static_cast<double>(obs::Tracer::instance().nowNs() -
+                                       task.enqueueNs) *
+                   1e-9);
+    }
+    {
+      obs::ScopedSpan span("sched.execute", "sched",
+                           {{"seq", static_cast<double>(task.seq)}});
+      task.run();
+    }
+    if (obs::metricsEnabled()) {
+      obs::MetricsRegistry::instance().counter("sched.tasks_completed").add();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;

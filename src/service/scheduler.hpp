@@ -11,10 +11,17 @@
 // that pool is a barrier primitive driven by one caller at a time, while
 // the scheduler runs long, independent, possibly-blocking jobs — each of
 // which drives its own capped fork-join pool inside FillEngine::run.
+// Observability: when collection is on (obs/trace.hpp, obs/metrics.hpp),
+// every task records a "sched.queue_wait" span (submit -> picked up) and a
+// "sched.execute" span, correlated by a per-scheduler task sequence number
+// ("seq" span arg), plus sched.* counters/histograms and a queue-depth
+// gauge. All probes are relaxed-atomic-gated no-ops when collection is
+// off.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -54,7 +61,13 @@ class Scheduler {
   std::condition_variable wake_;     // workers: queue non-empty or stopping
   std::condition_variable notFull_;  // producers: admission slot free
   std::condition_variable idle_;     // waitIdle / drain
-  std::deque<std::function<void()>> queue_;
+  struct QueuedTask {
+    std::function<void()> run;
+    std::uint64_t seq = 0;
+    std::uint64_t enqueueNs = 0;  // tracer-epoch time of admission
+  };
+  std::deque<QueuedTask> queue_;
+  std::uint64_t nextSeq_ = 0;
   int running_ = 0;
   bool stopping_ = false;
 };

@@ -2,10 +2,13 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
+#include "common/json_util.hpp"
 #include "gds/gds_writer.hpp"
 #include "verify/fuzzer.hpp"
 #include "verify/repro.hpp"
@@ -342,6 +345,101 @@ TEST(CommandsTest, CheckRejectsBadUsage) {
                                   "bogus"})),
             2);
   std::remove(wires.c_str());
+}
+
+TEST(CommandsTest, FillWritesTraceAndMetricsArtifacts) {
+  const std::string wires = "/tmp/ofl_cli_obs_wires.gds";
+  const std::string filled = "/tmp/ofl_cli_obs_filled.gds";
+  const std::string trace = "/tmp/ofl_cli_obs_trace.json";
+  const std::string metrics = "/tmp/ofl_cli_obs_metrics.json";
+  const std::string prom = "/tmp/ofl_cli_obs_metrics.prom";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", filled,
+                                 "--trace", trace, "--metrics-out", metrics,
+                                 "--metrics-prom", prom})),
+            0);
+  // The trace parses and contains engine + per-window spans.
+  std::ifstream traceIn(trace);
+  ASSERT_TRUE(traceIn.good());
+  std::stringstream traceText;
+  traceText << traceIn.rdbuf();
+  const auto traceDoc = json::Value::parse(traceText.str());
+  ASSERT_TRUE(traceDoc.has_value());
+  const json::Value* events = traceDoc->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_GT(events->array.size(), 10u);
+  bool sawEngineRun = false;
+  bool sawWindow = false;
+  for (const auto& e : events->array) {
+    const json::Value* name = e.find("name");
+    if (name == nullptr) continue;
+    if (name->str == "engine.run") sawEngineRun = true;
+    if (name->str == "window.sizing") sawWindow = true;
+  }
+  EXPECT_TRUE(sawEngineRun);
+  EXPECT_TRUE(sawWindow);
+
+  // The metrics snapshot pretty-prints and satisfies a --require list;
+  // a missing series fails with exit 1.
+  EXPECT_EQ(runStats(Args::parse(
+                {"stats", "--metrics", metrics, "--require",
+                 "engine.runs,prof.sizing.seconds,score.total,"
+                 "quality.windows,process.peak_rss_mib,engine.run_seconds,"
+                 // pre-registered schema: present (zero) even on a lone
+                 // fill that never touches the cache or scheduler
+                 "cache.hits,sched.tasks_submitted"})),
+            0);
+  EXPECT_EQ(runStats(Args::parse({"stats", "--metrics", metrics, "--require",
+                                  "not.a.series"})),
+            1);
+  EXPECT_EQ(runStats(Args::parse({"stats", "--metrics",
+                                  "/nonexistent/metrics.json"})),
+            2);
+
+  // Prometheus exposition exists and uses the openfill_ prefix.
+  std::ifstream promIn(prom);
+  ASSERT_TRUE(promIn.good());
+  std::stringstream promText;
+  promText << promIn.rdbuf();
+  EXPECT_NE(promText.str().find("openfill_engine_runs_total"),
+            std::string::npos);
+
+  std::remove(wires.c_str());
+  std::remove(filled.c_str());
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+  std::remove(prom.c_str());
+}
+
+TEST(CommandsTest, FillOutputIdenticalWithAndWithoutTracing) {
+  // Observability must never change the product: byte-compare the GDS
+  // written with collection on vs off.
+  const std::string wires = "/tmp/ofl_cli_obs_det_wires.gds";
+  const std::string plain = "/tmp/ofl_cli_obs_det_plain.gds";
+  const std::string traced = "/tmp/ofl_cli_obs_det_traced.gds";
+  const std::string trace = "/tmp/ofl_cli_obs_det_trace.json";
+  const std::string metrics = "/tmp/ofl_cli_obs_det_metrics.json";
+  ASSERT_EQ(runGenerate(Args::parse({"generate", "--suite", "tiny", "--out",
+                                     wires})),
+            0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", plain})), 0);
+  ASSERT_EQ(runFill(Args::parse({"fill", "--in", wires, "--out", traced,
+                                 "--trace", trace, "--metrics-out", metrics})),
+            0);
+  std::ifstream a(plain, std::ios::binary);
+  std::ifstream b(traced, std::ios::binary);
+  std::stringstream abuf, bbuf;
+  abuf << a.rdbuf();
+  bbuf << b.rdbuf();
+  ASSERT_FALSE(abuf.str().empty());
+  EXPECT_EQ(abuf.str(), bbuf.str());
+  std::remove(wires.c_str());
+  std::remove(plain.c_str());
+  std::remove(traced.c_str());
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
 }
 
 TEST(CommandsTest, FuzzSweepAndReplay) {

@@ -1,0 +1,86 @@
+// Tests for the locale-independent JSON helpers: escaping, to_chars
+// number formatting (non-finite -> 0), and the minimal parser that reads
+// back every artifact this project writes.
+#include "common/json_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace ofl::json {
+namespace {
+
+TEST(JsonUtilTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(escaped("plain"), "plain");
+  EXPECT_EQ(escaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(escaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(escaped("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(escaped(std::string("a\x01z")), "a\\u0001z");
+}
+
+TEST(JsonUtilTest, NumbersUseDotDecimalAndRoundTrip) {
+  std::string out;
+  appendNumber(out, 0.05);
+  EXPECT_EQ(out, "0.05");  // never "0,05", whatever the C locale says
+  out.clear();
+  appendNumber(out, static_cast<std::uint64_t>(18446744073709551615ull));
+  EXPECT_EQ(out, "18446744073709551615");
+  out.clear();
+  appendNumber(out, static_cast<std::int64_t>(-42));
+  EXPECT_EQ(out, "-42");
+}
+
+TEST(JsonUtilTest, NonFiniteNumbersRenderAsZero) {
+  std::string out;
+  appendNumber(out, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(out, "0");
+  out.clear();
+  appendNumber(out, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(out, "0");
+}
+
+TEST(JsonUtilTest, ParserReadsScalarsArraysAndObjects) {
+  const auto doc = Value::parse(
+      R"({"n": -1.5e2, "s": "a\"b", "t": true, "z": null,
+          "arr": [1, 2, 3], "obj": {"inner": {"k": 7}}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("n")->number, -150.0);
+  EXPECT_EQ(doc->find("s")->str, "a\"b");
+  EXPECT_TRUE(doc->find("t")->boolean);
+  EXPECT_EQ(doc->find("z")->kind, Value::Kind::kNull);
+  ASSERT_EQ(doc->find("arr")->array.size(), 3u);
+  EXPECT_EQ(doc->find("arr")->array[2].number, 3.0);
+  EXPECT_EQ(doc->findPath("obj.inner.k")->number, 7.0);
+}
+
+TEST(JsonUtilTest, FindPathPrefersLiteralDottedKeys) {
+  // Metric names contain dots ("cache.hits"); a literal member must win
+  // over nested descent.
+  const auto doc =
+      Value::parse(R"({"cache.hits": 5, "cache": {"hits": 9}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->findPath("cache.hits")->number, 5.0);
+}
+
+TEST(JsonUtilTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(Value::parse("{").has_value());
+  EXPECT_FALSE(Value::parse("[1, 2,]").has_value());
+  EXPECT_FALSE(Value::parse("{\"a\": }").has_value());
+  EXPECT_FALSE(Value::parse("hello").has_value());
+  EXPECT_FALSE(Value::parse("{} trailing").has_value());
+}
+
+TEST(JsonUtilTest, RoundTripOfEscapedStrings) {
+  const std::string original = "stage \"x\"\t\\nested\n";
+  std::string doc = "{\"k\": \"";
+  appendEscaped(doc, original);
+  doc += "\"}";
+  const auto parsed = Value::parse(doc);
+  ASSERT_TRUE(parsed.has_value()) << doc;
+  EXPECT_EQ(parsed->find("k")->str, original);
+}
+
+}  // namespace
+}  // namespace ofl::json

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/json_util.hpp"
+
 namespace ofl::prof {
 namespace {
 
@@ -89,6 +91,41 @@ TEST_F(ProfTest, RendersStageNamesInBothFormats) {
   EXPECT_NE(json.find("\"index-builds\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"stages\""), std::string::npos);
   EXPECT_NE(json.find("\"counters\""), std::string::npos);
+}
+
+TEST_F(ProfTest, JsonRoundTripsThroughParser) {
+  // The snapshot JSON must parse back with exact values: stage names are
+  // escaped and every number goes through std::to_chars, so the output is
+  // identical under any C locale (no "0,05" decimal commas).
+  {
+    ScopedTimer timer(Stage::kSizing);
+  }
+  {
+    ScopedTimer timer(Stage::kMcfSolve);  // indented name "  mcf-solve"
+  }
+  count(Counter::kIndexQueries, 12345);
+  const Snapshot snap = Registry::instance().snapshot();
+  const std::string text = snap.json();
+  const auto doc = json::Value::parse(text);
+  ASSERT_TRUE(doc.has_value()) << text;
+
+  const json::Value* stages = doc->find("stages");
+  ASSERT_NE(stages, nullptr);
+  const json::Value* sizing = stages->find("sizing");
+  ASSERT_NE(sizing, nullptr);
+  EXPECT_EQ(sizing->find("calls")->number, 1.0);
+  EXPECT_DOUBLE_EQ(sizing->find("seconds")->number,
+                   snap.stage(Stage::kSizing).seconds());
+  // Nested-kernel names carry no indentation in the JSON keys.
+  EXPECT_NE(stages->find("mcf-solve"), nullptr);
+  EXPECT_EQ(stages->find("  mcf-solve"), nullptr);
+
+  const json::Value* counters = doc->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("index-queries")->number, 12345.0);
+
+  // Byte-stable: re-rendering the same snapshot yields identical text.
+  EXPECT_EQ(text, snap.json());
 }
 
 }  // namespace

@@ -64,6 +64,28 @@ TEST(FillServiceTest, ResultsInSubmissionOrder) {
   EXPECT_EQ(stats.submitted, 4u);
   EXPECT_EQ(stats.succeeded, 4u);
   EXPECT_GT(stats.jobsPerSecond, 0.0);
+
+  // Every job samples the process peak RSS at completion and the service
+  // aggregates the high-water mark.
+  for (const JobResult& r : results) {
+    EXPECT_GT(r.peakRssMiB, 0.0);
+  }
+  EXPECT_GT(stats.peakRssMiB, 0.0);
+  EXPECT_GE(stats.peakRssMiB, results[0].peakRssMiB * 0.999);
+}
+
+TEST(FillServiceTest, PeakRssAppearsInStatsJson) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  so.threadsPerJob = 1;
+  FillService service(so);
+  service.submit(makeSpec(makeInput(), fastOptions()));
+  ASSERT_EQ(service.wait(0).status, JobStatus::kSucceeded);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GT(stats.peakRssMiB, 0.0);
+  const std::string json = toJson(stats);
+  EXPECT_NE(json.find("\"peak_rss_mib\""), std::string::npos) << json;
 }
 
 TEST(FillServiceTest, RepeatedJobHitsCache) {
