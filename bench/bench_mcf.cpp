@@ -1,45 +1,48 @@
-// Micro-benchmarks of the min-cost flow substrate: NetworkSimplex vs
-// SuccessiveShortestPath on random transportation networks and on
-// fill-sizing-shaped differential LPs (chains of fills with spacing
-// constraints), across instance sizes.
-#include <benchmark/benchmark.h>
+// MCF warm-start / early-exit study: the solver-level A/B behind the
+// sizer's default-on warm starts.
+//
+// Two measurements, both gated on byte-identical results:
+//
+//  1. Solver level: fill-sizing-shaped differential LP sequences (each
+//     "window" solves H1,V1,H2,V2 — round 2 repeats the topology with
+//     perturbed costs, the exact pattern FillSizer emits) are replayed
+//     through three context configurations — cold (network reuse only),
+//     warm (basis reuse), warm+early (sensitivity memo). Per-solve ns and
+//     the warm/early hit counts come from here.
+//
+//  2. Engine level: a contest suite is filled twice, sizer warm+early ON
+//     vs OFF, single-threaded, and the sizing-stage thread-seconds are
+//     compared. This is the end-to-end "dominant stage" speedup.
+//
+// Repetitions interleave configurations (like bench_hotpath) so load
+// spikes land on every config evenly; each config keeps its best rep.
+// Results go to BENCH_mcf.json. The bench exits nonzero when any config
+// diverges or when no warm start fired (the CI perf-smoke gate).
+//
+// Usage: bench_mcf [suite] [reps]   (s|b|m|tiny, default s; reps default 3)
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
+#include "common/logging.hpp"
+#include "common/prof.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "fill/fill_engine.hpp"
 #include "mcf/dual_lp.hpp"
-#include "mcf/network_simplex.hpp"
-#include "mcf/ssp.hpp"
 
 using namespace ofl;
 using namespace ofl::mcf;
 
 namespace {
 
-// Random balanced transportation instance: k sources, k sinks, dense-ish
-// arc set with random costs.
-Graph randomTransport(int k, std::uint64_t seed) {
-  Rng rng(seed);
-  Graph g;
-  for (int i = 0; i < k; ++i) g.addNode(rng.uniformInt(1, 20));
-  Value total = 0;
-  for (int i = 0; i < k; ++i) total += g.supply(i);
-  for (int i = 0; i < k; ++i) {
-    const Value take = (i == k - 1) ? total : std::min<Value>(total, rng.uniformInt(0, 2 * total / k + 1));
-    g.addNode(-take);
-    total -= take;
-  }
-  for (int i = 0; i < k; ++i) {
-    for (int j = 0; j < k; ++j) {
-      if ((i + j) % 3 == 0 || i == j) {
-        g.addArc(i, k + j, 1000, rng.uniformInt(1, 50));
-      }
-    }
-  }
-  return g;
-}
-
 // Fill-sizing-shaped differential LP: n fills in a row, each with lo/hi
 // edge variables, min-width constraints and spacing constraints to the
-// next fill — the exact structure FillSizer emits.
+// next fill — the structure FillSizer emits.
 DifferentialLp sizingShapedLp(int fills, std::uint64_t seed) {
   Rng rng(seed);
   DifferentialLp lp;
@@ -58,42 +61,282 @@ DifferentialLp sizingShapedLp(int fills, std::uint64_t seed) {
   return lp;
 }
 
-void BM_TransportNetworkSimplex(benchmark::State& state) {
-  const Graph g = randomTransport(static_cast<int>(state.range(0)), 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(NetworkSimplex().solve(g));
+// Same topology, costs nudged — a "round 2" solve. Every third sequence
+// keeps its costs, which is what lets the early-exit memo fire.
+DifferentialLp perturbCosts(const DifferentialLp& base, std::uint64_t seed,
+                            bool keepCosts) {
+  Rng rng(seed);
+  DifferentialLp lp;
+  for (int v = 0; v < base.numVariables(); ++v) {
+    const Value dc = keepCosts ? 0 : rng.uniformInt(-15, 15);
+    lp.addVariable(base.cost(v) + dc, base.lower(v), base.upper(v));
   }
+  for (const DiffConstraint& c : base.constraints()) {
+    lp.addConstraint(c.i, c.j, c.bound);
+  }
+  return lp;
 }
-BENCHMARK(BM_TransportNetworkSimplex)->Arg(8)->Arg(32)->Arg(128);
 
-void BM_TransportSsp(benchmark::State& state) {
-  const Graph g = randomTransport(static_cast<int>(state.range(0)), 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(SuccessiveShortestPath().solve(g));
-  }
-}
-BENCHMARK(BM_TransportSsp)->Arg(8)->Arg(32)->Arg(128);
+struct SolverRun {
+  std::string config;
+  double seconds = 0.0;
+  long long solves = 0;
+  long long warmStarts = 0;
+  long long earlyExits = 0;
+  std::uint64_t xHash = 0;  // FNV over every solve's x, in order
+};
 
-void BM_SizingLpNetworkSimplex(benchmark::State& state) {
-  const DifferentialLp lp =
-      sizingShapedLp(static_cast<int>(state.range(0)), 11);
-  const DifferentialLpSolver solver(McfBackend::kNetworkSimplex);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(lp));
+// Replays every sequence (4 solves each) through fresh contexts with the
+// given options; one context per sequence, exactly like the sizer's
+// per-(layer,direction) contexts.
+SolverRun replay(const std::vector<std::vector<DifferentialLp>>& sequences,
+                 const char* config, bool warm, bool early,
+                 bool fullRefresh = false) {
+  SolverRun run;
+  run.config = config;
+  std::uint64_t h = 1469598103934665603ull;
+  Timer t;
+  for (const auto& seq : sequences) {
+    DualMcfContext context(DualMcfContext::Options{
+        McfBackend::kNetworkSimplex, warm, early, 0, fullRefresh});
+    for (const DifferentialLp& lp : seq) {
+      const DiffLpResult r = context.solve(lp);
+      ++run.solves;
+      if (r.usedWarmStart) ++run.warmStarts;
+      if (r.usedEarlyExit) ++run.earlyExits;
+      for (const Value v : r.x) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ull;
+      }
+    }
   }
+  run.seconds = t.elapsedSeconds();
+  run.xHash = h;
+  return run;
 }
-BENCHMARK(BM_SizingLpNetworkSimplex)->Arg(16)->Arg(64)->Arg(256);
 
-void BM_SizingLpSsp(benchmark::State& state) {
-  const DifferentialLp lp =
-      sizingShapedLp(static_cast<int>(state.range(0)), 11);
-  const DifferentialLpSolver solver(McfBackend::kSuccessiveShortestPath);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(lp));
+void keepBestSolver(SolverRun& best, const SolverRun& next) {
+  if (next.xHash != best.xHash) {
+    std::printf("FAIL: %s diverged across repetitions\n", best.config.c_str());
+    std::exit(1);
   }
+  if (next.seconds < best.seconds) best = next;
 }
-BENCHMARK(BM_SizingLpSsp)->Arg(16)->Arg(64)->Arg(256);
+
+// Engine-level sizing A/B on one suite, single-threaded.
+struct EngineRun {
+  double sizingSeconds = 0.0;
+  double wall = 0.0;
+  long long solves = 0;
+  long long warmStarts = 0;
+  long long earlyExits = 0;
+  std::size_t fills = 0;
+  std::uint64_t hash = 0;
+};
+
+std::uint64_t fillHash(const layout::Layout& chip) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](geom::Coord v) {
+    h ^= static_cast<std::uint64_t>(v);
+    h *= 1099511628211ull;
+  };
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    for (const geom::Rect& f : chip.layer(l).fills) {
+      mix(f.xl);
+      mix(f.yl);
+      mix(f.xh);
+      mix(f.yh);
+    }
+  }
+  return h;
+}
+
+EngineRun engineOnce(const layout::Layout& original,
+                     const contest::BenchmarkSpec& spec, bool warm,
+                     bool fullRefresh) {
+  layout::Layout chip = original;
+  fill::FillEngineOptions o;
+  o.windowSize = spec.windowSize;
+  o.rules = spec.rules;
+  o.numThreads = 1;
+  o.sizer.mcfWarmStart = warm;
+  o.sizer.mcfEarlyExit = warm;
+  o.sizer.mcfFullRefresh = fullRefresh;
+  prof::Registry::instance().reset();
+  EngineRun run;
+  Timer t;
+  const fill::FillReport report = fill::FillEngine(o).run(chip);
+  run.wall = t.elapsedSeconds();
+  run.sizingSeconds = report.profile.stage(prof::Stage::kSizing).seconds();
+  run.solves = report.sizerStats.solves;
+  run.warmStarts = report.sizerStats.warmStarts;
+  run.earlyExits = report.sizerStats.earlyExits;
+  run.fills = report.fillCount;
+  run.hash = fillHash(chip);
+  return run;
+}
+
+void keepBestEngine(EngineRun& best, const EngineRun& next) {
+  if (next.hash != best.hash || next.fills != best.fills) {
+    std::printf("FAIL: engine run diverged across repetitions\n");
+    std::exit(1);
+  }
+  if (next.sizingSeconds < best.sizingSeconds) best = next;
+}
+
+double perSolveNs(const SolverRun& r) {
+  return r.solves > 0 ? r.seconds * 1e9 / static_cast<double>(r.solves) : 0.0;
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  setLogLevel(LogLevel::kWarn);
+  const std::string suite = argc > 1 ? argv[1] : "s";
+  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+
+  // --- Solver-level replay ---
+  const int kSequences = 400;
+  const int kFills = 24;
+  std::vector<std::vector<DifferentialLp>> sequences;
+  sequences.reserve(kSequences);
+  for (int s = 0; s < kSequences; ++s) {
+    const auto seed = static_cast<std::uint64_t>(s) * 7919 + 11;
+    const bool repeatCosts = (s % 3 == 0);
+    const DifferentialLp h1 = sizingShapedLp(kFills, seed);
+    const DifferentialLp v1 = sizingShapedLp(kFills, seed + 1);
+    // H2/V2 repeat the round-1 topology with nudged (or repeated) costs.
+    std::vector<DifferentialLp> seq;
+    seq.push_back(h1);
+    seq.push_back(perturbCosts(h1, seed + 2, repeatCosts));
+    seq.push_back(v1);
+    seq.push_back(perturbCosts(v1, seed + 3, repeatCosts));
+    sequences.push_back(std::move(seq));
+  }
+
+  // "baseline" is the pre-incremental solver: cold starts plus a full
+  // tree rebuild after every pivot. "cold" isolates the always-on solver
+  // improvements; "warm"/"warm+early" add the optional reuse layers.
+  SolverRun base = replay(sequences, "baseline", false, false, true);
+  SolverRun cold = replay(sequences, "cold", false, false);
+  SolverRun warm = replay(sequences, "warm", true, false);
+  SolverRun warmEarly = replay(sequences, "warm+early", true, true);
+  for (int r = 1; r < reps; ++r) {
+    keepBestSolver(base, replay(sequences, "baseline", false, false, true));
+    keepBestSolver(cold, replay(sequences, "cold", false, false));
+    keepBestSolver(warm, replay(sequences, "warm", true, false));
+    keepBestSolver(warmEarly, replay(sequences, "warm+early", true, true));
+  }
+  const bool solverIdentical = base.xHash == cold.xHash &&
+                               cold.xHash == warm.xHash &&
+                               cold.xHash == warmEarly.xHash;
+
+  std::printf("== MCF replay: %d sequences x 4 solves, %d fills each, "
+              "best of %d ==\n",
+              kSequences, kFills, reps);
+  for (const SolverRun* r : {&base, &cold, &warm, &warmEarly}) {
+    std::printf("  %-10s %8.3f ms  %6lld solves  %5lld warm  %5lld early  "
+                "%7.0f ns/solve\n",
+                r->config.c_str(), r->seconds * 1e3, r->solves, r->warmStarts,
+                r->earlyExits, perSolveNs(*r));
+  }
+  std::printf("  solutions %s\n",
+              solverIdentical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
+
+  // --- Engine-level sizing A/B ---
+  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
+  prof::Registry::instance().setEnabled(true);
+  EngineRun engBase = engineOnce(original, spec, false, true);
+  EngineRun engCold = engineOnce(original, spec, false, false);
+  EngineRun engWarm = engineOnce(original, spec, true, false);
+  for (int r = 1; r < reps; ++r) {
+    keepBestEngine(engBase, engineOnce(original, spec, false, true));
+    keepBestEngine(engCold, engineOnce(original, spec, false, false));
+    keepBestEngine(engWarm, engineOnce(original, spec, true, false));
+  }
+  prof::Registry::instance().setEnabled(false);
+
+  const bool engineIdentical =
+      engBase.hash == engCold.hash && engCold.hash == engWarm.hash &&
+      engBase.fills == engCold.fills && engCold.fills == engWarm.fills;
+  // The headline number: warm incremental sizer vs the pre-PR solver.
+  const double sizingSpeedup =
+      engBase.sizingSeconds / std::max(engWarm.sizingSeconds, 1e-9);
+  const double warmVsCold =
+      engCold.sizingSeconds / std::max(engWarm.sizingSeconds, 1e-9);
+  const double warmHitRate =
+      engWarm.solves > 0 ? static_cast<double>(engWarm.warmStarts) /
+                               static_cast<double>(engWarm.solves)
+                         : 0.0;
+  std::printf("\n== Engine sizing A/B: suite %s, %zu wires, 1 thread ==\n",
+              spec.name.c_str(), original.wireCount());
+  std::printf("  baseline    sizing %.3fs (%lld solves; pre-PR solver)\n",
+              engBase.sizingSeconds, engBase.solves);
+  std::printf("  cold-sizer  sizing %.3fs (%lld solves)\n",
+              engCold.sizingSeconds, engCold.solves);
+  std::printf("  warm-sizer  sizing %.3fs (%lld solves, %lld warm [%.0f%%], "
+              "%lld early exits)\n",
+              engWarm.sizingSeconds, engWarm.solves, engWarm.warmStarts,
+              warmHitRate * 100.0, engWarm.earlyExits);
+  std::printf("  sizing speedup %.2fx vs baseline (%.2fx vs cold); "
+              "fills %s\n",
+              sizingSpeedup, warmVsCold,
+              engineIdentical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
+
+  std::FILE* json = std::fopen("BENCH_mcf.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"benchmark\": \"mcf_warm_start\",\n"
+                 "  \"suite\": \"%s\",\n  \"reps\": %d,\n"
+                 "  \"solver_identical\": %s,\n  \"engine_identical\": %s,\n"
+                 "  \"sizing_speedup_vs_baseline\": %.3f,\n"
+                 "  \"sizing_speedup_vs_cold\": %.3f,\n"
+                 "  \"warm_start_hit_rate\": %.4f,\n"
+                 "  \"solver_runs\": [\n",
+                 spec.name.c_str(), reps, solverIdentical ? "true" : "false",
+                 engineIdentical ? "true" : "false", sizingSpeedup,
+                 warmVsCold, warmHitRate);
+    const SolverRun* runs[] = {&base, &cold, &warm, &warmEarly};
+    for (std::size_t i = 0; i < 4; ++i) {
+      const SolverRun& r = *runs[i];
+      std::fprintf(json,
+                   "    {\"config\": \"%s\", \"seconds\": %.6f, "
+                   "\"solves\": %lld, \"warm_starts\": %lld, "
+                   "\"early_exits\": %lld, \"per_solve_ns\": %.1f}%s\n",
+                   r.config.c_str(), r.seconds, r.solves, r.warmStarts,
+                   r.earlyExits, perSolveNs(r), i + 1 < 4 ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"engine_runs\": [\n"
+                 "    {\"config\": \"baseline-sizer\", "
+                 "\"sizing_seconds\": %.4f, \"wall_seconds\": %.4f, "
+                 "\"solves\": %lld, \"fill_count\": %zu, "
+                 "\"fill_hash\": \"%llx\"},\n"
+                 "    {\"config\": \"cold-sizer\", \"sizing_seconds\": %.4f, "
+                 "\"wall_seconds\": %.4f, \"solves\": %lld, "
+                 "\"fill_count\": %zu, \"fill_hash\": \"%llx\"},\n"
+                 "    {\"config\": \"warm-sizer\", \"sizing_seconds\": %.4f, "
+                 "\"wall_seconds\": %.4f, \"solves\": %lld, "
+                 "\"warm_starts\": %lld, \"early_exits\": %lld, "
+                 "\"fill_count\": %zu, \"fill_hash\": \"%llx\"}\n  ]\n}\n",
+                 engBase.sizingSeconds, engBase.wall, engBase.solves,
+                 engBase.fills,
+                 static_cast<unsigned long long>(engBase.hash),
+                 engCold.sizingSeconds, engCold.wall, engCold.solves,
+                 engCold.fills,
+                 static_cast<unsigned long long>(engCold.hash),
+                 engWarm.sizingSeconds, engWarm.wall, engWarm.solves,
+                 engWarm.warmStarts, engWarm.earlyExits, engWarm.fills,
+                 static_cast<unsigned long long>(engWarm.hash));
+    std::fclose(json);
+    std::printf("wrote BENCH_mcf.json\n");
+  }
+
+  if (!solverIdentical || !engineIdentical) return 1;
+  if (warm.warmStarts == 0 || engWarm.warmStarts == 0) {
+    std::printf("FAIL: no warm start fired\n");
+    return 1;
+  }
+  return 0;
+}

@@ -256,6 +256,10 @@ bool engineOptionsFrom(const Args& args, fill::FillEngineOptions& options,
     *error = "unknown --backend " + backend;
     return false;
   }
+  // Both default ON and byte-identical either way (see FillSizer::Options);
+  // the opt-outs exist for A/B timing and the equivalence tests.
+  if (args.hasFlag("no-warm-start")) options.sizer.mcfWarmStart = false;
+  if (args.hasFlag("no-early-exit")) options.sizer.mcfEarlyExit = false;
   return true;
 }
 
@@ -828,12 +832,15 @@ std::string usage() {
       "      Generate a synthetic benchmark suite (wires only).\n"
       "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
       "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
+      "       [--no-warm-start] [--no-early-exit]\n"
       "       [--threads N] [--profile] [--profile-json FILE]\n"
       "       [--trace FILE] [--metrics-out FILE] [--metrics-prom FILE]\n"
       "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
       "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
       "      --threads 0 (default) uses every hardware core, results are\n"
-      "      identical for any thread count. --profile prints the hot-path\n"
+      "      identical for any thread count. Sizer solves warm-start and\n"
+      "      early-exit by default (byte-identical, faster; the --no-*\n"
+      "      opt-outs are for A/B timing). --profile prints the hot-path\n"
       "      stage table (thread-seconds) to stderr; --profile-json writes\n"
       "      the same snapshot as JSON (schema: docs/architecture.md).\n"
       "      --trace writes a Chrome trace-event JSON (open in Perfetto);\n"

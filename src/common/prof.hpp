@@ -51,6 +51,8 @@ enum class Counter : int {
   kMcfSolves,          // dual-LP solves
   kMcfNetworkReuses,   // solves that reused a cached network topology
   kMcfWarmStarts,      // solves warm-started from a previous basis
+  kMcfEarlyExits,      // solves skipped via the sensitivity memo
+  kEcoWindowsSkipped,  // ECO windows served from the window cache
   kCount
 };
 

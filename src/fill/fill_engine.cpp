@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "common/prof.hpp"
 #include "common/thread_pool.hpp"
@@ -65,7 +66,90 @@ void recordRunMetrics(const FillReport& report) {
   reg.counter("engine.runs").add();
   reg.counter("engine.candidates").add(report.candidateCount);
   reg.counter("engine.fills").add(report.fillCount);
+  reg.counter("engine.mcf_warm_starts")
+      .add(static_cast<std::uint64_t>(report.sizerStats.warmStarts));
+  reg.counter("engine.mcf_early_exits")
+      .add(static_cast<std::uint64_t>(report.sizerStats.earlyExits));
+  reg.counter("engine.eco_windows_skipped").add(report.ecoWindowsSkipped);
   reg.histogram("engine.run_seconds").observe(report.totalSeconds);
+}
+
+// ---- Window-cache fingerprints -----------------------------------------
+//
+// A window's fill result is a pure function of (a) the option fields that
+// can change fills, (b) the window's geometry inputs, and (c) its
+// candidate-stage and sizing-stage targets. (a)+(b)+candidate targets form
+// the PREFIX key — candidate generation reads nothing else. The FINAL key
+// adds the sizing-stage target goals; sizing additionally reads only the
+// candidates, which the prefix already determines. Purity of (c) holds
+// because the sizer's solves are canonicalized (see DualMcfContext), so
+// no solver history can leak into the output.
+
+std::uint64_t windowOptionsDigest(const FillEngineOptions& o) {
+  Fnv1a64 h;
+  h.i64(o.windowSize);
+  h.i64(o.rules.minWidth);
+  h.i64(o.rules.minSpacing);
+  h.i64(o.rules.minArea);
+  h.i64(o.rules.maxFillSize);
+  h.f64(o.rules.maxDensity);
+  h.f64(o.candidate.lambda);
+  h.f64(o.candidate.gamma);
+  h.boolean(o.candidate.lithoAvoid.has_value());
+  if (o.candidate.lithoAvoid.has_value()) {
+    h.i64(o.candidate.lithoAvoid->forbiddenLo);
+    h.i64(o.candidate.lithoAvoid->forbiddenHi);
+  }
+  h.boolean(o.candidate.uniformCells);
+  h.f64(o.sizer.eta);
+  h.f64(o.sizer.etaWireFactor);
+  h.i32(o.sizer.iterations);
+  h.i32(static_cast<int>(o.sizer.backend));
+  h.boolean(o.sizer.useLpSolver);
+  return h.digest();
+}
+
+void hashRects(Fnv1a64& h, const std::vector<geom::Rect>& rects) {
+  h.u64(rects.size());
+  for (const geom::Rect& r : rects) {
+    h.i64(r.xl);
+    h.i64(r.yl);
+    h.i64(r.xh);
+    h.i64(r.yh);
+  }
+}
+
+// Candidate-stage inputs; p.targetDensity must hold the candidate-stage
+// targets when this is called.
+std::uint64_t windowPrefixKey(std::uint64_t optionsDigest,
+                              const WindowProblem& p) {
+  Fnv1a64 h;
+  h.u64(optionsDigest);
+  h.i64(p.window.xl);
+  h.i64(p.window.yl);
+  h.i64(p.window.xh);
+  h.i64(p.window.yh);
+  h.u64(p.wires.size());
+  for (std::size_t l = 0; l < p.wires.size(); ++l) {
+    hashRects(h, p.wires[l]);
+    hashRects(h, p.blocked[l]);
+    hashRects(h, p.fillRegions[l].rects());
+    h.f64(p.wireDensity[l]);
+    h.f64(p.targetDensity[l]);
+  }
+  return h.digest();
+}
+
+// Full key: prefix + the sizing-stage target GOALS. Goals, not the final
+// clamped values — the ECO path must derive the key before generating
+// candidates, and the clamp bounds are themselves functions of the prefix
+// inputs, so (prefix, goals) still determines the output.
+std::uint64_t windowFinalKey(std::uint64_t prefix,
+                             const std::vector<double>& sizingGoals) {
+  Fnv1a64 h;
+  h.u64(prefix);
+  for (const double g : sizingGoals) h.f64(g);
+  return h.digest();
 }
 
 }  // namespace
@@ -138,6 +222,17 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   }
   report.planningSeconds += stage.elapsedSeconds();
 
+  // With a window cache attached, remember the stage-1 plan (the ECO path
+  // pins its candidate targets to it) and fingerprint each window as it is
+  // assembled so the sizing results can be deposited afterwards.
+  WindowCache* const cache = options_.windowCache;
+  TargetPlan candidatePlan;
+  if (cache != nullptr) candidatePlan = plan;
+  const std::uint64_t optionsDigest =
+      cache != nullptr ? windowOptionsDigest(options_) : 0;
+  std::vector<std::uint64_t> prefixKeys(cache != nullptr ? numWindows : 0);
+  std::vector<std::size_t> windowCandidates(cache != nullptr ? numWindows : 0);
+
   // --- Stage 2: per-window candidate generation (Section 3.2) ---
   stage.reset();
   std::vector<WindowProblem> problems(numWindows);
@@ -166,6 +261,7 @@ FillReport FillEngine::run(layout::Layout& layout) const {
         p.targetDensity.push_back(
             plan.windowTarget[static_cast<std::size_t>(l)][w]);
       }
+      if (cache != nullptr) prefixKeys[w] = windowPrefixKey(optionsDigest, p);
       // Worker-local scratch: buffers survive across the windows this
       // thread processes, then across runs in the same process.
       static thread_local CandidateGenerator::Scratch scratch;
@@ -176,10 +272,11 @@ FillReport FillEngine::run(layout::Layout& layout) const {
       generator.generate(p, scratch);
     });
   }
-  for (const WindowProblem& p : problems) {
-    for (const auto& layerFills : p.fills) {
-      report.candidateCount += layerFills.size();
-    }
+  for (std::size_t w = 0; w < numWindows; ++w) {
+    std::size_t count = 0;
+    for (const auto& layerFills : problems[w].fills) count += layerFills.size();
+    report.candidateCount += count;
+    if (cache != nullptr) windowCandidates[w] = count;
   }
   report.candidateSeconds += stage.elapsedSeconds();
 
@@ -240,6 +337,19 @@ FillReport FillEngine::run(layout::Layout& layout) const {
   }
   for (const FillSizer::Stats& s : windowStats) report.sizerStats.add(s);
   report.sizingSeconds += stage.elapsedSeconds();
+
+  // Deposit every window's solved fills and both target plans; the final
+  // key adds the sizing-stage targets (p.targetDensity holds the stage-3
+  // replan values by now) on top of the candidate-stage prefix.
+  if (cache != nullptr) {
+    for (std::size_t w = 0; w < numWindows; ++w) {
+      const WindowProblem& p = problems[w];
+      cache->insert(windowFinalKey(prefixKeys[w], p.targetDensity),
+                    WindowCache::Entry{p.fills, windowCandidates[w]});
+    }
+    cache->storePlan(
+        {grid.cols(), grid.rows(), numLayers, candidatePlan, plan});
+  }
 
   // --- Output ---
   {
@@ -308,6 +418,18 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
                 fills.end());
   }
 
+  // Pinned-target mode: when the attached window cache carries the target
+  // plans of a full run() on this exact grid shape, pin the ECO targets to
+  // those plans (clamped into fresh wire-only bounds) instead of
+  // re-sweeping. Windows whose sizing inputs are unchanged then reproduce
+  // the depositing run's fingerprints byte-for-byte and are served from
+  // the cache without re-running candidate generation or sizing.
+  WindowCache* const cache = options_.windowCache;
+  WindowCache::StoredPlan stored;
+  const bool pinned =
+      cache != nullptr &&
+      cache->getPlan(grid.cols(), grid.rows(), numLayers, stored);
+
   // Plan with unaffected windows frozen at their current density: their
   // lower and upper bounds collapse to the as-filled value, so the target
   // sweep can only adapt the affected windows.
@@ -331,23 +453,34 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
       wireDensity[l] = density::DensityMap::computeFromShapes(
           layout.layer(layer).wires, grid);
     }
-    const density::DensityMap current = [&] {
-      prof::ScopedTimer timer(prof::Stage::kDensityCompute);
-      return density::DensityMap::compute(layout, layer, grid);
-    }();
     const auto regions = [&] {
       prof::ScopedTimer timer(prof::Stage::kRegionPrep);
       return layout::computeFillRegions(layout, layer, grid, options_.rules,
                                         &blockedBuckets[l]);
     }();
     auto& b = bounds[l];
-    b.lower.resize(numWindows);
-    b.upper.resize(numWindows);
     const density::DensityBounds fresh = density::computeBounds(
         layout, layer, grid, regions, options_.rules);
     for (std::size_t w = 0; w < numWindows; ++w) {
+      if (affected[w] != 0) fillRegions[l][w] = regions[w];
+    }
+    if (pinned) {
+      // Fresh wire-only bounds everywhere: the pinned plan clamps the
+      // stored targets into them exactly as the depositing run did, so
+      // unchanged-wire windows reproduce its targets bit-for-bit. No
+      // as-filled freeze is needed — targets are not re-swept here, so
+      // they cannot drift.
+      b = fresh;
+      return;
+    }
+    const density::DensityMap current = [&] {
+      prof::ScopedTimer timer(prof::Stage::kDensityCompute);
+      return density::DensityMap::compute(layout, layer, grid);
+    }();
+    b.lower.resize(numWindows);
+    b.upper.resize(numWindows);
+    for (std::size_t w = 0; w < numWindows; ++w) {
       if (affected[w] != 0) {
-        fillRegions[l][w] = regions[w];
         b.lower[w] = fresh.lower[w];
         b.upper[w] = fresh.upper[w];
       } else {
@@ -359,11 +492,16 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
     }
   });
   const TargetDensityPlanner planner(options_.plannerWeights);
+  // Pinned mode plans CANDIDATE targets from the stored stage-1 plan; the
+  // sizing targets are re-derived per affected window below, mirroring
+  // run()'s stage-3 per-window arithmetic. Legacy mode keeps the single
+  // frozen-bounds sweep for both roles.
   const TargetPlan plan = [&] {
     prof::ScopedTimer timer(prof::Stage::kPlanning);
-    return planner.plan(bounds, grid.cols(), grid.rows());
+    return pinned ? planner.planPinned(stored.candidate, bounds)
+                  : planner.plan(bounds, grid.cols(), grid.rows());
   }();
-  report.layerTargets = plan.layerTarget;
+  report.layerTargets = pinned ? stored.sizing.layerTarget : plan.layerTarget;
   report.planningSeconds += stage.elapsedSeconds();
 
   // Candidate generation + sizing for affected windows only: solve each
@@ -375,8 +513,11 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
   }
   const CandidateGenerator generator(options_.rules, options_.candidate);
   const FillSizer sizer(options_.rules, options_.sizer);
+  const std::uint64_t optionsDigest =
+      pinned ? windowOptionsDigest(options_) : 0;
   std::vector<WindowProblem> problems(affectedIndices.size());
   std::vector<FillSizer::Stats> windowStats(affectedIndices.size());
+  std::vector<char> served(affectedIndices.size(), 0);
   pool.parallelFor(affectedIndices.size(), [&](std::size_t a) {
     checkCancel(options_.cancel);
     const std::size_t w = affectedIndices[a];
@@ -397,25 +538,73 @@ FillReport FillEngine::runIncremental(layout::Layout& layout,
     static thread_local FillSizer::Scratch sizerScratch;
     obs::ScopedSpan windowSpan("window.refill", "window",
                                {{"job", jid}, {"w", static_cast<double>(w)}});
+    std::uint64_t key = 0;
+    if (pinned) {
+      // Content-addressed lookup: prefix over the candidate-stage inputs
+      // just assembled, final key adding the stored sizing-target goals
+      // (raw, pre-clamp — the same values the depositing run keyed with).
+      const std::uint64_t prefix = windowPrefixKey(optionsDigest, p);
+      std::vector<double> goals(static_cast<std::size_t>(numLayers));
+      for (int l = 0; l < numLayers; ++l) {
+        goals[static_cast<std::size_t>(l)] =
+            stored.sizing.windowTarget[static_cast<std::size_t>(l)][w];
+      }
+      key = windowFinalKey(prefix, goals);
+      WindowCache::Entry entry;
+      if (options_.ecoWindowReuse && cache->lookup(key, entry)) {
+        p.fills = std::move(entry.fills);
+        served[a] = 1;
+        return;
+      }
+    }
     {
       prof::ScopedTimer timer(prof::Stage::kCandidates);
       generator.generate(p, generatorScratch);
     }
-    prof::ScopedTimer timer(prof::Stage::kSizing);
-    sizer.size(p, sizerScratch, &windowStats[a]);
+    std::size_t candidates = 0;
+    if (pinned) {
+      // Re-derive this window's sizing targets exactly as run()'s stage 3
+      // does: tighten the upper bound to the achieved candidate density,
+      // then clamp the stored goal into the tightened band.
+      for (const auto& layerFills : p.fills) candidates += layerFills.size();
+      for (int l = 0; l < numLayers; ++l) {
+        const auto li = static_cast<std::size_t>(l);
+        geom::Area candidateArea = 0;
+        for (const geom::Rect& f : p.fills[li]) candidateArea += f.area();
+        const auto windowArea = static_cast<double>(p.window.area());
+        const double reachable =
+            windowArea > 0 ? p.wireDensity[li] +
+                                 static_cast<double>(candidateArea) / windowArea
+                           : 0.0;
+        double upper = std::min(bounds[li].upper[w], reachable);
+        upper = std::max(upper, bounds[li].lower[w]);
+        p.targetDensity[li] = std::clamp(stored.sizing.windowTarget[li][w],
+                                         bounds[li].lower[w], upper);
+      }
+    }
+    {
+      prof::ScopedTimer timer(prof::Stage::kSizing);
+      sizer.size(p, sizerScratch, &windowStats[a]);
+    }
+    if (pinned) cache->insert(key, WindowCache::Entry{p.fills, candidates});
   });
   for (std::size_t a = 0; a < problems.size(); ++a) {
     const WindowProblem& p = problems[a];
-    for (const auto& layerFills : p.fills) {
-      report.candidateCount += layerFills.size();
+    if (served[a] != 0) {
+      ++report.ecoWindowsSkipped;
+    } else {
+      for (const auto& layerFills : p.fills) {
+        report.candidateCount += layerFills.size();
+      }
+      report.sizerStats.add(windowStats[a]);
     }
-    report.sizerStats.add(windowStats[a]);
     for (int l = 0; l < numLayers; ++l) {
       auto& out = layout.layer(l).fills;
       const auto& fs = p.fills[static_cast<std::size_t>(l)];
       out.insert(out.end(), fs.begin(), fs.end());
     }
   }
+  prof::count(prof::Counter::kEcoWindowsSkipped, report.ecoWindowsSkipped);
   report.sizingSeconds += stage.elapsedSeconds();
   report.fillCount = layout.fillCount();
   report.totalSeconds = total.elapsedSeconds();

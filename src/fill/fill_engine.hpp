@@ -13,6 +13,7 @@
 #include "fill/candidate_generator.hpp"
 #include "fill/fill_sizer.hpp"
 #include "fill/target_planner.hpp"
+#include "fill/window_cache.hpp"
 #include "layout/layout.hpp"
 #include "layout/window_grid.hpp"
 
@@ -40,6 +41,19 @@ struct FillEngineOptions {
   /// Never affects results and is excluded from the cache fingerprint,
   /// like numThreads and cancel.
   std::int64_t jobId = -1;
+  /// Optional caller-owned per-window result cache (see window_cache.hpp).
+  /// run() deposits per-window results and its target plans; with a
+  /// populated cache, runIncremental() pins its targets to the deposited
+  /// plans and serves windows whose sizing inputs are unchanged straight
+  /// from the cache. run()'s own output never depends on the cache, so it
+  /// is excluded from the service result-cache fingerprint (like
+  /// numThreads). nullptr = off.
+  WindowCache* windowCache = nullptr;
+  /// When false, the ECO path still pins targets to the cached plans and
+  /// deposits entries, but recomputes every window instead of serving
+  /// cache hits — the A/B switch the byte-identity tests flip to prove a
+  /// served hit equals a fresh re-solve.
+  bool ecoWindowReuse = true;
 };
 
 struct FillReport {
@@ -49,6 +63,9 @@ struct FillReport {
   double totalSeconds = 0.0;
   std::size_t candidateCount = 0;
   std::size_t fillCount = 0;
+  /// ECO runs only: affected windows served from the window cache without
+  /// re-running candidate generation or sizing.
+  std::size_t ecoWindowsSkipped = 0;
   int threadsUsed = 1;  // resolved thread count the run executed with
   FillSizer::Stats sizerStats;
   std::vector<double> layerTargets;  // planned td per layer (final round)

@@ -415,10 +415,20 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
       // revisits the same topology and reuses the round r-1 network.
       const std::size_t key =
           static_cast<std::size_t>(layer) * 2 + (horizontal ? 1 : 0);
+      const mcf::DualMcfContext::Options wanted{
+          options_.backend, options_.mcfWarmStart, options_.mcfEarlyExit,
+          /*earlyExitTolerance=*/0, options_.mcfFullRefresh};
+      if (!scratch.mcfContexts.empty() &&
+          (scratch.mcfContextOptions.backend != wanted.backend ||
+           scratch.mcfContextOptions.warmStart != wanted.warmStart ||
+           scratch.mcfContextOptions.earlyExit != wanted.earlyExit ||
+           scratch.mcfContextOptions.fullPivotRefresh !=
+               wanted.fullPivotRefresh)) {
+        scratch.mcfContexts.clear();
+      }
       if (scratch.mcfContexts.size() <= key) {
-        scratch.mcfContexts.resize(
-            key + 1, mcf::DualMcfContext(mcf::DualMcfContext::Options{
-                         options_.backend, options_.mcfWarmStart}));
+        scratch.mcfContexts.resize(key + 1, mcf::DualMcfContext(wanted));
+        scratch.mcfContextOptions = wanted;
       }
       return scratch.mcfContexts[key].solve(dlp);
     }
@@ -450,7 +460,11 @@ void FillSizer::sizeLayerDirection(WindowProblem& problem, int layer,
   };
 
   mcf::DiffLpResult result = solveRelaxation(lp);
-  if (stats != nullptr) ++stats->solves;
+  if (stats != nullptr) {
+    ++stats->solves;
+    if (result.usedWarmStart) ++stats->warmStarts;
+    if (result.usedEarlyExit) ++stats->earlyExits;
+  }
 
   if (!result.feasible && !violating.empty()) {
     // Spacing cannot be repaired within the per-iteration step: drop the

@@ -45,12 +45,22 @@ class FillSizer {
     bool spatialIndex = true;
     /// Restart each window's min-cost-flow solves from the previous
     /// round's optimal basis when the constraint topology repeats
-    /// (NetworkSimplex::resolve). DEFAULT OFF: differential LPs here can
-    /// have alternate optima, so a warm start may return a different
-    /// optimal vertex and break the pipeline's byte-identity contract.
-    /// The always-on network/workspace reuse (DualMcfContext) is the safe
-    /// part and does not depend on this flag.
-    bool mcfWarmStart = false;
+    /// (NetworkSimplex::resolve). DEFAULT ON: DualMcfContext canonicalizes
+    /// every solve to the unique componentwise-least optimum, so a warm
+    /// start returns byte-for-byte the cold-start answer, only faster —
+    /// alternate optima can no longer leak into the output. The always-on
+    /// network/workspace reuse is independent of this flag.
+    bool mcfWarmStart = true;
+    /// Skip a re-solve entirely when the LP is unchanged (or changed only
+    /// within DualMcfContext's exact sensitivity bound) since the previous
+    /// round of the same window pass. Exact at the default tolerance; the
+    /// skips are counted separately in Stats::earlyExits.
+    bool mcfEarlyExit = true;
+    /// Benchmark/debug: full spanning-tree rebuild after every simplex
+    /// pivot (the pre-incremental solver). Byte-identical and slower;
+    /// bench_mcf uses it as the baseline when attributing the sizing
+    /// speedup. Leave off.
+    bool mcfFullRefresh = false;
   };
 
   struct Stats {
@@ -58,6 +68,8 @@ class FillSizer {
     long long infeasibleFallbacks = 0;
     long long droppedFills = 0;
     long long spacingConstraints = 0;
+    long long warmStarts = 0;  // solves restarted from a retained basis
+    long long earlyExits = 0;  // solves skipped via the sensitivity memo
 
     /// Merges another window's counters; the engine sizes windows in
     /// parallel into per-window Stats and reduces them in window order.
@@ -66,6 +78,8 @@ class FillSizer {
       infeasibleFallbacks += other.infeasibleFallbacks;
       droppedFills += other.droppedFills;
       spacingConstraints += other.spacingConstraints;
+      warmStarts += other.warmStarts;
+      earlyExits += other.earlyExits;
     }
   };
 
@@ -88,6 +102,11 @@ class FillSizer {
     std::vector<geom::Coord> repairNeed;
     std::vector<double> weight;
     std::vector<mcf::DualMcfContext> mcfContexts;
+    // Options the cached contexts were constructed with. Scratch objects
+    // are typically thread_local and outlive a single engine run; a later
+    // run with different solver options must rebuild the contexts instead
+    // of silently keeping the old configuration.
+    mcf::DualMcfContext::Options mcfContextOptions;
   };
 
   FillSizer(layout::DesignRules rules, Options options)

@@ -77,4 +77,23 @@ TargetPlan TargetDensityPlanner::plan(
   return plan;
 }
 
+TargetPlan TargetDensityPlanner::planPinned(
+    const TargetPlan& goal,
+    const std::vector<density::DensityBounds>& boundsPerLayer) const {
+  TargetPlan plan;
+  plan.layerTarget = goal.layerTarget;
+  plan.windowTarget.resize(boundsPerLayer.size());
+  for (std::size_t l = 0; l < boundsPerLayer.size(); ++l) {
+    const density::DensityBounds& bounds = boundsPerLayer[l];
+    const auto& want = goal.windowTarget[l];
+    assert(want.size() == bounds.lower.size());
+    auto& out = plan.windowTarget[l];
+    out.resize(want.size());
+    for (std::size_t w = 0; w < want.size(); ++w) {
+      out[w] = std::clamp(want[w], bounds.lower[w], bounds.upper[w]);
+    }
+  }
+  return plan;
+}
+
 }  // namespace ofl::fill

@@ -43,6 +43,15 @@ class TargetDensityPlanner {
   TargetPlan plan(const std::vector<density::DensityBounds>& boundsPerLayer,
                   int cols, int rows) const;
 
+  /// Clamp-only plan: no sweep, each window's target is goal's value
+  /// clamped into the window's current bounds, and layer targets are
+  /// carried over verbatim. The ECO path uses this to pin its targets to
+  /// the plans of the full run that populated the window cache, keeping
+  /// untouched windows' sizing inputs byte-identical to that run.
+  TargetPlan planPinned(
+      const TargetPlan& goal,
+      const std::vector<density::DensityBounds>& boundsPerLayer) const;
+
   /// Density score of a clamped target choice on one layer (exposed for
   /// tests and the ablation bench).
   double scoreLayer(const density::DensityBounds& bounds, int cols, int rows,

@@ -1,0 +1,64 @@
+#include "fill/window_cache.hpp"
+
+#include <utility>
+
+namespace ofl::fill {
+
+bool WindowCache::lookup(std::uint64_t key, Entry& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  out = it->second;
+  return true;
+}
+
+void WindowCache::insert(std::uint64_t key, Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = std::move(entry);
+}
+
+void WindowCache::storePlan(StoredPlan plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = std::move(plan);
+  hasPlan_ = true;
+}
+
+bool WindowCache::getPlan(int cols, int rows, int layers,
+                          StoredPlan& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!hasPlan_ || plan_.cols != cols || plan_.rows != rows ||
+      plan_.layers != layers) {
+    return false;
+  }
+  out = plan_;
+  return true;
+}
+
+std::size_t WindowCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+long long WindowCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+long long WindowCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+void WindowCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hasPlan_ = false;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ofl::fill

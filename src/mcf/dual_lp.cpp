@@ -48,10 +48,149 @@ Value DifferentialLp::objective(const std::vector<Value>& x) const {
 }
 
 DiffLpResult DifferentialLpSolver::solve(const DifferentialLp& lp) const {
-  // One-shot path: a fresh context cold-starts, which is exactly the
-  // historical behavior (and its byte-for-byte results).
+  // One-shot path: a fresh context cold-starts. The canonical-optimum
+  // post-pass makes this byte-identical to any warm-started context.
   DualMcfContext context(DualMcfContext::Options{backend_, false});
   return context.solve(lp);
+}
+
+// Replaces result.x with the componentwise-least point of the optimal
+// face. `flow` is any optimal flow of the dual network whose recovered x
+// passed the feasibility check, so complementary slackness pins the face:
+// constraint arcs with positive flow are tight at EVERY optimum, and a
+// bound arc with positive flow pins its variable to that bound. The face
+// is then a difference-constraint system closed under componentwise min,
+// and the least element is the fixpoint of raising from the lower bounds —
+// the same answer no matter which optimal flow described the face.
+void DualMcfContext::canonicalizeOptimum(const DifferentialLp& lp,
+                                         const FlowResult& flow,
+                                         DiffLpResult& result) {
+  const int n = lp.numVariables();
+  const auto& cons = lp.constraints();
+  const int numCons = static_cast<int>(cons.size());
+
+  // Raise edges x[to] >= x[from] + w, in per-node intrusive lists so the
+  // worklist below only re-examines successors of nodes that moved.
+  canonTo_.clear();
+  canonW_.clear();
+  canonHead_.assign(static_cast<std::size_t>(n), -1);
+  canonNext_.clear();
+  const auto addEdge = [&](int from, int to, Value w) {
+    const int e = static_cast<int>(canonTo_.size());
+    canonTo_.push_back(to);
+    canonW_.push_back(w);
+    canonNext_.push_back(canonHead_[static_cast<std::size_t>(from)]);
+    canonHead_[static_cast<std::size_t>(from)] = e;
+  };
+  for (int c = 0; c < numCons; ++c) {
+    const DiffConstraint& dc = cons[static_cast<std::size_t>(c)];
+    addEdge(dc.j, dc.i, dc.bound);
+    if (flow.arcFlow[static_cast<std::size_t>(c)] > 0) {
+      // Tight at every optimum: add the reverse inequality as well.
+      addEdge(dc.i, dc.j, -dc.bound);
+    }
+  }
+
+  canonX_.resize(static_cast<std::size_t>(n));
+  canonQueue_.clear();
+  canonQueued_.assign(static_cast<std::size_t>(n), 1);
+  for (int v = 0; v < n; ++v) {
+    // Per-variable arcs follow the constraint arcs: lower then upper;
+    // positive flow on the upper arc pins x_v = u_v, on the lower arc it
+    // pins x_v = l_v — the starting value either way.
+    const auto upperArc = static_cast<std::size_t>(numCons + 2 * v + 1);
+    canonX_[static_cast<std::size_t>(v)] =
+        flow.arcFlow[upperArc] > 0 ? lp.upper(v) : lp.lower(v);
+    canonQueue_.push_back(v);
+  }
+
+  // Least fixpoint by worklist relaxation. The face is non-empty
+  // (result.x lies on it), so every raise stays <= result.x; each
+  // variable rises at most n times, which bounds the work. The cap only
+  // trips on a violated expectation, and then the solver vertex stands.
+  const long long maxPops =
+      static_cast<long long>(n + 1) * (n + static_cast<int>(canonTo_.size()));
+  long long pops = 0;
+  for (std::size_t qi = 0; qi < canonQueue_.size(); ++qi) {
+    if (++pops > maxPops) return;
+    const int from = canonQueue_[qi];
+    canonQueued_[static_cast<std::size_t>(from)] = 0;
+    const Value base = canonX_[static_cast<std::size_t>(from)];
+    for (int e = canonHead_[static_cast<std::size_t>(from)]; e != -1;
+         e = canonNext_[static_cast<std::size_t>(e)]) {
+      const int to = canonTo_[static_cast<std::size_t>(e)];
+      const Value need = base + canonW_[static_cast<std::size_t>(e)];
+      if (canonX_[static_cast<std::size_t>(to)] < need) {
+        canonX_[static_cast<std::size_t>(to)] = need;
+        if (canonQueued_[static_cast<std::size_t>(to)] == 0) {
+          canonQueued_[static_cast<std::size_t>(to)] = 1;
+          canonQueue_.push_back(to);
+        }
+      }
+    }
+  }
+  // Adopt only a verified exact optimum; on any violated expectation keep
+  // the solver's vertex (never happens for a correct optimal flow, but a
+  // wrong canonical answer must not be able to corrupt the solve).
+  if (!lp.isFeasible(canonX_) ||
+      lp.objective(canonX_) != lp.objective(result.x)) {
+    return;
+  }
+  result.x = canonX_;
+}
+
+bool DualMcfContext::tryEarlyExit(const DifferentialLp& lp,
+                                  DiffLpResult& result) const {
+  if (!options_.earlyExit || !haveMemo_ || !topologyMatches(lp)) return false;
+  const int n = lp.numVariables();
+  for (int v = 0; v < n; ++v) {
+    if (memoLowers_[static_cast<std::size_t>(v)] != lp.lower(v) ||
+        memoUppers_[static_cast<std::size_t>(v)] != lp.upper(v)) {
+      return false;
+    }
+  }
+  const auto& cons = lp.constraints();
+  for (std::size_t c = 0; c < cons.size(); ++c) {
+    if (memoBounds_[c] != cons[c].bound) return false;
+  }
+  // Sensitivity bound: with identical bounds and offsets the memoized x is
+  // still feasible, and its objective under the new costs is within
+  // sum_v |Δc_v|·(u_v−l_v) of the new optimum. At tolerance 0 only
+  // fixed-variable cost changes pass, which cannot move the optimal face.
+  Value drift = 0;
+  for (int v = 0; v < n; ++v) {
+    const Value dc = lp.cost(v) - memoCosts_[static_cast<std::size_t>(v)];
+    drift += std::abs(dc) * (lp.upper(v) - lp.lower(v));
+    if (drift > options_.earlyExitTolerance) return false;
+  }
+  result = memoResult_;
+  if (result.feasible) result.objective = lp.objective(result.x);
+  result.usedWarmStart = false;
+  result.usedEarlyExit = true;
+  return true;
+}
+
+void DualMcfContext::rememberSolve(const DifferentialLp& lp,
+                                   const DiffLpResult& result) {
+  if (!options_.earlyExit) return;
+  const int n = lp.numVariables();
+  memoCosts_.resize(static_cast<std::size_t>(n));
+  memoLowers_.resize(static_cast<std::size_t>(n));
+  memoUppers_.resize(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    memoCosts_[static_cast<std::size_t>(v)] = lp.cost(v);
+    memoLowers_[static_cast<std::size_t>(v)] = lp.lower(v);
+    memoUppers_[static_cast<std::size_t>(v)] = lp.upper(v);
+  }
+  const auto& cons = lp.constraints();
+  memoBounds_.resize(cons.size());
+  for (std::size_t c = 0; c < cons.size(); ++c) {
+    memoBounds_[c] = cons[c].bound;
+  }
+  memoResult_ = result;
+  memoResult_.usedWarmStart = false;
+  memoResult_.usedEarlyExit = false;
+  haveMemo_ = true;
 }
 
 bool DualMcfContext::topologyMatches(const DifferentialLp& lp) const {
@@ -74,6 +213,10 @@ DiffLpResult DualMcfContext::solve(const DifferentialLp& lp) {
   const int n = lp.numVariables();
   if (n == 0) {
     result.feasible = true;
+    return result;
+  }
+  if (tryEarlyExit(lp, result)) {
+    prof::count(prof::Counter::kMcfEarlyExits);
     return result;
   }
 
@@ -114,7 +257,7 @@ DiffLpResult DualMcfContext::solve(const DifferentialLp& lp) {
       upperArc.cost = lp.upper(v);
     }
   } else {
-    graph_ = Graph();
+    graph_.clear();
     graph_.addNode(-sumCosts);  // c'_0
     for (int v = 0; v < n; ++v) graph_.addNode(lp.cost(v));
     for (const DiffConstraint& c : lp.constraints()) {
@@ -135,9 +278,11 @@ DiffLpResult DualMcfContext::solve(const DifferentialLp& lp) {
   FlowResult flow;
   switch (options_.backend) {
     case McfBackend::kNetworkSimplex:
+      simplex_.setFullPivotRefresh(options_.fullPivotRefresh);
       flow = options_.warmStart ? simplex_.resolve(graph_)
                                 : simplex_.solve(graph_);
       if (simplex_.lastSolveWarm()) {
+        result.usedWarmStart = true;
         prof::count(prof::Counter::kMcfWarmStarts);
       }
       break;
@@ -148,7 +293,10 @@ DiffLpResult DualMcfContext::solve(const DifferentialLp& lp) {
       flow = CycleCanceling().solve(graph_);
       break;
   }
-  if (flow.status != SolveStatus::kOptimal) return result;
+  if (flow.status != SolveStatus::kOptimal) {
+    rememberSolve(lp, result);
+    return result;
+  }
 
   // y = -pi (see FlowResult's reduced-cost convention); x_v = y_{v+1} - y_0.
   result.x.resize(static_cast<std::size_t>(n));
@@ -159,9 +307,17 @@ DiffLpResult DualMcfContext::solve(const DifferentialLp& lp) {
   }
   // An infeasible LP surfaces as capacity-saturated arcs whose potentials
   // are not dual feasible; verifying the recovered x catches that case.
-  if (!lp.isFeasible(result.x)) return result;
+  if (!lp.isFeasible(result.x)) {
+    rememberSolve(lp, result);
+    return result;
+  }
+  // Feasibility also certifies the flow as optimal for the uncapacitated
+  // dual network, which is what the canonicalization's complementary-
+  // slackness argument needs.
+  canonicalizeOptimum(lp, flow, result);
   result.feasible = true;
   result.objective = lp.objective(result.x);
+  rememberSolve(lp, result);
   return result;
 }
 

@@ -58,6 +58,10 @@ struct DiffLpResult {
   bool feasible = false;
   std::vector<Value> x;
   Value objective = 0;
+  // Solve provenance, for FillSizer::Stats / prof wiring. Both are false
+  // on a plain cold solve.
+  bool usedWarmStart = false;  // simplex restarted from the retained basis
+  bool usedEarlyExit = false;  // solve skipped, memoized result returned
 };
 
 enum class McfBackend {
@@ -87,16 +91,38 @@ class DifferentialLpSolver {
 /// the graph a fresh build would, so results stay byte-identical to
 /// DifferentialLpSolver — reuse changes allocation, never arithmetic.
 ///
-/// `warmStart` additionally restarts the network simplex from the previous
-/// optimal basis (NetworkSimplex::resolve). OFF by default: on LPs with
-/// alternate optima a warm start can return a different optimal vertex,
-/// which would break the pipeline's byte-identity contract. Opt in only
-/// where any optimum is acceptable.
+/// Canonical-optimum guarantee: every feasible solve returns the unique
+/// componentwise-least optimal solution. The feasible set of a
+/// differential LP with box bounds is a distributive lattice (closed under
+/// componentwise min/max), so its optimal face has a least element; a
+/// complementary-slackness post-pass over any optimal flow recovers it.
+/// This makes solve() a pure function of the LP — independent of backend,
+/// warm/cold start, and any state this context carries — which is what
+/// lets the options below default to safe-but-fast behavior.
+///
+/// `warmStart` restarts the network simplex from the previous optimal
+/// basis (NetworkSimplex::resolve). Thanks to canonicalization it returns
+/// exactly the cold-start answer, only faster.
+///
+/// `earlyExit` memoizes the last solved LP + result on a matching
+/// topology. A repeat solve is skipped when the sensitivity bound
+/// sum_v |Δc_v|·(u_v−l_v) <= earlyExitTolerance and all bounds and
+/// constraint offsets are unchanged. At the default tolerance 0 this is
+/// exact (only cost changes on fixed variables, which cannot move the
+/// optimal face); a positive tolerance trades byte-identity for speed and
+/// may return a point whose objective is off by at most the tolerance.
 class DualMcfContext {
  public:
   struct Options {
     McfBackend backend = McfBackend::kNetworkSimplex;
     bool warmStart = false;
+    bool earlyExit = false;
+    Value earlyExitTolerance = 0;
+    // Benchmark/debug switch (network-simplex backend only): rebuild the
+    // whole spanning tree after every pivot instead of the incremental
+    // reattach. Byte-identical output, just slower — used by bench_mcf to
+    // measure the pre-incremental baseline.
+    bool fullPivotRefresh = false;
   };
 
   DualMcfContext() = default;
@@ -106,12 +132,35 @@ class DualMcfContext {
 
  private:
   bool topologyMatches(const DifferentialLp& lp) const;
+  bool tryEarlyExit(const DifferentialLp& lp, DiffLpResult& result) const;
+  void rememberSolve(const DifferentialLp& lp, const DiffLpResult& result);
+  void canonicalizeOptimum(const DifferentialLp& lp, const FlowResult& flow,
+                           DiffLpResult& result);
 
   Options options_;
   Graph graph_;
   NetworkSimplex simplex_;
   std::vector<std::pair<int, int>> arcPairs_;  // cached constraint (i, j)
   int numVars_ = -1;
+
+  // canonicalizeOptimum scratch (worklist relaxation), reused across
+  // solves so the post-pass is allocation-free on the hot path.
+  std::vector<int> canonTo_;
+  std::vector<Value> canonW_;
+  std::vector<int> canonHead_;  // per node, first outgoing edge (-1 = none)
+  std::vector<int> canonNext_;  // per edge, next edge of the same node
+  std::vector<Value> canonX_;
+  std::vector<int> canonQueue_;
+  std::vector<char> canonQueued_;
+
+  // Early-exit memo: data of the last LP actually solved on the cached
+  // topology, plus its (canonical) result.
+  bool haveMemo_ = false;
+  std::vector<Value> memoCosts_;
+  std::vector<Value> memoLowers_;
+  std::vector<Value> memoUppers_;
+  std::vector<Value> memoBounds_;  // constraint offsets, in order
+  DiffLpResult memoResult_;
 };
 
 }  // namespace ofl::mcf

@@ -27,6 +27,14 @@ class Graph {
     return static_cast<int>(supplies_.size()) - 1;
   }
 
+  /// Removes all nodes and arcs but keeps the storage, so a caller that
+  /// rebuilds similar-sized networks in a loop (DualMcfContext on a
+  /// topology change) does not reallocate per build.
+  void clear() {
+    supplies_.clear();
+    arcs_.clear();
+  }
+
   int addArc(int tail, int head, Value capacity, Value cost) {
     arcs_.push_back({tail, head, capacity, cost});
     return static_cast<int>(arcs_.size()) - 1;

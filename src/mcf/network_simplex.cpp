@@ -46,6 +46,46 @@ void NetworkSimplex::refreshTree() {
   }
 }
 
+void NetworkSimplex::reattachSubtree(int entering, int inNode) {
+  const auto ei = static_cast<std::size_t>(entering);
+  const auto ini = static_cast<std::size_t>(inNode);
+  const int outNode = (tail_[ei] == inNode) ? head_[ei] : tail_[ei];
+  const auto outi = static_cast<std::size_t>(outNode);
+  // New tree arcs are tight (zero reduced cost); the detached component's
+  // internal relations are unchanged, so every node in it shifts by the
+  // same delta the entering arc forces on inNode.
+  const Value newPiIn = (head_[ei] == inNode) ? pi_[outi] - cost_[ei]
+                                              : pi_[outi] + cost_[ei];
+  const Value delta = newPiIn - pi_[ini];
+  // DFS stays inside the detached component: its only link to the rest of
+  // the tree is `entering`, and marking outNode visited blocks it.
+  visited_.assign(static_cast<std::size_t>(numNodes_), 0);
+  visited_[outi] = 1;
+  visited_[ini] = 1;
+  parent_[ini] = outNode;
+  predArc_[ini] = entering;
+  depth_[ini] = depth_[outi] + 1;
+  pi_[ini] += delta;
+  stack_.clear();
+  stack_.push_back(inNode);
+  while (!stack_.empty()) {
+    const int u = stack_.back();
+    stack_.pop_back();
+    for (int a : treeAdj_[static_cast<std::size_t>(u)]) {
+      const auto ai = static_cast<std::size_t>(a);
+      const int v = (tail_[ai] == u) ? head_[ai] : tail_[ai];
+      const auto vi = static_cast<std::size_t>(v);
+      if (visited_[vi]) continue;
+      visited_[vi] = 1;
+      parent_[vi] = u;
+      predArc_[vi] = a;
+      depth_[vi] = depth_[static_cast<std::size_t>(u)] + 1;
+      pi_[vi] += delta;
+      stack_.push_back(v);
+    }
+  }
+}
+
 void NetworkSimplex::removeTreeArc(int a) {
   const auto ai = static_cast<std::size_t>(a);
   for (int endpoint : {tail_[ai], head_[ai]}) {
@@ -116,7 +156,10 @@ void NetworkSimplex::initCold(const Graph& graph) {
   predArc_.assign(static_cast<std::size_t>(numNodes_), -1);
   depth_.assign(static_cast<std::size_t>(numNodes_), 0);
   pi_.assign(static_cast<std::size_t>(numNodes_), 0);
-  treeAdj_.assign(static_cast<std::size_t>(numNodes_), {});
+  // resize+clear instead of assign: keeps the inner vectors' capacity
+  // across the many same-shaped cold solves the sizer issues.
+  treeAdj_.resize(static_cast<std::size_t>(numNodes_));
+  for (auto& adj : treeAdj_) adj.clear();
   for (int i = 0; i < n; ++i) addTreeArc(m + i);
   refreshTree();
 
@@ -178,19 +221,31 @@ bool NetworkSimplex::initWarm(const Graph& graph) {
   // before children, so the reverse walk pushes each node's excess up its
   // unique tree arc exactly once.
   refreshTree();
+  bool reoriented = false;
   for (auto it = bfsOrder_.rbegin(); it != bfsOrder_.rend(); ++it) {
     const int u = *it;
     if (u == root_) continue;
     const auto ui = static_cast<std::size_t>(u);
     const int a = predArc_[ui];
     const auto ai = static_cast<std::size_t>(a);
-    const Value f = (tail_[ai] == u) ? excess_[ui] : -excess_[ui];
+    Value f = (tail_[ai] == u) ? excess_[ui] : -excess_[ui];
+    if (f < 0 && a >= firstArtificial_) {
+      // A supply sign flipped since the basis was stored: reorient the
+      // artificial root arc instead of abandoning the whole warm start.
+      std::swap(tail_[ai], head_[ai]);
+      f = -f;
+      reoriented = true;
+    }
     if (f < 0 || f > cap_[ai]) return false;  // old tree not primal feasible
     flow_[ai] = f;
     excess_[static_cast<std::size_t>(parent_[ui])] += excess_[ui];
     excess_[ui] = 0;
   }
-  return excess_[static_cast<std::size_t>(root_)] == 0;
+  if (excess_[static_cast<std::size_t>(root_)] != 0) return false;
+  // Reorientation changes the sign of the pi relation along those arcs;
+  // recompute potentials once (flows are unaffected).
+  if (reoriented) refreshTree();
+  return true;
 }
 
 FlowResult NetworkSimplex::run(const Graph& graph) {
@@ -257,12 +312,9 @@ FlowResult NetworkSimplex::run(const Graph& graph) {
 
     int uu = u;
     int vv = v;
-    // Record the path arcs to apply augmentation afterwards.
-    struct Step {
-      int arc;
-      bool flowIncreases;
-    };
-    std::vector<Step> steps;
+    // Record the path arcs to apply augmentation afterwards (steps_ is a
+    // member so the buffer's capacity survives across pivots and solves).
+    steps_.clear();
     while (uu != vv) {
       if (depth_[static_cast<std::size_t>(uu)] >=
           depth_[static_cast<std::size_t>(vv)]) {
@@ -271,24 +323,26 @@ FlowResult NetworkSimplex::run(const Graph& graph) {
         // u's side the path runs downward parent(uu) -> uu: flow increases
         // when the arc points down (head == uu).
         const bool down = (head_[static_cast<std::size_t>(a)] == uu);
-        steps.push_back({a, down});
+        steps_.push_back({a, down, true});
         uu = parent_[static_cast<std::size_t>(uu)];
       } else {
         const int a = predArc_[static_cast<std::size_t>(vv)];
         // On v's side the path runs upward vv -> parent(vv): flow
         // increases when the arc points up (tail == vv).
         const bool up = (tail_[static_cast<std::size_t>(a)] == vv);
-        steps.push_back({a, up});
+        steps_.push_back({a, up, false});
         vv = parent_[static_cast<std::size_t>(vv)];
       }
     }
-    for (const Step& st : steps) {
+    bool leavingOnUSide = false;
+    for (const Step& st : steps_) {
       const auto ai = static_cast<std::size_t>(st.arc);
       const Value room = st.flowIncreases ? cap_[ai] - flow_[ai] : flow_[ai];
       if (room < delta) {
         delta = room;
         leaving = st.arc;
         leavingDecreases = !st.flowIncreases;
+        leavingOnUSide = st.uSide;
       }
     }
 
@@ -297,7 +351,7 @@ FlowResult NetworkSimplex::run(const Graph& graph) {
       const auto ei = static_cast<std::size_t>(entering);
       flow_[ei] += increase ? delta : -delta;
     }
-    for (const Step& st : steps) {
+    for (const Step& st : steps_) {
       const auto ai = static_cast<std::size_t>(st.arc);
       flow_[ai] += st.flowIncreases ? delta : -delta;
     }
@@ -314,7 +368,14 @@ FlowResult NetworkSimplex::run(const Graph& graph) {
     state_[static_cast<std::size_t>(entering)] = kInTree;
     removeTreeArc(leaving);
     addTreeArc(entering);
-    refreshTree();
+    // The leaving arc was found on one of the two walks; the entering
+    // endpoint that started that walk lies in the component the removal
+    // detached, so reattach from there.
+    if (fullPivotRefresh_) {
+      refreshTree();
+    } else {
+      reattachSubtree(entering, leavingOnUSide ? u : v);
+    }
   }
 
   // Any residual flow on artificial arcs means the supplies cannot be

@@ -3,9 +3,10 @@
 // This is the library's substitute for LEMON's NetworkSimplex (the solver
 // the paper uses). Standard textbook construction: artificial big-cost
 // root arcs form the initial spanning-tree basis; entering arcs are picked
-// by block pricing; potentials are refreshed by a root BFS after each
-// pivot. Problem instances in the fill flow are per-window and small
-// (hundreds of nodes), so the O(n) refresh is the simple *and* fast choice.
+// by block pricing; after each pivot only the detached component of the
+// tree is reattached and its potentials shifted (O(component), identical
+// values to a full root BFS — see reattachSubtree). Problem instances in
+// the fill flow are per-window and small (hundreds of nodes).
 //
 // The solver object is reusable: all working arrays persist across solve()
 // calls, so a caller solving many same-shaped instances (the sizer's
@@ -30,18 +31,32 @@ class NetworkSimplex {
   /// Like solve(), but when the previous call left an optimal basis for a
   /// graph with the same node/arc counts and arc endpoints, restarts from
   /// that tree: non-tree arcs keep their bound, tree flows are recomputed
-  /// for the new supplies/capacities, and the pivot loop continues from
+  /// for the new supplies/capacities (artificial root arcs are reoriented
+  /// when a node's supply sign flipped), and the pivot loop continues from
   /// there. Falls back to the cold start when no basis fits or the old
   /// tree is not primal feasible for the new data.
   ///
   /// CAUTION: on LPs with alternate optima a warm start may return a
   /// DIFFERENT optimal vertex than solve() — equal objective, different
-  /// flows/potentials. Callers needing run-to-run byte-identical output
-  /// must stick to solve().
+  /// flows/potentials. Raw-flow callers needing byte-identical output must
+  /// either stick to solve() or canonicalize the returned optimum
+  /// themselves. The differential-LP layer (DualMcfContext) does exactly
+  /// that: it maps any optimal vertex to the unique componentwise-least
+  /// optimal solution, so sizer output is identical warm or cold.
   FlowResult resolve(const Graph& graph);
+
+  /// Debug/benchmark switch: when on, every pivot rebuilds the whole tree
+  /// (the pre-incremental behavior) instead of reattaching only the
+  /// detached component. Results are identical either way — the knob
+  /// exists so benchmarks can attribute speedups to the incremental
+  /// update. Off by default.
+  void setFullPivotRefresh(bool on) { fullPivotRefresh_ = on; }
 
   /// True when the last solve()/resolve() used the retained basis.
   bool lastSolveWarm() const { return lastWarm_; }
+
+  /// Alias of lastSolveWarm() matching the FillSizer::Stats terminology.
+  bool usedWarmStart() const { return lastWarm_; }
 
  private:
   void initCold(const Graph& graph);
@@ -54,6 +69,14 @@ class NetworkSimplex {
            pi_[static_cast<std::size_t>(head_[static_cast<std::size_t>(a)])];
   }
   void refreshTree();
+  /// Incremental basis update after a pivot: the leaving arc has already
+  /// been removed and `entering` added to treeAdj_, and `inNode` is the
+  /// entering endpoint inside the detached component. Rebuilds parent /
+  /// depth and shifts pi for that component only — the values come out
+  /// exactly as a full refreshTree() would produce them (the main-tree
+  /// relations are untouched and the detached component's potentials all
+  /// move by the entering arc's reduced cost), just in O(component).
+  void reattachSubtree(int entering, int inNode);
   void removeTreeArc(int a);
   void addTreeArc(int a);
 
@@ -80,6 +103,14 @@ class NetworkSimplex {
   std::vector<char> visited_;
   std::vector<int> bfsOrder_;  // refreshTree visit order, root first
   std::vector<Value> excess_;
+  struct Step {
+    int arc;
+    bool flowIncreases;
+    bool uSide;  // recorded on the u-walk (tail side of the entering arc)
+  };
+  std::vector<Step> steps_;  // pivot-cycle path, reused across pivots
+
+  bool fullPivotRefresh_ = false;
 
   // Basis bookkeeping for resolve().
   bool hasBasis_ = false;

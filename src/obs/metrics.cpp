@@ -345,6 +345,8 @@ void registerCoreSeries() {
   MetricsRegistry& reg = MetricsRegistry::instance();
   for (const char* name :
        {"engine.runs", "engine.windows", "engine.candidates", "engine.fills",
+        "engine.mcf_warm_starts", "engine.mcf_early_exits",
+        "engine.eco_windows_skipped",
         "cache.hits", "cache.misses", "cache.evictions",
         "sched.tasks_submitted", "sched.tasks_completed",
         "service.jobs_submitted", "service.jobs_completed",

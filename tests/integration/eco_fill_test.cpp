@@ -110,6 +110,53 @@ TEST_F(EcoFillTest, MuchCheaperThanFullRerun) {
   EXPECT_LT(eco.candidateCount * 4, full.candidateCount);
 }
 
+TEST_F(EcoFillTest, WindowCacheSkipsUnchangedWindowsByteIdentically) {
+  // With a WindowCache attached, the full run deposits per-window results
+  // and its target plans; the ECO pass must then serve every window whose
+  // sizing inputs are unchanged from the cache -- and produce EXACTLY the
+  // fills of an identical ECO pass that recomputes every window
+  // (ecoWindowReuse = false is the A/B switch for that contract).
+  fill::WindowCache cache;
+  fill::FillEngineOptions cachedOptions = options_;
+  cachedOptions.windowCache = &cache;
+  layout::Layout cachedChip = contest::BenchmarkGenerator::generate(spec_);
+  fill::FillEngine(cachedOptions).run(cachedChip);
+  ASSERT_GT(cache.size(), 0u);
+
+  // Same wire edit on the cached chip as mutateWires() applies to chip_.
+  // Declare a change region one window wider than the edit: the ring
+  // windows get re-solved with unchanged wires, which is exactly the case
+  // the cache must serve.
+  chip_ = cachedChip;
+  const geom::Rect changed = mutateWires().expanded(spec_.windowSize);
+  layout::Layout recomputeChip = chip_;
+
+  const fill::FillReport served =
+      fill::FillEngine(cachedOptions).runIncremental(chip_, changed);
+  EXPECT_GT(served.ecoWindowsSkipped, 0u);
+
+  fill::FillEngineOptions recomputeOptions = cachedOptions;
+  recomputeOptions.ecoWindowReuse = false;
+  const fill::FillReport recomputed =
+      fill::FillEngine(recomputeOptions).runIncremental(recomputeChip,
+                                                        changed);
+  EXPECT_EQ(recomputed.ecoWindowsSkipped, 0u);
+
+  for (int l = 0; l < chip_.numLayers(); ++l) {
+    EXPECT_EQ(chip_.layer(l).fills, recomputeChip.layer(l).fills)
+        << "layer " << l << " diverged between served and recomputed ECO";
+  }
+
+  // Quality and DRC must hold on the served result like any ECO pass.
+  EXPECT_TRUE(layout::DrcChecker(spec_.rules).check(chip_, 5).empty());
+  const layout::WindowGrid grid(chip_.die(), spec_.windowSize);
+  for (int l = 0; l < chip_.numLayers(); ++l) {
+    const auto after =
+        density::computeMetrics(density::DensityMap::compute(chip_, l, grid));
+    EXPECT_LT(after.sigma, 0.03) << "layer " << l;
+  }
+}
+
 TEST_F(EcoFillTest, NoChangeIsNoOp) {
   // An ECO over an empty region (no wire edits) must keep the solution
   // essentially intact outside the designated windows and stay DRC-clean.

@@ -1,0 +1,96 @@
+// Byte-identity property test for the sizer's default-on MCF warm starts
+// and early exits: across randomized layouts, warm-ON and warm-OFF engine
+// runs must serialize to the SAME GDS bytes, single- and multi-threaded.
+// This is the contract that lets mcfWarmStart/mcfEarlyExit default on --
+// DualMcfContext canonicalizes every optimum, so solver shortcuts may
+// never show up in the output.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "fill/fill_engine.hpp"
+#include "gds/gds_writer.hpp"
+#include "layout/layout.hpp"
+
+namespace ofl {
+namespace {
+
+layout::DesignRules rules() {
+  layout::DesignRules r;
+  r.minWidth = 10;
+  r.minSpacing = 10;
+  r.minArea = 150;
+  r.maxFillSize = 200;
+  return r;
+}
+
+// Random 2-layer layout over a 2x2-window die: blocks plus wire runs,
+// deliberately non-uniform so sizing has real work (and real spacing
+// constraints) in every window.
+layout::Layout randomLayout(std::uint64_t seed) {
+  Rng rng(seed);
+  layout::Layout chip({0, 0, 1600, 1600}, 2);
+  for (int l = 0; l < 2; ++l) {
+    const int blocks = static_cast<int>(rng.uniformInt(0, 3));
+    for (int b = 0; b < blocks; ++b) {
+      const geom::Coord w = rng.uniformInt(100, 600);
+      const geom::Coord h = rng.uniformInt(100, 600);
+      const geom::Coord x = rng.uniformInt(0, 1600 - w);
+      const geom::Coord y = rng.uniformInt(0, 1600 - h);
+      chip.layer(l).wires.push_back({x, y, x + w, y + h});
+    }
+    const int runs = static_cast<int>(rng.uniformInt(4, 30));
+    for (int k = 0; k < runs; ++k) {
+      const geom::Coord len = rng.uniformInt(80, 900);
+      const geom::Coord x = rng.uniformInt(0, 1600 - len);
+      const geom::Coord y = rng.uniformInt(0, 1600 - 20);
+      if (l % 2 == 0) {
+        chip.layer(l).wires.push_back({x, y, x + len, y + 20});
+      } else {
+        chip.layer(l).wires.push_back({y, x, y + 20, x + len});
+      }
+    }
+  }
+  return chip;
+}
+
+std::vector<std::uint8_t> gdsBytes(const layout::Layout& original,
+                                   bool warm, int threads,
+                                   fill::FillReport* report = nullptr) {
+  layout::Layout chip = original;
+  fill::FillEngineOptions o;
+  o.windowSize = 800;
+  o.rules = rules();
+  o.numThreads = threads;
+  o.sizer.mcfWarmStart = warm;
+  o.sizer.mcfEarlyExit = warm;
+  const fill::FillReport r = fill::FillEngine(o).run(chip);
+  if (report != nullptr) *report = r;
+  return gds::Writer::serialize(chip.toGds());
+}
+
+TEST(SizerWarmEquivalence, FiftyLayoutsByteIdenticalGdsAt1And4Threads) {
+  setLogLevel(LogLevel::kWarn);
+  long long totalWarmStarts = 0;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const layout::Layout chip = randomLayout(seed);
+    fill::FillReport warmReport;
+    const auto warm1 = gdsBytes(chip, true, 1, &warmReport);
+    const auto cold1 = gdsBytes(chip, false, 1);
+    ASSERT_EQ(warm1, cold1) << "seed " << seed << " diverged at 1 thread";
+    const auto warm4 = gdsBytes(chip, true, 4);
+    const auto cold4 = gdsBytes(chip, false, 4);
+    ASSERT_EQ(warm4, cold4) << "seed " << seed << " diverged at 4 threads";
+    ASSERT_EQ(warm1, warm4) << "seed " << seed
+                            << " thread count changed the output";
+    totalWarmStarts += warmReport.sizerStats.warmStarts;
+  }
+  // The equivalence is vacuous if the warm path never engages.
+  EXPECT_GT(totalWarmStarts, 0);
+}
+
+}  // namespace
+}  // namespace ofl

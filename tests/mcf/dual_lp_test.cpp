@@ -216,26 +216,114 @@ TEST(DualMcfContextTest, TopologyChangeRebuildsCorrectly) {
 }
 
 TEST(DualMcfContextTest, WarmStartStaysOptimalAndFeasible) {
-  // With warm starts on, the returned vertex may differ from the cold one
-  // (alternate optima -- the reason mcfWarmStart defaults off), but it
-  // must be a feasible point with the same optimal objective.
+  // With warm starts on, the simplex may land on a different optimal
+  // vertex, but the canonical-optimum post-pass maps every optimum to the
+  // unique componentwise-least solution -- so the warm answer must equal
+  // the cold answer EXACTLY, not just in objective.
   Rng rng(73);
   DualMcfContext warm(DualMcfContext::Options{
       McfBackend::kNetworkSimplex, /*warmStart=*/true});
   int feasibleCount = 0;
+  int warmCount = 0;
   for (int round = 0; round < 40; ++round) {
     const DifferentialLp lp = randomLpFixedTopology(rng);
     const DiffLpResult cold =
         DifferentialLpSolver(McfBackend::kNetworkSimplex).solve(lp);
     const DiffLpResult hot = warm.solve(lp);
+    if (hot.usedWarmStart) ++warmCount;
     ASSERT_EQ(hot.feasible, cold.feasible) << "round " << round;
     if (cold.feasible) {
       ++feasibleCount;
+      EXPECT_EQ(hot.x, cold.x) << "round " << round;
       EXPECT_EQ(hot.objective, cold.objective) << "round " << round;
       EXPECT_TRUE(lp.isFeasible(hot.x)) << "round " << round;
     }
   }
   EXPECT_GT(feasibleCount, 20);
+  EXPECT_GT(warmCount, 0);  // the retained basis must actually engage
+}
+
+TEST(DualMcfContextTest, EarlyExitSkipsUnchangedResolve) {
+  // An identical repeat solve on a warm+early context is answered from
+  // the sensitivity memo without touching the solver, byte-identically.
+  Rng rng(74);
+  DualMcfContext context(DualMcfContext::Options{
+      McfBackend::kNetworkSimplex, /*warmStart=*/true, /*earlyExit=*/true});
+  const DifferentialLp lp = randomLpFixedTopology(rng);
+  const DiffLpResult first = context.solve(lp);
+  ASSERT_TRUE(first.feasible);
+  EXPECT_FALSE(first.usedEarlyExit);
+  const DiffLpResult repeat = context.solve(lp);
+  EXPECT_TRUE(repeat.usedEarlyExit);
+  EXPECT_EQ(repeat.x, first.x);
+  EXPECT_EQ(repeat.objective, first.objective);
+}
+
+TEST(DualMcfContextTest, EarlyExitDeclinesWhenBoundsChange) {
+  // Any bound change disables the memo: the re-solve must run and match
+  // a fresh solver on the new LP.
+  DualMcfContext context(DualMcfContext::Options{
+      McfBackend::kNetworkSimplex, /*warmStart=*/true, /*earlyExit=*/true});
+  DifferentialLp lp;
+  lp.addVariable(3, 0, 10);
+  lp.addVariable(-2, 0, 10);
+  lp.addConstraint(0, 1, 2);
+  ASSERT_TRUE(context.solve(lp).feasible);
+
+  DifferentialLp moved;
+  moved.addVariable(3, 1, 9);  // same costs, tighter box
+  moved.addVariable(-2, 0, 10);
+  moved.addConstraint(0, 1, 2);
+  const DiffLpResult r = context.solve(moved);
+  EXPECT_FALSE(r.usedEarlyExit);
+  const DiffLpResult fresh =
+      DifferentialLpSolver(McfBackend::kNetworkSimplex).solve(moved);
+  ASSERT_TRUE(fresh.feasible);
+  EXPECT_EQ(r.x, fresh.x);
+}
+
+TEST(DualMcfContextTest, EarlyExitOnCostChangeOfFixedVariable) {
+  // The sensitivity bound sum |dc_v| * (u_v - l_v) is zero when only
+  // fixed (l == u) variables change cost, so the solve is skipped -- and
+  // the memoized point's objective must be recomputed under the NEW
+  // costs, matching a fresh solve exactly.
+  DualMcfContext context(DualMcfContext::Options{
+      McfBackend::kNetworkSimplex, /*warmStart=*/true, /*earlyExit=*/true});
+  DifferentialLp lp;
+  lp.addVariable(5, 7, 7);  // fixed
+  lp.addVariable(-1, 0, 10);
+  lp.addConstraint(1, 0, -4);
+  ASSERT_TRUE(context.solve(lp).feasible);
+
+  DifferentialLp recosted;
+  recosted.addVariable(-9, 7, 7);  // only the fixed variable's cost moved
+  recosted.addVariable(-1, 0, 10);
+  recosted.addConstraint(1, 0, -4);
+  const DiffLpResult r = context.solve(recosted);
+  EXPECT_TRUE(r.usedEarlyExit);
+  const DiffLpResult fresh =
+      DifferentialLpSolver(McfBackend::kNetworkSimplex).solve(recosted);
+  ASSERT_TRUE(fresh.feasible);
+  EXPECT_EQ(r.x, fresh.x);
+  EXPECT_EQ(r.objective, fresh.objective);
+}
+
+TEST(DualMcfContextTest, FullPivotRefreshIsByteIdentical) {
+  // The bench-only full-refresh knob changes pivot bookkeeping cost, not
+  // results: every solve must equal the default incremental path.
+  Rng rng(75);
+  DualMcfContext slow(DualMcfContext::Options{
+      McfBackend::kNetworkSimplex, /*warmStart=*/true, /*earlyExit=*/false,
+      /*earlyExitTolerance=*/0, /*fullPivotRefresh=*/true});
+  DualMcfContext fast(DualMcfContext::Options{
+      McfBackend::kNetworkSimplex, /*warmStart=*/true, /*earlyExit=*/false});
+  for (int round = 0; round < 30; ++round) {
+    const DifferentialLp lp = randomLpFixedTopology(rng);
+    const DiffLpResult a = slow.solve(lp);
+    const DiffLpResult b = fast.solve(lp);
+    ASSERT_EQ(a.feasible, b.feasible) << "round " << round;
+    if (a.feasible) EXPECT_EQ(a.x, b.x) << "round " << round;
+  }
 }
 
 TEST(DualMcfContextTest, EmptyLpIsFeasible) {
