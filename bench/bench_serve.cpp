@@ -1,0 +1,306 @@
+// Fill-daemon load bench: boots an in-process `openfill serve` core, runs
+// a multi-client mixed fill+ECO workload against it over real loopback
+// sockets, and reports throughput plus p50/p95/p99 request latency to
+// BENCH_serve.json. Two contracts are asserted, not just measured:
+//
+//   * every layout served over the wire is byte-identical to the direct
+//     `openfill fill` run with the same options;
+//   * after a daemon "kill" (drain) and restart over the same cache
+//     directory, resubmitting the workload hits the persistent cache
+//     (persistent hits > 0) and still returns identical bytes.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+#include "common/logging.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "gds/gds_writer.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace ofl;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kUniqueLayouts = 3;
+constexpr int kClients = 4;
+constexpr int kRequestsPerClient = 10;
+
+std::string gDir;
+
+std::string path(const std::string& name) {
+  return (fs::path(gDir) / name).string();
+}
+
+std::string readFile(const std::string& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+serve::Request jobRequest(serve::Request::Type type, const std::string& spec,
+                          const std::string& client) {
+  serve::Request req;
+  req.type = type;
+  req.client = client;
+  req.spec = spec;
+  return req;
+}
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+struct ClientRun {
+  std::vector<double> latenciesMs;
+  int fills = 0;
+  int ecos = 0;
+  int failures = 0;
+};
+
+// One client's slice of the mixed workload: alternating fill and ECO
+// requests, each over its own spec so outputs never collide.
+ClientRun runClient(int clientIdx, int port) {
+  ClientRun run;
+  serve::Client client("127.0.0.1", port, 120.0);
+  if (!client.connected()) {
+    ++run.failures;
+    return run;
+  }
+  const std::string name = "bench" + std::to_string(clientIdx);
+  for (int i = 0; i < kRequestsPerClient; ++i) {
+    const int layoutIdx = (clientIdx + i) % kUniqueLayouts;
+    const bool eco = i % 2 == 1;
+    const std::string out =
+        path("mix_c" + std::to_string(clientIdx) + "_" + std::to_string(i) +
+             ".gds");
+    serve::Request req;
+    if (eco) {
+      req = jobRequest(serve::Request::Type::kEco,
+                       path("filled" + std::to_string(layoutIdx) + ".gds") +
+                           " --out " + out,
+                       name);
+      // Vary the changed region so ECO cache keys differ across requests.
+      const geom::Coord lo = 200 * ((i + clientIdx) % 5);
+      req.changed = geom::Rect{lo, lo, lo + 2400, lo + 2400};
+      req.hasChanged = true;
+    } else {
+      req = jobRequest(serve::Request::Type::kFill,
+                       path("wires" + std::to_string(layoutIdx) + ".gds") +
+                           " --out " + out,
+                       name);
+    }
+    Timer timer;
+    const auto resp = client.call(req);
+    const double ms = timer.elapsedSeconds() * 1e3;
+    if (!resp.has_value()) {
+      std::fprintf(stderr, "client %d: transport error: %s\n", clientIdx,
+                   client.error().c_str());
+      ++run.failures;
+      // The connection is gone; reconnect for the remaining requests.
+      client = serve::Client("127.0.0.1", port, 120.0);
+      continue;
+    }
+    if (resp->rejected) {
+      // Admission backoff: retry once after a beat; count as one request.
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      --i;
+      continue;
+    }
+    if (!resp->ok) {
+      std::fprintf(stderr, "client %d: %s\n", clientIdx, resp->error.c_str());
+      ++run.failures;
+      continue;
+    }
+    run.latenciesMs.push_back(ms);
+    (eco ? run.ecos : run.fills) += 1;
+  }
+  return run;
+}
+
+}  // namespace
+
+int main() {
+  setLogLevel(LogLevel::kWarn);
+  gDir = (fs::temp_directory_path() / "ofl_bench_serve").string();
+  fs::remove_all(gDir);
+  fs::create_directories(gDir);
+
+  // Inputs: a few distinct suite-s layouts written as GDS files.
+  for (int i = 0; i < kUniqueLayouts; ++i) {
+    contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec("s");
+    spec.seed = 7000 + static_cast<std::uint64_t>(i);
+    const layout::Layout chip = contest::BenchmarkGenerator::generate(spec);
+    if (gds::Writer::writeFile(chip.toGds(),
+                               path("wires" + std::to_string(i) + ".gds")) <
+        0) {
+      std::fprintf(stderr, "FAILED: cannot write input %d\n", i);
+      return 1;
+    }
+  }
+
+  serve::ServeConfig cfg;
+  cfg.port = 0;
+  cfg.jobs = 4;
+  cfg.threadsPerJob = 1;
+  cfg.cacheDir = path("cache");
+  cfg.maxInflightPerClient = 4;
+  serve::Server server(cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "FAILED: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("== Serve load bench: %d clients x %d requests, %d unique "
+              "layouts, %d workers (%d hardware cores) ==\n",
+              kClients, kRequestsPerClient, kUniqueLayouts, cfg.jobs,
+              ThreadPool::hardwareThreads());
+
+  // Warm-up / ECO seed: fill each unique layout through the daemon; these
+  // outputs are the ECO phase's inputs AND the byte-identity specimens.
+  {
+    serve::Client client("127.0.0.1", server.port(), 120.0);
+    for (int i = 0; i < kUniqueLayouts; ++i) {
+      const auto resp = client.call(jobRequest(
+          serve::Request::Type::kFill,
+          path("wires" + std::to_string(i) + ".gds") + " --out " +
+              path("filled" + std::to_string(i) + ".gds"),
+          "seed"));
+      if (!resp.has_value() || !resp->ok) {
+        std::fprintf(stderr, "FAILED: seed fill %d\n", i);
+        return 1;
+      }
+    }
+  }
+
+  // Mixed multi-client load.
+  Timer wall;
+  std::vector<ClientRun> runs(kClients);
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back(
+          [&runs, c, port = server.port()] { runs[c] = runClient(c, port); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  const double wallSeconds = wall.elapsedSeconds();
+
+  std::vector<double> latencies;
+  int fills = 0, ecos = 0, failures = 0;
+  for (const ClientRun& r : runs) {
+    latencies.insert(latencies.end(), r.latenciesMs.begin(),
+                     r.latenciesMs.end());
+    fills += r.fills;
+    ecos += r.ecos;
+    failures += r.failures;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = percentile(latencies, 0.50);
+  const double p95 = percentile(latencies, 0.95);
+  const double p99 = percentile(latencies, 0.99);
+  const double throughput =
+      wallSeconds > 0 ? static_cast<double>(latencies.size()) / wallSeconds
+                      : 0.0;
+  std::printf("mixed load: %zu requests (%d fill, %d eco, %d failures) in "
+              "%.2fs = %.2f req/s\n",
+              latencies.size(), fills, ecos, failures, wallSeconds,
+              throughput);
+  std::printf("latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n", p50, p95, p99);
+  if (failures > 0 || latencies.empty()) {
+    std::fprintf(stderr, "FAILED: request failures under load\n");
+    return 1;
+  }
+
+  // Byte-identity: served outputs vs the direct CLI path.
+  bool identical = true;
+  for (int i = 0; i < kUniqueLayouts; ++i) {
+    const std::string direct = path("direct" + std::to_string(i) + ".gds");
+    if (cli::run(cli::Args::parse(
+            {"fill", "--in", path("wires" + std::to_string(i) + ".gds"),
+             "--out", direct})) != 0) {
+      identical = false;
+      break;
+    }
+    identical = identical &&
+                readFile(path("filled" + std::to_string(i) + ".gds")) ==
+                    readFile(direct);
+  }
+  std::printf("served vs direct fill: %s\n",
+              identical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
+
+  // Kill + restart: a fresh daemon over the same cache directory must
+  // serve the same specs from the persistent cache.
+  server.drain();
+  std::uint64_t persistentHits = 0;
+  bool restartIdentical = true;
+  {
+    serve::Server revived(cfg);
+    if (!revived.start(&error)) {
+      std::fprintf(stderr, "FAILED: restart: %s\n", error.c_str());
+      return 1;
+    }
+    serve::Client client("127.0.0.1", revived.port(), 120.0);
+    for (int i = 0; i < kUniqueLayouts; ++i) {
+      const std::string out = path("revived" + std::to_string(i) + ".gds");
+      const auto resp = client.call(jobRequest(
+          serve::Request::Type::kFill,
+          path("wires" + std::to_string(i) + ".gds") + " --out " + out,
+          "revived"));
+      if (!resp.has_value() || !resp->ok) {
+        std::fprintf(stderr, "FAILED: post-restart fill %d\n", i);
+        return 1;
+      }
+      restartIdentical =
+          restartIdentical &&
+          readFile(out) == readFile(path("filled" + std::to_string(i) + ".gds"));
+    }
+    persistentHits = revived.service().stats().cache.persistentHits;
+    revived.drain();
+  }
+  std::printf("restart: %llu persistent cache hits, outputs %s\n",
+              static_cast<unsigned long long>(persistentHits),
+              restartIdentical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
+
+  std::FILE* json = std::fopen("BENCH_serve.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n  \"benchmark\": \"serve_daemon_load\",\n"
+        "  \"clients\": %d,\n  \"requests_per_client\": %d,\n"
+        "  \"unique_layouts\": %d,\n  \"workers\": %d,\n"
+        "  \"hardware_threads\": %d,\n"
+        "  \"requests\": %zu,\n  \"fill_requests\": %d,\n"
+        "  \"eco_requests\": %d,\n  \"wall_seconds\": %.3f,\n"
+        "  \"requests_per_second\": %.3f,\n"
+        "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
+        "  \"byte_identical_to_direct_fill\": %s,\n"
+        "  \"restart_persistent_hits\": %llu,\n"
+        "  \"restart_byte_identical\": %s\n}\n",
+        kClients, kRequestsPerClient, kUniqueLayouts, cfg.jobs,
+        ThreadPool::hardwareThreads(), latencies.size(), fills, ecos,
+        wallSeconds, throughput, p50, p95, p99,
+        identical ? "true" : "false",
+        static_cast<unsigned long long>(persistentHits),
+        restartIdentical ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_serve.json\n");
+  }
+  return identical && restartIdentical && persistentHits > 0 ? 0 : 1;
+}

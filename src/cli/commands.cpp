@@ -33,6 +33,10 @@
 #include "obs/metrics.hpp"
 #include "obs/quality.hpp"
 #include "obs/trace.hpp"
+#include "serve/client.hpp"
+#include "serve/config.hpp"
+#include "serve/server.hpp"
+#include "serve/signals.hpp"
 #include "service/fill_service.hpp"
 #include "service/layout_io.hpp"
 #include "service/manifest.hpp"
@@ -677,13 +681,38 @@ int batchImpl(const Args& args) {
   std::vector<service::JobResult> results;
   service::ServiceStats stats;
   int resolvedThreadsPerJob = 0;
+  // SIGINT/SIGTERM drain: stop submitting, cancel queued + running jobs
+  // through their CancelTokens, then report what did finish and exit
+  // nonzero — never kill workers mid-write.
+  const bool signalsInstalled = serve::installSignalHandlers(false);
+  std::atomic<bool> interrupted{false};
   {
     service::FillService svc(so);
     resolvedThreadsPerJob = svc.threadsPerJob();
-    for (service::JobSpec& job : manifest.jobs) svc.submit(std::move(job));
+    std::atomic<bool> watcherStop{false};
+    std::thread watcher;
+    if (signalsInstalled) {
+      watcher = std::thread([&] {
+        while (!watcherStop.load(std::memory_order_acquire)) {
+          if (serve::waitSignal(0.2) == serve::SignalKind::kDrain) {
+            interrupted.store(true, std::memory_order_release);
+            std::fprintf(stderr, "batch: interrupted, draining...\n");
+            svc.cancelAll();
+            return;
+          }
+        }
+      });
+    }
+    for (service::JobSpec& job : manifest.jobs) {
+      if (interrupted.load(std::memory_order_acquire)) break;
+      svc.submit(std::move(job));
+    }
     results = svc.waitAll();
     stats = svc.stats();
+    watcherStop.store(true, std::memory_order_release);
+    if (watcher.joinable()) watcher.join();
   }
+  if (signalsInstalled) serve::uninstallSignalHandlers();
 
   if (dumpThread.joinable()) {
     {
@@ -724,6 +753,7 @@ int batchImpl(const Args& args) {
     const int rc = emitProfile("batch", args, stats.profile);
     if (rc != 0) return rc;
   }
+  if (interrupted.load(std::memory_order_acquire)) return 130;
   return allOk ? 0 : 1;
 }
 
@@ -821,6 +851,127 @@ int fuzzImpl(const Args& args) {
   return stats.failures.empty() ? 0 : 1;
 }
 
+int serveImpl(const Args& args) {
+  serve::ServeConfig cfg;
+  if (const auto cfgPath = args.get("config");
+      cfgPath.has_value() && !cfgPath->empty()) {
+    std::vector<std::string> errors;
+    const bool loaded = serve::ServeConfig::loadFile(*cfgPath, &cfg, &errors);
+    for (const std::string& e : errors) {
+      std::fprintf(stderr, "serve: %s: %s\n", cfgPath->c_str(), e.c_str());
+    }
+    if (!loaded || !errors.empty()) return 2;
+  }
+  // Flags override the file.
+  cfg.host = args.getOr("host", cfg.host);
+  cfg.port = static_cast<int>(args.getIntChecked("port", cfg.port));
+  cfg.jobs = static_cast<int>(args.getIntChecked("jobs", cfg.jobs));
+  cfg.threadsPerJob = static_cast<int>(
+      args.getIntChecked("threads-per-job", cfg.threadsPerJob));
+  cfg.cacheBytes = static_cast<std::size_t>(args.getIntChecked(
+                       "cache-mb",
+                       static_cast<long long>(cfg.cacheBytes >> 20)))
+                   << 20;
+  cfg.cacheDir = args.getOr("cache-dir", cfg.cacheDir);
+  cfg.persistentCacheBytes =
+      static_cast<std::size_t>(args.getIntChecked(
+          "persist-mb",
+          static_cast<long long>(cfg.persistentCacheBytes >> 20)))
+      << 20;
+  cfg.maxConnections = static_cast<int>(
+      args.getIntChecked("max-connections", cfg.maxConnections));
+  cfg.maxInflightPerClient = static_cast<int>(
+      args.getIntChecked("max-inflight", cfg.maxInflightPerClient));
+  cfg.defaultTimeoutSeconds =
+      args.getDoubleChecked("timeout-s", cfg.defaultTimeoutSeconds);
+
+  serve::Server server(cfg);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "serve: %s\n", error.c_str());
+    return 1;
+  }
+  if (!serve::installSignalHandlers(/*withReload=*/true)) {
+    std::fprintf(stderr, "serve: cannot install signal handlers\n");
+    return 1;
+  }
+  std::printf("serve: listening on %s:%d\n", cfg.host.c_str(), server.port());
+  if (server.persistentCache() != nullptr) {
+    std::printf("serve: persistent cache at %s\n",
+                server.persistentCache()->dir().c_str());
+  }
+  std::fflush(stdout);
+
+  while (true) {
+    const serve::SignalKind sig = serve::waitSignal(0.2);
+    if (sig == serve::SignalKind::kDrain || server.shutdownRequested()) break;
+    if (sig == serve::SignalKind::kReload) {
+      const std::string summary = server.reload();
+      std::printf("serve: %s\n", summary.c_str());
+      std::fflush(stdout);
+    }
+  }
+  std::printf("serve: draining...\n");
+  std::fflush(stdout);
+  server.drain();
+  const serve::Server::Counters c = server.counters();
+  std::printf("serve: drained; %llu connections, %llu requests, %llu jobs "
+              "(%llu rejected, %llu cancelled by disconnect)\n",
+              static_cast<unsigned long long>(c.connectionsAccepted),
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.jobsSubmitted),
+              static_cast<unsigned long long>(c.jobsRejected),
+              static_cast<unsigned long long>(c.jobsCancelledByDisconnect));
+  serve::uninstallSignalHandlers();
+  return 0;
+}
+
+int submitImpl(const Args& args) {
+  const int port = static_cast<int>(args.getIntChecked("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "submit: missing --port <port>\n");
+    return 2;
+  }
+  serve::Request req;
+  const std::string type = args.getOr("type", "fill");
+  const auto parsedType = serve::Request::typeFromName(type);
+  if (!parsedType.has_value()) {
+    std::fprintf(stderr, "submit: unknown --type %s\n", type.c_str());
+    return 2;
+  }
+  req.type = *parsedType;
+  req.client = args.getOr("client", "");
+  req.spec = args.getOr("spec", "");
+  req.timeoutSeconds = args.getDoubleChecked("timeout-s", 0.0);
+  req.suite = args.getOr("suite", "s");
+  req.determinism = args.hasFlag("determinism");
+  req.jobId = args.getIntChecked("job-id", -1);
+  if (const auto changed = args.get("changed"); changed.has_value()) {
+    long long v[4];
+    if (std::sscanf(changed->c_str(), "%lld,%lld,%lld,%lld", &v[0], &v[1],
+                    &v[2], &v[3]) != 4) {
+      std::fprintf(stderr, "submit: --changed expects xl,yl,xh,yh\n");
+      return 2;
+    }
+    req.changed = geom::Rect{v[0], v[1], v[2], v[3]};
+    req.hasChanged = true;
+  }
+
+  serve::Client client(args.getOr("host", "127.0.0.1"), port,
+                       args.getDoubleChecked("connect-timeout-s", 30.0));
+  if (!client.connected()) {
+    std::fprintf(stderr, "submit: %s\n", client.error().c_str());
+    return 1;
+  }
+  const auto resp = client.call(req);
+  if (!resp.has_value()) {
+    std::fprintf(stderr, "submit: %s\n", client.error().c_str());
+    return 1;
+  }
+  std::printf("%s\n", resp->raw.c_str());
+  return resp->ok ? 0 : 1;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -889,7 +1040,28 @@ std::string usage() {
       "      Run the seeded random-layout fuzzer over the full\n"
       "      fill->evaluate pipeline; failures are shrunk to minimal\n"
       "      repros in DIR (default fuzz-repros). --replay re-runs one\n"
-      "      repro file and reports its verdict.\n";
+      "      repro file and reports its verdict.\n"
+      "  serve --port P [--host H] [--config FILE] [--jobs N]\n"
+      "       [--threads-per-job M] [--cache-mb K] [--cache-dir DIR]\n"
+      "       [--persist-mb K] [--max-connections N] [--max-inflight N]\n"
+      "       [--timeout-s S]\n"
+      "      Run the fill daemon: accepts fill/eco/check jobs from\n"
+      "      concurrent clients over a length-prefixed JSON protocol\n"
+      "      (frame format: docs/architecture.md). --port 0 binds an\n"
+      "      ephemeral port (printed on stdout). --cache-dir persists the\n"
+      "      result cache across restarts (integrity-checked; corrupt\n"
+      "      entries quarantined). SIGTERM/SIGINT drain gracefully (finish\n"
+      "      in-flight jobs, exit 0); SIGHUP or a reload request re-reads\n"
+      "      --config.\n"
+      "  submit --port P [--host H] [--type fill|eco|check|ping|stats|\n"
+      "       metrics|metrics-json|trace|reload|shutdown]\n"
+      "       [--spec \"in.gds --out out.gds [fill options]\"]\n"
+      "       [--changed xl,yl,xh,yh] [--client NAME] [--timeout-s S]\n"
+      "       [--suite s|b|m] [--determinism] [--job-id N]\n"
+      "      Send one request to a running daemon and print the JSON\n"
+      "      response; exits 0 only when the server reports ok. --spec\n"
+      "      uses the batch manifest line syntax, so a served job is\n"
+      "      byte-identical to the matching `openfill fill` run.\n";
 }
 
 int run(const Args& args) {
@@ -908,6 +1080,8 @@ int run(const Args& args) {
   if (command == "batch") return runBatch(args);
   if (command == "check") return runCheck(args);
   if (command == "fuzz") return runFuzz(args);
+  if (command == "serve") return runServe(args);
+  if (command == "submit") return runSubmit(args);
   std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
                usage().c_str());
   return 2;
@@ -942,6 +1116,12 @@ int runCheck(const Args& args) {
 }
 int runFuzz(const Args& args) {
   return guarded("fuzz", [&] { return fuzzImpl(args); });
+}
+int runServe(const Args& args) {
+  return guarded("serve", [&] { return serveImpl(args); });
+}
+int runSubmit(const Args& args) {
+  return guarded("submit", [&] { return submitImpl(args); });
 }
 
 }  // namespace ofl::cli

@@ -11,6 +11,8 @@
 //   openfill batch    --manifest jobs.txt --out-dir DIR [--jobs N]
 //   openfill check    --in filled.gds --suite s [--json] [--inject CLASS]
 //   openfill fuzz     [--seeds N] [--minutes M] [--corpus DIR]
+//   openfill serve    --port P [--config FILE] [--cache-dir DIR]
+//   openfill submit   --port P --type fill --spec "wires.gds --out f.gds"
 //
 // Malformed numeric option values are hard errors: the command prints a
 // message naming the option and exits with status 2 (Args::getIntChecked).
@@ -36,6 +38,8 @@ int runCompare(const Args& args);
 int runBatch(const Args& args);
 int runCheck(const Args& args);
 int runFuzz(const Args& args);
+int runServe(const Args& args);
+int runSubmit(const Args& args);
 
 /// Usage text.
 std::string usage();

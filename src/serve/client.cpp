@@ -1,0 +1,50 @@
+#include "serve/client.hpp"
+
+#include "serve/frame.hpp"
+
+namespace ofl::serve {
+
+Client::Client(std::string host, int port, double timeoutSeconds)
+    : timeout_(timeoutSeconds) {
+  fd_ = connectTo(host, port, timeoutSeconds, &error_);
+}
+
+std::optional<ParsedResponse> Client::call(const Request& req) {
+  return callRaw(req.toJson());
+}
+
+std::optional<ParsedResponse> Client::callRaw(const std::string& payload) {
+  if (!fd_.valid()) {
+    if (error_.empty()) error_ = "not connected";
+    return std::nullopt;
+  }
+  std::string detail;
+  if (!writeFrame(fd_.get(), payload, timeout_, &detail)) {
+    error_ = "write failed: " + detail;
+    fd_.reset();
+    return std::nullopt;
+  }
+  std::string response;
+  // Job calls block until the job finishes server-side, which can far
+  // exceed the transport timeout — wait for the first response byte
+  // without a deadline, then apply the timeout to the frame body.
+  const int ready = waitReadable(fd_.get(), -1.0);
+  if (ready < 0) {
+    error_ = "connection closed while waiting for response";
+    fd_.reset();
+    return std::nullopt;
+  }
+  const FrameStatus st =
+      readFrame(fd_.get(), &response, timeout_, kDefaultMaxFrameBytes, &detail);
+  if (st != FrameStatus::kOk) {
+    error_ = std::string("read failed: ") + toString(st);
+    if (!detail.empty()) error_ += " (" + detail + ")";
+    fd_.reset();
+    return std::nullopt;
+  }
+  auto parsed = ParsedResponse::parse(response);
+  if (!parsed.has_value()) error_ = "malformed response: " + response;
+  return parsed;
+}
+
+}  // namespace ofl::serve

@@ -1,0 +1,39 @@
+// Thin synchronous client for the fill daemon: one connection, one
+// request/response at a time over the length-prefixed JSON framing.
+// Used by `openfill submit`, bench_serve and the serve tests.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace ofl::serve {
+
+class Client {
+ public:
+  /// `timeoutSeconds` bounds connect and each call's read/write.
+  Client(std::string host, int port, double timeoutSeconds = 30.0);
+
+  bool connected() const { return fd_.valid(); }
+  const std::string& error() const { return error_; }
+
+  /// Sends one request and waits for its response. nullopt on transport
+  /// failure (error() explains); a server-side failure still parses —
+  /// check ParsedResponse::ok.
+  std::optional<ParsedResponse> call(const Request& req);
+  /// Raw variant for tests that need to send hand-crafted payloads.
+  std::optional<ParsedResponse> callRaw(const std::string& payload);
+
+  /// The underlying socket (tests poke it to simulate disconnects).
+  int fd() const { return fd_.get(); }
+  void close() { fd_.reset(); }
+
+ private:
+  Fd fd_;
+  double timeout_;
+  std::string error_;
+};
+
+}  // namespace ofl::serve

@@ -1,0 +1,164 @@
+#include "serve/config.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ofl::serve {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+bool parseInt(const std::string& v, long long* out) {
+  char* end = nullptr;
+  const long long n = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = n;
+  return true;
+}
+
+bool parseDouble(const std::string& v, double* out) {
+  char* end = nullptr;
+  const double d = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return false;
+  *out = d;
+  return true;
+}
+
+// Byte sizes accept an optional K/M/G suffix (binary).
+bool parseBytes(const std::string& v, std::size_t* out) {
+  std::string num = v;
+  std::size_t mult = 1;
+  if (!num.empty()) {
+    const char c = num.back();
+    if (c == 'K' || c == 'k') mult = 1u << 10;
+    if (c == 'M' || c == 'm') mult = 1u << 20;
+    if (c == 'G' || c == 'g') mult = 1u << 30;
+    if (mult != 1) num.pop_back();
+  }
+  long long n = 0;
+  if (!parseInt(num, &n) || n < 0) return false;
+  *out = static_cast<std::size_t>(n) * mult;
+  return true;
+}
+
+}  // namespace
+
+bool ServeConfig::loadFile(const std::string& path, ServeConfig* out,
+                           std::vector<std::string>* errors) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    errors->push_back("cannot open config file: " + path);
+    return false;
+  }
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      errors->push_back("line " + std::to_string(lineNo) +
+                        ": expected key = value");
+      continue;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string val = trim(line.substr(eq + 1));
+    bool bad = false;
+    long long n = 0;
+    if (key == "host") {
+      out->host = val;
+    } else if (key == "port") {
+      bad = !parseInt(val, &n) || n < 0 || n > 65535;
+      if (!bad) out->port = static_cast<int>(n);
+    } else if (key == "jobs") {
+      bad = !parseInt(val, &n) || n < 1;
+      if (!bad) out->jobs = static_cast<int>(n);
+    } else if (key == "threads_per_job") {
+      bad = !parseInt(val, &n) || n < 0;
+      if (!bad) out->threadsPerJob = static_cast<int>(n);
+    } else if (key == "queue_capacity") {
+      bad = !parseInt(val, &n) || n < 1;
+      if (!bad) out->queueCapacity = static_cast<std::size_t>(n);
+    } else if (key == "cache_bytes") {
+      bad = !parseBytes(val, &out->cacheBytes);
+    } else if (key == "cache_dir") {
+      out->cacheDir = val;
+    } else if (key == "persistent_cache_bytes") {
+      bad = !parseBytes(val, &out->persistentCacheBytes);
+    } else if (key == "max_connections") {
+      bad = !parseInt(val, &n) || n < 1;
+      if (!bad) out->maxConnections = static_cast<int>(n);
+    } else if (key == "default_timeout_s") {
+      bad = !parseDouble(val, &out->defaultTimeoutSeconds);
+    } else if (key == "max_inflight_per_client") {
+      bad = !parseInt(val, &n) || n < 1;
+      if (!bad) out->maxInflightPerClient = static_cast<int>(n);
+    } else if (key == "max_frame_bytes") {
+      bad = !parseBytes(val, &out->maxFrameBytes) || out->maxFrameBytes < 8;
+    } else if (key == "frame_timeout_s") {
+      bad = !parseDouble(val, &out->frameTimeoutSeconds);
+    } else if (key == "idle_timeout_s") {
+      bad = !parseDouble(val, &out->idleTimeoutSeconds);
+    } else if (key == "write_timeout_s") {
+      bad = !parseDouble(val, &out->writeTimeoutSeconds);
+    } else {
+      errors->push_back("line " + std::to_string(lineNo) + ": unknown key \"" +
+                        key + "\"");
+      continue;
+    }
+    if (bad) {
+      errors->push_back("line " + std::to_string(lineNo) + ": bad value for " +
+                        key + ": \"" + val + "\"");
+    }
+  }
+  out->configPath = path;
+  return true;
+}
+
+std::string ServeConfig::applyHotReload(const ServeConfig& fresh) {
+  std::ostringstream changed;
+  const auto note = [&changed](const char* key) {
+    if (changed.tellp() > 0) changed << ", ";
+    changed << key;
+  };
+  if (defaultTimeoutSeconds != fresh.defaultTimeoutSeconds) {
+    defaultTimeoutSeconds = fresh.defaultTimeoutSeconds;
+    note("default_timeout_s");
+  }
+  if (maxInflightPerClient != fresh.maxInflightPerClient) {
+    maxInflightPerClient = fresh.maxInflightPerClient;
+    note("max_inflight_per_client");
+  }
+  if (maxFrameBytes != fresh.maxFrameBytes) {
+    maxFrameBytes = fresh.maxFrameBytes;
+    note("max_frame_bytes");
+  }
+  if (frameTimeoutSeconds != fresh.frameTimeoutSeconds) {
+    frameTimeoutSeconds = fresh.frameTimeoutSeconds;
+    note("frame_timeout_s");
+  }
+  if (idleTimeoutSeconds != fresh.idleTimeoutSeconds) {
+    idleTimeoutSeconds = fresh.idleTimeoutSeconds;
+    note("idle_timeout_s");
+  }
+  if (writeTimeoutSeconds != fresh.writeTimeoutSeconds) {
+    writeTimeoutSeconds = fresh.writeTimeoutSeconds;
+    note("write_timeout_s");
+  }
+  std::string summary = changed.str();
+  return summary.empty() ? "no hot-reloadable changes" : "reloaded: " + summary;
+}
+
+}  // namespace ofl::serve

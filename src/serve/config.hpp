@@ -1,0 +1,51 @@
+// Daemon configuration for `openfill serve`.
+//
+// Sources, later wins: built-in defaults -> --config FILE (simple
+// `key = value` lines, '#' comments) -> command-line flags. A SIGHUP or a
+// `reload` admin request re-reads the file and applies the HOT-RELOADABLE
+// subset live (job timeouts, per-client admission limit, frame limits,
+// idle timeout); the cold settings (port, worker counts, cache
+// sizes/directory) keep their boot values until restart.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ofl::serve {
+
+struct ServeConfig {
+  // --- cold (boot-only) ---
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral (resolved port printed / queryable)
+  int jobs = 1;             // concurrent engine jobs (Scheduler workers)
+  int threadsPerJob = 0;    // engine threads per job (0 = split cores)
+  std::size_t queueCapacity = 64;
+  std::size_t cacheBytes = 64u << 20;         // in-memory result cache
+  std::string cacheDir;                       // empty = no persistence
+  std::size_t persistentCacheBytes = 256u << 20;  // on-disk budget
+  int maxConnections = 64;
+
+  // --- hot-reloadable ---
+  double defaultTimeoutSeconds = 0.0;  // per-job deadline (0 = none)
+  int maxInflightPerClient = 4;        // admission: jobs in flight per client
+  std::size_t maxFrameBytes = 16u << 20;
+  double frameTimeoutSeconds = 10.0;  // whole-frame deadline (slow loris)
+  double idleTimeoutSeconds = 300.0;  // between requests (0 = forever)
+  double writeTimeoutSeconds = 30.0;  // response write deadline
+
+  /// The file this config was loaded from ("" = none); reload re-reads it.
+  std::string configPath;
+
+  /// Parses a config file into `*out` (on top of its current values).
+  /// Unknown keys and malformed values are collected into `*errors` with
+  /// line numbers; returns false when the file cannot be read.
+  static bool loadFile(const std::string& path, ServeConfig* out,
+                       std::vector<std::string>* errors);
+
+  /// Applies the hot-reloadable subset of `fresh` to `*this`. Returns a
+  /// human-readable summary of what changed.
+  std::string applyHotReload(const ServeConfig& fresh);
+};
+
+}  // namespace ofl::serve

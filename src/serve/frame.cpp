@@ -1,0 +1,80 @@
+#include "serve/frame.hpp"
+
+#include "serve/net.hpp"
+
+namespace ofl::serve {
+
+const char* toString(FrameStatus s) {
+  switch (s) {
+    case FrameStatus::kOk: return "ok";
+    case FrameStatus::kEof: return "eof";
+    case FrameStatus::kTooLarge: return "frame too large";
+    case FrameStatus::kBadFrame: return "malformed frame";
+    case FrameStatus::kTimeout: return "timed out";
+    case FrameStatus::kIo: return "io error";
+  }
+  return "?";
+}
+
+void encodeLength(std::uint32_t n, unsigned char out[4]) {
+  out[0] = static_cast<unsigned char>((n >> 24) & 0xff);
+  out[1] = static_cast<unsigned char>((n >> 16) & 0xff);
+  out[2] = static_cast<unsigned char>((n >> 8) & 0xff);
+  out[3] = static_cast<unsigned char>(n & 0xff);
+}
+
+std::uint32_t decodeLength(const unsigned char in[4]) {
+  return (static_cast<std::uint32_t>(in[0]) << 24) |
+         (static_cast<std::uint32_t>(in[1]) << 16) |
+         (static_cast<std::uint32_t>(in[2]) << 8) |
+         static_cast<std::uint32_t>(in[3]);
+}
+
+FrameStatus readFrame(int fd, std::string* payload, double timeoutSeconds,
+                      std::size_t maxBytes, std::string* detail) {
+  unsigned char header[4];
+  std::string err;
+  const long long h = readFull(fd, header, sizeof(header), timeoutSeconds, &err);
+  if (h == 0) return FrameStatus::kEof;
+  if (h < 0) {
+    if (detail != nullptr) *detail = err;
+    return err.find("timed out") != std::string::npos ? FrameStatus::kTimeout
+                                                      : FrameStatus::kBadFrame;
+  }
+  const std::uint32_t n = decodeLength(header);
+  if (n == 0) {
+    if (detail != nullptr) *detail = "zero-length frame";
+    return FrameStatus::kBadFrame;
+  }
+  if (n > maxBytes) {
+    if (detail != nullptr) {
+      *detail = "frame of " + std::to_string(n) + " bytes exceeds limit of " +
+                std::to_string(maxBytes);
+    }
+    return FrameStatus::kTooLarge;
+  }
+  payload->resize(n);
+  const long long b = readFull(fd, payload->data(), n, timeoutSeconds, &err);
+  if (b != static_cast<long long>(n)) {
+    if (detail != nullptr) *detail = err.empty() ? "truncated frame" : err;
+    payload->clear();
+    return err.find("timed out") != std::string::npos ? FrameStatus::kTimeout
+                                                      : FrameStatus::kBadFrame;
+  }
+  return FrameStatus::kOk;
+}
+
+bool writeFrame(int fd, const std::string& payload, double timeoutSeconds,
+                std::string* detail) {
+  if (payload.empty() || payload.size() > 0xffffffffull) {
+    if (detail != nullptr) *detail = "payload size out of range";
+    return false;
+  }
+  unsigned char header[4];
+  encodeLength(static_cast<std::uint32_t>(payload.size()), header);
+  std::string frame(reinterpret_cast<const char*>(header), sizeof(header));
+  frame += payload;
+  return writeFull(fd, frame.data(), frame.size(), timeoutSeconds, detail);
+}
+
+}  // namespace ofl::serve

@@ -1,0 +1,51 @@
+// Length-prefixed JSON framing for the fill daemon's wire protocol.
+//
+// A frame is a 4-byte big-endian payload length followed by that many
+// bytes of UTF-8 JSON. The length may not be zero and may not exceed the
+// reader's `maxBytes` (default 16 MiB) — a hostile or corrupt length
+// prefix is rejected before any allocation of that size. Reads are
+// deadline-bounded end to end: once the first byte of a frame arrives the
+// whole frame must land within the deadline, so a slow-loris client that
+// dribbles one byte per second cannot pin a connection handler forever.
+//
+// Errors are deliberately coarse: the daemon maps every failure to "log,
+// best-effort error frame, close connection" — a malformed client must
+// never crash or wedge the server (tests/serve/protocol_hardening).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ofl::serve {
+
+/// Hard ceiling a reader enforces on the advertised payload length.
+constexpr std::size_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameStatus {
+  kOk,
+  kEof,       // clean close at a frame boundary (no bytes of a new frame)
+  kTooLarge,  // advertised length exceeds maxBytes
+  kBadFrame,  // zero length, or the connection died mid-frame
+  kTimeout,   // deadline expired (slow loris / stalled peer)
+  kIo,        // socket error
+};
+
+const char* toString(FrameStatus s);
+
+/// Reads one frame into `*payload`. `timeoutSeconds` bounds the whole
+/// frame (<= 0 waits forever); `maxBytes` bounds the advertised length.
+FrameStatus readFrame(int fd, std::string* payload, double timeoutSeconds,
+                      std::size_t maxBytes = kDefaultMaxFrameBytes,
+                      std::string* detail = nullptr);
+
+/// Writes one frame. False on error/timeout (detail set when non-null).
+bool writeFrame(int fd, const std::string& payload, double timeoutSeconds,
+                std::string* detail = nullptr);
+
+/// Encodes the 4-byte length prefix (exposed for tests that hand-craft
+/// malformed frames).
+void encodeLength(std::uint32_t n, unsigned char out[4]);
+std::uint32_t decodeLength(const unsigned char in[4]);
+
+}  // namespace ofl::serve

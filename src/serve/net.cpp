@@ -1,0 +1,248 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace ofl::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string errnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Remaining whole milliseconds until `deadline`; -1 when no deadline.
+int remainingMs(bool hasDeadline, Clock::time_point deadline) {
+  if (!hasDeadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  const long long ms = left.count();
+  if (ms <= 0) return 0;
+  return ms > 1'000'000 ? 1'000'000 : static_cast<int>(ms);
+}
+
+bool parseAddr(const std::string& host, int port, sockaddr_in* addr,
+               std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(static_cast<std::uint16_t>(port));
+  const std::string h = host.empty() ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, h.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = "invalid IPv4 address: " + h;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Fd& Fd::operator=(Fd&& o) noexcept {
+  if (this != &o) {
+    reset();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+int Fd::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Fd::reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Fd listenOn(const std::string& host, int port, int* resolvedPort,
+            std::string* error) {
+  sockaddr_in addr;
+  if (!parseAddr(host, port, &addr, error)) return Fd();
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    *error = errnoString("socket");
+    return Fd();
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = errnoString("bind");
+    return Fd();
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    *error = errnoString("listen");
+    return Fd();
+  }
+  sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) !=
+      0) {
+    *error = errnoString("getsockname");
+    return Fd();
+  }
+  *resolvedPort = static_cast<int>(ntohs(bound.sin_port));
+  return fd;
+}
+
+Fd acceptOn(int listenFd) {
+  return Fd(::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC));
+}
+
+Fd connectTo(const std::string& host, int port, double timeoutSeconds,
+             std::string* error) {
+  sockaddr_in addr;
+  if (!parseAddr(host, port, &addr, error)) return Fd();
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) {
+    *error = errnoString("socket");
+    return Fd();
+  }
+  // Non-blocking connect + poll so a dead host honors the deadline.
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    *error = errnoString("connect");
+    return Fd();
+  }
+  if (rc != 0) {
+    pollfd p{fd.get(), POLLOUT, 0};
+    const int ms = timeoutSeconds > 0
+                       ? static_cast<int>(timeoutSeconds * 1000.0)
+                       : -1;
+    rc = ::poll(&p, 1, ms);
+    if (rc <= 0) {
+      *error = rc == 0 ? "connect: timed out" : errnoString("poll");
+      return Fd();
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    ::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soError, &len);
+    if (soError != 0) {
+      *error = std::string("connect: ") + std::strerror(soError);
+      return Fd();
+    }
+  }
+  ::fcntl(fd.get(), F_SETFL, flags);
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+int waitReadable(int fd, double timeoutSeconds) {
+  pollfd p{fd, POLLIN, 0};
+  const int ms = timeoutSeconds < 0
+                     ? -1
+                     : static_cast<int>(timeoutSeconds * 1000.0);
+  const int rc = ::poll(&p, 1, ms);
+  if (rc == 0) return 0;
+  if (rc < 0) return errno == EINTR ? 0 : -1;
+  if ((p.revents & (POLLIN | POLLHUP)) != 0) return 1;
+  return -1;  // POLLERR / POLLNVAL
+}
+
+bool peerClosed(int fd) {
+  char c;
+  const long long n = ::recv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (n == 0) return true;
+  if (n > 0) return false;
+  return !(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR);
+}
+
+long long readFull(int fd, void* buf, std::size_t n, double timeoutSeconds,
+                   std::string* error) {
+  const bool hasDeadline = timeoutSeconds > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             hasDeadline ? timeoutSeconds : 0.0));
+  std::size_t got = 0;
+  char* out = static_cast<char*>(buf);
+  while (got < n) {
+    pollfd p{fd, POLLIN, 0};
+    const int ms = remainingMs(hasDeadline, deadline);
+    if (ms == 0) {
+      if (error != nullptr) *error = "read: timed out";
+      return -1;
+    }
+    const int rc = ::poll(&p, 1, ms);
+    if (rc == 0) {
+      if (error != nullptr) *error = "read: timed out";
+      return -1;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errnoString("poll");
+      return -1;
+    }
+    const long long r = ::recv(fd, out + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0) return 0;  // clean EOF at a frame boundary
+      if (error != nullptr) *error = "read: connection closed mid-buffer";
+      return -1;
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (error != nullptr) *error = errnoString("recv");
+      return -1;
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return static_cast<long long>(got);
+}
+
+bool writeFull(int fd, const void* buf, std::size_t n, double timeoutSeconds,
+               std::string* error) {
+  const bool hasDeadline = timeoutSeconds > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             hasDeadline ? timeoutSeconds : 0.0));
+  std::size_t sent = 0;
+  const char* in = static_cast<const char*>(buf);
+  while (sent < n) {
+    pollfd p{fd, POLLOUT, 0};
+    const int ms = remainingMs(hasDeadline, deadline);
+    if (ms == 0) {
+      if (error != nullptr) *error = "write: timed out";
+      return false;
+    }
+    const int rc = ::poll(&p, 1, ms);
+    if (rc == 0) {
+      if (error != nullptr) *error = "write: timed out";
+      return false;
+    }
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      if (error != nullptr) *error = errnoString("poll");
+      return false;
+    }
+    const long long w = ::send(fd, in + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      if (error != nullptr) *error = errnoString("send");
+      return false;
+    }
+    sent += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void shutdownRead(int fd) { ::shutdown(fd, SHUT_RD); }
+void shutdownWrite(int fd) { ::shutdown(fd, SHUT_WR); }
+
+}  // namespace ofl::serve

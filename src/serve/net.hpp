@@ -1,0 +1,78 @@
+// Minimal POSIX TCP helpers for the fill daemon (src/serve).
+//
+// Everything the serve subsystem needs from the socket API, wrapped so the
+// server, client and tests never touch raw ::socket calls: an owning fd
+// handle, bind/listen on a host:port (port 0 = ephemeral, resolved port
+// readable afterwards), accept and connect, and deadline-bounded
+// read/write loops built on poll(2). All functions are loopback/IPv4 —
+// the daemon is a trusted-network tool, not an internet-facing server
+// (docs/architecture.md, "Fill as a service").
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace ofl::serve {
+
+/// Owning file-descriptor handle (move-only; closes on destruction).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release();
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket on `host:port` (SO_REUSEADDR, backlog
+/// 64). `port` 0 binds an ephemeral port; `*resolvedPort` (never null)
+/// receives the actual port. Returns an invalid Fd and sets `*error` on
+/// failure.
+Fd listenOn(const std::string& host, int port, int* resolvedPort,
+            std::string* error);
+
+/// Accepts one connection; blocks. Returns an invalid Fd on error (the
+/// caller decides whether that is fatal — EINTR/ECONNABORTED are not).
+Fd acceptOn(int listenFd);
+
+/// Connects to `host:port` with a deadline. Returns an invalid Fd and
+/// sets `*error` on failure.
+Fd connectTo(const std::string& host, int port, double timeoutSeconds,
+             std::string* error);
+
+/// poll(2) the fd for readability up to `timeoutSeconds` (< 0 = forever).
+/// Returns +1 readable, 0 timeout, -1 error/hangup-with-no-data.
+int waitReadable(int fd, double timeoutSeconds);
+
+/// True when the peer has closed its end (recv(MSG_PEEK) == 0). Pending
+/// unread data (e.g. a pipelined request) reports false: the connection
+/// is still alive.
+bool peerClosed(int fd);
+
+/// Reads exactly `n` bytes with a per-call deadline (`timeoutSeconds`
+/// <= 0 = no deadline). Returns n on success, 0 on clean EOF before any
+/// byte, -1 on error/timeout/mid-buffer EOF (`*error` set when non-null).
+long long readFull(int fd, void* buf, std::size_t n, double timeoutSeconds,
+                   std::string* error);
+
+/// Writes all `n` bytes with a deadline. False on error/timeout.
+bool writeFull(int fd, const void* buf, std::size_t n, double timeoutSeconds,
+               std::string* error);
+
+/// Half-closes the read side so a blocked reader wakes with EOF; used by
+/// the server drain to nudge idle connections.
+void shutdownRead(int fd);
+void shutdownWrite(int fd);
+
+}  // namespace ofl::serve

@@ -1,0 +1,92 @@
+// Persistent on-disk result store backing the in-memory ResultCache.
+//
+// The daemon points this at a directory; every cached fill solution is
+// written through as one file named `<16-hex-key>.ofc` containing a
+// fixed header (magic, version, key, payload length, FNV-1a payload
+// hash) followed by the serialized solution (per-layer fill rects plus
+// the producing run's report scalars). A restart re-opens the same
+// directory, re-validates every entry header and rebuilds the index, so
+// a resubmitted job hits without re-running the engine — the counters
+// report these as persistent hits (`cache.persistent_hits`).
+//
+// Integrity: load() re-reads the payload and recomputes the hash on every
+// probe; an entry whose header, size, or hash disagrees is QUARANTINED —
+// moved into `<dir>/quarantine/` (best-effort delete on failure) and
+// counted, never served. A bit flip on disk degrades to a cache miss.
+//
+// Budget: the directory is LRU-bounded by `byteBudget` (payload+header
+// bytes on disk). Recency is tracked in memory and persisted via file
+// mtimes (touch on hit), so the LRU order approximately survives
+// restarts. Eviction deletes files oldest-first until under budget.
+//
+// Thread-safety: one mutex around index and filesystem mutations;
+// concurrent load()s of distinct keys serialize on it (entries are
+// small — hundreds of KB — so a probe holds the lock only briefly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "service/result_cache.hpp"
+
+namespace ofl::serve {
+
+class PersistentCache : public service::ResultStore {
+ public:
+  /// Opens (creating if needed) `dir`. `byteBudget` bounds the on-disk
+  /// footprint; 0 disables persistence entirely (load misses, store
+  /// drops). Existing entries are validated lazily on first load.
+  PersistentCache(std::string dir, std::size_t byteBudget);
+
+  /// False when the directory could not be created/opened; the daemon
+  /// refuses to start with a broken cache dir.
+  bool ok() const { return ok_; }
+  const std::string& error() const { return error_; }
+  const std::string& dir() const { return dir_; }
+
+  std::shared_ptr<const service::CachedFill> load(std::uint64_t key) override;
+  void store(std::uint64_t key, const service::CachedFill& entry) override;
+
+  struct Counters {
+    std::uint64_t loads = 0;
+    std::uint64_t loadHits = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t quarantined = 0;
+    std::size_t entries = 0;
+    std::size_t bytesUsed = 0;
+    std::size_t byteBudget = 0;
+  };
+  Counters counters() const;
+
+  /// Serialization used by the entry files (exposed for tests).
+  static std::string serialize(const service::CachedFill& entry);
+  static std::shared_ptr<const service::CachedFill> deserialize(
+      const std::string& payload);
+
+ private:
+  struct IndexEntry {
+    std::size_t fileBytes = 0;
+    std::uint64_t lastUse = 0;  // monotonic use counter (LRU order)
+  };
+
+  std::string pathFor(std::uint64_t key) const;
+  void scanLocked();
+  void evictOverBudgetLocked();
+  void quarantineLocked(std::uint64_t key, const std::string& reason);
+
+  std::string dir_;
+  std::size_t budget_ = 0;
+  bool ok_ = false;
+  std::string error_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, IndexEntry> index_;
+  std::size_t bytesUsed_ = 0;
+  std::uint64_t useClock_ = 0;
+  Counters counters_;
+};
+
+}  // namespace ofl::serve

@@ -1,0 +1,128 @@
+// The `openfill serve` daemon core (docs/architecture.md, "Fill as a
+// service").
+//
+// One Server owns a listening socket, an accept thread, one handler
+// thread per connection, and a shared FillService whose ResultCache is
+// backed by the on-disk PersistentCache — so concurrent clients, and
+// clients across a daemon restart, share fill results by content hash.
+//
+// Request lifecycle (per connection, requests handled in order):
+//   read frame -> parse Request -> admission -> dispatch -> write frame.
+// Admission enforces a global connection cap and a per-client in-flight
+// job cap (Request::client); over-limit jobs get {"rejected":true} and
+// the connection stays open. While a job runs, the handler polls both the
+// job and the socket: a client that disconnects mid-job cancels it
+// through the service's CancelToken.
+//
+// Drain (SIGTERM / shutdown request): stop admitting (draining error
+// frames), cancel queued + running jobs, nudge idle connections awake,
+// join every handler, leave the write-through persistent cache intact,
+// return. The CLI then exits 0.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/config.hpp"
+#include "serve/net.hpp"
+#include "serve/persistent_cache.hpp"
+#include "serve/protocol.hpp"
+#include "service/fill_service.hpp"
+
+namespace ofl::serve {
+
+class Server {
+ public:
+  explicit Server(ServeConfig config);
+  ~Server();  // drains if still running
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and starts the accept thread. False + `*error` when
+  /// the port cannot be bound or the cache directory is unusable.
+  bool start(std::string* error);
+
+  /// The bound port (resolved when config.port was 0).
+  int port() const { return port_; }
+
+  /// True once a shutdown request or drain() stopped admission.
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+  /// Set by a {"type":"shutdown"} request; the owning loop should then
+  /// call drain().
+  bool shutdownRequested() const {
+    return shutdownRequested_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful shutdown: stop admitting, cancel in-flight jobs, join every
+  /// connection and the accept thread. Idempotent.
+  void drain();
+
+  /// Re-reads the config file (SIGHUP / {"type":"reload"}); returns a
+  /// summary of applied hot-reloadable keys or the load error.
+  std::string reload();
+
+  struct Counters {
+    std::uint64_t connectionsAccepted = 0;
+    std::uint64_t connectionsRejected = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t badFrames = 0;   // malformed/oversized/timed-out frames
+    std::uint64_t jobsSubmitted = 0;
+    std::uint64_t jobsRejected = 0;  // per-client admission
+    std::uint64_t jobsCancelledByDisconnect = 0;
+    std::size_t activeConnections = 0;
+  };
+  Counters counters() const;
+
+  service::FillService& service() { return *service_; }
+  const PersistentCache* persistentCache() const { return persist_.get(); }
+
+ private:
+  struct Conn {
+    Fd fd;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void acceptLoop();
+  void handleConnection(Conn* conn);
+  /// Dispatches one parsed request; returns the response payload.
+  std::string dispatch(const Request& req, int fd);
+  std::string runJobRequest(const Request& req, int fd);
+  std::string runCheckRequest(const Request& req);
+  std::string statsJson();
+  std::string traceJson(std::int64_t jobId) const;
+  void reapFinishedLocked();
+
+  ServeConfig config_;     // hot fields guarded by configMutex_
+  mutable std::mutex configMutex_;
+  double frameTimeout() const;
+  double writeTimeout() const;
+  double idleTimeout() const;
+  std::size_t maxFrame() const;
+  int maxInflightPerClient() const;
+  double defaultJobTimeout() const;
+
+  std::unique_ptr<PersistentCache> persist_;
+  std::unique_ptr<service::FillService> service_;
+
+  Fd listenFd_;
+  int port_ = 0;
+  std::thread acceptThread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdownRequested_{false};
+
+  mutable std::mutex mutex_;  // connections + counters + inflight
+  std::list<std::unique_ptr<Conn>> connections_;
+  std::map<std::string, int> inflightByClient_;
+  Counters counters_;
+};
+
+}  // namespace ofl::serve

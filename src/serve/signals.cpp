@@ -1,0 +1,102 @@
+#include "serve/signals.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cmath>
+
+namespace ofl::serve {
+
+namespace {
+
+// One pipe per process; handlers write a tag byte identifying the signal.
+int gPipe[2] = {-1, -1};
+bool gInstalled = false;
+bool gWithReload = false;
+
+constexpr char kTagDrain = 'd';
+constexpr char kTagReload = 'r';
+
+void onSignal(int sig) {
+  const char tag = (sig == SIGHUP) ? kTagReload : kTagDrain;
+  const int saved = errno;
+  // Best effort: a full pipe means a signal is already pending.
+  [[maybe_unused]] ssize_t n = ::write(gPipe[1], &tag, 1);
+  errno = saved;
+}
+
+bool setHandler(int sig, void (*fn)(int)) {
+  struct sigaction sa = {};
+  sa.sa_handler = fn;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = fn == SIG_DFL ? 0 : SA_RESTART;
+  return sigaction(sig, &sa, nullptr) == 0;
+}
+
+}  // namespace
+
+bool installSignalHandlers(bool withReload) {
+  if (gInstalled) return true;
+  if (::pipe(gPipe) != 0) return false;
+  for (const int end : gPipe) {
+    const int flags = ::fcntl(end, F_GETFL, 0);
+    ::fcntl(end, F_SETFL, flags | O_NONBLOCK);
+    ::fcntl(end, F_SETFD, FD_CLOEXEC);
+  }
+  setHandler(SIGTERM, &onSignal);
+  setHandler(SIGINT, &onSignal);
+  if (withReload) setHandler(SIGHUP, &onSignal);
+  setHandler(SIGPIPE, SIG_IGN);  // write errors surface as EPIPE instead
+  gWithReload = withReload;
+  gInstalled = true;
+  return true;
+}
+
+void uninstallSignalHandlers() {
+  if (!gInstalled) return;
+  setHandler(SIGTERM, SIG_DFL);
+  setHandler(SIGINT, SIG_DFL);
+  if (gWithReload) setHandler(SIGHUP, SIG_DFL);
+  ::close(gPipe[0]);
+  ::close(gPipe[1]);
+  gPipe[0] = gPipe[1] = -1;
+  gInstalled = false;
+}
+
+SignalKind pollSignal() { return waitSignal(0.0); }
+
+SignalKind waitSignal(double timeoutSeconds) {
+  if (!gInstalled) return SignalKind::kNone;
+  struct pollfd pfd = {};
+  pfd.fd = gPipe[0];
+  pfd.events = POLLIN;
+  const int timeoutMs =
+      timeoutSeconds < 0 ? -1
+                         : static_cast<int>(std::lround(timeoutSeconds * 1e3));
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeoutMs);
+  } while (rc < 0 && errno == EINTR && timeoutMs < 0);
+  if (rc <= 0) return SignalKind::kNone;
+  // Drain every pending byte; a drain request wins over reload.
+  char buf[16];
+  SignalKind kind = SignalKind::kNone;
+  ssize_t n;
+  while ((n = ::read(gPipe[0], buf, sizeof(buf))) > 0) {
+    for (ssize_t i = 0; i < n; ++i) {
+      if (buf[i] == kTagDrain) {
+        kind = SignalKind::kDrain;
+      } else if (kind == SignalKind::kNone) {
+        kind = SignalKind::kReload;
+      }
+    }
+  }
+  return kind;
+}
+
+int signalFd() { return gInstalled ? gPipe[0] : -1; }
+
+}  // namespace ofl::serve

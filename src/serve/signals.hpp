@@ -1,0 +1,34 @@
+// Self-pipe signal plumbing shared by `openfill serve` and `openfill
+// batch`. Installing handlers routes SIGTERM/SIGINT/SIGHUP onto a pipe
+// whose read end can be polled alongside sockets; the handlers only
+// write one byte, so everything else stays async-signal-safe.
+#pragma once
+
+namespace ofl::serve {
+
+enum class SignalKind {
+  kNone,   // poll timed out, no signal pending
+  kDrain,  // SIGTERM or SIGINT: stop admitting, finish in-flight, exit 0
+  kReload, // SIGHUP: re-read the config file
+};
+
+/// Installs handlers for SIGTERM, SIGINT and (when `withReload`) SIGHUP.
+/// Returns false if the pipe could not be created. Call once per process.
+bool installSignalHandlers(bool withReload);
+
+/// Restores default dispositions and closes the pipe (tests call this so
+/// repeated install/uninstall cycles stay balanced).
+void uninstallSignalHandlers();
+
+/// Waits up to `timeoutSeconds` (<0 = forever) for a pending signal and
+/// consumes it. Returns kNone on timeout.
+SignalKind waitSignal(double timeoutSeconds);
+
+/// Non-blocking probe: consumes and returns a pending signal, if any.
+SignalKind pollSignal();
+
+/// File descriptor of the pipe read end (-1 when not installed); poll it
+/// with POLLIN to multiplex signals with socket readiness.
+int signalFd();
+
+}  // namespace ofl::serve

@@ -26,7 +26,7 @@ double secondsBetween(Clock::time_point a, Clock::time_point b) {
 }  // namespace
 
 FillService::FillService(ServiceOptions options)
-    : options_(options), cache_(options.cacheBytes) {
+    : options_(options), cache_(options.cacheBytes, options.resultStore) {
   const int jobs = std::max(1, options_.maxConcurrentJobs);
   threadsPerJob_ =
       options_.threadsPerJob > 0
@@ -79,11 +79,30 @@ JobResult FillService::wait(std::uint64_t id) {
   return jobs_[id]->result;
 }
 
+bool FillService::waitFor(std::uint64_t id, double seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return done_.wait_for(
+      lock, std::chrono::duration<double>(seconds > 0 ? seconds : 0.0),
+      [&] { return id < jobs_.size() && jobs_[id]->done; });
+}
+
 bool FillService::cancel(std::uint64_t id) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (id >= jobs_.size() || jobs_[id]->done) return false;
   jobs_[id]->token.cancel();
   return true;
+}
+
+std::size_t FillService::cancelAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& job : jobs_) {
+    if (!job->done) {
+      job->token.cancel();
+      ++n;
+    }
+  }
+  return n;
 }
 
 std::vector<JobResult> FillService::waitAll() {
@@ -182,7 +201,16 @@ JobResult FillService::runJob(Job& job) const {
   engine.numThreads = threadsPerJob_;
   engine.cancel = &job.token;
   engine.jobId = static_cast<std::int64_t>(job.id);  // telemetry only
-  r.cacheKey = cacheKey(chip, engine);  // key ignores numThreads/cancel
+  const bool eco = spec.kind == JobKind::kEco;
+  if (eco && spec.ecoChanged.empty()) {
+    r.status = JobStatus::kFailed;
+    r.error = "eco job without a changed region";
+    return r;
+  }
+  // ECO keys cover the input fills and the changed rect on top of the
+  // wires+options fingerprint: an incremental result depends on all three.
+  r.cacheKey = eco ? ecoCacheKey(chip, engine, spec.ecoChanged)
+                   : cacheKey(chip, engine);  // key ignores numThreads/cancel
   job.token.throwIfExpired();
 
   const auto entry = cache_.find(r.cacheKey);
@@ -191,6 +219,9 @@ JobResult FillService::runJob(Job& job) const {
     entry->applyTo(chip);
     r.report = entry->report;
     r.cacheHit = true;
+  } else if (eco) {
+    r.report = fill::FillEngine(engine).runIncremental(chip, spec.ecoChanged);
+    cache_.insert(r.cacheKey, CachedFill::capture(chip, r.report));
   } else {
     r.report = fill::FillEngine(engine).run(chip);  // may throw CancelledError
     cache_.insert(r.cacheKey, CachedFill::capture(chip, r.report));
@@ -265,7 +296,7 @@ ServiceStats FillService::stats() const {
 }
 
 std::string toJson(const ServiceStats& s) {
-  char buf[1536];
+  char buf[2048];
   std::snprintf(
       buf, sizeof(buf),
       "{\n"
@@ -279,7 +310,8 @@ std::string toJson(const ServiceStats& s) {
       "\"sizing\": %.4f, \"total\": %.4f},\n"
       "  \"cache\": {\"job_hits\": %llu, \"hits\": %llu, \"misses\": %llu, "
       "\"hit_rate\": %.4f, \"insertions\": %llu, \"evictions\": %llu, "
-      "\"oversized\": %llu, \"entries\": %zu, \"bytes_used\": %zu, "
+      "\"oversized\": %llu, \"persistent_hits\": %llu, "
+      "\"persistent_misses\": %llu, \"entries\": %zu, \"bytes_used\": %zu, "
       "\"byte_budget\": %zu}\n"
       "}",
       static_cast<unsigned long long>(s.submitted),
@@ -296,8 +328,10 @@ std::string toJson(const ServiceStats& s) {
       static_cast<unsigned long long>(s.cache.misses), s.cacheHitRate,
       static_cast<unsigned long long>(s.cache.insertions),
       static_cast<unsigned long long>(s.cache.evictions),
-      static_cast<unsigned long long>(s.cache.oversized), s.cache.entries,
-      s.cache.bytesUsed, s.cache.byteBudget);
+      static_cast<unsigned long long>(s.cache.oversized),
+      static_cast<unsigned long long>(s.cache.persistentHits),
+      static_cast<unsigned long long>(s.cache.persistentMisses),
+      s.cache.entries, s.cache.bytesUsed, s.cache.byteBudget);
   std::string out(buf);
   if (!s.profile.empty()) {
     // Splice before the closing brace: ...\n} -> ...,\n  "profile": {...}\n}

@@ -43,6 +43,10 @@ struct ServiceOptions {
   double defaultTimeoutSeconds = 0.0;
   /// Admitted-but-not-started jobs before submit() blocks.
   std::size_t queueCapacity = 64;
+  /// Optional persistent second-level result store (caller-owned, must
+  /// outlive the service); see ResultCache. The daemon plugs the on-disk
+  /// cache (serve/persistent_cache) in here so results survive restarts.
+  ResultStore* resultStore = nullptr;
 };
 
 struct ServiceStats {
@@ -105,10 +109,20 @@ class FillService {
   /// Blocks until job `id` finishes and returns its result.
   JobResult wait(std::uint64_t id);
 
+  /// Waits up to `seconds` for job `id` to finish. Returns true when done
+  /// (wait(id) then returns immediately); the daemon uses this to poll a
+  /// job while also watching the client socket for disconnects.
+  bool waitFor(std::uint64_t id, double seconds);
+
   /// Requests cooperative cancellation. Returns true if the job had not
   /// finished (it will surface as kCancelled once a checkpoint notices);
   /// false when already done.
   bool cancel(std::uint64_t id);
+
+  /// Cancels every job that has not finished (graceful drain: queued jobs
+  /// surface as kCancelled immediately on pickup, running jobs unwind at
+  /// their next checkpoint). Returns the number of jobs cancelled.
+  std::size_t cancelAll();
 
   /// Waits for every submitted job; results indexed by job id, i.e. in
   /// submission order.

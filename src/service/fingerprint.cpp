@@ -67,4 +67,34 @@ std::uint64_t cacheKey(const layout::Layout& chip,
   return hashCombine(layoutContentHash(chip), optionsFingerprint(options));
 }
 
+std::uint64_t layoutFillsHash(const layout::Layout& chip) {
+  Fnv1a64 h;
+  h.i32(chip.numLayers());
+  for (int l = 0; l < chip.numLayers(); ++l) {
+    const auto& fills = chip.layer(l).fills;
+    h.u64(fills.size());
+    for (const geom::Rect& f : fills) {
+      h.i64(f.xl);
+      h.i64(f.yl);
+      h.i64(f.xh);
+      h.i64(f.yh);
+    }
+  }
+  return h.digest();
+}
+
+std::uint64_t ecoCacheKey(const layout::Layout& chip,
+                          const fill::FillEngineOptions& options,
+                          const geom::Rect& changed) {
+  Fnv1a64 h;
+  h.str("eco");  // domain-separate from full-fill keys
+  h.u64(cacheKey(chip, options));
+  h.u64(layoutFillsHash(chip));
+  h.i64(changed.xl);
+  h.i64(changed.yl);
+  h.i64(changed.xh);
+  h.i64(changed.yh);
+  return h.digest();
+}
+
 }  // namespace ofl::service

@@ -24,4 +24,15 @@ std::uint64_t optionsFingerprint(const fill::FillEngineOptions& options);
 std::uint64_t cacheKey(const layout::Layout& chip,
                        const fill::FillEngineOptions& options);
 
+/// Stable hash of the layout's existing fill rectangles (ECO inputs: the
+/// previous solution is part of an incremental job's content).
+std::uint64_t layoutFillsHash(const layout::Layout& chip);
+
+/// Cache key for ECO jobs: cacheKey + the input fills + the changed rect,
+/// domain-separated so an ECO result can never alias a full-fill result
+/// on the same layout/options.
+std::uint64_t ecoCacheKey(const layout::Layout& chip,
+                          const fill::FillEngineOptions& options,
+                          const geom::Rect& changed);
+
 }  // namespace ofl::service

@@ -20,9 +20,21 @@ namespace ofl::service {
 /// Output serialization of a job (mirrors `openfill fill --format/--compact`).
 enum class OutputFormat { kGds, kOasis };
 
+/// What the service runs for this job. kFill replaces any existing fills
+/// with a fresh solution; kEco expects the input layout to already carry a
+/// fill solution whose wires changed only inside `ecoChanged` and repairs
+/// just the affected windows (FillEngine::runIncremental).
+enum class JobKind { kFill, kEco };
+
 struct JobSpec {
   /// Label used in reports; defaults to the input path when empty.
   std::string name;
+
+  JobKind kind = JobKind::kFill;
+  /// ECO jobs only: the region the wires changed in. The cache key of an
+  /// ECO job covers the input fills and this rect on top of the usual
+  /// wires+options fingerprint, since the result depends on both.
+  geom::Rect ecoChanged;
 
   /// Input: either a layout file (GDS or OFL-OASIS, auto-detected) ...
   std::string inputPath;

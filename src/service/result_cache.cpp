@@ -42,7 +42,8 @@ void CachedFill::applyTo(layout::Layout& chip) const {
   }
 }
 
-ResultCache::ResultCache(std::size_t byteBudget) : budget_(byteBudget) {
+ResultCache::ResultCache(std::size_t byteBudget, ResultStore* store)
+    : budget_(byteBudget), store_(byteBudget > 0 ? store : nullptr) {
   counters_.byteBudget = byteBudget;
 }
 
@@ -58,18 +59,53 @@ std::shared_ptr<const CachedFill> ResultCache::find(std::uint64_t key) {
       ++counters_.hits;
       lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
       result = it->second->second;
-    } else {
-      ++counters_.misses;
     }
+  }
+  if (!hit && store_ != nullptr) {
+    // Persistent probe outside the mutex: disk I/O must not serialize
+    // concurrent in-memory probes. Two racing misses may both load the
+    // same entry; the second insert replaces the first, never wrong.
+    result = store_->load(key);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (result != nullptr) {
+      hit = true;
+      ++counters_.hits;
+      ++counters_.persistentHits;
+      if (obs::metricsEnabled()) {
+        obs::MetricsRegistry::instance()
+            .counter("cache.persistent_hits")
+            .add();
+      }
+    } else {
+      ++counters_.persistentMisses;
+    }
+  }
+  if (!hit) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++counters_.misses;
   }
   recordProbe(hit);
   obs::instant(hit ? "cache.hit" : "cache.miss", "cache", {});
+  if (hit && result != nullptr) {
+    // Promote a store hit into the in-memory LRU so repeats stay in RAM.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (index_.find(key) == index_.end() && result->bytes <= budget_) {
+      lru_.emplace_front(key, result);
+      index_[key] = lru_.begin();
+      counters_.bytesUsed += result->bytes;
+      counters_.entries = lru_.size();
+      evictOverBudgetLocked();
+    }
+  }
   return result;
 }
 
 void ResultCache::insert(std::uint64_t key,
                          std::shared_ptr<const CachedFill> entry) {
   obs::ScopedSpan span("cache.insert", "cache");
+  if (store_ != nullptr && entry->bytes <= budget_) {
+    store_->store(key, *entry);  // write-through, outside the mutex
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   if (entry->bytes > budget_) {  // also covers budget_ == 0 (disabled)
     ++counters_.oversized;

@@ -7,6 +7,13 @@
 // critical sections are pointer moves, never geometry copies). Two
 // concurrent misses on the same key may both compute; the second insert
 // replaces the first — wasted work, never wrong results.
+//
+// An optional second-level ResultStore (serve/persistent_cache implements
+// it over a directory of integrity-hashed files) makes hits survive
+// process restarts: a memory miss probes the store before reporting a
+// miss, and every insert writes through. The store is only consulted
+// outside the cache mutex — persistent I/O never blocks concurrent
+// in-memory probes.
 #pragma once
 
 #include <cstdint>
@@ -37,13 +44,27 @@ struct CachedFill {
   void applyTo(layout::Layout& chip) const;
 };
 
+/// Second-level result store (persistent cache). Implementations must be
+/// thread-safe; load() returns nullptr on a miss or an invalid entry.
+class ResultStore {
+ public:
+  virtual ~ResultStore() = default;
+  virtual std::shared_ptr<const CachedFill> load(std::uint64_t key) = 0;
+  virtual void store(std::uint64_t key, const CachedFill& entry) = 0;
+};
+
 class ResultCache {
  public:
   /// `byteBudget` 0 disables the cache: every probe misses, inserts are
-  /// dropped. (That is `openfill batch --cache-mb 0`.)
-  explicit ResultCache(std::size_t byteBudget);
+  /// dropped. (That is `openfill batch --cache-mb 0`.) `store` (optional,
+  /// caller-owned, must outlive the cache) backs misses and inserts with
+  /// a persistent second level; a disabled cache never touches it.
+  explicit ResultCache(std::size_t byteBudget, ResultStore* store = nullptr);
 
-  /// Probe; counts a hit (and refreshes LRU position) or a miss.
+  /// Probe; counts a hit (and refreshes LRU position) or a miss. A memory
+  /// miss falls through to the persistent store when one is attached; a
+  /// store hit is promoted into the in-memory LRU and counted in both
+  /// `hits` and `persistentHits`.
   std::shared_ptr<const CachedFill> find(std::uint64_t key);
 
   /// Inserts or replaces. Entries larger than the whole budget are
@@ -56,6 +77,10 @@ class ResultCache {
     std::uint64_t insertions = 0;
     std::uint64_t evictions = 0;
     std::uint64_t oversized = 0;
+    /// Hits served from the persistent store (subset of `hits`); misses
+    /// that probed the store and found nothing (subset of `misses`).
+    std::uint64_t persistentHits = 0;
+    std::uint64_t persistentMisses = 0;
     std::size_t entries = 0;
     std::size_t bytesUsed = 0;
     std::size_t byteBudget = 0;
@@ -66,6 +91,7 @@ class ResultCache {
   void evictOverBudgetLocked();
 
   const std::size_t budget_;
+  ResultStore* const store_;
   mutable std::mutex mutex_;
   // Front = most recently used. The map indexes into the list.
   using LruEntry = std::pair<std::uint64_t, std::shared_ptr<const CachedFill>>;

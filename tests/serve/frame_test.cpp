@@ -1,0 +1,148 @@
+// Framing and signal-plumbing tests: the length-prefixed protocol must
+// reject every malformed byte stream cleanly (hardening satellite of the
+// serve PR) and the self-pipe signal helpers must round-trip raised
+// signals.
+#include "serve/frame.hpp"
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+#include "serve/net.hpp"
+#include "serve/signals.hpp"
+
+namespace ofl::serve {
+namespace {
+
+// A connected AF_UNIX pair: frame/net helpers only need a stream fd.
+struct Pair {
+  Fd a, b;
+  Pair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a = Fd(fds[0]);
+    b = Fd(fds[1]);
+  }
+};
+
+TEST(FrameTest, LengthPrefixRoundTrips) {
+  unsigned char buf[4];
+  for (std::uint32_t n : {0u, 1u, 255u, 256u, 1u << 20, 0xdeadbeefu}) {
+    encodeLength(n, buf);
+    EXPECT_EQ(n, decodeLength(buf));
+  }
+}
+
+TEST(FrameTest, WriteThenReadRoundTrips) {
+  Pair p;
+  const std::string payload = "{\"type\":\"ping\"}";
+  ASSERT_TRUE(writeFrame(p.a.get(), payload, 1.0));
+  std::string got;
+  ASSERT_EQ(FrameStatus::kOk, readFrame(p.b.get(), &got, 1.0));
+  EXPECT_EQ(payload, got);
+}
+
+TEST(FrameTest, CleanCloseAtBoundaryIsEof) {
+  Pair p;
+  p.a.reset();
+  std::string got;
+  EXPECT_EQ(FrameStatus::kEof, readFrame(p.b.get(), &got, 1.0));
+}
+
+TEST(FrameTest, ZeroLengthFrameRejected) {
+  Pair p;
+  const unsigned char zero[4] = {0, 0, 0, 0};
+  ASSERT_EQ(4, ::send(p.a.get(), zero, 4, 0));
+  std::string got;
+  EXPECT_EQ(FrameStatus::kBadFrame, readFrame(p.b.get(), &got, 1.0));
+}
+
+TEST(FrameTest, OversizedLengthRejectedBeforeAllocation) {
+  Pair p;
+  unsigned char hdr[4];
+  encodeLength(0xffffffffu, hdr);  // 4 GiB advertised
+  ASSERT_EQ(4, ::send(p.a.get(), hdr, 4, 0));
+  std::string got;
+  EXPECT_EQ(FrameStatus::kTooLarge,
+            readFrame(p.b.get(), &got, 1.0, /*maxBytes=*/1 << 20));
+}
+
+TEST(FrameTest, GarbageHeaderOverLimitRejected) {
+  Pair p;
+  // "GET " as a length prefix decodes to ~1.2 GB — an HTTP client
+  // poking the port must get a clean rejection.
+  ASSERT_EQ(4, ::send(p.a.get(), "GET ", 4, 0));
+  std::string got;
+  EXPECT_EQ(FrameStatus::kTooLarge,
+            readFrame(p.b.get(), &got, 1.0, kDefaultMaxFrameBytes));
+}
+
+TEST(FrameTest, MidFrameDisconnectIsBadFrame) {
+  Pair p;
+  unsigned char hdr[4];
+  encodeLength(100, hdr);
+  ASSERT_EQ(4, ::send(p.a.get(), hdr, 4, 0));
+  ASSERT_EQ(10, ::send(p.a.get(), "0123456789", 10, 0));
+  p.a.reset();  // die 90 bytes short
+  std::string got;
+  EXPECT_EQ(FrameStatus::kBadFrame, readFrame(p.b.get(), &got, 1.0));
+}
+
+TEST(FrameTest, TruncatedHeaderDisconnectIsBadFrame) {
+  Pair p;
+  ASSERT_EQ(2, ::send(p.a.get(), "\x00\x00", 2, 0));
+  p.a.reset();
+  std::string got;
+  EXPECT_EQ(FrameStatus::kBadFrame, readFrame(p.b.get(), &got, 1.0));
+}
+
+TEST(FrameTest, SlowLorisTimesOutWholeFrame) {
+  Pair p;
+  // Dribble one byte, then stall: the whole-frame deadline must fire even
+  // though the connection stays open and data keeps "trickling".
+  unsigned char hdr[4];
+  encodeLength(64, hdr);
+  ASSERT_EQ(4, ::send(p.a.get(), hdr, 4, 0));
+  std::thread dribbler([&] {
+    for (int i = 0; i < 3; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+      ::send(p.a.get(), "x", 1, 0);
+    }
+  });
+  std::string got;
+  EXPECT_EQ(FrameStatus::kTimeout, readFrame(p.b.get(), &got, 0.3));
+  dribbler.join();
+}
+
+TEST(FrameTest, BackToBackFramesReadInOrder) {
+  Pair p;
+  ASSERT_TRUE(writeFrame(p.a.get(), "first", 1.0));
+  ASSERT_TRUE(writeFrame(p.a.get(), "second", 1.0));
+  std::string got;
+  ASSERT_EQ(FrameStatus::kOk, readFrame(p.b.get(), &got, 1.0));
+  EXPECT_EQ("first", got);
+  ASSERT_EQ(FrameStatus::kOk, readFrame(p.b.get(), &got, 1.0));
+  EXPECT_EQ("second", got);
+}
+
+TEST(SignalsTest, RaisedSignalsRoundTripThroughPipe) {
+  ASSERT_TRUE(installSignalHandlers(/*withReload=*/true));
+  EXPECT_EQ(SignalKind::kNone, pollSignal());
+  ::raise(SIGHUP);
+  EXPECT_EQ(SignalKind::kReload, waitSignal(1.0));
+  ::raise(SIGTERM);
+  EXPECT_EQ(SignalKind::kDrain, waitSignal(1.0));
+  // Drain wins when both are pending.
+  ::raise(SIGHUP);
+  ::raise(SIGINT);
+  EXPECT_EQ(SignalKind::kDrain, waitSignal(1.0));
+  EXPECT_EQ(SignalKind::kNone, pollSignal());
+  uninstallSignalHandlers();
+}
+
+}  // namespace
+}  // namespace ofl::serve
