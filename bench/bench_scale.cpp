@@ -1,0 +1,139 @@
+// Contest-scale streaming benchmark (ISSUE 9 tentpole).
+//
+// Generates a suite streamingly (default "xl", millions of wires — never
+// materialized in memory), runs the bounded-memory sharded fill
+// (fill::ShardedEngine) under a fixed --mem-budget, and records wall
+// time, peak RSS, shard/spill figures to BENCH_scale.json.
+//
+// The memory budget is a HARD assertion: the process exits nonzero when
+// peak RSS exceeds it, so CI catches a regression that quietly
+// re-materializes the layout.
+//
+// Usage: bench_scale [suite] [mem_budget_mib] [threads]
+//   suite           s|b|m|xl (default xl)
+//   mem_budget_mib  RSS ceiling, default 512
+//   threads         engine threads, default 0 (= hardware)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hpp"
+#include "common/memory_usage.hpp"
+#include "common/timer.hpp"
+#include "contest/benchmark_generator.hpp"
+#include "fill/sharded_engine.hpp"
+#include "gds/stream_writer.hpp"
+
+using namespace ofl;
+
+int main(int argc, char** argv) {
+  setLogLevel(LogLevel::kWarn);
+  const std::string suite = argc > 1 ? argv[1] : "xl";
+  const std::size_t budgetMiB =
+      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 512;
+  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
+
+  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  const std::string inputPath = "bench_scale_" + suite + ".gds";
+  const std::string outputPath = "bench_scale_" + suite + "_filled.gds";
+
+  std::printf("== Contest-scale streaming fill: suite %s, budget %zu MiB ==\n",
+              spec.name.c_str(), budgetMiB);
+
+  // Streamed generation: O(1) memory regardless of suite size.
+  Timer genTimer;
+  std::size_t wires = 0;
+  long long inputBytes = -1;
+  {
+    gds::StreamWriter writer(inputPath);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "bench_scale: cannot write %s\n",
+                   inputPath.c_str());
+      return 1;
+    }
+    writer.beginCell("TOP");
+    contest::BenchmarkGenerator::generateStream(
+        spec, [&](int l, const geom::Rect& wire) {
+          writer.addRect(static_cast<std::int16_t>(l + 1), wire);
+          ++wires;
+        });
+    writer.endCell();
+    inputBytes = writer.finish();
+  }
+  if (inputBytes < 0) {
+    std::fprintf(stderr, "bench_scale: write failed: %s\n", inputPath.c_str());
+    return 1;
+  }
+  const double genSeconds = genTimer.elapsedSeconds();
+  std::printf("generated %zu wires (%lld bytes) in %.2fs, RSS %.0f MiB\n",
+              wires, inputBytes, genSeconds, peakMemoryMiB());
+
+  fill::ShardedOptions options;
+  options.engine.windowSize = spec.windowSize;
+  options.engine.rules = spec.rules;
+  options.engine.numThreads = threads;
+  options.memBudgetMiB = budgetMiB;
+
+  Timer fillTimer;
+  fill::ShardedReport report;
+  std::string error;
+  if (!fill::ShardedEngine(options).runFile(inputPath, outputPath,
+                                            std::optional<geom::Rect>(spec.die),
+                                            &report, &error)) {
+    std::fprintf(stderr, "bench_scale: %s\n", error.c_str());
+    return 1;
+  }
+  const double wallSeconds = fillTimer.elapsedSeconds();
+  const double peakMiB = peakMemoryMiB();
+  const bool budgetHeld = peakMiB <= static_cast<double>(budgetMiB);
+
+  std::printf(
+      "filled: %zu fills from %zu candidates in %.2fs\n"
+      "  shards %d over %d rows (%d cols), ingest %.2fs, fft %.3fs\n"
+      "  spilled %.1f MiB in %llu events, output %lld bytes\n"
+      "  peak RSS %.0f MiB vs budget %zu MiB -> %s\n",
+      report.fill.fillCount, report.fill.candidateCount, wallSeconds,
+      report.shardCount, report.rows, report.cols, report.ingestSeconds,
+      report.fftSeconds,
+      static_cast<double>(report.spilledBytes) / (1 << 20),
+      static_cast<unsigned long long>(report.spillEvents), report.outputBytes,
+      peakMiB, budgetMiB, budgetHeld ? "OK" : "OVER BUDGET");
+
+  std::FILE* json = std::fopen("BENCH_scale.json", "w");
+  if (json != nullptr) {
+    std::fprintf(
+        json,
+        "{\n  \"benchmark\": \"streaming_sharded_fill\",\n"
+        "  \"suite\": \"%s\",\n  \"wires\": %zu,\n"
+        "  \"input_bytes\": %lld,\n  \"output_bytes\": %lld,\n"
+        "  \"fills\": %zu,\n  \"candidates\": %zu,\n"
+        "  \"generate_seconds\": %.3f,\n  \"wall_seconds\": %.3f,\n"
+        "  \"ingest_seconds\": %.3f,\n  \"fft_seconds\": %.4f,\n"
+        "  \"threads\": %d,\n  \"cols\": %d,\n  \"rows\": %d,\n"
+        "  \"shards\": %d,\n  \"spilled_bytes\": %llu,\n"
+        "  \"spill_events\": %llu,\n  \"mem_budget_mib\": %zu,\n"
+        "  \"peak_rss_mib\": %.1f,\n  \"budget_held\": %s\n}\n",
+        spec.name.c_str(), wires, inputBytes, report.outputBytes,
+        report.fill.fillCount, report.fill.candidateCount, genSeconds,
+        wallSeconds, report.ingestSeconds, report.fftSeconds,
+        report.fill.threadsUsed, report.cols, report.rows, report.shardCount,
+        static_cast<unsigned long long>(report.spilledBytes),
+        static_cast<unsigned long long>(report.spillEvents), budgetMiB,
+        peakMiB, budgetHeld ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_scale.json\n");
+  }
+
+  // The multi-hundred-MB artifacts have served their purpose.
+  std::remove(inputPath.c_str());
+  std::remove(outputPath.c_str());
+
+  if (!budgetHeld) {
+    std::fprintf(stderr,
+                 "bench_scale: peak RSS %.0f MiB exceeded the %zu MiB "
+                 "budget\n",
+                 peakMiB, budgetMiB);
+    return 1;
+  }
+  return 0;
+}

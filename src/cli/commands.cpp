@@ -26,8 +26,10 @@
 #include "density/heatmap.hpp"
 #include "density/metrics.hpp"
 #include "fill/fill_engine.hpp"
+#include "fill/sharded_engine.hpp"
 #include "gds/gds_writer.hpp"
 #include "gds/oasis.hpp"
+#include "gds/stream_writer.hpp"
 #include "layout/drc_checker.hpp"
 #include "layout/gds_compact.hpp"
 #include "obs/metrics.hpp"
@@ -193,6 +195,20 @@ layout::DesignRules rulesFrom(const Args& args) {
   return rules;
 }
 
+bool parseDie(const Args& args, std::optional<geom::Rect>* die,
+              std::string* error) {
+  if (const auto dieSpec = args.get("die"); dieSpec.has_value()) {
+    long long xl, yl, xh, yh;
+    if (std::sscanf(dieSpec->c_str(), "%lld,%lld,%lld,%lld", &xl, &yl, &xh,
+                    &yh) != 4) {
+      *error = "--die expects xl,yl,xh,yh";
+      return false;
+    }
+    *die = geom::Rect{xl, yl, xh, yh};
+  }
+  return true;
+}
+
 // Loads a layout from GDS or OFL-OASIS (auto-detected); die from
 // --die "xl,yl,xh,yh" or the shape bbox.
 bool loadLayout(const Args& args, layout::Layout& out, std::string* error) {
@@ -202,15 +218,7 @@ bool loadLayout(const Args& args, layout::Layout& out, std::string* error) {
     return false;
   }
   std::optional<geom::Rect> die;
-  if (const auto dieSpec = args.get("die"); dieSpec.has_value()) {
-    long long xl, yl, xh, yh;
-    if (std::sscanf(dieSpec->c_str(), "%lld,%lld,%lld,%lld", &xl, &yl, &xh,
-                    &yh) != 4) {
-      *error = "--die expects xl,yl,xh,yh";
-      return false;
-    }
-    die = geom::Rect{xl, yl, xh, yh};
-  }
+  if (!parseDie(args, &die, error)) return false;
   return service::loadFlatLayout(*path, die, &out, error);
 }
 
@@ -222,6 +230,34 @@ int generateImpl(const Args& args) {
     return 2;
   }
   const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  if (suite == "xl" || args.hasFlag("stream")) {
+    // Contest scale: stream wires straight to disk instead of holding the
+    // layout (xl would need gigabytes). Identical bytes to the in-memory
+    // path — same generator RNG order, same record encoders.
+    gds::StreamWriter writer(out);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    writer.beginCell("TOP");
+    std::size_t wires = 0;
+    contest::BenchmarkGenerator::generateStream(
+        spec, [&](int l, const geom::Rect& wire) {
+          writer.addRect(static_cast<std::int16_t>(l + 1), wire);
+          ++wires;
+        });
+    writer.endCell();
+    const long long bytes = writer.finish();
+    if (bytes < 0) {
+      std::fprintf(stderr, "generate: cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("generated suite %s (streamed): %zu wires, %d layers, die "
+                "%s, %lld bytes -> %s\n",
+                spec.name.c_str(), wires, spec.numLayers,
+                spec.die.str().c_str(), bytes, out.c_str());
+    return 0;
+  }
   const layout::Layout chip = contest::BenchmarkGenerator::generate(spec);
   const long long bytes = gds::Writer::writeFile(chip.toGds(), out);
   if (bytes < 0) {
@@ -267,21 +303,124 @@ bool engineOptionsFrom(const Args& args, fill::FillEngineOptions& options,
   return true;
 }
 
-int fillImpl(const Args& args) {
-  layout::Layout chip({}, 0);
-  std::string error;
-  if (!loadLayout(args, chip, &error)) {
-    std::fprintf(stderr, "fill: %s\n", error.c_str());
-    return 2;
+// `fill --json`: one-line machine-readable run summary on stdout (peak
+// RSS, wall time, output size, shard/spill figures for --stream).
+void printFillJson(const fill::FillReport& report, double seconds,
+                   long long bytes, const fill::ShardedReport* sharded) {
+  std::ostringstream json;
+  json << "{\"fills\": " << report.fillCount
+       << ", \"candidates\": " << report.candidateCount
+       << ", \"seconds\": " << seconds
+       << ", \"output_bytes\": " << bytes
+       << ", \"threads\": " << report.threadsUsed
+       << ", \"peak_rss_mib\": " << peakMemoryMiB();
+  if (sharded != nullptr) {
+    json << ", \"stream\": true, \"shards\": " << sharded->shardCount
+         << ", \"rows\": " << sharded->rows
+         << ", \"spilled_bytes\": " << sharded->spilledBytes
+         << ", \"spill_events\": " << sharded->spillEvents
+         << ", \"wires\": " << sharded->wireCount
+         << ", \"ingest_seconds\": " << sharded->ingestSeconds;
+  } else {
+    json << ", \"stream\": false";
   }
+  json << "}";
+  std::printf("%s\n", json.str().c_str());
+}
+
+// Run summary into the fill.* metrics series (satellite of the streaming
+// PR: peak RSS was previously only visible in contest score runs).
+void recordFillMetrics(double seconds, long long bytes) {
+  if (!obs::metricsEnabled()) return;
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::instance();
+  reg.gauge("fill.peak_rss_mib").set(peakMemoryMiB());
+  reg.gauge("fill.seconds").set(seconds);
+  reg.gauge("fill.output_bytes").set(static_cast<double>(bytes));
+}
+
+int fillImpl(const Args& args) {
   const std::string out = args.getOr("out", "");
   if (out.empty()) {
     std::fprintf(stderr, "fill: missing --out\n");
     return 2;
   }
-
+  std::string error;
   fill::FillEngineOptions options;
   if (!engineOptionsFrom(args, options, &error)) {
+    std::fprintf(stderr, "fill: %s\n", error.c_str());
+    return 2;
+  }
+  const std::string format = args.getOr("format", "gds");
+  if (format != "gds" && format != "oasis") {
+    std::fprintf(stderr, "fill: unknown --format %s (gds|oasis)\n",
+                 format.c_str());
+    return 2;
+  }
+
+  if (args.hasFlag("stream")) {
+    // Bounded-memory path: never loads the layout; byte-identical output.
+    if (args.hasFlag("compact")) {
+      std::fprintf(stderr, "fill: --compact is not supported with --stream\n");
+      return 2;
+    }
+    if (format == "oasis") {
+      std::fprintf(stderr,
+                   "fill: --format oasis is not supported with --stream\n");
+      return 2;
+    }
+    const auto in = args.get("in");
+    if (!in.has_value() || in->empty()) {
+      std::fprintf(stderr, "fill: missing --in <file.gds>\n");
+      return 2;
+    }
+    std::optional<geom::Rect> die;
+    if (!parseDie(args, &die, &error)) {
+      std::fprintf(stderr, "fill: %s\n", error.c_str());
+      return 2;
+    }
+    fill::ShardedOptions sharded;
+    sharded.engine = options;
+    sharded.memBudgetMiB = static_cast<std::size_t>(
+        args.getIntChecked("mem-budget-mb", 512));
+    sharded.rowsPerShard =
+        static_cast<int>(args.getIntChecked("rows-per-shard", 0));
+    const bool profiling = profilingRequested(args);
+    if (profiling) enableProfiling();
+    const ObsRequest obsReq = obsRequestFrom(args);
+    enableObservability(obsReq);
+
+    Timer timer;
+    fill::ShardedReport report;
+    if (!fill::ShardedEngine(sharded).runFile(*in, out, die, &report,
+                                              &error)) {
+      std::fprintf(stderr, "fill: %s\n", error.c_str());
+      return 1;
+    }
+    const double seconds = timer.elapsedSeconds();
+    recordFillMetrics(seconds, report.outputBytes);
+    if (args.hasFlag("json")) {
+      printFillJson(report.fill, seconds, report.outputBytes, &report);
+    } else {
+      std::printf(
+          "filled (streamed): %zu fills (%zu candidates) in %.2fs "
+          "(%d shards over %d rows, %.1f MiB spilled, peak RSS %.0f MiB), "
+          "%lld bytes -> %s\n",
+          report.fill.fillCount, report.fill.candidateCount, seconds,
+          report.shardCount, report.rows,
+          static_cast<double>(report.spilledBytes) / (1 << 20),
+          peakMemoryMiB(), report.outputBytes, out.c_str());
+    }
+    int rc = 0;
+    if (obsReq.any()) rc = emitObservability("fill", obsReq);
+    if (profiling) {
+      const int prc = emitProfile("fill", args, report.fill.profile);
+      if (prc != 0) return prc;
+    }
+    return rc;
+  }
+
+  layout::Layout chip({}, 0);
+  if (!loadLayout(args, chip, &error)) {
     std::fprintf(stderr, "fill: %s\n", error.c_str());
     return 2;
   }
@@ -295,26 +434,28 @@ int fillImpl(const Args& args) {
   const gds::Library outLib = args.hasFlag("compact")
                                   ? layout::toCompactGds(chip)
                                   : chip.toGds();
-  const std::string format = args.getOr("format", "gds");
   long long bytes = -1;
   if (format == "gds") {
     bytes = gds::Writer::writeFile(outLib, out);
-  } else if (format == "oasis") {
-    bytes = gds::OasisWriter::writeFile(outLib, out);
   } else {
-    std::fprintf(stderr, "fill: unknown --format %s (gds|oasis)\n",
-                 format.c_str());
-    return 2;
+    bytes = gds::OasisWriter::writeFile(outLib, out);
   }
   if (bytes < 0) {
     std::fprintf(stderr, "fill: cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("filled: %zu fills (%zu candidates) in %.2fs "
-              "(plan %.2fs, candidates %.2fs, sizing %.2fs), %lld bytes -> %s\n",
-              report.fillCount, report.candidateCount, timer.elapsedSeconds(),
-              report.planningSeconds, report.candidateSeconds,
-              report.sizingSeconds, bytes, out.c_str());
+  const double seconds = timer.elapsedSeconds();
+  recordFillMetrics(seconds, bytes);
+  if (args.hasFlag("json")) {
+    printFillJson(report, seconds, bytes, nullptr);
+  } else {
+    std::printf(
+        "filled: %zu fills (%zu candidates) in %.2fs "
+        "(plan %.2fs, candidates %.2fs, sizing %.2fs), %lld bytes -> %s\n",
+        report.fillCount, report.candidateCount, seconds,
+        report.planningSeconds, report.candidateSeconds,
+        report.sizingSeconds, bytes, out.c_str());
+  }
   int rc = 0;
   if (obsReq.metrics()) {
     // Per-term score decomposition (Eqns. 3-4) into the quality channel,
@@ -324,7 +465,7 @@ int fillImpl(const Args& args) {
         options.windowSize, contest::scoreTableFor(suite), options.rules);
     const contest::RawMetrics raw = evaluator.measure(chip);
     const contest::ScoreBreakdown sb =
-        evaluator.score(raw, timer.elapsedSeconds(), peakMemoryMiB());
+        evaluator.score(raw, seconds, peakMemoryMiB());
     obs::recordScoreTerms(sb.overlay, sb.variation, sb.line, sb.outlier,
                           sb.size, sb.quality, sb.total);
   }
@@ -979,15 +1120,23 @@ std::string usage() {
       "openfill <command> [options]\n"
       "\n"
       "commands:\n"
-      "  generate --suite s|b|m|tiny --out FILE.gds\n"
-      "      Generate a synthetic benchmark suite (wires only).\n"
+      "  generate --suite s|b|m|xl|tiny --out FILE.gds [--stream]\n"
+      "      Generate a synthetic benchmark suite (wires only). --stream\n"
+      "      (implied by xl, ~2M+ wires) writes rects as they are\n"
+      "      generated instead of building the layout in memory —\n"
+      "      identical bytes either way.\n"
       "  fill --in FILE.gds --out FILE.gds [--window N] [--lambda X]\n"
       "       [--eta X] [--iterations N] [--backend ns|ssp|lp] [--compact]\n"
-      "       [--no-warm-start] [--no-early-exit]\n"
+      "       [--no-warm-start] [--no-early-exit] [--json]\n"
+      "       [--stream] [--mem-budget-mb N] [--rows-per-shard N]\n"
       "       [--threads N] [--profile] [--profile-json FILE]\n"
       "       [--trace FILE] [--metrics-out FILE] [--metrics-prom FILE]\n"
       "       [--min-width N --min-spacing N --min-area N --max-fill N]\n"
       "      Insert dummy fills; --compact writes fill arrays as AREFs;\n"
+      "      --stream runs the bounded-memory window-sharded pipeline\n"
+      "      (byte-identical output; peak RSS targets --mem-budget-mb,\n"
+      "      default 512; incompatible with --compact/--format oasis);\n"
+      "      --json prints a machine-readable summary (incl. peak RSS);\n"
       "      --threads 0 (default) uses every hardware core, results are\n"
       "      identical for any thread count. Sizer solves warm-start and\n"
       "      early-exit by default (byte-identical, faster; the --no-*\n"

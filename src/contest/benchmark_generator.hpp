@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "layout/design_rules.hpp"
@@ -35,10 +36,23 @@ struct BenchmarkSpec {
 
 class BenchmarkGenerator {
  public:
-  /// Published specs of the scaled suites "s", "b", "m" (Table 2 analog).
+  /// Published specs of the scaled suites "s", "b", "m" (Table 2 analog)
+  /// plus the contest-scale "xl" (millions of wires; meant for the
+  /// streaming `fill --stream` path and bench_scale, never for the
+  /// in-memory test suites).
   static BenchmarkSpec spec(const std::string& suite);
 
-  /// Generates the wire layout of `spec` (no fills).
+  /// Receives every generated wire, layer by layer in emission order.
+  using Emit = std::function<void(int layer, const geom::Rect& wire)>;
+
+  /// Streams the wires of `spec` through `emit` without materializing a
+  /// Layout — O(1) memory, which is what makes "xl" generable at all.
+  /// Identical RNG consumption to generate(): the same spec produces the
+  /// same wires either way (pinned by test_contest).
+  static void generateStream(const BenchmarkSpec& spec, const Emit& emit);
+
+  /// Generates the wire layout of `spec` (no fills). Thin wrapper over
+  /// generateStream that collects into a Layout.
   static layout::Layout generate(const BenchmarkSpec& spec);
 };
 

@@ -6,6 +6,34 @@
 
 namespace ofl::density {
 
+WindowBound computeWindowBound(double wireDensity, geom::Area windowArea,
+                               const geom::Region& fillRegion,
+                               const layout::DesignRules& rules) {
+  // Discard region slivers a legal fill cannot occupy: any covered
+  // point must admit a minWidth x minWidth square, i.e. survive
+  // erosion by floor(minWidth/2) (conservative for odd widths).
+  geom::Area usable = 0;
+  if (windowArea > 0) {
+    const geom::Coord erode = rules.minWidth / 2;
+    const geom::Region eroded = fillRegion.shrunk(erode);
+    // Scale eroded area back up: erosion removes a minWidth-wide band
+    // at boundaries; approximate usable area by re-dilating the area
+    // estimate (cheap and conservative enough for a *bound*).
+    usable = eroded.empty() ? 0 : fillRegion.area();
+  }
+  WindowBound bound;
+  bound.lower = wireDensity;
+  // The upper bound respects the foundry max-density rule unless the
+  // wires alone already exceed it (the filler cannot remove wires).
+  const double cap = std::max(rules.maxDensity, wireDensity);
+  bound.upper =
+      windowArea > 0
+          ? std::min(cap, wireDensity +
+                              static_cast<double>(usable) / windowArea)
+          : wireDensity;
+  return bound;
+}
+
 DensityBounds computeBounds(const layout::Layout& layout, int layer,
                             const layout::WindowGrid& grid,
                             const std::vector<geom::Region>& fillRegions,
@@ -18,33 +46,16 @@ DensityBounds computeBounds(const layout::Layout& layout, int layer,
   bounds.lower.resize(n);
   bounds.upper.resize(n);
 
+  static const geom::Region kEmptyRegion;
   for (int j = 0; j < grid.rows(); ++j) {
     for (int i = 0; i < grid.cols(); ++i) {
       const auto w = static_cast<std::size_t>(grid.flatIndex(i, j));
-      const double wires = wireDensity.at(i, j);
-      const geom::Area windowArea = grid.windowRect(i, j).area();
-
-      // Discard region slivers a legal fill cannot occupy: any covered
-      // point must admit a minWidth x minWidth square, i.e. survive
-      // erosion by floor(minWidth/2) (conservative for odd widths).
-      geom::Area usable = 0;
-      if (windowArea > 0 && w < fillRegions.size()) {
-        const geom::Coord erode = rules.minWidth / 2;
-        const geom::Region eroded = fillRegions[w].shrunk(erode);
-        // Scale eroded area back up: erosion removes a minWidth-wide band
-        // at boundaries; approximate usable area by re-dilating the area
-        // estimate (cheap and conservative enough for a *bound*).
-        usable = eroded.empty() ? 0 : fillRegions[w].area();
-      }
-      bounds.lower[w] = wires;
-      // The upper bound respects the foundry max-density rule unless the
-      // wires alone already exceed it (the filler cannot remove wires).
-      const double cap = std::max(rules.maxDensity, wires);
-      bounds.upper[w] =
-          windowArea > 0
-              ? std::min(cap,
-                         wires + static_cast<double>(usable) / windowArea)
-              : wires;
+      const geom::Region& region =
+          w < fillRegions.size() ? fillRegions[w] : kEmptyRegion;
+      const WindowBound b = computeWindowBound(
+          wireDensity.at(i, j), grid.windowRect(i, j).area(), region, rules);
+      bounds.lower[w] = b.lower;
+      bounds.upper[w] = b.upper;
     }
   }
   return bounds;

@@ -20,6 +20,21 @@ struct DensityBounds {
   std::vector<double> upper;  // u(i,j)
 };
 
+/// One window's [lower, upper] pair.
+struct WindowBound {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Bound arithmetic for a single window: `wireDensity` is the window's
+/// wire-only density, `windowArea` its true (edge-clipped) area,
+/// `fillRegion` its free space. Both computeBounds and the sharded
+/// engine's row-at-a-time pass call this, so the two paths agree by
+/// construction.
+WindowBound computeWindowBound(double wireDensity, geom::Area windowArea,
+                               const geom::Region& fillRegion,
+                               const layout::DesignRules& rules);
+
 /// Bounds for one layer given its per-window fill regions (from
 /// layout::computeFillRegions).
 DensityBounds computeBounds(const layout::Layout& layout, int layer,

@@ -1,0 +1,187 @@
+#include "density/fft_density.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace ofl::density {
+namespace {
+
+std::size_t nextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Kernel half-width: truncate the Gaussian at 3 sigma.
+int kernelRadius(double sigma) {
+  return static_cast<int>(std::ceil(3.0 * sigma));
+}
+
+double kernelWeight(int dx, int dy, double sigma) {
+  return std::exp(-(static_cast<double>(dx) * dx + static_cast<double>(dy) * dy) /
+                  (2.0 * sigma * sigma));
+}
+
+// 2D FFT over a W x H row-major complex grid: transform rows, then columns.
+void fft2d(std::vector<double>& re, std::vector<double>& im, std::size_t w,
+           std::size_t h, bool inverse) {
+  std::vector<double> tr(w), ti(w);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      tr[x] = re[y * w + x];
+      ti[x] = im[y * w + x];
+    }
+    FftDensity::fft(tr, ti, inverse);
+    for (std::size_t x = 0; x < w; ++x) {
+      re[y * w + x] = tr[x];
+      im[y * w + x] = ti[x];
+    }
+  }
+  std::vector<double> cr(h), ci(h);
+  for (std::size_t x = 0; x < w; ++x) {
+    for (std::size_t y = 0; y < h; ++y) {
+      cr[y] = re[y * w + x];
+      ci[y] = im[y * w + x];
+    }
+    FftDensity::fft(cr, ci, inverse);
+    for (std::size_t y = 0; y < h; ++y) {
+      re[y * w + x] = cr[y];
+      im[y * w + x] = ci[y];
+    }
+  }
+}
+
+// Circular convolution of `data` (cols x rows, zero-padded into W x H)
+// with the truncated Gaussian; padding is large enough that no wraparound
+// reaches the extracted region.
+std::vector<double> convolve(const std::vector<double>& data, int cols,
+                             int rows, double sigma, std::size_t w,
+                             std::size_t h) {
+  const int radius = kernelRadius(sigma);
+  std::vector<double> ar(w * h, 0.0), ai(w * h, 0.0);
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      ar[static_cast<std::size_t>(j) * w + static_cast<std::size_t>(i)] =
+          data[static_cast<std::size_t>(j) * static_cast<std::size_t>(cols) +
+               static_cast<std::size_t>(i)];
+    }
+  }
+  std::vector<double> kr(w * h, 0.0), ki(w * h, 0.0);
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      const std::size_t x = static_cast<std::size_t>((dx + static_cast<int>(w)) %
+                                                     static_cast<int>(w));
+      const std::size_t y = static_cast<std::size_t>((dy + static_cast<int>(h)) %
+                                                     static_cast<int>(h));
+      kr[y * w + x] = kernelWeight(dx, dy, sigma);
+    }
+  }
+  fft2d(ar, ai, w, h, false);
+  fft2d(kr, ki, w, h, false);
+  for (std::size_t n = 0; n < w * h; ++n) {
+    const double r = ar[n] * kr[n] - ai[n] * ki[n];
+    const double i = ar[n] * ki[n] + ai[n] * kr[n];
+    ar[n] = r;
+    ai[n] = i;
+  }
+  fft2d(ar, ai, w, h, true);
+  return ar;
+}
+
+}  // namespace
+
+void FftDensity::fft(std::vector<double>& re, std::vector<double>& im,
+                     bool inverse) {
+  const std::size_t n = re.size();
+  if (n < 2) return;
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; (j & bit) != 0; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  const double dir = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = dir * 2.0 * M_PI / static_cast<double>(len);
+    const double wr = std::cos(ang), wi = std::sin(ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      double cr = 1.0, ci = 0.0;
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::size_t a = i + k, b = i + k + len / 2;
+        const double vr = re[b] * cr - im[b] * ci;
+        const double vi = re[b] * ci + im[b] * cr;
+        re[b] = re[a] - vr;
+        im[b] = im[a] - vi;
+        re[a] += vr;
+        im[a] += vi;
+        const double nr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = nr;
+      }
+    }
+  }
+  if (inverse) {
+    for (std::size_t i = 0; i < n; ++i) {
+      re[i] /= static_cast<double>(n);
+      im[i] /= static_cast<double>(n);
+    }
+  }
+}
+
+DensityMap FftDensity::smooth(const DensityMap& map, double sigmaWindows) {
+  if (sigmaWindows <= 0.0 || map.count() == 0) return map;
+  const int cols = map.cols(), rows = map.rows();
+  const int radius = kernelRadius(sigmaWindows);
+  const std::size_t w = nextPow2(static_cast<std::size_t>(cols + 2 * radius));
+  const std::size_t h = nextPow2(static_cast<std::size_t>(rows + 2 * radius));
+  const std::vector<double> num =
+      convolve(map.values(), cols, rows, sigmaWindows, w, h);
+  const std::vector<double> ones(
+      static_cast<std::size_t>(cols) * static_cast<std::size_t>(rows), 1.0);
+  const std::vector<double> den = convolve(ones, cols, rows, sigmaWindows, w, h);
+  std::vector<double> out(static_cast<std::size_t>(cols) *
+                          static_cast<std::size_t>(rows));
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      const std::size_t src =
+          static_cast<std::size_t>(j) * w + static_cast<std::size_t>(i);
+      const std::size_t dst =
+          static_cast<std::size_t>(j) * static_cast<std::size_t>(cols) +
+          static_cast<std::size_t>(i);
+      out[dst] = den[src] > 0.0 ? num[src] / den[src] : 0.0;
+    }
+  }
+  return DensityMap(cols, rows, std::move(out));
+}
+
+DensityMap FftDensity::smoothDirect(const DensityMap& map,
+                                    double sigmaWindows) {
+  if (sigmaWindows <= 0.0 || map.count() == 0) return map;
+  const int cols = map.cols(), rows = map.rows();
+  const int radius = kernelRadius(sigmaWindows);
+  std::vector<double> out(static_cast<std::size_t>(cols) *
+                          static_cast<std::size_t>(rows));
+  for (int j = 0; j < rows; ++j) {
+    for (int i = 0; i < cols; ++i) {
+      double num = 0.0, den = 0.0;
+      for (int dy = -radius; dy <= radius; ++dy) {
+        for (int dx = -radius; dx <= radius; ++dx) {
+          const int x = i + dx, y = j + dy;
+          if (x < 0 || x >= cols || y < 0 || y >= rows) continue;
+          const double k = kernelWeight(dx, dy, sigmaWindows);
+          num += k * map.at(x, y);
+          den += k;
+        }
+      }
+      out[static_cast<std::size_t>(j) * static_cast<std::size_t>(cols) +
+          static_cast<std::size_t>(i)] = den > 0.0 ? num / den : 0.0;
+    }
+  }
+  return DensityMap(cols, rows, std::move(out));
+}
+
+}  // namespace ofl::density

@@ -1,0 +1,39 @@
+// FFT-based global density smoothing (FFTPL-style, see PAPERS.md).
+//
+// Convolves a per-window density map with a truncated Gaussian kernel in
+// O(n log n) via zero-padded 2D FFTs, instead of the O(n * k^2) direct
+// sweep. The sharded engine uses the smoothed map as a layout-wide load
+// model — it balances shard boundaries and feeds the scale.* telemetry —
+// computed from the same per-window wire densities the planner sees, so
+// no full-layout geometry needs to stay resident. It never alters
+// planning targets or fills; byte-identity with the in-memory path is
+// preserved by construction.
+#pragma once
+
+#include <vector>
+
+#include "density/density_map.hpp"
+
+namespace ofl::density {
+
+class FftDensity {
+ public:
+  /// Gaussian-smooths `map` with standard deviation `sigmaWindows`
+  /// (in window units; kernel truncated at 3 sigma). Zero padding: windows
+  /// outside the die contribute zero density, and the result is
+  /// renormalized by the in-die kernel mass so edges are not darkened.
+  /// sigmaWindows <= 0 returns the input unchanged.
+  static DensityMap smooth(const DensityMap& map, double sigmaWindows);
+
+  /// Reference direct convolution with the same kernel and edge
+  /// renormalization; O(n * k^2). The equivalence test pins smooth()
+  /// against it.
+  static DensityMap smoothDirect(const DensityMap& map, double sigmaWindows);
+
+  /// In-place iterative radix-2 FFT over interleaved complex values
+  /// (re, im pairs; size must be a power of two). Exposed for tests.
+  static void fft(std::vector<double>& re, std::vector<double>& im,
+                  bool inverse);
+};
+
+}  // namespace ofl::density

@@ -1,0 +1,99 @@
+// Window-sharded fill executor with bounded peak memory.
+//
+// FillEngine::run holds the whole flattened layout plus every window's
+// problem in RAM at once; contest-scale inputs (up to 31.8M polygons,
+// PAPER.md) cannot. ShardedEngine runs the same five-stage flow without
+// ever materializing the layout:
+//
+//   ingest    stream GDS/OASIS -> flatten -> decompose -> route each rect
+//             into per-(layer, window-row) spools (ShardStore, spill to
+//             disk over budget). A rect inflated by minSpacing that
+//             crosses a row border is routed into both rows — that is the
+//             halo that keeps cross-window blocking exact.
+//   bounds    row at a time: rebuild the row's wire/blocked buckets and
+//             fill regions, reduce to per-window scalars (wire density,
+//             lower/upper bound), drop the geometry.
+//   plan      TargetDensityPlanner over the full scalar arrays (identical
+//             inputs to the in-memory path). An FFT-smoothed global
+//             density map (density::FftDensity) balances shard sizes.
+//   shards    per shard (a contiguous row band), row at a time: rebuild
+//             geometry, generate candidates (same thread pool + scratch
+//             reuse as FillEngine), spool candidates; replan; then size
+//             each row's windows and spool the final fills.
+//   output    streaming GDS writer: per layer, pass-through wires then
+//             fills in window order — byte-identical to
+//             Writer::writeFile(layout.toGds()).
+//
+// Identity argument: every per-window input (bucket contents and order,
+// fill regions, densities, targets) is reconstructed equal to what
+// FillEngine::run assembles, the per-window solvers are pure functions of
+// those inputs, and the output serialization shares the in-memory
+// writer's record encoders. The determinism suite pins this on s/b/m at 1
+// and 4 threads.
+//
+// Not supported with streaming: window-cache deposits and the ECO path
+// (FillService rejects --stream ECO jobs with a clear error).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "fill/fill_engine.hpp"
+
+namespace ofl::fill {
+
+struct ShardedOptions {
+  /// Same knobs as the in-memory engine (windowCache is ignored).
+  FillEngineOptions engine;
+  /// Peak-memory target for the pipeline's bookkeeping: the rect spools
+  /// get half of it, shard working sets aim for a quarter.
+  std::size_t memBudgetMiB = 512;
+  /// Directory for spool spill files (defaults to the output's directory
+  /// when empty).
+  std::string spillDir;
+  /// Fixed rows per shard; 0 = auto (budget-capped, FFT-load-balanced).
+  int rowsPerShard = 0;
+  /// Sigma (in windows) of the FFT density smoothing used for shard load
+  /// balancing and scale.* telemetry.
+  double loadSigmaWindows = 1.5;
+  /// Read chunk for the streaming parsers (tests shrink it).
+  std::size_t readerChunkBytes = 256 * 1024;
+};
+
+struct ShardedReport {
+  FillReport fill;
+  int cols = 0;
+  int rows = 0;
+  int shardCount = 0;
+  std::uint64_t spilledBytes = 0;
+  std::uint64_t spillEvents = 0;
+  std::size_t wireCount = 0;
+  long long outputBytes = 0;
+  double ingestSeconds = 0.0;
+  double fftSeconds = 0.0;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const ShardedOptions& options) : options_(options) {}
+
+  /// Bounded-memory pre-scan with service::loadFlatLayout's exact
+  /// semantics: bbox over every structure's boundary bboxes and the
+  /// maximum GDS layer number. Detects GDSII vs OFL-OASIS by magic.
+  static bool scanExtents(const std::string& path, geom::Rect* bbox,
+                          int* maxLayer, std::string* error);
+
+  /// Streams `inputPath` through the sharded flow and writes the filled
+  /// GDSII to `outputPath`. `die` overrides the pre-scanned bbox.
+  bool runFile(const std::string& inputPath, const std::string& outputPath,
+               const std::optional<geom::Rect>& die, ShardedReport* report,
+               std::string* error) const;
+
+  const ShardedOptions& options() const { return options_; }
+
+ private:
+  ShardedOptions options_;
+};
+
+}  // namespace ofl::fill

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "gds/gds_records.hpp"
+#include "gds/stream_reader.hpp"
 
 namespace ofl::gds {
 namespace {
@@ -167,16 +168,11 @@ std::optional<Library> Reader::parse(std::span<const std::uint8_t> bytes) {
 }
 
 std::optional<Library> Reader::readFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (read != bytes.size()) return std::nullopt;
-  return parse(bytes);
+  // Stream the file through the bounded-buffer scanner instead of slurping
+  // it: peak RSS stays O(record) even for multi-gigabyte inputs.
+  LibraryCollector collector;
+  if (!StreamReader::scan(path, collector, nullptr)) return std::nullopt;
+  return collector.takeLibrary();
 }
 
 }  // namespace ofl::gds

@@ -3,12 +3,14 @@
 #include <cstdio>
 
 #include "gds/gds_records.hpp"
+#include "gds/record_builder.hpp"
 
 namespace ofl::gds {
-namespace {
 
-void record(std::vector<std::uint8_t>& out, RecordTag tag,
-            const std::vector<std::uint8_t>& payload = {}) {
+namespace record {
+
+void append(std::vector<std::uint8_t>& out, RecordTag tag,
+            const std::vector<std::uint8_t>& payload) {
   putU16(out, static_cast<std::uint16_t>(4 + payload.size()));
   putU16(out, static_cast<std::uint16_t>(tag));
   out.insert(out.end(), payload.begin(), payload.end());
@@ -21,31 +23,56 @@ std::vector<std::uint8_t> asciiPayload(const std::string& s) {
 }
 
 std::vector<std::uint8_t> timestampPayload() {
-  // 12 int16 fields (modification + access time). Fixed epoch keeps output
-  // byte-identical across runs, which the tests rely on.
   std::vector<std::uint8_t> p;
   for (int i = 0; i < 12; ++i) putU16(p, 0);
   return p;
 }
 
-void writeSref(std::vector<std::uint8_t>& out, const Sref& s) {
-  record(out, RecordTag::kSref);
-  record(out, RecordTag::kSname, asciiPayload(s.cellName));
+void appendFilePrologue(std::vector<std::uint8_t>& out,
+                        const std::string& libName, double userUnitsPerDbu,
+                        double metersPerDbu) {
+  {
+    std::vector<std::uint8_t> p;
+    putU16(p, 600);  // stream version
+    append(out, RecordTag::kHeader, p);
+  }
+  append(out, RecordTag::kBgnLib, timestampPayload());
+  append(out, RecordTag::kLibName, asciiPayload(libName));
+  {
+    std::vector<std::uint8_t> p;
+    const std::uint64_t uu = encodeReal8(userUnitsPerDbu);
+    const std::uint64_t mu = encodeReal8(metersPerDbu);
+    for (int i = 7; i >= 0; --i)
+      p.push_back(static_cast<std::uint8_t>((uu >> (8 * i)) & 0xFF));
+    for (int i = 7; i >= 0; --i)
+      p.push_back(static_cast<std::uint8_t>((mu >> (8 * i)) & 0xFF));
+    append(out, RecordTag::kUnits, p);
+  }
+}
+
+void appendCellBegin(std::vector<std::uint8_t>& out, const std::string& name) {
+  append(out, RecordTag::kBgnStr, timestampPayload());
+  append(out, RecordTag::kStrName, asciiPayload(name));
+}
+
+void appendSref(std::vector<std::uint8_t>& out, const Sref& s) {
+  append(out, RecordTag::kSref);
+  append(out, RecordTag::kSname, asciiPayload(s.cellName));
   std::vector<std::uint8_t> p;
   putI32(p, static_cast<std::int32_t>(s.origin.x));
   putI32(p, static_cast<std::int32_t>(s.origin.y));
-  record(out, RecordTag::kXy, p);
-  record(out, RecordTag::kEndEl);
+  append(out, RecordTag::kXy, p);
+  append(out, RecordTag::kEndEl);
 }
 
-void writeAref(std::vector<std::uint8_t>& out, const Aref& a) {
-  record(out, RecordTag::kAref);
-  record(out, RecordTag::kSname, asciiPayload(a.cellName));
+void appendAref(std::vector<std::uint8_t>& out, const Aref& a) {
+  append(out, RecordTag::kAref);
+  append(out, RecordTag::kSname, asciiPayload(a.cellName));
   {
     std::vector<std::uint8_t> p;
     putU16(p, static_cast<std::uint16_t>(a.cols));
     putU16(p, static_cast<std::uint16_t>(a.rows));
-    record(out, RecordTag::kColRow, p);
+    append(out, RecordTag::kColRow, p);
   }
   // AREF XY: origin, origin displaced cols*pitchX in x, origin displaced
   // rows*pitchY in y (GDSII stores the far lattice corners).
@@ -56,21 +83,21 @@ void writeAref(std::vector<std::uint8_t>& out, const Aref& a) {
   putI32(p, static_cast<std::int32_t>(a.origin.y));
   putI32(p, static_cast<std::int32_t>(a.origin.x));
   putI32(p, static_cast<std::int32_t>(a.origin.y + a.rows * a.pitchY));
-  record(out, RecordTag::kXy, p);
-  record(out, RecordTag::kEndEl);
+  append(out, RecordTag::kXy, p);
+  append(out, RecordTag::kEndEl);
 }
 
-void writeBoundary(std::vector<std::uint8_t>& out, const Boundary& b) {
-  record(out, RecordTag::kBoundary);
+void appendBoundary(std::vector<std::uint8_t>& out, const Boundary& b) {
+  append(out, RecordTag::kBoundary);
   {
     std::vector<std::uint8_t> p;
     putU16(p, static_cast<std::uint16_t>(b.layer));
-    record(out, RecordTag::kLayer, p);
+    append(out, RecordTag::kLayer, p);
   }
   {
     std::vector<std::uint8_t> p;
     putU16(p, static_cast<std::uint16_t>(b.datatype));
-    record(out, RecordTag::kDataType, p);
+    append(out, RecordTag::kDataType, p);
   }
   {
     std::vector<std::uint8_t> p;
@@ -83,41 +110,42 @@ void writeBoundary(std::vector<std::uint8_t>& out, const Boundary& b) {
       putI32(p, static_cast<std::int32_t>(b.vertices.front().x));
       putI32(p, static_cast<std::int32_t>(b.vertices.front().y));
     }
-    record(out, RecordTag::kXy, p);
+    append(out, RecordTag::kXy, p);
   }
-  record(out, RecordTag::kEndEl);
+  append(out, RecordTag::kEndEl);
 }
 
-}  // namespace
+void appendRect(std::vector<std::uint8_t>& out, std::int16_t layer,
+                const geom::Rect& r, std::int16_t datatype) {
+  Boundary b;
+  b.layer = layer;
+  b.datatype = datatype;
+  b.vertices = {{r.xl, r.yl}, {r.xh, r.yl}, {r.xh, r.yh}, {r.xl, r.yh}};
+  appendBoundary(out, b);
+}
+
+void appendCellEnd(std::vector<std::uint8_t>& out) {
+  append(out, RecordTag::kEndStr);
+}
+
+void appendFileEpilogue(std::vector<std::uint8_t>& out) {
+  append(out, RecordTag::kEndLib);
+}
+
+}  // namespace record
 
 std::vector<std::uint8_t> Writer::serialize(const Library& lib) {
   std::vector<std::uint8_t> out;
-  {
-    std::vector<std::uint8_t> p;
-    putU16(p, 600);  // stream version
-    record(out, RecordTag::kHeader, p);
-  }
-  record(out, RecordTag::kBgnLib, timestampPayload());
-  record(out, RecordTag::kLibName, asciiPayload(lib.name));
-  {
-    std::vector<std::uint8_t> p;
-    const std::uint64_t uu = encodeReal8(lib.userUnitsPerDbu);
-    const std::uint64_t mu = encodeReal8(lib.metersPerDbu);
-    for (int i = 7; i >= 0; --i)
-      p.push_back(static_cast<std::uint8_t>((uu >> (8 * i)) & 0xFF));
-    for (int i = 7; i >= 0; --i)
-      p.push_back(static_cast<std::uint8_t>((mu >> (8 * i)) & 0xFF));
-    record(out, RecordTag::kUnits, p);
-  }
+  record::appendFilePrologue(out, lib.name, lib.userUnitsPerDbu,
+                             lib.metersPerDbu);
   for (const Cell& cell : lib.cells) {
-    record(out, RecordTag::kBgnStr, timestampPayload());
-    record(out, RecordTag::kStrName, asciiPayload(cell.name));
-    for (const Boundary& b : cell.boundaries) writeBoundary(out, b);
-    for (const Sref& s : cell.srefs) writeSref(out, s);
-    for (const Aref& a : cell.arefs) writeAref(out, a);
-    record(out, RecordTag::kEndStr);
+    record::appendCellBegin(out, cell.name);
+    for (const Boundary& b : cell.boundaries) record::appendBoundary(out, b);
+    for (const Sref& s : cell.srefs) record::appendSref(out, s);
+    for (const Aref& a : cell.arefs) record::appendAref(out, a);
+    record::appendCellEnd(out);
   }
-  record(out, RecordTag::kEndLib);
+  record::appendFileEpilogue(out);
   return out;
 }
 

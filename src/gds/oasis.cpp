@@ -394,16 +394,219 @@ std::optional<Library> OasisReader::parse(std::span<const std::uint8_t> bytes) {
 }
 
 std::optional<Library> OasisReader::readFile(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return std::nullopt;
-  std::fseek(f, 0, SEEK_END);
-  const long size = std::ftell(f);
-  std::fseek(f, 0, SEEK_SET);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
-  std::fclose(f);
-  if (read != bytes.size()) return std::nullopt;
-  return parse(bytes);
+  // Route through the bounded-buffer scanner so the non-streamed path no
+  // longer pays 1x file size of extra RSS before parsing.
+  LibraryCollector collector;
+  if (!OasisStreamReader::scan(path, collector, nullptr)) return std::nullopt;
+  return collector.takeLibrary();
+}
+
+namespace {
+
+// Incremental varint/string decoders over a ByteSource; std::nullopt on
+// truncation or overflow, matching the span-based getVarUint family.
+std::optional<std::uint64_t> readVarUint(ByteSource& src) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (src.ensure(1) >= 1) {
+    const std::uint8_t byte = src.data()[0];
+    src.consume(1);
+    if (shift >= 64) return std::nullopt;
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::int64_t> readVarInt(ByteSource& src) {
+  const auto raw = readVarUint(src);
+  if (!raw.has_value()) return std::nullopt;
+  return static_cast<std::int64_t>(*raw >> 1) ^
+         -static_cast<std::int64_t>(*raw & 1);
+}
+
+std::optional<std::string> readString(ByteSource& src, std::size_t maxBytes) {
+  const auto len = readVarUint(src);
+  if (!len.has_value() || *len > maxBytes) return std::nullopt;
+  const std::size_t n = static_cast<std::size_t>(*len);
+  if (src.ensure(n) < n) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(src.data()), n);
+  src.consume(n);
+  return s;
+}
+
+std::optional<double> readDouble(ByteSource& src) {
+  if (src.ensure(8) < 8) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(src.data()[i]) << (8 * i);
+  }
+  src.consume(8);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+bool OasisStreamReader::scan(const std::string& path, StreamEvents& events,
+                             std::string* error) {
+  return scan(path, events, error, Options{});
+}
+
+bool OasisStreamReader::scan(const std::string& path, StreamEvents& events,
+                             std::string* error, const Options& options) {
+  const auto fail = [error](const char* message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  ByteSource src(path, ByteSource::Options{options.chunkBytes});
+  if (!src.ok()) return fail("cannot open file");
+
+  if (src.ensure(kMagicLen + 1) < kMagicLen + 1 ||
+      std::memcmp(src.data(), kMagic, kMagicLen) != 0 ||
+      src.data()[kMagicLen] != kStart) {
+    return fail("not an OFL-OASIS stream");
+  }
+  src.consume(kMagicLen + 1);
+  {
+    const auto name = readString(src, options.maxStringBytes);
+    const auto uu = readDouble(src);
+    const auto mu = readDouble(src);
+    if (!name || !uu || !mu) return fail("truncated START record");
+    events.onLibraryName(*name);
+    events.onUnits(*uu, *mu);
+  }
+
+  bool inCell = false;
+  Modal modal;
+  while (true) {
+    if (src.ensure(1) < 1) {
+      return fail(src.ioError() ? "read error" : "missing END record");
+    }
+    const std::uint8_t rec = src.data()[0];
+    src.consume(1);
+    switch (rec) {
+      case kEnd:
+        if (inCell) events.onEndCell();
+        return true;
+      case kCellRec: {
+        const auto name = readString(src, options.maxStringBytes);
+        if (!name) return fail("truncated CELL record");
+        if (inCell) events.onEndCell();
+        inCell = true;
+        events.onBeginCell();
+        events.onCellName(*name);
+        modal = Modal{};
+        break;
+      }
+      case kRectRec: {
+        if (!inCell || src.ensure(1) < 1) return fail("malformed RECT record");
+        const std::uint8_t info = src.data()[0];
+        src.consume(1);
+        if (info & kLayerChanged) {
+          const auto v = readVarUint(src);
+          if (!v) return fail("malformed RECT record");
+          modal.layer = static_cast<std::int64_t>(*v);
+        }
+        if (info & kDatatypeChanged) {
+          const auto v = readVarUint(src);
+          if (!v) return fail("malformed RECT record");
+          modal.datatype = static_cast<std::int64_t>(*v);
+        }
+        if (info & kWidthChanged) {
+          const auto v = readVarUint(src);
+          if (!v) return fail("malformed RECT record");
+          modal.width = static_cast<geom::Coord>(*v);
+        }
+        if (info & kHeightChanged) {
+          const auto v = readVarUint(src);
+          if (!v) return fail("malformed RECT record");
+          modal.height = static_cast<geom::Coord>(*v);
+        }
+        const auto dx = readVarInt(src);
+        const auto dy = readVarInt(src);
+        if (!dx || !dy || modal.layer < 0 || modal.width <= 0 ||
+            modal.height <= 0) {
+          return fail("malformed RECT record");
+        }
+        modal.x += *dx;
+        modal.y += *dy;
+        Boundary b;
+        b.layer = static_cast<std::int16_t>(modal.layer);
+        b.datatype = static_cast<std::int16_t>(modal.datatype);
+        b.vertices = {{modal.x, modal.y},
+                      {modal.x + modal.width, modal.y},
+                      {modal.x + modal.width, modal.y + modal.height},
+                      {modal.x, modal.y + modal.height}};
+        events.onBoundary(b);
+        break;
+      }
+      case kPolygonRec: {
+        if (!inCell) return fail("POLYGON outside cell");
+        const auto layer = readVarUint(src);
+        const auto datatype = readVarUint(src);
+        const auto count = readVarUint(src);
+        if (!layer || !datatype || !count || *count > 1u << 20) {
+          return fail("malformed POLYGON record");
+        }
+        Boundary b;
+        b.layer = static_cast<std::int16_t>(*layer);
+        b.datatype = static_cast<std::int16_t>(*datatype);
+        geom::Point prev{modal.x, modal.y};
+        for (std::uint64_t i = 0; i < *count; ++i) {
+          const auto dx = readVarInt(src);
+          const auto dy = readVarInt(src);
+          if (!dx || !dy) return fail("malformed POLYGON record");
+          prev = {prev.x + *dx, prev.y + *dy};
+          b.vertices.push_back(prev);
+        }
+        modal.x = prev.x;
+        modal.y = prev.y;
+        events.onBoundary(b);
+        break;
+      }
+      case kPlacementRec: {
+        if (!inCell) return fail("PLACEMENT outside cell");
+        const auto name = readString(src, options.maxStringBytes);
+        const auto dx = readVarInt(src);
+        const auto dy = readVarInt(src);
+        if (!name || !dx || !dy) return fail("malformed PLACEMENT record");
+        modal.x += *dx;
+        modal.y += *dy;
+        events.onSref({*name, {modal.x, modal.y}});
+        break;
+      }
+      case kArrayRec: {
+        if (!inCell) return fail("ARRAY outside cell");
+        const auto name = readString(src, options.maxStringBytes);
+        const auto dx = readVarInt(src);
+        const auto dy = readVarInt(src);
+        const auto cols = readVarUint(src);
+        const auto rows = readVarUint(src);
+        const auto px = readVarInt(src);
+        const auto py = readVarInt(src);
+        if (!name || !dx || !dy || !cols || !rows || !px || !py ||
+            *cols > 1u << 20 || *rows > 1u << 20) {
+          return fail("malformed ARRAY record");
+        }
+        modal.x += *dx;
+        modal.y += *dy;
+        Aref a;
+        a.cellName = *name;
+        a.origin = {modal.x, modal.y};
+        a.cols = static_cast<int>(*cols);
+        a.rows = static_cast<int>(*rows);
+        a.pitchX = *px;
+        a.pitchY = *py;
+        events.onAref(a);
+        break;
+      }
+      default:
+        return fail("unknown record");
+    }
+  }
 }
 
 }  // namespace ofl::gds

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "gds/gds_writer.hpp"
+#include "gds/stream_reader.hpp"
 
 namespace ofl::gds {
 
@@ -35,6 +36,26 @@ class OasisReader {
  public:
   static std::optional<Library> parse(std::span<const std::uint8_t> bytes);
   static std::optional<Library> readFile(const std::string& path);
+};
+
+/// Chunked OFL-OASIS scanner: the OASIS counterpart of StreamReader.
+/// Decodes records (varints read incrementally) from a bounded buffer and
+/// fires the same StreamEvents, so the sharded ingest path and
+/// OasisReader::readFile share one bounded-memory front end.
+class OasisStreamReader {
+ public:
+  struct Options {
+    std::size_t chunkBytes = 256 * 1024;
+    /// Cap on one string payload (cell/library names). parse() accepts
+    /// anything that fits in the file; the streaming path bounds its
+    /// buffer explicitly instead.
+    std::size_t maxStringBytes = 1 << 20;
+  };
+
+  static bool scan(const std::string& path, StreamEvents& events,
+                   std::string* error);
+  static bool scan(const std::string& path, StreamEvents& events,
+                   std::string* error, const Options& options);
 };
 
 // Exposed for tests: LEB128 unsigned and zigzag-signed varints.

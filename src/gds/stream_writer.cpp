@@ -1,0 +1,96 @@
+#include "gds/stream_writer.hpp"
+
+#include "gds/record_builder.hpp"
+
+namespace ofl::gds {
+
+StreamWriter::StreamWriter(const std::string& path)
+    : StreamWriter(path, Options{}) {}
+
+StreamWriter::StreamWriter(const std::string& path, const Options& options)
+    : flushBytes_(options.flushBytes) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  opened_ = true;
+  record::appendFilePrologue(buffer_, options.libName, options.userUnitsPerDbu,
+                             options.metersPerDbu);
+  bytesWritten_ = static_cast<long long>(buffer_.size());
+}
+
+StreamWriter::~StreamWriter() {
+  finish();
+}
+
+void StreamWriter::beginCell(const std::string& name) {
+  if (inCell_) endCell();
+  const std::size_t before = buffer_.size();
+  record::appendCellBegin(buffer_, name);
+  bytesWritten_ += static_cast<long long>(buffer_.size() - before);
+  inCell_ = true;
+  maybeFlush();
+}
+
+void StreamWriter::addBoundary(const Boundary& b) {
+  const std::size_t before = buffer_.size();
+  record::appendBoundary(buffer_, b);
+  bytesWritten_ += static_cast<long long>(buffer_.size() - before);
+  maybeFlush();
+}
+
+void StreamWriter::addRect(std::int16_t layer, const geom::Rect& r,
+                           std::int16_t datatype) {
+  const std::size_t before = buffer_.size();
+  record::appendRect(buffer_, layer, r, datatype);
+  bytesWritten_ += static_cast<long long>(buffer_.size() - before);
+  maybeFlush();
+}
+
+void StreamWriter::addSref(const Sref& s) {
+  const std::size_t before = buffer_.size();
+  record::appendSref(buffer_, s);
+  bytesWritten_ += static_cast<long long>(buffer_.size() - before);
+  maybeFlush();
+}
+
+void StreamWriter::addAref(const Aref& a) {
+  const std::size_t before = buffer_.size();
+  record::appendAref(buffer_, a);
+  bytesWritten_ += static_cast<long long>(buffer_.size() - before);
+  maybeFlush();
+}
+
+void StreamWriter::endCell() {
+  if (!inCell_) return;
+  const std::size_t before = buffer_.size();
+  record::appendCellEnd(buffer_);
+  bytesWritten_ += static_cast<long long>(buffer_.size() - before);
+  inCell_ = false;
+  maybeFlush();
+}
+
+long long StreamWriter::finish() {
+  if (finished_) return ok() ? bytesWritten_ : -1;
+  finished_ = true;
+  if (!opened_) return -1;
+  if (inCell_) endCell();
+  record::appendFileEpilogue(buffer_);
+  bytesWritten_ += 4;  // ENDLIB
+  flush();
+  if (std::fclose(file_) != 0) ioError_ = true;
+  file_ = nullptr;
+  return ioError_ ? -1 : bytesWritten_;
+}
+
+void StreamWriter::maybeFlush() {
+  if (buffer_.size() >= flushBytes_) flush();
+}
+
+void StreamWriter::flush() {
+  if (file_ == nullptr || buffer_.empty()) return;
+  const std::size_t written =
+      std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+  if (written != buffer_.size()) ioError_ = true;
+  buffer_.clear();
+}
+
+}  // namespace ofl::gds

@@ -1,0 +1,112 @@
+// Budgeted rect spools backing the window-sharded fill pipeline.
+//
+// The streaming ingest routes every decomposed wire rect into per-
+// (layer, window-row) spools plus per-layer pass-through spools; candidate
+// and fill rects flow through further spools between passes. A ShardStore
+// owns all of them under one byte budget: appends land in memory, and when
+// the total exceeds the budget every buffered spool flushes to its own
+// spill file (append order preserved: file bytes replay before the
+// in-memory tail). Spill files live under `spillDir` and are removed on
+// release/destruction.
+//
+// Not thread-safe: the sharded engine appends and replays from its
+// orchestration thread only (workers touch per-window slots, never the
+// store).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.hpp"
+
+namespace ofl::layout {
+
+class ShardStore {
+ public:
+  struct Options {
+    std::size_t memBudgetBytes = 256u << 20;
+    /// Directory for spill files (must exist; "." default).
+    std::string spillDir = ".";
+  };
+
+  using SpoolId = std::size_t;
+
+  explicit ShardStore(const Options& options);
+  ~ShardStore();
+
+  ShardStore(const ShardStore&) = delete;
+  ShardStore& operator=(const ShardStore&) = delete;
+
+  SpoolId createSpool();
+
+  void append(SpoolId id, const geom::Rect& r);
+
+  /// Streams one spool's rects in append order (spilled prefix first,
+  /// then the in-memory tail). Valid until the spool is appended to,
+  /// released, or spilled.
+  class Reader {
+   public:
+    /// False at end of spool (or on read error; see ShardStore::ioError).
+    bool next(geom::Rect& out);
+
+   private:
+    friend class ShardStore;
+    Reader(ShardStore* store, SpoolId id);
+    ShardStore* store_;
+    SpoolId id_;
+    std::FILE* file_ = nullptr;
+    std::uint64_t remainingOnDisk_ = 0;
+    std::size_t memPos_ = 0;
+    std::vector<geom::Rect> chunk_;
+    std::size_t chunkPos_ = 0;
+    bool done_ = false;
+
+   public:
+    Reader(Reader&& other) noexcept;
+    Reader& operator=(Reader&&) = delete;
+    ~Reader();
+  };
+
+  Reader read(SpoolId id);
+
+  /// Replays a whole spool through `fn` (convenience over read()).
+  void forEach(SpoolId id, const std::function<void(const geom::Rect&)>& fn);
+
+  std::uint64_t count(SpoolId id) const;
+
+  /// Drops the spool's memory and deletes its spill file.
+  void release(SpoolId id);
+
+  /// Current in-memory bytes across all spools.
+  std::uint64_t memoryBytes() const { return memoryBytes_; }
+  /// Total bytes ever written to spill files.
+  std::uint64_t spilledBytes() const { return spilledBytes_; }
+  /// Budget-triggered flushes.
+  std::uint64_t spillEvents() const { return spillEvents_; }
+  bool ioError() const { return ioError_; }
+
+ private:
+  struct Spool {
+    std::vector<geom::Rect> mem;
+    std::string path;       // spill file; empty until first spill
+    std::uint64_t onDisk = 0;  // rects in the spill file
+    std::uint64_t total = 0;   // rects appended overall
+    bool released = false;
+  };
+
+  void maybeSpill();
+  void spill(Spool& s);
+
+  Options options_;
+  std::vector<Spool> spools_;
+  std::uint64_t memoryBytes_ = 0;
+  std::uint64_t spilledBytes_ = 0;
+  std::uint64_t spillEvents_ = 0;
+  std::uint64_t fileSerial_ = 0;
+  bool ioError_ = false;
+};
+
+}  // namespace ofl::layout

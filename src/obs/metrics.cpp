@@ -347,6 +347,7 @@ void registerCoreSeries() {
        {"engine.runs", "engine.windows", "engine.candidates", "engine.fills",
         "engine.mcf_warm_starts", "engine.mcf_early_exits",
         "engine.eco_windows_skipped",
+        "scale.runs", "scale.shards", "scale.spill_bytes", "scale.spill_events",
         "cache.hits", "cache.misses", "cache.evictions",
         "sched.tasks_submitted", "sched.tasks_completed",
         "service.jobs_submitted", "service.jobs_completed",
@@ -355,11 +356,14 @@ void registerCoreSeries() {
   }
   for (const char* name :
        {"cache.bytes_used", "cache.entries", "sched.queue_depth",
-        "process.peak_rss_mib", "process.rss_mib"}) {
+        "process.peak_rss_mib", "process.rss_mib", "scale.rows",
+        "scale.mem_budget_mib", "fill.peak_rss_mib", "fill.seconds",
+        "fill.output_bytes"}) {
     reg.gauge(name);
   }
   for (const char* name : {"engine.run_seconds", "job.queue_seconds",
-                           "job.run_seconds", "sched.queue_wait_seconds"}) {
+                           "job.run_seconds", "sched.queue_wait_seconds",
+                           "scale.ingest_seconds", "scale.fft_seconds"}) {
     reg.histogram(name);
   }
   reg.histogram("quality.density_gap", Histogram::unitBounds());

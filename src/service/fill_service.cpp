@@ -7,6 +7,7 @@
 #include "common/memory_usage.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "fill/sharded_engine.hpp"
 #include "gds/gds_writer.hpp"
 #include "gds/oasis.hpp"
 #include "layout/gds_compact.hpp"
@@ -184,6 +185,45 @@ void FillService::execute(Job& job) {
 JobResult FillService::runJob(Job& job) const {
   const JobSpec& spec = job.spec;
   JobResult r;
+
+  if (spec.stream) {
+    auto fail = [&r](const std::string& message) {
+      r.status = JobStatus::kFailed;
+      r.error = message;
+      return r;
+    };
+    if (spec.kind == JobKind::kEco) {
+      return fail("ECO (runIncremental) is not supported with --stream");
+    }
+    if (spec.compact) return fail("--compact is not supported with --stream");
+    if (spec.format == OutputFormat::kOasis) {
+      return fail("--format oasis is not supported with --stream");
+    }
+    if (spec.layout != nullptr || spec.keepLayout) {
+      return fail("streamed jobs take file input and output only");
+    }
+    if (spec.inputPath.empty() || spec.outputPath.empty()) {
+      return fail("streamed job requires input and output paths");
+    }
+    fill::ShardedOptions sharded;
+    sharded.engine = spec.engine;
+    sharded.engine.numThreads = threadsPerJob_;
+    sharded.engine.cancel = &job.token;
+    sharded.engine.jobId = static_cast<std::int64_t>(job.id);
+    sharded.memBudgetMiB = spec.memBudgetMiB;
+    fill::ShardedReport shardedReport;
+    std::string error;
+    if (!fill::ShardedEngine(sharded).runFile(spec.inputPath, spec.outputPath,
+                                              spec.die, &shardedReport,
+                                              &error)) {
+      return fail(error);
+    }
+    r.report = shardedReport.fill;
+    r.fillCount = shardedReport.fill.fillCount;
+    r.outputBytes = shardedReport.outputBytes;
+    r.status = JobStatus::kSucceeded;
+    return r;
+  }
 
   layout::Layout chip({}, 0);
   if (spec.layout != nullptr) {

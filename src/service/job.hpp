@@ -57,6 +57,15 @@ struct JobSpec {
   OutputFormat format = OutputFormat::kGds;
   bool compact = false;  // AREF-compacted GDS (layout::toCompactGds)
 
+  /// Run through the bounded-memory sharded pipeline (fill::ShardedEngine,
+  /// `openfill fill --stream`): file in, file out, byte-identical to the
+  /// in-memory path. Requires inputPath and outputPath; incompatible with
+  /// kEco, compact, OASIS output, in-memory layout input, keepLayout and
+  /// the result cache (streamed jobs always run).
+  bool stream = false;
+  /// Peak-memory target for streamed jobs (`--mem-budget-mb`).
+  std::size_t memBudgetMiB = 512;
+
   /// Keep the filled layout in JobResult::layout (for in-process callers
   /// that want the geometry, e.g. bench_throughput).
   bool keepLayout = false;

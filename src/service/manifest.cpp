@@ -157,6 +157,19 @@ bool parseLine(const std::vector<std::string>& tokens, JobSpec* spec,
         return false;
       }
       spec->compact = true;
+    } else if (key == "stream") {
+      if (hasValue) {
+        *err = "--stream is a flag and takes no value";
+        return false;
+      }
+      spec->stream = true;
+    } else if (key == "mem-budget-mb") {
+      if (!intValue(&n)) return false;
+      if (n <= 0) {
+        *err = "--mem-budget-mb expects a positive integer";
+        return false;
+      }
+      spec->memBudgetMiB = static_cast<std::size_t>(n);
     } else {
       *err = "unknown option --" + key;
       return false;

@@ -42,6 +42,40 @@ TEST(BenchmarkGeneratorTest, DeterministicPerSeed) {
   }
 }
 
+TEST(BenchmarkGeneratorTest, GenerateStreamEmitsExactlyGenerateInOrder) {
+  // generate() is a thin wrapper over generateStream(); the streamed
+  // emission (layer-major, wire order) is what `openfill generate --stream`
+  // and bench_scale write, so the two must stay in lockstep.
+  const BenchmarkSpec spec = BenchmarkGenerator::spec("s");
+  const layout::Layout batch = BenchmarkGenerator::generate(spec);
+
+  int lastLayer = 0;
+  std::vector<std::vector<geom::Rect>> streamed(
+      static_cast<std::size_t>(spec.numLayers));
+  BenchmarkGenerator::generateStream(
+      spec, [&](int l, const geom::Rect& wire) {
+        EXPECT_GE(l, lastLayer);  // layer-major emission order
+        lastLayer = l;
+        streamed[static_cast<std::size_t>(l)].push_back(wire);
+      });
+
+  ASSERT_EQ(batch.numLayers(), spec.numLayers);
+  for (int l = 0; l < batch.numLayers(); ++l) {
+    EXPECT_EQ(streamed[static_cast<std::size_t>(l)], batch.layer(l).wires)
+        << "layer " << l;
+  }
+}
+
+TEST(BenchmarkGeneratorTest, XlSpecIsContestScale) {
+  const BenchmarkSpec xl = BenchmarkGenerator::spec("xl");
+  const BenchmarkSpec m = BenchmarkGenerator::spec("m");
+  EXPECT_EQ(xl.name, "xl");
+  EXPECT_GT(xl.die.area(), m.die.area());
+  // xl is generated and filled streamingly; pin the die so BENCH_scale
+  // numbers stay comparable across runs.
+  EXPECT_EQ(xl.die.xh - xl.die.xl, 160 * 1200);
+}
+
 TEST(BenchmarkGeneratorTest, SuiteSizesOrdered) {
   const auto s = BenchmarkGenerator::generate(BenchmarkGenerator::spec("s"));
   const auto b = BenchmarkGenerator::generate(BenchmarkGenerator::spec("b"));

@@ -1,0 +1,98 @@
+// FftDensity equivalence (ISSUE 9): the O(n log n) FFT smoothing pass must
+// match the direct O(n * k^2) convolution it replaces — same truncated
+// Gaussian kernel, same zero-padding and edge renormalization — to within
+// floating-point roundoff, on grids that are not powers of two.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "density/density_map.hpp"
+#include "density/fft_density.hpp"
+
+namespace ofl::density {
+namespace {
+
+DensityMap randomMap(Rng& rng, int cols, int rows) {
+  std::vector<double> v(static_cast<std::size_t>(cols) * rows);
+  for (double& d : v) d = rng.uniformReal(0.0, 1.0);
+  return DensityMap(cols, rows, std::move(v));
+}
+
+void expectMapsNear(const DensityMap& a, const DensityMap& b, double tol) {
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.rows(), b.rows());
+  for (int j = 0; j < a.rows(); ++j) {
+    for (int i = 0; i < a.cols(); ++i) {
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), tol) << "(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(FftDensityTest, FftRoundTripRecoversInput) {
+  Rng rng(11);
+  std::vector<double> re(64), im(64);
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    re[i] = rng.uniformReal(-1.0, 1.0);
+    im[i] = rng.uniformReal(-1.0, 1.0);
+  }
+  std::vector<double> fre = re, fim = im;
+  FftDensity::fft(fre, fim, /*inverse=*/false);
+  FftDensity::fft(fre, fim, /*inverse=*/true);
+  for (std::size_t i = 0; i < re.size(); ++i) {
+    EXPECT_NEAR(fre[i], re[i], 1e-12);
+    EXPECT_NEAR(fim[i], im[i], 1e-12);
+  }
+}
+
+TEST(FftDensityTest, SmoothMatchesDirectConvolution) {
+  Rng rng(42);
+  // Non-power-of-two grids and sigmas whose 3-sigma kernel both fits
+  // inside and overhangs the grid.
+  const int dims[][2] = {{1, 1}, {3, 5}, {7, 7}, {16, 9}, {33, 21}};
+  for (const auto& d : dims) {
+    const DensityMap map = randomMap(rng, d[0], d[1]);
+    for (const double sigma : {0.4, 1.0, 1.5, 4.0}) {
+      const DensityMap viaFft = FftDensity::smooth(map, sigma);
+      const DensityMap direct = FftDensity::smoothDirect(map, sigma);
+      SCOPED_TRACE(::testing::Message()
+                   << d[0] << "x" << d[1] << " sigma " << sigma);
+      expectMapsNear(viaFft, direct, 1e-9);
+    }
+  }
+}
+
+TEST(FftDensityTest, NonPositiveSigmaIsIdentity) {
+  Rng rng(7);
+  const DensityMap map = randomMap(rng, 5, 4);
+  for (const double sigma : {0.0, -1.0}) {
+    const DensityMap out = FftDensity::smooth(map, sigma);
+    expectMapsNear(out, map, 0.0);
+  }
+}
+
+TEST(FftDensityTest, UniformMapIsFixedPoint) {
+  // Edge renormalization exists exactly so a constant field stays constant
+  // under smoothing (no darkening at the die boundary).
+  const DensityMap map(9, 6, std::vector<double>(54, 0.37));
+  const DensityMap out = FftDensity::smooth(map, 2.0);
+  expectMapsNear(out, map, 1e-9);
+}
+
+TEST(FftDensityTest, SmoothingPreservesMassInterior) {
+  // A single unit spike far from the edges spreads but keeps total mass.
+  std::vector<double> v(31 * 31, 0.0);
+  v[static_cast<std::size_t>(15 * 31 + 15)] = 1.0;
+  const DensityMap map(31, 31, std::move(v));
+  const DensityMap out = FftDensity::smooth(map, 2.0);
+  double mass = 0.0;
+  for (int j = 0; j < out.rows(); ++j)
+    for (int i = 0; i < out.cols(); ++i) mass += out.at(i, j);
+  EXPECT_NEAR(mass, 1.0, 1e-6);
+  EXPECT_LT(out.at(15, 15), 1.0);
+  EXPECT_GT(out.at(15, 15), out.at(0, 0));
+}
+
+}  // namespace
+}  // namespace ofl::density

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <memory>
 
+#include "contest/benchmark_generator.hpp"
 #include "fill/fill_engine.hpp"
+#include "gds/gds_writer.hpp"
 #include "service/fingerprint.hpp"
 #include "service/manifest.hpp"
 
@@ -252,6 +255,91 @@ TEST(FillServiceTest, MissingInputFileFailsCleanly) {
   const JobResult result = service.wait(0);
   EXPECT_EQ(result.status, JobStatus::kFailed);
   EXPECT_FALSE(result.error.empty());
+}
+
+// --stream jobs run the bounded-memory sharded pipeline; modes that need
+// the whole layout resident must be rejected up front, not half-run.
+TEST(FillServiceStreamTest, EcoIsRejectedWithClearError) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  FillService service(so);
+
+  JobSpec spec;
+  spec.kind = JobKind::kEco;
+  spec.stream = true;
+  spec.inputPath = "in.gds";
+  spec.outputPath = "out.gds";
+  service.submit(spec);
+  const JobResult result = service.wait(0);
+  EXPECT_EQ(result.status, JobStatus::kFailed);
+  EXPECT_NE(result.error.find("not supported with --stream"),
+            std::string::npos)
+      << result.error;
+}
+
+TEST(FillServiceStreamTest, CompactAndInMemoryInputsAreRejected) {
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  FillService service(so);
+
+  JobSpec compacted;
+  compacted.stream = true;
+  compacted.compact = true;
+  compacted.inputPath = "in.gds";
+  compacted.outputPath = "out.gds";
+  service.submit(compacted);
+
+  JobSpec inMemory = makeSpec(makeInput(), fastOptions());
+  inMemory.stream = true;
+  inMemory.outputPath = "out.gds";
+  service.submit(inMemory);
+
+  JobSpec pathless;
+  pathless.stream = true;
+  service.submit(pathless);
+
+  const std::vector<JobResult> results = service.waitAll();
+  ASSERT_EQ(results.size(), 3u);
+  for (const JobResult& r : results) {
+    EXPECT_EQ(r.status, JobStatus::kFailed);
+    EXPECT_FALSE(r.error.empty());
+  }
+  EXPECT_NE(results[0].error.find("--compact"), std::string::npos)
+      << results[0].error;
+}
+
+TEST(FillServiceStreamTest, StreamedJobMatchesInMemoryFillCount) {
+  const contest::BenchmarkSpec bench = contest::BenchmarkGenerator::spec("tiny");
+  layout::Layout chip = contest::BenchmarkGenerator::generate(bench);
+  const std::string inputPath = "/tmp/ofl_service_stream_in.gds";
+  const std::string outputPath = "/tmp/ofl_service_stream_out.gds";
+  ASSERT_GT(gds::Writer::writeFile(chip.toGds(), inputPath), 0);
+
+  fill::FillEngineOptions engine;
+  engine.windowSize = bench.windowSize;
+  engine.rules = bench.rules;
+  const fill::FillReport reference = fill::FillEngine(engine).run(chip);
+
+  ServiceOptions so;
+  so.maxConcurrentJobs = 1;
+  so.threadsPerJob = 1;
+  FillService service(so);
+  JobSpec spec;
+  spec.stream = true;
+  spec.inputPath = inputPath;
+  spec.outputPath = outputPath;
+  spec.die = bench.die;
+  spec.engine = engine;
+  spec.memBudgetMiB = 64;
+  service.submit(spec);
+
+  const JobResult result = service.wait(0);
+  ASSERT_EQ(result.status, JobStatus::kSucceeded) << result.error;
+  EXPECT_EQ(result.fillCount, reference.fillCount);
+  EXPECT_FALSE(result.cacheHit);  // streamed jobs bypass the result cache
+  EXPECT_GT(result.outputBytes, 0);
+  std::remove(inputPath.c_str());
+  std::remove(outputPath.c_str());
 }
 
 TEST(FillServiceTest, EngineThrowsOnPreExpiredToken) {

@@ -72,6 +72,32 @@ TEST(ManifestTest, BadLinesReportedWithLineNumbers) {
   EXPECT_EQ(p.jobs[0].inputPath, "e.gds");
 }
 
+TEST(ManifestTest, ParsesStreamAndMemBudget) {
+  const ManifestParse p = parseManifestText(
+      "a.gds --out a_f.gds --stream --mem-budget-mb 128\n"
+      "b.gds --out b_f.gds\n");
+  ASSERT_TRUE(p.ok());
+  ASSERT_EQ(p.jobs.size(), 2u);
+  EXPECT_TRUE(p.jobs[0].stream);
+  EXPECT_EQ(p.jobs[0].memBudgetMiB, 128u);
+  EXPECT_FALSE(p.jobs[1].stream);
+  EXPECT_EQ(p.jobs[1].memBudgetMiB, 512u);  // default
+}
+
+TEST(ManifestTest, RejectsBadStreamAndMemBudgetValues) {
+  const ManifestParse p = parseManifestText(
+      "a.gds --stream=yes\n"        // flag takes no value
+      "b.gds --mem-budget-mb 0\n"   // must be positive
+      "c.gds --mem-budget-mb -4\n"  // must be positive
+      "d.gds --mem-budget-mb\n");   // missing value
+  EXPECT_FALSE(p.ok());
+  ASSERT_EQ(p.errors.size(), 4u);
+  EXPECT_NE(p.errors[0].message.find("--stream"), std::string::npos);
+  EXPECT_NE(p.errors[1].message.find("positive"), std::string::npos);
+  EXPECT_NE(p.errors[2].message.find("positive"), std::string::npos);
+  EXPECT_NE(p.errors[3].message.find("--mem-budget-mb"), std::string::npos);
+}
+
 TEST(ManifestTest, MissingFileReportsIoError) {
   ManifestParse p;
   std::string err;
