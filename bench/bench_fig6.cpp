@@ -3,18 +3,27 @@
 //   min x1 + 2x2 + 3x3 + 4x4,  x1-x2>=5, x4-x3>=6, x in [0,10]^4
 //
 // The paper's solution graph (Fig. 6b) yields x = (5, 0, 0, 6). This bench
-// verifies both MCF backends reproduce it and times them on scaled-up
-// versions of the same chain structure (google-benchmark).
-#include <benchmark/benchmark.h>
-
+// asserts all three MCF backends reproduce it exactly (harness checks) and
+// times NetworkSimplex/SSP on scaled-up copies of the same chain structure.
+// BENCH_fig6.json.
+//
+// Usage: bench_fig6 [reps] [--reps N] [--warmup N] [--out F]
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "bench/harness.hpp"
 #include "mcf/dual_lp.hpp"
 
 using namespace ofl::mcf;
 
 namespace {
+
+volatile std::int64_t gSink = 0;
 
 DifferentialLp fig6Lp() {
   DifferentialLp lp;
@@ -40,35 +49,27 @@ DifferentialLp scaledFig6(int copies) {
   return lp;
 }
 
-void BM_Fig6NetworkSimplex(benchmark::State& state) {
-  const DifferentialLp lp = scaledFig6(static_cast<int>(state.range(0)));
-  const DifferentialLpSolver solver(McfBackend::kNetworkSimplex);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(lp));
-  }
-}
-BENCHMARK(BM_Fig6NetworkSimplex)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
-
-void BM_Fig6Ssp(benchmark::State& state) {
-  const DifferentialLp lp = scaledFig6(static_cast<int>(state.range(0)));
-  const DifferentialLpSolver solver(McfBackend::kSuccessiveShortestPath);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solver.solve(lp));
-  }
-}
-BENCHMARK(BM_Fig6Ssp)->Arg(1)->Arg(16)->Arg(64)->Arg(256);
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Correctness gate first: the bench aborts if the published solution is
-  // not reproduced exactly.
+  using namespace ofl::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv, "", /*reps=*/3,
+                                    /*warmup=*/1);
+  if (!args.suite.empty() &&
+      args.suite.find_first_not_of("0123456789") == std::string::npos) {
+    args.reps = std::max(1, std::atoi(args.suite.c_str()));
+    args.suite = "";
+  }
+  Harness h(args.harnessOptions("fig6"));
+
+  // Correctness gate first: every backend must reproduce the published
+  // solution exactly.
   const DifferentialLp lp = fig6Lp();
   std::printf("== Fig. 6 worked example ==\n");
   for (const auto& [backend, name] :
-       {std::pair{McfBackend::kNetworkSimplex, "network-simplex"},
+       {std::pair{McfBackend::kNetworkSimplex, "network_simplex"},
         std::pair{McfBackend::kSuccessiveShortestPath, "ssp"},
-        std::pair{McfBackend::kCycleCanceling, "cycle-canceling"}}) {
+        std::pair{McfBackend::kCycleCanceling, "cycle_canceling"}}) {
     const DiffLpResult r = DifferentialLpSolver(backend).solve(lp);
     const bool ok = r.feasible && r.x == std::vector<Value>{5, 0, 0, 6} &&
                     r.objective == 29;
@@ -77,10 +78,28 @@ int main(int argc, char** argv) {
                 static_cast<long long>(r.x[2]), static_cast<long long>(r.x[3]),
                 static_cast<long long>(r.objective),
                 ok ? "MATCHES PAPER" : "MISMATCH");
-    if (!ok) return EXIT_FAILURE;
+    h.check(std::string("matches_paper_") + name, ok);
   }
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // Timing curves over replicated chains.
+  std::vector<std::function<void()>> bodies;
+  for (const auto& [backend, tag] :
+       {std::pair{McfBackend::kNetworkSimplex, "nsx"},
+        std::pair{McfBackend::kSuccessiveShortestPath, "ssp"}}) {
+    for (const int copies : {1, 16, 64, 256}) {
+      Series& s = h.series(std::string("fig6_") + tag + "_" +
+                               std::to_string(copies) + "_ns",
+                           "ns");
+      bodies.push_back([series = &s, backend = backend, copies] {
+        const DifferentialLp scaled = scaledFig6(copies);
+        const DifferentialLpSolver solver(backend);
+        series->record(Harness::nsPerOp([&] {
+          gSink = gSink + solver.solve(scaled).objective;
+        }));
+      });
+    }
+  }
+  h.runInterleaved(bodies);
+
+  return h.finish();
 }

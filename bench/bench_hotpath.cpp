@@ -1,26 +1,26 @@
 // Hot-path study for the spatial-index geometry kernels: one contest
-// benchmark, single-threaded, run twice -- spatialIndex ON (the default
-// GridIndex-backed candidate scorer and sizer kernels) and OFF (the
-// original brute scans). The profiling registry records per-stage
-// thread-seconds for both runs; the key number is the candidate-stage
-// speedup (the O(C*N) overlay scoring this PR replaces).
+// benchmark, single-threaded, run per-rep in three configs -- spatialIndex
+// ON (the default GridIndex-backed candidate scorer and sizer kernels),
+// OFF (the original brute scans), and the pre-warm-start sizer baseline.
+// The profiling registry records per-stage thread-seconds for every run;
+// the key series is the candidate-stage speedup (the O(C*N) overlay
+// scoring the index replaced).
 //
-// The two runs must produce BIT-IDENTICAL fills -- that is the contract
-// that lets the index default on -- so the bench exits nonzero when the
-// fill hashes diverge or when the indexed run is slower than brute
-// (the CI perf-smoke gate). Results go to BENCH_hotpath.json.
+// All configs must produce BIT-IDENTICAL fills -- that is the contract
+// that lets the index default on -- so the bench exits nonzero when fill
+// hashes diverge or when the indexed candidate stage is slower than brute
+// on average (the CI perf-smoke gate). The harness interleaves configs
+// within each rep and discards shared warmup rounds, so no variant is
+// stuck paying the cold-cache start (the old hand-rolled best-of-3 loop
+// always charged it to the brute config). Results: BENCH_hotpath.json.
 //
-// Usage: bench_hotpath [suite] [reps]   (s|b|m|tiny, default m; reps
-// default 3 -- each config runs `reps` times and reports its best
-// candidate-stage time, which strips scheduler noise the same way for
-// both configs. Hashes must agree across every rep.)
+// Usage: bench_hotpath [suite] [reps] [--reps N] [--warmup N] [--out F]
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
-#include <utility>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/prof.hpp"
 #include "common/timer.hpp"
@@ -51,7 +51,6 @@ std::uint64_t fillHash(const layout::Layout& chip) {
 }
 
 struct Run {
-  std::string config;
   double wall = 0.0;
   std::size_t fills = 0;
   std::uint64_t hash = 0;
@@ -77,7 +76,6 @@ Run runOnce(const layout::Layout& original, const contest::BenchmarkSpec& spec,
 
   prof::Registry::instance().reset();
   Run run;
-  run.config = !warmSizer ? "basesizer" : (spatialIndex ? "indexed" : "brute");
   Timer t;
   const fill::FillReport report = fill::FillEngine(o).run(chip);
   run.wall = t.elapsedSeconds();
@@ -91,109 +89,97 @@ double stageSeconds(const Run& run, prof::Stage stage) {
   return run.profile.stage(stage).seconds();
 }
 
-// Folds one more rep into the best-so-far for its config: every rep must
-// produce the same fills (the determinism contract extends across
-// repetitions); the rep fastest in the stage that config measures is kept
-// as the noise-free measurement.
-void keepBest(Run& best, Run next,
-              prof::Stage stage = prof::Stage::kCandidates) {
-  if (next.hash != best.hash || next.fills != best.fills) {
-    std::printf("FAIL: %s run diverged across repetitions\n",
-                best.config.c_str());
-    std::exit(1);
-  }
-  if (stageSeconds(next, stage) < stageSeconds(best, stage)) {
-    best = std::move(next);
-  }
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
-  const std::string suite = argc > 1 ? argv[1] : "m";
-  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
-  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  using namespace ofl::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv, "m", 3);
+  const contest::BenchmarkSpec spec =
+      contest::BenchmarkGenerator::spec(args.suite);
   const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
   std::printf("== Hot-path profile: suite %s, %zu wires, 1 thread, "
-              "best of %d ==\n",
-              spec.name.c_str(), original.wireCount(), reps);
+              "%d reps + %d warmup ==\n",
+              spec.name.c_str(), original.wireCount(), args.reps,
+              args.warmup);
 
-  // Reps interleave the two configs so a background-load spike lands on
-  // both rather than skewing whichever config happened to run during it.
+  Harness h(args.harnessOptions("hotpath"));
+  h.param("suite", spec.name);
+  h.param("threads", static_cast<std::int64_t>(1));
+
+  Series& candBrute = h.series("candidates_brute_s", "s");
+  Series& candIndexed = h.series("candidates_indexed_s", "s");
+  Series& sizBrute = h.series("sizing_brute_s", "s");
+  Series& sizIndexed = h.series("sizing_indexed_s", "s");
+  Series& sizBase = h.series("sizing_basesizer_s", "s");
+  Series& wallBrute = h.series("wall_brute_s", "s");
+  Series& wallIndexed = h.series("wall_indexed_s", "s");
+
+  std::uint64_t refHash = 0;
+  std::size_t refFills = 0;
+  bool haveRef = false;
+  bool identical = true;
+  Run lastBrute, lastIndexed, lastBase;
+  const auto note = [&](const Run& r) {
+    if (!haveRef) {
+      refHash = r.hash;
+      refFills = r.fills;
+      haveRef = true;
+    } else if (r.hash != refHash || r.fills != refFills) {
+      identical = false;
+    }
+  };
+
   prof::Registry::instance().setEnabled(true);
-  Run brute = runOnce(original, spec, /*spatialIndex=*/false);
-  Run indexed = runOnce(original, spec, /*spatialIndex=*/true);
-  Run baseSizer = runOnce(original, spec, true, /*warmSizer=*/false);
-  for (int r = 1; r < reps; ++r) {
-    keepBest(brute, runOnce(original, spec, /*spatialIndex=*/false));
-    keepBest(indexed, runOnce(original, spec, /*spatialIndex=*/true));
-    keepBest(baseSizer, runOnce(original, spec, true, /*warmSizer=*/false),
-             prof::Stage::kSizing);
-  }
+  h.runInterleaved({
+      [&] {
+        Run r = runOnce(original, spec, /*spatialIndex=*/false);
+        note(r);
+        candBrute.record(stageSeconds(r, prof::Stage::kCandidates));
+        sizBrute.record(stageSeconds(r, prof::Stage::kSizing));
+        wallBrute.record(r.wall);
+        lastBrute = std::move(r);
+      },
+      [&] {
+        Run r = runOnce(original, spec, /*spatialIndex=*/true);
+        note(r);
+        candIndexed.record(stageSeconds(r, prof::Stage::kCandidates));
+        sizIndexed.record(stageSeconds(r, prof::Stage::kSizing));
+        wallIndexed.record(r.wall);
+        lastIndexed = std::move(r);
+      },
+      [&] {
+        Run r = runOnce(original, spec, true, /*warmSizer=*/false);
+        note(r);
+        sizBase.record(stageSeconds(r, prof::Stage::kSizing));
+        lastBase = std::move(r);
+      },
+  });
   prof::Registry::instance().setEnabled(false);
 
-  for (const Run* run : {&brute, &indexed, &baseSizer}) {
-    std::printf("\n-- %s (wall %.2fs, %zu fills, hash %llx) --\n",
-                run->config.c_str(), run->wall, run->fills,
-                static_cast<unsigned long long>(run->hash));
-    std::fputs(run->profile.human().c_str(), stdout);
+  const struct {
+    const char* name;
+    const Run* run;
+  } views[] = {{"brute", &lastBrute},
+               {"indexed", &lastIndexed},
+               {"basesizer", &lastBase}};
+  for (const auto& v : views) {
+    std::printf("\n-- %s (wall %.2fs, %zu fills, hash %llx) --\n", v.name,
+                v.run->wall, v.run->fills,
+                static_cast<unsigned long long>(v.run->hash));
+    std::fputs(v.run->profile.human().c_str(), stdout);
   }
+  std::printf("\n");
 
-  const bool identical = brute.hash == indexed.hash &&
-                         brute.fills == indexed.fills &&
-                         brute.hash == baseSizer.hash &&
-                         brute.fills == baseSizer.fills;
-  const double candidateSpeedup =
-      stageSeconds(brute, prof::Stage::kCandidates) /
-      std::max(stageSeconds(indexed, prof::Stage::kCandidates), 1e-9);
-  const double sizingSpeedup =
-      stageSeconds(brute, prof::Stage::kSizing) /
-      std::max(stageSeconds(indexed, prof::Stage::kSizing), 1e-9);
-  const double warmSizingSpeedup =
-      stageSeconds(baseSizer, prof::Stage::kSizing) /
-      std::max(stageSeconds(indexed, prof::Stage::kSizing), 1e-9);
-  const double totalSpeedup = brute.wall / std::max(indexed.wall, 1e-9);
-  std::printf("\nspeedup (brute/indexed): candidates %.2fx, sizing %.2fx, "
-              "total %.2fx; warm sizer vs pre-warm baseline %.2fx; "
-              "output %s\n",
-              candidateSpeedup, sizingSpeedup, totalSpeedup,
-              warmSizingSpeedup,
-              identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
+  Series& candSpeedup =
+      h.recordRatio("candidate_speedup", candBrute, candIndexed);
+  h.recordRatio("sizing_speedup", sizBrute, sizIndexed);
+  h.recordRatio("warm_sizing_speedup", sizBase, sizIndexed);
+  h.recordRatio("total_speedup", wallBrute, wallIndexed);
+  h.param("fill_count", static_cast<std::int64_t>(refFills));
 
-  std::FILE* json = std::fopen("BENCH_hotpath.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"benchmark\": \"hotpath_spatial_index\",\n"
-                 "  \"suite\": \"%s\",\n  \"threads\": 1,\n"
-                 "  \"identical\": %s,\n"
-                 "  \"candidate_speedup\": %.3f,\n"
-                 "  \"sizing_speedup\": %.3f,\n"
-                 "  \"warm_sizing_speedup\": %.3f,\n"
-                 "  \"total_speedup\": %.3f,\n  \"runs\": [\n",
-                 spec.name.c_str(), identical ? "true" : "false",
-                 candidateSpeedup, sizingSpeedup, warmSizingSpeedup,
-                 totalSpeedup);
-    const Run* runs[] = {&brute, &indexed, &baseSizer};
-    for (std::size_t i = 0; i < 3; ++i) {
-      const Run& r = *runs[i];
-      std::fprintf(json,
-                   "    {\"config\": \"%s\", \"wall_seconds\": %.4f, "
-                   "\"fill_count\": %zu, \"fill_hash\": \"%llx\",\n"
-                   "     \"profile\": %s}%s\n",
-                   r.config.c_str(), r.wall, r.fills,
-                   static_cast<unsigned long long>(r.hash),
-                   r.profile.json().c_str(), i + 1 < 3 ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_hotpath.json\n");
-  }
-
-  if (!identical) return 1;
-  if (candidateSpeedup < 1.0) {
-    std::printf("FAIL: indexed candidate stage slower than brute\n");
-    return 1;
-  }
-  return 0;
+  h.check("identical", identical);
+  const SeriesStats speedup = computeStats(candSpeedup.samples());
+  h.check("indexed_not_slower", speedup.mean >= 1.0);
+  return h.finish();
 }

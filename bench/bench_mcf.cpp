@@ -6,27 +6,28 @@
 //  1. Solver level: fill-sizing-shaped differential LP sequences (each
 //     "window" solves H1,V1,H2,V2 — round 2 repeats the topology with
 //     perturbed costs, the exact pattern FillSizer emits) are replayed
-//     through three context configurations — cold (network reuse only),
-//     warm (basis reuse), warm+early (sensitivity memo). Per-solve ns and
-//     the warm/early hit counts come from here.
+//     through four context configurations — baseline (pre-incremental),
+//     cold (network reuse only), warm (basis reuse), warm+early
+//     (sensitivity memo). Per-solve ns and the warm/early hit counts
+//     come from here.
 //
-//  2. Engine level: a contest suite is filled twice, sizer warm+early ON
-//     vs OFF, single-threaded, and the sizing-stage thread-seconds are
+//  2. Engine level: a contest suite is filled, sizer warm+early ON vs
+//     OFF, single-threaded, and the sizing-stage thread-seconds are
 //     compared. This is the end-to-end "dominant stage" speedup.
 //
-// Repetitions interleave configurations (like bench_hotpath) so load
-// spikes land on every config evenly; each config keeps its best rep.
-// Results go to BENCH_mcf.json. The bench exits nonzero when any config
-// diverges or when no warm start fired (the CI perf-smoke gate).
+// The harness interleaves configurations within each rep so load spikes
+// land on every config evenly, and discards shared warmup rounds. The
+// bench exits nonzero when any config diverges or when no warm start
+// fired (the CI perf-smoke gate). Results go to BENCH_mcf.json.
 //
-// Usage: bench_mcf [suite] [reps]   (s|b|m|tiny, default s; reps default 3)
+// Usage: bench_mcf [suite] [reps] [--reps N] [--warmup N] [--out F]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/prof.hpp"
 #include "common/rng.hpp"
@@ -78,7 +79,6 @@ DifferentialLp perturbCosts(const DifferentialLp& base, std::uint64_t seed,
 }
 
 struct SolverRun {
-  std::string config;
   double seconds = 0.0;
   long long solves = 0;
   long long warmStarts = 0;
@@ -90,10 +90,8 @@ struct SolverRun {
 // given options; one context per sequence, exactly like the sizer's
 // per-(layer,direction) contexts.
 SolverRun replay(const std::vector<std::vector<DifferentialLp>>& sequences,
-                 const char* config, bool warm, bool early,
-                 bool fullRefresh = false) {
+                 bool warm, bool early, bool fullRefresh = false) {
   SolverRun run;
-  run.config = config;
   std::uint64_t h = 1469598103934665603ull;
   Timer t;
   for (const auto& seq : sequences) {
@@ -113,14 +111,6 @@ SolverRun replay(const std::vector<std::vector<DifferentialLp>>& sequences,
   run.seconds = t.elapsedSeconds();
   run.xHash = h;
   return run;
-}
-
-void keepBestSolver(SolverRun& best, const SolverRun& next) {
-  if (next.xHash != best.xHash) {
-    std::printf("FAIL: %s diverged across repetitions\n", best.config.c_str());
-    std::exit(1);
-  }
-  if (next.seconds < best.seconds) best = next;
 }
 
 // Engine-level sizing A/B on one suite, single-threaded.
@@ -176,24 +166,12 @@ EngineRun engineOnce(const layout::Layout& original,
   return run;
 }
 
-void keepBestEngine(EngineRun& best, const EngineRun& next) {
-  if (next.hash != best.hash || next.fills != best.fills) {
-    std::printf("FAIL: engine run diverged across repetitions\n");
-    std::exit(1);
-  }
-  if (next.sizingSeconds < best.sizingSeconds) best = next;
-}
-
-double perSolveNs(const SolverRun& r) {
-  return r.solves > 0 ? r.seconds * 1e9 / static_cast<double>(r.solves) : 0.0;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
-  const std::string suite = argc > 1 ? argv[1] : "s";
-  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
+  using namespace ofl::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv, "s", 3);
 
   // --- Solver-level replay ---
   const int kSequences = 400;
@@ -214,57 +192,135 @@ int main(int argc, char** argv) {
     sequences.push_back(std::move(seq));
   }
 
+  Harness h(args.harnessOptions("mcf"));
+  const contest::BenchmarkSpec spec =
+      contest::BenchmarkGenerator::spec(args.suite);
+  h.param("suite", spec.name);
+  h.param("sequences", static_cast<std::int64_t>(kSequences));
+  h.param("fills_per_lp", static_cast<std::int64_t>(kFills));
+
   // "baseline" is the pre-incremental solver: cold starts plus a full
   // tree rebuild after every pivot. "cold" isolates the always-on solver
   // improvements; "warm"/"warm+early" add the optional reuse layers.
-  SolverRun base = replay(sequences, "baseline", false, false, true);
-  SolverRun cold = replay(sequences, "cold", false, false);
-  SolverRun warm = replay(sequences, "warm", true, false);
-  SolverRun warmEarly = replay(sequences, "warm+early", true, true);
-  for (int r = 1; r < reps; ++r) {
-    keepBestSolver(base, replay(sequences, "baseline", false, false, true));
-    keepBestSolver(cold, replay(sequences, "cold", false, false));
-    keepBestSolver(warm, replay(sequences, "warm", true, false));
-    keepBestSolver(warmEarly, replay(sequences, "warm+early", true, true));
+  struct SolverSlot {
+    const char* config;
+    bool warm, early, fullRefresh;
+    Series* seconds;
+    SolverRun last;
+    std::uint64_t refHash = 0;
+    bool haveRef = false;
+    bool identical = true;
+  };
+  std::vector<SolverSlot> solver = {
+      {"baseline", false, false, true, nullptr, {}},
+      {"cold", false, false, false, nullptr, {}},
+      {"warm", true, false, false, nullptr, {}},
+      {"warm_early", true, true, false, nullptr, {}},
+  };
+  for (SolverSlot& s : solver) {
+    s.seconds = &h.series(std::string("solver_") + s.config + "_s", "s");
   }
-  const bool solverIdentical = base.xHash == cold.xHash &&
-                               cold.xHash == warm.xHash &&
-                               cold.xHash == warmEarly.xHash;
+  std::vector<std::function<void()>> solverBodies;
+  solverBodies.reserve(solver.size());
+  for (SolverSlot& s : solver) {
+    solverBodies.push_back([&s, &sequences] {
+      const SolverRun r = replay(sequences, s.warm, s.early, s.fullRefresh);
+      if (!s.haveRef) {
+        s.refHash = r.xHash;
+        s.haveRef = true;
+      } else if (r.xHash != s.refHash) {
+        s.identical = false;
+      }
+      s.seconds->record(r.seconds);
+      s.last = r;
+    });
+  }
+  h.runInterleaved(solverBodies);
+
+  bool solverIdentical = true;
+  for (const SolverSlot& s : solver) {
+    if (!s.identical || s.last.xHash != solver.front().last.xHash) {
+      solverIdentical = false;
+    }
+  }
 
   std::printf("== MCF replay: %d sequences x 4 solves, %d fills each, "
-              "best of %d ==\n",
-              kSequences, kFills, reps);
-  for (const SolverRun* r : {&base, &cold, &warm, &warmEarly}) {
+              "%d reps + %d warmup ==\n",
+              kSequences, kFills, args.reps, args.warmup);
+  for (const SolverSlot& s : solver) {
+    const SolverRun& r = s.last;
+    const double ns =
+        r.solves > 0 ? r.seconds * 1e9 / static_cast<double>(r.solves) : 0.0;
     std::printf("  %-10s %8.3f ms  %6lld solves  %5lld warm  %5lld early  "
                 "%7.0f ns/solve\n",
-                r->config.c_str(), r->seconds * 1e3, r->solves, r->warmStarts,
-                r->earlyExits, perSolveNs(*r));
+                s.config, r.seconds * 1e3, r.solves, r.warmStarts,
+                r.earlyExits, ns);
   }
   std::printf("  solutions %s\n",
               solverIdentical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
 
+  h.recordRatio("solver_warm_speedup", *solver[0].seconds,
+                *solver[2].seconds);
+  h.recordRatio("solver_warm_early_speedup", *solver[0].seconds,
+                *solver[3].seconds);
+  h.param("solver_warm_starts",
+          static_cast<std::int64_t>(solver[2].last.warmStarts));
+  h.param("solver_early_exits",
+          static_cast<std::int64_t>(solver[3].last.earlyExits));
+
   // --- Engine-level sizing A/B ---
-  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
   const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
-  prof::Registry::instance().setEnabled(true);
-  EngineRun engBase = engineOnce(original, spec, false, true);
-  EngineRun engCold = engineOnce(original, spec, false, false);
-  EngineRun engWarm = engineOnce(original, spec, true, false);
-  for (int r = 1; r < reps; ++r) {
-    keepBestEngine(engBase, engineOnce(original, spec, false, true));
-    keepBestEngine(engCold, engineOnce(original, spec, false, false));
-    keepBestEngine(engWarm, engineOnce(original, spec, true, false));
+  struct EngineSlot {
+    const char* config;
+    bool warm, fullRefresh;
+    Series* sizing;
+    Series* wall;
+    EngineRun last;
+    std::uint64_t refHash = 0;
+    std::size_t refFills = 0;
+    bool haveRef = false;
+    bool identical = true;
+  };
+  std::vector<EngineSlot> engine = {
+      {"baseline", false, true, nullptr, nullptr, {}},
+      {"cold", false, false, nullptr, nullptr, {}},
+      {"warm", true, false, nullptr, nullptr, {}},
+  };
+  for (EngineSlot& e : engine) {
+    e.sizing = &h.series(std::string("engine_sizing_") + e.config + "_s", "s");
+    e.wall = &h.series(std::string("engine_wall_") + e.config + "_s", "s");
   }
+  std::vector<std::function<void()>> engineBodies;
+  engineBodies.reserve(engine.size());
+  for (EngineSlot& e : engine) {
+    engineBodies.push_back([&e, &original, &spec] {
+      const EngineRun r = engineOnce(original, spec, e.warm, e.fullRefresh);
+      if (!e.haveRef) {
+        e.refHash = r.hash;
+        e.refFills = r.fills;
+        e.haveRef = true;
+      } else if (r.hash != e.refHash || r.fills != e.refFills) {
+        e.identical = false;
+      }
+      e.sizing->record(r.sizingSeconds);
+      e.wall->record(r.wall);
+      e.last = r;
+    });
+  }
+  prof::Registry::instance().setEnabled(true);
+  h.runInterleaved(engineBodies);
   prof::Registry::instance().setEnabled(false);
 
-  const bool engineIdentical =
-      engBase.hash == engCold.hash && engCold.hash == engWarm.hash &&
-      engBase.fills == engCold.fills && engCold.fills == engWarm.fills;
-  // The headline number: warm incremental sizer vs the pre-PR solver.
-  const double sizingSpeedup =
-      engBase.sizingSeconds / std::max(engWarm.sizingSeconds, 1e-9);
-  const double warmVsCold =
-      engCold.sizingSeconds / std::max(engWarm.sizingSeconds, 1e-9);
+  bool engineIdentical = true;
+  for (const EngineSlot& e : engine) {
+    if (!e.identical || e.last.hash != engine.front().last.hash ||
+        e.last.fills != engine.front().last.fills) {
+      engineIdentical = false;
+    }
+  }
+  const EngineRun& engBase = engine[0].last;
+  const EngineRun& engCold = engine[1].last;
+  const EngineRun& engWarm = engine[2].last;
   const double warmHitRate =
       engWarm.solves > 0 ? static_cast<double>(engWarm.warmStarts) /
                                static_cast<double>(engWarm.solves)
@@ -279,64 +335,22 @@ int main(int argc, char** argv) {
               "%lld early exits)\n",
               engWarm.sizingSeconds, engWarm.solves, engWarm.warmStarts,
               warmHitRate * 100.0, engWarm.earlyExits);
-  std::printf("  sizing speedup %.2fx vs baseline (%.2fx vs cold); "
-              "fills %s\n",
-              sizingSpeedup, warmVsCold,
+  std::printf("  fills %s\n",
               engineIdentical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
 
-  std::FILE* json = std::fopen("BENCH_mcf.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"benchmark\": \"mcf_warm_start\",\n"
-                 "  \"suite\": \"%s\",\n  \"reps\": %d,\n"
-                 "  \"solver_identical\": %s,\n  \"engine_identical\": %s,\n"
-                 "  \"sizing_speedup_vs_baseline\": %.3f,\n"
-                 "  \"sizing_speedup_vs_cold\": %.3f,\n"
-                 "  \"warm_start_hit_rate\": %.4f,\n"
-                 "  \"solver_runs\": [\n",
-                 spec.name.c_str(), reps, solverIdentical ? "true" : "false",
-                 engineIdentical ? "true" : "false", sizingSpeedup,
-                 warmVsCold, warmHitRate);
-    const SolverRun* runs[] = {&base, &cold, &warm, &warmEarly};
-    for (std::size_t i = 0; i < 4; ++i) {
-      const SolverRun& r = *runs[i];
-      std::fprintf(json,
-                   "    {\"config\": \"%s\", \"seconds\": %.6f, "
-                   "\"solves\": %lld, \"warm_starts\": %lld, "
-                   "\"early_exits\": %lld, \"per_solve_ns\": %.1f}%s\n",
-                   r.config.c_str(), r.seconds, r.solves, r.warmStarts,
-                   r.earlyExits, perSolveNs(r), i + 1 < 4 ? "," : "");
-    }
-    std::fprintf(json,
-                 "  ],\n  \"engine_runs\": [\n"
-                 "    {\"config\": \"baseline-sizer\", "
-                 "\"sizing_seconds\": %.4f, \"wall_seconds\": %.4f, "
-                 "\"solves\": %lld, \"fill_count\": %zu, "
-                 "\"fill_hash\": \"%llx\"},\n"
-                 "    {\"config\": \"cold-sizer\", \"sizing_seconds\": %.4f, "
-                 "\"wall_seconds\": %.4f, \"solves\": %lld, "
-                 "\"fill_count\": %zu, \"fill_hash\": \"%llx\"},\n"
-                 "    {\"config\": \"warm-sizer\", \"sizing_seconds\": %.4f, "
-                 "\"wall_seconds\": %.4f, \"solves\": %lld, "
-                 "\"warm_starts\": %lld, \"early_exits\": %lld, "
-                 "\"fill_count\": %zu, \"fill_hash\": \"%llx\"}\n  ]\n}\n",
-                 engBase.sizingSeconds, engBase.wall, engBase.solves,
-                 engBase.fills,
-                 static_cast<unsigned long long>(engBase.hash),
-                 engCold.sizingSeconds, engCold.wall, engCold.solves,
-                 engCold.fills,
-                 static_cast<unsigned long long>(engCold.hash),
-                 engWarm.sizingSeconds, engWarm.wall, engWarm.solves,
-                 engWarm.warmStarts, engWarm.earlyExits, engWarm.fills,
-                 static_cast<unsigned long long>(engWarm.hash));
-    std::fclose(json);
-    std::printf("wrote BENCH_mcf.json\n");
-  }
+  h.recordRatio("sizing_speedup_vs_baseline", *engine[0].sizing,
+                *engine[2].sizing);
+  h.recordRatio("sizing_speedup_vs_cold", *engine[1].sizing,
+                *engine[2].sizing);
+  h.series("warm_start_hit_rate", "ratio", Direction::kHigherIsBetter,
+           Scale::kRatio)
+      .record(warmHitRate);
+  h.param("fill_count", static_cast<std::int64_t>(engWarm.fills));
+  h.param("engine_solves", static_cast<std::int64_t>(engWarm.solves));
 
-  if (!solverIdentical || !engineIdentical) return 1;
-  if (warm.warmStarts == 0 || engWarm.warmStarts == 0) {
-    std::printf("FAIL: no warm start fired\n");
-    return 1;
-  }
-  return 0;
+  h.check("solver_identical", solverIdentical);
+  h.check("engine_identical", engineIdentical);
+  h.check("warm_start_fired",
+          solver[2].last.warmStarts > 0 && engWarm.warmStarts > 0);
+  return h.finish();
 }

@@ -1,5 +1,5 @@
 // Observability overhead study: one contest benchmark, single-threaded,
-// run with collection off and on (interleaved over `reps` repetitions).
+// run with collection off and on (interleaved inside every harness rep).
 // The contract under test:
 //
 //   1. Fills are BIT-IDENTICAL in every configuration (observability can
@@ -19,14 +19,14 @@
 // Results go to BENCH_obs.json; exits nonzero on fill divergence or a
 // busted probe budget.
 //
-// Usage: bench_obs [suite] [reps]   (s|b|m|tiny, default s; reps default 3)
+// Usage: bench_obs [suite] [reps] [--reps N] [--warmup N] [--out F]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/timer.hpp"
 #include "contest/benchmark_generator.hpp"
@@ -109,77 +109,86 @@ double disabledProbeNanos() {
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
-  const std::string suite = argc > 1 ? argv[1] : "s";
-  const int reps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 3;
-  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
+  using namespace ofl::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv, "s", 3);
+  const contest::BenchmarkSpec spec =
+      contest::BenchmarkGenerator::spec(args.suite);
   const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
   std::printf("== Observability overhead: suite %s, %zu wires, 1 thread, "
-              "best of %d ==\n",
-              spec.name.c_str(), original.wireCount(), reps);
+              "%d reps + %d warmup ==\n",
+              spec.name.c_str(), original.wireCount(), args.reps,
+              args.warmup);
 
-  std::vector<double> off, on;
+  Harness h(args.harnessOptions("obs"));
+  h.param("suite", spec.name);
+  h.param("threads", static_cast<std::int64_t>(1));
+
+  Series& wallOff = h.series("wall_disabled_s", "s");
+  Series& wallOn = h.series("wall_enabled_s", "s");
+  Series& probeNs = h.series("disabled_probe_ns", "ns");
+
   std::uint64_t hash = 0;
   std::size_t fills = 0;
   std::size_t tracedEvents = 0;
+  bool haveRef = false;
   bool identical = true;
-  for (int r = 0; r < reps; ++r) {  // interleaved: noise lands on both
-    const Sample a = runOnce(original, spec, /*collect=*/false);
-    const Sample b = runOnce(original, spec, /*collect=*/true);
-    tracedEvents = obs::Tracer::instance().eventCount();
-    if (r == 0) {
-      hash = a.hash;
-      fills = a.fills;
+  const auto note = [&](const Sample& s) {
+    if (!haveRef) {
+      hash = s.hash;
+      fills = s.fills;
+      haveRef = true;
+    } else if (s.hash != hash || s.fills != fills) {
+      identical = false;
     }
-    identical = identical && a.hash == hash && b.hash == hash &&
-                a.fills == fills && b.fills == fills;
-    off.push_back(a.wall);
-    on.push_back(b.wall);
-  }
+  };
+  h.runInterleaved({
+      [&] {
+        const Sample a = runOnce(original, spec, /*collect=*/false);
+        note(a);
+        wallOff.record(a.wall);
+      },
+      [&] {
+        const Sample b = runOnce(original, spec, /*collect=*/true);
+        note(b);
+        tracedEvents = obs::Tracer::instance().eventCount();
+        wallOn.record(b.wall);
+      },
+      [&] { probeNs.record(disabledProbeNanos()); },
+  });
 
-  const double offBest = *std::min_element(off.begin(), off.end());
-  const double onBest = *std::min_element(on.begin(), on.end());
-  const double enabledOverhead = onBest / std::max(offBest, 1e-9) - 1.0;
+  const SeriesStats offStats = computeStats(wallOff.samples());
+  const SeriesStats onStats = computeStats(wallOn.samples());
+  const SeriesStats probeStats = computeStats(probeNs.samples());
+  const double enabledOverhead =
+      onStats.mean / std::max(offStats.mean, 1e-9) - 1.0;
 
   // Disabled-probe budget: every span recorded by the enabled run is one
   // probe site the disabled run also crossed (x2 for the metrics gates
   // that accompany most spans, conservatively).
-  const double nsPerProbe = disabledProbeNanos();
   const double probeSeconds =
-      static_cast<double>(tracedEvents) * 2.0 * nsPerProbe * 1e-9;
-  const double disabledOverhead = probeSeconds / std::max(offBest, 1e-9);
+      static_cast<double>(tracedEvents) * 2.0 * probeStats.mean * 1e-9;
+  const double disabledOverhead = probeSeconds / std::max(offStats.mean, 1e-9);
 
   std::printf("disabled: %.4fs, enabled: %.4fs (%zu trace events), "
               "enabled overhead %.2f%% (informational)\n",
-              offBest, onBest, tracedEvents, 100.0 * enabledOverhead);
+              offStats.mean, onStats.mean, tracedEvents,
+              100.0 * enabledOverhead);
   std::printf("disabled probe: %.2f ns x %zu sites x2 = %.2f us/run = "
               "%.5f%% of wall (budget 2%%); output %s\n",
-              nsPerProbe, tracedEvents, probeSeconds * 1e6,
+              probeStats.mean, tracedEvents, probeSeconds * 1e6,
               100.0 * disabledOverhead,
               identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
 
-  std::FILE* json = std::fopen("BENCH_obs.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"benchmark\": \"observability_overhead\",\n"
-                 "  \"suite\": \"%s\",\n  \"threads\": 1,\n  \"reps\": %d,\n"
-                 "  \"identical\": %s,\n"
-                 "  \"disabled_best_seconds\": %.4f,\n"
-                 "  \"enabled_best_seconds\": %.4f,\n"
-                 "  \"trace_events\": %zu,\n"
-                 "  \"disabled_probe_ns\": %.3f,\n"
-                 "  \"disabled_overhead_pct\": %.5f,\n"
-                 "  \"enabled_overhead_pct\": %.3f\n}\n",
-                 spec.name.c_str(), reps, identical ? "true" : "false",
-                 offBest, onBest, tracedEvents, nsPerProbe,
-                 100.0 * disabledOverhead, 100.0 * enabledOverhead);
-    std::fclose(json);
-    std::printf("wrote BENCH_obs.json\n");
-  }
+  h.series("disabled_overhead_pct", "%", Direction::kLowerIsBetter,
+           Scale::kRatio)
+      .record(100.0 * disabledOverhead);
+  h.series("enabled_overhead_pct", "%", Direction::kLowerIsBetter,
+           Scale::kRatio)
+      .record(100.0 * enabledOverhead);
+  h.param("trace_events", static_cast<std::int64_t>(tracedEvents));
+  h.param("fill_count", static_cast<std::int64_t>(fills));
 
-  if (!identical) return 1;
-  if (disabledOverhead > 0.02) {
-    std::printf("FAIL: disabled probes exceed the 2%% wall-time budget\n");
-    return 1;
-  }
-  return 0;
+  h.check("identical", identical);
+  h.check("disabled_probe_budget", disabledOverhead <= 0.02);
+  return h.finish();
 }

@@ -1,24 +1,35 @@
 // Oracle-vs-production micro-benchmarks: how much slower are the
 // reference implementations in src/verify/ than the optimized paths they
 // cross-check? Keeps `openfill check` latency honest — the oracles must
-// stay usable on full contest suites (seconds, not minutes).
-#include <benchmark/benchmark.h>
+// stay usable on full contest suites (seconds, not minutes). The oracle
+// and production slowdown ratios are published as ratio series so the
+// trend report tracks them across machines. BENCH_oracle.json.
+//
+// Usage: bench_oracle [reps] [--reps N] [--warmup N] [--out F]
+#include <cstdint>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"
 #include "contest/benchmark_generator.hpp"
 #include "contest/evaluator.hpp"
 #include "contest/score_table.hpp"
-#include "density/density_map.hpp"
-#include "density/metrics.hpp"
 #include "fill/fill_engine.hpp"
 #include "geometry/boolean.hpp"
+#include "layout/window_grid.hpp"
 #include "verify/invariants.hpp"
 #include "verify/oracle.hpp"
 
 using namespace ofl;
 
 namespace {
+
+volatile std::uint64_t gSink = 0;
 
 std::vector<geom::Rect> randomRects(int n, geom::Coord extent,
                                     geom::Coord maxEdge, std::uint64_t seed) {
@@ -35,35 +46,6 @@ std::vector<geom::Rect> randomRects(int n, geom::Coord extent,
   return out;
 }
 
-void BM_OracleUnionArea(benchmark::State& state) {
-  const auto rects =
-      randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(verify::oracleUnionArea(rects));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_OracleUnionArea)->Arg(100)->Arg(1000)->Arg(10000);
-
-void BM_ProductionUnionArea(benchmark::State& state) {
-  const auto rects =
-      randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(geom::unionArea(rects));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0));
-}
-BENCHMARK(BM_ProductionUnionArea)->Arg(100)->Arg(1000)->Arg(10000);
-
-void BM_OracleIntersectionArea(benchmark::State& state) {
-  const auto a = randomRects(static_cast<int>(state.range(0)), 4000, 120, 3);
-  const auto b = randomRects(static_cast<int>(state.range(0)), 4000, 120, 4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(verify::oracleIntersectionArea(a, b));
-  }
-}
-BENCHMARK(BM_OracleIntersectionArea)->Arg(100)->Arg(1000)->Arg(10000);
-
 const layout::Layout& filledTiny() {
   static const layout::Layout chip = [] {
     ScopedLogLevel quiet(LogLevel::kWarn);
@@ -77,51 +59,101 @@ const layout::Layout& filledTiny() {
   return chip;
 }
 
-void BM_OracleMeasure(benchmark::State& state) {
-  const layout::Layout& chip = filledTiny();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(verify::oracleMeasure(chip, 800));
-  }
-}
-BENCHMARK(BM_OracleMeasure)->Unit(benchmark::kMillisecond);
-
-void BM_ProductionMeasure(benchmark::State& state) {
-  const layout::Layout& chip = filledTiny();
-  const contest::Evaluator evaluator(800, contest::scoreTableFor("tiny"),
-                                     layout::DesignRules{});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.measure(chip));
-  }
-}
-BENCHMARK(BM_ProductionMeasure)->Unit(benchmark::kMillisecond);
-
-void BM_OracleWindowDensity(benchmark::State& state) {
-  const layout::Layout& chip = filledTiny();
-  const layout::WindowGrid grid(chip.die(), 800);
-  std::vector<geom::Rect> shapes = chip.layer(0).wires;
-  shapes.insert(shapes.end(), chip.layer(0).fills.begin(),
-                chip.layer(0).fills.end());
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(verify::oracleWindowDensity(shapes, grid));
-  }
-}
-BENCHMARK(BM_OracleWindowDensity)->Unit(benchmark::kMillisecond);
-
-void BM_FullInvariantCheck(benchmark::State& state) {
-  // The complete `openfill check` pass (determinism included: three full
-  // engine runs) on the tiny suite.
-  const layout::Layout& chip = filledTiny();
-  ScopedLogLevel quiet(LogLevel::kWarn);
-  verify::InvariantChecker::Options options;
-  options.engine.windowSize = 800;
-  options.determinismThreads = 2;
-  const verify::InvariantChecker checker(options);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(checker.check(chip));
-  }
-}
-BENCHMARK(BM_FullInvariantCheck)->Unit(benchmark::kMillisecond);
-
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace ofl::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv, "", /*reps=*/3,
+                                    /*warmup=*/1);
+  if (!args.suite.empty() &&
+      args.suite.find_first_not_of("0123456789") == std::string::npos) {
+    args.reps = std::max(1, std::atoi(args.suite.c_str()));
+    args.suite = "";
+  }
+  Harness h(args.harnessOptions("oracle"));
+
+  struct Case {
+    std::string name;
+    std::function<void()> op;
+  };
+  std::vector<Case> cases;
+
+  for (const int n : {100, 1000, 10000}) {
+    auto rects = std::make_shared<std::vector<geom::Rect>>(
+        randomRects(n, 4000, 120, 3));
+    const std::string tag = std::to_string(n);
+    cases.push_back({"oracle_union_area_" + tag, [rects] {
+                       gSink = gSink + static_cast<std::uint64_t>(
+                           verify::oracleUnionArea(*rects));
+                     }});
+    cases.push_back({"union_area_" + tag, [rects] {
+                       gSink = gSink + static_cast<std::uint64_t>(
+                           geom::unionArea(*rects));
+                     }});
+  }
+  for (const int n : {100, 1000, 10000}) {
+    auto a = std::make_shared<std::vector<geom::Rect>>(
+        randomRects(n, 4000, 120, 3));
+    auto b = std::make_shared<std::vector<geom::Rect>>(
+        randomRects(n, 4000, 120, 4));
+    cases.push_back({"oracle_intersection_area_" + std::to_string(n),
+                     [a, b] {
+                       gSink = gSink + static_cast<std::uint64_t>(
+                           verify::oracleIntersectionArea(*a, *b));
+                     }});
+  }
+
+  const layout::Layout& chip = filledTiny();
+  cases.push_back({"oracle_measure_ns", [&chip] {
+                     gSink = gSink + verify::oracleMeasure(chip, 800).fillCount;
+                   }});
+  {
+    auto evaluator = std::make_shared<contest::Evaluator>(
+        800, contest::scoreTableFor("tiny"), layout::DesignRules{});
+    cases.push_back({"measure_ns", [evaluator, &chip] {
+                       gSink = gSink + evaluator->measure(chip).fillCount;
+                     }});
+  }
+  {
+    auto grid = std::make_shared<layout::WindowGrid>(chip.die(), 800);
+    auto shapes = std::make_shared<std::vector<geom::Rect>>(
+        chip.layer(0).wires);
+    shapes->insert(shapes->end(), chip.layer(0).fills.begin(),
+                   chip.layer(0).fills.end());
+    cases.push_back({"oracle_window_density_ns", [grid, shapes] {
+                       gSink = gSink + static_cast<std::uint64_t>(
+                           verify::oracleWindowDensity(*shapes, *grid).count());
+                     }});
+  }
+  {
+    // The complete `openfill check` pass (determinism included: three full
+    // engine runs) on the tiny suite.
+    verify::InvariantChecker::Options options;
+    options.engine.windowSize = 800;
+    options.determinismThreads = 2;
+    auto checker = std::make_shared<verify::InvariantChecker>(options);
+    cases.push_back({"full_invariant_check_ns", [checker, &chip] {
+                       ScopedLogLevel quiet(LogLevel::kWarn);
+                       gSink = gSink + (checker->check(chip).ok() ? 1 : 0);
+                     }});
+  }
+
+  std::vector<std::function<void()>> bodies;
+  bodies.reserve(cases.size());
+  for (Case& c : cases) {
+    Series& s = h.series(c.name, "ns");
+    bodies.push_back([&c, series = &s] {
+      series->record(Harness::nsPerOp(c.op));
+    });
+  }
+  h.runInterleaved(bodies);
+
+  // Headline ratios: oracle cost over the production path it cross-checks.
+  h.recordRatio("oracle_union_slowdown_10000",
+                h.series("oracle_union_area_10000", "ns"),
+                h.series("union_area_10000", "ns"),
+                Direction::kLowerIsBetter);
+  h.recordRatio("oracle_measure_slowdown", h.series("oracle_measure_ns", "ns"),
+                h.series("measure_ns", "ns"), Direction::kLowerIsBetter);
+  return h.finish();
+}

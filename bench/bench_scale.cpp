@@ -2,21 +2,24 @@
 //
 // Generates a suite streamingly (default "xl", millions of wires — never
 // materialized in memory), runs the bounded-memory sharded fill
-// (fill::ShardedEngine) under a fixed --mem-budget, and records wall
-// time, peak RSS, shard/spill figures to BENCH_scale.json.
+// (fill::ShardedEngine) under a fixed --budget, and records wall time,
+// peak RSS, shard/spill figures to BENCH_scale.json via the shared
+// harness (default 1 rep + 0 warmup — the run is minutes long).
 //
 // The memory budget is a HARD assertion: the process exits nonzero when
 // peak RSS exceeds it, so CI catches a regression that quietly
 // re-materializes the layout.
 //
-// Usage: bench_scale [suite] [mem_budget_mib] [threads]
-//   suite           s|b|m|xl (default xl)
-//   mem_budget_mib  RSS ceiling, default 512
-//   threads         engine threads, default 0 (= hardware)
+// Usage: bench_scale [suite] [reps] [--budget MIB] [--threads N]
+//        [--reps N] [--warmup N] [--out F]
+//   suite    s|b|m|xl (default xl)
+//   --budget RSS ceiling in MiB, default 512
+//   --threads engine threads, default 0 (= hardware)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/memory_usage.hpp"
 #include "common/timer.hpp"
@@ -28,14 +31,24 @@ using namespace ofl;
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
-  const std::string suite = argc > 1 ? argv[1] : "xl";
-  const std::size_t budgetMiB =
-      argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 512;
-  const int threads = argc > 3 ? std::atoi(argv[3]) : 0;
+  using namespace ofl::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv, "xl", /*reps=*/1,
+                                          /*warmup=*/0);
+  std::size_t budgetMiB = 512;
+  int threads = 0;
+  for (std::size_t i = 0; i + 1 < args.positional.size(); ++i) {
+    if (args.positional[i] == "--budget") {
+      budgetMiB = static_cast<std::size_t>(
+          std::atoll(args.positional[i + 1].c_str()));
+    } else if (args.positional[i] == "--threads") {
+      threads = std::atoi(args.positional[i + 1].c_str());
+    }
+  }
 
-  const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
-  const std::string inputPath = "bench_scale_" + suite + ".gds";
-  const std::string outputPath = "bench_scale_" + suite + "_filled.gds";
+  const contest::BenchmarkSpec spec =
+      contest::BenchmarkGenerator::spec(args.suite);
+  const std::string inputPath = "bench_scale_" + args.suite + ".gds";
+  const std::string outputPath = "bench_scale_" + args.suite + "_filled.gds";
 
   std::printf("== Contest-scale streaming fill: suite %s, budget %zu MiB ==\n",
               spec.name.c_str(), budgetMiB);
@@ -74,66 +87,65 @@ int main(int argc, char** argv) {
   options.engine.numThreads = threads;
   options.memBudgetMiB = budgetMiB;
 
-  Timer fillTimer;
+  Harness h(args.harnessOptions("scale"));
+  h.param("suite", spec.name);
+  h.param("wires", static_cast<std::int64_t>(wires));
+  h.param("input_bytes", static_cast<std::int64_t>(inputBytes));
+  h.param("mem_budget_mib", static_cast<std::int64_t>(budgetMiB));
+
+  Series& genS = h.series("generate_s", "s");
+  genS.record(genSeconds);
+  Series& wallS = h.series("wall_s", "s");
+  Series& ingestS = h.series("ingest_s", "s");
+  Series& fftS = h.series("fft_s", "s");
+
   fill::ShardedReport report;
-  std::string error;
-  if (!fill::ShardedEngine(options).runFile(inputPath, outputPath,
-                                            std::optional<geom::Rect>(spec.die),
-                                            &report, &error)) {
-    std::fprintf(stderr, "bench_scale: %s\n", error.c_str());
-    return 1;
-  }
-  const double wallSeconds = fillTimer.elapsedSeconds();
+  bool ranOk = true;
+  bool budgetHeld = true;
+  h.runInterleaved({[&] {
+    Timer fillTimer;
+    std::string error;
+    if (!fill::ShardedEngine(options).runFile(
+            inputPath, outputPath, std::optional<geom::Rect>(spec.die),
+            &report, &error)) {
+      std::fprintf(stderr, "bench_scale: %s\n", error.c_str());
+      ranOk = false;
+      return;
+    }
+    wallS.record(fillTimer.elapsedSeconds());
+    ingestS.record(report.ingestSeconds);
+    fftS.record(report.fftSeconds);
+    const double peakMiB = peakMemoryMiB();
+    if (peakMiB > static_cast<double>(budgetMiB)) budgetHeld = false;
+  }});
+
   const double peakMiB = peakMemoryMiB();
-  const bool budgetHeld = peakMiB <= static_cast<double>(budgetMiB);
-
-  std::printf(
-      "filled: %zu fills from %zu candidates in %.2fs\n"
-      "  shards %d over %d rows (%d cols), ingest %.2fs, fft %.3fs\n"
-      "  spilled %.1f MiB in %llu events, output %lld bytes\n"
-      "  peak RSS %.0f MiB vs budget %zu MiB -> %s\n",
-      report.fill.fillCount, report.fill.candidateCount, wallSeconds,
-      report.shardCount, report.rows, report.cols, report.ingestSeconds,
-      report.fftSeconds,
-      static_cast<double>(report.spilledBytes) / (1 << 20),
-      static_cast<unsigned long long>(report.spillEvents), report.outputBytes,
-      peakMiB, budgetMiB, budgetHeld ? "OK" : "OVER BUDGET");
-
-  std::FILE* json = std::fopen("BENCH_scale.json", "w");
-  if (json != nullptr) {
-    std::fprintf(
-        json,
-        "{\n  \"benchmark\": \"streaming_sharded_fill\",\n"
-        "  \"suite\": \"%s\",\n  \"wires\": %zu,\n"
-        "  \"input_bytes\": %lld,\n  \"output_bytes\": %lld,\n"
-        "  \"fills\": %zu,\n  \"candidates\": %zu,\n"
-        "  \"generate_seconds\": %.3f,\n  \"wall_seconds\": %.3f,\n"
-        "  \"ingest_seconds\": %.3f,\n  \"fft_seconds\": %.4f,\n"
-        "  \"threads\": %d,\n  \"cols\": %d,\n  \"rows\": %d,\n"
-        "  \"shards\": %d,\n  \"spilled_bytes\": %llu,\n"
-        "  \"spill_events\": %llu,\n  \"mem_budget_mib\": %zu,\n"
-        "  \"peak_rss_mib\": %.1f,\n  \"budget_held\": %s\n}\n",
-        spec.name.c_str(), wires, inputBytes, report.outputBytes,
-        report.fill.fillCount, report.fill.candidateCount, genSeconds,
-        wallSeconds, report.ingestSeconds, report.fftSeconds,
-        report.fill.threadsUsed, report.cols, report.rows, report.shardCount,
-        static_cast<unsigned long long>(report.spilledBytes),
-        static_cast<unsigned long long>(report.spillEvents), budgetMiB,
-        peakMiB, budgetHeld ? "true" : "false");
-    std::fclose(json);
-    std::printf("wrote BENCH_scale.json\n");
+  if (ranOk) {
+    std::printf(
+        "filled: %zu fills from %zu candidates\n"
+        "  shards %d over %d rows (%d cols), ingest %.2fs, fft %.3fs\n"
+        "  spilled %.1f MiB in %llu events, output %lld bytes\n"
+        "  peak RSS %.0f MiB vs budget %zu MiB -> %s\n",
+        report.fill.fillCount, report.fill.candidateCount, report.shardCount,
+        report.rows, report.cols, report.ingestSeconds, report.fftSeconds,
+        static_cast<double>(report.spilledBytes) / (1 << 20),
+        static_cast<unsigned long long>(report.spillEvents),
+        report.outputBytes, peakMiB, budgetMiB,
+        budgetHeld ? "OK" : "OVER BUDGET");
+    h.param("fills", static_cast<std::int64_t>(report.fill.fillCount));
+    h.param("candidates",
+            static_cast<std::int64_t>(report.fill.candidateCount));
+    h.param("threads", static_cast<std::int64_t>(report.fill.threadsUsed));
+    h.param("shards", static_cast<std::int64_t>(report.shardCount));
+    h.param("spilled_bytes", static_cast<std::int64_t>(report.spilledBytes));
+    h.param("output_bytes", static_cast<std::int64_t>(report.outputBytes));
   }
 
   // The multi-hundred-MB artifacts have served their purpose.
   std::remove(inputPath.c_str());
   std::remove(outputPath.c_str());
 
-  if (!budgetHeld) {
-    std::fprintf(stderr,
-                 "bench_scale: peak RSS %.0f MiB exceeded the %zu MiB "
-                 "budget\n",
-                 peakMiB, budgetMiB);
-    return 1;
-  }
-  return 0;
+  h.check("fill_ok", ranOk);
+  h.check("budget_held", budgetHeld);
+  return h.finish();
 }

@@ -14,14 +14,18 @@
 // benchmark: per-window independence makes the hot stages embarrassingly
 // parallel, and the deterministic merge keeps the fill output bit-identical
 // across thread counts (asserted here and in the integration suite).
-// Results go to BENCH_parallel.json so later PRs can track the perf
-// trajectory machine-readably.
+// Results go to BENCH_parallel.json (harness schema) so later PRs track
+// the perf trajectory machine-readably.
+//
+// Usage: bench_scaling [reps] [--reps N] [--warmup N] [--out F]
+//   (default 1 rep + 0 warmup — the sweep itself is minutes long)
 #include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "baselines/tile_lp_filler.hpp"
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -53,128 +57,135 @@ std::uint64_t fillHash(const layout::Layout& chip) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
-  std::printf(
-      "== Scaling: geometric dual-MCF engine vs global tile LP ==\n");
-  std::printf("%8s %10s %8s | %10s %10s | %12s %10s\n", "windows", "wires",
-              "tiles", "engine[s]", "sizing[s]", "global-lp[s]", "speedup");
+  using namespace ofl::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv, "s", /*reps=*/1,
+                                    /*warmup=*/0);
+  // Legacy `bench_scaling 3` form: a bare number as the first positional
+  // is a rep count, not a suite.
+  if (!args.suite.empty() &&
+      args.suite.find_first_not_of("0123456789") == std::string::npos) {
+    args.reps = std::max(1, std::atoi(args.suite.c_str()));
+    args.suite = "s";
+  }
 
-  double prevEngine = 0.0;
-  double prevLp = 0.0;
-  for (const int edge : {8, 16, 24, 32, 48, 64}) {
+  Harness h(args.harnessOptions("parallel"));
+  h.param("hardware_threads",
+          static_cast<std::int64_t>(ThreadPool::hardwareThreads()));
+  h.param("die_windows", "32x32");
+
+  const std::vector<int> edges = {8, 16, 24, 32, 48, 64};
+  const std::vector<int> threadCounts = {1, 2, 4, 8};
+
+  double lastEngine = 0.0;
+  double lastLp = 0.0;
+  bool identical = true;
+  std::uint64_t refHash = 0;
+  std::size_t refFills = 0;
+  bool haveRef = false;
+
+  const auto part1 = [&] {
+    std::printf(
+        "== Scaling: geometric dual-MCF engine vs global tile LP ==\n");
+    std::printf("%8s %10s %8s | %10s %10s | %12s %10s\n", "windows", "wires",
+                "tiles", "engine[s]", "sizing[s]", "global-lp[s]", "speedup");
+    for (const int edge : edges) {
+      contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec("s");
+      spec.die = {0, 0, edge * spec.windowSize, edge * spec.windowSize};
+      spec.seed = 4000 + static_cast<std::uint64_t>(edge);
+      spec.macroCount = std::max(2, edge / 4);
+      spec.channelCount = std::max(1, edge / 6);
+      const layout::Layout original =
+          contest::BenchmarkGenerator::generate(spec);
+
+      double engineSeconds = 0.0;
+      double sizingSeconds = 0.0;
+      {
+        layout::Layout chip = original;
+        fill::FillEngineOptions o;
+        o.windowSize = spec.windowSize;
+        o.rules = spec.rules;
+        o.numThreads = 1;  // part 1 compares single-threaded algorithms
+        Timer t;
+        const fill::FillReport report = fill::FillEngine(o).run(chip);
+        engineSeconds = t.elapsedSeconds();
+        sizingSeconds = report.sizingSeconds;
+      }
+      double tileSeconds = 0.0;
+      {
+        layout::Layout chip = original;
+        baselines::TileLpFiller::Options o;
+        o.windowSize = spec.windowSize;
+        o.rules = spec.rules;
+        o.blockEdge = 0;  // the classical global LP
+        Timer t;
+        baselines::TileLpFiller(o).fill(chip);
+        tileSeconds = t.elapsedSeconds();
+      }
+      const int tiles = edge * edge * 4;  // tilesPerWindow = 2
+      std::printf("%4dx%-4d %10zu %8d | %10.2f %10.2f | %12.2f %9.2fx\n",
+                  edge, edge, original.wireCount(), tiles, engineSeconds,
+                  sizingSeconds, tileSeconds,
+                  tileSeconds / std::max(engineSeconds, 1e-9));
+      const std::string tag = std::to_string(edge);
+      h.series("engine_" + tag + "_s", "s").record(engineSeconds);
+      h.series("global_lp_" + tag + "_s", "s").record(tileSeconds);
+      h.series("lp_vs_engine_" + tag, "x", Direction::kHigherIsBetter,
+               Scale::kRatio)
+          .record(tileSeconds / std::max(engineSeconds, 1e-9));
+      lastEngine = engineSeconds;
+      lastLp = tileSeconds;
+    }
+    std::printf("\nAt the largest size the global LP costs %.1fx the engine;"
+                " the gap keeps widening with design size (the paper's 160K-"
+                "variable instances are far past the crossover).\n",
+                lastLp / std::max(lastEngine, 1e-9));
+  };
+
+  const auto part2 = [&] {
+    std::printf("\n== Thread scaling (%d hardware cores) ==\n",
+                ThreadPool::hardwareThreads());
+    std::printf("%8s | %10s %10s %10s | %12s %18s\n", "threads", "wall[s]",
+                "cand[s]", "size[s]", "fills", "hash");
     contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec("s");
-    spec.die = {0, 0, edge * spec.windowSize, edge * spec.windowSize};
-    spec.seed = 4000 + static_cast<std::uint64_t>(edge);
-    spec.macroCount = std::max(2, edge / 4);
-    spec.channelCount = std::max(1, edge / 6);
-    const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
-
-    double engineSeconds = 0.0;
-    double sizingSeconds = 0.0;
-    {
+    spec.die = {0, 0, 32 * spec.windowSize, 32 * spec.windowSize};
+    spec.seed = 4032;
+    spec.macroCount = 8;
+    spec.channelCount = 5;
+    const layout::Layout original =
+        contest::BenchmarkGenerator::generate(spec);
+    for (const int threads : threadCounts) {
       layout::Layout chip = original;
       fill::FillEngineOptions o;
       o.windowSize = spec.windowSize;
       o.rules = spec.rules;
-      o.numThreads = 1;  // part 1 compares single-threaded algorithms
+      o.numThreads = threads;
       Timer t;
       const fill::FillReport report = fill::FillEngine(o).run(chip);
-      engineSeconds = t.elapsedSeconds();
-      sizingSeconds = report.sizingSeconds;
+      const double wall = t.elapsedSeconds();
+      const std::uint64_t hash = fillHash(chip);
+      std::printf("%8d | %10.2f %10.2f %10.2f | %12zu %18llx\n", threads,
+                  wall, report.candidateSeconds, report.sizingSeconds,
+                  report.fillCount, static_cast<unsigned long long>(hash));
+      if (!haveRef) {
+        refHash = hash;
+        refFills = report.fillCount;
+        haveRef = true;
+      } else if (hash != refHash || report.fillCount != refFills) {
+        identical = false;
+      }
+      h.series("wall_t" + std::to_string(threads) + "_s", "s").record(wall);
     }
-    double tileSeconds = 0.0;
-    {
-      layout::Layout chip = original;
-      baselines::TileLpFiller::Options o;
-      o.windowSize = spec.windowSize;
-      o.rules = spec.rules;
-      o.blockEdge = 0;  // the classical global LP
-      Timer t;
-      baselines::TileLpFiller(o).fill(chip);
-      tileSeconds = t.elapsedSeconds();
-    }
-    const int tiles = edge * edge * 4;  // tilesPerWindow = 2
-    std::printf("%4dx%-4d %10zu %8d | %10.2f %10.2f | %12.2f %9.2fx\n", edge,
-                edge, original.wireCount(), tiles, engineSeconds,
-                sizingSeconds, tileSeconds,
-                tileSeconds / std::max(engineSeconds, 1e-9));
-    prevEngine = engineSeconds;
-    prevLp = tileSeconds;
-  }
-  std::printf("\nAt the largest size the global LP costs %.1fx the engine;"
-              " the gap keeps widening with design size (the paper's 160K-"
-              "variable instances are far past the crossover).\n",
-              prevLp / std::max(prevEngine, 1e-9));
-
-  // == Part 2: thread scaling of the parallel per-window pipeline ==
-  std::printf("\n== Thread scaling (%d hardware cores) ==\n",
-              ThreadPool::hardwareThreads());
-  std::printf("%8s | %10s %10s %10s | %12s %18s\n", "threads", "wall[s]",
-              "cand[s]", "size[s]", "fills", "hash");
-
-  contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec("s");
-  spec.die = {0, 0, 32 * spec.windowSize, 32 * spec.windowSize};
-  spec.seed = 4032;
-  spec.macroCount = 8;
-  spec.channelCount = 5;
-  const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
-
-  struct Row {
-    int threads;
-    double wall, cand, size;
-    std::size_t fills;
-    std::uint64_t hash;
   };
-  std::vector<Row> rows;
-  for (const int threads : {1, 2, 4, 8}) {
-    layout::Layout chip = original;
-    fill::FillEngineOptions o;
-    o.windowSize = spec.windowSize;
-    o.rules = spec.rules;
-    o.numThreads = threads;
-    Timer t;
-    const fill::FillReport report = fill::FillEngine(o).run(chip);
-    rows.push_back({threads, t.elapsedSeconds(), report.candidateSeconds,
-                    report.sizingSeconds, report.fillCount, fillHash(chip)});
-    std::printf("%8d | %10.2f %10.2f %10.2f | %12zu %18llx\n", threads,
-                rows.back().wall, rows.back().cand, rows.back().size,
-                rows.back().fills,
-                static_cast<unsigned long long>(rows.back().hash));
-  }
-  bool identical = true;
-  for (const Row& r : rows) {
-    identical = identical && r.hash == rows.front().hash &&
-                r.fills == rows.front().fills;
-  }
-  const double base = rows.front().wall;
-  std::printf("\nSpeedup at 8 threads: %.2fx; output %s across thread "
-              "counts.\n",
-              base / std::max(rows.back().wall, 1e-9),
+
+  h.runInterleaved({part1, part2});
+
+  h.recordRatio("thread_speedup_8", h.series("wall_t1_s", "s"),
+                h.series("wall_t8_s", "s"));
+  std::printf("\nOutput %s across thread counts.\n",
               identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
 
-  std::FILE* json = std::fopen("BENCH_parallel.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"benchmark\": \"parallel_fill_pipeline\",\n"
-                 "  \"die_windows\": \"32x32\",\n  \"hardware_threads\": %d,\n"
-                 "  \"deterministic\": %s,\n  \"runs\": [\n",
-                 ThreadPool::hardwareThreads(), identical ? "true" : "false");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(json,
-                   "    {\"threads\": %d, \"wall_seconds\": %.4f, "
-                   "\"candidate_seconds\": %.4f, \"sizing_seconds\": %.4f, "
-                   "\"fill_count\": %zu, \"speedup\": %.3f, "
-                   "\"fill_hash\": \"%llx\"}%s\n",
-                   r.threads, r.wall, r.cand, r.size, r.fills,
-                   base / std::max(r.wall, 1e-9),
-                   static_cast<unsigned long long>(r.hash),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_parallel.json\n");
-  }
-  return identical ? 0 : 1;
+  h.check("deterministic", identical);
+  return h.finish();
 }

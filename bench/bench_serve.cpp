@@ -1,16 +1,21 @@
 // Fill-daemon load bench: boots an in-process `openfill serve` core, runs
 // a multi-client mixed fill+ECO workload against it over real loopback
 // sockets, and reports throughput plus p50/p95/p99 request latency to
-// BENCH_serve.json. Two contracts are asserted, not just measured:
+// BENCH_serve.json (harness schema). Two contracts are asserted, not just
+// measured:
 //
 //   * every layout served over the wire is byte-identical to the direct
 //     `openfill fill` run with the same options;
 //   * after a daemon "kill" (drain) and restart over the same cache
 //     directory, resubmitting the workload hits the persistent cache
 //     (persistent hits > 0) and still returns identical bytes.
+//
+// Usage: bench_serve [reps] [--reps N] [--warmup N] [--out F]
+//   (the mixed-load phase repeats per rep; contracts are checked once)
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -18,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "cli/args.hpp"
 #include "cli/commands.hpp"
 #include "common/logging.hpp"
@@ -136,8 +142,16 @@ ClientRun runClient(int clientIdx, int port) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
+  using namespace ofl::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv, "", /*reps=*/1,
+                                    /*warmup=*/0);
+  if (!args.suite.empty() &&
+      args.suite.find_first_not_of("0123456789") == std::string::npos) {
+    args.reps = std::max(1, std::atoi(args.suite.c_str()));
+    args.suite = "";
+  }
   gDir = (fs::temp_directory_path() / "ofl_bench_serve").string();
   fs::remove_all(gDir);
   fs::create_directories(gDir);
@@ -189,44 +203,64 @@ int main() {
     }
   }
 
-  // Mixed multi-client load.
-  Timer wall;
-  std::vector<ClientRun> runs(kClients);
-  {
-    std::vector<std::thread> threads;
-    for (int c = 0; c < kClients; ++c) {
-      threads.emplace_back(
-          [&runs, c, port = server.port()] { runs[c] = runClient(c, port); });
-    }
-    for (auto& t : threads) t.join();
-  }
-  const double wallSeconds = wall.elapsedSeconds();
+  Harness h(args.harnessOptions("serve"));
+  h.param("clients", static_cast<std::int64_t>(kClients));
+  h.param("requests_per_client", static_cast<std::int64_t>(kRequestsPerClient));
+  h.param("unique_layouts", static_cast<std::int64_t>(kUniqueLayouts));
+  h.param("workers", static_cast<std::int64_t>(cfg.jobs));
+  h.param("hardware_threads",
+          static_cast<std::int64_t>(ThreadPool::hardwareThreads()));
 
-  std::vector<double> latencies;
-  int fills = 0, ecos = 0, failures = 0;
-  for (const ClientRun& r : runs) {
-    latencies.insert(latencies.end(), r.latenciesMs.begin(),
-                     r.latenciesMs.end());
-    fills += r.fills;
-    ecos += r.ecos;
-    failures += r.failures;
-  }
-  std::sort(latencies.begin(), latencies.end());
-  const double p50 = percentile(latencies, 0.50);
-  const double p95 = percentile(latencies, 0.95);
-  const double p99 = percentile(latencies, 0.99);
-  const double throughput =
-      wallSeconds > 0 ? static_cast<double>(latencies.size()) / wallSeconds
-                      : 0.0;
-  std::printf("mixed load: %zu requests (%d fill, %d eco, %d failures) in "
-              "%.2fs = %.2f req/s\n",
-              latencies.size(), fills, ecos, failures, wallSeconds,
-              throughput);
-  std::printf("latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n", p50, p95, p99);
-  if (failures > 0 || latencies.empty()) {
-    std::fprintf(stderr, "FAILED: request failures under load\n");
-    return 1;
-  }
+  Series& reqRate = h.series("requests_per_s", "1/s",
+                             Direction::kHigherIsBetter, Scale::kWallClock);
+  Series& p50s = h.series("latency_p50_ms", "ms");
+  Series& p95s = h.series("latency_p95_ms", "ms");
+  Series& p99s = h.series("latency_p99_ms", "ms");
+
+  int failures = 0;
+  std::size_t requestCount = 0;
+  h.runInterleaved({[&] {
+    // Mixed multi-client load.
+    Timer wall;
+    std::vector<ClientRun> runs(kClients);
+    {
+      std::vector<std::thread> threads;
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&runs, c, port = server.port()] {
+          runs[c] = runClient(c, port);
+        });
+      }
+      for (auto& t : threads) t.join();
+    }
+    const double wallSeconds = wall.elapsedSeconds();
+
+    std::vector<double> latencies;
+    int fills = 0, ecos = 0;
+    for (const ClientRun& r : runs) {
+      latencies.insert(latencies.end(), r.latenciesMs.begin(),
+                       r.latenciesMs.end());
+      fills += r.fills;
+      ecos += r.ecos;
+      failures += r.failures;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+    const double throughput =
+        wallSeconds > 0 ? static_cast<double>(latencies.size()) / wallSeconds
+                        : 0.0;
+    requestCount = latencies.size();
+    std::printf("mixed load: %zu requests (%d fill, %d eco, %d failures) in "
+                "%.2fs = %.2f req/s\n",
+                latencies.size(), fills, ecos, failures, wallSeconds,
+                throughput);
+    std::printf("latency ms: p50 %.1f  p95 %.1f  p99 %.1f\n", p50, p95, p99);
+    reqRate.record(throughput);
+    p50s.record(p50);
+    p95s.record(p95);
+    p99s.record(p99);
+  }});
 
   // Byte-identity: served outputs vs the direct CLI path.
   bool identical = true;
@@ -250,6 +284,7 @@ int main() {
   server.drain();
   std::uint64_t persistentHits = 0;
   bool restartIdentical = true;
+  bool restartOk = true;
   {
     serve::Server revived(cfg);
     if (!revived.start(&error)) {
@@ -265,11 +300,13 @@ int main() {
           "revived"));
       if (!resp.has_value() || !resp->ok) {
         std::fprintf(stderr, "FAILED: post-restart fill %d\n", i);
-        return 1;
+        restartOk = false;
+        break;
       }
       restartIdentical =
           restartIdentical &&
-          readFile(out) == readFile(path("filled" + std::to_string(i) + ".gds"));
+          readFile(out) ==
+              readFile(path("filled" + std::to_string(i) + ".gds"));
     }
     persistentHits = revived.service().stats().cache.persistentHits;
     revived.drain();
@@ -278,29 +315,15 @@ int main() {
               static_cast<unsigned long long>(persistentHits),
               restartIdentical ? "BYTE-IDENTICAL" : "DIVERGED (BUG!)");
 
-  std::FILE* json = std::fopen("BENCH_serve.json", "w");
-  if (json != nullptr) {
-    std::fprintf(
-        json,
-        "{\n  \"benchmark\": \"serve_daemon_load\",\n"
-        "  \"clients\": %d,\n  \"requests_per_client\": %d,\n"
-        "  \"unique_layouts\": %d,\n  \"workers\": %d,\n"
-        "  \"hardware_threads\": %d,\n"
-        "  \"requests\": %zu,\n  \"fill_requests\": %d,\n"
-        "  \"eco_requests\": %d,\n  \"wall_seconds\": %.3f,\n"
-        "  \"requests_per_second\": %.3f,\n"
-        "  \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f},\n"
-        "  \"byte_identical_to_direct_fill\": %s,\n"
-        "  \"restart_persistent_hits\": %llu,\n"
-        "  \"restart_byte_identical\": %s\n}\n",
-        kClients, kRequestsPerClient, kUniqueLayouts, cfg.jobs,
-        ThreadPool::hardwareThreads(), latencies.size(), fills, ecos,
-        wallSeconds, throughput, p50, p95, p99,
-        identical ? "true" : "false",
-        static_cast<unsigned long long>(persistentHits),
-        restartIdentical ? "true" : "false");
-    std::fclose(json);
-    std::printf("wrote BENCH_serve.json\n");
-  }
-  return identical && restartIdentical && persistentHits > 0 ? 0 : 1;
+  h.series("restart_persistent_hits", "count", Direction::kHigherIsBetter,
+           Scale::kRatio)
+      .record(static_cast<double>(persistentHits));
+  h.param("requests", static_cast<std::int64_t>(requestCount));
+
+  h.check("no_request_failures", failures == 0 && requestCount > 0);
+  h.check("byte_identical_to_direct_fill", identical);
+  h.check("restart_ok", restartOk);
+  h.check("restart_byte_identical", restartIdentical);
+  h.check("persistent_cache_hit", persistentHits > 0);
+  return h.finish();
 }

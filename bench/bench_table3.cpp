@@ -8,7 +8,12 @@
 //   * the tile-based method pays for uniformity with file size;
 //     greedy is the mirror image.
 //
-//   usage: bench_table3 [suites] [--json FILE]   e.g. "bench_table3 s,b"
+// The harness records per-filler runtime and quality series and emits
+// BENCH_table3.json; the --json flag still writes the contest-schema
+// result file used by EXPERIMENTS.md.
+//
+// Usage: bench_table3 [suites] [reps] [--json FILE] [--reps N]
+//        [--warmup N] [--out F]        e.g. "bench_table3 s,b"
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -18,6 +23,7 @@
 #include "baselines/greedy_filler.hpp"
 #include "baselines/monte_carlo_filler.hpp"
 #include "baselines/tile_lp_filler.hpp"
+#include "bench/harness.hpp"
 #include "common/logging.hpp"
 #include "common/memory_usage.hpp"
 #include "common/timer.hpp"
@@ -31,12 +37,8 @@ using namespace ofl;
 
 namespace {
 
-std::vector<std::string> parseSuites(int argc, char** argv) {
-  if (argc < 2 || std::string(argv[1]).rfind("--", 0) == 0) {
-    return {"s", "b", "m"};
-  }
+std::vector<std::string> splitSuites(const std::string& arg) {
   std::vector<std::string> suites;
-  std::string arg = argv[1];
   std::size_t pos = 0;
   while (pos != std::string::npos) {
     const std::size_t comma = arg.find(',', pos);
@@ -52,62 +54,81 @@ std::vector<std::string> parseSuites(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
+  using namespace ofl::bench;
+  const BenchArgs args = BenchArgs::parse(argc, argv, "s,b,m", /*reps=*/1,
+                                          /*warmup=*/0);
+  const std::vector<std::string> suites = splitSuites(args.suite);
+  std::string jsonOut;
+  for (std::size_t i = 0; i + 1 < args.positional.size(); ++i) {
+    if (args.positional[i] == "--json") jsonOut = args.positional[i + 1];
+  }
+
+  Harness h(args.harnessOptions("table3"));
   std::vector<contest::ResultRow> rows;
 
-  for (const std::string& suite : parseSuites(argc, argv)) {
-    const contest::BenchmarkSpec spec = contest::BenchmarkGenerator::spec(suite);
-    const layout::Layout original = contest::BenchmarkGenerator::generate(spec);
-    const contest::Evaluator evaluator(
-        spec.windowSize, contest::scoreTableFor(spec.name), spec.rules);
-    std::fprintf(stderr, "suite %s: %zu wires\n", suite.c_str(),
-                 original.wireCount());
+  h.runInterleaved({[&] {
+    rows.clear();
+    for (const std::string& suite : suites) {
+      const contest::BenchmarkSpec spec =
+          contest::BenchmarkGenerator::spec(suite);
+      const layout::Layout original =
+          contest::BenchmarkGenerator::generate(spec);
+      const contest::Evaluator evaluator(
+          spec.windowSize, contest::scoreTableFor(spec.name), spec.rules);
+      std::fprintf(stderr, "suite %s: %zu wires\n", suite.c_str(),
+                   original.wireCount());
 
-    auto runOne = [&](const std::string& team, auto&& fillFn) {
-      layout::Layout chip = original;
-      Timer timer;
-      fillFn(chip);
-      const double seconds = timer.elapsedSeconds();
-      contest::ResultRow row;
-      row.design = spec.name;
-      row.team = team;
-      row.runtimeSeconds = seconds;
-      // Peak RSS is process-wide and monotone; per-filler deltas are not
-      // separable in one process, so all rows in a suite share the probe
-      // (noted in EXPERIMENTS.md).
-      row.memoryMiB = peakMemoryMiB();
-      row.raw = evaluator.measure(chip);
-      row.scores = evaluator.score(row.raw, seconds, row.memoryMiB);
-      rows.push_back(row);
-      std::fprintf(stderr, "  %-12s %7.2fs  fills=%zu  quality=%.3f\n",
-                   team.c_str(), seconds, row.raw.fillCount,
-                   row.scores.quality);
-    };
+      auto runOne = [&](const std::string& team, auto&& fillFn) {
+        layout::Layout chip = original;
+        Timer timer;
+        fillFn(chip);
+        const double seconds = timer.elapsedSeconds();
+        contest::ResultRow row;
+        row.design = spec.name;
+        row.team = team;
+        row.runtimeSeconds = seconds;
+        // Peak RSS is process-wide and monotone; per-filler deltas are not
+        // separable in one process, so all rows in a suite share the probe
+        // (noted in EXPERIMENTS.md).
+        row.memoryMiB = peakMemoryMiB();
+        row.raw = evaluator.measure(chip);
+        row.scores = evaluator.score(row.raw, seconds, row.memoryMiB);
+        rows.push_back(row);
+        h.series("runtime_" + team + "_" + suite + "_s", "s").record(seconds);
+        h.series("quality_" + team + "_" + suite, "score",
+                 Direction::kHigherIsBetter, Scale::kRatio)
+            .record(row.scores.quality);
+        std::fprintf(stderr, "  %-12s %7.2fs  fills=%zu  quality=%.3f\n",
+                     team.c_str(), seconds, row.raw.fillCount,
+                     row.scores.quality);
+      };
 
-    runOne("tile-lp", [&](layout::Layout& chip) {
-      baselines::TileLpFiller::Options o;
-      o.windowSize = spec.windowSize;
-      o.rules = spec.rules;
-      baselines::TileLpFiller(o).fill(chip);
-    });
-    runOne("monte-carlo", [&](layout::Layout& chip) {
-      baselines::MonteCarloFiller::Options o;
-      o.windowSize = spec.windowSize;
-      o.rules = spec.rules;
-      baselines::MonteCarloFiller(o).fill(chip);
-    });
-    runOne("greedy", [&](layout::Layout& chip) {
-      baselines::GreedyFiller::Options o;
-      o.windowSize = spec.windowSize;
-      o.rules = spec.rules;
-      baselines::GreedyFiller(o).fill(chip);
-    });
-    runOne("ours", [&](layout::Layout& chip) {
-      fill::FillEngineOptions o;
-      o.windowSize = spec.windowSize;
-      o.rules = spec.rules;
-      fill::FillEngine(o).run(chip);
-    });
-  }
+      runOne("tile-lp", [&](layout::Layout& chip) {
+        baselines::TileLpFiller::Options o;
+        o.windowSize = spec.windowSize;
+        o.rules = spec.rules;
+        baselines::TileLpFiller(o).fill(chip);
+      });
+      runOne("monte-carlo", [&](layout::Layout& chip) {
+        baselines::MonteCarloFiller::Options o;
+        o.windowSize = spec.windowSize;
+        o.rules = spec.rules;
+        baselines::MonteCarloFiller(o).fill(chip);
+      });
+      runOne("greedy", [&](layout::Layout& chip) {
+        baselines::GreedyFiller::Options o;
+        o.windowSize = spec.windowSize;
+        o.rules = spec.rules;
+        baselines::GreedyFiller(o).fill(chip);
+      });
+      runOne("ours", [&](layout::Layout& chip) {
+        fill::FillEngineOptions o;
+        o.windowSize = spec.windowSize;
+        o.rules = spec.rules;
+        fill::FillEngine(o).run(chip);
+      });
+    }
+  }});
 
   std::printf("== Table 3: experimental results on scaled suites ==\n");
   contest::printTable3(rows);
@@ -126,15 +147,15 @@ int main(int argc, char** argv) {
   std::printf("\nheadline (ours has best quality on every design): %s\n",
               oursWins ? "REPRODUCED" : "NOT reproduced");
 
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
-      if (contest::writeJson(rows, argv[i + 1])) {
-        std::printf("wrote JSON results -> %s\n", argv[i + 1]);
-      } else {
-        std::fprintf(stderr, "cannot write %s\n", argv[i + 1]);
-        return 1;
-      }
+  if (!jsonOut.empty()) {
+    if (contest::writeJson(rows, jsonOut)) {
+      std::printf("wrote JSON results -> %s\n", jsonOut.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", jsonOut.c_str());
+      return 1;
     }
   }
-  return 0;
+
+  h.check("ours_best_quality", oursWins);
+  return h.finish();
 }

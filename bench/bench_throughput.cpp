@@ -11,14 +11,18 @@
 //   * a submission-order fill hash is asserted identical across every
 //     configuration: concurrency and caching must never change the bytes.
 //
-// Results go to BENCH_service.json so later PRs can track the batch
-// throughput trajectory machine-readably.
+// Results go to BENCH_service.json (harness schema) so later PRs can
+// track the batch throughput trajectory machine-readably.
+//
+// Usage: bench_throughput [reps] [--reps N] [--warmup N] [--out F]
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/harness.hpp"
 #include "common/hash.hpp"
 #include "common/logging.hpp"
 #include "common/thread_pool.hpp"
@@ -52,8 +56,17 @@ std::uint64_t workloadHash(const std::vector<service::JobResult>& results) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
+  using namespace ofl::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv, "", /*reps=*/1,
+                                    /*warmup=*/0);
+  // Legacy `bench_throughput 3` form: bare number = rep count.
+  if (!args.suite.empty() &&
+      args.suite.find_first_not_of("0123456789") == std::string::npos) {
+    args.reps = std::max(1, std::atoi(args.suite.c_str()));
+    args.suite = "";
+  }
 
   std::vector<std::shared_ptr<const layout::Layout>> inputs;
   for (int i = 0; i < kUniqueLayouts; ++i) {
@@ -71,82 +84,91 @@ int main() {
               "cache", "wall[s]", "jobs/s", "hit-rate", "hash");
 
   struct Config {
+    const char* tag;
     int jobs;
     int threadsPerJob;
     std::size_t cacheMb;
   };
-  const std::vector<Config> configs = {
-      {1, 1, 0}, {1, 1, 64}, {2, 1, 64}, {4, 1, 64}, {2, 2, 64}};
+  const std::vector<Config> configs = {{"j1_nocache", 1, 1, 0},
+                                       {"j1_cache", 1, 1, 64},
+                                       {"j2_cache", 2, 1, 64},
+                                       {"j4_cache", 4, 1, 64},
+                                       {"j2_t2_cache", 2, 2, 64}};
 
-  struct Row {
-    Config config;
-    service::ServiceStats stats;
-    std::uint64_t hash;
-  };
-  std::vector<Row> rows;
-  for (const Config& config : configs) {
-    service::ServiceOptions so;
-    so.maxConcurrentJobs = config.jobs;
-    so.threadsPerJob = config.threadsPerJob;
-    so.cacheBytes = config.cacheMb << 20;
-    service::FillService svc(so);
-    for (int i = 0; i < kJobs; ++i) {
-      service::JobSpec spec;
-      spec.layout = inputs[static_cast<std::size_t>(i % kUniqueLayouts)];
-      spec.engine = engine;
-      spec.keepLayout = true;
-      svc.submit(spec);
-    }
-    const std::vector<service::JobResult> results = svc.waitAll();
-    bool allOk = results.size() == kJobs;
-    for (const service::JobResult& r : results) {
-      allOk = allOk && r.status == service::JobStatus::kSucceeded;
-    }
-    if (!allOk) {
-      std::fprintf(stderr, "FAILED: not every job succeeded\n");
-      return 1;
-    }
-    rows.push_back({config, svc.stats(), workloadHash(results)});
-    const Row& r = rows.back();
-    std::printf("%6d %8d %8zuM | %8.2f %8.2f %8.0f%% | %18llx\n", config.jobs,
-                svc.threadsPerJob(), config.cacheMb, r.stats.wallSeconds,
-                r.stats.jobsPerSecond, r.stats.cacheHitRate * 100.0,
-                static_cast<unsigned long long>(r.hash));
-  }
+  Harness h(args.harnessOptions("service"));
+  h.param("jobs_submitted", static_cast<std::int64_t>(kJobs));
+  h.param("unique_layouts", static_cast<std::int64_t>(kUniqueLayouts));
+  h.param("hardware_threads",
+          static_cast<std::int64_t>(ThreadPool::hardwareThreads()));
 
+  std::uint64_t refHash = 0;
+  bool haveRef = false;
   bool identical = true;
-  for (const Row& r : rows) identical = identical && r.hash == rows.front().hash;
-  const Row* cold = &rows[0];   // one worker, cache off
-  const Row* warm = &rows[1];   // one worker, cache on
+  bool allSucceeded = true;
+  double lastHitRate = 0.0;
+
+  std::vector<std::function<void()>> bodies;
+  bodies.reserve(configs.size());
+  for (const Config& config : configs) {
+    Series& wall = h.series(std::string("wall_") + config.tag + "_s", "s");
+    Series& rate = h.series(std::string("jobs_per_s_") + config.tag, "1/s",
+                            Direction::kHigherIsBetter, Scale::kWallClock);
+    bodies.push_back([&, config, wall = &wall, rate = &rate] {
+      service::ServiceOptions so;
+      so.maxConcurrentJobs = config.jobs;
+      so.threadsPerJob = config.threadsPerJob;
+      so.cacheBytes = config.cacheMb << 20;
+      service::FillService svc(so);
+      for (int i = 0; i < kJobs; ++i) {
+        service::JobSpec spec;
+        spec.layout = inputs[static_cast<std::size_t>(i % kUniqueLayouts)];
+        spec.engine = engine;
+        spec.keepLayout = true;
+        svc.submit(spec);
+      }
+      const std::vector<service::JobResult> results = svc.waitAll();
+      bool ok = results.size() == kJobs;
+      for (const service::JobResult& r : results) {
+        ok = ok && r.status == service::JobStatus::kSucceeded;
+      }
+      if (!ok) {
+        allSucceeded = false;
+        return;
+      }
+      const service::ServiceStats stats = svc.stats();
+      const std::uint64_t hash = workloadHash(results);
+      if (!haveRef) {
+        refHash = hash;
+        haveRef = true;
+      } else if (hash != refHash) {
+        identical = false;
+      }
+      wall->record(stats.wallSeconds);
+      rate->record(stats.jobsPerSecond);
+      if (config.cacheMb > 0 && config.jobs == 1) {
+        lastHitRate = stats.cacheHitRate;
+      }
+      std::printf("%6d %8d %8zuM | %8.2f %8.2f %8.0f%% | %18llx\n",
+                  config.jobs, svc.threadsPerJob(), config.cacheMb,
+                  stats.wallSeconds, stats.jobsPerSecond,
+                  stats.cacheHitRate * 100.0,
+                  static_cast<unsigned long long>(hash));
+    });
+  }
+  h.runInterleaved(bodies);
+
+  Series& cacheWin =
+      h.recordRatio("cache_win", h.series("wall_j1_nocache_s", "s"),
+                    h.series("wall_j1_cache_s", "s"));
+  h.series("cache_hit_rate", "ratio", Direction::kHigherIsBetter,
+           Scale::kRatio)
+      .record(lastHitRate);
+  const SeriesStats win = computeStats(cacheWin.samples());
   std::printf("\nCache win at one worker: %.2fx; output %s across every "
               "jobs/threads/cache configuration.\n",
-              cold->stats.wallSeconds /
-                  std::max(warm->stats.wallSeconds, 1e-9),
-              identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
+              win.mean, identical ? "BIT-IDENTICAL" : "DIVERGED (BUG!)");
 
-  std::FILE* json = std::fopen("BENCH_service.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n  \"benchmark\": \"batch_fill_service\",\n"
-                 "  \"jobs_submitted\": %d,\n  \"unique_layouts\": %d,\n"
-                 "  \"hardware_threads\": %d,\n  \"deterministic\": %s,\n"
-                 "  \"runs\": [\n",
-                 kJobs, kUniqueLayouts, ThreadPool::hardwareThreads(),
-                 identical ? "true" : "false");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(json,
-                   "    {\"jobs\": %d, \"threads_per_job\": %d, "
-                   "\"cache_mb\": %zu, \"fill_hash\": \"%llx\",\n"
-                   "     \"stats\": %s}%s\n",
-                   r.config.jobs, r.config.threadsPerJob, r.config.cacheMb,
-                   static_cast<unsigned long long>(r.hash),
-                   service::toJson(r.stats).c_str(),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(json, "  ]\n}\n");
-    std::fclose(json);
-    std::printf("wrote BENCH_service.json\n");
-  }
-  return identical ? 0 : 1;
+  h.check("all_jobs_succeeded", allSucceeded);
+  h.check("deterministic", identical);
+  return h.finish();
 }

@@ -1,0 +1,326 @@
+#include "bench/harness.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+
+#include "common/json_util.hpp"
+#include "common/memory_usage.hpp"
+#include "obs/metrics.hpp"
+
+namespace ofl::bench {
+namespace {
+
+const char* directionTag(Direction d) {
+  return d == Direction::kLowerIsBetter ? "lower" : "higher";
+}
+
+const char* scaleTag(Scale s) {
+  return s == Scale::kWallClock ? "wall" : "ratio";
+}
+
+}  // namespace
+
+void Series::record(double v) {
+  if (harness_ != nullptr && !harness_->recording()) return;
+  samples_.push_back(v);
+}
+
+Harness::Harness(Options options) : options_(std::move(options)) {
+  if (options_.reps < 1) options_.reps = 1;
+  if (options_.warmup < 0) options_.warmup = 0;
+  if (options_.outPath.empty()) {
+    options_.outPath = "BENCH_" + options_.name + ".json";
+  }
+  machine_ = MachineInfo::capture();
+}
+
+Series& Harness::series(const std::string& name, const std::string& unit,
+                        Direction direction, Scale scale) {
+  for (Series& s : series_) {
+    if (s.name_ == name) return s;
+  }
+  series_.emplace_back(Series(this, name, unit, direction, scale));
+  return series_.back();
+}
+
+void Harness::runInterleaved(const std::vector<std::function<void()>>& bodies) {
+  // Warmup rounds execute every variant with recording suppressed: each
+  // variant pays the cold start once and none of it lands in the stats.
+  for (int w = 0; w < options_.warmup; ++w) {
+    recording_ = false;
+    for (const auto& body : bodies) body();
+  }
+  recording_ = true;
+  for (int r = 0; r < options_.reps; ++r) {
+    for (const auto& body : bodies) body();
+  }
+}
+
+Series& Harness::recordRatio(const std::string& name, const Series& numerator,
+                             const Series& denominator, Direction direction) {
+  Series& out = series(name, "x", direction, Scale::kRatio);
+  const std::size_t n =
+      std::min(numerator.samples().size(), denominator.samples().size());
+  for (std::size_t i = out.samples().size(); i < n; ++i) {
+    const double den = denominator.samples()[i];
+    out.samples_.push_back(den != 0.0 ? numerator.samples()[i] / den : 0.0);
+  }
+  return out;
+}
+
+bool Harness::check(const std::string& name, bool ok) {
+  checks_.push_back({name, ok});
+  if (!ok) allOk_ = false;
+  return ok;
+}
+
+void Harness::param(const std::string& key, const std::string& value) {
+  std::string v = "\"";
+  json::appendEscaped(v, value);
+  v += "\"";
+  params_.push_back({key, std::move(v)});
+}
+
+void Harness::param(const std::string& key, double value) {
+  std::string v;
+  json::appendNumber(v, value);
+  params_.push_back({key, std::move(v)});
+}
+
+void Harness::param(const std::string& key, std::int64_t value) {
+  std::string v;
+  json::appendNumber(v, value);
+  params_.push_back({key, std::move(v)});
+}
+
+double Harness::timeIt(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+double Harness::nsPerOp(const std::function<void()>& fn, double minSeconds) {
+  // Doubling batches until one batch runs long enough that per-call clock
+  // overhead is negligible; returns ns/call for the final batch only.
+  std::uint64_t batch = 1;
+  for (;;) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < batch; ++i) fn();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (secs >= minSeconds || batch >= (1ull << 40)) {
+      return secs * 1e9 / static_cast<double>(batch);
+    }
+    // Aim past minSeconds with headroom, at least doubling.
+    if (secs <= 0.0) {
+      batch *= 8;
+    } else {
+      const double want = 1.5 * minSeconds / secs;
+      batch = batch * static_cast<std::uint64_t>(want < 2.0 ? 2.0 : want);
+    }
+  }
+}
+
+std::string Harness::json() const {
+  std::string out = "{\"schema\": \"openfill-bench-v1\", \"benchmark\": \"";
+  json::appendEscaped(out, options_.name);
+  out += "\", \"suite\": \"";
+  json::appendEscaped(out, options_.suite);
+  out += "\", \"created_unix\": ";
+  json::appendNumber(
+      out, static_cast<std::int64_t>(std::time(nullptr)));
+  out += ", \"reps\": ";
+  json::appendNumber(out, static_cast<std::int64_t>(options_.reps));
+  out += ", \"warmup\": ";
+  json::appendNumber(out, static_cast<std::int64_t>(options_.warmup));
+  out += ", \"machine\": " + machine_.json();
+  out += ", \"peak_rss_mib\": ";
+  json::appendNumber(out, peakMemoryMiB());
+
+  out += ", \"params\": {";
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"";
+    json::appendEscaped(out, params_[i].key);
+    out += "\": " + params_[i].jsonValue;
+  }
+  out += "}, \"checks\": {";
+  for (std::size_t i = 0; i < checks_.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "\"";
+    json::appendEscaped(out, checks_[i].name);
+    out += checks_[i].ok ? "\": true" : "\": false";
+  }
+  out += "}, \"ok\": ";
+  out += allOk_ ? "true" : "false";
+
+  out += ", \"series\": {";
+  bool first = true;
+  for (const Series& s : series_) {
+    if (!first) out += ", ";
+    first = false;
+    const SeriesStats st = computeStats(s.samples_, options_.stats);
+    out += "\"";
+    json::appendEscaped(out, s.name_);
+    out += "\": {\"unit\": \"";
+    json::appendEscaped(out, s.unit_);
+    out += "\", \"direction\": \"";
+    out += directionTag(s.direction_);
+    out += "\", \"scale\": \"";
+    out += scaleTag(s.scale_);
+    out += "\", \"samples\": [";
+    for (std::size_t i = 0; i < st.samples.size(); ++i) {
+      if (i != 0) out += ", ";
+      json::appendNumber(out, st.samples[i]);
+    }
+    out += "], \"rejected_outliers\": ";
+    json::appendNumber(out, static_cast<std::uint64_t>(st.rejectedOutliers));
+    out += ", \"mean\": ";
+    json::appendNumber(out, st.mean);
+    out += ", \"min\": ";
+    json::appendNumber(out, st.min);
+    out += ", \"max\": ";
+    json::appendNumber(out, st.max);
+    out += ", \"stddev\": ";
+    json::appendNumber(out, st.stddev);
+    out += ", \"median\": ";
+    json::appendNumber(out, st.median);
+    out += ", \"ci_lo\": ";
+    json::appendNumber(out, st.ciLo);
+    out += ", \"ci_hi\": ";
+    json::appendNumber(out, st.ciHi);
+    out += ", \"ci_level\": ";
+    json::appendNumber(out, st.ciLevel);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+int Harness::finish() {
+  // Publish into the PR-5 metrics registry so traced runs and `openfill
+  // stats --require 'bench.*'` see benchmark results alongside engine
+  // metrics. find-or-create works regardless of the enabled flag.
+  auto& metrics = obs::MetricsRegistry::instance();
+  const std::string prefix = "bench." + options_.name + ".";
+  for (const Series& s : series_) {
+    const SeriesStats st = computeStats(s.samples_, options_.stats);
+    if (st.samples.empty()) continue;
+    metrics.gauge(prefix + s.name_).set(st.mean);
+  }
+  metrics.gauge(prefix + "peak_rss_mib").set(peakMemoryMiB());
+
+  // Human summary.
+  std::printf("-- BENCH %s", options_.name.c_str());
+  if (!options_.suite.empty()) {
+    std::printf(" (suite %s)", options_.suite.c_str());
+  }
+  std::printf(": %d reps + %d warmup", options_.reps, options_.warmup);
+  if (!machine_.gitSha.empty()) {
+    std::printf(", git %.10s", machine_.gitSha.c_str());
+  }
+  std::printf(" --\n");
+  std::printf("  %-34s %12s %26s %12s %-4s\n", "series", "mean", "ci95",
+              "min", "unit");
+  for (const Series& s : series_) {
+    const SeriesStats st = computeStats(s.samples_, options_.stats);
+    std::printf("  %-34s %12.6g [%11.6g, %11.6g] %12.6g %-4s%s\n",
+                s.name_.c_str(), st.mean, st.ciLo, st.ciHi, st.min,
+                s.unit_.c_str(),
+                st.rejectedOutliers > 0 ? "  (outliers rejected)" : "");
+  }
+  for (const CheckEntry& c : checks_) {
+    std::printf("  check %-28s %s\n", c.name.c_str(),
+                c.ok ? "OK" : "FAILED");
+  }
+
+  std::ofstream out(options_.outPath);
+  if (!out) {
+    std::fprintf(stderr, "BENCH %s: cannot write %s\n", options_.name.c_str(),
+                 options_.outPath.c_str());
+    return 1;
+  }
+  out << json() << "\n";
+  out.close();
+  std::printf("  wrote %s%s\n", options_.outPath.c_str(),
+              allOk_ ? "" : "  [CHECKS FAILED]");
+  return allOk_ ? 0 : 1;
+}
+
+BenchArgs BenchArgs::parse(int argc, char** argv,
+                           const std::string& defaultSuite, int defaultReps,
+                           int defaultWarmup) {
+  BenchArgs a;
+  a.suite = defaultSuite;
+  a.reps = defaultReps;
+  a.warmup = defaultWarmup;
+  bool sawSuite = false;
+  bool sawPositionalReps = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto intValue = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s needs a value\n", argv[0], flag);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      const long v = std::strtol(argv[++i], &end, 10);
+      if (end == nullptr || *end != '\0' || v < 0) {
+        std::fprintf(stderr, "%s: bad %s value '%s'\n", argv[0], flag,
+                     argv[i]);
+        std::exit(2);
+      }
+      return static_cast<int>(v);
+    };
+    if (arg == "--reps") {
+      a.reps = intValue("--reps");
+    } else if (arg == "--warmup") {
+      a.warmup = intValue("--warmup");
+    } else if (arg == "--out") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --out needs a value\n", argv[0]);
+        std::exit(2);
+      }
+      a.outPath = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      // Bench-specific flags (e.g. --json PATH) pass through untouched,
+      // together with their value if one follows.
+      a.positional.push_back(arg);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        a.positional.push_back(argv[++i]);
+      }
+    } else if (!sawSuite) {
+      a.suite = arg;
+      sawSuite = true;
+    } else if (!sawPositionalReps) {
+      char* end = nullptr;
+      const long v = std::strtol(arg.c_str(), &end, 10);
+      if (end != nullptr && *end == '\0' && v > 0) {
+        a.reps = static_cast<int>(v);
+        sawPositionalReps = true;
+      } else {
+        a.positional.push_back(arg);
+      }
+    } else {
+      a.positional.push_back(arg);
+    }
+  }
+  return a;
+}
+
+Harness::Options BenchArgs::harnessOptions(const std::string& benchName) const {
+  Harness::Options o;
+  o.name = benchName;
+  o.suite = suite;
+  o.reps = reps;
+  o.warmup = warmup;
+  o.outPath = outPath;
+  return o;
+}
+
+}  // namespace ofl::bench

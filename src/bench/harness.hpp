@@ -1,0 +1,184 @@
+// Shared benchmark harness (docs/architecture.md, "Benchmark harness").
+//
+// One measurement layer for every bench_* binary: warmup rounds that are
+// executed but never recorded (so every variant pays the cold-cache cost
+// equally — the bias the old hand-rolled best-of-3 loops had), N recorded
+// repetitions with A/B variants interleaved inside each round (a
+// background-load spike lands on all variants instead of skewing one),
+// MAD outlier rejection + mean/min/stddev/median + seeded bootstrap
+// confidence intervals per series (bench/stats), machine metadata and
+// peak RSS capture (bench/machine, common/memory_usage), publication of
+// every series mean into the PR-5 metrics registry under
+// `bench.<benchmark>.<series>`, and a single versioned BENCH_*.json
+// schema emitted through common/json_util:
+//
+//   {"schema": "openfill-bench-v1", "benchmark": ..., "suite": ...,
+//    "created_unix": ..., "reps": ..., "warmup": ...,
+//    "machine": {"cpu", "cores", "governor", "hostname", "git_sha",
+//                "build_type", "build_flags"},
+//    "peak_rss_mib": ..., "params": {...}, "checks": {...}, "ok": ...,
+//    "series": {name: {"unit", "direction", "scale", "samples": [...],
+//                      "rejected_outliers", "mean", "min", "max",
+//                      "stddev", "median", "ci_lo", "ci_hi",
+//                      "ci_level"}}}
+//
+// `openfill bench-compare` / `bench-report` consume the schema
+// (bench/report); per-suite baselines live under bench/baselines/.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/machine.hpp"
+#include "bench/stats.hpp"
+
+namespace ofl::bench {
+
+/// Whether smaller or larger sample values are the improvement; drives
+/// the regression verdict in bench-compare.
+enum class Direction { kLowerIsBetter, kHigherIsBetter };
+
+/// Gating class: wall-clock series are machine-dependent and only gate
+/// against baselines recorded on the same machine fingerprint; ratio
+/// series (speedups, hit rates, counts) gate everywhere.
+enum class Scale { kWallClock, kRatio };
+
+class Harness;
+
+/// A named sample series. record() is a no-op during warmup rounds, so
+/// bench bodies run identical code cold and hot.
+class Series {
+ public:
+  void record(double v);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  friend class Harness;
+  Series(Harness* harness, std::string name, std::string unit,
+         Direction direction, Scale scale)
+      : harness_(harness), name_(std::move(name)), unit_(std::move(unit)),
+        direction_(direction), scale_(scale) {}
+
+  Harness* harness_;
+  std::string name_;
+  std::string unit_;
+  Direction direction_;
+  Scale scale_;
+  std::vector<double> samples_;
+};
+
+class Harness {
+ public:
+  struct Options {
+    std::string name;     // "hotpath" -> BENCH_hotpath.json
+    std::string suite;    // contest suite the bench ran on ("" if n/a)
+    int reps = 3;         // recorded rounds
+    int warmup = 1;       // discarded rounds (run first, never recorded)
+    std::string outPath;  // override; default "BENCH_<name>.json"
+    StatsOptions stats;
+  };
+
+  explicit Harness(Options options);
+
+  /// Find-or-create; the returned reference stays valid for the harness
+  /// lifetime. Unit/direction/scale are fixed by the first call.
+  Series& series(const std::string& name, const std::string& unit,
+                 Direction direction = Direction::kLowerIsBetter,
+                 Scale scale = Scale::kWallClock);
+
+  /// Runs every round-body `warmup + reps` times, interleaved: round 0
+  /// runs body A, B, C unrecorded (all variants pay the cold start),
+  /// rounds 1..reps run A, B, C with Series::record live. Bodies capture
+  /// their Series references and record whatever they measure.
+  void runInterleaved(const std::vector<std::function<void()>>& bodies);
+
+  /// True while runInterleaved is in a recorded (non-warmup) round; also
+  /// true outside runInterleaved, so single-shot benches can record
+  /// directly without a round loop.
+  bool recording() const { return recording_; }
+  int reps() const { return options_.reps; }
+  int warmup() const { return options_.warmup; }
+  const std::string& suite() const { return options_.suite; }
+
+  /// Elementwise num[i]/den[i] recorded into a ratio series — per-rep
+  /// speedups from two timed variants of the same round.
+  Series& recordRatio(const std::string& name, const Series& numerator,
+                      const Series& denominator,
+                      Direction direction = Direction::kHigherIsBetter);
+
+  /// Named pass/fail contract (bit-identical output, budget held, ...).
+  /// Recorded into the JSON "checks" object; any failure makes exitCode()
+  /// nonzero. Returns `ok` for inline use.
+  bool check(const std::string& name, bool ok);
+
+  /// Free-form run parameters recorded into the JSON "params" object.
+  void param(const std::string& key, const std::string& value);
+  void param(const std::string& key, double value);
+  void param(const std::string& key, std::int64_t value);
+
+  /// Seconds spent in fn (one steady-clock pair).
+  static double timeIt(const std::function<void()>& fn);
+
+  /// Micro-benchmark helper: runs fn in doubling batches until the batch
+  /// takes >= minSeconds, then returns nanoseconds per call — one sample.
+  static double nsPerOp(const std::function<void()>& fn,
+                        double minSeconds = 0.02);
+
+  /// Computes statistics for every series, captures machine metadata and
+  /// peak RSS, publishes `bench.<name>.<series>` gauges into the metrics
+  /// registry, writes the BENCH_*.json artifact, and prints a summary
+  /// table to stdout. Returns the process exit code: 0 when every check
+  /// passed and the artifact was written, 1 otherwise.
+  int finish();
+
+  /// The artifact body finish() writes (also available before finish for
+  /// tests). Stats are recomputed on each call.
+  std::string json() const;
+
+  const MachineInfo& machine() const { return machine_; }
+
+ private:
+  struct CheckEntry {
+    std::string name;
+    bool ok;
+  };
+  struct ParamEntry {
+    std::string key;
+    std::string jsonValue;  // pre-rendered (quoted string or bare number)
+  };
+
+  Options options_;
+  MachineInfo machine_;
+  std::deque<Series> series_;  // deque: Series& stays valid as it grows
+  std::vector<CheckEntry> checks_;
+  std::vector<ParamEntry> params_;
+  bool recording_ = true;
+  bool allOk_ = true;
+};
+
+/// Shared argv convention for bench binaries:
+///   bench_x [suite] [reps] [--reps N] [--warmup N] [--out FILE]
+/// The positional reps keeps the pre-harness CLI working; --reps wins
+/// when both are given. Unknown flags abort with a usage message.
+struct BenchArgs {
+  std::string suite;
+  int reps = 3;
+  int warmup = 1;
+  std::string outPath;                   // "" = harness default
+  std::vector<std::string> positional;   // extras after suite/reps
+
+  static BenchArgs parse(int argc, char** argv,
+                         const std::string& defaultSuite, int defaultReps,
+                         int defaultWarmup = 1);
+
+  /// Harness options pre-filled from the parsed args.
+  Harness::Options harnessOptions(const std::string& benchName) const;
+};
+
+}  // namespace ofl::bench

@@ -1,0 +1,112 @@
+#include "bench/machine.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <thread>
+
+#include "common/json_util.hpp"
+
+#ifndef OFL_BUILD_TYPE
+#define OFL_BUILD_TYPE ""
+#endif
+#ifndef OFL_CXX_FLAGS
+#define OFL_CXX_FLAGS ""
+#endif
+
+namespace ofl::bench {
+namespace {
+
+std::string firstLineMatching(const char* path, const std::string& prefix) {
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(prefix, 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon == std::string::npos) return line;
+      std::size_t start = colon + 1;
+      while (start < line.size() && line[start] == ' ') ++start;
+      return line.substr(start);
+    }
+  }
+  return "";
+}
+
+std::string readTrimmed(const char* path) {
+  std::ifstream in(path);
+  std::string s;
+  std::getline(in, s);
+  while (!s.empty() && (s.back() == '\n' || s.back() == '\r' ||
+                        s.back() == ' ')) {
+    s.pop_back();
+  }
+  return s;
+}
+
+std::string gitHeadSha() {
+  if (const char* env = std::getenv("OFL_GIT_SHA");
+      env != nullptr && env[0] != '\0') {
+    return env;
+  }
+  // Benches run from arbitrary build subdirectories; `git` walks up to
+  // the enclosing work tree on its own. Failure (no git, no repo) leaves
+  // the field empty rather than erroring the bench.
+  std::FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buf[128] = {0};
+  std::string sha;
+  if (std::fgets(buf, sizeof(buf), pipe) != nullptr) sha = buf;
+  ::pclose(pipe);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  // A sha is 40 hex chars; anything else is git noise, not a revision.
+  if (sha.size() != 40) return "";
+  for (const char c : sha) {
+    if (std::isxdigit(static_cast<unsigned char>(c)) == 0) return "";
+  }
+  return sha;
+}
+
+}  // namespace
+
+MachineInfo MachineInfo::capture() {
+  MachineInfo m;
+  m.cpuModel = firstLineMatching("/proc/cpuinfo", "model name");
+  m.cores = static_cast<int>(std::thread::hardware_concurrency());
+  m.governor =
+      readTrimmed("/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) == 0) m.hostname = host;
+  m.gitSha = gitHeadSha();
+  m.buildType = OFL_BUILD_TYPE;
+  m.buildFlags = OFL_CXX_FLAGS;
+  return m;
+}
+
+std::string MachineInfo::fingerprint() const {
+  return cpuModel + "/" + std::to_string(cores);
+}
+
+std::string MachineInfo::json() const {
+  std::string out = "{\"cpu\": \"";
+  json::appendEscaped(out, cpuModel);
+  out += "\", \"cores\": ";
+  json::appendNumber(out, static_cast<std::int64_t>(cores));
+  out += ", \"governor\": \"";
+  json::appendEscaped(out, governor);
+  out += "\", \"hostname\": \"";
+  json::appendEscaped(out, hostname);
+  out += "\", \"git_sha\": \"";
+  json::appendEscaped(out, gitSha);
+  out += "\", \"build_type\": \"";
+  json::appendEscaped(out, buildType);
+  out += "\", \"build_flags\": \"";
+  json::appendEscaped(out, buildFlags);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace ofl::bench

@@ -1,0 +1,33 @@
+// Machine/build metadata stamped into every BENCH_*.json.
+//
+// Performance numbers are only comparable against the same hardware and
+// build, so the harness records where a measurement came from and
+// `openfill bench-compare` refuses to gate wall-clock series across
+// differing machine fingerprints (ratio series — speedups, hit rates —
+// stay comparable everywhere).
+#pragma once
+
+#include <string>
+
+namespace ofl::bench {
+
+struct MachineInfo {
+  std::string cpuModel;    // /proc/cpuinfo "model name" (first core)
+  int cores = 0;           // std::thread::hardware_concurrency
+  std::string governor;    // cpufreq scaling_governor, "" if unreadable
+  std::string hostname;    // gethostname(), "" if unreadable
+  std::string gitSha;      // $OFL_GIT_SHA, else `git rev-parse HEAD`
+  std::string buildType;   // CMAKE_BUILD_TYPE baked in at compile time
+  std::string buildFlags;  // CMAKE_CXX_FLAGS baked in at compile time
+
+  static MachineInfo capture();
+
+  /// CPU model + core count — the "same hardware" test bench-compare uses
+  /// before gating wall-clock series.
+  std::string fingerprint() const;
+
+  /// {"cpu": ..., "cores": ..., ...} via json_util (byte-stable).
+  std::string json() const;
+};
+
+}  // namespace ofl::bench

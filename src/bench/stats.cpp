@@ -1,0 +1,121 @@
+#include "bench/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace ofl::bench {
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double medianAbsDeviation(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double med = median(v);
+  std::vector<double> dev;
+  dev.reserve(v.size());
+  for (const double x : v) dev.push_back(std::fabs(x - med));
+  return median(std::move(dev));
+}
+
+std::vector<std::size_t> madOutliers(const std::vector<double>& v,
+                                     double cutoff) {
+  std::vector<std::size_t> out;
+  if (v.size() < 3) return out;
+  const double mad = medianAbsDeviation(v);
+  if (mad <= 0.0) return out;
+  const double med = median(v);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    const double z = 0.6745 * (v[i] - med) / mad;
+    if (std::fabs(z) > cutoff) out.push_back(i);
+  }
+  // A rejection pass that would discard everything (pathological cutoff)
+  // keeps the data instead: stats over zero samples are worse than stats
+  // over noisy ones.
+  if (out.size() >= v.size()) out.clear();
+  return out;
+}
+
+SeriesStats computeStats(std::vector<double> samples,
+                         const StatsOptions& options) {
+  SeriesStats s;
+  s.samples = std::move(samples);
+  s.ciLevel = options.ciLevel;
+  if (s.samples.empty()) return s;
+
+  const std::vector<std::size_t> rejected =
+      madOutliers(s.samples, options.madCutoff);
+  s.rejectedOutliers = rejected.size();
+  std::vector<double> kept;
+  kept.reserve(s.samples.size());
+  std::size_t r = 0;
+  for (std::size_t i = 0; i < s.samples.size(); ++i) {
+    if (r < rejected.size() && rejected[r] == i) {
+      ++r;
+      continue;
+    }
+    kept.push_back(s.samples[i]);
+  }
+
+  const auto n = static_cast<double>(kept.size());
+  double sum = 0.0;
+  s.min = kept.front();
+  s.max = kept.front();
+  for (const double x : kept) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / n;
+  if (kept.size() >= 2) {
+    double sq = 0.0;
+    for (const double x : kept) sq += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(sq / (n - 1.0));
+  }
+  s.median = median(kept);
+
+  if (kept.size() == 1) {
+    s.ciLo = s.ciHi = s.mean;
+    return s;
+  }
+
+  // Percentile bootstrap for the mean. mt19937_64 with a fixed seed keeps
+  // the bounds reproducible across runs and platforms (the distribution
+  // functions below avoid std::uniform_int_distribution, whose mapping is
+  // implementation-defined).
+  std::mt19937_64 rng(options.seed);
+  const std::size_t resamples =
+      static_cast<std::size_t>(std::max(1, options.bootstrapResamples));
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t b = 0; b < resamples; ++b) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      acc += kept[rng() % kept.size()];
+    }
+    means.push_back(acc / n);
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = (1.0 - options.ciLevel) / 2.0;
+  const auto pick = [&means](double q) {
+    const double pos = q * static_cast<double>(means.size() - 1);
+    const auto idx = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(idx);
+    if (idx + 1 >= means.size()) return means.back();
+    return means[idx] * (1.0 - frac) + means[idx + 1] * frac;
+  };
+  s.ciLo = pick(alpha);
+  s.ciHi = pick(1.0 - alpha);
+  return s;
+}
+
+}  // namespace ofl::bench

@@ -1,0 +1,69 @@
+// Measurement statistics for the shared benchmark harness
+// (docs/architecture.md, "Benchmark harness").
+//
+// Every recorded series goes through the same pipeline: MAD-based outlier
+// rejection (modified z-score over the median absolute deviation — robust
+// against the scheduler spikes that plague 1-core CI containers), then
+// mean/min/max/stddev/median over the surviving samples, then a bootstrap
+// percentile confidence interval for the mean. The bootstrap is seeded,
+// so identical samples always produce identical CI bounds — the property
+// the regression gate and the schema round-trip tests rely on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ofl::bench {
+
+/// Knobs for computeStats. The defaults are what every bench binary and
+/// the committed baselines use; tests override them to probe edge cases.
+struct StatsOptions {
+  /// Modified z-score cutoff: samples with |0.6745*(x-median)/MAD| above
+  /// this are rejected as outliers (3.5 is the classic Iglewicz-Hoaglin
+  /// recommendation). Rejection is skipped entirely when MAD == 0.
+  double madCutoff = 3.5;
+  /// Bootstrap resamples for the CI of the mean.
+  int bootstrapResamples = 2000;
+  /// Two-sided CI level (0.95 -> [2.5%, 97.5%] percentile bounds).
+  double ciLevel = 0.95;
+  /// Seed for the bootstrap resampler; fixed so stats are a pure function
+  /// of the samples.
+  std::uint64_t seed = 0x0f111edbeefull;
+};
+
+/// Summary of one sample series. `samples` preserves the raw recording
+/// order; all other fields are computed over the post-rejection subset.
+struct SeriesStats {
+  std::vector<double> samples;  // raw, in record order
+  std::size_t rejectedOutliers = 0;
+
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1); 0 when n < 2
+  double median = 0.0;
+  double ciLo = 0.0;  // bootstrap CI of the mean; == mean when n == 1
+  double ciHi = 0.0;
+  double ciLevel = 0.95;
+
+  std::size_t kept() const { return samples.size() - rejectedOutliers; }
+};
+
+/// Median of `v` (v is copied; empty -> 0).
+double median(std::vector<double> v);
+
+/// Median absolute deviation about the median (empty -> 0).
+double medianAbsDeviation(const std::vector<double>& v);
+
+/// Indices of samples whose modified z-score exceeds `cutoff`. Returns an
+/// empty set when MAD == 0 (constant series) or v.size() < 3 — rejecting
+/// from one or two samples is meaningless.
+std::vector<std::size_t> madOutliers(const std::vector<double>& v,
+                                     double cutoff);
+
+/// Full pipeline: rejection, moments, seeded bootstrap CI.
+SeriesStats computeStats(std::vector<double> samples,
+                         const StatsOptions& options = {});
+
+}  // namespace ofl::bench

@@ -1,0 +1,137 @@
+// `openfill bench-report` / `bench-compare`: the CLI surfaces over the
+// BENCH_*.json artifacts every bench_* binary emits (bench/report.hpp has
+// the schema and the gating rules).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/report.hpp"
+#include "cli/commands.hpp"
+
+namespace ofl::cli {
+namespace {
+
+int benchCompareImpl(const Args& args) {
+  const auto& pos = args.positional();
+  // pos[0] is the subcommand name itself.
+  if (pos.size() < 3) {
+    std::fprintf(stderr,
+                 "bench-compare: usage: openfill bench-compare "
+                 "BASELINE.json CURRENT.json [--threshold P] "
+                 "[--fail-on-regression]\n");
+    return 2;
+  }
+  const double threshold = args.getDoubleChecked("threshold", 0.05);
+  if (threshold < 0.0) {
+    std::fprintf(stderr, "bench-compare: --threshold must be >= 0\n");
+    return 2;
+  }
+  bench::BenchDoc baseline;
+  bench::BenchDoc current;
+  std::string error;
+  if (!bench::BenchDoc::load(pos[1], baseline, error) ||
+      !bench::BenchDoc::load(pos[2], current, error)) {
+    std::fprintf(stderr, "bench-compare: %s\n", error.c_str());
+    return 2;
+  }
+  if (baseline.benchmark != current.benchmark) {
+    std::fprintf(stderr,
+                 "bench-compare: artifacts are from different benchmarks "
+                 "(%s vs %s)\n",
+                 baseline.benchmark.c_str(), current.benchmark.c_str());
+    return 2;
+  }
+  const bench::CompareResult result =
+      bench::compare(baseline, current, threshold);
+  std::fputs(bench::renderCompareText(baseline, current, result).c_str(),
+             stdout);
+  if (args.hasFlag("fail-on-regression") &&
+      (result.hasRegression() || result.checksFailed)) {
+    return 1;
+  }
+  return 0;
+}
+
+int benchReportImpl(const Args& args) {
+  const std::string dir = args.getOr("dir", ".");
+  const double threshold = args.getDoubleChecked("threshold", 0.05);
+  const bool html = args.hasFlag("html");
+
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json") {
+      paths.push_back(entry.path().string());
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "bench-report: cannot read %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+  if (paths.empty()) {
+    std::fprintf(stderr, "bench-report: no BENCH_*.json under %s\n",
+                 dir.c_str());
+    return 2;
+  }
+  std::sort(paths.begin(), paths.end());
+
+  std::vector<bench::BenchDoc> docs;
+  for (const std::string& path : paths) {
+    bench::BenchDoc doc;
+    std::string error;
+    if (!bench::BenchDoc::load(path, doc, error)) {
+      std::fprintf(stderr, "bench-report: skipping %s\n", error.c_str());
+      continue;
+    }
+    docs.push_back(std::move(doc));
+  }
+  if (docs.empty()) {
+    std::fprintf(stderr, "bench-report: no parseable artifacts under %s\n",
+                 dir.c_str());
+    return 2;
+  }
+
+  const std::string report =
+      bench::renderTrendReport(std::move(docs), threshold, html);
+  if (const auto out = args.get("out"); out.has_value()) {
+    std::ofstream f(*out);
+    if (!f) {
+      std::fprintf(stderr, "bench-report: cannot write %s\n", out->c_str());
+      return 2;
+    }
+    f << report;
+    std::printf("bench-report: wrote %s\n", out->c_str());
+  } else {
+    std::fputs(report.c_str(), stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int runBenchReport(const Args& args) {
+  try {
+    return benchReportImpl(args);
+  } catch (const ArgError& e) {
+    std::fprintf(stderr, "bench-report: %s\n", e.what());
+    return 2;
+  }
+}
+
+int runBenchCompare(const Args& args) {
+  try {
+    return benchCompareImpl(args);
+  } catch (const ArgError& e) {
+    std::fprintf(stderr, "bench-compare: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace ofl::cli

@@ -524,6 +524,30 @@ int drcImpl(const Args& args) {
   return violations.empty() ? 0 : 1;
 }
 
+// Shell-style glob match (`*` any run, `?` any one char) with greedy `*`
+// backtracking — enough for `--require 'bench.*'` patterns.
+bool globMatch(const std::string& pattern, const std::string& text) {
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string::npos, starT = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '?' || pattern[p] == text[t])) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      starT = t;
+    } else if (star != std::string::npos) {
+      p = star + 1;
+      t = ++starT;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
 // `openfill stats --metrics FILE`: pretty-print a --metrics-out snapshot
 // and optionally (--require a,b,c) fail when named series are absent —
 // CI uses this to assert an observability artifact is complete.
@@ -579,13 +603,29 @@ int metricsStatsImpl(const Args& args, const std::string& path) {
   }
 
   if (const auto require = args.get("require"); require.has_value()) {
+    // Patterns may use shell-style globs: `--require 'bench.*'` asserts
+    // at least one series under the bench. prefix exists.
+    const auto sectionGlob = [](const json::Value* section,
+                                const std::string& pattern) {
+      if (section == nullptr || !section->isObject()) return false;
+      for (const auto& [name, v] : section->object) {
+        (void)v;
+        if (globMatch(pattern, name)) return true;
+      }
+      return false;
+    };
     int missing = 0;
     std::stringstream list(*require);
     std::string name;
     while (std::getline(list, name, ',')) {
       if (name.empty()) continue;
-      if (!sectionHas(counters, name) && !sectionHas(gauges, name) &&
-          !sectionHas(histograms, name)) {
+      const bool isGlob = name.find_first_of("*?") != std::string::npos;
+      const bool found =
+          isGlob ? (sectionGlob(counters, name) || sectionGlob(gauges, name) ||
+                    sectionGlob(histograms, name))
+                 : (sectionHas(counters, name) || sectionHas(gauges, name) ||
+                    sectionHas(histograms, name));
+      if (!found) {
         std::fprintf(stderr, "stats: missing metric series: %s\n",
                      name.c_str());
         ++missing;
@@ -1156,7 +1196,9 @@ std::string usage() {
       "      Print shape counts and file statistics.\n"
       "  stats --metrics FILE [--require name,name,...]\n"
       "      Pretty-print a --metrics-out snapshot; --require exits 1 if\n"
-      "      any named series is missing (CI artifact check).\n"
+      "      any named series is missing (CI artifact check). Names may\n"
+      "      use shell globs: --require 'bench.*' asserts the prefix is\n"
+      "      populated.\n"
       "  heatmap --in FILE.gds [--window N] [--layer N] [--csv FILE]\n"
       "      Render a window-density heatmap (ASCII to stdout, or CSV).\n"
       "  compare --in FILE.gds --suite s|b|m [--window N] [--threads N]\n"
@@ -1210,7 +1252,20 @@ std::string usage() {
       "      Send one request to a running daemon and print the JSON\n"
       "      response; exits 0 only when the server reports ok. --spec\n"
       "      uses the batch manifest line syntax, so a served job is\n"
-      "      byte-identical to the matching `openfill fill` run.\n";
+      "      byte-identical to the matching `openfill fill` run.\n"
+      "  bench-report --dir DIR [--out FILE] [--html] [--threshold P]\n"
+      "      Render a trend table over a directory of accumulated\n"
+      "      BENCH_*.json artifacts (oldest run per benchmark/suite is the\n"
+      "      baseline), flagging series whose CI excludes the baseline\n"
+      "      mean. Markdown to stdout by default; --html for HTML.\n"
+      "  bench-compare BASELINE.json CURRENT.json [--threshold P]\n"
+      "       [--fail-on-regression]\n"
+      "      Compare two benchmark artifacts; a series regresses when its\n"
+      "      mean moved > P (default 0.05) in the worse direction AND the\n"
+      "      current CI excludes the baseline mean. Wall-clock series are\n"
+      "      skipped across differing machines; ratio series always gate.\n"
+      "      --fail-on-regression exits 1 on any regression or missing\n"
+      "      series (otherwise the verdict is informational, exit 0).\n";
 }
 
 int run(const Args& args) {
@@ -1231,6 +1286,8 @@ int run(const Args& args) {
   if (command == "fuzz") return runFuzz(args);
   if (command == "serve") return runServe(args);
   if (command == "submit") return runSubmit(args);
+  if (command == "bench-report") return runBenchReport(args);
+  if (command == "bench-compare") return runBenchCompare(args);
   std::fprintf(stderr, "unknown command: %s\n%s", command.c_str(),
                usage().c_str());
   return 2;

@@ -13,6 +13,8 @@
 //   openfill fuzz     [--seeds N] [--minutes M] [--corpus DIR]
 //   openfill serve    --port P [--config FILE] [--cache-dir DIR]
 //   openfill submit   --port P --type fill --spec "wires.gds --out f.gds"
+//   openfill bench-report  --dir DIR [--html] [--out FILE]
+//   openfill bench-compare BASE.json CUR.json --fail-on-regression
 //
 // Malformed numeric option values are hard errors: the command prints a
 // message naming the option and exits with status 2 (Args::getIntChecked).
@@ -40,6 +42,8 @@ int runCheck(const Args& args);
 int runFuzz(const Args& args);
 int runServe(const Args& args);
 int runSubmit(const Args& args);
+int runBenchReport(const Args& args);   // cli/bench_commands.cpp
+int runBenchCompare(const Args& args);  // cli/bench_commands.cpp
 
 /// Usage text.
 std::string usage();
